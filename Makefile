@@ -1,0 +1,43 @@
+# Phi — reproduction of "Rethinking Networking for 'Five Computers'"
+# (HotNets 2018). Standard targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments experiments-full examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | (! grep .) || (echo "gofmt needed on the files above" && exit 1)
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table and figure (coarse ~ minutes).
+experiments:
+	$(GO) run ./cmd/phi-experiments -run all
+
+# Paper-scale configuration (full Table 2 grid, n = 8; slow).
+experiments-full:
+	$(GO) run ./cmd/phi-experiments -run all -full
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/cdnstream
+	$(GO) run ./examples/outage
+	$(GO) run ./examples/forecast
+	$(GO) run ./examples/wirephi
+	$(GO) run ./examples/interdc
+
+clean:
+	$(GO) clean ./...

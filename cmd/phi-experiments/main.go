@@ -1,0 +1,122 @@
+// Command phi-experiments regenerates the tables and figures of
+// "Rethinking Networking for 'Five Computers'" (HotNets 2018).
+//
+// Usage:
+//
+//	phi-experiments -run all
+//	phi-experiments -run table3 -retrain
+//	phi-experiments -run fig2a,fig2b -full -csv out/
+//
+// By default experiments run in a coarse configuration that preserves the
+// paper's qualitative shapes in minutes; -full selects the paper-scale
+// grid (full Table 2 sweep, n = 8 runs, 100 long-running flows), which
+// takes considerably longer. With -csv, each experiment also writes the
+// series it plots as a CSV file for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiments: table1,table2,fig2a,fig2b,fig2c,fig3,fig4,deployment,table3,fig5,sharing,policy,ablations or 'all'")
+		full    = flag.Bool("full", false, "paper-scale configuration (much slower)")
+		seed    = flag.Int64("seed", 0, "seed offset for all runs")
+		retrain = flag.Bool("retrain", false, "retrain the Remy tables before Table 3 (slow)")
+		csvDir  = flag.String("csv", "", "also write each experiment's series as CSV into this directory")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Full: *full, Seed: *seed}
+	all := []string{"table1", "table2", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "table3", "fig5", "sharing", "ablations"}
+	var selected []string
+	if *runList == "all" {
+		selected = all
+	} else {
+		for _, name := range strings.Split(*runList, ",") {
+			selected = append(selected, strings.TrimSpace(strings.ToLower(name)))
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	exportCSV := func(name string, out fmt.Stringer) {
+		if *csvDir == "" {
+			return
+		}
+		cw, ok := out.(experiments.CSVWriter)
+		if !ok {
+			return
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csv %s: %v\n", name, err)
+			return
+		}
+		defer f.Close()
+		if err := cw.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "csv %s: %v\n", name, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	for _, name := range selected {
+		var out fmt.Stringer
+		switch name {
+		case "table1":
+			out = experiments.Table1()
+		case "table2":
+			out = experiments.Table2(o)
+		case "fig2a":
+			out = experiments.Fig2a(o)
+		case "fig2b":
+			out = experiments.Fig2b(o)
+		case "fig2c":
+			out = experiments.Fig2c(o)
+		case "fig3":
+			out = experiments.Fig3(o)
+		case "fig4":
+			out = experiments.Fig4(o)
+		case "deployment":
+			out = experiments.DeploymentCurve(o)
+		case "table3":
+			out = experiments.Table3(o, *retrain)
+		case "fig5":
+			out = experiments.Fig5(o)
+		case "sharing":
+			out = experiments.Sharing(o)
+		case "policy":
+			out = experiments.BuildPolicy(o)
+		case "ablations":
+			cad := experiments.AblationCadence(o)
+			fmt.Println(cad)
+			exportCSV("ablation_cadence", cad)
+			buck := experiments.AblationBuckets(o)
+			fmt.Println(buck)
+			exportCSV("ablation_buckets", buck)
+			qd := experiments.AblationQueueDiscipline(o)
+			fmt.Println(qd)
+			exportCSV("ablation_queue_discipline", qd)
+			out = experiments.AblationTraining(o)
+			exportCSV("ablation_training", out)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		exportCSV(name, out)
+		fmt.Println(out)
+	}
+}

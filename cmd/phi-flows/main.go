@@ -1,0 +1,195 @@
+// Command phi-flows runs the Section 2.1 flow-sharing analysis: it
+// synthesizes a cloud-egress workload (or reads IPFIX messages from a
+// file), applies 1-in-N packet sampling, and reports how many flows share
+// each destination /24 x minute path slice.
+//
+// Usage:
+//
+//	phi-flows                          # synthetic egress, paper settings
+//	phi-flows -flows 1000000 -zipf 1.2
+//	phi-flows -export flows.ipfix      # also write the IPFIX messages
+//	phi-flows -import flows.ipfix      # analyze a capture instead
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/ipfix"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		flows      = flag.Int("flows", 0, "flows to synthesize (0 = calibrated default)")
+		subnets    = flag.Int("subnets", 0, "destination /24 count (0 = default)")
+		zipf       = flag.Float64("zipf", 0, "Zipf exponent (0 = default)")
+		sample     = flag.Int("sample", ipfix.DefaultSamplingRate, "1-in-N packet sampling")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		exportPath = flag.String("export", "", "write IPFIX messages to this file")
+		importPath = flag.String("import", "", "read IPFIX messages from this file instead of synthesizing")
+		replayN    = flag.Int("replay", 0, "also replay the first N flows through a dumbbell simulation")
+		listenAddr = flag.String("listen", "", "run as a live UDP IPFIX collector on this address (e.g. :4739) and analyze on SIGINT")
+	)
+	flag.Parse()
+
+	if *listenAddr != "" {
+		collectLive(*listenAddr)
+		return
+	}
+
+	var records []ipfix.FlowRecord
+	if *importPath != "" {
+		var err error
+		records, err = readIPFIX(*importPath)
+		if err != nil {
+			log.Fatalf("import: %v", err)
+		}
+		fmt.Printf("imported %d flow records from %s\n", len(records), *importPath)
+	} else {
+		cfg := ipfix.DefaultSynthConfig()
+		cfg.Seed = *seed
+		if *flows > 0 {
+			cfg.Flows = *flows
+		}
+		if *subnets > 0 {
+			cfg.Subnets = *subnets
+		}
+		if *zipf > 0 {
+			cfg.ZipfS = *zipf
+		}
+		records = ipfix.Generate(cfg, *sample)
+		fmt.Printf("synthesized %d exported flows (%d offered, 1-in-%d sampling)\n",
+			len(records), cfg.Flows, *sample)
+	}
+
+	if *exportPath != "" {
+		if err := writeIPFIX(*exportPath, records); err != nil {
+			log.Fatalf("export: %v", err)
+		}
+		fmt.Printf("wrote IPFIX messages to %s\n", *exportPath)
+	}
+
+	a := ipfix.AnalyzeSharing(records)
+	fmt.Printf("path slices (/24 x minute): %d\n", a.Slices)
+	fmt.Printf("flows sharing with >= 5 others:   %5.1f%%  (paper: 50%%)\n",
+		100*a.FractionSharingAtLeast(5))
+	fmt.Printf("flows sharing with >= 100 others: %5.1f%%  (paper: 12%%)\n",
+		100*a.FractionSharingAtLeast(100))
+	cdf := metrics.NewCDF(a.OthersPerFlow)
+	fmt.Println("sharing CDF:")
+	for _, p := range cdf.Points(10) {
+		fmt.Printf("  P(others <= %6.0f) = %.2f\n", p.X, p.P)
+	}
+
+	if *replayN > 0 {
+		fmt.Printf("\nreplaying first %d flows over a dumbbell (sampling-corrected)...\n", *replayN)
+		res := workload.Replay(workload.ReplayConfig{
+			Dumbbell: sim.DefaultDumbbell(8),
+			Records:  records,
+			SampleN:  *sample,
+			MaxFlows: *replayN,
+			CC: func() tcp.CongestionControl {
+				return tcp.NewCubic(tcp.DefaultCubicParams())
+			},
+		})
+		fmt.Printf("  flows completed:  %d/%d\n", res.CompletedFlows(), len(res.Flows))
+		fmt.Printf("  utilization:      %.1f%%\n", 100*res.Utilization)
+		fmt.Printf("  agg throughput:   %.2f Mbit/s\n", res.AggThroughputMbps())
+		fmt.Printf("  mean queue delay: %.1f ms\n", res.MeanQueueingDelayMs())
+	}
+}
+
+// collectLive runs a UDP collector until interrupted, then analyzes what
+// arrived — a minimal live replacement for the paper's centralized
+// collector service.
+func collectLive(addr string) {
+	col, err := ipfix.NewCollector(addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("collecting IPFIX over UDP on %s (Ctrl-C to analyze)\n", col.Addr())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	tick := time.NewTicker(10 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			fmt.Printf("  %d records collected (%d undecodable datagrams)\n", col.Count(), col.Errors())
+		case <-sigc:
+			col.Close()
+			records := col.Records()
+			fmt.Printf("\ncollected %d records\n", len(records))
+			if len(records) == 0 {
+				return
+			}
+			a := ipfix.AnalyzeSharing(records)
+			fmt.Printf("path slices: %d\n", a.Slices)
+			fmt.Printf("flows sharing with >= 5 others:   %5.1f%%\n", 100*a.FractionSharingAtLeast(5))
+			fmt.Printf("flows sharing with >= 100 others: %5.1f%%\n", 100*a.FractionSharingAtLeast(100))
+			return
+		}
+	}
+}
+
+// writeIPFIX streams records as length-delimited IPFIX messages (each
+// message is self-describing per RFC 7011, so plain concatenation works).
+func writeIPFIX(path string, records []ipfix.FlowRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := ipfix.NewEncoder(1)
+	const batch = 400
+	for i := 0; i < len(records); i += batch {
+		end := i + batch
+		if end > len(records) {
+			end = len(records)
+		}
+		msg, err := enc.Encode(uint32(i/batch), records[i:end])
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readIPFIX parses concatenated IPFIX messages from a file.
+func readIPFIX(path string) ([]ipfix.FlowRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := ipfix.NewDecoder()
+	var out []ipfix.FlowRecord
+	for len(data) >= 4 {
+		msgLen := int(binary.BigEndian.Uint16(data[2:]))
+		if msgLen < 16 || msgLen > len(data) {
+			return nil, fmt.Errorf("corrupt message length %d", msgLen)
+		}
+		recs, err := dec.Decode(data[:msgLen])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+		data = data[msgLen:]
+	}
+	if len(data) != 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return out, nil
+}

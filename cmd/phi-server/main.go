@@ -1,0 +1,111 @@
+// Command phi-server runs a standalone Phi context server over TCP: the
+// per-domain repository of shared network state of Section 2.2.2. Senders
+// (via internal/phiwire.Client) look up the congestion context at
+// connection start and report their experience at connection end.
+//
+// Usage:
+//
+//	phi-server -listen :7731 -path bottleneck=15000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/phi"
+	"repro/internal/phiwire"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7731", "listen address")
+		window     = flag.Duration("window", 10*time.Second, "utilization estimation window")
+		policyPath = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
+		paths      pathFlags
+	)
+	flag.Var(&paths, "path", "register a path capacity as name=bitsPerSecond (repeatable)")
+	flag.Parse()
+
+	backend := phi.NewServer(
+		func() sim.Time { return sim.Time(time.Now().UnixNano()) },
+		phi.ServerConfig{Window: sim.Time(window.Nanoseconds())},
+	)
+	for _, p := range paths {
+		backend.RegisterPath(phi.PathKey(p.name), p.capacity)
+		log.Printf("registered path %q at %d bit/s", p.name, p.capacity)
+	}
+
+	srv := phiwire.NewServer(backend, log.Printf)
+	policy := phi.DefaultPolicy()
+	if *policyPath != "" {
+		f, err := os.Open(*policyPath)
+		if err != nil {
+			log.Fatalf("policy: %v", err)
+		}
+		policy, err = phi.LoadPolicy(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("policy: %v", err)
+		}
+		log.Printf("publishing policy from %s (%d rules)", *policyPath, len(policy.Rules))
+	} else {
+		log.Printf("publishing the built-in policy (%d rules)", len(policy.Rules))
+	}
+	if err := srv.SetPolicy(policy); err != nil {
+		log.Fatalf("publish policy: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("phi context server listening on %s", *listen)
+		errc <- srv.ListenAndServe(*listen)
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+		srv.Close()
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	}
+	handled, rejected := srv.Stats()
+	log.Printf("served %d requests (%d rejected)", handled, rejected)
+}
+
+// pathFlags collects repeated -path name=capacity flags.
+type pathFlags []struct {
+	name     string
+	capacity int64
+}
+
+func (p *pathFlags) String() string {
+	var parts []string
+	for _, e := range *p {
+		parts = append(parts, fmt.Sprintf("%s=%d", e.name, e.capacity))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *pathFlags) Set(v string) error {
+	name, capStr, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=bitsPerSecond, got %q", v)
+	}
+	c, err := strconv.ParseInt(capStr, 10, 64)
+	if err != nil || c <= 0 {
+		return fmt.Errorf("bad capacity in %q", v)
+	}
+	*p = append(*p, struct {
+		name     string
+		capacity int64
+	}{name, c})
+	return nil
+}

@@ -1,0 +1,30 @@
+// Package repro is a from-scratch Go reproduction of "Rethinking
+// Networking for 'Five Computers'" (Renganathan, Padmanabhan, Nambi —
+// HotNets-XVII, 2018): the Phi proposal for sharing network state and
+// coordinating congestion control across the senders of a large cloud
+// provider.
+//
+// The repository contains the complete system the paper describes plus
+// every substrate it depends on, all on the standard library only:
+//
+//   - internal/sim        — deterministic packet-level network simulator
+//   - internal/tcp        — TCP with SACK recovery; CUBIC and NewReno
+//   - internal/workload   — the paper's on/off and persistent traffic models
+//   - internal/metrics    — the power metric P, P_l, ln(P); quantiles, CDFs
+//   - internal/phi        — the core contribution: congestion context,
+//     context server, parameter policies, sweeps
+//   - internal/phiwire    — the context-server protocol over real TCP
+//   - internal/remy       — Remy-style learned congestion control and the
+//     Phi utilization extension (Table 3)
+//   - internal/ipfix      — RFC 7011-subset codec, 1:4096 sampling, the
+//     Section 2.1 flow-sharing analysis
+//   - internal/diagnosis  — sliced telemetry, anomaly detection, outage
+//     localization (Figure 5)
+//   - internal/predict    — performance prediction (Section 3.5)
+//   - internal/priority   — weighted ensembles across flows (Section 3.3)
+//   - internal/experiments — regenerates every table and figure
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results next to the paper's. The benchmarks in bench_test.go regenerate
+// each table and figure; cmd/phi-experiments prints them.
+package repro

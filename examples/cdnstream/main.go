@@ -1,0 +1,75 @@
+// cdnstream: prioritization across one entity's flows (Section 3.3).
+//
+// A CDN pushes HD video streams and bulk prefetch transfers through the
+// same bottleneck. With autonomous senders, each flow gets a TCP-fair
+// share regardless of importance. With the Phi ensemble, the entity
+// coordinates: video flows get weight 3, bulk flows weight 1, and the
+// ensemble as a whole stays exactly as aggressive as the same number of
+// standard flows.
+//
+// Run with:
+//
+//	go run ./examples/cdnstream
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/priority"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+func main() {
+	const videoFlows, bulkFlows = 2, 2
+	const horizon = 60 * sim.Second
+
+	run := func(coordinated bool) (videoMbps, bulkMbps float64) {
+		eng := sim.NewEngine()
+		d := sim.NewDumbbell(eng, sim.DefaultDumbbell(videoFlows+bulkFlows))
+
+		alloc := priority.NewAllocator([]priority.Class{
+			{Name: "video", Share: 3},
+			{Name: "bulk", Share: 1},
+		}, 0.1)
+		ens := priority.NewEnsemble()
+
+		var video, bulk []*tcp.Sender
+		mk := func(i int, class string) *tcp.Sender {
+			var cc tcp.CongestionControl
+			if coordinated {
+				cc = ens.Join(alloc.Join(class))
+			} else {
+				cc = tcp.NewCubic(tcp.DefaultCubicParams())
+			}
+			s, _ := tcp.Connect(eng, sim.FlowID(i+1), d.Senders[i], d.Receivers[i], 0, cc, tcp.Config{})
+			s.Start()
+			return s
+		}
+		for i := 0; i < videoFlows; i++ {
+			video = append(video, mk(i, "video"))
+		}
+		for i := 0; i < bulkFlows; i++ {
+			bulk = append(bulk, mk(videoFlows+i, "bulk"))
+		}
+		eng.RunUntil(horizon)
+
+		sum := func(ss []*tcp.Sender) float64 {
+			var bytes int64
+			for _, s := range ss {
+				bytes += s.Stats().BytesAcked
+			}
+			return float64(bytes) * 8 / horizon.Seconds() / 1e6
+		}
+		return sum(video), sum(bulk)
+	}
+
+	fmt.Println("cdnstream: 2 HD video + 2 bulk flows, 15 Mbit/s bottleneck, 60 s")
+	fmt.Printf("%-28s %14s %14s %10s\n", "", "video Mbit/s", "bulk Mbit/s", "ratio")
+	v, b := run(false)
+	fmt.Printf("%-28s %14.2f %14.2f %10.2f\n", "autonomous (TCP-fair)", v, b, v/b)
+	v, b = run(true)
+	fmt.Printf("%-28s %14.2f %14.2f %10.2f\n", "Phi ensemble (3:1 weights)", v, b, v/b)
+	fmt.Println("\nThe ensemble shifts bandwidth toward the important flows while its")
+	fmt.Println("aggregate stays TCP-friendly (weights sum to the flow count).")
+}

@@ -1,0 +1,63 @@
+// forecast: performance prediction (Section 3.5).
+//
+// A provider accumulates per-cluster performance history from its own
+// flows (here: simulated transfers over two different-quality paths) and
+// answers, before a transfer or call starts, how it is likely to go.
+//
+// Run with:
+//
+//	go run ./examples/forecast
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/predict"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// collect runs an on/off workload over a dumbbell and feeds every
+// finished flow's stats into the history store under the given key.
+func collect(store *predict.Store, key predict.Key, rate int64, senders int) {
+	db := sim.DefaultDumbbell(senders)
+	db.BottleneckRate = rate
+	sc := workload.Scenario{
+		Dumbbell:    db,
+		MeanOnBytes: 500_000,
+		MeanOffTime: sim.Second,
+		Duration:    60 * sim.Second,
+		Warmup:      2 * sim.Second,
+		Seed:        7,
+		CC: func(int) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) }
+		},
+		OnEnd: func(_ int, st *tcp.FlowStats) { store.AddFlowStats(key, st) },
+	}
+	workload.Run(sc)
+}
+
+func main() {
+	store := predict.NewStore(0)
+	good := predict.Key{Cluster: "fiber-metro", Service: "video"}
+	bad := predict.Key{Cluster: "congested-isp", Service: "video"}
+
+	// Build history: one well-provisioned path, one congested path.
+	collect(store, good, 50_000_000, 2)
+	collect(store, bad, 3_000_000, 8)
+
+	fmt.Println("forecast: what will a 25 MB download and a voice call feel like?")
+	for _, key := range []predict.Key{good, bad} {
+		fmt.Printf("\ncluster %q (%d samples)\n", key.Cluster, store.Count(key))
+		tf := store.PredictTransfer(key, 25_000_000)
+		fmt.Printf("  25 MB download: expected %v (optimistic %v, pessimistic %v)\n",
+			tf.Expected, tf.Optimistic, tf.Pessimistic)
+		cf := store.PredictCall(key)
+		fmt.Printf("  voice call: MOS %.2f -> %q (median RTT %v, loss %.2f%%)\n",
+			cf.MOS, cf.Quality(), cf.RTT, 100*cf.LossRate)
+		if cf.Quality() == predict.QualityPoor {
+			fmt.Println("  => the application can warn the user before the call")
+		}
+	}
+}

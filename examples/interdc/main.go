@@ -1,0 +1,84 @@
+// interdc: Phi on a provider's inter-DC WAN (Section 3.1).
+//
+// The paper argues that beyond user-facing networks, "large providers can
+// also fruitfully deploy Phi on their inter-DC WANs": coarse-grained
+// bandwidth allocation (B4, SWAN) does not eliminate congestion, so
+// informed adaptation of transmission rates still pays. Here a 3-hop
+// parking-lot WAN carries a 500 KB inter-DC transfer end to end, launched
+// either blind (default Cubic) or informed by the per-hop congestion
+// contexts (adapting to the worst hop) — once on an idle WAN and once
+// with cross traffic saturating the middle hop.
+//
+// Run with:
+//
+//	go run ./examples/interdc
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/phi"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+const transferBytes = 500_000
+
+func run(informed, loaded bool) (done sim.Time, rexmits int64, params tcp.CubicParams) {
+	eng := sim.NewEngine()
+	cfg := sim.DefaultParkingLot(3)
+	cfg.HopRate = 20_000_000
+	pl := sim.NewParkingLot(eng, cfg)
+
+	// Per-hop utilization probes: one congestion context per hop.
+	var probes []*sim.RateProbe
+	for _, hop := range pl.Hops {
+		probes = append(probes, sim.NewRateProbe(eng, hop.Monitor(), 100*sim.Millisecond, sim.Second))
+	}
+
+	if loaded {
+		// A bulk replication job saturates hop 1.
+		cross, _ := tcp.Connect(eng, 100, pl.CrossSenders[1], pl.CrossReceivers[1], 0,
+			tcp.NewCubic(tcp.DefaultCubicParams()), tcp.Config{})
+		cross.Start()
+	}
+	eng.RunUntil(5 * sim.Second) // reach steady state
+
+	params = tcp.DefaultCubicParams()
+	if informed {
+		worst := phi.Context{}
+		for _, p := range probes {
+			if u := p.Utilization(); u > worst.U {
+				worst.U = u
+			}
+		}
+		params = phi.DefaultPolicy().Params(worst)
+	}
+	start := eng.Now()
+	long, _ := tcp.Connect(eng, 1, pl.LongSender, pl.LongReceiver, transferBytes,
+		tcp.NewCubic(params), tcp.Config{})
+	long.Start()
+	eng.RunUntil(300 * sim.Second)
+	st := long.Stats()
+	return st.End - start, st.Retransmits, params
+}
+
+func main() {
+	fmt.Println("interdc: 500 KB transfer across a 3-hop WAN (20 Mbit/s hops, 64 ms RTT)")
+	fmt.Printf("\n%-34s %12s %9s   %s\n", "", "completion", "rexmits", "launch params")
+	row := func(name string, informed, loaded bool) {
+		done, rex, p := run(informed, loaded)
+		fmt.Printf("%-34s %12v %9d   %v\n", name, done, rex, p)
+	}
+	row("idle WAN, blind", false, false)
+	row("idle WAN, Phi-informed", true, false)
+	row("hop 1 saturated, blind", false, true)
+	row("hop 1 saturated, Phi-informed", true, true)
+	fmt.Println(`
+On the idle WAN the informed launch starts near its fair share instead of
+discovering it from two segments, cutting several RTTs off the transfer.
+With hop 1 saturated by a blind bulk flow the advantage shrinks — the
+paper's own caveat: under FIFO queues and high utilization, a cooperating
+minority cannot insulate itself from non-cooperators (Sections 2.2.3, 3.1).
+Per-hop path keys are how Phi composes across a multi-hop WAN.`)
+}

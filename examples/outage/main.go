@@ -1,0 +1,56 @@
+// outage: unreachability detection and localization (Section 3.4 /
+// Figure 5).
+//
+// A cloud provider's request telemetry, sliced by service, client ISP and
+// metro, is modeled with seasonal baselines. We inject a two-hour outage
+// confined to one ISP in one metro — the Figure 5 event — then let the
+// detector find it and the localizer name the culprit.
+//
+// Run with:
+//
+//	go run ./examples/outage
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/diagnosis"
+)
+
+func main() {
+	cfg := diagnosis.DefaultGenConfig()
+	cfg.Outage = &diagnosis.Outage{
+		ISP:         "isp-5",
+		Metro:       "tokyo",
+		StartMinute: 2*24*60 + 14*60 + 30, // day 3, 14:30
+		DurationMin: 118,                  // "around 2 hours"
+		Severity:    0.85,
+	}
+	store := diagnosis.Generate(cfg)
+	fmt.Printf("telemetry: %d slices x %d minutes (3 days, 1-minute buckets)\n",
+		len(store.Slices()), store.Minutes())
+	fmt.Printf("injected: %s/%s, minutes [%d, %d), %.0f%% of traffic lost\n\n",
+		cfg.Outage.ISP, cfg.Outage.Metro, cfg.Outage.StartMinute,
+		cfg.Outage.StartMinute+cfg.Outage.DurationMin, 100*cfg.Outage.Severity)
+
+	findings := diagnosis.Scan(store, diagnosis.DetectConfig{})
+	if len(findings) == 0 {
+		fmt.Println("no anomalies detected")
+		return
+	}
+	fmt.Printf("detector: %d scoped findings; the narrowest:\n", len(findings))
+	best := diagnosis.Narrowest(findings)
+	fmt.Printf("  %v\n", *best)
+	fmt.Printf("  duration %d minutes, depth %.0f%%\n\n",
+		best.Event.Duration(), 100*best.Event.Depth)
+
+	loc := diagnosis.Localize(store, best.Event, diagnosis.LocalizeConfig{})
+	fmt.Printf("localizer: %v\n", loc)
+	fmt.Printf("  deficit coverage by dimension: service %.2f, isp %.2f, metro %.2f\n",
+		loc.Coverage[diagnosis.DimService],
+		loc.Coverage[diagnosis.DimISP],
+		loc.Coverage[diagnosis.DimMetro])
+	fmt.Println("\nService is (correctly) not pinned: all services dropped together,")
+	fmt.Println("so this is a network event, not an application event — the kind of")
+	fmt.Println("call the paper argues only the provider-side aggregate view can make.")
+}

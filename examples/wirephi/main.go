@@ -1,0 +1,115 @@
+// wirephi: the Phi context server over real TCP.
+//
+// Everything in the other examples keeps the shared state in-process.
+// Here a phiwire server listens on loopback and a fleet of concurrent
+// "senders" (goroutines standing in for hosts across a datacenter) run
+// the full practical protocol: look up the congestion context at
+// connection start, report measurements at connection end. One sender
+// then loses the server and demonstrates graceful fallback to defaults.
+//
+// Run with:
+//
+//	go run ./examples/wirephi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/phi"
+	"repro/internal/phiwire"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+func main() {
+	backend := phi.NewServer(
+		func() sim.Time { return sim.Time(time.Now().UnixNano()) },
+		phi.ServerConfig{Window: 5 * sim.Second},
+	)
+	backend.RegisterPath("edge/emea", 100_000_000)
+
+	srv := phiwire.NewServer(backend, nil)
+	if err := srv.SetPolicy(phi.DefaultPolicy()); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // returns on Close
+	addr := ln.Addr().String()
+	fmt.Printf("context server on %s\n\n", addr)
+
+	const hosts = 16
+	const connsPerHost = 20
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	contexts := map[int]phi.Context{}
+
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(h)))
+			client := phiwire.Dial(addr, time.Second)
+			defer client.Close()
+			// Zero-config bootstrap: the host knows only the server address
+			// and fetches the parameter policy from it.
+			policy, err := client.FetchPolicy()
+			if err != nil {
+				log.Fatalf("host %d: fetch policy: %v", h, err)
+			}
+			pc := &phi.Client{Source: client, Reporter: client,
+				Policy: policy, Path: "edge/emea"}
+			for c := 0; c < connsPerHost; c++ {
+				params := pc.ParamsForNewConnection()
+				if !params.Valid() {
+					log.Fatalf("host %d got invalid params", h)
+				}
+				pc.OnStart(sim.FlowID(c))
+				// Pretend to have run a transfer and report it back.
+				bytes := int64(100_000 + rng.Intn(900_000))
+				dur := sim.Time(200+rng.Intn(800)) * sim.Millisecond
+				pc.OnEnd(&tcp.FlowStats{
+					BytesAcked: bytes,
+					Start:      0,
+					End:        dur,
+					RTTCount:   1,
+					RTTSum:     sim.Time(150+rng.Intn(60)) * sim.Millisecond,
+					MinRTT:     150 * sim.Millisecond,
+				})
+			}
+			mu.Lock()
+			contexts[h] = pc.LastContext
+			mu.Unlock()
+		}(h)
+	}
+	wg.Wait()
+
+	handled, rejected := srv.Stats()
+	fmt.Printf("server handled %d requests (%d rejected) across %d hosts\n",
+		handled, rejected, hosts)
+	var sample phi.Context
+	for _, c := range contexts {
+		sample = c
+		break
+	}
+	fmt.Printf("a host's last context: %v\n", sample)
+	fmt.Printf("active senders now registered: %d (all reported back)\n\n",
+		backend.ActiveSenders("edge/emea"))
+
+	// Failure injection: kill the server; clients must fall back.
+	srv.Close()
+	orphan := phiwire.Dial(addr, 200*time.Millisecond)
+	defer orphan.Close()
+	pc := &phi.Client{Source: orphan, Policy: phi.DefaultPolicy(), Path: "edge/emea"}
+	params := pc.ParamsForNewConnection()
+	fmt.Printf("after server shutdown: fallback params %v (fallbacks=%d)\n",
+		params, pc.Fallbacks)
+	fmt.Println("=> a Phi sender degrades to an unmodified sender when the control plane is down")
+}

@@ -1,0 +1,143 @@
+// Package adapt implements Section 3.2, "Benefits of Sharing without
+// Cooperation": even when the majority of senders do not cooperate (so
+// the congestion state of FIFO-queued paths cannot be improved), a
+// minority that shares information can still adapt itself better. The
+// paper gives two concrete examples, both built here:
+//
+//   - jitter buffers for audio/video "initialized and updated over time
+//     based on the shared information" — JitterAdvisor aggregates delay
+//     observations across a cohort's connections and recommends an
+//     initial playout buffer;
+//   - "the threshold of 3 duplicate ACKs typically used to trigger TCP
+//     fast retransmission could be adjusted if the experience of other
+//     connections suggests that reordering is prevalent" —
+//     ReorderAdvisor aggregates spurious-retransmission observations and
+//     recommends a dupack threshold.
+package adapt
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// JitterAdvisor aggregates delay-variation observations from a cohort's
+// flows (each flow reports its RTT spread) and recommends a jitter-buffer
+// size for new streams, so the first seconds of a call are neither choppy
+// (buffer too small) nor needlessly laggy (too large).
+//
+// Safe for concurrent use: many hosts of one entity report into it.
+type JitterAdvisor struct {
+	mu      sync.Mutex
+	cap     int
+	spreads []float64 // observed delay variation, nanoseconds
+}
+
+// NewJitterAdvisor keeps the most recent capSamples observations
+// (default 4096).
+func NewJitterAdvisor(capSamples int) *JitterAdvisor {
+	if capSamples <= 0 {
+		capSamples = 4096
+	}
+	return &JitterAdvisor{cap: capSamples}
+}
+
+// Report records a flow's observed delay variation (e.g. maxRTT-minRTT,
+// or per-packet jitter if available).
+func (a *JitterAdvisor) Report(spread sim.Time) {
+	if spread < 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spreads = append(a.spreads, float64(spread))
+	if len(a.spreads) > a.cap {
+		a.spreads = a.spreads[len(a.spreads)-a.cap:]
+	}
+}
+
+// Samples returns the number of observations held.
+func (a *JitterAdvisor) Samples() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.spreads)
+}
+
+// Buffer recommends a playout buffer: the q-quantile of the cohort's
+// observed delay variation (q = 0.95 is a sensible default), floored at
+// min. With no history it returns min — a fresh stream without shared
+// information is no worse off than today.
+func (a *JitterAdvisor) Buffer(q float64, min sim.Time) sim.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.spreads) == 0 {
+		return min
+	}
+	b := sim.Time(metrics.Quantile(a.spreads, q))
+	if b < min {
+		return min
+	}
+	return b
+}
+
+// ReorderAdvisor aggregates evidence of packet reordering — the fraction
+// of retransmissions that turned out to be spurious (the receiver already
+// had the data) — and recommends the fast-retransmit duplicate-ack
+// threshold for new connections on the path.
+type ReorderAdvisor struct {
+	mu sync.Mutex
+	// EWMA of the spurious-retransmission fraction.
+	ewma *metrics.EWMA
+	// MinThreshold / MaxThreshold bound the recommendation (3..8 by
+	// default: never below the RFC value, never so high that real loss
+	// recovery stalls into timeouts).
+	MinThreshold, MaxThreshold int
+}
+
+// NewReorderAdvisor returns an advisor with the default 3..8 range and an
+// EWMA gain of 0.25.
+func NewReorderAdvisor() *ReorderAdvisor {
+	return &ReorderAdvisor{ewma: metrics.NewEWMA(0.25), MinThreshold: 3, MaxThreshold: 8}
+}
+
+// Report records one connection's spurious-retransmission fraction:
+// spurious / total retransmissions (0 when there were none).
+func (a *ReorderAdvisor) Report(spuriousFrac float64) {
+	if spuriousFrac < 0 {
+		spuriousFrac = 0
+	}
+	if spuriousFrac > 1 {
+		spuriousFrac = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ewma.Add(spuriousFrac)
+}
+
+// SpuriousFraction returns the current aggregate estimate.
+func (a *ReorderAdvisor) SpuriousFraction() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ewma.Value()
+}
+
+// Threshold recommends the dupack threshold: 3 when retransmissions are
+// almost always genuine, rising linearly to MaxThreshold as the cohort's
+// spurious fraction approaches 1 (heavy reordering).
+func (a *ReorderAdvisor) Threshold() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.ewma.Initialized() {
+		return a.MinThreshold
+	}
+	span := float64(a.MaxThreshold - a.MinThreshold)
+	t := a.MinThreshold + int(a.ewma.Value()*span+0.5)
+	if t < a.MinThreshold {
+		t = a.MinThreshold
+	}
+	if t > a.MaxThreshold {
+		t = a.MaxThreshold
+	}
+	return t
+}

@@ -1,0 +1,177 @@
+package adapt
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+func TestJitterAdvisorQuantile(t *testing.T) {
+	a := NewJitterAdvisor(0)
+	for i := 1; i <= 100; i++ {
+		a.Report(sim.Time(i) * sim.Millisecond)
+	}
+	if a.Samples() != 100 {
+		t.Fatalf("samples = %d", a.Samples())
+	}
+	b := a.Buffer(0.95, 0)
+	if b < 90*sim.Millisecond || b > 100*sim.Millisecond {
+		t.Errorf("p95 buffer = %v, want ~95ms", b)
+	}
+	// Floor applies.
+	if got := a.Buffer(0.01, 50*sim.Millisecond); got != 50*sim.Millisecond {
+		t.Errorf("floored buffer = %v", got)
+	}
+}
+
+func TestJitterAdvisorNoHistoryReturnsFloor(t *testing.T) {
+	a := NewJitterAdvisor(0)
+	if got := a.Buffer(0.95, 20*sim.Millisecond); got != 20*sim.Millisecond {
+		t.Errorf("empty advisor buffer = %v, want floor", got)
+	}
+	a.Report(-sim.Second) // invalid, ignored
+	if a.Samples() != 0 {
+		t.Error("negative spread recorded")
+	}
+}
+
+func TestJitterAdvisorEvictsOldest(t *testing.T) {
+	a := NewJitterAdvisor(10)
+	for i := 0; i < 50; i++ {
+		a.Report(sim.Millisecond)
+	}
+	if a.Samples() != 10 {
+		t.Errorf("samples = %d, want capped 10", a.Samples())
+	}
+}
+
+func TestReorderAdvisorThresholdRange(t *testing.T) {
+	a := NewReorderAdvisor()
+	if a.Threshold() != 3 {
+		t.Errorf("uninformed threshold = %d, want 3 (RFC default)", a.Threshold())
+	}
+	// Clean path: stays at 3.
+	for i := 0; i < 20; i++ {
+		a.Report(0)
+	}
+	if a.Threshold() != 3 {
+		t.Errorf("clean-path threshold = %d", a.Threshold())
+	}
+	// Heavy reordering: rises toward the cap.
+	for i := 0; i < 20; i++ {
+		a.Report(1)
+	}
+	if a.Threshold() != 8 {
+		t.Errorf("reordering-path threshold = %d, want 8", a.Threshold())
+	}
+	// Clamping of inputs.
+	a.Report(5)
+	a.Report(-5)
+	if f := a.SpuriousFraction(); f < 0 || f > 1 {
+		t.Errorf("spurious fraction = %v", f)
+	}
+}
+
+func TestAdvisorsConcurrentUse(t *testing.T) {
+	j := NewJitterAdvisor(100)
+	r := NewReorderAdvisor()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Report(sim.Millisecond)
+				j.Buffer(0.9, 0)
+				r.Report(0.5)
+				r.Threshold()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// reorderPath wires sender -> link -> impairment -> receiver node plus a
+// clean reverse path, and runs one transfer with the given threshold.
+func runOverReorderingPath(t *testing.T, threshold int, seed int64) (spuriousFrac float64, st tcp.FlowStats, dups int64) {
+	t.Helper()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	snd := sim.NewNode(eng, 1, "snd")
+	rcv := sim.NewNode(eng, 2, "rcv")
+
+	imp := sim.NewImpairedLink(eng, rng, rcv, sim.Impairments{
+		ReorderRate:  0.05,
+		ReorderDelay: 10 * sim.Millisecond,
+	})
+	fwd := sim.NewLink(eng, "fwd", 10_000_000, 20*sim.Millisecond, 1<<20, imp)
+	rev := sim.NewLink(eng, "rev", 10_000_000, 20*sim.Millisecond, 1<<20, snd)
+	snd.SetDefaultRoute(fwd)
+	rcv.SetDefaultRoute(rev)
+
+	sender, receiver := tcp.Connect(eng, 1, snd, rcv, 3_000_000, tcp.NewCubic(tcp.DefaultCubicParams()),
+		tcp.Config{DupAckThreshold: threshold})
+	sender.Start()
+	eng.RunUntil(120 * sim.Second)
+	st = sender.Stats()
+	if !sender.Done() || st.BytesAcked != 3_000_000 {
+		t.Fatalf("threshold %d: transfer incomplete (%d bytes)", threshold, st.BytesAcked)
+	}
+	if st.Retransmits > 0 {
+		spuriousFrac = float64(receiver.Duplicates) / float64(st.Retransmits)
+		if spuriousFrac > 1 {
+			spuriousFrac = 1
+		}
+	}
+	return spuriousFrac, st, receiver.Duplicates
+}
+
+// TestInformedDupAckAdaptation is the Section 3.2 reproduction: on a path
+// with prevalent reordering, connections using the shared-experience
+// threshold retransmit spuriously far less than RFC-default connections,
+// without losing goodput.
+func TestInformedDupAckAdaptation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	advisor := NewReorderAdvisor()
+
+	// A first cohort of default connections discovers the problem.
+	var defaultDups int64
+	var defaultStats tcp.FlowStats
+	for i := 0; i < 3; i++ {
+		frac, st, dups := runOverReorderingPath(t, 3, int64(100+i))
+		advisor.Report(frac)
+		defaultDups += dups
+		defaultStats = st
+	}
+	if defaultDups == 0 {
+		t.Fatal("reordering path produced no spurious retransmissions at threshold 3")
+	}
+	rec := advisor.Threshold()
+	if rec <= 3 {
+		t.Fatalf("advisor did not raise the threshold: %d (spurious %.2f)",
+			rec, advisor.SpuriousFraction())
+	}
+
+	// New connections adopt the shared recommendation.
+	var informedDups int64
+	var informedStats tcp.FlowStats
+	for i := 0; i < 3; i++ {
+		_, st, dups := runOverReorderingPath(t, rec, int64(100+i))
+		informedDups += dups
+		informedStats = st
+	}
+	t.Logf("threshold 3: %d spurious rexmits, %.2f Mbps; threshold %d: %d spurious, %.2f Mbps",
+		defaultDups, defaultStats.ThroughputBps()/1e6, rec, informedDups, informedStats.ThroughputBps()/1e6)
+	if informedDups >= defaultDups {
+		t.Errorf("informed threshold %d did not reduce spurious retransmissions: %d vs %d",
+			rec, informedDups, defaultDups)
+	}
+	if informedStats.ThroughputBps() < 0.7*defaultStats.ThroughputBps() {
+		t.Errorf("informed threshold cost too much throughput: %.2f vs %.2f Mbps",
+			informedStats.ThroughputBps()/1e6, defaultStats.ThroughputBps()/1e6)
+	}
+}

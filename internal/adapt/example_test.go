@@ -1,0 +1,33 @@
+package adapt_test
+
+import (
+	"fmt"
+
+	"repro/internal/adapt"
+	"repro/internal/sim"
+)
+
+// Cohort experience raises the fast-retransmit threshold on a path with
+// prevalent reordering (Section 3.2).
+func ExampleReorderAdvisor() {
+	advisor := adapt.NewReorderAdvisor()
+	fmt.Println("before:", advisor.Threshold())
+	for i := 0; i < 10; i++ {
+		advisor.Report(0.8) // 80% of retransmissions were spurious
+	}
+	fmt.Println("after:", advisor.Threshold())
+	// Output:
+	// before: 3
+	// after: 7
+}
+
+// Size a jitter buffer from the cohort's observed delay variation.
+func ExampleJitterAdvisor() {
+	advisor := adapt.NewJitterAdvisor(0)
+	for i := 1; i <= 100; i++ {
+		advisor.Report(sim.Time(i) * sim.Millisecond)
+	}
+	fmt.Println("p95 buffer:", advisor.Buffer(0.95, 20*sim.Millisecond))
+	// Output:
+	// p95 buffer: 95.05ms
+}

@@ -1,0 +1,207 @@
+// Package aggregate implements the privacy-preserving aggregation
+// Section 3.1 leans on for sharing across mutually-competing entities:
+// "The information to be shared between providers, to establish a common
+// barometer on the network weather, would be minimal (e.g. the level of
+// congestion in a particular part of the network). Work on secure
+// multiparty computation and anonymous aggregation could be leveraged to
+// further shield such information sharing."
+//
+// The scheme is additive secret sharing over Z_2^64 (the SEPIA /
+// Roughan-Zhang construction the paper cites): each provider splits its
+// private measurement into one share per participant, uniformly random
+// but summing (mod 2^64) to the value. Every participant only ever sees
+// one share of each peer's value — individually uniform noise — yet the
+// sum of everything reconstructs the exact total, from which the cohort
+// learns the aggregate "network weather" and nothing else.
+package aggregate
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Split divides value into n shares summing to value mod 2^64. Each of
+// the first n-1 shares is independently uniform; the last absorbs the
+// difference. n must be at least 1.
+func Split(value uint64, n int) ([]uint64, error) {
+	if n < 1 {
+		return nil, errors.New("aggregate: need at least one share")
+	}
+	shares := make([]uint64, n)
+	var sum uint64
+	for i := 0; i < n-1; i++ {
+		r, err := randomUint64()
+		if err != nil {
+			return nil, err
+		}
+		shares[i] = r
+		sum += r
+	}
+	shares[n-1] = value - sum // wraps mod 2^64
+	return shares, nil
+}
+
+// Combine sums shares mod 2^64.
+func Combine(shares []uint64) uint64 {
+	var sum uint64
+	for _, s := range shares {
+		sum += s
+	}
+	return sum
+}
+
+func randomUint64() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// FractionScale is the fixed-point scale for encoding fractions (e.g.
+// utilization or loss rates) as integers: six decimal digits.
+const FractionScale = 1_000_000
+
+// EncodeFraction turns a fraction in [0, ~18e12] into fixed point.
+func EncodeFraction(f float64) uint64 {
+	if f < 0 {
+		f = 0
+	}
+	return uint64(f*FractionScale + 0.5)
+}
+
+// DecodeFraction reverses EncodeFraction.
+func DecodeFraction(v uint64) float64 {
+	return float64(v) / FractionScale
+}
+
+// Session runs one aggregation round among n parties, in the standard
+// two-phase dance:
+//
+//  1. every party i splits its private value into n shares and sends
+//     share j to party j (Contribute);
+//  2. every party j sums the shares it received into a partial sum and
+//     publishes it (PartialSum);
+//  3. anyone sums the n partial sums to obtain the exact total (Total).
+//
+// The Session plays all mailbox roles in-process; a deployment would put
+// each mailbox on a different provider. It is safe for concurrent use —
+// parties contribute from separate goroutines.
+type Session struct {
+	n int
+
+	mu          sync.Mutex
+	mailbox     [][]uint64 // mailbox[j] = shares received by party j
+	contributed map[int]bool
+}
+
+// NewSession creates a round for n parties (n >= 2: with a single party
+// there is nothing to hide from).
+func NewSession(n int) (*Session, error) {
+	if n < 2 {
+		return nil, errors.New("aggregate: need at least two parties")
+	}
+	return &Session{n: n, mailbox: make([][]uint64, n), contributed: make(map[int]bool)}, nil
+}
+
+// Parties returns the party count.
+func (s *Session) Parties() int { return s.n }
+
+// Contribute splits party's private value and distributes the shares.
+// Each party may contribute exactly once per session.
+func (s *Session) Contribute(party int, value uint64) error {
+	if party < 0 || party >= s.n {
+		return fmt.Errorf("aggregate: party %d out of range", party)
+	}
+	shares, err := Split(value, s.n)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.contributed[party] {
+		return fmt.Errorf("aggregate: party %d already contributed", party)
+	}
+	s.contributed[party] = true
+	for j, share := range shares {
+		s.mailbox[j] = append(s.mailbox[j], share)
+	}
+	return nil
+}
+
+// Complete reports whether every party has contributed.
+func (s *Session) Complete() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.contributed) == s.n
+}
+
+// PartialSum returns party j's published partial: the sum of the shares
+// in its mailbox. Calling before the round is complete returns an error —
+// publishing early would leak information about the stragglers.
+func (s *Session) PartialSum(party int) (uint64, error) {
+	if party < 0 || party >= s.n {
+		return 0, fmt.Errorf("aggregate: party %d out of range", party)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.contributed) != s.n {
+		return 0, errors.New("aggregate: round incomplete")
+	}
+	return Combine(s.mailbox[party]), nil
+}
+
+// Total reconstructs the exact sum of all private values.
+func (s *Session) Total() (uint64, error) {
+	s.mu.Lock()
+	if len(s.contributed) != s.n {
+		s.mu.Unlock()
+		return 0, errors.New("aggregate: round incomplete")
+	}
+	partials := make([]uint64, s.n)
+	for j := range s.mailbox {
+		partials[j] = Combine(s.mailbox[j])
+	}
+	s.mu.Unlock()
+	return Combine(partials), nil
+}
+
+// Barometer is the application of Session to the paper's use case: a
+// cohort of providers periodically aggregates per-path congestion levels
+// ("the network weather") without any provider revealing its own.
+type Barometer struct {
+	parties int
+}
+
+// NewBarometer creates a barometer for the given cohort size.
+func NewBarometer(parties int) (*Barometer, error) {
+	if parties < 2 {
+		return nil, errors.New("aggregate: a barometer needs at least two providers")
+	}
+	return &Barometer{parties: parties}, nil
+}
+
+// MeanCongestion runs one round: each provider's private congestion level
+// (a fraction) goes in; the cohort mean comes out.
+func (b *Barometer) MeanCongestion(levels []float64) (float64, error) {
+	if len(levels) != b.parties {
+		return 0, fmt.Errorf("aggregate: got %d levels for %d providers", len(levels), b.parties)
+	}
+	s, err := NewSession(b.parties)
+	if err != nil {
+		return 0, err
+	}
+	for i, l := range levels {
+		if err := s.Contribute(i, EncodeFraction(l)); err != nil {
+			return 0, err
+		}
+	}
+	total, err := s.Total()
+	if err != nil {
+		return 0, err
+	}
+	return DecodeFraction(total) / float64(b.parties), nil
+}

@@ -1,0 +1,185 @@
+package aggregate
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitCombineRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10} {
+		shares, err := Split(12345, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shares) != n {
+			t.Fatalf("%d shares for n=%d", len(shares), n)
+		}
+		if got := Combine(shares); got != 12345 {
+			t.Errorf("n=%d: combined = %d", n, got)
+		}
+	}
+	if _, err := Split(1, 0); err == nil {
+		t.Error("Split with 0 parties succeeded")
+	}
+}
+
+// Property: splitting any value into any number of shares reconstructs
+// exactly, including across mod-2^64 wraparound.
+func TestSplitCombineProperty(t *testing.T) {
+	f := func(value uint64, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		shares, err := Split(value, n)
+		if err != nil {
+			return false
+		}
+		return Combine(shares) == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharesLookNothingLikeTheValue(t *testing.T) {
+	// Individual shares are uniformly random: across many rounds, the
+	// first share should essentially never equal the (small) value.
+	const value = 42
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		shares, err := Split(value, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shares[0] == value || shares[1] == value {
+			hits++
+		}
+	}
+	if hits > 2 {
+		t.Errorf("random shares matched the value %d/1000 times", hits)
+	}
+}
+
+func TestSessionProtocol(t *testing.T) {
+	s, err := NewSession(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Parties() != 3 {
+		t.Errorf("parties = %d", s.Parties())
+	}
+	values := []uint64{100, 200, 300}
+	for i, v := range values {
+		if err := s.Contribute(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Complete() {
+		t.Fatal("round should be complete")
+	}
+	total, err := s.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 600 {
+		t.Errorf("total = %d, want 600", total)
+	}
+	// Partials also reconstruct.
+	var sum uint64
+	for j := 0; j < 3; j++ {
+		p, err := s.PartialSum(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += p
+	}
+	if sum != 600 {
+		t.Errorf("partials sum = %d", sum)
+	}
+}
+
+func TestSessionGuards(t *testing.T) {
+	if _, err := NewSession(1); err == nil {
+		t.Error("single-party session allowed")
+	}
+	s, _ := NewSession(2)
+	if err := s.Contribute(5, 1); err == nil {
+		t.Error("out-of-range party accepted")
+	}
+	if err := s.Contribute(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Contribute(0, 2); err == nil {
+		t.Error("double contribution accepted")
+	}
+	// Early publication refused (would leak stragglers' absence).
+	if _, err := s.Total(); err == nil {
+		t.Error("incomplete total returned")
+	}
+	if _, err := s.PartialSum(0); err == nil {
+		t.Error("incomplete partial returned")
+	}
+	if _, err := s.PartialSum(9); err == nil {
+		t.Error("out-of-range partial accepted")
+	}
+	if s.Complete() {
+		t.Error("incomplete round reported complete")
+	}
+}
+
+func TestSessionConcurrentContributions(t *testing.T) {
+	const n = 16
+	s, _ := NewSession(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Contribute(i, uint64(i)); err != nil {
+				t.Errorf("party %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	total, err := s.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != n*(n-1)/2 {
+		t.Errorf("total = %d, want %d", total, n*(n-1)/2)
+	}
+}
+
+func TestFractionFixedPoint(t *testing.T) {
+	for _, f := range []float64{0, 0.25, 0.731, 1, 99.5} {
+		got := DecodeFraction(EncodeFraction(f))
+		if math.Abs(got-f) > 1.0/FractionScale {
+			t.Errorf("round trip %v -> %v", f, got)
+		}
+	}
+	if EncodeFraction(-1) != 0 {
+		t.Error("negative fraction should clamp to 0")
+	}
+}
+
+func TestBarometerMeanCongestion(t *testing.T) {
+	// The paper's scenario: competing providers establish a common
+	// barometer without revealing their individual congestion levels.
+	b, err := NewBarometer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := b.MeanCongestion([]float64{0.9, 0.1, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-0.5) > 1e-5 {
+		t.Errorf("mean = %v, want 0.5", mean)
+	}
+	if _, err := b.MeanCongestion([]float64{0.5}); err == nil {
+		t.Error("wrong cohort size accepted")
+	}
+	if _, err := NewBarometer(1); err == nil {
+		t.Error("single-provider barometer allowed")
+	}
+}

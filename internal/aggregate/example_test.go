@@ -1,0 +1,28 @@
+package aggregate_test
+
+import (
+	"fmt"
+
+	"repro/internal/aggregate"
+)
+
+// Three competing providers establish their common congestion barometer
+// without any of them revealing its own level (Section 3.1).
+func ExampleBarometer_MeanCongestion() {
+	b, _ := aggregate.NewBarometer(3)
+	mean, _ := b.MeanCongestion([]float64{0.8, 0.2, 0.5})
+	fmt.Printf("network weather: %.2f\n", mean)
+	// Output:
+	// network weather: 0.50
+}
+
+// The underlying primitive: additive shares reconstruct the value, each
+// share alone reveals nothing.
+func ExampleSplit() {
+	shares, _ := aggregate.Split(1234, 4)
+	fmt.Println("shares:", len(shares))
+	fmt.Println("combined:", aggregate.Combine(shares))
+	// Output:
+	// shares: 4
+	// combined: 1234
+}

@@ -1,0 +1,146 @@
+// Package cctest holds the congestion-control conformance suite: every
+// controller in the repository — classic, learned, weighted, ensemble —
+// must uphold the same invariants under arbitrary event sequences, and
+// must actually move data end to end through the simulator.
+package cctest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+	"repro/internal/priority"
+	"repro/internal/remy"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// controllers enumerates every CongestionControl implementation.
+func controllers() map[string]func() tcp.CongestionControl {
+	return map[string]func() tcp.CongestionControl{
+		"cubic":   func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) },
+		"newreno": func() tcp.CongestionControl { return tcp.NewNewReno() },
+		"remy":    func() tcp.CongestionControl { return remy.NewCC(remy.DefaultTable(), nil) },
+		"remy-phi": func() tcp.CongestionControl {
+			return remy.NewCC(remy.DefaultPhiTable(), remy.StaticUtil(0.5))
+		},
+		"multcp-w2": func() tcp.CongestionControl { return priority.NewWeighted(2) },
+		"ensemble": func() tcp.CongestionControl {
+			return priority.NewEnsemble().Join(1)
+		},
+	}
+}
+
+// TestControllersSatisfyInvariants drives every controller through random
+// event sequences: the window must stay in [1, 65536+], the ssthresh
+// positive, and the pacing interval non-negative, no matter the order of
+// acks, losses, and timeouts.
+func TestControllersSatisfyInvariants(t *testing.T) {
+	for name, mk := range controllers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			f := func(events []uint8) bool {
+				cc := mk()
+				cc.Init(0)
+				now := sim.Time(0)
+				for _, e := range events {
+					now += sim.Time(e%50) * sim.Millisecond
+					switch e % 5 {
+					case 0, 1, 2: // mostly acks
+						cc.OnAck(tcp.AckInfo{
+							Now: now, SentAt: now - 100*sim.Millisecond,
+							RTT:        sim.Time(100+int(e%7)*30) * sim.Millisecond,
+							AckedBytes: 1448, AckedSegments: 1,
+						})
+					case 3:
+						cc.OnLoss(now)
+					case 4:
+						cc.OnTimeout(now)
+					}
+					if w := cc.Window(); w < 1 || w > 1<<17 {
+						t.Logf("%s: window %v out of range", name, w)
+						return false
+					}
+					if cc.Ssthresh() <= 0 {
+						t.Logf("%s: non-positive ssthresh", name)
+						return false
+					}
+					if cc.PacingInterval() < 0 {
+						t.Logf("%s: negative pacing interval", name)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestControllersCompleteTransfers: every controller completes the same
+// bounded transfer over the lossy (0.5 BDP buffer) dumbbell.
+func TestControllersCompleteTransfers(t *testing.T) {
+	for name, mk := range controllers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			cfg := sim.DefaultDumbbell(1)
+			cfg.BufferBDP = 0.5
+			eng := sim.NewEngine()
+			d := sim.NewDumbbell(eng, cfg)
+			snd, rcv := tcp.Connect(eng, 1, d.Senders[0], d.Receivers[0], 1_500_000, mk(), tcp.Config{})
+			snd.Start()
+			eng.RunUntil(600 * sim.Second)
+			if !snd.Done() {
+				t.Fatalf("%s did not complete: %+v", name, snd.Stats())
+			}
+			if got := snd.Stats().BytesAcked; got != 1_500_000 {
+				t.Errorf("%s acked %d bytes", name, got)
+			}
+			if rcv.BytesReceived != 1_500_000 {
+				t.Errorf("%s receiver got %d bytes", name, rcv.BytesReceived)
+			}
+		})
+	}
+}
+
+// TestControllersNamed: names are stable identifiers used in results.
+func TestControllersNamed(t *testing.T) {
+	want := map[string]string{
+		"cubic": "cubic", "newreno": "newreno", "remy": "remy",
+		"remy-phi": "remy-phi", "multcp-w2": "multcp-w2", "ensemble": "ensemble",
+	}
+	for key, mk := range controllers() {
+		if got := mk().Name(); got != want[key] {
+			t.Errorf("%s: Name() = %q, want %q", key, got, want[key])
+		}
+	}
+}
+
+// TestCubicFairness: four identical long-running Cubic flows share the
+// bottleneck equitably (Jain index well above the 0.25 single-hog floor).
+func TestCubicFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(4))
+	var senders []*tcp.Sender
+	for i := 0; i < 4; i++ {
+		s, _ := tcp.Connect(eng, sim.FlowID(i+1), d.Senders[i], d.Receivers[i], 0,
+			tcp.NewCubic(tcp.DefaultCubicParams()), tcp.Config{})
+		s.Start()
+		senders = append(senders, s)
+	}
+	eng.RunUntil(180 * sim.Second)
+	var shares []float64
+	for _, s := range senders {
+		shares = append(shares, float64(s.Stats().BytesAcked))
+	}
+	idx := metrics.JainFairness(shares)
+	t.Logf("Jain fairness = %.3f (shares %v)", idx, shares)
+	if idx < 0.75 {
+		t.Errorf("fairness index %.3f too low for identical flows", idx)
+	}
+}

@@ -1,0 +1,146 @@
+package diagnosis
+
+import "math/rand"
+
+// Crowd models today's alternative to provider-side diagnosis, which the
+// paper calls out: "individual clients, or users, are left with manually-
+// driven processes such as Down Detector". Affected users occasionally
+// file a report; a crowdsourced detector watches the report volume. The
+// comparison the paper implies — and the tests make — is that the
+// provider-side detector sees every affected request immediately, while
+// the crowd signal needs enough annoyed humans to accumulate, reports
+// nothing about unaffected dimensions, and cannot localize beyond "users
+// are complaining".
+
+// CrowdConfig parameterizes the report model.
+type CrowdConfig struct {
+	// AffectedUsers is the population hit by the outage.
+	AffectedUsers int
+	// ReportRatePerUserHour is the rate at which an affected user files a
+	// report (humans mostly do not: a fraction of a report per hour).
+	ReportRatePerUserHour float64
+	// BackgroundPerMinute is the baseline noise report rate (misclicks,
+	// unrelated gripes).
+	BackgroundPerMinute float64
+	// Seed makes the simulation reproducible.
+	Seed int64
+}
+
+// DefaultCrowdConfig models a mid-size outage: 20000 affected users, one
+// report per 200 user-hours, 0.2 noise reports per minute.
+func DefaultCrowdConfig() CrowdConfig {
+	return CrowdConfig{
+		AffectedUsers:         20000,
+		ReportRatePerUserHour: 1.0 / 200,
+		BackgroundPerMinute:   0.2,
+		Seed:                  1,
+	}
+}
+
+// SimulateCrowdReports produces a per-minute report-count series of the
+// given length with the outage window [start, start+duration) active.
+func SimulateCrowdReports(cfg CrowdConfig, minutes, start, duration int) []float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	outageRate := float64(cfg.AffectedUsers) * cfg.ReportRatePerUserHour / 60
+	out := make([]float64, minutes)
+	for t := 0; t < minutes; t++ {
+		lambda := cfg.BackgroundPerMinute
+		if t >= start && t < start+duration {
+			lambda += outageRate
+		}
+		out[t] = float64(poissonDraw(rng, lambda))
+	}
+	return out
+}
+
+// poissonDraw is a Knuth Poisson sampler (lambdas here are small).
+func poissonDraw(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := expNeg(lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// expNeg computes e^-x without importing math for one call site.
+func expNeg(x float64) float64 {
+	// Simple series is inadequate for large x; split into halves.
+	if x > 10 {
+		h := expNeg(x / 2)
+		return h * h
+	}
+	// Taylor with enough terms for x <= 10.
+	term, sum := 1.0, 1.0
+	for i := 1; i < 60; i++ {
+		term *= -x / float64(i)
+		sum += term
+	}
+	if sum < 0 {
+		return 0
+	}
+	return sum
+}
+
+// DetectCrowd finds the first minute at which the report volume clears a
+// threshold for sustain consecutive minutes (the way a Down-Detector-like
+// site raises its banner). Returns -1 if never.
+func DetectCrowd(reports []float64, threshold float64, sustain int) int {
+	if sustain < 1 {
+		sustain = 1
+	}
+	run := 0
+	for t, v := range reports {
+		if v >= threshold {
+			run++
+			if run >= sustain {
+				return t - sustain + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	return -1
+}
+
+// CrowdComparison is the provider-vs-crowd detection summary.
+type CrowdComparison struct {
+	// OutageStart is the injected onset minute.
+	OutageStart int
+	// ProviderLatency is minutes from onset to the provider-side
+	// detector's event start (DetectConfig.MinLen bounds this).
+	ProviderLatency int
+	// CrowdLatency is minutes from onset to the crowd threshold crossing
+	// (-1 = never detected).
+	CrowdLatency int
+	// ProviderLocalized reports whether the provider pinned ISP and metro.
+	ProviderLocalized bool
+}
+
+// CompareWithCrowd runs both detectors on the same injected outage: the
+// provider-side pipeline on the telemetry store, and the crowd model on
+// simulated user reports.
+func CompareWithCrowd(store *Store, outage Outage, crowd CrowdConfig) CrowdComparison {
+	out := CrowdComparison{OutageStart: outage.StartMinute, ProviderLatency: -1, CrowdLatency: -1}
+
+	findings := Scan(store, DetectConfig{})
+	if best := Narrowest(findings); best != nil {
+		out.ProviderLatency = best.Event.Start - outage.StartMinute
+		loc := Localize(store, best.Event, LocalizeConfig{})
+		out.ProviderLocalized = loc.Pinned[DimISP] == outage.ISP && loc.Pinned[DimMetro] == outage.Metro
+	}
+
+	reports := SimulateCrowdReports(crowd, store.Minutes(), outage.StartMinute, outage.DurationMin)
+	// Threshold: clearly above background (5x), sustained 5 minutes.
+	threshold := crowd.BackgroundPerMinute*5 + 1
+	if at := DetectCrowd(reports, threshold, 5); at >= 0 {
+		out.CrowdLatency = at - outage.StartMinute
+	}
+	return out
+}

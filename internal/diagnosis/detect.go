@@ -1,0 +1,114 @@
+package diagnosis
+
+import (
+	"sort"
+)
+
+// minutesPerDay is the seasonal period of the baseline model.
+const minutesPerDay = 24 * 60
+
+// Baseline is a seasonal (time-of-day) model of a request-volume series:
+// the expectation for minute t is the median of the same minute-of-day on
+// previous days — robust to a single anomalous day.
+type Baseline struct {
+	series []float64
+	period int
+}
+
+// NewBaseline models the series with the given seasonal period in
+// minutes (0 selects a day).
+func NewBaseline(series []float64, period int) *Baseline {
+	if period <= 0 {
+		period = minutesPerDay
+	}
+	return &Baseline{series: series, period: period}
+}
+
+// Expected returns the modeled volume at minute t: the median of prior
+// same-phase observations. During the first period, where no history
+// exists, it falls back to the observation itself (no anomaly signal).
+func (b *Baseline) Expected(t int) float64 {
+	var prior []float64
+	for u := t - b.period; u >= 0; u -= b.period {
+		prior = append(prior, b.series[u])
+	}
+	if len(prior) == 0 {
+		return b.series[t]
+	}
+	sort.Float64s(prior)
+	mid := len(prior) / 2
+	if len(prior)%2 == 1 {
+		return prior[mid]
+	}
+	return (prior[mid-1] + prior[mid]) / 2
+}
+
+// Event is a detected unreachability episode: a sustained interval where
+// the observed volume fell well below the baseline.
+type Event struct {
+	// Start and End are minute indexes (End exclusive).
+	Start, End int
+	// Depth is the mean fractional volume deficit over the event
+	// (1 = complete blackout).
+	Depth float64
+}
+
+// Duration returns the event length in minutes.
+func (e Event) Duration() int { return e.End - e.Start }
+
+// DetectConfig tunes the detector.
+type DetectConfig struct {
+	// Ratio flags minute t when observed < Ratio * expected (default 0.7).
+	Ratio float64
+	// MinLen is the minimum sustained length in minutes (default 10):
+	// short blips are noise, unreachability events persist.
+	MinLen int
+	// Period is the seasonal period (default one day).
+	Period int
+}
+
+func (c DetectConfig) withDefaults() DetectConfig {
+	if c.Ratio == 0 {
+		c.Ratio = 0.7
+	}
+	if c.MinLen == 0 {
+		c.MinLen = 10
+	}
+	if c.Period == 0 {
+		c.Period = minutesPerDay
+	}
+	return c
+}
+
+// Detect finds sustained negative anomalies in the series.
+func Detect(series []float64, cfg DetectConfig) []Event {
+	cfg = cfg.withDefaults()
+	base := NewBaseline(series, cfg.Period)
+	var events []Event
+	start := -1
+	var deficit, expectedSum float64
+	flush := func(end int) {
+		if start >= 0 && end-start >= cfg.MinLen {
+			depth := 0.0
+			if expectedSum > 0 {
+				depth = deficit / expectedSum
+			}
+			events = append(events, Event{Start: start, End: end, Depth: depth})
+		}
+		start, deficit, expectedSum = -1, 0, 0
+	}
+	for t := cfg.Period; t < len(series); t++ {
+		exp := base.Expected(t)
+		if exp > 0 && series[t] < cfg.Ratio*exp {
+			if start < 0 {
+				start = t
+			}
+			deficit += exp - series[t]
+			expectedSum += exp
+		} else {
+			flush(t)
+		}
+	}
+	flush(len(series))
+	return events
+}

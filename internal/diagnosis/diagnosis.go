@@ -1,0 +1,137 @@
+// Package diagnosis implements the problem-diagnosis application of
+// Section 3.4: a cloud provider models the volume of requests it receives,
+// sliced along dimensions (service, client ISP, metro), looks for
+// anomalous departures to detect unreachability events, and localizes an
+// event to the slice that explains the missing volume — reproducing the
+// Figure 5 scenario (an event localized to one ISP in one metro, lasting
+// about two hours).
+package diagnosis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Slice identifies one cell of the request-volume cube.
+type Slice struct {
+	Service string
+	ISP     string
+	Metro   string
+}
+
+func (s Slice) String() string {
+	return fmt.Sprintf("service=%s isp=%s metro=%s", s.Service, s.ISP, s.Metro)
+}
+
+// Dimension names, in the order Localize reports them.
+const (
+	DimService = "service"
+	DimISP     = "isp"
+	DimMetro   = "metro"
+)
+
+// value returns the slice's value along a dimension.
+func (s Slice) value(dim string) string {
+	switch dim {
+	case DimService:
+		return s.Service
+	case DimISP:
+		return s.ISP
+	case DimMetro:
+		return s.Metro
+	default:
+		return ""
+	}
+}
+
+// Store holds minute-granularity request counts per slice over a fixed
+// horizon.
+type Store struct {
+	minutes int
+	series  map[Slice][]float64
+}
+
+// NewStore creates a store spanning the given number of minutes.
+func NewStore(minutes int) *Store {
+	if minutes <= 0 {
+		panic("diagnosis: store needs a positive horizon")
+	}
+	return &Store{minutes: minutes, series: make(map[Slice][]float64)}
+}
+
+// Minutes returns the horizon length.
+func (s *Store) Minutes() int { return s.minutes }
+
+// Add accumulates count requests for the slice at the given minute.
+// Out-of-range minutes are ignored.
+func (s *Store) Add(sl Slice, minute int, count float64) {
+	if minute < 0 || minute >= s.minutes {
+		return
+	}
+	series, ok := s.series[sl]
+	if !ok {
+		series = make([]float64, s.minutes)
+		s.series[sl] = series
+	}
+	series[minute] += count
+}
+
+// Slices returns the populated slices in a stable (sorted) order, so
+// aggregations are bit-reproducible despite floating-point addition being
+// order dependent.
+func (s *Store) Slices() []Slice {
+	out := make([]Slice, 0, len(s.series))
+	for sl := range s.series {
+		out = append(out, sl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Service != b.Service {
+			return a.Service < b.Service
+		}
+		if a.ISP != b.ISP {
+			return a.ISP < b.ISP
+		}
+		return a.Metro < b.Metro
+	})
+	return out
+}
+
+// Series returns the slice's series (nil if absent). The returned slice
+// is the store's backing array; callers must not modify it.
+func (s *Store) Series(sl Slice) []float64 { return s.series[sl] }
+
+// Total returns the aggregate series across all slices.
+func (s *Store) Total() []float64 {
+	return s.TotalWhere(func(Slice) bool { return true })
+}
+
+// TotalWhere aggregates the slices for which keep returns true, in a
+// stable order.
+func (s *Store) TotalWhere(keep func(Slice) bool) []float64 {
+	total := make([]float64, s.minutes)
+	for _, sl := range s.Slices() {
+		if !keep(sl) {
+			continue
+		}
+		for i, v := range s.series[sl] {
+			total[i] += v
+		}
+	}
+	return total
+}
+
+// Values returns the distinct values of a dimension, sorted.
+func (s *Store) Values(dim string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for sl := range s.series {
+		v := sl.value(dim)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,322 @@
+package diagnosis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStoreAccumulates(t *testing.T) {
+	s := NewStore(10)
+	sl := Slice{Service: "video", ISP: "isp-1", Metro: "seattle"}
+	s.Add(sl, 3, 5)
+	s.Add(sl, 3, 2)
+	s.Add(sl, -1, 100) // ignored
+	s.Add(sl, 10, 100) // ignored
+	if got := s.Series(sl)[3]; got != 7 {
+		t.Errorf("series[3] = %v, want 7", got)
+	}
+	if got := s.Total()[3]; got != 7 {
+		t.Errorf("total[3] = %v, want 7", got)
+	}
+	if len(s.Slices()) != 1 {
+		t.Errorf("slices = %d", len(s.Slices()))
+	}
+	if s.Minutes() != 10 {
+		t.Errorf("minutes = %d", s.Minutes())
+	}
+}
+
+func TestStoreDimensionHelpers(t *testing.T) {
+	s := NewStore(5)
+	s.Add(Slice{"video", "a", "x"}, 0, 1)
+	s.Add(Slice{"voip", "b", "x"}, 0, 2)
+	if got := len(s.Values(DimService)); got != 2 {
+		t.Errorf("services = %d", got)
+	}
+	if got := len(s.Values(DimMetro)); got != 1 {
+		t.Errorf("metros = %d", got)
+	}
+	sub := s.TotalWhere(func(sl Slice) bool { return sl.ISP == "b" })
+	if sub[0] != 2 {
+		t.Errorf("filtered total = %v", sub[0])
+	}
+	if (Slice{"a", "b", "c"}).value("bogus") != "" {
+		t.Error("unknown dimension should be empty")
+	}
+}
+
+func TestBaselineSeasonalMedian(t *testing.T) {
+	// Period 3; history at phase 0: values 10, 20, 30.
+	series := []float64{10, 1, 2, 20, 1, 2, 30, 1, 2, 99, 1, 2}
+	b := NewBaseline(series, 3)
+	if got := b.Expected(9); got != 20 {
+		t.Errorf("expected at t=9 = %v, want median(10,20,30)=20", got)
+	}
+	if got := b.Expected(3); got != 10 {
+		t.Errorf("expected at t=3 = %v, want 10", got)
+	}
+	// First period: falls back to the observation.
+	if got := b.Expected(1); got != 1 {
+		t.Errorf("first-period expected = %v, want 1", got)
+	}
+	// Even history: average of middle two.
+	series2 := []float64{10, 20, 30, 40, 0}
+	b2 := NewBaseline(series2, 1)
+	if got := b2.Expected(4); got != 25 {
+		t.Errorf("even-history median = %v, want 25", got)
+	}
+}
+
+func TestDetectFindsSustainedDrop(t *testing.T) {
+	period := 60
+	series := make([]float64, period*4)
+	for i := range series {
+		series[i] = 100
+	}
+	// 30-minute blackout in the third period.
+	for i := period*2 + 10; i < period*2+40; i++ {
+		series[i] = 10
+	}
+	events := Detect(series, DetectConfig{Period: period, Ratio: 0.7, MinLen: 10})
+	if len(events) != 1 {
+		t.Fatalf("%d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Start != period*2+10 || ev.End != period*2+40 {
+		t.Errorf("event window [%d, %d), want [130, 160)", ev.Start, ev.End)
+	}
+	if ev.Duration() != 30 {
+		t.Errorf("duration = %d", ev.Duration())
+	}
+	if math.Abs(ev.Depth-0.9) > 0.01 {
+		t.Errorf("depth = %v, want ~0.9", ev.Depth)
+	}
+}
+
+func TestDetectIgnoresShortBlips(t *testing.T) {
+	period := 60
+	series := make([]float64, period*3)
+	for i := range series {
+		series[i] = 100
+	}
+	for i := period*2 + 5; i < period*2+9; i++ { // 4-minute blip
+		series[i] = 0
+	}
+	if events := Detect(series, DetectConfig{Period: period, MinLen: 10}); len(events) != 0 {
+		t.Errorf("short blip detected as event: %+v", events)
+	}
+}
+
+func TestDetectNothingOnCleanSeries(t *testing.T) {
+	cfg := DefaultGenConfig()
+	store := Generate(cfg)
+	events := Detect(store.Total(), DetectConfig{})
+	if len(events) != 0 {
+		t.Errorf("clean telemetry produced %d events", len(events))
+	}
+}
+
+func TestDetectEventAtEndOfSeries(t *testing.T) {
+	period := 60
+	series := make([]float64, period*3)
+	for i := range series {
+		series[i] = 100
+	}
+	for i := period*3 - 20; i < period*3; i++ {
+		series[i] = 0
+	}
+	events := Detect(series, DetectConfig{Period: period, MinLen: 10})
+	if len(events) != 1 || events[0].End != period*3 {
+		t.Errorf("open-ended event not flushed: %+v", events)
+	}
+}
+
+// TestFigure5Scenario is the headline reproduction: inject a ~2 hour
+// outage confined to one ISP in one metro, detect it by scanning sliced
+// aggregates, and localize it to exactly that ISP and metro.
+func TestFigure5Scenario(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Outage = &Outage{
+		ISP: "isp-3", Metro: "seattle",
+		StartMinute: 2*minutesPerDay + 9*60, // day 3, 09:00
+		DurationMin: 120,
+		Severity:    0.9,
+	}
+	store := Generate(cfg)
+
+	findings := Scan(store, DetectConfig{})
+	if len(findings) == 0 {
+		t.Fatal("outage not detected")
+	}
+	best := Narrowest(findings)
+	if best.Scope[DimISP] != "isp-3" || best.Scope[DimMetro] != "seattle" {
+		t.Fatalf("narrowest finding scope = %v, want isp-3/seattle", best.Scope)
+	}
+	// Duration ~2 hours.
+	if d := best.Event.Duration(); d < 110 || d > 130 {
+		t.Errorf("event duration = %d minutes, want ~120", d)
+	}
+	if best.Event.Start < cfg.Outage.StartMinute-5 || best.Event.Start > cfg.Outage.StartMinute+5 {
+		t.Errorf("event start = %d, want ~%d", best.Event.Start, cfg.Outage.StartMinute)
+	}
+
+	loc := Localize(store, best.Event, LocalizeConfig{})
+	if loc.Pinned[DimISP] != "isp-3" {
+		t.Errorf("localization ISP = %q, want isp-3 (%v)", loc.Pinned[DimISP], loc.Coverage)
+	}
+	if loc.Pinned[DimMetro] != "seattle" {
+		t.Errorf("localization metro = %q, want seattle (%v)", loc.Pinned[DimMetro], loc.Coverage)
+	}
+	if _, pinned := loc.Pinned[DimService]; pinned {
+		t.Errorf("service should not be pinned for an all-service outage: %v", loc)
+	}
+	if loc.TotalDeficit <= 0 {
+		t.Error("no deficit computed")
+	}
+	if loc.String() == "unlocalized" {
+		t.Error("localization string empty")
+	}
+}
+
+func TestServiceScopedOutagePinsService(t *testing.T) {
+	// The paper's motivating example: VoIP unreliable, file hosting fine
+	// -> a VoIP-specific issue.
+	cfg := DefaultGenConfig()
+	cfg.Outage = &Outage{
+		ISP: "isp-2", Metro: "london",
+		StartMinute:   2*minutesPerDay + 12*60,
+		DurationMin:   90,
+		Severity:      0.95,
+		ServiceScoped: "voip",
+	}
+	store := Generate(cfg)
+	findings := Scan(store, DetectConfig{Ratio: 0.8})
+	if len(findings) == 0 {
+		t.Skip("service-scoped outage too small for pair aggregates at this ratio")
+	}
+	best := Narrowest(findings)
+	loc := Localize(store, best.Event, LocalizeConfig{PinThreshold: 0.7})
+	if loc.Pinned[DimService] != "voip" {
+		t.Errorf("service pin = %q, want voip (coverage %v)", loc.Pinned[DimService], loc.Coverage)
+	}
+}
+
+func TestLocalizeNoDeficit(t *testing.T) {
+	store := Generate(DefaultGenConfig())
+	loc := Localize(store, Event{Start: 0, End: 10}, LocalizeConfig{})
+	if len(loc.Pinned) != 0 {
+		t.Errorf("clean window localized: %v", loc)
+	}
+	if loc.String() != "unlocalized" {
+		t.Errorf("String = %q", loc.String())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultGenConfig()).Total()
+	b := Generate(DefaultGenConfig()).Total()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Scope: map[string]string{DimISP: "x", DimMetro: "y"},
+		Event: Event{Start: 10, End: 20, Depth: 0.5}}
+	if f.String() == "" {
+		t.Error("empty finding string")
+	}
+	if Narrowest(nil) != nil {
+		t.Error("Narrowest(nil) should be nil")
+	}
+}
+
+func TestStorePanicsOnBadHorizon(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewStore(0)
+}
+
+func TestExpNeg(t *testing.T) {
+	cases := map[float64]float64{0: 1, 1: 0.367879, 5: 0.0067379, 20: 2.061e-9}
+	for x, want := range cases {
+		got := expNeg(x)
+		if got < want*0.999 || got > want*1.001 {
+			t.Errorf("expNeg(%v) = %v, want ~%v", x, got, want)
+		}
+	}
+}
+
+func TestPoissonDrawMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(poissonDraw(rng, 2.5))
+	}
+	if mean := sum / n; mean < 2.4 || mean > 2.6 {
+		t.Errorf("poisson mean = %v, want ~2.5", mean)
+	}
+	if poissonDraw(rng, 0) != 0 {
+		t.Error("zero lambda should draw 0")
+	}
+}
+
+func TestDetectCrowd(t *testing.T) {
+	series := []float64{0, 1, 0, 5, 6, 7, 2, 0}
+	if at := DetectCrowd(series, 5, 3); at != 3 {
+		t.Errorf("detected at %d, want 3", at)
+	}
+	if at := DetectCrowd(series, 5, 4); at != -1 {
+		t.Errorf("4-sustain should fail, got %d", at)
+	}
+	if at := DetectCrowd(series, 100, 0); at != -1 {
+		t.Errorf("unreachable threshold detected at %d", at)
+	}
+}
+
+// TestProviderBeatsDownDetector is the Section 3.4 comparison: on the
+// same outage, the provider-side detector localizes the event and reacts
+// at telemetry granularity, while the crowdsourced signal needs annoyed
+// humans to accumulate — and with a realistically small affected
+// population it lags or never fires.
+func TestProviderBeatsDownDetector(t *testing.T) {
+	cfg := DefaultGenConfig()
+	outage := Outage{
+		ISP: "isp-3", Metro: "seattle",
+		StartMinute: 2*minutesPerDay + 9*60, DurationMin: 120, Severity: 0.9,
+	}
+	cfg.Outage = &outage
+	store := Generate(cfg)
+
+	// A well-populated crowd eventually fires...
+	big := DefaultCrowdConfig()
+	cmp := CompareWithCrowd(store, outage, big)
+	if cmp.ProviderLatency < 0 {
+		t.Fatal("provider did not detect")
+	}
+	if !cmp.ProviderLocalized {
+		t.Error("provider did not localize")
+	}
+	if cmp.CrowdLatency >= 0 && cmp.CrowdLatency < cmp.ProviderLatency {
+		t.Errorf("crowd (%d min) beat provider (%d min)", cmp.CrowdLatency, cmp.ProviderLatency)
+	}
+
+	// ...but a small affected population never clears the noise floor,
+	// while the provider still sees the outage in its own telemetry.
+	small := big
+	small.AffectedUsers = 500
+	cmp2 := CompareWithCrowd(store, outage, small)
+	if cmp2.CrowdLatency != -1 {
+		t.Errorf("tiny-population crowd detected at %d, expected never", cmp2.CrowdLatency)
+	}
+	if cmp2.ProviderLatency < 0 || !cmp2.ProviderLocalized {
+		t.Error("provider detection should be independent of crowd size")
+	}
+}

@@ -1,0 +1,29 @@
+package diagnosis_test
+
+import (
+	"fmt"
+
+	"repro/internal/diagnosis"
+)
+
+// Inject the Figure 5 outage, detect it, localize it.
+func Example() {
+	cfg := diagnosis.DefaultGenConfig()
+	cfg.Outage = &diagnosis.Outage{
+		ISP: "isp-3", Metro: "seattle",
+		StartMinute: 2*24*60 + 9*60, DurationMin: 120, Severity: 0.9,
+	}
+	store := diagnosis.Generate(cfg)
+
+	findings := diagnosis.Scan(store, diagnosis.DetectConfig{})
+	best := diagnosis.Narrowest(findings)
+	fmt.Println("scope:", best.Scope["isp"], best.Scope["metro"])
+	fmt.Println("duration (min):", best.Event.Duration())
+
+	loc := diagnosis.Localize(store, best.Event, diagnosis.LocalizeConfig{})
+	fmt.Println("localized:", loc)
+	// Output:
+	// scope: isp-3 seattle
+	// duration (min): 120
+	// localized: isp=isp-3 metro=seattle
+}

@@ -1,0 +1,101 @@
+package diagnosis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Localization attributes an event to dimension values: for each
+// dimension whose top value explains most of the missing volume, the
+// value is pinned. An event confined to one ISP in one metro (Figure 5)
+// pins both; a service-wide outage pins only the service.
+type Localization struct {
+	// Pinned maps dimension name to the value that explains the deficit.
+	Pinned map[string]string
+	// Coverage maps dimension name to the fraction of the total deficit
+	// its top value accounts for (including unpinned dimensions).
+	Coverage map[string]float64
+	// TotalDeficit is the volume missing during the event.
+	TotalDeficit float64
+}
+
+// String renders e.g. "isp=ISP-3 metro=seattle (coverage 0.97/0.95)".
+func (l Localization) String() string {
+	if len(l.Pinned) == 0 {
+		return "unlocalized"
+	}
+	dims := make([]string, 0, len(l.Pinned))
+	for d := range l.Pinned {
+		dims = append(dims, d)
+	}
+	sort.Strings(dims)
+	var parts []string
+	for _, d := range dims {
+		parts = append(parts, fmt.Sprintf("%s=%s", d, l.Pinned[d]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// LocalizeConfig tunes localization.
+type LocalizeConfig struct {
+	// PinThreshold is the deficit share above which a dimension's top
+	// value is pinned (default 0.8).
+	PinThreshold float64
+	// Period is the seasonal period for the per-slice baselines.
+	Period int
+}
+
+func (c LocalizeConfig) withDefaults() LocalizeConfig {
+	if c.PinThreshold == 0 {
+		c.PinThreshold = 0.8
+	}
+	if c.Period == 0 {
+		c.Period = minutesPerDay
+	}
+	return c
+}
+
+// Localize attributes the event's missing volume across each dimension of
+// the store. For every dimension value it sums (expected - observed) over
+// the event window using the value's aggregate baseline, then pins the
+// dimensions whose top value dominates the deficit.
+func Localize(store *Store, ev Event, cfg LocalizeConfig) Localization {
+	cfg = cfg.withDefaults()
+	out := Localization{Pinned: map[string]string{}, Coverage: map[string]float64{}}
+
+	total := deficitOf(store.Total(), ev, cfg.Period)
+	out.TotalDeficit = total
+	if total <= 0 {
+		return out
+	}
+	for _, dim := range []string{DimService, DimISP, DimMetro} {
+		bestVal, bestDef := "", 0.0
+		for _, val := range store.Values(dim) {
+			val := val
+			series := store.TotalWhere(func(sl Slice) bool { return sl.value(dim) == val })
+			d := deficitOf(series, ev, cfg.Period)
+			if d > bestDef {
+				bestDef, bestVal = d, val
+			}
+		}
+		share := bestDef / total
+		out.Coverage[dim] = share
+		if share >= cfg.PinThreshold {
+			out.Pinned[dim] = bestVal
+		}
+	}
+	return out
+}
+
+// deficitOf sums max(0, expected-observed) over the event window.
+func deficitOf(series []float64, ev Event, period int) float64 {
+	base := NewBaseline(series, period)
+	var sum float64
+	for t := ev.Start; t < ev.End && t < len(series); t++ {
+		if d := base.Expected(t) - series[t]; d > 0 {
+			sum += d
+		}
+	}
+	return sum
+}

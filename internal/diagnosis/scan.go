@@ -1,0 +1,80 @@
+package diagnosis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Finding is an event detected on one scoped aggregate of the cube, e.g.
+// "isp=isp-3 metro=seattle" — the paper's "sliced along various
+// dimensions".
+type Finding struct {
+	// Scope maps dimension name to the value the aggregate was
+	// restricted to.
+	Scope map[string]string
+	Event Event
+}
+
+func (f Finding) String() string {
+	dims := make([]string, 0, len(f.Scope))
+	for d := range f.Scope {
+		dims = append(dims, d)
+	}
+	sort.Strings(dims)
+	var parts []string
+	for _, d := range dims {
+		parts = append(parts, fmt.Sprintf("%s=%s", d, f.Scope[d]))
+	}
+	return fmt.Sprintf("%s: minutes [%d, %d) depth %.2f",
+		strings.Join(parts, " "), f.Event.Start, f.Event.End, f.Event.Depth)
+}
+
+// Scan detects events on every single-dimension aggregate and every
+// ISP x metro pair aggregate (the unreachability footprint unit of the
+// Figure 5 example). Findings whose scope is a superset of an already
+// triggered narrower scope are still reported; callers typically feed the
+// narrowest finding to Localize for confirmation.
+func Scan(store *Store, cfg DetectConfig) []Finding {
+	var out []Finding
+	add := func(scope map[string]string, series []float64) {
+		for _, ev := range Detect(series, cfg) {
+			out = append(out, Finding{Scope: scope, Event: ev})
+		}
+	}
+	for _, dim := range []string{DimService, DimISP, DimMetro} {
+		for _, val := range store.Values(dim) {
+			dim, val := dim, val
+			add(map[string]string{dim: val},
+				store.TotalWhere(func(sl Slice) bool { return sl.value(dim) == val }))
+		}
+	}
+	for _, isp := range store.Values(DimISP) {
+		for _, metro := range store.Values(DimMetro) {
+			isp, metro := isp, metro
+			add(map[string]string{DimISP: isp, DimMetro: metro},
+				store.TotalWhere(func(sl Slice) bool { return sl.ISP == isp && sl.Metro == metro }))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Event.Start != out[j].Event.Start {
+			return out[i].Event.Start < out[j].Event.Start
+		}
+		return len(out[i].Scope) > len(out[j].Scope)
+	})
+	return out
+}
+
+// Narrowest returns the finding with the most specific scope (ties broken
+// by depth), or nil if none.
+func Narrowest(findings []Finding) *Finding {
+	var best *Finding
+	for i := range findings {
+		f := &findings[i]
+		if best == nil || len(f.Scope) > len(best.Scope) ||
+			(len(f.Scope) == len(best.Scope) && f.Event.Depth > best.Event.Depth) {
+			best = f
+		}
+	}
+	return best
+}

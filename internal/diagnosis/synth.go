@@ -1,0 +1,98 @@
+package diagnosis
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Outage describes an injected unreachability event: requests from one
+// ISP in one metro drop by Severity for the given window — the Figure 5
+// scenario ("an unreachability event localized to an ISP network in a
+// metro that lasted for around 2 hours").
+type Outage struct {
+	ISP           string
+	Metro         string
+	StartMinute   int
+	DurationMin   int
+	Severity      float64 // fraction of volume lost, 1 = blackout
+	ServiceScoped string  // if set, only this service is affected
+}
+
+// GenConfig parameterizes the synthetic telemetry generator.
+type GenConfig struct {
+	Days     int
+	Services []string
+	ISPs     []string
+	Metros   []string
+	// BaseRate is the mean requests/minute of an average slice at the
+	// diurnal peak.
+	BaseRate float64
+	// Noise is the multiplicative noise amplitude (default 0.05).
+	Noise float64
+	Seed  int64
+	// Outage, if non-nil, is injected.
+	Outage *Outage
+}
+
+// DefaultGenConfig returns a 3-day, 3-service x 8-ISP x 6-metro cube.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Days:     3,
+		Services: []string{"video", "storage", "voip"},
+		ISPs:     []string{"isp-1", "isp-2", "isp-3", "isp-4", "isp-5", "isp-6", "isp-7", "isp-8"},
+		Metros:   []string{"seattle", "london", "tokyo", "sydney", "paris", "saopaulo"},
+		BaseRate: 1000,
+		Noise:    0.05,
+		Seed:     1,
+	}
+}
+
+// Generate builds the store: every (service, isp, metro) slice carries a
+// diurnal sinusoid scaled by a deterministic per-slice weight, with
+// multiplicative noise, and the configured outage carved out.
+func Generate(cfg GenConfig) *Store {
+	if cfg.Days <= 0 {
+		cfg.Days = 3
+	}
+	if cfg.Noise == 0 {
+		cfg.Noise = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	minutes := cfg.Days * minutesPerDay
+	store := NewStore(minutes)
+
+	for _, svc := range cfg.Services {
+		for _, isp := range cfg.ISPs {
+			for _, metro := range cfg.Metros {
+				sl := Slice{Service: svc, ISP: isp, Metro: metro}
+				weight := 0.3 + rng.Float64() // stable per-slice popularity
+				phase := rng.Float64() * 2 * math.Pi / 24
+				for t := 0; t < minutes; t++ {
+					// Diurnal pattern: trough at 40% of peak.
+					day := float64(t%minutesPerDay) / minutesPerDay
+					diurnal := 0.7 + 0.3*math.Sin(2*math.Pi*day+phase)
+					v := cfg.BaseRate * weight * diurnal
+					v *= 1 + cfg.Noise*(rng.Float64()*2-1)
+					if o := cfg.Outage; o != nil && o.applies(sl, t) {
+						v *= 1 - o.Severity
+					}
+					store.Add(sl, t, v)
+				}
+			}
+		}
+	}
+	return store
+}
+
+func (o *Outage) applies(sl Slice, minute int) bool {
+	if minute < o.StartMinute || minute >= o.StartMinute+o.DurationMin {
+		return false
+	}
+	if sl.ISP != o.ISP || sl.Metro != o.Metro {
+		return false
+	}
+	if o.ServiceScoped != "" && sl.Service != o.ServiceScoped {
+		return false
+	}
+	return true
+}

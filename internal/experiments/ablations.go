@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/phi"
+	"repro/internal/remy"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// AblationRow is one configuration of an ablation with its objective.
+type AblationRow struct {
+	Name           string
+	Power          float64
+	ThroughputMbps float64
+	QueueDelayMs   float64
+	LossRate       float64
+}
+
+// AblationResult is a named set of rows.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+func (r AblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "  %-26s %10s %12s %9s %9s\n", "configuration", "thr Mbps", "qdelay ms", "loss %", "power")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-26s %10.2f %12.2f %9.3f %9.2f\n",
+			row.Name, row.ThroughputMbps, row.QueueDelayMs, 100*row.LossRate, row.Power)
+	}
+	return b.String()
+}
+
+// Row returns the named row (nil if absent).
+func (r AblationResult) Row(name string) *AblationRow {
+	for i := range r.Rows {
+		if r.Rows[i].Name == name {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// rowFromRuns averages run metrics into one row.
+func rowFromRuns(name string, rs []workload.Result) AblationRow {
+	var thr, qd, loss, pow []float64
+	for i := range rs {
+		thr = append(thr, rs[i].AggThroughputMbps())
+		qd = append(qd, rs[i].MeanQueueingDelayMs())
+		loss = append(loss, rs[i].LinkLossRate)
+		pow = append(pow, rs[i].LossPower())
+	}
+	return AblationRow{Name: name,
+		ThroughputMbps: metrics.Mean(thr), QueueDelayMs: metrics.Mean(qd),
+		LossRate: metrics.Mean(loss), Power: metrics.Mean(pow)}
+}
+
+// AblationCadence measures how the freshness of shared state matters
+// (DESIGN.md decision 2): no sharing at all, the practical context server
+// fed only at connection boundaries with various estimation windows, and
+// the continuous oracle. The paper's claim — the practical,
+// connection-boundary design keeps most of the ideal's benefit — shows up
+// as the server rows landing near the oracle row.
+func AblationCadence(o Options) AblationResult {
+	sc := fig2Scenario(highUtilSenders, o)
+	runs := o.runs()
+	out := AblationResult{Title: "Ablation: freshness of shared congestion state"}
+
+	runDefault := func() []workload.Result {
+		var rs []workload.Result
+		for i := 0; i < runs; i++ {
+			s := sc
+			s.Seed = 800 + o.Seed + int64(i)
+			s.CC = func(int) func() tcp.CongestionControl {
+				return func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) }
+			}
+			rs = append(rs, workload.Run(s))
+		}
+		return rs
+	}
+	out.Rows = append(out.Rows, rowFromRuns("no sharing (defaults)", runDefault()))
+
+	policy := phi.DefaultPolicy()
+	runServer := func(window sim.Time) []workload.Result {
+		var rs []workload.Result
+		for i := 0; i < runs; i++ {
+			s := sc
+			s.Seed = 800 + o.Seed + int64(i)
+			var eng *sim.Engine
+			srv := phi.NewServer(func() sim.Time {
+				if eng == nil {
+					return 0
+				}
+				return eng.Now()
+			}, phi.ServerConfig{Window: window})
+			srv.RegisterPath("bn", s.Dumbbell.BottleneckRate)
+			client := &phi.Client{Source: srv, Reporter: srv, Policy: policy, Path: "bn"}
+			s.OnTopology = func(e *sim.Engine, d *sim.Dumbbell) { eng = e }
+			s.CC = func(int) func() tcp.CongestionControl { return client.CC() }
+			s.OnStart = func(_ int, flow sim.FlowID) { client.OnStart(flow) }
+			s.OnEnd = func(_ int, st *tcp.FlowStats) { client.OnEnd(st) }
+			rs = append(rs, workload.Run(s))
+		}
+		return rs
+	}
+	for _, w := range []sim.Time{2 * sim.Second, 10 * sim.Second, 30 * sim.Second} {
+		out.Rows = append(out.Rows, rowFromRuns(
+			fmt.Sprintf("context server (%v window)", w), runServer(w)))
+	}
+
+	runOracle := func() []workload.Result {
+		var rs []workload.Result
+		for i := 0; i < runs; i++ {
+			s := sc
+			s.Seed = 800 + o.Seed + int64(i)
+			var probe *sim.RateProbe
+			s.OnTopology = func(e *sim.Engine, d *sim.Dumbbell) {
+				probe = sim.NewRateProbe(e, d.Bottleneck.Monitor(), 100*sim.Millisecond, sim.Second)
+			}
+			s.CC = func(int) func() tcp.CongestionControl {
+				return func() tcp.CongestionControl {
+					return tcp.NewCubic(policy.Params(phi.Context{U: probe.Utilization()}))
+				}
+			}
+			rs = append(rs, workload.Run(s))
+		}
+		return rs
+	}
+	out.Rows = append(out.Rows, rowFromRuns("oracle (continuous)", runOracle()))
+	return out
+}
+
+// AblationBuckets measures context-bucketing granularity (DESIGN.md
+// decision 3): a policy with a single rule cannot fit both an idle and a
+// busy network; finer utilization bands adapt better. Each policy is
+// evaluated with oracle lookups across three load levels and the rows
+// report the mean across levels.
+func AblationBuckets(o Options) AblationResult {
+	full := phi.DefaultPolicy() // 4 bands
+	two := &phi.Policy{
+		Rules: []phi.Rule{
+			full.Rules[0],
+			{MaxU: math.Inf(1), Params: full.Rules[3].Params},
+		},
+		Default: full.Default,
+	}
+	one := &phi.Policy{
+		Rules:   []phi.Rule{{MaxU: math.Inf(1), Params: full.Rules[1].Params}},
+		Default: full.Default,
+	}
+
+	loads := []int{lowUtilSenders, highUtilSenders, 6}
+	runs := o.runs()
+	evalPolicy := func(pol *phi.Policy) []workload.Result {
+		var rs []workload.Result
+		for _, senders := range loads {
+			for i := 0; i < runs; i++ {
+				s := fig2Scenario(senders, o)
+				s.Seed = 900 + o.Seed + int64(i)
+				var probe *sim.RateProbe
+				s.OnTopology = func(e *sim.Engine, d *sim.Dumbbell) {
+					probe = sim.NewRateProbe(e, d.Bottleneck.Monitor(), 100*sim.Millisecond, sim.Second)
+				}
+				s.CC = func(int) func() tcp.CongestionControl {
+					return func() tcp.CongestionControl {
+						return tcp.NewCubic(pol.Params(phi.Context{U: probe.Utilization()}))
+					}
+				}
+				rs = append(rs, workload.Run(s))
+			}
+		}
+		return rs
+	}
+
+	out := AblationResult{Title: "Ablation: context-bucketing granularity (mean over 3 load levels)"}
+	out.Rows = append(out.Rows, rowFromRuns("1 band (one size fits all)", evalPolicy(one)))
+	out.Rows = append(out.Rows, rowFromRuns("2 bands", evalPolicy(two)))
+	out.Rows = append(out.Rows, rowFromRuns("4 bands (default policy)", evalPolicy(full)))
+	return out
+}
+
+// AblationQueueDiscipline contrasts FIFO drop-tail with RED for the
+// incremental-deployment story (DESIGN.md decision 4). Under FIFO the
+// unmodified majority's overshoot inflates everyone's delay (the paper's
+// incentive-compatibility point); RED polices the queue early, shrinking
+// the gap between deployment worlds.
+func AblationQueueDiscipline(o Options) AblationResult {
+	runs := o.runs()
+	out := AblationResult{Title: "Ablation: FIFO drop-tail vs RED under all-default senders"}
+	for _, disc := range []string{"fifo", "red"} {
+		var rs []workload.Result
+		for i := 0; i < runs; i++ {
+			s := fig2Scenario(highUtilSenders, o)
+			s.Seed = 950 + o.Seed + int64(i)
+			if disc == "red" {
+				bufBytes := int(5 * float64(s.Dumbbell.BottleneckRate) / 8 * s.Dumbbell.RTT.Seconds())
+				s.Dumbbell.Discipline = sim.NewRED(bufBytes, rand.New(rand.NewSource(s.Seed)))
+			}
+			s.CC = func(int) func() tcp.CongestionControl {
+				return func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) }
+			}
+			rs = append(rs, workload.Run(s))
+		}
+		out.Rows = append(out.Rows, rowFromRuns(disc, rs))
+	}
+	return out
+}
+
+// AblationTraining contrasts the shipped seed Remy tables with tables
+// improved by the in-simulator trainer (DESIGN.md decision 5): the seed
+// tables are hand-derived and good enough for shape reproduction; the
+// trainer should only move the objective up.
+func AblationTraining(o Options) AblationResult {
+	sc := table3Scenario(o)
+	evalSc := sc
+	evalSc.Duration = sc.Duration / 2
+	iters := 3
+	if o.Full {
+		iters = 10
+	}
+
+	out := AblationResult{Title: "Ablation: seed vs trained Remy tables (Table 3 workload, ideal util)"}
+	evalCfg := remy.EvalConfig{Scenario: sc, Mode: remy.UtilIdeal, Runs: o.runs(), BaseSeed: 970 + o.Seed}
+
+	rowFor := func(name string, table *remy.Table) AblationRow {
+		ev := remy.Evaluate(table, evalCfg)
+		return rowFromRuns(name, ev.Runs)
+	}
+	seedTable := remy.DefaultPhiTable()
+	out.Rows = append(out.Rows, rowFor("seed table", seedTable))
+
+	trained, _ := remy.Train(seedTable, remy.TrainConfig{
+		Eval:       remy.EvalConfig{Scenario: evalSc, Mode: remy.UtilIdeal, Runs: 1, BaseSeed: 970 + o.Seed},
+		Iterations: iters,
+		AllowSplit: true,
+	})
+	out.Rows = append(out.Rows, rowFor(fmt.Sprintf("trained (%d iters, %d cells)", iters, trained.Cells()), trained))
+	return out
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationCadenceSharingHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := AblationCadence(Options{})
+	if len(r.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(r.Rows))
+	}
+	none := r.Row("no sharing (defaults)")
+	oracle := r.Row("oracle (continuous)")
+	srv10 := r.Row("context server (10s window)")
+	if none == nil || oracle == nil || srv10 == nil {
+		t.Fatal("missing rows")
+	}
+	// Any sharing beats none.
+	for _, row := range r.Rows[1:] {
+		if row.Power <= none.Power {
+			t.Errorf("%s power %.2f not above no-sharing %.2f", row.Name, row.Power, none.Power)
+		}
+	}
+	// The practical server keeps most of the oracle's benefit
+	// (Section 2.2.2's claim; Table 3's practical-vs-ideal analogue).
+	gainOracle := oracle.Power - none.Power
+	gainServer := srv10.Power - none.Power
+	if gainServer < 0.5*gainOracle {
+		t.Errorf("practical server captured only %.0f%% of the oracle gain",
+			100*gainServer/gainOracle)
+	}
+	if !strings.Contains(r.String(), "oracle") {
+		t.Error("output incomplete")
+	}
+}
+
+func TestAblationBucketsFinerHelpsLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := AblationBuckets(Options{})
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	one := r.Row("1 band (one size fits all)")
+	four := r.Row("4 bands (default policy)")
+	if one == nil || four == nil {
+		t.Fatal("missing rows")
+	}
+	// The single mid-band setting is over-aggressive at high load: the
+	// banded policy must hold the loss rate well below it while keeping
+	// throughput in the same ballpark.
+	if four.LossRate >= one.LossRate {
+		t.Errorf("banded policy loss %.4f not below one-size %.4f", four.LossRate, one.LossRate)
+	}
+	if four.ThroughputMbps < 0.7*one.ThroughputMbps {
+		t.Errorf("banded policy throughput %.2f collapsed vs %.2f", four.ThroughputMbps, one.ThroughputMbps)
+	}
+}
+
+func TestAblationQueueDisciplineContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := AblationQueueDiscipline(Options{})
+	fifo := r.Row("fifo")
+	red := r.Row("red")
+	if fifo == nil || red == nil {
+		t.Fatal("missing rows")
+	}
+	// RED polices early: the standing queue must be smaller than under
+	// drop-tail with the same (overshooting) default senders.
+	if red.QueueDelayMs >= fifo.QueueDelayMs {
+		t.Errorf("RED qdelay %.1f not below FIFO %.1f", red.QueueDelayMs, fifo.QueueDelayMs)
+	}
+	if r.String() == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestAblationTrainingDoesNotRegress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := AblationTraining(Options{})
+	if len(r.Rows) != 2 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	seed := r.Rows[0]
+	trained := r.Rows[1]
+	// The trainer optimizes on a shorter horizon than the evaluation, so
+	// allow noise, but it must not collapse.
+	if trained.Power < 0.8*seed.Power {
+		t.Errorf("training regressed: %.2f -> %.2f", seed.Power, trained.Power)
+	}
+	if r.String() == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestDeploymentCurveMonotoneBenefit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := DeploymentCurve(Options{})
+	if len(r.Points) != 4 {
+		t.Fatalf("%d points", len(r.Points))
+	}
+	// At every adoption level the modified group must outperform the
+	// default-parameter world's power (Figure 4's claim holds across the
+	// curve), and full adoption should do at least as well as the lowest
+	// partial level.
+	for _, p := range r.Points {
+		if p.Modified.MeanPower() <= 0 {
+			t.Errorf("adoption %.0f%%: modified power %.2f", 100*p.Fraction, p.Modified.MeanPower())
+		}
+	}
+	first := r.Points[0].Modified.MeanPower()
+	last := r.Points[len(r.Points)-1].Modified.MeanPower()
+	if last < 0.7*first {
+		t.Errorf("full-adoption power %.2f collapsed vs single-adopter %.2f", last, first)
+	}
+	if r.String() == "" {
+		t.Error("empty output")
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSV export: every figure result can emit the series it plots, so the
+// paper's scatter plots and time series can be regenerated with any
+// plotting tool (`phi-experiments -run fig2b -csv out/`).
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// WriteCSV emits the sweep scatter: one row per parameter point (plus the
+// default), with the columns Figure 2 plots — throughput, queueing delay,
+// and loss rate (the paper encodes loss as marker size).
+func (fg SweepFigure) WriteCSV(w io.Writer) error {
+	header := []string{"initial_window", "initial_ssthresh", "beta",
+		"throughput_mbps", "queue_delay_ms", "loss_rate", "power", "kind"}
+	rows := [][]string{{
+		strconv.Itoa(fg.Sweep.Default.Params.InitialWindow),
+		strconv.Itoa(fg.Sweep.Default.Params.InitialSsthresh),
+		f(fg.Sweep.Default.Params.Beta),
+		f(fg.Sweep.Default.MeanThroughputMbps()),
+		f(fg.Sweep.Default.MeanQueueDelayMs()),
+		f(fg.Sweep.Default.MeanLossRate()),
+		f(fg.Sweep.Default.MeanPower()),
+		"default",
+	}}
+	best := fg.Sweep.Best()
+	for i := range fg.Sweep.Points {
+		p := &fg.Sweep.Points[i]
+		kind := "sweep"
+		if p == best {
+			kind = "optimal"
+		}
+		rows = append(rows, []string{
+			strconv.Itoa(p.Params.InitialWindow),
+			strconv.Itoa(p.Params.InitialSsthresh),
+			f(p.Params.Beta),
+			f(p.MeanThroughputMbps()),
+			f(p.MeanQueueDelayMs()),
+			f(p.MeanLossRate()),
+			f(p.MeanPower()),
+			kind,
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits one row per run with the three Figure 3 series.
+func (r Fig3Result) WriteCSV(w io.Writer) error {
+	header := []string{"run", "default_power", "common_power", "optimal_power"}
+	var rows [][]string
+	for i := range r.LOO.OptimalPower {
+		rows = append(rows, []string{
+			strconv.Itoa(i),
+			f(r.LOO.DefaultPower[i]),
+			f(r.LOO.CommonPower[i]),
+			f(r.LOO.OptimalPower[i]),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the three Figure 4 groups.
+func (r Fig4Result) WriteCSV(w io.Writer) error {
+	header := []string{"group", "throughput_mbps", "queue_delay_ms", "loss_rate", "power"}
+	row := func(name string, g interface {
+		MeanThroughputMbps() float64
+		MeanQueueDelayMs() float64
+		MeanLossRate() float64
+		MeanPower() float64
+	}) []string {
+		return []string{name, f(g.MeanThroughputMbps()), f(g.MeanQueueDelayMs()),
+			f(g.MeanLossRate()), f(g.MeanPower())}
+	}
+	return writeCSV(w, header, [][]string{
+		row("modified", &r.Modified),
+		row("unmodified", &r.Unmodified),
+		row("all_default", &r.AllDefault),
+	})
+}
+
+// WriteCSV emits the Table 3 rows.
+func (r Table3Result) WriteCSV(w io.Writer) error {
+	header := []string{"algorithm", "median_throughput_mbps", "median_queue_delay_ms", "objective"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Algorithm,
+			f(row.MedianThrMbps), f(row.MedianQDelayMs), f(row.Objective)})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the Figure 5 time series: the affected aggregate around
+// the event, one row per minute.
+func (r Fig5Result) WriteCSV(w io.Writer) error {
+	header := []string{"minute", "requests", "in_event"}
+	var rows [][]string
+	for i, v := range r.Series {
+		minute := r.Window[0] + i
+		inEvent := "0"
+		if r.Best != nil && minute >= r.Best.Event.Start && minute < r.Best.Event.End {
+			inEvent = "1"
+		}
+		rows = append(rows, []string{strconv.Itoa(minute), f(v), inEvent})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the sharing CDF points.
+func (r SharingResult) WriteCSV(w io.Writer) error {
+	header := []string{"others_sharing", "cdf"}
+	var rows [][]string
+	for _, p := range r.CDF {
+		rows = append(rows, []string{f(p.X), f(p.P)})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the ablation rows.
+func (r AblationResult) WriteCSV(w io.Writer) error {
+	header := []string{"configuration", "throughput_mbps", "queue_delay_ms", "loss_rate", "power"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Name,
+			f(row.ThroughputMbps), f(row.QueueDelayMs), f(row.LossRate), f(row.Power)})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// CSVWriter is implemented by every result that can export its series.
+type CSVWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+// assert the implementations.
+var (
+	_ CSVWriter = SweepFigure{}
+	_ CSVWriter = Fig3Result{}
+	_ CSVWriter = Fig4Result{}
+	_ CSVWriter = Table3Result{}
+	_ CSVWriter = Fig5Result{}
+	_ CSVWriter = SharingResult{}
+	_ CSVWriter = AblationResult{}
+)

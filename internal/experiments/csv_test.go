@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/metrics"
+	"repro/internal/phi"
+	"repro/internal/tcp"
+)
+
+// fakeSweep builds a tiny SweepResult without running simulations.
+func fakeSweep() *phi.SweepResult {
+	mk := func(p tcp.CubicParams, power float64) phi.SweepPoint {
+		return phi.SweepPoint{Params: p, Runs: []phi.RunMetrics{{
+			ThroughputMbps: power / 2, QueueDelayMs: 10, LossRate: 0.01, Power: power,
+		}}}
+	}
+	return &phi.SweepResult{
+		Default: mk(tcp.DefaultCubicParams(), 3),
+		Points: []phi.SweepPoint{
+			mk(tcp.CubicParams{InitialWindow: 16, InitialSsthresh: 64, Beta: 0.2}, 9),
+			mk(tcp.CubicParams{InitialWindow: 2, InitialSsthresh: 16, Beta: 0.5}, 6),
+		},
+	}
+}
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestSweepFigureCSV(t *testing.T) {
+	fig := SweepFigure{Name: "test", Sweep: fakeSweep()}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 4 { // header + default + 2 points
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1][7] != "default" {
+		t.Errorf("first data row kind = %q", rows[1][7])
+	}
+	foundOptimal := false
+	for _, r := range rows[2:] {
+		if r[7] == "optimal" {
+			foundOptimal = true
+		}
+	}
+	if !foundOptimal {
+		t.Error("no optimal row marked")
+	}
+}
+
+func TestFig3And4CSV(t *testing.T) {
+	f3 := Fig3Result{LOO: phi.LeaveOneOut{
+		CommonPower: []float64{8, 8.5}, OptimalPower: []float64{9, 10}, DefaultPower: []float64{4, 4.2},
+	}}
+	var buf bytes.Buffer
+	if err := f3.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 3 {
+		t.Errorf("fig3 rows = %d", len(rows))
+	}
+
+	f4 := Fig4Result{
+		Modified:   phi.GroupMetrics{Runs: []phi.RunMetrics{{Power: 9}}},
+		Unmodified: phi.GroupMetrics{Runs: []phi.RunMetrics{{Power: 4}}},
+		AllDefault: phi.GroupMetrics{Runs: []phi.RunMetrics{{Power: 3.5}}},
+	}
+	buf.Reset()
+	if err := f4.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"modified", "unmodified", "all_default"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig4 csv missing %q", want)
+		}
+	}
+}
+
+func TestTable3AndSharingCSV(t *testing.T) {
+	t3 := Table3Result{Rows: []Table3Row{
+		{Algorithm: "Remy", MedianThrMbps: 1.4, MedianQDelayMs: 2, Objective: 2.2},
+	}}
+	var buf bytes.Buffer
+	if err := t3.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Remy") {
+		t.Error("table3 csv missing row")
+	}
+
+	sh := SharingResult{CDF: []metrics.Point{{X: 5, P: 0.5}, {X: 100, P: 0.88}}}
+	buf.Reset()
+	if err := sh.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 3 {
+		t.Errorf("sharing rows = %d", len(rows))
+	}
+}
+
+func TestFig5AndAblationCSV(t *testing.T) {
+	f5 := Fig5Result{
+		Best:   &diagnosis.Finding{Event: diagnosis.Event{Start: 12, End: 14}},
+		Series: []float64{100, 10, 10, 100},
+		Window: [2]int{10, 14},
+	}
+	var buf bytes.Buffer
+	if err := f5.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 5 {
+		t.Fatalf("fig5 rows = %d", len(rows))
+	}
+	if rows[3][2] != "1" { // minute 12 is inside the event
+		t.Errorf("in_event flag wrong: %v", rows[3])
+	}
+
+	ab := AblationResult{Title: "t", Rows: []AblationRow{{Name: "fifo", Power: 5}}}
+	buf.Reset()
+	if err := ab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fifo") {
+		t.Error("ablation csv missing row")
+	}
+}

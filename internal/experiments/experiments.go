@@ -1,0 +1,225 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment function is pure (deterministic in its
+// options) and returns a result value whose String method renders the
+// rows/series the paper reports; cmd/phi-experiments prints them and the
+// repository-level benchmarks time them.
+//
+// The experiment index (paper artifact -> function) is:
+//
+//	Table 1  -> Table1        (default Cubic parameters)
+//	Table 2  -> Table2        (sweep grid)
+//	Fig 2a   -> Fig2a         (low-utilization Cubic sweep)
+//	Fig 2b   -> Fig2b         (high-utilization Cubic sweep + loss contrast)
+//	Fig 2c   -> Fig2c         (long-running flows, beta sweep)
+//	Fig 3    -> Fig3          (leave-one-out stability)
+//	Fig 4    -> Fig4          (incremental deployment)
+//	Table 3  -> Table3        (Remy / Remy-Phi / Cubic)
+//	Fig 5    -> Fig5          (unreachability detection & localization)
+//	Sec 2.1  -> Sharing       (IPFIX flow-sharing CDF)
+//	—        -> BuildPolicy   (distill sweeps into a Phi policy)
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/phi"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// Options scale every experiment between a quick, minutes-long pass and
+// the paper-fidelity configuration.
+type Options struct {
+	// Full selects the paper-scale configuration: the complete Table 2
+	// grid, n = 8 runs, 100 long-running flows, longer horizons. The
+	// default (coarse) configuration preserves every qualitative shape in
+	// a fraction of the time.
+	Full bool
+	// Seed offsets all run seeds.
+	Seed int64
+}
+
+func (o Options) runs() int {
+	if o.Full {
+		return 8
+	}
+	return 3
+}
+
+func (o Options) duration() sim.Time {
+	if o.Full {
+		return 120 * sim.Second
+	}
+	return 40 * sim.Second
+}
+
+func (o Options) spec() phi.SweepSpec {
+	if o.Full {
+		return phi.Table2Spec()
+	}
+	return phi.CoarseSpec()
+}
+
+// fig2Rate is the Figure 2 bottleneck rate. The paper specifies the
+// Figure 1 topology but not this link's rate; 5 Mbit/s makes 500 KB
+// transfers large relative to the pipe, so the default 65536-segment
+// slow-start threshold overshoots the 5xBDP buffer on most connections —
+// reproducing the paper's headline loss contrast (3.92% default vs 0.01%
+// tuned).
+const fig2Rate = 5_000_000
+
+// Sender counts producing the paper's utilization levels under the
+// Figure 2 workload (mean on 500 KB, mean off 2 s), measured on this
+// simulator: ~25-30% (low) and ~60-75% (high, the paper's Figure 4 level).
+const (
+	lowUtilSenders  = 1
+	highUtilSenders = 3
+)
+
+// fig2Scenario is the shared Figure 2 workload template.
+func fig2Scenario(senders int, o Options) workload.Scenario {
+	db := sim.DefaultDumbbell(senders)
+	db.BottleneckRate = fig2Rate
+	return workload.Scenario{
+		Dumbbell:    db,
+		MeanOnBytes: 500_000,
+		MeanOffTime: 2 * sim.Second,
+		Duration:    o.duration(),
+		Warmup:      5 * sim.Second,
+	}
+}
+
+// Table1Result reports the default parameters (Table 1).
+type Table1Result struct {
+	Defaults tcp.CubicParams
+}
+
+// Table1 regenerates Table 1.
+func Table1() Table1Result {
+	return Table1Result{Defaults: tcp.DefaultCubicParams()}
+}
+
+func (r Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: default TCP Cubic parameters\n")
+	fmt.Fprintf(&b, "  initial_ssthresh  %d segments (arbitrarily large, RFC 5681)\n", r.Defaults.InitialSsthresh)
+	fmt.Fprintf(&b, "  windowInit_       %d segments\n", r.Defaults.InitialWindow)
+	fmt.Fprintf(&b, "  beta              %.1f ((1-beta) multiplicative decrease)\n", r.Defaults.Beta)
+	return b.String()
+}
+
+// Table2Result reports the sweep grid (Table 2).
+type Table2Result struct {
+	Spec   phi.SweepSpec
+	Points int
+}
+
+// Table2 regenerates Table 2.
+func Table2(o Options) Table2Result {
+	spec := o.spec()
+	return Table2Result{Spec: spec, Points: len(spec.Points())}
+}
+
+func (r Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 2: Cubic-Phi parameter sweep ranges\n")
+	fmt.Fprintf(&b, "  initial_ssthresh  %v segments\n", r.Spec.Ssthresh)
+	fmt.Fprintf(&b, "  windowInit_       %v segments\n", r.Spec.WindowInit)
+	fmt.Fprintf(&b, "  beta              %v\n", r.Spec.Beta)
+	fmt.Fprintf(&b, "  grid              %d parameter combinations\n", r.Points)
+	return b.String()
+}
+
+// SweepFigure is the result shape shared by Figures 2a-2c: the scatter of
+// parameter settings in (throughput, queueing delay, loss) space with the
+// default and optimal points called out.
+type SweepFigure struct {
+	Name        string
+	Utilization float64
+	Sweep       *phi.SweepResult
+}
+
+// Fig2a regenerates Figure 2a (low link utilization).
+func Fig2a(o Options) SweepFigure {
+	sc := fig2Scenario(lowUtilSenders, o)
+	res := phi.RunSweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 100 + o.Seed})
+	return SweepFigure{Name: "Figure 2a (low utilization)", Sweep: res,
+		Utilization: meanUtil(res)}
+}
+
+// Fig2b regenerates Figure 2b (high link utilization).
+func Fig2b(o Options) SweepFigure {
+	sc := fig2Scenario(highUtilSenders, o)
+	res := phi.RunSweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 200 + o.Seed})
+	return SweepFigure{Name: "Figure 2b (high utilization)", Sweep: res,
+		Utilization: meanUtil(res)}
+}
+
+// Fig2c regenerates Figure 2c (long-running connections, beta sweep).
+func Fig2c(o Options) SweepFigure {
+	senders := 20
+	if o.Full {
+		senders = 100 // the paper's setting
+	}
+	db := sim.DefaultDumbbell(senders)
+	db.BottleneckRate = fig2Rate
+	sc := workload.Scenario{
+		Dumbbell:    db,
+		LongRunning: true,
+		Duration:    o.duration(),
+		Warmup:      10 * sim.Second,
+	}
+	res := phi.RunSweep(phi.SweepConfig{Scenario: sc, Spec: phi.BetaOnlySpec(), Runs: o.runs(), BaseSeed: 300 + o.Seed})
+	return SweepFigure{Name: "Figure 2c (long-running connections)", Sweep: res,
+		Utilization: meanUtil(res)}
+}
+
+func meanUtil(res *phi.SweepResult) float64 {
+	var sum float64
+	var n int
+	for _, r := range res.Default.Runs {
+		sum += r.Utilization
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func (f SweepFigure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — mean default-run utilization %.0f%%\n", f.Name, 100*f.Utilization)
+	fmt.Fprintf(&b, "  %-30s %10s %12s %9s %9s\n", "parameters", "thr Mbps", "qdelay ms", "loss %", "power")
+	row := func(tag string, p *phi.SweepPoint) {
+		fmt.Fprintf(&b, "  %-30s %10.2f %12.2f %9.3f %9.2f  %s\n",
+			p.Params.String(), p.MeanThroughputMbps(), p.MeanQueueDelayMs(),
+			100*p.MeanLossRate(), p.MeanPower(), tag)
+	}
+	row("<- DEFAULT", &f.Sweep.Default)
+	best := f.Sweep.Best()
+	for i := range f.Sweep.Points {
+		p := &f.Sweep.Points[i]
+		tag := ""
+		if p == best {
+			tag = "<- OPTIMAL"
+		}
+		row(tag, p)
+	}
+	return b.String()
+}
+
+// Improvement summarizes optimal vs default on the headline metrics.
+func (f SweepFigure) Improvement() (throughputGain, delayReduction, lossDefault, lossOptimal float64) {
+	best := f.Sweep.Best()
+	def := &f.Sweep.Default
+	if def.MeanThroughputMbps() > 0 {
+		throughputGain = best.MeanThroughputMbps() / def.MeanThroughputMbps()
+	}
+	if def.MeanQueueDelayMs() > 0 {
+		delayReduction = 1 - best.MeanQueueDelayMs()/def.MeanQueueDelayMs()
+	}
+	return throughputGain, delayReduction, def.MeanLossRate(), best.MeanLossRate()
+}

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diagnosis"
+)
+
+// These tests assert the qualitative shapes of the paper's results — who
+// wins, by roughly what factor, where the effects appear — using the
+// coarse experiment options.
+
+func TestTable1MatchesPaper(t *testing.T) {
+	r := Table1()
+	if r.Defaults.InitialWindow != 2 || r.Defaults.InitialSsthresh != 65536 || r.Defaults.Beta != 0.2 {
+		t.Errorf("defaults = %v", r.Defaults)
+	}
+	s := r.String()
+	for _, want := range []string{"65536", "initial_ssthresh", "windowInit_", "beta"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2GridSizes(t *testing.T) {
+	if got := Table2(Options{Full: true}).Points; got != 576 {
+		t.Errorf("full grid = %d, want 576 (8x8x9)", got)
+	}
+	coarse := Table2(Options{})
+	if coarse.Points == 0 || coarse.Points >= 576 {
+		t.Errorf("coarse grid = %d", coarse.Points)
+	}
+	if coarse.String() == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := Fig2a(Options{})
+	if f.Utilization < 0.1 || f.Utilization > 0.45 {
+		t.Errorf("low-util scenario at %.0f%% utilization", 100*f.Utilization)
+	}
+	gain, delayRed, lossDef, lossOpt := f.Improvement()
+	if gain <= 1.0 {
+		t.Errorf("optimal throughput gain x%.2f, want > 1", gain)
+	}
+	if delayRed <= 0.3 {
+		t.Errorf("optimal delay reduction %.0f%%, want well above 0", 100*delayRed)
+	}
+	if lossOpt >= lossDef {
+		t.Errorf("optimal loss %.3f should be below default %.3f", lossOpt, lossDef)
+	}
+	best := f.Sweep.Best().Params
+	def := f.Sweep.Default.Params
+	if best.InitialWindow <= def.InitialWindow {
+		t.Errorf("optimal initial window %d should exceed default %d (paper finding)",
+			best.InitialWindow, def.InitialWindow)
+	}
+	if best.InitialSsthresh >= def.InitialSsthresh {
+		t.Errorf("optimal ssthresh %d should be below default %d (paper finding)",
+			best.InitialSsthresh, def.InitialSsthresh)
+	}
+	if !strings.Contains(f.String(), "OPTIMAL") {
+		t.Error("figure output missing OPTIMAL marker")
+	}
+}
+
+func TestFig2bLossContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := Fig2b(Options{})
+	if f.Utilization < 0.45 {
+		t.Errorf("high-util scenario at only %.0f%%", 100*f.Utilization)
+	}
+	_, _, lossDef, lossOpt := f.Improvement()
+	// The paper's headline: 3.92% default vs 0.01% optimal.
+	if lossDef < 0.01 {
+		t.Errorf("default loss %.4f, want the multi-percent regime", lossDef)
+	}
+	if lossOpt > lossDef/5 {
+		t.Errorf("optimal loss %.4f not dramatically below default %.4f", lossOpt, lossDef)
+	}
+	if f.Sweep.Best().MeanPower() <= f.Sweep.Default.MeanPower() {
+		t.Error("optimal power should beat default")
+	}
+}
+
+func TestFig2aOptimalMoreAggressiveThanFig2b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// "The optimal settings shift to be smaller as the link utilization
+	// becomes higher."
+	low := Fig2a(Options{}).Sweep.Best().Params
+	high := Fig2b(Options{}).Sweep.Best().Params
+	if low.InitialWindow < high.InitialWindow {
+		t.Errorf("low-util optimal iw %d should be >= high-util %d",
+			low.InitialWindow, high.InitialWindow)
+	}
+}
+
+func TestFig2cOnlyBetaMatters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := Fig2c(Options{})
+	if f.Utilization < 0.95 {
+		t.Errorf("long-running utilization %.2f, want ~0.99", f.Utilization)
+	}
+	// A larger beta should yield a clearly lower queueing delay than the
+	// default 0.2 (the paper's finding for long-running flows).
+	var qdLow, qdHigh float64
+	for i := range f.Sweep.Points {
+		p := &f.Sweep.Points[i]
+		switch p.Params.Beta {
+		case 0.2:
+			qdLow = p.MeanQueueDelayMs()
+		case 0.8:
+			qdHigh = p.MeanQueueDelayMs()
+		}
+	}
+	if qdHigh >= qdLow {
+		t.Errorf("beta=0.8 qdelay %.1f ms should be below beta=0.2 %.1f ms", qdHigh, qdLow)
+	}
+}
+
+func TestFig3CommonNearOptimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig3(Options{})
+	if len(r.LOO.CommonPower) < 4 {
+		t.Fatalf("LOO over %d runs", len(r.LOO.CommonPower))
+	}
+	gain := r.CommonGainOverDefault()
+	if gain <= 1.2 {
+		t.Errorf("common-setting gain over default x%.2f, want clearly > 1 (not a fluke)", gain)
+	}
+	// Common captures most of the optimal's gain.
+	var def, common, opt float64
+	for i := range r.LOO.CommonPower {
+		def += r.LOO.DefaultPower[i]
+		common += r.LOO.CommonPower[i]
+		opt += r.LOO.OptimalPower[i]
+	}
+	if capture := (common - def) / (opt - def); capture < 0.5 {
+		t.Errorf("common setting captured only %.0f%% of the optimal gain", 100*capture)
+	}
+	if r.String() == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestFig4IncrementalDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig4(Options{})
+	// Modified senders beat the unmodified senders in the same run.
+	if r.Modified.MeanPower() <= r.Unmodified.MeanPower() {
+		t.Errorf("modified power %.2f should beat unmodified %.2f",
+			r.Modified.MeanPower(), r.Unmodified.MeanPower())
+	}
+	if r.Modified.MeanQueueDelayMs() >= r.Unmodified.MeanQueueDelayMs() {
+		t.Errorf("modified qdelay %.1f should be below unmodified %.1f",
+			r.Modified.MeanQueueDelayMs(), r.Unmodified.MeanQueueDelayMs())
+	}
+	// "Even the unmodified senders see an improvement in the power
+	// metric" vs the all-default world.
+	if r.Unmodified.MeanPower() <= r.AllDefault.MeanPower() {
+		t.Errorf("unmodified power %.2f should beat all-default %.2f",
+			r.Unmodified.MeanPower(), r.AllDefault.MeanPower())
+	}
+	if r.String() == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Table3(Options{}, false)
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(r.Rows))
+	}
+	cubic := r.Row("Cubic")
+	remy := r.Row("Remy")
+	prac := r.Row("Remy-Phi-practical")
+	ideal := r.Row("Remy-Phi-ideal")
+	if cubic == nil || remy == nil || prac == nil || ideal == nil {
+		t.Fatal("missing rows")
+	}
+	// Objective ordering: ideal >= practical > remy > cubic.
+	if !(remy.Objective > cubic.Objective) {
+		t.Errorf("Remy %.2f should beat Cubic %.2f", remy.Objective, cubic.Objective)
+	}
+	if !(prac.Objective > remy.Objective) {
+		t.Errorf("practical %.2f should beat Remy %.2f", prac.Objective, remy.Objective)
+	}
+	if ideal.Objective < prac.Objective-0.1 {
+		t.Errorf("ideal %.2f should be at least practical %.2f", ideal.Objective, prac.Objective)
+	}
+	// Throughput: the Phi variants clearly above plain Remy (paper:
+	// 1.93-1.97 vs 1.45).
+	if prac.MedianThrMbps < 1.2*remy.MedianThrMbps {
+		t.Errorf("practical throughput %.2f not clearly above Remy %.2f",
+			prac.MedianThrMbps, remy.MedianThrMbps)
+	}
+	if !strings.Contains(r.String(), "Remy-Phi-practical") {
+		t.Error("output missing rows")
+	}
+}
+
+func TestFig5DetectsAndLocalizes(t *testing.T) {
+	r := Fig5(Options{})
+	if r.Best == nil {
+		t.Fatal("event not detected")
+	}
+	if r.Best.Scope[diagnosis.DimISP] != r.Injected.ISP ||
+		r.Best.Scope[diagnosis.DimMetro] != r.Injected.Metro {
+		t.Errorf("detected scope %v, want injected %s/%s",
+			r.Best.Scope, r.Injected.ISP, r.Injected.Metro)
+	}
+	if d := r.Best.Event.Duration(); d < 100 || d > 140 {
+		t.Errorf("duration %d minutes, want ~120 ('around 2 hours')", d)
+	}
+	if r.Localization.Pinned[diagnosis.DimISP] != r.Injected.ISP {
+		t.Errorf("localization %v", r.Localization)
+	}
+	if len(r.Series) == 0 {
+		t.Error("no figure series extracted")
+	}
+	if !strings.Contains(r.String(), "localized") {
+		t.Error("output incomplete")
+	}
+}
+
+func TestSharingMatchesAnchors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Sharing(Options{})
+	if r.AtLeast5 < 0.4 || r.AtLeast5 > 0.62 {
+		t.Errorf("P(>=5) = %.2f, want near the paper's 0.50", r.AtLeast5)
+	}
+	if r.AtLeast100 < 0.06 || r.AtLeast100 > 0.2 {
+		t.Errorf("P(>=100) = %.2f, want near the paper's 0.12", r.AtLeast100)
+	}
+	if r.ExportedFlows == 0 || r.Slices == 0 || len(r.CDF) == 0 {
+		t.Error("empty analysis")
+	}
+	// CDF must be monotone.
+	for i := 1; i < len(r.CDF); i++ {
+		if r.CDF[i].P < r.CDF[i-1].P || r.CDF[i].X < r.CDF[i-1].X {
+			t.Fatalf("CDF not monotone: %+v", r.CDF)
+		}
+	}
+}
+
+func TestBuildPolicyIsOrderedAndValid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := BuildPolicy(Options{})
+	if len(r.Policy.Rules) != 3 {
+		t.Fatalf("%d rules, want 3", len(r.Policy.Rules))
+	}
+	for i, rule := range r.Policy.Rules {
+		if !rule.Params.Valid() {
+			t.Errorf("rule %d has invalid params", i)
+		}
+		if i > 0 && rule.MaxU <= r.Policy.Rules[i-1].MaxU {
+			t.Error("rules not ordered by utilization")
+		}
+	}
+	// The low-utilization band should start with at least as large an
+	// initial window as the saturated band (the paper's monotonicity).
+	lo := r.Policy.Rules[0].Params
+	hi := r.Policy.Rules[len(r.Policy.Rules)-1].Params
+	if lo.InitialWindow < hi.InitialWindow {
+		t.Errorf("low-band iw %d below saturated-band iw %d", lo.InitialWindow, hi.InitialWindow)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 1)
+	if len([]rune(s)) != 8 {
+		t.Errorf("sparkline length %d, want 8", len([]rune(s)))
+	}
+	if s[0] == s[len(s)-1] {
+		t.Error("sparkline flat for a rising series")
+	}
+	if flat := sparkline([]float64{5, 5, 5}, 1); len([]rune(flat)) != 3 {
+		t.Error("flat sparkline wrong length")
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/phi"
+)
+
+// Fig3Result is the Figure 3 stability analysis: per run, the objective of
+// the default setting, of the per-run optimal setting, and of the
+// "common" setting (optimal on one run, applied to the others).
+type Fig3Result struct {
+	LOO phi.LeaveOneOut
+}
+
+// Fig3 regenerates Figure 3 from the high-utilization sweep.
+func Fig3(o Options) Fig3Result {
+	sc := fig2Scenario(highUtilSenders, o)
+	runs := o.runs()
+	if runs < 4 {
+		runs = 4 // leave-one-out needs enough runs to be meaningful
+	}
+	res := phi.RunSweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: runs, BaseSeed: 400 + o.Seed})
+	return Fig3Result{LOO: res.LeaveOneOut()}
+}
+
+func (r Fig3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: stability of optimal parameter settings (leave-one-out)\n")
+	fmt.Fprintf(&b, "  %-6s %12s %12s %12s\n", "run", "default P_l", "common P_l", "optimal P_l")
+	for i := range r.LOO.OptimalPower {
+		fmt.Fprintf(&b, "  %-6d %12.2f %12.2f %12.2f\n",
+			i, r.LOO.DefaultPower[i], r.LOO.CommonPower[i], r.LOO.OptimalPower[i])
+	}
+	fmt.Fprintf(&b, "  %-6s %12.2f %12.2f %12.2f\n", "mean",
+		metrics.Mean(r.LOO.DefaultPower), metrics.Mean(r.LOO.CommonPower), metrics.Mean(r.LOO.OptimalPower))
+	return b.String()
+}
+
+// CommonGainOverDefault reports the mean common-setting improvement over
+// the default setting (the Figure 3 takeaway: nearly all the optimal
+// setting's gain transfers across runs).
+func (r Fig3Result) CommonGainOverDefault() float64 {
+	d := metrics.Mean(r.LOO.DefaultPower)
+	if d == 0 {
+		return 0
+	}
+	return metrics.Mean(r.LOO.CommonPower) / d
+}
+
+// Fig4Result is the incremental-deployment experiment: metrics for the
+// modified (Phi-optimal parameters) and unmodified (default) halves, plus
+// the all-default reference.
+type Fig4Result struct {
+	Modified   phi.GroupMetrics
+	Unmodified phi.GroupMetrics
+	// AllDefault is the same workload with every sender on defaults, the
+	// baseline both groups are compared against.
+	AllDefault phi.GroupMetrics
+	// OptimalParams is the setting the modified half adopted.
+	OptimalParams string
+}
+
+// Fig4 regenerates Figure 4: at ~60% utilization, half the senders adopt
+// the setting that would have been optimal under full cooperation.
+func Fig4(o Options) Fig4Result {
+	sc := fig2Scenario(highUtilSenders, o)
+
+	// Find the cooperative optimum first (as the paper does).
+	sweep := phi.RunSweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 500 + o.Seed})
+	best := sweep.Best().Params
+
+	mixed := phi.RunMixed(phi.MixedConfig{
+		Scenario: sc, Modified: best, ModifiedFraction: 0.5,
+		Runs: o.runs(), BaseSeed: 550 + o.Seed,
+	})
+	// All-default reference: the sweep's default point re-expressed as
+	// group metrics via a 100%-unmodified mixed run.
+	allDef := phi.RunMixed(phi.MixedConfig{
+		Scenario: sc, Modified: best, ModifiedFraction: 0.0001, // effectively none
+		Runs: o.runs(), BaseSeed: 550 + o.Seed,
+	})
+	return Fig4Result{
+		Modified:      mixed.Modified,
+		Unmodified:    mixed.Unmodified,
+		AllDefault:    allDef.Unmodified,
+		OptimalParams: best.String(),
+	}
+}
+
+func (r Fig4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: incremental deployment (half modified, half default)\n")
+	fmt.Fprintf(&b, "  modified senders use: %s\n", r.OptimalParams)
+	fmt.Fprintf(&b, "  %-22s %10s %12s %9s %9s\n", "group", "thr Mbps", "qdelay ms", "loss %", "power")
+	row := func(name string, g *phi.GroupMetrics) {
+		fmt.Fprintf(&b, "  %-22s %10.2f %12.2f %9.3f %9.2f\n",
+			name, g.MeanThroughputMbps(), g.MeanQueueDelayMs(), 100*g.MeanLossRate(), g.MeanPower())
+	}
+	row("modified (Phi)", &r.Modified)
+	row("unmodified (default)", &r.Unmodified)
+	row("all-default baseline", &r.AllDefault)
+	return b.String()
+}
+
+// DeploymentPoint is one adoption level of the deployment curve.
+type DeploymentPoint struct {
+	Fraction   float64
+	Modified   phi.GroupMetrics
+	Unmodified phi.GroupMetrics
+}
+
+// DeploymentCurveResult generalizes Figure 4 across adoption fractions:
+// "since transitioning to the proposed approach is likely to be gradual,
+// the question is whether a partial deployment would also offer any
+// benefit" — here answered at every level from a single adopter to
+// near-total adoption.
+type DeploymentCurveResult struct {
+	Points        []DeploymentPoint
+	OptimalParams string
+}
+
+// DeploymentCurve runs the incremental-deployment experiment at several
+// modified fractions.
+func DeploymentCurve(o Options) DeploymentCurveResult {
+	sc := fig2Scenario(highUtilSenders+1, o) // 4 senders: fractions land on whole senders
+	sweep := phi.RunSweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 980 + o.Seed})
+	best := sweep.Best().Params
+
+	var out DeploymentCurveResult
+	out.OptimalParams = best.String()
+	for _, frac := range []float64{0.25, 0.5, 0.75, 0.999} {
+		mixed := phi.RunMixed(phi.MixedConfig{
+			Scenario: sc, Modified: best, ModifiedFraction: frac,
+			Runs: o.runs(), BaseSeed: 985 + o.Seed,
+		})
+		out.Points = append(out.Points, DeploymentPoint{
+			Fraction: frac, Modified: mixed.Modified, Unmodified: mixed.Unmodified,
+		})
+	}
+	return out
+}
+
+func (r DeploymentCurveResult) String() string {
+	var b strings.Builder
+	b.WriteString("Deployment curve: Figure 4 across adoption fractions\n")
+	fmt.Fprintf(&b, "  modified senders use: %s\n", r.OptimalParams)
+	fmt.Fprintf(&b, "  %-10s %14s %14s %16s %16s\n",
+		"adoption", "mod power", "unmod power", "mod qdelay ms", "unmod qdelay ms")
+	for _, p := range r.Points {
+		unmodPow, unmodQD := "-", "-"
+		if len(p.Unmodified.Runs) > 0 && p.Fraction < 0.99 {
+			unmodPow = fmt.Sprintf("%.2f", p.Unmodified.MeanPower())
+			unmodQD = fmt.Sprintf("%.1f", p.Unmodified.MeanQueueDelayMs())
+		}
+		fmt.Fprintf(&b, "  %-10.0f%% %13.2f %14s %16.1f %16s\n",
+			100*p.Fraction, p.Modified.MeanPower(), unmodPow,
+			p.Modified.MeanQueueDelayMs(), unmodQD)
+	}
+	return b.String()
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/diagnosis"
+	"repro/internal/ipfix"
+	"repro/internal/metrics"
+	"repro/internal/phi"
+)
+
+// Fig5Result is the unreachability detection/localization run.
+type Fig5Result struct {
+	Injected     diagnosis.Outage
+	Findings     []diagnosis.Finding
+	Best         *diagnosis.Finding
+	Localization diagnosis.Localization
+	// Series is the affected ISPxmetro aggregate around the event for
+	// plotting (minute, volume) pairs.
+	Series []float64
+	Window [2]int
+}
+
+// Fig5 regenerates Figure 5: inject a ~2 h outage confined to one ISP in
+// one metro into three days of synthetic telemetry, detect it by scanning
+// sliced aggregates, and localize it.
+func Fig5(o Options) Fig5Result {
+	cfg := diagnosis.DefaultGenConfig()
+	cfg.Seed = 1 + o.Seed
+	outage := diagnosis.Outage{
+		ISP: "isp-3", Metro: "seattle",
+		StartMinute: 2*24*60 + 9*60, DurationMin: 120, Severity: 0.9,
+	}
+	cfg.Outage = &outage
+	store := diagnosis.Generate(cfg)
+
+	findings := diagnosis.Scan(store, diagnosis.DetectConfig{})
+	best := diagnosis.Narrowest(findings)
+	res := Fig5Result{Injected: outage, Findings: findings, Best: best}
+	if best != nil {
+		res.Localization = diagnosis.Localize(store, best.Event, diagnosis.LocalizeConfig{})
+		// Extract the affected aggregate around the event for the figure.
+		series := store.TotalWhere(func(sl diagnosis.Slice) bool {
+			return sl.ISP == outage.ISP && sl.Metro == outage.Metro
+		})
+		lo := best.Event.Start - 180
+		hi := best.Event.End + 180
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(series) {
+			hi = len(series)
+		}
+		res.Series = series[lo:hi]
+		res.Window = [2]int{lo, hi}
+	}
+	return res
+}
+
+func (r Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: unreachability event detection and localization\n")
+	fmt.Fprintf(&b, "  injected: isp=%s metro=%s minutes [%d, %d) severity %.0f%%\n",
+		r.Injected.ISP, r.Injected.Metro, r.Injected.StartMinute,
+		r.Injected.StartMinute+r.Injected.DurationMin, 100*r.Injected.Severity)
+	if r.Best == nil {
+		b.WriteString("  NOT DETECTED\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  detected: %v\n", *r.Best)
+	fmt.Fprintf(&b, "  localized: %v (coverage service %.2f / isp %.2f / metro %.2f)\n",
+		r.Localization,
+		r.Localization.Coverage[diagnosis.DimService],
+		r.Localization.Coverage[diagnosis.DimISP],
+		r.Localization.Coverage[diagnosis.DimMetro])
+	// Compact sparkline of the affected aggregate.
+	if len(r.Series) > 0 {
+		b.WriteString("  affected aggregate (6h window, 10-minute buckets):\n  ")
+		b.WriteString(sparkline(r.Series, 10))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// sparkline renders a series as coarse unicode bars, bucketed.
+func sparkline(series []float64, bucket int) string {
+	bars := []rune("▁▂▃▄▅▆▇█")
+	var vals []float64
+	for i := 0; i < len(series); i += bucket {
+		end := i + bucket
+		if end > len(series) {
+			end = len(series)
+		}
+		vals = append(vals, metrics.Mean(series[i:end]))
+	}
+	var lo, hi float64
+	for i, v := range vals {
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(bars)-1))
+		}
+		sb.WriteRune(bars[idx])
+	}
+	return sb.String()
+}
+
+// SharingResult is the Section 2.1 flow-sharing analysis.
+type SharingResult struct {
+	ExportedFlows int
+	Slices        int
+	AtLeast5      float64
+	AtLeast100    float64
+	// CDF holds (others, P(X <= others)) points of the sharing CDF.
+	CDF []metrics.Point
+}
+
+// Sharing regenerates the Section 2.1 measurement on the synthetic egress
+// model: the fraction of sampled flows sharing their /24-minute path
+// slice with at least 5 (paper: 50%) and at least 100 (paper: 12%) other
+// flows, under 1-in-4096 sampling. The records make a full round trip
+// through the IPFIX codec, as they would from router to collector.
+func Sharing(o Options) SharingResult {
+	cfg := ipfix.DefaultSynthConfig()
+	cfg.Seed = 1 + o.Seed
+	records := ipfix.Generate(cfg, ipfix.DefaultSamplingRate)
+
+	// Round trip through the wire format (router export -> collector).
+	enc := ipfix.NewEncoder(1)
+	dec := ipfix.NewDecoder()
+	var collected []ipfix.FlowRecord
+	for i := 0; i < len(records); i += 500 {
+		end := i + 500
+		if end > len(records) {
+			end = len(records)
+		}
+		msg, err := enc.Encode(uint32(i), records[i:end])
+		if err != nil {
+			panic(err)
+		}
+		got, err := dec.Decode(msg)
+		if err != nil {
+			panic(err)
+		}
+		collected = append(collected, got...)
+	}
+
+	a := ipfix.AnalyzeSharing(collected)
+	cdf := metrics.NewCDF(a.OthersPerFlow)
+	return SharingResult{
+		ExportedFlows: len(collected),
+		Slices:        a.Slices,
+		AtLeast5:      a.FractionSharingAtLeast(5),
+		AtLeast100:    a.FractionSharingAtLeast(100),
+		CDF:           cdf.Points(12),
+	}
+}
+
+func (r SharingResult) String() string {
+	var b strings.Builder
+	b.WriteString("Section 2.1: flow sharing per /24 x minute (1-in-4096 sampling)\n")
+	fmt.Fprintf(&b, "  exported flows %d across %d path slices\n", r.ExportedFlows, r.Slices)
+	fmt.Fprintf(&b, "  share with >= 5 other flows:   %5.1f%%  (paper: 50%%)\n", 100*r.AtLeast5)
+	fmt.Fprintf(&b, "  share with >= 100 other flows: %5.1f%%  (paper: 12%%)\n", 100*r.AtLeast100)
+	b.WriteString("  CDF of co-sharing flows:\n")
+	for _, p := range r.CDF {
+		fmt.Fprintf(&b, "    P(others <= %6.0f) = %.2f\n", p.X, p.P)
+	}
+	return b.String()
+}
+
+// PolicyResult is the distilled Phi policy from per-load sweeps.
+type PolicyResult struct {
+	Policy *phi.Policy
+	Bands  []float64
+}
+
+// BuildPolicy runs sweeps at several load levels and distills them into a
+// utilization-banded policy — the table the context server hands to
+// Cubic-Phi senders.
+func BuildPolicy(o Options) PolicyResult {
+	bands := map[float64]*phi.SweepResult{}
+	for _, cfg := range []struct {
+		maxU    float64
+		senders int
+	}{
+		{0.3, lowUtilSenders},
+		{0.7, highUtilSenders},
+		{1.01, 16},
+	} {
+		sc := fig2Scenario(cfg.senders, o)
+		bands[cfg.maxU] = phi.RunSweep(phi.SweepConfig{
+			Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 700 + o.Seed,
+		})
+	}
+	pol := phi.PolicyFromSweeps(bands)
+	var keys []float64
+	for k := range bands {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	return PolicyResult{Policy: pol, Bands: keys}
+}
+
+func (r PolicyResult) String() string {
+	var b strings.Builder
+	b.WriteString("Distilled Phi parameter policy (from sweeps per utilization band)\n")
+	b.WriteString(r.Policy.String())
+	return b.String()
+}

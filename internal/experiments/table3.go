@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/remy"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// Table3Row is one algorithm's medians, matching the paper's columns.
+type Table3Row struct {
+	Algorithm      string
+	MedianThrMbps  float64
+	MedianQDelayMs float64
+	// Objective is Remy's log-power objective ln(throughput/delay).
+	Objective float64
+}
+
+// Table3Result holds the four rows of Table 3.
+type Table3Result struct {
+	Rows []Table3Row
+	// TrainTrace is non-empty when the tables were retrained (objective
+	// after each training iteration).
+	TrainTrace []float64
+}
+
+// table3Scenario is the paper's Table 3 workload: single-bottleneck
+// dumbbell, 15 Mbit/s, 150 ms RTT, 8 senders alternating exp(100 KB)
+// transfers with exp(0.5 s) idle periods.
+func table3Scenario(o Options) workload.Scenario {
+	return workload.Scenario{
+		Dumbbell:    sim.DefaultDumbbell(8),
+		MeanOnBytes: 100_000,
+		MeanOffTime: 500 * sim.Millisecond,
+		Duration:    o.duration(),
+		Warmup:      5 * sim.Second,
+	}
+}
+
+// Table3 regenerates Table 3. With retrain true, the Remy tables are
+// first improved by the in-simulator trainer (slow); otherwise the seed
+// tables ship with the repository are used.
+func Table3(o Options, retrain bool) Table3Result {
+	sc := table3Scenario(o)
+	runs := o.runs()
+	seed := 600 + o.Seed
+
+	baseTable := remy.DefaultTable()
+	phiTable := remy.DefaultPhiTable()
+	var trace []float64
+	if retrain {
+		iters := 4
+		if o.Full {
+			iters = 12
+		}
+		evalSc := sc
+		evalSc.Duration = sc.Duration / 2
+		baseTable, _ = remy.Train(baseTable, remy.TrainConfig{
+			Eval:       remy.EvalConfig{Scenario: evalSc, Mode: remy.UtilOff, Runs: 1, BaseSeed: seed},
+			Iterations: iters,
+		})
+		phiTable, trace = remy.Train(phiTable, remy.TrainConfig{
+			Eval:       remy.EvalConfig{Scenario: evalSc, Mode: remy.UtilIdeal, Runs: 1, BaseSeed: seed},
+			Iterations: iters,
+		})
+	}
+
+	var res Table3Result
+	res.TrainTrace = trace
+
+	// Remy variants.
+	add := func(name string, rs []workload.Result) {
+		var thr, qd, obj []float64
+		for i := range rs {
+			thr = append(thr, rs[i].ThroughputsMbps()...)
+			qd = append(qd, rs[i].QueueingDelaysMs()...)
+			obj = append(obj, rs[i].LogPower())
+		}
+		res.Rows = append(res.Rows, Table3Row{
+			Algorithm:      name,
+			MedianThrMbps:  metrics.Median(thr),
+			MedianQDelayMs: metrics.Median(qd),
+			Objective:      metrics.Mean(obj),
+		})
+	}
+
+	add("Remy-Phi-practical", remy.Evaluate(phiTable,
+		remy.EvalConfig{Scenario: sc, Mode: remy.UtilPractical, Runs: runs, BaseSeed: seed}).Runs)
+	add("Remy-Phi-ideal", remy.Evaluate(phiTable,
+		remy.EvalConfig{Scenario: sc, Mode: remy.UtilIdeal, Runs: runs, BaseSeed: seed}).Runs)
+	add("Remy", remy.Evaluate(baseTable,
+		remy.EvalConfig{Scenario: sc, Mode: remy.UtilOff, Runs: runs, BaseSeed: seed}).Runs)
+
+	// Cubic baseline.
+	var cubicRuns []workload.Result
+	for i := 0; i < runs; i++ {
+		s := sc
+		s.Seed = seed + int64(i)
+		s.CC = func(int) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) }
+		}
+		cubicRuns = append(cubicRuns, workload.Run(s))
+	}
+	add("Cubic", cubicRuns)
+	return res
+}
+
+func (r Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 3: single-bottleneck dumbbell, 15 Mbps, 150 ms RTT, 8 senders,\n")
+	b.WriteString("exp(100 KB) on / exp(0.5 s) off\n")
+	fmt.Fprintf(&b, "  %-20s %16s %18s %16s\n", "Algorithm", "median thr Mbps", "median qdelay ms", "objective ln(P)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-20s %16.2f %18.2f %16.2f\n",
+			row.Algorithm, row.MedianThrMbps, row.MedianQDelayMs, row.Objective)
+	}
+	if len(r.TrainTrace) > 0 {
+		fmt.Fprintf(&b, "  (retrained; objective trace %v)\n", r.TrainTrace)
+	}
+	return b.String()
+}
+
+// Row returns the named row (nil if absent).
+func (r Table3Result) Row(name string) *Table3Row {
+	for i := range r.Rows {
+		if r.Rows[i].Algorithm == name {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package ipfix
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// RFC 7011 constants.
+const (
+	// Version is the IPFIX protocol version number.
+	Version = 10
+	// TemplateSetID identifies a template set.
+	TemplateSetID = 2
+	// flowTemplateID is the template this package exports (must be >= 256).
+	flowTemplateID = 256
+	// messageHeaderLen and setHeaderLen are fixed RFC 7011 sizes.
+	messageHeaderLen = 16
+	setHeaderLen     = 4
+)
+
+// IANA information element IDs used by the flow template.
+const (
+	ieOctetDeltaCount    = 1 // 8 bytes
+	iePacketDeltaCount   = 2 // 8 bytes
+	ieSourceIPv4         = 8 // 4 bytes
+	ieSourcePort         = 7 // 2 bytes
+	ieDestinationPort    = 11
+	ieDestinationIPv4    = 12
+	ieFlowStartSeconds   = 150 // 4 bytes
+	ieFlowEndSeconds     = 151 // 4 bytes
+	flowRecordWireLength = 8 + 8 + 4 + 2 + 2 + 4 + 4 + 4
+)
+
+// templateFields is the exported template, in wire order.
+var templateFields = []struct {
+	id  uint16
+	len uint16
+}{
+	{ieSourceIPv4, 4},
+	{ieDestinationIPv4, 4},
+	{ieSourcePort, 2},
+	{ieDestinationPort, 2},
+	{ieOctetDeltaCount, 8},
+	{iePacketDeltaCount, 8},
+	{ieFlowStartSeconds, 4},
+	{ieFlowEndSeconds, 4},
+}
+
+// Codec errors.
+var (
+	ErrShortMessage    = errors.New("ipfix: truncated message")
+	ErrBadVersion      = errors.New("ipfix: unsupported version")
+	ErrUnknownTemplate = errors.New("ipfix: data set references unknown template")
+)
+
+// Encoder builds IPFIX messages from flow records. The first message (and
+// every message after Reset) carries the template set, as exporters do on
+// template refresh.
+type Encoder struct {
+	domainID     uint32
+	seq          uint32
+	sentTemplate bool
+}
+
+// NewEncoder creates an encoder for the given observation domain.
+func NewEncoder(domainID uint32) *Encoder {
+	return &Encoder{domainID: domainID}
+}
+
+// Reset forces the next message to carry the template again.
+func (e *Encoder) Reset() { e.sentTemplate = false }
+
+// Encode renders records into one IPFIX message with the given export
+// time. Only IPv4 flows are supported by this template.
+func (e *Encoder) Encode(exportTime uint32, records []FlowRecord) ([]byte, error) {
+	for i := range records {
+		if !records[i].Key.Src.Is4() || !records[i].Key.Dst.Is4() {
+			return nil, fmt.Errorf("ipfix: record %d is not IPv4", i)
+		}
+	}
+	msg := make([]byte, messageHeaderLen, messageHeaderLen+64+len(records)*flowRecordWireLength)
+
+	if !e.sentTemplate {
+		msg = e.appendTemplateSet(msg)
+		e.sentTemplate = true
+	}
+	if len(records) > 0 {
+		setStart := len(msg)
+		msg = binary.BigEndian.AppendUint16(msg, flowTemplateID)
+		msg = binary.BigEndian.AppendUint16(msg, 0) // set length, patched below
+		for i := range records {
+			msg = appendRecord(msg, &records[i])
+		}
+		binary.BigEndian.PutUint16(msg[setStart+2:], uint16(len(msg)-setStart))
+	}
+
+	binary.BigEndian.PutUint16(msg[0:], Version)
+	binary.BigEndian.PutUint16(msg[2:], uint16(len(msg)))
+	binary.BigEndian.PutUint32(msg[4:], exportTime)
+	binary.BigEndian.PutUint32(msg[8:], e.seq)
+	binary.BigEndian.PutUint32(msg[12:], e.domainID)
+	e.seq += uint32(len(records))
+	return msg, nil
+}
+
+func (e *Encoder) appendTemplateSet(msg []byte) []byte {
+	start := len(msg)
+	msg = binary.BigEndian.AppendUint16(msg, TemplateSetID)
+	msg = binary.BigEndian.AppendUint16(msg, 0) // patched below
+	msg = binary.BigEndian.AppendUint16(msg, flowTemplateID)
+	msg = binary.BigEndian.AppendUint16(msg, uint16(len(templateFields)))
+	for _, f := range templateFields {
+		msg = binary.BigEndian.AppendUint16(msg, f.id)
+		msg = binary.BigEndian.AppendUint16(msg, f.len)
+	}
+	binary.BigEndian.PutUint16(msg[start+2:], uint16(len(msg)-start))
+	return msg
+}
+
+func appendRecord(msg []byte, r *FlowRecord) []byte {
+	src := r.Key.Src.As4()
+	dst := r.Key.Dst.As4()
+	msg = append(msg, src[:]...)
+	msg = append(msg, dst[:]...)
+	msg = binary.BigEndian.AppendUint16(msg, r.Key.SrcPort)
+	msg = binary.BigEndian.AppendUint16(msg, r.Key.DstPort)
+	msg = binary.BigEndian.AppendUint64(msg, r.Octets)
+	msg = binary.BigEndian.AppendUint64(msg, r.Packets)
+	msg = binary.BigEndian.AppendUint32(msg, r.Start)
+	msg = binary.BigEndian.AppendUint32(msg, r.End)
+	return msg
+}
+
+// Decoder parses IPFIX messages, learning templates as they arrive (as a
+// collector does). Only the flow template above is decoded into records;
+// other data sets are skipped.
+type Decoder struct {
+	// templates maps template ID to field layout (id, len pairs).
+	templates map[uint16][]uint16 // flattened [id, len, id, len...]
+	// Decoded counts records decoded; SkippedSets counts unknown sets.
+	Decoded     uint64
+	SkippedSets uint64
+}
+
+// NewDecoder creates an empty-template-cache decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{templates: make(map[uint16][]uint16)}
+}
+
+// Decode parses one message and returns its flow records.
+func (d *Decoder) Decode(msg []byte) ([]FlowRecord, error) {
+	if len(msg) < messageHeaderLen {
+		return nil, ErrShortMessage
+	}
+	if binary.BigEndian.Uint16(msg[0:]) != Version {
+		return nil, ErrBadVersion
+	}
+	total := int(binary.BigEndian.Uint16(msg[2:]))
+	if total > len(msg) || total < messageHeaderLen {
+		return nil, ErrShortMessage
+	}
+	var out []FlowRecord
+	body := msg[messageHeaderLen:total]
+	for len(body) > 0 {
+		if len(body) < setHeaderLen {
+			return nil, ErrShortMessage
+		}
+		setID := binary.BigEndian.Uint16(body[0:])
+		setLen := int(binary.BigEndian.Uint16(body[2:]))
+		if setLen < setHeaderLen || setLen > len(body) {
+			return nil, ErrShortMessage
+		}
+		content := body[setHeaderLen:setLen]
+		switch {
+		case setID == TemplateSetID:
+			if err := d.parseTemplates(content); err != nil {
+				return nil, err
+			}
+		case setID >= 256:
+			recs, err := d.parseData(setID, content)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, recs...)
+		default:
+			d.SkippedSets++
+		}
+		body = body[setLen:]
+	}
+	return out, nil
+}
+
+func (d *Decoder) parseTemplates(b []byte) error {
+	for len(b) >= 4 {
+		id := binary.BigEndian.Uint16(b[0:])
+		count := int(binary.BigEndian.Uint16(b[2:]))
+		b = b[4:]
+		if len(b) < count*4 {
+			return ErrShortMessage
+		}
+		layout := make([]uint16, 0, count*2)
+		for i := 0; i < count; i++ {
+			layout = append(layout,
+				binary.BigEndian.Uint16(b[i*4:]), binary.BigEndian.Uint16(b[i*4+2:]))
+		}
+		d.templates[id] = layout
+		b = b[count*4:]
+	}
+	return nil
+}
+
+func (d *Decoder) parseData(templateID uint16, b []byte) ([]FlowRecord, error) {
+	layout, ok := d.templates[templateID]
+	if !ok {
+		return nil, ErrUnknownTemplate
+	}
+	recLen := 0
+	for i := 1; i < len(layout); i += 2 {
+		recLen += int(layout[i])
+	}
+	if recLen == 0 {
+		return nil, ErrShortMessage
+	}
+	var out []FlowRecord
+	for len(b) >= recLen {
+		rec := b[:recLen]
+		b = b[recLen:]
+		var r FlowRecord
+		known := 0
+		off := 0
+		for i := 0; i < len(layout); i += 2 {
+			id, flen := layout[i], int(layout[i+1])
+			field := rec[off : off+flen]
+			off += flen
+			switch {
+			case id == ieSourceIPv4 && flen == 4:
+				r.Key.Src = netip.AddrFrom4([4]byte(field))
+				known++
+			case id == ieDestinationIPv4 && flen == 4:
+				r.Key.Dst = netip.AddrFrom4([4]byte(field))
+				known++
+			case id == ieSourcePort && flen == 2:
+				r.Key.SrcPort = binary.BigEndian.Uint16(field)
+				known++
+			case id == ieDestinationPort && flen == 2:
+				r.Key.DstPort = binary.BigEndian.Uint16(field)
+				known++
+			case id == ieOctetDeltaCount && flen == 8:
+				r.Octets = binary.BigEndian.Uint64(field)
+				known++
+			case id == iePacketDeltaCount && flen == 8:
+				r.Packets = binary.BigEndian.Uint64(field)
+				known++
+			case id == ieFlowStartSeconds && flen == 4:
+				r.Start = binary.BigEndian.Uint32(field)
+				known++
+			case id == ieFlowEndSeconds && flen == 4:
+				r.End = binary.BigEndian.Uint32(field)
+				known++
+			}
+		}
+		if known == len(layout)/2 {
+			d.Decoded++
+			out = append(out, r)
+		} else {
+			d.SkippedSets++
+		}
+	}
+	return out, nil
+}

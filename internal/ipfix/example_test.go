@@ -1,0 +1,49 @@
+package ipfix_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/ipfix"
+)
+
+// Encode flow records into an RFC 7011 message and decode them back, as a
+// router exporting to a collector would.
+func Example() {
+	records := []ipfix.FlowRecord{{
+		Key: ipfix.FlowKey{
+			Src:     netip.MustParseAddr("10.0.0.1"),
+			Dst:     netip.MustParseAddr("100.1.2.3"),
+			SrcPort: 443, DstPort: 51000,
+		},
+		Octets: 4500, Packets: 3, Start: 120, End: 125,
+	}}
+
+	enc := ipfix.NewEncoder(1)
+	msg, _ := enc.Encode(1000, records)
+
+	dec := ipfix.NewDecoder()
+	got, _ := dec.Decode(msg)
+	fmt.Println(got[0].Key)
+	fmt.Println("slice:", got[0].DstSubnet24(), "minute", got[0].Minute())
+	// Output:
+	// 10.0.0.1:443->100.1.2.3:51000
+	// slice: 100.1.2.0/24 minute 2
+}
+
+// The Section 2.1 analysis: how many flows share each /24-minute slice.
+func ExampleAnalyzeSharing() {
+	mk := func(dst string, port uint16) ipfix.FlowRecord {
+		return ipfix.FlowRecord{Key: ipfix.FlowKey{
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr(dst),
+			SrcPort: 443, DstPort: port}, Start: 60}
+	}
+	records := []ipfix.FlowRecord{
+		mk("100.1.2.3", 1), mk("100.1.2.4", 2), mk("100.1.2.5", 3), // same /24
+		mk("100.9.9.9", 4), // alone
+	}
+	a := ipfix.AnalyzeSharing(records)
+	fmt.Printf("P(share with >= 2 others) = %.2f\n", a.FractionSharingAtLeast(2))
+	// Output:
+	// P(share with >= 2 others) = 0.75
+}

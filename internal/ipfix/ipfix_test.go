@@ -1,0 +1,364 @@
+package ipfix
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func rec(src, dst string, sport, dport uint16, start uint32) FlowRecord {
+	return FlowRecord{
+		Key: FlowKey{
+			Src: netip.MustParseAddr(src), Dst: netip.MustParseAddr(dst),
+			SrcPort: sport, DstPort: dport,
+		},
+		Octets: 1500, Packets: 1, Start: start, End: start + 10,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	records := []FlowRecord{
+		rec("10.0.0.1", "100.1.2.3", 443, 50000, 60),
+		rec("10.0.0.2", "100.1.2.4", 443, 50001, 125),
+		rec("10.9.9.9", "100.200.1.77", 8443, 1024, 3599),
+	}
+	enc := NewEncoder(7)
+	msg, err := enc.Encode(1000, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder()
+	got, err := dec.Decode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if got[i] != records[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], records[i])
+		}
+	}
+	if dec.Decoded != 3 {
+		t.Errorf("Decoded = %d", dec.Decoded)
+	}
+}
+
+func TestEncoderSendsTemplateOnceUntilReset(t *testing.T) {
+	enc := NewEncoder(1)
+	records := []FlowRecord{rec("10.0.0.1", "100.1.2.3", 443, 50000, 60)}
+	m1, _ := enc.Encode(0, records)
+	m2, _ := enc.Encode(1, records)
+	if len(m1) <= len(m2) {
+		t.Error("first message should carry the template and be longer")
+	}
+	// A fresh decoder cannot parse a data-only message.
+	if _, err := NewDecoder().Decode(m2); err != ErrUnknownTemplate {
+		t.Errorf("data-only decode err = %v, want ErrUnknownTemplate", err)
+	}
+	// But a decoder that saw the template can.
+	dec := NewDecoder()
+	if _, err := dec.Decode(m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(m2); err != nil {
+		t.Errorf("decode after template: %v", err)
+	}
+	// Reset re-emits.
+	enc.Reset()
+	m3, _ := enc.Encode(2, records)
+	if len(m3) != len(m1) {
+		t.Error("Reset did not re-emit template")
+	}
+}
+
+func TestEncoderSequenceNumbers(t *testing.T) {
+	enc := NewEncoder(1)
+	records := []FlowRecord{
+		rec("10.0.0.1", "100.1.2.3", 443, 1, 0),
+		rec("10.0.0.1", "100.1.2.3", 443, 2, 0),
+	}
+	m1, _ := enc.Encode(0, records)
+	m2, _ := enc.Encode(0, records)
+	// Sequence number lives at offset 8.
+	if m1[8] != 0 || m2[11] != 2 {
+		t.Errorf("sequence numbers: msg1[8..]=%v msg2[8..]=%v", m1[8:12], m2[8:12])
+	}
+}
+
+func TestEncodeRejectsIPv6(t *testing.T) {
+	enc := NewEncoder(1)
+	bad := FlowRecord{Key: FlowKey{
+		Src: netip.MustParseAddr("2001:db8::1"), Dst: netip.MustParseAddr("100.1.2.3")}}
+	if _, err := enc.Encode(0, []FlowRecord{bad}); err == nil {
+		t.Error("IPv6 record accepted by IPv4 template")
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	dec := NewDecoder()
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       {0, 10, 0, 4},
+		"bad version": {0, 9, 0, 16, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"length lies": {0, 10, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for name, msg := range cases {
+		if _, err := dec.Decode(msg); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+	// Truncated set header inside a valid envelope.
+	msg := []byte{0, 10, 0, 18, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0}
+	if _, err := dec.Decode(msg); err == nil {
+		t.Error("truncated set accepted")
+	}
+}
+
+// Property: any batch of valid IPv4 records round-trips bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seeds []uint32, domain uint32) bool {
+		if len(seeds) > 50 {
+			seeds = seeds[:50]
+		}
+		var records []FlowRecord
+		for _, s := range seeds {
+			records = append(records, FlowRecord{
+				Key: FlowKey{
+					Src:     netip.AddrFrom4([4]byte{10, byte(s >> 16), byte(s >> 8), byte(s)}),
+					Dst:     netip.AddrFrom4([4]byte{100, byte(s >> 8), byte(s), byte(s >> 24)}),
+					SrcPort: uint16(s), DstPort: uint16(s >> 16),
+				},
+				Octets: uint64(s) * 3, Packets: uint64(s % 100),
+				Start: s % 86400, End: s%86400 + 5,
+			})
+		}
+		enc := NewEncoder(domain)
+		msg, err := enc.Encode(123, records)
+		if err != nil {
+			return false
+		}
+		got, err := NewDecoder().Decode(msg)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(records) {
+			return false
+		}
+		for i := range got {
+			if got[i] != records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplerExactRate(t *testing.T) {
+	s := NewSampler(4096)
+	count := 0
+	for i := 0; i < 4096*10; i++ {
+		if s.Sample() {
+			count++
+		}
+	}
+	if count != 10 {
+		t.Errorf("sampled %d of 40960 at 1:4096, want 10", count)
+	}
+	if s.Seen != 40960 || s.Sampled != 10 {
+		t.Errorf("counters %d/%d", s.Seen, s.Sampled)
+	}
+	all := NewSampler(0)
+	if !all.Sample() {
+		t.Error("1:1 sampler rejected a packet")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, lambda := range []float64{0.5, 3, 50} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, lambda))
+		}
+		mean := sum / n
+		if mean < lambda*0.95 || mean > lambda*1.05 {
+			t.Errorf("poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive lambda should yield 0")
+	}
+}
+
+func TestDstSubnetAndMinute(t *testing.T) {
+	r := rec("10.0.0.1", "100.1.2.3", 443, 50000, 125)
+	if got := r.DstSubnet24().String(); got != "100.1.2.0/24" {
+		t.Errorf("subnet = %s", got)
+	}
+	if r.Minute() != 2 {
+		t.Errorf("minute = %d", r.Minute())
+	}
+	s := SliceOf(&r)
+	if s.Minute != 2 || s.Subnet.String() != "100.1.2.0/24" {
+		t.Errorf("slice = %+v", s)
+	}
+}
+
+func TestAnalyzeSharingCounts(t *testing.T) {
+	// Three flows in one slice, one alone in another.
+	records := []FlowRecord{
+		rec("10.0.0.1", "100.1.2.3", 443, 1, 60),
+		rec("10.0.0.1", "100.1.2.4", 443, 2, 70),
+		rec("10.0.0.2", "100.1.2.5", 443, 3, 80),
+		rec("10.0.0.1", "100.9.9.9", 443, 4, 60),
+	}
+	a := AnalyzeSharing(records)
+	if a.Slices != 2 {
+		t.Fatalf("slices = %d, want 2", a.Slices)
+	}
+	if got := a.FractionSharingAtLeast(2); got != 0.75 {
+		t.Errorf("P(>=2 others) = %v, want 0.75", got)
+	}
+	if got := a.FractionSharingAtLeast(1); got != 0.75 {
+		t.Errorf("P(>=1 other) = %v, want 0.75", got)
+	}
+	if got := a.FractionSharingAtLeast(0); got != 1 {
+		t.Errorf("P(>=0) = %v, want 1", got)
+	}
+	// Duplicate 4-tuples in a slice count once.
+	dup := append(records, records[0])
+	if got := AnalyzeSharing(dup).Slices; got != 2 {
+		t.Errorf("slices with dup = %d", got)
+	}
+	empty := AnalyzeSharing(nil)
+	if empty.FractionSharingAtLeast(1) != 0 {
+		t.Error("empty analysis should be 0")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.Flows = 5000
+	a := Generate(cfg, DefaultSamplingRate)
+	b := Generate(cfg, DefaultSamplingRate)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateSamplingThins(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.Flows = 20000
+	sampled := Generate(cfg, DefaultSamplingRate)
+	full := Generate(cfg, 1)
+	if len(sampled) >= len(full) {
+		t.Errorf("sampling did not thin: %d vs %d", len(sampled), len(full))
+	}
+	if len(full) != cfg.Flows {
+		t.Errorf("unsampled export = %d flows, want %d", len(full), cfg.Flows)
+	}
+}
+
+// TestSharingMatchesPaperAnchors is the Section 2.1 reproduction: under
+// 1-in-4096 sampling, ~50% of exported flows share their /24-minute slice
+// with at least 5 other flows and ~12% with at least 100.
+func TestSharingMatchesPaperAnchors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	a := AnalyzeSharing(Generate(DefaultSynthConfig(), DefaultSamplingRate))
+	p5 := a.FractionSharingAtLeast(5)
+	p100 := a.FractionSharingAtLeast(100)
+	t.Logf("P(>=5 others) = %.3f (paper 0.50), P(>=100) = %.3f (paper 0.12)", p5, p100)
+	if p5 < 0.40 || p5 > 0.62 {
+		t.Errorf("P(>=5) = %v, want near 0.50", p5)
+	}
+	if p100 < 0.06 || p100 > 0.20 {
+		t.Errorf("P(>=100) = %v, want near 0.12", p100)
+	}
+}
+
+func TestFullPipelineEncodeAnalyze(t *testing.T) {
+	// Generate -> encode in batches -> decode -> analyze; the analysis
+	// must be identical to analyzing the records directly.
+	cfg := DefaultSynthConfig()
+	cfg.Flows = 30000
+	records := Generate(cfg, DefaultSamplingRate)
+	enc := NewEncoder(1)
+	dec := NewDecoder()
+	var decoded []FlowRecord
+	for i := 0; i < len(records); i += 100 {
+		end := i + 100
+		if end > len(records) {
+			end = len(records)
+		}
+		msg, err := enc.Encode(uint32(i), records[i:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded = append(decoded, got...)
+	}
+	direct := AnalyzeSharing(records)
+	viaWire := AnalyzeSharing(decoded)
+	if direct.Slices != viaWire.Slices {
+		t.Errorf("slices differ: %d vs %d", direct.Slices, viaWire.Slices)
+	}
+	if direct.FractionSharingAtLeast(5) != viaWire.FractionSharingAtLeast(5) {
+		t.Error("sharing fractions differ across the wire")
+	}
+}
+
+// Property: the decoder never panics on arbitrary bytes — it either
+// errors or returns records.
+func TestDecoderNeverPanicsProperty(t *testing.T) {
+	dec := NewDecoder()
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decoder panicked on %x: %v", raw, r)
+			}
+		}()
+		_, _ = dec.Decode(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	// And on a valid envelope with garbage sets.
+	g := func(body []byte) bool {
+		if len(body) > 200 {
+			body = body[:200]
+		}
+		msg := make([]byte, 16+len(body))
+		msg[0], msg[1] = 0, 10
+		msg[2] = byte((16 + len(body)) >> 8)
+		msg[3] = byte(16 + len(body))
+		copy(msg[16:], body)
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decoder panicked on envelope %x: %v", body, r)
+			}
+		}()
+		_, _ = dec.Decode(msg)
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package ipfix
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+)
+
+// Sampler is the router-side 1-in-N packet sampler: a deterministic
+// counter sampler (every Nth packet across the aggregate, as IPFIX
+// deployments commonly configure).
+type Sampler struct {
+	N       int
+	counter int
+
+	// Seen and Sampled count packets offered and selected.
+	Seen    uint64
+	Sampled uint64
+}
+
+// NewSampler returns a 1-in-n sampler; n <= 1 samples everything.
+func NewSampler(n int) *Sampler {
+	if n < 1 {
+		n = 1
+	}
+	return &Sampler{N: n}
+}
+
+// Sample reports whether this packet is selected.
+func (s *Sampler) Sample() bool {
+	s.Seen++
+	s.counter++
+	if s.counter >= s.N {
+		s.counter = 0
+		s.Sampled++
+		return true
+	}
+	return false
+}
+
+// SynthConfig parameterizes the synthetic cloud-egress model used in place
+// of the paper's production IPFIX feed. Destinations (/24 client subnets)
+// are drawn from a Zipf popularity distribution — a small number of
+// popular eyeball subnets receive most flows, as CDN egress does — which
+// is what produces the heavy-tailed path sharing of Section 2.1.
+type SynthConfig struct {
+	// Servers is the number of egress servers (the paper notes ~4669 for
+	// Netflix).
+	Servers int
+	// Subnets is the number of distinct destination /24s.
+	Subnets int
+	// ZipfS is the Zipf exponent (> 1) of subnet popularity; ZipfV (>= 1)
+	// flattens the head of the distribution.
+	ZipfS float64
+	ZipfV float64
+	// Flows is the number of flows to generate.
+	Flows int
+	// Minutes is the observation span.
+	Minutes int
+	// MeanPackets is the mean packets per flow (exponential).
+	MeanPackets float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultSynthConfig returns a configuration calibrated so the sharing
+// CDF, observed through 1-in-4096 sampling, lands near the paper's
+// anchors (~50% of flows sharing a slice with >= 5 others, ~12% with
+// >= 100).
+func DefaultSynthConfig() SynthConfig {
+	return SynthConfig{
+		Servers:     4669,
+		Subnets:     80000,
+		ZipfS:       1.15,
+		ZipfV:       8,
+		Flows:       150000,
+		Minutes:     10,
+		MeanPackets: 4000,
+		Seed:        1,
+	}
+}
+
+// Generate produces the sampled flow records a collector would hold:
+// flows are generated per the model, each packet passes the sampler, and
+// flows with at least one sampled packet are exported with their sampled
+// delta counts.
+//
+// Packet-level sampling is applied analytically: with mean packet count
+// lambda/N per flow tiny, the sampled packet count is Poisson — this is
+// exact in the limit of interleaved aggregates and keeps generation fast.
+func Generate(cfg SynthConfig, sampleN int) []FlowRecord {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Servers < 1 {
+		cfg.Servers = 1
+	}
+	if cfg.Subnets < 1 {
+		cfg.Subnets = 1
+	}
+	v := cfg.ZipfV
+	if v < 1 {
+		v = 1
+	}
+	zipf := rand.NewZipf(rng, cfg.ZipfS, v, uint64(cfg.Subnets-1))
+
+	var out []FlowRecord
+	for i := 0; i < cfg.Flows; i++ {
+		subnet := int(zipf.Uint64())
+		server := rng.Intn(cfg.Servers)
+		minute := rng.Intn(cfg.Minutes)
+		packets := rng.ExpFloat64() * cfg.MeanPackets
+		if packets < 1 {
+			packets = 1
+		}
+		sampled := int(packets)
+		if sampleN > 1 {
+			sampled = poisson(rng, packets/float64(sampleN))
+		}
+		if sampled == 0 {
+			continue
+		}
+		start := uint32(minute*60 + rng.Intn(60))
+		out = append(out, FlowRecord{
+			Key: FlowKey{
+				Src:     serverAddr(server),
+				Dst:     clientAddr(subnet, rng.Intn(254)+1),
+				SrcPort: 443,
+				DstPort: uint16(1024 + rng.Intn(60000)),
+			},
+			Octets:  uint64(sampled) * 1500,
+			Packets: uint64(sampled),
+			Start:   start,
+			End:     start + uint32(rng.Intn(30)),
+		})
+	}
+	return out
+}
+
+// poisson draws from Poisson(lambda) (Knuth for small lambda, normal
+// approximation above 30 — sampling rates make lambda almost always < 5).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := int(math.Round(rng.NormFloat64()*math.Sqrt(lambda) + lambda))
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// serverAddr maps a server index into 10.0.0.0/8.
+func serverAddr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+}
+
+// clientAddr maps (subnet index, host) into 100.64.0.0/10-ish space, one
+// /24 per subnet index.
+func clientAddr(subnet, host int) netip.Addr {
+	return netip.AddrFrom4([4]byte{100, byte(subnet >> 8), byte(subnet), byte(host)})
+}
+
+// SharingAnalysis is the Section 2.1 result: for every exported flow, how
+// many other flows shared its path slice (destination /24 x minute).
+type SharingAnalysis struct {
+	// OthersPerFlow has one entry per flow: the number of other flows in
+	// its slice.
+	OthersPerFlow []float64
+	// Slices is the number of distinct path slices observed.
+	Slices int
+}
+
+// AnalyzeSharing groups records into path slices and counts distinct
+// 4-tuples per slice.
+func AnalyzeSharing(records []FlowRecord) SharingAnalysis {
+	type sliceKey struct {
+		subnet netip.Prefix
+		minute uint32
+	}
+	counts := make(map[sliceKey]map[FlowKey]struct{})
+	for i := range records {
+		k := sliceKey{records[i].DstSubnet24(), records[i].Minute()}
+		m, ok := counts[k]
+		if !ok {
+			m = make(map[FlowKey]struct{})
+			counts[k] = m
+		}
+		m[records[i].Key] = struct{}{}
+	}
+	var out SharingAnalysis
+	out.Slices = len(counts)
+	for _, m := range counts {
+		n := len(m)
+		for range m {
+			out.OthersPerFlow = append(out.OthersPerFlow, float64(n-1))
+		}
+	}
+	sort.Float64s(out.OthersPerFlow)
+	return out
+}
+
+// FractionSharingAtLeast returns the fraction of flows that share their
+// slice with at least k other flows (the paper's headline statistics).
+func (a *SharingAnalysis) FractionSharingAtLeast(k int) float64 {
+	if len(a.OthersPerFlow) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(a.OthersPerFlow, float64(k))
+	return float64(len(a.OthersPerFlow)-idx) / float64(len(a.OthersPerFlow))
+}

@@ -1,0 +1,149 @@
+package ipfix
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// UDP transport: RFC 7011's most common deployment has routers exporting
+// IPFIX messages as UDP datagrams to a collector. Exporter and Collector
+// below run that path over real sockets, so the Section 2.1 pipeline can
+// consume a live feed instead of a file.
+
+// Exporter sends IPFIX messages as UDP datagrams.
+type Exporter struct {
+	conn net.Conn
+	enc  *Encoder
+
+	// Sent counts exported messages.
+	Sent uint64
+}
+
+// NewExporter dials the collector address (e.g. "127.0.0.1:4739", the
+// IANA IPFIX port) for the given observation domain.
+func NewExporter(addr string, domainID uint32) (*Exporter, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Exporter{conn: conn, enc: NewEncoder(domainID)}, nil
+}
+
+// Export encodes and sends one message. Records must fit one datagram
+// (about 400 records at this template's record size); larger batches are
+// split automatically.
+func (e *Exporter) Export(exportTime uint32, records []FlowRecord) error {
+	const perMsg = 400
+	for len(records) > 0 {
+		n := len(records)
+		if n > perMsg {
+			n = perMsg
+		}
+		msg, err := e.enc.Encode(exportTime, records[:n])
+		if err != nil {
+			return err
+		}
+		if _, err := e.conn.Write(msg); err != nil {
+			return err
+		}
+		e.Sent++
+		records = records[n:]
+	}
+	return nil
+}
+
+// Close releases the socket.
+func (e *Exporter) Close() error { return e.conn.Close() }
+
+// Collector receives IPFIX datagrams and accumulates decoded flow
+// records. Because UDP may reorder, each remote exporter gets its own
+// decoder (templates are per transport session, RFC 7011 §8).
+type Collector struct {
+	pc net.PacketConn
+
+	mu       sync.Mutex
+	decoders map[string]*Decoder
+	records  []FlowRecord
+	errs     uint64
+	closed   bool
+	done     chan struct{}
+}
+
+// NewCollector listens for datagrams on addr ("127.0.0.1:0" for an
+// ephemeral port) and starts receiving in the background.
+func NewCollector(addr string) (*Collector, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{pc: pc, decoders: make(map[string]*Decoder), done: make(chan struct{})}
+	go c.loop()
+	return c, nil
+}
+
+// Addr returns the bound address to point exporters at.
+func (c *Collector) Addr() string { return c.pc.LocalAddr().String() }
+
+func (c *Collector) loop() {
+	defer close(c.done)
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := c.pc.ReadFrom(buf)
+		if err != nil {
+			return // socket closed
+		}
+		c.ingest(from.String(), buf[:n])
+	}
+}
+
+func (c *Collector) ingest(from string, msg []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dec, ok := c.decoders[from]
+	if !ok {
+		dec = NewDecoder()
+		c.decoders[from] = dec
+	}
+	recs, err := dec.Decode(msg)
+	if err != nil {
+		c.errs++
+		return
+	}
+	c.records = append(c.records, recs...)
+}
+
+// Records returns a copy of everything collected so far.
+func (c *Collector) Records() []FlowRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]FlowRecord(nil), c.records...)
+}
+
+// Count returns the number of collected records.
+func (c *Collector) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// Errors returns the number of undecodable datagrams.
+func (c *Collector) Errors() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errs
+}
+
+// Close stops receiving and waits for the loop to exit.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("ipfix: collector already closed")
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.pc.Close()
+	<-c.done
+	return err
+}

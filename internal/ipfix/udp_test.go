@@ -1,0 +1,116 @@
+package ipfix
+
+import (
+	"testing"
+	"time"
+)
+
+func waitForCount(t *testing.T, c *Collector, want int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for c.Count() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("collector has %d records, want %d", c.Count(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestUDPExportCollectRoundTrip(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	exp, err := NewExporter(col.Addr(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	cfg := DefaultSynthConfig()
+	cfg.Flows = 3000
+	records := Generate(cfg, 1)[:1000]
+	if err := exp.Export(100, records); err != nil {
+		t.Fatal(err)
+	}
+	if exp.Sent != 3 { // 1000 records split into 400+400+200
+		t.Errorf("sent %d datagrams, want 3", exp.Sent)
+	}
+	waitForCount(t, col, len(records))
+	got := col.Records()
+	if len(got) != len(records) {
+		t.Fatalf("collected %d, want %d", len(got), len(records))
+	}
+	for i := range got {
+		if got[i] != records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if col.Errors() != 0 {
+		t.Errorf("decode errors: %d", col.Errors())
+	}
+}
+
+func TestUDPCollectorMultipleExporters(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	cfg := DefaultSynthConfig()
+	cfg.Flows = 1000
+	records := Generate(cfg, 1)[:100]
+	for i := 0; i < 3; i++ {
+		exp, err := NewExporter(col.Addr(), uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.Export(uint32(i), records); err != nil {
+			t.Fatal(err)
+		}
+		exp.Close()
+	}
+	waitForCount(t, col, 300)
+	// The analysis runs straight off the live feed.
+	a := AnalyzeSharing(col.Records())
+	if a.Slices == 0 {
+		t.Error("no slices from collected feed")
+	}
+}
+
+func TestUDPCollectorIgnoresGarbage(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	exp, err := NewExporter(col.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	// Raw garbage datagram from the same socket: must count as an error,
+	// not crash or pollute.
+	if _, err := exp.conn.Write([]byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for col.Errors() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("garbage never counted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if col.Count() != 0 {
+		t.Errorf("garbage produced %d records", col.Count())
+	}
+	// Closing twice errors but does not panic.
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err == nil {
+		t.Error("second close should error")
+	}
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import "sort"
+
+// CDF is an empirical cumulative distribution over a fixed sample set,
+// used for the Section 2.1 flow-sharing analysis ("50% of flows share the
+// WAN path with at least 5 other flows").
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied, then sorted).
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// FractionAtMost returns P(X <= x).
+func (c *CDF) FractionAtMost(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, x)
+	// Advance over equal values to count them as <= x.
+	for idx < len(c.sorted) && c.sorted[idx] <= x {
+		idx++
+	}
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// FractionAtLeast returns P(X >= x), the paper's "share with at least k
+// other flows" form.
+func (c *CDF) FractionAtLeast(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, x)
+	return float64(len(c.sorted)-idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile of the samples.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return quantileSorted(c.sorted, q)
+}
+
+// Point is one (x, P(X <= x)) coordinate of a rendered CDF curve.
+type Point struct {
+	X float64
+	P float64
+}
+
+// Points renders the CDF as at most n evenly spaced points for plotting
+// or textual output.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(c.sorted) - 1) / max(n-1, 1)
+		pts = append(pts, Point{X: c.sorted[idx], P: float64(idx+1) / float64(len(c.sorted))})
+	}
+	return pts
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

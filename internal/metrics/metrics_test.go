@@ -1,0 +1,365 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPower(t *testing.T) {
+	if got := Power(10, 0.1); got != 100 {
+		t.Errorf("Power(10, 0.1) = %v, want 100", got)
+	}
+	if got := Power(10, 0); got != 0 {
+		t.Errorf("Power with zero delay = %v, want 0", got)
+	}
+	if got := Power(10, -1); got != 0 {
+		t.Errorf("Power with negative delay = %v, want 0", got)
+	}
+}
+
+func TestLossPower(t *testing.T) {
+	if got := LossPower(10, 0.5, 0.1); got != 50 {
+		t.Errorf("LossPower = %v, want 50", got)
+	}
+	if got := LossPower(10, 0, 0.1); got != 100 {
+		t.Errorf("lossless LossPower = %v, want 100", got)
+	}
+	// Clamping.
+	if got := LossPower(10, -0.5, 0.1); got != 100 {
+		t.Errorf("negative loss clamps to 0: got %v", got)
+	}
+	if got := LossPower(10, 2, 0.1); got != 0 {
+		t.Errorf("loss > 1 clamps to 1: got %v", got)
+	}
+}
+
+func TestLogPowerMatchesPaperTable3(t *testing.T) {
+	// Table 3, Remy-Phi-practical: 1.93 Mbps at ~155.6 ms total delay
+	// gives an objective near 2.52.
+	got := LogPower(1.93, 0.1556)
+	if math.Abs(got-2.52) > 0.02 {
+		t.Errorf("LogPower(1.93, 0.1556) = %v, want ~2.52", got)
+	}
+	if !math.IsInf(LogPower(0, 1), -1) {
+		t.Error("LogPower of zero throughput should be -Inf")
+	}
+}
+
+func TestMeanMedianQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Mean(xs) != 3 {
+		t.Errorf("Mean = %v, want 3", Mean(xs))
+	}
+	if Median(xs) != 3 {
+		t.Errorf("Median = %v, want 3", Median(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Error("extreme quantiles wrong")
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("Q25 = %v, want 2", got)
+	}
+	// Even length: median interpolates.
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Quantile(nil, 0.5) != 0 {
+		t.Error("empty-slice metrics should be 0")
+	}
+	// Quantile must not mutate its input.
+	orig := []float64{3, 1, 2}
+	Quantile(orig, 0.5)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	got := StdDev(xs)
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("single sample StdDev should be 0")
+	}
+}
+
+func TestSummaryMatchesBatch(t *testing.T) {
+	xs := []float64{1.5, -2, 7, 0, 3.25, 9, -4}
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.Count() != int64(len(xs)) {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if math.Abs(s.Mean()-Mean(xs)) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", s.Mean(), Mean(xs))
+	}
+	if math.Abs(s.StdDev()-StdDev(xs)) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev(), StdDev(xs))
+	}
+	if s.Min() != -4 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	var empty Summary
+	if empty.Mean() != 0 || empty.Var() != 0 || empty.Count() != 0 {
+		t.Error("zero-value Summary not zero")
+	}
+}
+
+// Property: Summary mean/stddev agree with the batch formulas.
+func TestSummaryProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		var s Summary
+		for _, x := range clean {
+			s.Add(x)
+		}
+		if len(clean) == 0 {
+			return s.Count() == 0
+		}
+		return math.Abs(s.Mean()-Mean(clean)) < 1e-6 &&
+			math.Abs(s.StdDev()-StdDev(clean)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Error("fresh EWMA claims initialized")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Errorf("first sample = %v, want 10", e.Value())
+	}
+	e.Add(20)
+	if e.Value() != 15 {
+		t.Errorf("after second sample = %v, want 15", e.Value())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewEWMA(0) did not panic")
+			}
+		}()
+		NewEWMA(0)
+	}()
+}
+
+// Property: an EWMA stays within the min/max envelope of its inputs.
+func TestEWMABoundedProperty(t *testing.T) {
+	f := func(xs []float64, alphaRaw uint8) bool {
+		alpha := (float64(alphaRaw%100) + 1) / 101
+		e := NewEWMA(alpha)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			e.Add(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			if e.Value() < lo-1e-9 || e.Value() > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFFractions(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, 10})
+	if got := c.FractionAtMost(2); got != 0.6 {
+		t.Errorf("P(X<=2) = %v, want 0.6", got)
+	}
+	if got := c.FractionAtLeast(2); got != 0.8 {
+		t.Errorf("P(X>=2) = %v, want 0.8", got)
+	}
+	if got := c.FractionAtLeast(100); got != 0 {
+		t.Errorf("P(X>=100) = %v, want 0", got)
+	}
+	if got := c.FractionAtMost(0); got != 0 {
+		t.Errorf("P(X<=0) = %v, want 0", got)
+	}
+	if c.Len() != 5 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	empty := NewCDF(nil)
+	if empty.FractionAtMost(1) != 0 || empty.FractionAtLeast(1) != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+}
+
+func TestCDFPointsMonotone(t *testing.T) {
+	c := NewCDF([]float64{5, 3, 8, 1, 9, 2, 7})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points, want 5", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].P < pts[i-1].P {
+			t.Fatalf("points not monotone: %+v", pts)
+		}
+	}
+	if pts[len(pts)-1].P != 1 {
+		t.Errorf("last point P = %v, want 1", pts[len(pts)-1].P)
+	}
+	if NewCDF(nil).Points(5) != nil {
+		t.Error("empty CDF Points should be nil")
+	}
+}
+
+// Property: FractionAtMost is a valid, monotone CDF consistent with a
+// direct count.
+func TestCDFProperty(t *testing.T) {
+	f := func(raw []int8, probe int8) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		c := NewCDF(xs)
+		x := float64(probe)
+		count := 0
+		for _, v := range xs {
+			if v <= x {
+				count++
+			}
+		}
+		var want float64
+		if len(xs) > 0 {
+			want = float64(count) / float64(len(xs))
+		}
+		if math.Abs(c.FractionAtMost(x)-want) > 1e-12 {
+			return false
+		}
+		// Complementarity at a point not in the sample set: P(<=x)+P(>x)=1.
+		sort.Float64s(xs)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileExtremesAndSingle(t *testing.T) {
+	single := []float64{7}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := Quantile(single, q); got != 7 {
+			t.Errorf("single-sample Q%.1f = %v", q, got)
+		}
+	}
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, -0.5); got != 1 {
+		t.Errorf("negative q = %v, want min", got)
+	}
+	if got := Quantile(xs, 1.5); got != 5 {
+		t.Errorf("q>1 = %v, want max", got)
+	}
+}
+
+// Property: Quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)
+			if xs[i] < lo {
+				lo = xs[i]
+			}
+			if xs[i] > hi {
+				hi = xs[i]
+			}
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 || v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFQuantileAgreesWithQuantile(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	c := NewCDF(xs)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got, want := c.Quantile(q), Quantile(xs, q); got != want {
+			t.Errorf("CDF quantile %v = %v, direct = %v", q, got, want)
+		}
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if got := JainFairness([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares index = %v, want 1", got)
+	}
+	if got := JainFairness([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("single hog index = %v, want 0.25", got)
+	}
+	if JainFairness(nil) != 0 || JainFairness([]float64{0, 0}) != 0 {
+		t.Error("degenerate inputs should be 0")
+	}
+}
+
+// Property: the index is scale invariant and bounded by (0, 1].
+func TestJainFairnessProperty(t *testing.T) {
+	f := func(raw []uint8, scaleRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		nonzero := false
+		for i, r := range raw {
+			xs[i] = float64(r)
+			if r != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			return JainFairness(xs) == 0
+		}
+		idx := JainFairness(xs)
+		if idx <= 0 || idx > 1+1e-12 {
+			return false
+		}
+		scale := float64(scaleRaw%9) + 1
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * scale
+		}
+		return math.Abs(JainFairness(scaled)-idx) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+// Package metrics provides the evaluation metrics the Phi paper uses —
+// the network power metric and its loss-extended and logarithmic variants —
+// plus general summary statistics: quantiles, CDFs, EWMAs, and online
+// mean/variance accumulators.
+package metrics
+
+import "math"
+
+// Power is the classic network power metric P = r/d (Giessler et al.,
+// cited by the paper), with throughput r in Mbit/s and delay d in seconds.
+// Non-positive delay yields 0 rather than an infinity.
+func Power(throughputMbps, delaySeconds float64) float64 {
+	if delaySeconds <= 0 {
+		return 0
+	}
+	return throughputMbps / delaySeconds
+}
+
+// LossPower is the paper's extension P_l = r(1-l)/d incorporating the
+// packet loss rate l in [0, 1]. It is the objective the Cubic parameter
+// sweeps optimize.
+func LossPower(throughputMbps, lossRate, delaySeconds float64) float64 {
+	if lossRate < 0 {
+		lossRate = 0
+	}
+	if lossRate > 1 {
+		lossRate = 1
+	}
+	return Power(throughputMbps, delaySeconds) * (1 - lossRate)
+}
+
+// LogPower is ln(P), the Remy objective the paper optimizes for Table 3
+// ("log(P) in the case of Remy, in line with [45]"). Non-positive power
+// maps to -Inf so it always loses comparisons.
+func LogPower(throughputMbps, delaySeconds float64) float64 {
+	p := Power(throughputMbps, delaySeconds)
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}

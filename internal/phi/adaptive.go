@@ -1,0 +1,99 @@
+package phi
+
+import (
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// AdaptiveCubic is the within-connection variant of Section 2.2.2:
+// "if the connections are long, we could communicate with the context
+// server multiple times within the same connection." It wraps CUBIC and
+// re-queries the congestion context on a period, re-tuning the back-off
+// factor beta mid-flight — the one knob that matters for long-running
+// connections (Figure 2c). The launch parameters (initial window,
+// ssthresh) are fixed at connection start as usual.
+type AdaptiveCubic struct {
+	inner *tcp.Cubic
+
+	source  ContextSource
+	policy  *Policy
+	path    PathKey
+	refresh sim.Time
+
+	lastRefresh sim.Time
+	// Refreshes counts context re-queries; BetaChanges counts the ones
+	// that actually moved beta.
+	Refreshes   int
+	BetaChanges int
+}
+
+// NewAdaptiveCubic creates the controller. Launch parameters come from an
+// immediate lookup (falling back to the policy default); refresh <= 0
+// selects 5 s.
+func NewAdaptiveCubic(source ContextSource, policy *Policy, path PathKey, refresh sim.Time) *AdaptiveCubic {
+	if policy == nil {
+		policy = DefaultPolicy()
+	}
+	if refresh <= 0 {
+		refresh = 5 * sim.Second
+	}
+	params := policy.Default
+	if source != nil {
+		if ctx, err := source.Lookup(path); err == nil {
+			params = policy.Params(ctx)
+		}
+	}
+	if !params.Valid() {
+		params = tcp.DefaultCubicParams()
+	}
+	return &AdaptiveCubic{
+		inner: tcp.NewCubic(params), source: source, policy: policy,
+		path: path, refresh: refresh,
+	}
+}
+
+// Name implements tcp.CongestionControl.
+func (a *AdaptiveCubic) Name() string { return "cubic-phi-adaptive" }
+
+// Init implements tcp.CongestionControl.
+func (a *AdaptiveCubic) Init(now sim.Time) {
+	a.inner.Init(now)
+	a.lastRefresh = now
+}
+
+// OnAck implements tcp.CongestionControl, refreshing the shared context
+// on the configured period.
+func (a *AdaptiveCubic) OnAck(info tcp.AckInfo) {
+	if a.source != nil && info.Now-a.lastRefresh >= a.refresh {
+		a.lastRefresh = info.Now
+		if ctx, err := a.source.Lookup(a.path); err == nil {
+			a.Refreshes++
+			params := a.policy.Params(ctx)
+			if params.Valid() && params.Beta != a.inner.Params.Beta {
+				a.inner.Params.Beta = params.Beta
+				a.BetaChanges++
+			}
+		}
+	}
+	a.inner.OnAck(info)
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (a *AdaptiveCubic) OnLoss(now sim.Time) { a.inner.OnLoss(now) }
+
+// OnTimeout implements tcp.CongestionControl.
+func (a *AdaptiveCubic) OnTimeout(now sim.Time) { a.inner.OnTimeout(now) }
+
+// Window implements tcp.CongestionControl.
+func (a *AdaptiveCubic) Window() float64 { return a.inner.Window() }
+
+// Ssthresh implements tcp.CongestionControl.
+func (a *AdaptiveCubic) Ssthresh() float64 { return a.inner.Ssthresh() }
+
+// PacingInterval implements tcp.CongestionControl.
+func (a *AdaptiveCubic) PacingInterval() sim.Time { return 0 }
+
+// Beta exposes the current back-off factor (for tests and telemetry).
+func (a *AdaptiveCubic) Beta() float64 { return a.inner.Params.Beta }
+
+var _ tcp.CongestionControl = (*AdaptiveCubic)(nil)

@@ -1,0 +1,102 @@
+package phi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// swingSource returns contexts controlled by the test.
+type swingSource struct{ ctx Context }
+
+func (s *swingSource) Lookup(PathKey) (Context, error) { return s.ctx, nil }
+
+func TestAdaptiveCubicRefreshesBeta(t *testing.T) {
+	src := &swingSource{ctx: Context{U: 0.1}} // idle at launch
+	cc := NewAdaptiveCubic(src, DefaultPolicy(), "p", sim.Second)
+	cc.Init(0)
+	idleBeta := cc.Beta()
+	if idleBeta != DefaultPolicy().Params(Context{U: 0.1}).Beta {
+		t.Fatalf("launch beta = %v", idleBeta)
+	}
+
+	// Load rises mid-connection; the next refresh re-tunes beta.
+	src.ctx = Context{U: 0.99}
+	cc.OnAck(tcp.AckInfo{Now: 500 * sim.Millisecond, AckedSegments: 1}) // before refresh period
+	if cc.Refreshes != 0 {
+		t.Fatal("refreshed before the period elapsed")
+	}
+	cc.OnAck(tcp.AckInfo{Now: 1100 * sim.Millisecond, AckedSegments: 1})
+	if cc.Refreshes != 1 || cc.BetaChanges != 1 {
+		t.Fatalf("refreshes=%d betaChanges=%d", cc.Refreshes, cc.BetaChanges)
+	}
+	loadedBeta := cc.Beta()
+	if loadedBeta <= idleBeta {
+		t.Errorf("beta did not sharpen under load: %v -> %v", idleBeta, loadedBeta)
+	}
+
+	// Back to idle: beta relaxes on a later refresh.
+	src.ctx = Context{U: 0.1}
+	cc.OnAck(tcp.AckInfo{Now: 2200 * sim.Millisecond, AckedSegments: 1})
+	if cc.Beta() != idleBeta {
+		t.Errorf("beta did not relax: %v", cc.Beta())
+	}
+}
+
+func TestAdaptiveCubicLaunchFromLookup(t *testing.T) {
+	src := &swingSource{ctx: Context{U: 0.99}}
+	cc := NewAdaptiveCubic(src, DefaultPolicy(), "p", 0)
+	cc.Init(0)
+	// Saturated launch: tiny initial window from the policy's last band.
+	if cc.Window() != 2 {
+		t.Errorf("saturated launch window = %v, want 2", cc.Window())
+	}
+	if cc.Name() != "cubic-phi-adaptive" {
+		t.Errorf("name = %s", cc.Name())
+	}
+	// No source: defaults, no refreshes, still functional.
+	blind := NewAdaptiveCubic(nil, nil, "p", sim.Second)
+	blind.Init(0)
+	blind.OnAck(tcp.AckInfo{Now: 10 * sim.Second, AckedSegments: 1})
+	if blind.Refreshes != 0 {
+		t.Error("sourceless controller refreshed")
+	}
+	blind.OnLoss(11 * sim.Second)
+	blind.OnTimeout(12 * sim.Second)
+	if blind.Window() < 1 || blind.Ssthresh() <= 0 || blind.PacingInterval() != 0 {
+		t.Error("delegation broken")
+	}
+}
+
+// TestAdaptiveCubicLongFlowInSimulator runs the full loop: a long-running
+// Phi flow with periodic context refresh over a bottleneck whose load
+// changes mid-flight.
+func TestAdaptiveCubicLongFlowInSimulator(t *testing.T) {
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(2))
+	probe := sim.NewRateProbe(eng, d.Bottleneck.Monitor(), 100*sim.Millisecond, sim.Second)
+	oracle := Oracle{Fn: func() Context { return Context{U: probe.Utilization()} }}
+
+	cc := NewAdaptiveCubic(oracle, DefaultPolicy(), "bn", 2*sim.Second)
+	long, _ := tcp.Connect(eng, 1, d.Senders[0], d.Receivers[0], 0, cc, tcp.Config{})
+	long.Start()
+
+	// Cross load arrives at t=20s.
+	eng.At(20*sim.Second, func() {
+		cross, _ := tcp.Connect(eng, 2, d.Senders[1], d.Receivers[1], 0,
+			tcp.NewCubic(tcp.DefaultCubicParams()), tcp.Config{})
+		cross.Start()
+	})
+	eng.RunUntil(60 * sim.Second)
+
+	if cc.Refreshes < 10 {
+		t.Errorf("refreshes = %d, want many over 60s at 2s period", cc.Refreshes)
+	}
+	if cc.BetaChanges == 0 {
+		t.Error("beta never adapted despite the load change")
+	}
+	if long.Stats().BytesAcked == 0 {
+		t.Error("long flow moved no data")
+	}
+}

@@ -1,0 +1,86 @@
+package phi
+
+import (
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Client is the sender-side embodiment of Phi: at each connection start it
+// looks up the congestion context and picks Cubic parameters from the
+// policy; at each connection end it reports the flow's experience back.
+//
+// If the context source fails (server unreachable, malformed reply), the
+// client silently falls back to the default parameters — a Phi sender must
+// never be worse off than an unmodified one just because the control plane
+// is down.
+type Client struct {
+	// Source answers lookups; Reporter (optional, often the same object)
+	// receives start/end reports.
+	Source   ContextSource
+	Reporter Reporter
+	// Policy maps contexts to parameters; nil means DefaultPolicy.
+	Policy *Policy
+	// Path is the shared-state key this client's flows ride on.
+	Path PathKey
+
+	// Fallbacks counts lookups that failed and fell back to defaults.
+	Fallbacks uint64
+	// LastContext is the most recent successfully fetched context.
+	LastContext Context
+}
+
+// ParamsForNewConnection performs the connection-start lookup.
+func (c *Client) ParamsForNewConnection() tcp.CubicParams {
+	pol := c.Policy
+	if pol == nil {
+		pol = DefaultPolicy()
+	}
+	if c.Source == nil {
+		c.Fallbacks++
+		return pol.Default
+	}
+	ctx, err := c.Source.Lookup(c.Path)
+	if err != nil {
+		c.Fallbacks++
+		if pol.Default.Valid() {
+			return pol.Default
+		}
+		return tcp.DefaultCubicParams()
+	}
+	c.LastContext = ctx
+	return pol.Params(ctx)
+}
+
+// CC returns a congestion-controller factory that consults the context
+// server per connection — the hook point for workload.SourceConfig.CC.
+func (c *Client) CC() func() tcp.CongestionControl {
+	return func() tcp.CongestionControl {
+		return tcp.NewCubic(c.ParamsForNewConnection())
+	}
+}
+
+// OnStart is the connection-start report hook.
+func (c *Client) OnStart(flow sim.FlowID) {
+	if c.Reporter != nil {
+		_ = c.Reporter.ReportStart(c.Path) // best effort
+	}
+}
+
+// OnEnd is the connection-end report hook.
+func (c *Client) OnEnd(st *tcp.FlowStats) {
+	if c.Reporter == nil {
+		return
+	}
+	_ = c.Reporter.ReportEnd(c.Path, ReportFromStats(st)) // best effort
+}
+
+// ReportFromStats summarizes a finished flow for the context server.
+func ReportFromStats(st *tcp.FlowStats) Report {
+	return Report{
+		Bytes:    st.BytesAcked,
+		Duration: st.Duration(),
+		AvgRTT:   st.AvgRTT(),
+		MinRTT:   st.MinRTT,
+		LossRate: st.LossRate(),
+	}
+}

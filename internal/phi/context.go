@@ -1,0 +1,78 @@
+// Package phi implements the paper's primary contribution: information
+// sharing and coordination across the senders of a large provider ("one of
+// the five computers").
+//
+// The centerpiece is the context server (Section 2.2.2), a repository of
+// shared state from which the congestion context — bottleneck utilization
+// u, queue occupancy q, and number of competing senders n — is computed.
+// Senders look the context up once when a connection starts, choose
+// congestion-control parameters fit for current conditions via a Policy,
+// and report their experience back when the connection ends.
+//
+// Two context sources are provided: Server (the practical design, fed only
+// by connection-boundary reports) and Oracle (up-to-the-minute state, the
+// "ideal" upper bound in Table 3). Package phiwire exposes Server over
+// real TCP.
+package phi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PathKey identifies a network path whose state is shared — in the paper's
+// measurement, a destination /24 within a one-minute slice; in the
+// simulations, the single bottleneck. Any stable string works.
+type PathKey string
+
+// Context is the congestion context of a path (Section 2.2.2): when any of
+// these is high, congestion is high and senders should be conservative.
+type Context struct {
+	// U is the estimated bottleneck utilization in [0, ~1].
+	U float64
+	// Q is the estimated queueing delay (RTT in excess of propagation).
+	Q sim.Time
+	// N is the number of senders currently active on the path.
+	N int
+}
+
+func (c Context) String() string {
+	return fmt.Sprintf("u=%.2f q=%v n=%d", c.U, c.Q, c.N)
+}
+
+// Report is what a sender tells the context server when a connection ends:
+// enough to refresh the shared estimates of u, q, and n.
+type Report struct {
+	// Bytes delivered and the connection's duration, for rate estimation.
+	Bytes    int64
+	Duration sim.Time
+	// AvgRTT and MinRTT expose queueing (AvgRTT - MinRTT ~ q, as in Remy).
+	AvgRTT sim.Time
+	MinRTT sim.Time
+	// LossRate is the sender-observed loss rate.
+	LossRate float64
+}
+
+// ContextSource answers lookups at connection start.
+type ContextSource interface {
+	// Lookup returns the current context for the path. Implementations
+	// must degrade gracefully: an error tells the caller to fall back to
+	// default behavior (incremental deployability, Section 2.2.3).
+	Lookup(path PathKey) (Context, error)
+}
+
+// Reporter accepts the sender-side half of the protocol.
+type Reporter interface {
+	// ReportStart registers a new active connection on the path.
+	ReportStart(path PathKey) error
+	// ReportEnd unregisters it and folds its experience into shared state.
+	ReportEnd(path PathKey, r Report) error
+}
+
+// Station is a full client handle on the shared state: both lookup and
+// reporting. phi.Server implements it in-process; phiwire.Client over TCP.
+type Station interface {
+	ContextSource
+	Reporter
+}

@@ -1,0 +1,80 @@
+package phi_test
+
+import (
+	"fmt"
+
+	"repro/internal/phi"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// The complete Phi loop in miniature: a context server accumulates
+// connection-boundary reports; new connections look up the congestion
+// context and pick Cubic parameters from the policy.
+func Example() {
+	var now sim.Time
+	server := phi.NewServer(func() sim.Time { return now }, phi.ServerConfig{})
+	server.RegisterPath("bottleneck", 15_000_000)
+
+	client := &phi.Client{
+		Source:   server,
+		Reporter: server,
+		Policy:   phi.DefaultPolicy(),
+		Path:     "bottleneck",
+	}
+
+	// An idle path: the policy hands out an aggressive launch.
+	fmt.Println("idle:", client.ParamsForNewConnection())
+
+	// Connections report their experience; the estimates sharpen.
+	client.OnStart(1)
+	now = sim.Second
+	client.OnEnd(&tcp.FlowStats{
+		BytesAcked: 1_500_000, Start: 0, End: sim.Second,
+		RTTCount: 10, RTTSum: 1800 * sim.Millisecond, MinRTT: 150 * sim.Millisecond,
+	})
+	ctx, _ := server.Lookup("bottleneck")
+	fmt.Printf("context after report: u=%.1f n=%d\n", ctx.U, ctx.N)
+
+	// Output:
+	// idle: iw=64 ssthresh=16 beta=0.2
+	// context after report: u=0.1 n=0
+}
+
+// Policies serialize to stable, hand-editable JSON for distribution to a
+// sender fleet.
+func ExamplePolicy_WriteTo() {
+	p := &phi.Policy{
+		Rules: []phi.Rule{
+			{MaxU: 0.5, Params: tcp.CubicParams{InitialWindow: 32, InitialSsthresh: 64, Beta: 0.3}},
+		},
+		Default: tcp.DefaultCubicParams(),
+	}
+	p.WriteTo(fmtWriter{})
+	// Output:
+	// {
+	//   "rules": [
+	//     {
+	//       "max_utilization": 0.5,
+	//       "params": {
+	//         "initial_window": 32,
+	//         "initial_ssthresh": 64,
+	//         "beta": 0.3
+	//       }
+	//     }
+	//   ],
+	//   "default": {
+	//     "initial_window": 2,
+	//     "initial_ssthresh": 65536,
+	//     "beta": 0.2
+	//   }
+	// }
+}
+
+// fmtWriter prints to stdout for the example.
+type fmtWriter struct{}
+
+func (fmtWriter) Write(p []byte) (int, error) {
+	fmt.Print(string(p))
+	return len(p), nil
+}

@@ -1,0 +1,140 @@
+package phi
+
+import (
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// MixedConfig sets up the incremental-deployment experiment of Section
+// 2.2.3 / Figure 4: a fraction of senders ("modified") adopt the
+// Phi-optimal parameters while the rest stay on defaults.
+type MixedConfig struct {
+	// Scenario is the workload template (CC is overridden).
+	Scenario workload.Scenario
+	// Modified is the parameter setting the adopting senders use — the
+	// setting that would have been optimal had everyone cooperated.
+	Modified tcp.CubicParams
+	// ModifiedFraction is the adopting share of senders (paper: 0.5).
+	ModifiedFraction float64
+	// Runs and BaseSeed mirror SweepConfig.
+	Runs     int
+	BaseSeed int64
+}
+
+// GroupMetrics aggregates one sender group across runs.
+type GroupMetrics struct {
+	Runs []RunMetrics
+}
+
+func (g *GroupMetrics) mean(f func(RunMetrics) float64) float64 {
+	if len(g.Runs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range g.Runs {
+		sum += f(r)
+	}
+	return sum / float64(len(g.Runs))
+}
+
+// MeanThroughputMbps averages group throughput across runs.
+func (g *GroupMetrics) MeanThroughputMbps() float64 {
+	return g.mean(func(r RunMetrics) float64 { return r.ThroughputMbps })
+}
+
+// MeanQueueDelayMs averages group queueing delay across runs.
+func (g *GroupMetrics) MeanQueueDelayMs() float64 {
+	return g.mean(func(r RunMetrics) float64 { return r.QueueDelayMs })
+}
+
+// MeanLossRate averages group loss across runs.
+func (g *GroupMetrics) MeanLossRate() float64 {
+	return g.mean(func(r RunMetrics) float64 { return r.LossRate })
+}
+
+// MeanPower averages the group objective across runs.
+func (g *GroupMetrics) MeanPower() float64 {
+	return g.mean(func(r RunMetrics) float64 { return r.Power })
+}
+
+// MixedResult separates the two deployment groups.
+type MixedResult struct {
+	Modified   GroupMetrics
+	Unmodified GroupMetrics
+}
+
+// RunMixed executes the incremental-deployment experiment.
+func RunMixed(cfg MixedConfig) MixedResult {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
+	}
+	if cfg.ModifiedFraction <= 0 {
+		cfg.ModifiedFraction = 0.5
+	}
+	n := cfg.Scenario.Dumbbell.Senders
+	cut := int(cfg.ModifiedFraction * float64(n))
+	isModified := func(sender int) bool { return sender < cut }
+
+	var out MixedResult
+	for i := 0; i < cfg.Runs; i++ {
+		sc := cfg.Scenario
+		sc.Seed = cfg.BaseSeed + int64(i)
+		sc.CC = func(sender int) func() tcp.CongestionControl {
+			params := tcp.DefaultCubicParams()
+			if isModified(sender) {
+				params = cfg.Modified
+			}
+			return func() tcp.CongestionControl { return tcp.NewCubic(params) }
+		}
+		r := workload.Run(sc)
+		mod := groupMetrics(&r, isModified)
+		unmod := groupMetrics(&r, func(s int) bool { return !isModified(s) })
+		out.Modified.Runs = append(out.Modified.Runs, mod)
+		out.Unmodified.Runs = append(out.Unmodified.Runs, unmod)
+	}
+	return out
+}
+
+// groupMetrics computes RunMetrics over the subset of flows owned by
+// senders matching keep. Loss is the group's sender-side retransmission
+// rate, since link drops cannot be attributed per group.
+func groupMetrics(r *workload.Result, keep func(sender int) bool) RunMetrics {
+	var bits, onSecs float64
+	var rttSum, rttN int64
+	var rex, sent int64
+	for i := range r.Flows {
+		if !keep(r.SenderOf[i]) {
+			continue
+		}
+		f := &r.Flows[i]
+		if f.BytesAcked > 0 && f.Duration() > 0 {
+			bits += float64(f.BytesAcked) * 8
+			onSecs += f.Duration().Seconds()
+		}
+		rttSum += int64(f.RTTSum)
+		rttN += f.RTTCount
+		rex += f.Retransmits
+		sent += f.PacketsSent
+	}
+	m := RunMetrics{Utilization: r.Utilization}
+	if onSecs > 0 {
+		m.ThroughputMbps = bits / onSecs / 1e6
+	}
+	var meanRTT float64
+	if rttN > 0 {
+		meanRTT = float64(rttSum) / float64(rttN)
+		q := meanRTT - float64(r.PropRTT)
+		if q < 0 {
+			q = 0
+		}
+		m.QueueDelayMs = q / 1e6
+	}
+	if sent > 0 {
+		m.LossRate = float64(rex) / float64(sent)
+	}
+	if meanRTT > 0 {
+		d := meanRTT / 1e9
+		m.Power = m.ThroughputMbps * (1 - m.LossRate) / d
+	}
+	return m
+}

@@ -1,0 +1,412 @@
+package phi
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// fakeClock is an adjustable clock for server tests.
+type fakeClock struct{ now sim.Time }
+
+func (f *fakeClock) fn() func() sim.Time { return func() sim.Time { return f.now } }
+
+func TestServerTracksActiveSenders(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewServer(clk.fn(), ServerConfig{})
+	const path = PathKey("edge/10.0.0.0-24")
+	for i := 0; i < 5; i++ {
+		if err := s.ReportStart(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.ActiveSenders(path); got != 5 {
+		t.Errorf("active = %d, want 5", got)
+	}
+	ctx, err := s.Lookup(path)
+	if err != nil || ctx.N != 5 {
+		t.Errorf("Lookup N = %d (err %v), want 5", ctx.N, err)
+	}
+	for i := 0; i < 7; i++ { // more ends than starts must not go negative
+		_ = s.ReportEnd(path, Report{})
+	}
+	if got := s.ActiveSenders(path); got != 0 {
+		t.Errorf("active after surplus ends = %d, want 0", got)
+	}
+}
+
+func TestServerUtilizationFromReports(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewServer(clk.fn(), ServerConfig{Window: 10 * sim.Second})
+	const path = PathKey("bottleneck")
+	s.RegisterPath(path, 15_000_000)
+	// Reports totalling 7.5 Mbit/s over the 10s window => u = 0.5.
+	for i := 0; i < 10; i++ {
+		clk.now += sim.Second
+		_ = s.ReportEnd(path, Report{Bytes: 937_500, Duration: sim.Second})
+	}
+	ctx, _ := s.Lookup(path)
+	if math.Abs(ctx.U-0.5) > 0.11 {
+		t.Errorf("u = %v, want ~0.5", ctx.U)
+	}
+	// After the window passes with no reports, utilization decays to 0.
+	clk.now += 20 * sim.Second
+	ctx, _ = s.Lookup(path)
+	if ctx.U != 0 {
+		t.Errorf("u after idle window = %v, want 0", ctx.U)
+	}
+}
+
+func TestServerUtilizationClampedToOne(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewServer(clk.fn(), ServerConfig{Window: sim.Second})
+	const path = PathKey("p")
+	s.RegisterPath(path, 1_000)
+	_ = s.ReportEnd(path, Report{Bytes: 1 << 30})
+	ctx, _ := s.Lookup(path)
+	if ctx.U != 1 {
+		t.Errorf("u = %v, want clamped to 1", ctx.U)
+	}
+}
+
+func TestServerLearnsCapacityWhenUnregistered(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewServer(clk.fn(), ServerConfig{Window: 10 * sim.Second})
+	const path = PathKey("unknown")
+	_ = s.ReportEnd(path, Report{Bytes: 1_000_000})
+	ctx, _ := s.Lookup(path)
+	// With learned capacity = max observed rate, u should be 1 at peak.
+	if ctx.U != 1 {
+		t.Errorf("u at observed peak = %v, want 1", ctx.U)
+	}
+}
+
+func TestServerQueueEstimateFromRTTs(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewServer(clk.fn(), ServerConfig{})
+	const path = PathKey("p")
+	_ = s.ReportEnd(path, Report{AvgRTT: 150 * sim.Millisecond, MinRTT: 150 * sim.Millisecond})
+	ctx, _ := s.Lookup(path)
+	if ctx.Q != 0 {
+		t.Errorf("q with no queueing = %v, want 0", ctx.Q)
+	}
+	// A congested flow reports RTT well above the path minimum.
+	_ = s.ReportEnd(path, Report{AvgRTT: 250 * sim.Millisecond, MinRTT: 160 * sim.Millisecond})
+	ctx, _ = s.Lookup(path)
+	if ctx.Q <= 0 || ctx.Q > 100*sim.Millisecond {
+		t.Errorf("q = %v, want in (0, 100ms]", ctx.Q)
+	}
+}
+
+func TestServerPathIsolation(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewServer(clk.fn(), ServerConfig{})
+	_ = s.ReportStart("a")
+	ctx, _ := s.Lookup("b")
+	if ctx.N != 0 {
+		t.Error("state leaked across paths")
+	}
+	if s.PathCount() != 2 {
+		t.Errorf("PathCount = %d, want 2", s.PathCount())
+	}
+}
+
+func TestOracleLookup(t *testing.T) {
+	o := Oracle{Fn: func() Context { return Context{U: 0.7, Q: 5 * sim.Millisecond, N: 3} }}
+	ctx, err := o.Lookup("anything")
+	if err != nil || ctx.U != 0.7 || ctx.N != 3 {
+		t.Errorf("oracle lookup = %v, %v", ctx, err)
+	}
+}
+
+func TestPolicyFirstMatchWins(t *testing.T) {
+	p := &Policy{
+		Rules: []Rule{
+			{MaxU: 0.3, Params: tcp.CubicParams{InitialWindow: 32, InitialSsthresh: 256, Beta: 0.2}},
+			{MaxU: 0.9, Params: tcp.CubicParams{InitialWindow: 4, InitialSsthresh: 32, Beta: 0.3}},
+		},
+		Default: tcp.CubicParams{InitialWindow: 2, InitialSsthresh: 16, Beta: 0.5},
+	}
+	if got := p.Params(Context{U: 0.1}); got.InitialWindow != 32 {
+		t.Errorf("low-u params = %v", got)
+	}
+	if got := p.Params(Context{U: 0.5}); got.InitialWindow != 4 {
+		t.Errorf("mid-u params = %v", got)
+	}
+	if got := p.Params(Context{U: 0.95}); got.InitialWindow != 2 {
+		t.Errorf("catch-all params = %v", got)
+	}
+}
+
+func TestPolicyDimensions(t *testing.T) {
+	p := &Policy{
+		Rules: []Rule{
+			{MaxU: 0.5, MaxN: 4, MaxQ: 10 * sim.Millisecond,
+				Params: tcp.CubicParams{InitialWindow: 64, InitialSsthresh: 256, Beta: 0.2}},
+		},
+		Default: tcp.DefaultCubicParams(),
+	}
+	ok := Context{U: 0.4, N: 2, Q: 5 * sim.Millisecond}
+	if p.Params(ok).InitialWindow != 64 {
+		t.Error("matching context did not hit rule")
+	}
+	for _, bad := range []Context{
+		{U: 0.6, N: 2, Q: 5 * sim.Millisecond},
+		{U: 0.4, N: 9, Q: 5 * sim.Millisecond},
+		{U: 0.4, N: 2, Q: 50 * sim.Millisecond},
+	} {
+		if p.Params(bad).InitialWindow == 64 {
+			t.Errorf("context %v should not match", bad)
+		}
+	}
+}
+
+func TestDefaultPolicyMonotoneConservatism(t *testing.T) {
+	p := DefaultPolicy()
+	prevIW := math.MaxInt
+	for _, u := range []float64{0.1, 0.5, 0.7, 0.99} {
+		params := p.Params(Context{U: u})
+		if !params.Valid() {
+			t.Fatalf("invalid params at u=%v: %v", u, params)
+		}
+		if params.InitialWindow > prevIW {
+			t.Errorf("initial window grew with utilization at u=%v", u)
+		}
+		prevIW = params.InitialWindow
+	}
+	if p.String() == "" {
+		t.Error("empty policy string")
+	}
+}
+
+// failingSource always errors, to exercise fallback.
+type failingSource struct{}
+
+func (failingSource) Lookup(PathKey) (Context, error) { return Context{}, errors.New("down") }
+
+func TestClientFallsBackWhenServerDown(t *testing.T) {
+	c := &Client{Source: failingSource{}, Policy: DefaultPolicy(), Path: "p"}
+	params := c.ParamsForNewConnection()
+	if params != tcp.DefaultCubicParams() {
+		t.Errorf("fallback params = %v, want defaults", params)
+	}
+	if c.Fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", c.Fallbacks)
+	}
+	cc := c.CC()()
+	if cc.Name() != "cubic" {
+		t.Error("CC factory broken")
+	}
+}
+
+func TestClientNilSourceFallsBack(t *testing.T) {
+	c := &Client{Path: "p"}
+	if c.ParamsForNewConnection() != tcp.DefaultCubicParams() {
+		t.Error("nil source should yield defaults")
+	}
+}
+
+func TestClientUsesContext(t *testing.T) {
+	clk := &fakeClock{}
+	srv := NewServer(clk.fn(), ServerConfig{})
+	c := &Client{Source: srv, Reporter: srv, Policy: DefaultPolicy(), Path: "p"}
+	// Idle path: low utilization -> aggressive params.
+	params := c.ParamsForNewConnection()
+	if params.InitialWindow != 64 {
+		t.Errorf("idle-path params = %v, want iw=64 band", params)
+	}
+	if c.LastContext.N != 0 {
+		t.Errorf("context N = %d", c.LastContext.N)
+	}
+	// Reports flow through.
+	c.OnStart(1)
+	if srv.ActiveSenders("p") != 1 {
+		t.Error("OnStart did not register")
+	}
+	st := &tcp.FlowStats{BytesAcked: 1000, Start: 0, End: sim.Second,
+		RTTCount: 1, RTTSum: 200 * sim.Millisecond, MinRTT: 150 * sim.Millisecond}
+	c.OnEnd(st)
+	if srv.ActiveSenders("p") != 0 {
+		t.Error("OnEnd did not unregister")
+	}
+}
+
+func TestReportFromStats(t *testing.T) {
+	st := &tcp.FlowStats{BytesAcked: 5000, Start: sim.Second, End: 3 * sim.Second,
+		PacketsSent: 100, Retransmits: 10,
+		RTTCount: 2, RTTSum: 400 * sim.Millisecond, MinRTT: 150 * sim.Millisecond}
+	r := ReportFromStats(st)
+	if r.Bytes != 5000 || r.Duration != 2*sim.Second {
+		t.Errorf("bytes/duration = %d/%v", r.Bytes, r.Duration)
+	}
+	if r.AvgRTT != 200*sim.Millisecond || r.MinRTT != 150*sim.Millisecond {
+		t.Errorf("rtts = %v/%v", r.AvgRTT, r.MinRTT)
+	}
+	if r.LossRate != 0.1 {
+		t.Errorf("loss = %v", r.LossRate)
+	}
+}
+
+func TestTable2SpecSize(t *testing.T) {
+	spec := Table2Spec()
+	if len(spec.Ssthresh) != 8 || len(spec.WindowInit) != 8 || len(spec.Beta) != 9 {
+		t.Fatalf("Table 2 dimensions wrong: %d/%d/%d",
+			len(spec.Ssthresh), len(spec.WindowInit), len(spec.Beta))
+	}
+	if got := len(spec.Points()); got != 576 {
+		t.Errorf("grid size = %d, want 576", got)
+	}
+	for _, p := range spec.Points() {
+		if !p.Valid() {
+			t.Fatalf("invalid grid point %v", p)
+		}
+	}
+}
+
+func TestBetaOnlySpec(t *testing.T) {
+	pts := BetaOnlySpec().Points()
+	if len(pts) != 9 {
+		t.Fatalf("beta-only grid = %d points, want 9", len(pts))
+	}
+	for _, p := range pts {
+		if p.InitialSsthresh != 65536 || p.InitialWindow != 2 {
+			t.Errorf("beta-only point has non-default iw/ssthresh: %v", p)
+		}
+	}
+}
+
+func TestServerActiveTTLExpiry(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewServer(clk.fn(), ServerConfig{ActiveTTL: 10 * sim.Second})
+	const path = PathKey("p")
+	_ = s.ReportStart(path)
+	clk.now = 5 * sim.Second
+	_ = s.ReportStart(path)
+	if got := s.ActiveSenders(path); got != 2 {
+		t.Fatalf("active = %d, want 2", got)
+	}
+	// The first registration ages out; the second survives.
+	clk.now = 12 * sim.Second
+	if got := s.ActiveSenders(path); got != 1 {
+		t.Errorf("active after TTL = %d, want 1 (crashed client expired)", got)
+	}
+	clk.now = 30 * sim.Second
+	if got := s.ActiveSenders(path); got != 0 {
+		t.Errorf("active after full expiry = %d, want 0", got)
+	}
+	// Negative TTL disables expiry.
+	clk2 := &fakeClock{}
+	s2 := NewServer(clk2.fn(), ServerConfig{ActiveTTL: -1})
+	_ = s2.ReportStart(path)
+	clk2.now = sim.Time(1) << 40
+	if got := s2.ActiveSenders(path); got != 1 {
+		t.Errorf("disabled TTL expired a sender")
+	}
+}
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	orig := DefaultPolicy()
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPolicy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Rules) != len(orig.Rules) {
+		t.Fatalf("rules %d vs %d", len(loaded.Rules), len(orig.Rules))
+	}
+	if loaded.Default != orig.Default {
+		t.Errorf("default %v vs %v", loaded.Default, orig.Default)
+	}
+	// The loaded policy makes the same decisions.
+	for _, u := range []float64{0.1, 0.45, 0.7, 0.99} {
+		ctx := Context{U: u}
+		if loaded.Params(ctx) != orig.Params(ctx) {
+			t.Errorf("decision differs at u=%v: %v vs %v", u, loaded.Params(ctx), orig.Params(ctx))
+		}
+	}
+	// Infinite MaxU serializes as an absent bound and still matches all.
+	if loaded.Rules[len(loaded.Rules)-1].MaxU != 0 {
+		t.Errorf("catch-all MaxU = %v after round trip, want 0 (wildcard)", loaded.Rules[len(loaded.Rules)-1].MaxU)
+	}
+}
+
+func TestLoadPolicyValidates(t *testing.T) {
+	bad := `{"rules":[{"params":{"initial_window":0,"initial_ssthresh":16,"beta":0.2}}],
+	         "default":{"initial_window":2,"initial_ssthresh":65536,"beta":0.2}}`
+	if _, err := LoadPolicy(strings.NewReader(bad)); err == nil {
+		t.Error("invalid rule params accepted")
+	}
+	badDefault := `{"rules":[],"default":{"initial_window":0,"initial_ssthresh":0,"beta":9}}`
+	if _, err := LoadPolicy(strings.NewReader(badDefault)); err == nil {
+		t.Error("invalid default accepted")
+	}
+	if _, err := LoadPolicy(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestLoadPolicyHandEdited(t *testing.T) {
+	// The format an operator would write by hand.
+	src := `{
+	  "rules": [
+	    {"max_utilization": 0.5, "max_senders": 10, "max_queue_ms": 50,
+	     "params": {"initial_window": 32, "initial_ssthresh": 64, "beta": 0.3}}
+	  ],
+	  "default": {"initial_window": 2, "initial_ssthresh": 65536, "beta": 0.2}
+	}`
+	p, err := LoadPolicy(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rules[0]
+	if r.MaxU != 0.5 || r.MaxN != 10 || r.MaxQ != 50*sim.Millisecond {
+		t.Errorf("rule = %+v", r)
+	}
+	if got := p.Params(Context{U: 0.4, N: 5, Q: 10 * sim.Millisecond}); got.InitialWindow != 32 {
+		t.Errorf("params = %v", got)
+	}
+	if got := p.Params(Context{U: 0.9}); got != tcp.DefaultCubicParams() {
+		t.Errorf("fallthrough = %v", got)
+	}
+}
+
+func TestServerReportProgressKeepsSenderActive(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewServer(clk.fn(), ServerConfig{Window: 10 * sim.Second})
+	const path = PathKey("p")
+	s.RegisterPath(path, 8_000_000)
+	_ = s.ReportStart(path)
+
+	// A long-running connection streams progress every second.
+	for i := 0; i < 5; i++ {
+		clk.now += sim.Second
+		if err := s.ReportProgress(path, Report{Bytes: 500_000,
+			AvgRTT: 200 * sim.Millisecond, MinRTT: 150 * sim.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Still registered as active, and the utilization reflects the flow.
+	if got := s.ActiveSenders(path); got != 1 {
+		t.Errorf("active = %d, want 1 (progress must not retire)", got)
+	}
+	ctx, _ := s.Lookup(path)
+	if ctx.U < 0.2 {
+		t.Errorf("u = %v, want substantial from progress reports", ctx.U)
+	}
+	if ctx.Q <= 0 {
+		t.Errorf("q = %v, want > 0", ctx.Q)
+	}
+	// The final end report retires it.
+	_ = s.ReportEnd(path, Report{Bytes: 100_000})
+	if got := s.ActiveSenders(path); got != 0 {
+		t.Errorf("active after end = %d", got)
+	}
+}

@@ -1,0 +1,102 @@
+package phi
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Rule maps a region of congestion-context space to Cubic parameters. A
+// rule matches when every set bound holds; zero-valued bounds are
+// wildcards (MaxU of 0 means "no utilization bound" — use math.Inf(1) or
+// 1.01 to express a catch-all explicitly).
+type Rule struct {
+	// MaxU matches contexts with U <= MaxU (0 = any).
+	MaxU float64
+	// MaxN matches contexts with N <= MaxN (0 = any).
+	MaxN int
+	// MaxQ matches contexts with Q <= MaxQ (0 = any).
+	MaxQ sim.Time
+	// Params are the Cubic parameters to use in this region.
+	Params tcp.CubicParams
+}
+
+func (r Rule) matches(ctx Context) bool {
+	if r.MaxU > 0 && ctx.U > r.MaxU {
+		return false
+	}
+	if r.MaxN > 0 && ctx.N > r.MaxN {
+		return false
+	}
+	if r.MaxQ > 0 && ctx.Q > r.MaxQ {
+		return false
+	}
+	return true
+}
+
+// Policy turns a congestion context into Cubic parameters: the "optimal
+// parameter setting for the current conditions" of Section 2.2. Rules are
+// evaluated in order; the first match wins; Default applies otherwise.
+type Policy struct {
+	Rules   []Rule
+	Default tcp.CubicParams
+}
+
+// Params returns the parameters for the given context.
+func (p *Policy) Params(ctx Context) tcp.CubicParams {
+	for _, r := range p.Rules {
+		if r.matches(ctx) {
+			return r.Params
+		}
+	}
+	if p.Default.Valid() {
+		return p.Default
+	}
+	return tcp.DefaultCubicParams()
+}
+
+// String renders the policy as a table.
+func (p *Policy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy (%d rules):\n", len(p.Rules))
+	for _, r := range p.Rules {
+		u := "any"
+		if r.MaxU > 0 {
+			u = fmt.Sprintf("<=%.2f", r.MaxU)
+		}
+		n := "any"
+		if r.MaxN > 0 {
+			n = fmt.Sprintf("<=%d", r.MaxN)
+		}
+		q := "any"
+		if r.MaxQ > 0 {
+			q = fmt.Sprintf("<=%v", r.MaxQ)
+		}
+		fmt.Fprintf(&b, "  u %-8s n %-6s q %-8s -> %v\n", u, n, q, r.Params)
+	}
+	fmt.Fprintf(&b, "  default -> %v\n", p.Default)
+	return b.String()
+}
+
+// DefaultPolicy is the policy distilled from this repository's own
+// parameter sweeps (regenerate with `phi-experiments -run policy`; the
+// band optima below are the sweep winners), consistent with the paper's
+// findings: at low utilization a large initial window with a tightly
+// bounded slow-start threshold discovers bandwidth fast without
+// overshoot; as congestion rises the initial window shrinks and the
+// back-off sharpens; near saturation senders launch minimally and back
+// off hard (the Figure 2c beta effect).
+func DefaultPolicy() *Policy {
+	return &Policy{
+		Rules: []Rule{
+			{MaxU: 0.3, Params: tcp.CubicParams{InitialWindow: 64, InitialSsthresh: 16, Beta: 0.2}},
+			{MaxU: 0.6, Params: tcp.CubicParams{InitialWindow: 16, InitialSsthresh: 16, Beta: 0.5}},
+			{MaxU: 0.85, Params: tcp.CubicParams{InitialWindow: 8, InitialSsthresh: 16, Beta: 0.8}},
+			{MaxU: math.Inf(1), Params: tcp.CubicParams{InitialWindow: 2, InitialSsthresh: 16, Beta: 0.8}},
+		},
+		Default: tcp.DefaultCubicParams(),
+	}
+}

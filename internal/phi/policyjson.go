@@ -1,0 +1,125 @@
+package phi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Policy serialization: the distilled parameter policy is the artifact an
+// operator ships to its sender fleet (the context server holds the state;
+// the policy holds the mapping). The JSON form is stable and human
+// editable:
+//
+//	{
+//	  "rules": [
+//	    {"max_utilization": 0.3,
+//	     "params": {"initial_window": 64, "initial_ssthresh": 16, "beta": 0.2}},
+//	    {"params": {"initial_window": 2, "initial_ssthresh": 16, "beta": 0.8}}
+//	  ],
+//	  "default": {"initial_window": 2, "initial_ssthresh": 65536, "beta": 0.2}
+//	}
+//
+// A rule without max_utilization (or with it null) matches any
+// utilization; max_senders and max_queue_ms are optional the same way.
+
+type paramsJSON struct {
+	InitialWindow   int     `json:"initial_window"`
+	InitialSsthresh int     `json:"initial_ssthresh"`
+	Beta            float64 `json:"beta"`
+}
+
+type ruleJSON struct {
+	MaxUtilization *float64   `json:"max_utilization,omitempty"`
+	MaxSenders     int        `json:"max_senders,omitempty"`
+	MaxQueueMs     float64    `json:"max_queue_ms,omitempty"`
+	Params         paramsJSON `json:"params"`
+}
+
+type policyJSON struct {
+	Rules   []ruleJSON `json:"rules"`
+	Default paramsJSON `json:"default"`
+}
+
+func toParamsJSON(p tcp.CubicParams) paramsJSON {
+	return paramsJSON{InitialWindow: p.InitialWindow, InitialSsthresh: p.InitialSsthresh, Beta: p.Beta}
+}
+
+func fromParamsJSON(p paramsJSON) tcp.CubicParams {
+	return tcp.CubicParams{InitialWindow: p.InitialWindow, InitialSsthresh: p.InitialSsthresh, Beta: p.Beta}
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Policy) MarshalJSON() ([]byte, error) {
+	out := policyJSON{Default: toParamsJSON(p.Default)}
+	for _, r := range p.Rules {
+		rj := ruleJSON{
+			MaxSenders: r.MaxN,
+			MaxQueueMs: r.MaxQ.Milliseconds(),
+			Params:     toParamsJSON(r.Params),
+		}
+		if r.MaxU > 0 && !math.IsInf(r.MaxU, 1) {
+			u := r.MaxU
+			rj.MaxUtilization = &u
+		}
+		out.Rules = append(out.Rules, rj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler with validation: every rule's
+// parameters must be valid.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var in policyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	out := Policy{Default: fromParamsJSON(in.Default)}
+	if !out.Default.Valid() {
+		return fmt.Errorf("phi: invalid default params %v", out.Default)
+	}
+	for i, rj := range in.Rules {
+		r := Rule{
+			MaxN:   rj.MaxSenders,
+			MaxQ:   sim.Milliseconds(rj.MaxQueueMs),
+			Params: fromParamsJSON(rj.Params),
+		}
+		if rj.MaxUtilization != nil {
+			r.MaxU = *rj.MaxUtilization
+		}
+		if !r.Params.Valid() {
+			return fmt.Errorf("phi: rule %d has invalid params %v", i, r.Params)
+		}
+		out.Rules = append(out.Rules, r)
+	}
+	*p = out
+	return nil
+}
+
+// WriteTo serializes the policy as indented JSON.
+func (p *Policy) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// LoadPolicy parses a policy from JSON.
+func LoadPolicy(r io.Reader) (*Policy, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var p Policy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,245 @@
+package phi
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// ServerConfig tunes the context server's estimators.
+type ServerConfig struct {
+	// Window is the sliding window over which reported bytes are turned
+	// into a utilization estimate (default 10 s).
+	Window sim.Time
+	// QueueAlpha is the EWMA smoothing factor for the queue estimate
+	// (default 0.3).
+	QueueAlpha float64
+	// ActiveTTL expires a registered sender that never reports back (a
+	// crashed client must not inflate the n estimate forever). Default
+	// 60 s; zero keeps the default, negative disables expiry.
+	ActiveTTL sim.Time
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Window == 0 {
+		c.Window = 10 * sim.Second
+	}
+	if c.QueueAlpha == 0 {
+		c.QueueAlpha = 0.3
+	}
+	if c.ActiveTTL == 0 {
+		c.ActiveTTL = 60 * sim.Second
+	}
+	return c
+}
+
+// Server is the in-process context server: the repository of shared state
+// for one administrative domain. It is fed only at connection boundaries
+// (the paper's minimal-overhead "practical" design) and is safe for
+// concurrent use, so the same instance can back the wire protocol.
+//
+// Time is injected as a clock function so the server runs both inside the
+// simulator (engine.Now) and against the wall clock.
+type Server struct {
+	mu    sync.Mutex
+	clock func() sim.Time
+	cfg   ServerConfig
+	paths map[PathKey]*pathState
+
+	// Lookups and Reports count operations, for tests and ops visibility.
+	Lookups uint64
+	Reports uint64
+}
+
+type timedReport struct {
+	at    sim.Time
+	bytes int64
+}
+
+type pathState struct {
+	capacityBps int64
+	// starts holds the registration times of active senders (FIFO); a
+	// ReportEnd retires the oldest, matching the paper's
+	// one-start-one-end protocol without per-flow identifiers.
+	starts     []sim.Time
+	reports    []timedReport
+	minRTT     sim.Time
+	qEWMA      sim.Time
+	qInit      bool
+	maxRateBps float64
+}
+
+// NewServer creates a context server reading time from clock.
+func NewServer(clock func() sim.Time, cfg ServerConfig) *Server {
+	return &Server{clock: clock, cfg: cfg.withDefaults(), paths: make(map[PathKey]*pathState)}
+}
+
+// RegisterPath declares a path's bottleneck capacity, enabling calibrated
+// utilization estimates. Without it the capacity is learned as the largest
+// aggregate rate ever observed.
+func (s *Server) RegisterPath(path PathKey, capacityBps int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state(path).capacityBps = capacityBps
+}
+
+func (s *Server) state(path PathKey) *pathState {
+	st, ok := s.paths[path]
+	if !ok {
+		st = &pathState{}
+		s.paths[path] = st
+	}
+	return st
+}
+
+// Lookup implements ContextSource. It never fails in-process.
+func (s *Server) Lookup(path PathKey) (Context, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Lookups++
+	st := s.state(path)
+	now := s.clock()
+	s.prune(st, now)
+	s.expireActives(st, now)
+
+	var bytes int64
+	for _, r := range st.reports {
+		bytes += r.bytes
+	}
+	window := s.cfg.Window.Seconds()
+	rateBps := float64(bytes) * 8 / window
+	if rateBps > st.maxRateBps {
+		st.maxRateBps = rateBps
+	}
+	cap := float64(st.capacityBps)
+	if cap <= 0 {
+		cap = st.maxRateBps
+	}
+	u := 0.0
+	if cap > 0 {
+		u = rateBps / cap
+		if u > 1 {
+			u = 1
+		}
+	}
+	return Context{U: u, Q: st.qEWMA, N: len(st.starts)}, nil
+}
+
+// ReportStart implements Reporter.
+func (s *Server) ReportStart(path PathKey) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Reports++
+	st := s.state(path)
+	st.starts = append(st.starts, s.clock())
+	return nil
+}
+
+// ReportEnd implements Reporter.
+func (s *Server) ReportEnd(path PathKey, r Report) error {
+	return s.report(path, r, true)
+}
+
+// ReportProgress folds a mid-connection report in without retiring the
+// sender's registration — the paper's long-connection refinement: "if the
+// connections are long, we could communicate with the context server
+// multiple times within the same connection." The report should carry the
+// bytes moved since the previous report, not the running total.
+func (s *Server) ReportProgress(path PathKey, r Report) error {
+	return s.report(path, r, false)
+}
+
+func (s *Server) report(path PathKey, r Report, end bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Reports++
+	st := s.state(path)
+	if end && len(st.starts) > 0 {
+		st.starts = st.starts[1:]
+	}
+	now := s.clock()
+	st.reports = append(st.reports, timedReport{at: now, bytes: r.Bytes})
+	s.prune(st, now)
+
+	if r.MinRTT > 0 && (st.minRTT == 0 || r.MinRTT < st.minRTT) {
+		st.minRTT = r.MinRTT
+	}
+	if r.AvgRTT > 0 && st.minRTT > 0 {
+		q := r.AvgRTT - st.minRTT
+		if q < 0 {
+			q = 0
+		}
+		if !st.qInit {
+			st.qEWMA = q
+			st.qInit = true
+		} else {
+			a := s.cfg.QueueAlpha
+			st.qEWMA = sim.Time(a*float64(q) + (1-a)*float64(st.qEWMA))
+		}
+	}
+	return nil
+}
+
+// expireActives drops registrations older than the TTL.
+func (s *Server) expireActives(st *pathState, now sim.Time) {
+	if s.cfg.ActiveTTL < 0 {
+		return
+	}
+	cutoff := now - s.cfg.ActiveTTL
+	i := 0
+	for i < len(st.starts) && st.starts[i] < cutoff {
+		i++
+	}
+	if i > 0 {
+		st.starts = append(st.starts[:0], st.starts[i:]...)
+	}
+}
+
+func (s *Server) prune(st *pathState, now sim.Time) {
+	cutoff := now - s.cfg.Window
+	i := 0
+	for i < len(st.reports) && st.reports[i].at < cutoff {
+		i++
+	}
+	if i > 0 {
+		st.reports = append(st.reports[:0], st.reports[i:]...)
+	}
+}
+
+// ActiveSenders returns the currently registered sender count for a path
+// (after TTL expiry).
+func (s *Server) ActiveSenders(path PathKey) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(path)
+	s.expireActives(st, s.clock())
+	return len(st.starts)
+}
+
+// PathCount returns the number of paths with state.
+func (s *Server) PathCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.paths)
+}
+
+// Oracle is a ContextSource with perfect, instantaneous knowledge — the
+// upper bound that "Remy-Phi-ideal" and the coordinated Cubic sweeps
+// assume. It wraps a function that reads ground truth (e.g. the bottleneck
+// link monitor inside the simulator).
+type Oracle struct {
+	// Fn returns the true current context.
+	Fn func() Context
+}
+
+// Lookup implements ContextSource.
+func (o Oracle) Lookup(PathKey) (Context, error) { return o.Fn(), nil }
+
+// LinkOracle builds an Oracle over a monitored link: utilization and mean
+// queueing delay over a trailing measurement (the monitor's interval), and
+// an externally maintained sender count.
+func LinkOracle(mon *sim.LinkMonitor, active func() int) Oracle {
+	return Oracle{Fn: func() Context {
+		return Context{U: mon.Utilization(), Q: mon.MeanQueueDelay(), N: active()}
+	}}
+}

@@ -1,0 +1,296 @@
+package phi
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// SweepSpec is the Cubic parameter grid of Table 2.
+type SweepSpec struct {
+	// Ssthresh values in segments (paper: 2..256, doubling).
+	Ssthresh []int
+	// WindowInit values in segments (paper: 2..256, doubling).
+	WindowInit []int
+	// Beta values (paper: 0.1..0.9 step 0.1).
+	Beta []float64
+}
+
+// Table2Spec returns the paper's full sweep grid (Table 2): 8 x 8 x 9 =
+// 576 parameter combinations.
+func Table2Spec() SweepSpec {
+	var pow2 []int
+	for v := 2; v <= 256; v *= 2 {
+		pow2 = append(pow2, v)
+	}
+	var betas []float64
+	for b := 0.1; b < 0.95; b += 0.1 {
+		betas = append(betas, math.Round(b*10)/10)
+	}
+	return SweepSpec{Ssthresh: pow2, WindowInit: append([]int(nil), pow2...), Beta: betas}
+}
+
+// CoarseSpec returns a reduced grid for quick runs and benchmarks; the
+// full Table2Spec remains available behind a flag in cmd/phi-experiments.
+func CoarseSpec() SweepSpec {
+	return SweepSpec{
+		Ssthresh:   []int{16, 64, 256},
+		WindowInit: []int{2, 16, 64},
+		Beta:       []float64{0.2, 0.5, 0.8},
+	}
+}
+
+// BetaOnlySpec sweeps only beta (Figure 2c: for long-running flows only
+// beta matters), holding the other parameters at their defaults.
+func BetaOnlySpec() SweepSpec {
+	var betas []float64
+	for b := 0.1; b < 0.95; b += 0.1 {
+		betas = append(betas, math.Round(b*10)/10)
+	}
+	return SweepSpec{Ssthresh: []int{65536}, WindowInit: []int{2}, Beta: betas}
+}
+
+// Points expands the grid into concrete parameter combinations.
+func (s SweepSpec) Points() []tcp.CubicParams {
+	var out []tcp.CubicParams
+	for _, ss := range s.Ssthresh {
+		for _, iw := range s.WindowInit {
+			for _, b := range s.Beta {
+				out = append(out, tcp.CubicParams{InitialWindow: iw, InitialSsthresh: ss, Beta: b})
+			}
+		}
+	}
+	return out
+}
+
+// RunMetrics are the measurements of one run at one parameter setting.
+type RunMetrics struct {
+	ThroughputMbps float64
+	QueueDelayMs   float64
+	LossRate       float64
+	Utilization    float64
+	// Power is the paper's objective P_l = r(1-l)/d for this run.
+	Power float64
+}
+
+// SweepPoint is one parameter setting with its per-run measurements.
+type SweepPoint struct {
+	Params tcp.CubicParams
+	Runs   []RunMetrics
+}
+
+// MeanPower averages the objective across runs.
+func (p *SweepPoint) MeanPower() float64 {
+	var xs []float64
+	for _, r := range p.Runs {
+		xs = append(xs, r.Power)
+	}
+	return metrics.Mean(xs)
+}
+
+// MeanThroughputMbps averages throughput across runs.
+func (p *SweepPoint) MeanThroughputMbps() float64 {
+	var xs []float64
+	for _, r := range p.Runs {
+		xs = append(xs, r.ThroughputMbps)
+	}
+	return metrics.Mean(xs)
+}
+
+// MeanQueueDelayMs averages queueing delay across runs.
+func (p *SweepPoint) MeanQueueDelayMs() float64 {
+	var xs []float64
+	for _, r := range p.Runs {
+		xs = append(xs, r.QueueDelayMs)
+	}
+	return metrics.Mean(xs)
+}
+
+// MeanLossRate averages loss across runs.
+func (p *SweepPoint) MeanLossRate() float64 {
+	var xs []float64
+	for _, r := range p.Runs {
+		xs = append(xs, r.LossRate)
+	}
+	return metrics.Mean(xs)
+}
+
+// SweepConfig drives a parameter sweep over a workload scenario.
+type SweepConfig struct {
+	// Scenario is the workload template; its CC field is overridden per
+	// parameter point (every sender uses the same setting, as in the
+	// paper's simplified coordinated setting, Section 2.2.1).
+	Scenario workload.Scenario
+	// Spec is the parameter grid.
+	Spec SweepSpec
+	// Runs is the number of repetitions per point (paper: n = 8).
+	Runs int
+	// BaseSeed seeds run i with BaseSeed + i, identical across points so
+	// leave-one-out comparisons are paired.
+	BaseSeed int64
+	// Parallelism runs sweep points concurrently (each simulation is
+	// independent and deterministically seeded, so results are identical
+	// to a serial sweep). 0 uses GOMAXPROCS; 1 forces serial.
+	Parallelism int
+}
+
+// SweepResult holds the full sweep plus the default-parameter reference.
+type SweepResult struct {
+	Points  []SweepPoint
+	Default SweepPoint
+}
+
+// RunSweep executes the sweep, spreading parameter points across CPUs.
+// It is deterministic in BaseSeed regardless of parallelism.
+func RunSweep(cfg SweepConfig) *SweepResult {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	points := cfg.Spec.Points()
+	res := &SweepResult{Points: make([]SweepPoint, len(points))}
+
+	type job struct{ idx int } // idx -1 is the default point
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if j.idx < 0 {
+					res.Default = runPoint(cfg, tcp.DefaultCubicParams())
+				} else {
+					res.Points[j.idx] = runPoint(cfg, points[j.idx])
+				}
+			}
+		}()
+	}
+	jobs <- job{idx: -1}
+	for i := range points {
+		jobs <- job{idx: i}
+	}
+	close(jobs)
+	wg.Wait()
+	return res
+}
+
+func runPoint(cfg SweepConfig, params tcp.CubicParams) SweepPoint {
+	pt := SweepPoint{Params: params}
+	for i := 0; i < cfg.Runs; i++ {
+		sc := cfg.Scenario
+		sc.Seed = cfg.BaseSeed + int64(i)
+		sc.CC = func(int) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl { return tcp.NewCubic(params) }
+		}
+		r := workload.Run(sc)
+		pt.Runs = append(pt.Runs, metricsOf(&r))
+	}
+	return pt
+}
+
+func metricsOf(r *workload.Result) RunMetrics {
+	return RunMetrics{
+		ThroughputMbps: r.AggThroughputMbps(),
+		QueueDelayMs:   r.MeanQueueingDelayMs(),
+		LossRate:       r.LinkLossRate,
+		Utilization:    r.Utilization,
+		Power:          r.LossPower(),
+	}
+}
+
+// Best returns the point with the highest mean objective.
+func (r *SweepResult) Best() *SweepPoint {
+	if len(r.Points) == 0 {
+		return nil
+	}
+	best := &r.Points[0]
+	for i := range r.Points {
+		if r.Points[i].MeanPower() > best.MeanPower() {
+			best = &r.Points[i]
+		}
+	}
+	return best
+}
+
+// LeaveOneOut performs the Figure 3 stability analysis: for each run i,
+// take the parameter point that was optimal on run i alone and evaluate
+// its mean objective over the remaining runs. Returned per-i, along with
+// the per-run optimal and default objectives for comparison.
+type LeaveOneOut struct {
+	// Run i's best-on-i params evaluated on the other runs.
+	CommonPower []float64
+	// The per-run optimal objective (upper envelope).
+	OptimalPower []float64
+	// The default parameters' objective per run.
+	DefaultPower []float64
+}
+
+// LeaveOneOut computes the stability analysis from an executed sweep.
+func (r *SweepResult) LeaveOneOut() LeaveOneOut {
+	if len(r.Points) == 0 || len(r.Points[0].Runs) < 2 {
+		return LeaveOneOut{}
+	}
+	runs := len(r.Points[0].Runs)
+	out := LeaveOneOut{}
+	for i := 0; i < runs; i++ {
+		// Best point judged by run i only.
+		bestIdx, bestPow := 0, math.Inf(-1)
+		for pi := range r.Points {
+			if p := r.Points[pi].Runs[i].Power; p > bestPow {
+				bestPow, bestIdx = p, pi
+			}
+		}
+		out.OptimalPower = append(out.OptimalPower, bestPow)
+		// Its mean power on the other runs.
+		var rest []float64
+		for j := 0; j < runs; j++ {
+			if j != i {
+				rest = append(rest, r.Points[bestIdx].Runs[j].Power)
+			}
+		}
+		out.CommonPower = append(out.CommonPower, metrics.Mean(rest))
+		out.DefaultPower = append(out.DefaultPower, r.Default.Runs[i].Power)
+	}
+	return out
+}
+
+// RuleFromSweep distills a sweep taken at a known utilization level into a
+// policy rule (utilization-banded).
+func RuleFromSweep(maxU float64, r *SweepResult) Rule {
+	best := r.Best()
+	if best == nil {
+		return Rule{MaxU: maxU, Params: tcp.DefaultCubicParams()}
+	}
+	return Rule{MaxU: maxU, Params: best.Params}
+}
+
+// PolicyFromSweeps assembles a policy from per-utilization-band sweeps.
+// bands maps the band's inclusive upper utilization bound to its sweep.
+func PolicyFromSweeps(bands map[float64]*SweepResult) *Policy {
+	pol := &Policy{Default: tcp.DefaultCubicParams()}
+	var keys []float64
+	for u := range bands {
+		keys = append(keys, u)
+	}
+	sort.Float64s(keys)
+	for _, u := range keys {
+		pol.Rules = append(pol.Rules, RuleFromSweep(u, bands[u]))
+	}
+	return pol
+}
+
+// String summarizes a sweep point as one row.
+func (p *SweepPoint) String() string {
+	return fmt.Sprintf("%-28v thr=%6.2f Mbps qdelay=%7.2f ms loss=%6.3f%% power=%6.2f",
+		p.Params, p.MeanThroughputMbps(), p.MeanQueueDelayMs(), 100*p.MeanLossRate(), p.MeanPower())
+}

@@ -1,0 +1,206 @@
+package phi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// quickScenario is a small, fast workload for sweep machinery tests.
+func quickScenario(senders int) workload.Scenario {
+	return workload.Scenario{
+		Dumbbell:    sim.DefaultDumbbell(senders),
+		MeanOnBytes: 200_000,
+		MeanOffTime: sim.Second,
+		Duration:    20 * sim.Second,
+		Warmup:      2 * sim.Second,
+	}
+}
+
+func TestRunSweepShapes(t *testing.T) {
+	spec := SweepSpec{Ssthresh: []int{64}, WindowInit: []int{2, 16}, Beta: []float64{0.2}}
+	res := RunSweep(SweepConfig{Scenario: quickScenario(4), Spec: spec, Runs: 2, BaseSeed: 1})
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if len(p.Runs) != 2 {
+			t.Fatalf("point has %d runs, want 2", len(p.Runs))
+		}
+		if p.MeanThroughputMbps() <= 0 {
+			t.Errorf("point %v has zero throughput", p.Params)
+		}
+		if p.String() == "" {
+			t.Error("empty point string")
+		}
+	}
+	if len(res.Default.Runs) != 2 {
+		t.Error("default point not run")
+	}
+	if res.Best() == nil {
+		t.Fatal("no best point")
+	}
+}
+
+func TestSweepIsDeterministic(t *testing.T) {
+	spec := SweepSpec{Ssthresh: []int{64}, WindowInit: []int{8}, Beta: []float64{0.2}}
+	cfg := SweepConfig{Scenario: quickScenario(3), Spec: spec, Runs: 2, BaseSeed: 7}
+	a := RunSweep(cfg)
+	b := RunSweep(cfg)
+	for i := range a.Points {
+		for j := range a.Points[i].Runs {
+			if a.Points[i].Runs[j] != b.Points[i].Runs[j] {
+				t.Fatalf("sweep not deterministic at point %d run %d", i, j)
+			}
+		}
+	}
+}
+
+func TestTunedBeatsDefaultAtModerateLoad(t *testing.T) {
+	// The paper's core claim (Figure 2): a bounded initial ssthresh with a
+	// larger initial window beats the 65536-segment default on the power
+	// metric. Use a moderate-load scenario and a small grid around the
+	// known-good region.
+	spec := SweepSpec{Ssthresh: []int{32, 64}, WindowInit: []int{8, 16}, Beta: []float64{0.2}}
+	res := RunSweep(SweepConfig{
+		Scenario: quickScenario(8),
+		Spec:     spec,
+		Runs:     3,
+		BaseSeed: 11,
+	})
+	best := res.Best()
+	if best.MeanPower() <= res.Default.MeanPower() {
+		t.Errorf("tuned power %.2f not better than default %.2f",
+			best.MeanPower(), res.Default.MeanPower())
+	}
+	if best.MeanLossRate() > res.Default.MeanLossRate() {
+		t.Errorf("tuned loss %.4f should not exceed default loss %.4f",
+			best.MeanLossRate(), res.Default.MeanLossRate())
+	}
+}
+
+func TestLeaveOneOutStability(t *testing.T) {
+	spec := SweepSpec{Ssthresh: []int{32, 64}, WindowInit: []int{8}, Beta: []float64{0.2}}
+	res := RunSweep(SweepConfig{Scenario: quickScenario(6), Spec: spec, Runs: 4, BaseSeed: 3})
+	loo := res.LeaveOneOut()
+	if len(loo.CommonPower) != 4 || len(loo.OptimalPower) != 4 || len(loo.DefaultPower) != 4 {
+		t.Fatalf("LOO sizes wrong: %d/%d/%d", len(loo.CommonPower), len(loo.OptimalPower), len(loo.DefaultPower))
+	}
+	for i := range loo.OptimalPower {
+		if loo.OptimalPower[i] <= 0 {
+			t.Errorf("optimal power run %d = %v", i, loo.OptimalPower[i])
+		}
+	}
+	// Degenerate cases.
+	empty := &SweepResult{}
+	if loo := empty.LeaveOneOut(); len(loo.CommonPower) != 0 {
+		t.Error("empty sweep should yield empty LOO")
+	}
+}
+
+func TestPolicyFromSweeps(t *testing.T) {
+	spec := SweepSpec{Ssthresh: []int{64}, WindowInit: []int{8}, Beta: []float64{0.2}}
+	res := RunSweep(SweepConfig{Scenario: quickScenario(2), Spec: spec, Runs: 1, BaseSeed: 1})
+	pol := PolicyFromSweeps(map[float64]*SweepResult{0.3: res, 0.9: res})
+	if len(pol.Rules) != 2 {
+		t.Fatalf("%d rules, want 2", len(pol.Rules))
+	}
+	if pol.Rules[0].MaxU != 0.3 || pol.Rules[1].MaxU != 0.9 {
+		t.Errorf("rules not sorted by utilization: %v", pol.Rules)
+	}
+	if !pol.Rules[0].Params.Valid() {
+		t.Error("rule params invalid")
+	}
+	// Empty sweep falls back to defaults.
+	r := RuleFromSweep(0.5, &SweepResult{})
+	if r.Params != tcp.DefaultCubicParams() {
+		t.Error("empty sweep rule should carry defaults")
+	}
+}
+
+func TestRunMixedSeparatesGroups(t *testing.T) {
+	res := RunMixed(MixedConfig{
+		Scenario:         quickScenario(6),
+		Modified:         tcp.CubicParams{InitialWindow: 16, InitialSsthresh: 64, Beta: 0.2},
+		ModifiedFraction: 0.5,
+		Runs:             2,
+		BaseSeed:         5,
+	})
+	if len(res.Modified.Runs) != 2 || len(res.Unmodified.Runs) != 2 {
+		t.Fatalf("run counts: %d/%d", len(res.Modified.Runs), len(res.Unmodified.Runs))
+	}
+	if res.Modified.MeanThroughputMbps() <= 0 || res.Unmodified.MeanThroughputMbps() <= 0 {
+		t.Error("a group moved no data")
+	}
+	if res.Modified.MeanPower() <= 0 || res.Unmodified.MeanPower() <= 0 {
+		t.Error("group power should be positive")
+	}
+	if res.Modified.MeanLossRate() < 0 || res.Unmodified.MeanLossRate() < 0 {
+		t.Error("negative loss rate")
+	}
+}
+
+func TestPhiClientEndToEndInSimulator(t *testing.T) {
+	// Integration: run a scenario where every connection consults a
+	// context server fed by connection-boundary reports — the full
+	// practical Phi loop from Section 2.2.2.
+	var srv *Server
+	var client *Client
+	sc := quickScenario(6)
+	sc.Duration = 30 * sim.Second
+
+	// The server's clock must read the engine of the running scenario, so
+	// wire it lazily through a pointer the scenario hooks update.
+	var now sim.Time
+	srv = NewServer(func() sim.Time { return now }, ServerConfig{})
+	srv.RegisterPath("bottleneck", sc.Dumbbell.BottleneckRate)
+	client = &Client{Source: srv, Reporter: srv, Policy: DefaultPolicy(), Path: "bottleneck"}
+
+	sc.CC = func(int) func() tcp.CongestionControl { return client.CC() }
+	sc.OnStart = func(sender int, flow sim.FlowID) { client.OnStart(flow) }
+	sc.OnEnd = func(sender int, st *tcp.FlowStats) {
+		now = st.End // advance the server clock with flow completions
+		client.OnEnd(st)
+	}
+	r := workload.Run(sc)
+	if len(r.Flows) == 0 {
+		t.Fatal("no flows")
+	}
+	if srv.Lookups == 0 || srv.Reports == 0 {
+		t.Errorf("server not exercised: lookups=%d reports=%d", srv.Lookups, srv.Reports)
+	}
+	if client.Fallbacks != 0 {
+		t.Errorf("unexpected fallbacks: %d", client.Fallbacks)
+	}
+}
+
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	spec := SweepSpec{Ssthresh: []int{16, 64}, WindowInit: []int{2, 16}, Beta: []float64{0.2, 0.5}}
+	base := SweepConfig{Scenario: quickScenario(3), Spec: spec, Runs: 2, BaseSeed: 77}
+	serial := base
+	serial.Parallelism = 1
+	parallel := base
+	parallel.Parallelism = 4
+	a := RunSweep(serial)
+	b := RunSweep(parallel)
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ")
+	}
+	for i := range a.Points {
+		if a.Points[i].Params != b.Points[i].Params {
+			t.Fatalf("point %d params ordering differs", i)
+		}
+		for j := range a.Points[i].Runs {
+			if a.Points[i].Runs[j] != b.Points[i].Runs[j] {
+				t.Fatalf("point %d run %d differs between serial and parallel", i, j)
+			}
+		}
+	}
+	for j := range a.Default.Runs {
+		if a.Default.Runs[j] != b.Default.Runs[j] {
+			t.Fatal("default point differs")
+		}
+	}
+}

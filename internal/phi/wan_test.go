@@ -1,0 +1,74 @@
+package phi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// TestPhiOnInterDCWAN exercises the Section 3.1 deployment: Phi on a
+// provider's inter-DC WAN, a multi-hop parking-lot topology where every
+// hop has its own congestion context. The long path consults all of its
+// hops and adapts to the most congested one.
+func TestPhiOnInterDCWAN(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := sim.DefaultParkingLot(3)
+	cfg.HopRate = 20_000_000 // modest hops so cross traffic bites
+	pl := sim.NewParkingLot(eng, cfg)
+
+	// Per-hop oracles straight off the hop monitors.
+	var mons []*sim.LinkMonitor
+	for _, hop := range pl.Hops {
+		mons = append(mons, hop.Monitor())
+	}
+	probe1 := sim.NewRateProbe(eng, mons[1], 100*sim.Millisecond, sim.Second)
+
+	// Saturate hop 1 with cross traffic.
+	cross, _ := tcp.Connect(eng, 100, pl.CrossSenders[1], pl.CrossReceivers[1], 0,
+		tcp.NewCubic(tcp.DefaultCubicParams()), tcp.Config{})
+	cross.Start()
+	eng.RunUntil(5 * sim.Second)
+
+	// The long path's Phi client reads every hop's context and uses the
+	// worst (max utilization) — the natural multi-hop composition.
+	policy := DefaultPolicy()
+	worst := Context{}
+	for i := range pl.Hops {
+		var u float64
+		if i == 1 {
+			u = probe1.Utilization()
+		} else {
+			u = sim.NewRateProbe(eng, mons[i], 100*sim.Millisecond, sim.Second).Utilization()
+		}
+		if u > worst.U {
+			worst.U = u
+		}
+	}
+	if worst.U < 0.8 {
+		t.Fatalf("cross traffic did not load hop 1: u=%.2f", worst.U)
+	}
+	params := policy.Params(worst)
+	if params.InitialWindow > 8 {
+		t.Errorf("long flow should launch conservatively into a loaded WAN: %v", params)
+	}
+
+	// And with the congested hop idle, the same composition is aggressive.
+	idleParams := policy.Params(Context{U: 0.05})
+	if idleParams.InitialWindow <= params.InitialWindow {
+		t.Errorf("idle-WAN params %v not more aggressive than loaded %v", idleParams, params)
+	}
+
+	// Run the long transfer with the chosen parameters end to end across
+	// all three hops to confirm the WAN path itself works under load.
+	long, _ := tcp.Connect(eng, 1, pl.LongSender, pl.LongReceiver, 5_000_000,
+		tcp.NewCubic(params), tcp.Config{})
+	long.Start()
+	eng.RunUntil(120 * sim.Second)
+	if !long.Done() || long.Stats().BytesAcked != 5_000_000 {
+		t.Fatalf("long transfer across loaded WAN incomplete: %+v", long.Stats())
+	}
+	if long.Stats().MinRTT < pl.LongRTT() {
+		t.Errorf("min RTT %v below propagation %v", long.Stats().MinRTT, pl.LongRTT())
+	}
+}

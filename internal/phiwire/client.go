@@ -1,0 +1,187 @@
+package phiwire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/phi"
+)
+
+// Client is a phi.Station over TCP. It holds one connection, serializes
+// requests over it, reconnects lazily after failures, and applies a
+// per-request deadline. All methods are safe for concurrent use.
+//
+// Errors are returned rather than retried: the phi.Client fallback policy
+// (use defaults when the control plane is unreachable) is the intended
+// consumer.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DefaultTimeout bounds each request round trip.
+const DefaultTimeout = 2 * time.Second
+
+// Dial creates a client for the server at addr. The connection itself is
+// established lazily on first use. timeout <= 0 selects DefaultTimeout.
+func Dial(addr string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Client{addr: addr, timeout: timeout}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// roundTrip sends one request and reads one response, holding the
+// connection lock for the duration (requests are small; the protocol is
+// strictly request/response).
+func (c *Client) roundTrip(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+		if err != nil {
+			return nil, err
+		}
+		c.conn = conn
+	}
+	deadline := time.Now().Add(c.timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		c.drop()
+		return nil, err
+	}
+	if err := writeFrame(c.conn, req); err != nil {
+		c.drop()
+		return nil, err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		c.drop()
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (c *Client) drop() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// errFromResponse converts an error response into a Go error.
+func errFromResponse(resp []byte) error {
+	if len(resp) == 0 {
+		return ErrMalformed
+	}
+	if resp[0] != MsgError {
+		return nil
+	}
+	msg, _, err := readString(resp[1:])
+	if err != nil {
+		return ErrMalformed
+	}
+	return fmt.Errorf("phiwire: server error: %s", msg)
+}
+
+// Lookup implements phi.ContextSource.
+func (c *Client) Lookup(path phi.PathKey) (phi.Context, error) {
+	req, err := encodeLookup(path)
+	if err != nil {
+		return phi.Context{}, err
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return phi.Context{}, err
+	}
+	if err := errFromResponse(resp); err != nil {
+		return phi.Context{}, err
+	}
+	if resp[0] != MsgContext {
+		return phi.Context{}, ErrMalformed
+	}
+	return decodeContext(resp[1:])
+}
+
+// ReportStart implements phi.Reporter.
+func (c *Client) ReportStart(path phi.PathKey) error {
+	req, err := encodeReportStart(path)
+	if err != nil {
+		return err
+	}
+	return c.expectOK(req)
+}
+
+// ReportEnd implements phi.Reporter.
+func (c *Client) ReportEnd(path phi.PathKey, r phi.Report) error {
+	req, err := encodeReport(MsgReportEnd, path, r)
+	if err != nil {
+		return err
+	}
+	return c.expectOK(req)
+}
+
+// ReportProgress sends a mid-connection report (long flows, Section
+// 2.2.2's multiple-communications refinement).
+func (c *Client) ReportProgress(path phi.PathKey, r phi.Report) error {
+	req, err := encodeReport(MsgProgress, path, r)
+	if err != nil {
+		return err
+	}
+	return c.expectOK(req)
+}
+
+func (c *Client) expectOK(req []byte) error {
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	if err := errFromResponse(resp); err != nil {
+		return err
+	}
+	if len(resp) == 0 || resp[0] != MsgOK {
+		return ErrMalformed
+	}
+	return nil
+}
+
+// FetchPolicy retrieves the server's published parameter policy, so a
+// freshly booted sender needs to be configured with nothing but the
+// context server's address.
+func (c *Client) FetchPolicy() (*phi.Policy, error) {
+	resp, err := c.roundTrip([]byte{MsgGetPolicy})
+	if err != nil {
+		return nil, err
+	}
+	if err := errFromResponse(resp); err != nil {
+		return nil, err
+	}
+	if resp[0] != MsgPolicy {
+		return nil, ErrMalformed
+	}
+	var p phi.Policy
+	if err := json.Unmarshal(resp[1:], &p); err != nil {
+		return nil, fmt.Errorf("phiwire: bad policy payload: %w", err)
+	}
+	return &p, nil
+}
+
+// statically assert the interface.
+var _ phi.Station = (*Client)(nil)

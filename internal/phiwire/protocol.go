@@ -1,0 +1,214 @@
+// Package phiwire exposes the Phi context server over real TCP, so the
+// shared-state protocol of Section 2.2.2 runs between actual hosts rather
+// than only inside the simulator.
+//
+// The protocol is deliberately minimal — one lookup at connection start,
+// one report at connection end — because that is the paper's entire point
+// about overhead. Frames are length-prefixed binary:
+//
+//	uint32  frame length (payload only, big endian)
+//	uint8   message type
+//	...     message fields, big endian, strings as uint16 length + bytes
+//
+// Requests carry a path key; responses carry either a context, an OK, or
+// an error string. One request yields exactly one response, in order, so
+// a single connection may be shared by a mutex-holding client.
+package phiwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/phi"
+	"repro/internal/sim"
+)
+
+// Message types.
+const (
+	MsgLookup      = 0x01
+	MsgReportStart = 0x02
+	MsgReportEnd   = 0x03
+	MsgGetPolicy   = 0x04
+	MsgProgress    = 0x05
+	MsgContext     = 0x81
+	MsgOK          = 0x82
+	MsgPolicy      = 0x83
+	MsgError       = 0xFF
+)
+
+// MaxFrame bounds frame payloads; anything larger is a protocol violation.
+const MaxFrame = 64 * 1024
+
+// MaxPathLen bounds path keys.
+const MaxPathLen = 1024
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("phiwire: frame exceeds MaxFrame")
+	ErrMalformed     = errors.New("phiwire: malformed message")
+)
+
+// writeFrame writes a length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, ErrMalformed
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, ErrMalformed
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func readFloat(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrMalformed
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), b[8:], nil
+}
+
+func appendInt64(b []byte, v int64) []byte {
+	return binary.BigEndian.AppendUint64(b, uint64(v))
+}
+
+func readInt64(b []byte) (int64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrMalformed
+	}
+	return int64(binary.BigEndian.Uint64(b)), b[8:], nil
+}
+
+// encodeLookup builds a lookup request.
+func encodeLookup(path phi.PathKey) ([]byte, error) {
+	if len(path) > MaxPathLen {
+		return nil, fmt.Errorf("phiwire: path key too long (%d bytes)", len(path))
+	}
+	return appendString([]byte{MsgLookup}, string(path)), nil
+}
+
+// encodeReportStart builds a start report.
+func encodeReportStart(path phi.PathKey) ([]byte, error) {
+	if len(path) > MaxPathLen {
+		return nil, fmt.Errorf("phiwire: path key too long (%d bytes)", len(path))
+	}
+	return appendString([]byte{MsgReportStart}, string(path)), nil
+}
+
+// encodeReport builds an end or progress report (same payload layout).
+func encodeReport(msgType byte, path phi.PathKey, r phi.Report) ([]byte, error) {
+	if len(path) > MaxPathLen {
+		return nil, fmt.Errorf("phiwire: path key too long (%d bytes)", len(path))
+	}
+	b := appendString([]byte{msgType}, string(path))
+	b = appendInt64(b, r.Bytes)
+	b = appendInt64(b, int64(r.Duration))
+	b = appendInt64(b, int64(r.AvgRTT))
+	b = appendInt64(b, int64(r.MinRTT))
+	b = appendFloat(b, r.LossRate)
+	return b, nil
+}
+
+// encodeContext builds a context response.
+func encodeContext(c phi.Context) []byte {
+	b := appendFloat([]byte{MsgContext}, c.U)
+	b = appendInt64(b, int64(c.Q))
+	b = appendInt64(b, int64(c.N))
+	return b
+}
+
+// encodeError builds an error response.
+func encodeError(msg string) []byte {
+	if len(msg) > 512 {
+		msg = msg[:512]
+	}
+	return appendString([]byte{MsgError}, msg)
+}
+
+// decodeContext parses a context response payload (after the type byte).
+func decodeContext(b []byte) (phi.Context, error) {
+	u, b, err := readFloat(b)
+	if err != nil {
+		return phi.Context{}, err
+	}
+	q, b, err := readInt64(b)
+	if err != nil {
+		return phi.Context{}, err
+	}
+	n, _, err := readInt64(b)
+	if err != nil {
+		return phi.Context{}, err
+	}
+	return phi.Context{U: u, Q: sim.Time(q), N: int(n)}, nil
+}
+
+// decodeReportEnd parses an end report payload (after the type byte).
+func decodeReportEnd(b []byte) (phi.PathKey, phi.Report, error) {
+	path, b, err := readString(b)
+	if err != nil {
+		return "", phi.Report{}, err
+	}
+	var r phi.Report
+	if r.Bytes, b, err = readInt64(b); err != nil {
+		return "", phi.Report{}, err
+	}
+	var v int64
+	if v, b, err = readInt64(b); err != nil {
+		return "", phi.Report{}, err
+	}
+	r.Duration = sim.Time(v)
+	if v, b, err = readInt64(b); err != nil {
+		return "", phi.Report{}, err
+	}
+	r.AvgRTT = sim.Time(v)
+	if v, b, err = readInt64(b); err != nil {
+		return "", phi.Report{}, err
+	}
+	r.MinRTT = sim.Time(v)
+	if r.LossRate, _, err = readFloat(b); err != nil {
+		return "", phi.Report{}, err
+	}
+	return phi.PathKey(path), r, nil
+}

@@ -1,0 +1,226 @@
+package phiwire
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/phi"
+)
+
+// Server serves the Phi wire protocol over TCP, backed by a phi.Server
+// (which is safe for concurrent use). One goroutine per connection.
+// If a policy is set, clients may also fetch it at startup, so the
+// context server is the single distribution point for both the shared
+// state and the parameter mapping.
+type Server struct {
+	backend *phi.Server
+
+	mu       sync.Mutex
+	policy   []byte // serialized policy, nil if none
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	logf     func(format string, args ...any)
+	Handled  uint64 // requests served (atomic access under mu)
+	Rejected uint64 // malformed frames
+}
+
+// NewServer wraps backend for network service. logf, if non-nil, receives
+// connection-level errors; nil discards them.
+func NewServer(backend *phi.Server, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{backend: backend, conns: make(map[net.Conn]struct{}), logf: logf}
+}
+
+// SetPolicy publishes a parameter policy for clients to fetch; nil
+// unpublishes it.
+func (s *Server) SetPolicy(p *phi.Policy) error {
+	if p == nil {
+		s.mu.Lock()
+		s.policy = nil
+		s.mu.Unlock()
+		return nil
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.policy = data
+	s.mu.Unlock()
+	return nil
+}
+
+// Serve accepts connections on ln until Close. It always returns a non-nil
+// error (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("phiwire: read from %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.handle(payload)
+		if err := writeFrame(conn, resp); err != nil {
+			s.logf("phiwire: write to %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// handle processes one request payload and returns the response payload.
+func (s *Server) handle(payload []byte) []byte {
+	if len(payload) == 0 {
+		s.bumpRejected()
+		return encodeError("empty frame")
+	}
+	typ, body := payload[0], payload[1:]
+	switch typ {
+	case MsgLookup:
+		path, _, err := readString(body)
+		if err != nil {
+			s.bumpRejected()
+			return encodeError("malformed lookup")
+		}
+		ctx, err := s.backend.Lookup(phi.PathKey(path))
+		if err != nil {
+			return encodeError(err.Error())
+		}
+		s.bumpHandled()
+		return encodeContext(ctx)
+	case MsgReportStart:
+		path, _, err := readString(body)
+		if err != nil {
+			s.bumpRejected()
+			return encodeError("malformed report-start")
+		}
+		if err := s.backend.ReportStart(phi.PathKey(path)); err != nil {
+			return encodeError(err.Error())
+		}
+		s.bumpHandled()
+		return []byte{MsgOK}
+	case MsgGetPolicy:
+		s.mu.Lock()
+		policy := s.policy
+		s.mu.Unlock()
+		if policy == nil {
+			return encodeError("no policy published")
+		}
+		s.bumpHandled()
+		return append([]byte{MsgPolicy}, policy...)
+	case MsgReportEnd, MsgProgress:
+		path, report, err := decodeReportEnd(body)
+		if err != nil {
+			s.bumpRejected()
+			return encodeError("malformed report")
+		}
+		var herr error
+		if typ == MsgProgress {
+			herr = s.backend.ReportProgress(path, report)
+		} else {
+			herr = s.backend.ReportEnd(path, report)
+		}
+		if herr != nil {
+			return encodeError(herr.Error())
+		}
+		s.bumpHandled()
+		return []byte{MsgOK}
+	default:
+		s.bumpRejected()
+		return encodeError("unknown message type")
+	}
+}
+
+func (s *Server) bumpHandled() {
+	s.mu.Lock()
+	s.Handled++
+	s.mu.Unlock()
+}
+
+func (s *Server) bumpRejected() {
+	s.mu.Lock()
+	s.Rejected++
+	s.mu.Unlock()
+}
+
+// Stats returns handled/rejected counters.
+func (s *Server) Stats() (handled, rejected uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Handled, s.Rejected
+}

@@ -1,0 +1,30 @@
+package predict_test
+
+import (
+	"fmt"
+
+	"repro/internal/predict"
+	"repro/internal/sim"
+)
+
+// Forecast a download and a call from accumulated history (Section 3.5).
+func Example() {
+	store := predict.NewStore(0)
+	key := predict.Key{Cluster: "comcast-seattle", Service: "video"}
+	for i := 0; i < 20; i++ {
+		store.Add(key, predict.Sample{
+			ThroughputMbps: 8,
+			RTT:            80 * sim.Millisecond,
+			LossRate:       0.001,
+		})
+	}
+
+	tf := store.PredictTransfer(key, 10_000_000) // 10 MB
+	fmt.Println("expected download:", tf.Expected)
+
+	cf := store.PredictCall(key)
+	fmt.Println("call quality:", cf.Quality())
+	// Output:
+	// expected download: 10s
+	// call quality: good
+}

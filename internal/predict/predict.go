@@ -1,0 +1,241 @@
+// Package predict implements the performance-prediction application of
+// Section 3.5: the aggregate network-performance history available inside
+// a large provider is enough to tell an application, before it starts a
+// transfer or a call, how well it is likely to go — and to surface that
+// to the user ("if the VoIP quality is expected to be poor, the user
+// might hold off on an important call").
+package predict
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Key scopes a performance history: a client cluster (e.g. a metro or
+// /24) and a service class.
+type Key struct {
+	Cluster string
+	Service string
+}
+
+// Sample is one observed flow's performance.
+type Sample struct {
+	At             sim.Time
+	ThroughputMbps float64
+	RTT            sim.Time
+	LossRate       float64
+}
+
+// Store keeps a bounded history of samples per key. It is safe for
+// concurrent use (senders across a fleet report into one store).
+type Store struct {
+	mu      sync.Mutex
+	cap     int
+	history map[Key][]Sample
+}
+
+// NewStore creates a store keeping up to capPerKey samples per key
+// (default 1024).
+func NewStore(capPerKey int) *Store {
+	if capPerKey <= 0 {
+		capPerKey = 1024
+	}
+	return &Store{cap: capPerKey, history: make(map[Key][]Sample)}
+}
+
+// Add records a sample, evicting the oldest beyond capacity.
+func (s *Store) Add(k Key, sample Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := append(s.history[k], sample)
+	if len(h) > s.cap {
+		h = h[len(h)-s.cap:]
+	}
+	s.history[k] = h
+}
+
+// AddFlowStats folds a finished flow's stats in.
+func (s *Store) AddFlowStats(k Key, st *tcp.FlowStats) {
+	s.Add(k, Sample{
+		At:             st.End,
+		ThroughputMbps: st.ThroughputBps() / 1e6,
+		RTT:            st.AvgRTT(),
+		LossRate:       st.LossRate(),
+	})
+}
+
+// Count returns the number of samples held for a key.
+func (s *Store) Count(k Key) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.history[k])
+}
+
+// snapshot returns a copy of the samples for a key.
+func (s *Store) snapshot(k Key) []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Sample(nil), s.history[k]...)
+}
+
+// TransferForecast predicts a transfer's completion time as quantiles:
+// optimistic (P90 throughput), expected (median), pessimistic (P10).
+type TransferForecast struct {
+	Bytes       int64
+	Optimistic  sim.Time
+	Expected    sim.Time
+	Pessimistic sim.Time
+	// Samples is the evidence size; 0 means no forecast was possible.
+	Samples int
+}
+
+func (f TransferForecast) String() string {
+	if f.Samples == 0 {
+		return "no history"
+	}
+	return fmt.Sprintf("%d bytes: %v (p10 %v, p90 %v, n=%d)",
+		f.Bytes, f.Expected, f.Optimistic, f.Pessimistic, f.Samples)
+}
+
+// MinSamples is the evidence floor below which no forecast is issued.
+const MinSamples = 5
+
+// PredictTransfer forecasts how long a transfer of the given size will
+// take from the key's recent history.
+func (s *Store) PredictTransfer(k Key, bytes int64) TransferForecast {
+	return s.predictTransfer(k, bytes, nil)
+}
+
+// PredictTransferAtHour conditions the forecast on the time of day:
+// only samples whose timestamp falls in the given hour (0-23, by the
+// store's virtual clock) inform it. Network weather is diurnal — the
+// evening peak and the 4 a.m. trough are different networks — so an
+// hour-conditioned forecast is sharper when enough history exists; when
+// it does not, it degrades to no-forecast rather than guessing.
+func (s *Store) PredictTransferAtHour(k Key, bytes int64, hour int) TransferForecast {
+	h := ((hour % 24) + 24) % 24
+	keep := func(sm Sample) bool {
+		return int(sm.At/sim.Second/3600)%24 == h
+	}
+	return s.predictTransfer(k, bytes, keep)
+}
+
+func (s *Store) predictTransfer(k Key, bytes int64, keep func(Sample) bool) TransferForecast {
+	samples := s.snapshot(k)
+	if keep != nil {
+		kept := samples[:0]
+		for _, sm := range samples {
+			if keep(sm) {
+				kept = append(kept, sm)
+			}
+		}
+		samples = kept
+	}
+	if len(samples) < MinSamples {
+		return TransferForecast{Bytes: bytes}
+	}
+	var thr []float64
+	for _, sm := range samples {
+		if sm.ThroughputMbps > 0 {
+			thr = append(thr, sm.ThroughputMbps)
+		}
+	}
+	if len(thr) < MinSamples {
+		return TransferForecast{Bytes: bytes}
+	}
+	at := func(q float64) sim.Time {
+		mbps := metrics.Quantile(thr, q)
+		if mbps <= 0 {
+			return sim.MaxTime
+		}
+		return sim.Seconds(float64(bytes) * 8 / (mbps * 1e6))
+	}
+	return TransferForecast{
+		Bytes:       bytes,
+		Optimistic:  at(0.9),
+		Expected:    at(0.5),
+		Pessimistic: at(0.1),
+		Samples:     len(thr),
+	}
+}
+
+// CallForecast predicts voice-call quality as a mean opinion score.
+type CallForecast struct {
+	// MOS is the predicted mean opinion score in [1, 4.5].
+	MOS float64
+	// RTT and LossRate are the median history values it derives from.
+	RTT      sim.Time
+	LossRate float64
+	Samples  int
+}
+
+// Quality buckets for surfacing to users.
+const (
+	QualityGood = "good"
+	QualityFair = "fair"
+	QualityPoor = "poor"
+)
+
+// Quality maps the MOS to a user-facing bucket.
+func (f CallForecast) Quality() string {
+	switch {
+	case f.Samples == 0:
+		return "unknown"
+	case f.MOS >= 4.0:
+		return QualityGood
+	case f.MOS >= 3.3:
+		return QualityFair
+	default:
+		return QualityPoor
+	}
+}
+
+// PredictCall forecasts VoIP quality from the key's history using a
+// simplified ITU-T E-model: the R-factor starts at 93.2 and is degraded
+// by one-way delay and loss, then mapped to a MOS.
+func (s *Store) PredictCall(k Key) CallForecast {
+	samples := s.snapshot(k)
+	if len(samples) < MinSamples {
+		return CallForecast{}
+	}
+	var rtts, losses []float64
+	for _, sm := range samples {
+		rtts = append(rtts, float64(sm.RTT))
+		losses = append(losses, sm.LossRate)
+	}
+	rtt := sim.Time(metrics.Median(rtts))
+	loss := metrics.Median(losses)
+
+	oneWayMs := rtt.Milliseconds() / 2
+	r := 93.2
+	// Delay impairment (piecewise-linear approximation of Id).
+	r -= 0.024 * oneWayMs
+	if oneWayMs > 177.3 {
+		r -= 0.11 * (oneWayMs - 177.3)
+	}
+	// Loss impairment (Ie-eff with Bpl ~ 10 for G.711-like codecs).
+	r -= 30 * (loss * 100) / (loss*100 + 10)
+	mos := rToMOS(r)
+	return CallForecast{MOS: mos, RTT: rtt, LossRate: loss, Samples: len(samples)}
+}
+
+// rToMOS is the standard E-model R-to-MOS mapping.
+func rToMOS(r float64) float64 {
+	switch {
+	case r <= 0:
+		return 1
+	case r >= 100:
+		return 4.5
+	default:
+		mos := 1 + 0.035*r + r*(r-60)*(100-r)*7e-6
+		if mos < 1 {
+			// The cubic term dips just below 1 for tiny R; MOS floors at 1.
+			mos = 1
+		}
+		return mos
+	}
+}

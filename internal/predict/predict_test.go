@@ -1,0 +1,204 @@
+package predict
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+var key = Key{Cluster: "comcast-seattle", Service: "video"}
+
+func fill(s *Store, n int, mbps float64, rtt sim.Time, loss float64) {
+	for i := 0; i < n; i++ {
+		s.Add(key, Sample{At: sim.Time(i) * sim.Second, ThroughputMbps: mbps, RTT: rtt, LossRate: loss})
+	}
+}
+
+func TestStoreCapEvictsOldest(t *testing.T) {
+	s := NewStore(3)
+	for i := 0; i < 5; i++ {
+		s.Add(key, Sample{ThroughputMbps: float64(i)})
+	}
+	if s.Count(key) != 3 {
+		t.Fatalf("count = %d, want 3", s.Count(key))
+	}
+	snap := s.snapshot(key)
+	if snap[0].ThroughputMbps != 2 {
+		t.Errorf("oldest retained = %v, want 2", snap[0].ThroughputMbps)
+	}
+}
+
+func TestPredictTransferNeedsEvidence(t *testing.T) {
+	s := NewStore(0)
+	f := s.PredictTransfer(key, 1_000_000)
+	if f.Samples != 0 {
+		t.Error("forecast from no history")
+	}
+	if f.String() != "no history" {
+		t.Errorf("String = %q", f.String())
+	}
+	fill(s, MinSamples-1, 10, 100*sim.Millisecond, 0)
+	if s.PredictTransfer(key, 1_000_000).Samples != 0 {
+		t.Error("forecast below evidence floor")
+	}
+}
+
+func TestPredictTransferQuantiles(t *testing.T) {
+	s := NewStore(0)
+	// Throughputs 1..10 Mbps.
+	for i := 1; i <= 10; i++ {
+		s.Add(key, Sample{ThroughputMbps: float64(i)})
+	}
+	f := s.PredictTransfer(key, 10_000_000) // 80 Mbit
+	if f.Samples != 10 {
+		t.Fatalf("samples = %d", f.Samples)
+	}
+	// Median throughput 5.5 Mbps -> ~14.5 s.
+	want := sim.Seconds(80 / 5.5)
+	if math.Abs(float64(f.Expected-want)) > float64(100*sim.Millisecond) {
+		t.Errorf("expected = %v, want ~%v", f.Expected, want)
+	}
+	if f.Optimistic >= f.Expected || f.Expected >= f.Pessimistic {
+		t.Errorf("quantile ordering broken: %v < %v < %v", f.Optimistic, f.Expected, f.Pessimistic)
+	}
+	if f.String() == "" {
+		t.Error("empty forecast string")
+	}
+}
+
+func TestPredictCallGoodNetwork(t *testing.T) {
+	s := NewStore(0)
+	fill(s, 20, 5, 60*sim.Millisecond, 0.001)
+	f := s.PredictCall(key)
+	if f.Quality() != QualityGood {
+		t.Errorf("quality = %s (MOS %.2f), want good", f.Quality(), f.MOS)
+	}
+	if f.MOS < 4.0 || f.MOS > 4.5 {
+		t.Errorf("MOS = %v", f.MOS)
+	}
+}
+
+func TestPredictCallDegradesWithLossAndDelay(t *testing.T) {
+	good := NewStore(0)
+	fill(good, 20, 5, 60*sim.Millisecond, 0.001)
+	lossy := NewStore(0)
+	fill(lossy, 20, 5, 60*sim.Millisecond, 0.08)
+	slow := NewStore(0)
+	fill(slow, 20, 5, 800*sim.Millisecond, 0.001)
+
+	g := good.PredictCall(key).MOS
+	l := lossy.PredictCall(key).MOS
+	d := slow.PredictCall(key).MOS
+	if l >= g {
+		t.Errorf("loss did not degrade MOS: %v vs %v", l, g)
+	}
+	if d >= g {
+		t.Errorf("delay did not degrade MOS: %v vs %v", d, g)
+	}
+	if lossy.PredictCall(key).Quality() == QualityGood {
+		t.Error("8% loss rated good")
+	}
+	if slow.PredictCall(key).Quality() != QualityPoor {
+		t.Errorf("800ms RTT rated %s, want poor", slow.PredictCall(key).Quality())
+	}
+}
+
+func TestPredictCallUnknownWithoutHistory(t *testing.T) {
+	s := NewStore(0)
+	if q := s.PredictCall(key).Quality(); q != "unknown" {
+		t.Errorf("quality = %s", q)
+	}
+}
+
+func TestRToMOSBounds(t *testing.T) {
+	if rToMOS(-10) != 1 || rToMOS(0) != 1 {
+		t.Error("low R should floor at 1")
+	}
+	if rToMOS(100) != 4.5 || rToMOS(200) != 4.5 {
+		t.Error("high R should cap at 4.5")
+	}
+	if m := rToMOS(93.2); m < 4.3 || m > 4.5 {
+		t.Errorf("R=93.2 MOS = %v", m)
+	}
+	// Monotone over the operating range.
+	prev := rToMOS(0)
+	for r := 1.0; r <= 100; r++ {
+		m := rToMOS(r)
+		if m < prev-1e-9 {
+			t.Fatalf("MOS not monotone at R=%v", r)
+		}
+		prev = m
+	}
+}
+
+func TestAddFlowStats(t *testing.T) {
+	s := NewStore(0)
+	st := &tcp.FlowStats{BytesAcked: 1_250_000, Start: 0, End: sim.Second,
+		PacketsSent: 100, Retransmits: 2,
+		RTTCount: 1, RTTSum: 150 * sim.Millisecond}
+	s.AddFlowStats(key, st)
+	snap := s.snapshot(key)
+	if len(snap) != 1 {
+		t.Fatal("sample not recorded")
+	}
+	if snap[0].ThroughputMbps != 10 {
+		t.Errorf("throughput = %v, want 10", snap[0].ThroughputMbps)
+	}
+	if snap[0].LossRate != 0.02 {
+		t.Errorf("loss = %v", snap[0].LossRate)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore(100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Add(key, Sample{ThroughputMbps: 5, RTT: 100 * sim.Millisecond})
+				s.PredictTransfer(key, 1000)
+				s.PredictCall(key)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count(key) != 100 {
+		t.Errorf("count = %d, want capped at 100", s.Count(key))
+	}
+}
+
+func TestPredictTransferAtHour(t *testing.T) {
+	s := NewStore(0)
+	// Fast at 04:00, slow at 20:00, every day for a week.
+	for day := 0; day < 7; day++ {
+		base := sim.Time(day) * 24 * 3600 * sim.Second
+		s.Add(key, Sample{At: base + 4*3600*sim.Second, ThroughputMbps: 40})
+		s.Add(key, Sample{At: base + 20*3600*sim.Second, ThroughputMbps: 2})
+	}
+	night := s.PredictTransferAtHour(key, 10_000_000, 4)
+	evening := s.PredictTransferAtHour(key, 10_000_000, 20)
+	if night.Samples != 7 || evening.Samples != 7 {
+		t.Fatalf("samples = %d/%d, want 7/7", night.Samples, evening.Samples)
+	}
+	if night.Expected >= evening.Expected {
+		t.Errorf("night %v should beat evening %v", night.Expected, evening.Expected)
+	}
+	// The unconditioned forecast blends both regimes.
+	all := s.PredictTransfer(key, 10_000_000)
+	if all.Expected <= night.Expected || all.Expected >= evening.Expected {
+		t.Errorf("blended %v should lie between %v and %v", all.Expected, night.Expected, evening.Expected)
+	}
+	// An hour with no history yields no forecast.
+	if got := s.PredictTransferAtHour(key, 1000, 12); got.Samples != 0 {
+		t.Errorf("hour with no history forecast from %d samples", got.Samples)
+	}
+	// Hour normalization.
+	if s.PredictTransferAtHour(key, 1000, -20).Samples != 7 {
+		t.Error("negative hour not normalized (-20 ≡ 4)")
+	}
+}

@@ -1,0 +1,136 @@
+package priority
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Ensemble coordinates the congestion state of all of one entity's flows
+// crossing a shared bottleneck, in the manner of the Congestion Manager
+// and TCP Session work Section 3.3 builds on — except the flows may live
+// on different hosts, with Phi providing the shared state. One aggregate
+// controller reacts to the union of the members' ack and loss streams;
+// each member flow is granted a weight-proportional share of the
+// aggregate window.
+//
+// Ensemble TCP-friendliness is structural: the aggregate behaves like k
+// standard flows (a MulTCP controller with weight = member count), no
+// matter how unequally the members split it.
+type Ensemble struct {
+	agg         *Weighted
+	members     map[*Member]struct{}
+	totalWeight float64
+
+	initialized bool
+	lastLoss    sim.Time
+	// LossGuard spaces aggregate decreases: multiple members reporting
+	// the same congestion event within this window count once
+	// (default 150 ms, about one WAN RTT).
+	LossGuard sim.Time
+}
+
+// NewEnsemble creates an empty ensemble.
+func NewEnsemble() *Ensemble {
+	return &Ensemble{
+		agg:       NewWeighted(1),
+		members:   make(map[*Member]struct{}),
+		LossGuard: 150 * sim.Millisecond,
+	}
+}
+
+// Join adds a flow with the given weight (> 0) and returns its
+// per-connection congestion controller.
+func (e *Ensemble) Join(weight float64) *Member {
+	if weight <= 0 {
+		panic("priority: member weight must be positive")
+	}
+	m := &Member{ens: e, weight: weight}
+	e.members[m] = struct{}{}
+	e.totalWeight += weight
+	e.agg.SetWeight(float64(len(e.members)))
+	return m
+}
+
+// Leave removes a member (no-op if already removed).
+func (e *Ensemble) Leave(m *Member) {
+	if _, ok := e.members[m]; !ok {
+		return
+	}
+	delete(e.members, m)
+	e.totalWeight -= m.weight
+	if n := len(e.members); n > 0 {
+		e.agg.SetWeight(float64(n))
+	}
+}
+
+// Members returns the current member count.
+func (e *Ensemble) Members() int { return len(e.members) }
+
+// AggregateWindow returns the ensemble's total window in segments.
+func (e *Ensemble) AggregateWindow() float64 { return e.agg.Window() }
+
+// Member is the per-flow view of an ensemble: a tcp.CongestionControl
+// whose window is its weight share of the aggregate.
+type Member struct {
+	ens    *Ensemble
+	weight float64
+}
+
+// Weight returns the member's weight.
+func (m *Member) Weight() float64 { return m.weight }
+
+// Name implements tcp.CongestionControl.
+func (m *Member) Name() string { return "ensemble" }
+
+// Init implements tcp.CongestionControl. The first member to start
+// initializes the aggregate; later members inherit its state (they join a
+// warm ensemble — the whole point of sharing).
+func (m *Member) Init(now sim.Time) {
+	if !m.ens.initialized {
+		m.ens.agg.Init(now)
+		m.ens.initialized = true
+	}
+}
+
+// OnAck implements tcp.CongestionControl: every member's acks clock the
+// aggregate.
+func (m *Member) OnAck(info tcp.AckInfo) { m.ens.agg.OnAck(info) }
+
+// OnLoss implements tcp.CongestionControl: one decrease per congestion
+// event, no matter how many members witness it.
+func (m *Member) OnLoss(now sim.Time) {
+	if now-m.ens.lastLoss < m.ens.LossGuard {
+		return
+	}
+	m.ens.lastLoss = now
+	m.ens.agg.OnLoss(now)
+}
+
+// OnTimeout implements tcp.CongestionControl (also guarded).
+func (m *Member) OnTimeout(now sim.Time) {
+	if now-m.ens.lastLoss < m.ens.LossGuard {
+		return
+	}
+	m.ens.lastLoss = now
+	m.ens.agg.OnTimeout(now)
+}
+
+// Window implements tcp.CongestionControl: the weight share of the
+// aggregate, floored at one segment.
+func (m *Member) Window() float64 {
+	if m.ens.totalWeight <= 0 {
+		return 1
+	}
+	w := m.ens.agg.Window() * m.weight / m.ens.totalWeight
+	return math.Max(1, w)
+}
+
+// Ssthresh implements tcp.CongestionControl.
+func (m *Member) Ssthresh() float64 { return m.ens.agg.Ssthresh() }
+
+// PacingInterval implements tcp.CongestionControl.
+func (m *Member) PacingInterval() sim.Time { return 0 }
+
+var _ tcp.CongestionControl = (*Member)(nil)

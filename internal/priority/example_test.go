@@ -1,0 +1,37 @@
+package priority_test
+
+import (
+	"fmt"
+
+	"repro/internal/priority"
+)
+
+// One entity's flows share an ensemble: weights steer bandwidth toward
+// important flows while the aggregate stays TCP-friendly (Section 3.3).
+func ExampleEnsemble() {
+	ens := priority.NewEnsemble()
+	video := ens.Join(3)
+	bulk := ens.Join(1)
+
+	video.Init(0)
+	bulk.Init(0)
+	fmt.Printf("window split %0.f:%0.f\n", video.Window(), bulk.Window())
+	fmt.Println("members:", ens.Members())
+	// Output:
+	// window split 3:1
+	// members: 2
+}
+
+// The allocator keeps per-flow weights summing to the flow count.
+func ExampleAllocator() {
+	alloc := priority.NewAllocator([]priority.Class{
+		{Name: "video", Share: 3},
+		{Name: "bulk", Share: 1},
+	}, 0.1)
+	alloc.Join("video")
+	alloc.Join("bulk")
+	w := alloc.Weights()
+	fmt.Printf("video %.1f + bulk %.1f = %.0f\n", w["video"], w["bulk"], w["video"]+w["bulk"])
+	// Output:
+	// video 1.5 + bulk 0.5 = 2
+}

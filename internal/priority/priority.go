@@ -1,0 +1,231 @@
+// Package priority implements the cross-flow prioritization of Section
+// 3.3: a single entity with many flows over the same bottleneck makes
+// some flows more aggressive than others according to importance, while
+// keeping the ensemble as a whole TCP-friendly — the cross-host analogue
+// of the Congestion Manager and TCP Session work the paper cites.
+//
+// The mechanism is MulTCP-style weighted congestion control: a flow with
+// weight w behaves like w standard flows (additive increase of w segments
+// per RTT, multiplicative decrease of 1/(2w) on loss). An Allocator hands
+// out weights by importance class under the invariant that the weights
+// sum to the flow count, so the ensemble's aggregate aggressiveness
+// equals that of the same number of standard flows.
+package priority
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Class is an importance class with a relative share.
+type Class struct {
+	// Name labels the class ("video-hd", "bulk").
+	Name string
+	// Share is the class's relative importance (> 0).
+	Share float64
+}
+
+// Allocator assigns per-flow weights such that the weights of all active
+// flows always sum to the number of active flows (ensemble
+// TCP-friendliness), distributed across classes in proportion to
+// Share x class population.
+type Allocator struct {
+	classes map[string]float64
+	// active maps class name -> number of active flows.
+	active map[string]int
+	// MinWeight floors any flow's weight (default 0.1) so low-priority
+	// flows cannot starve completely.
+	MinWeight float64
+}
+
+// NewAllocator creates an allocator over the given classes.
+func NewAllocator(classes []Class, minWeight float64) *Allocator {
+	if minWeight <= 0 {
+		minWeight = 0.1
+	}
+	a := &Allocator{classes: make(map[string]float64), active: make(map[string]int), MinWeight: minWeight}
+	for _, c := range classes {
+		if c.Share <= 0 {
+			panic(fmt.Sprintf("priority: class %q has non-positive share", c.Name))
+		}
+		a.classes[c.Name] = c.Share
+	}
+	return a
+}
+
+// Join registers a flow of the given class and returns its weight. The
+// caller must Leave when the flow ends. Unknown classes panic.
+func (a *Allocator) Join(class string) float64 {
+	if _, ok := a.classes[class]; !ok {
+		panic(fmt.Sprintf("priority: unknown class %q", class))
+	}
+	a.active[class]++
+	return a.Weight(class)
+}
+
+// Leave unregisters a flow.
+func (a *Allocator) Leave(class string) {
+	if a.active[class] > 0 {
+		a.active[class]--
+	}
+}
+
+// Active returns the number of active flows.
+func (a *Allocator) Active() int {
+	n := 0
+	for _, c := range a.active {
+		n += c
+	}
+	return n
+}
+
+// Weight returns the current per-flow weight of a class: the class's
+// share-weighted slice of the ensemble budget (= total active flows),
+// divided among its flows, floored at MinWeight with the excess taken
+// proportionally from the other classes.
+func (a *Allocator) Weight(class string) float64 {
+	w := a.weights()
+	return w[class]
+}
+
+// Weights returns the weight of every class with active flows.
+func (a *Allocator) Weights() map[string]float64 { return a.weights() }
+
+func (a *Allocator) weights() map[string]float64 {
+	total := float64(a.Active())
+	out := make(map[string]float64)
+	if total == 0 {
+		return out
+	}
+	// Share mass present = sum over classes with active flows.
+	var mass float64
+	var names []string
+	for name, n := range a.active {
+		if n > 0 {
+			mass += a.classes[name] * float64(n)
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	// First pass: proportional weights; collect flooring deficit.
+	floored := map[string]bool{}
+	for {
+		var freeMass, flooredBudget float64
+		for _, name := range names {
+			if floored[name] {
+				flooredBudget += a.MinWeight * float64(a.active[name])
+			} else {
+				freeMass += a.classes[name] * float64(a.active[name])
+			}
+		}
+		budget := total - flooredBudget
+		changed := false
+		for _, name := range names {
+			if floored[name] {
+				out[name] = a.MinWeight
+				continue
+			}
+			w := budget * a.classes[name] / freeMass
+			if w < a.MinWeight {
+				floored[name] = true
+				changed = true
+				break
+			}
+			out[name] = w
+		}
+		if !changed {
+			return out
+		}
+	}
+}
+
+// Weighted is a MulTCP-style weighted congestion controller: a flow with
+// weight w emulates the aggregate behaviour of w standard AIMD flows —
+// additive increase of w segments per RTT and a multiplicative decrease of
+// 1/(2w) on loss (one of its w virtual flows halving). Weight 1 is
+// standard Reno-style AIMD; the steady-state bandwidth share scales
+// roughly linearly in w.
+type Weighted struct {
+	// InitialSsthresh bounds slow start (default 65536 segments).
+	InitialSsthresh float64
+
+	weight   float64
+	cwnd     float64
+	ssthresh float64
+}
+
+// NewWeighted builds a weighted controller. Weight must be positive.
+func NewWeighted(weight float64) *Weighted {
+	if weight <= 0 {
+		panic("priority: weight must be positive")
+	}
+	return &Weighted{weight: weight}
+}
+
+// Weight returns the flow's weight.
+func (w *Weighted) Weight() float64 { return w.weight }
+
+// SetWeight retunes the weight mid-flight (used by Ensemble as members
+// join and leave). Non-positive weights are ignored.
+func (w *Weighted) SetWeight(weight float64) {
+	if weight > 0 {
+		w.weight = weight
+	}
+}
+
+// Name implements tcp.CongestionControl.
+func (w *Weighted) Name() string { return fmt.Sprintf("multcp-w%.2g", w.weight) }
+
+// Init implements tcp.CongestionControl: w virtual flows start with w
+// standard initial windows.
+func (w *Weighted) Init(now sim.Time) {
+	w.cwnd = math.Max(1, 2*w.weight)
+	w.ssthresh = w.InitialSsthresh
+	if w.ssthresh <= 0 {
+		w.ssthresh = 65536
+	}
+}
+
+// OnAck implements tcp.CongestionControl.
+func (w *Weighted) OnAck(info tcp.AckInfo) {
+	if w.cwnd < w.ssthresh {
+		// Slow start: w segments per acked segment, as w flows would in
+		// aggregate.
+		w.cwnd += w.weight * info.AckedSegments
+		w.cwnd = math.Min(w.cwnd, w.ssthresh)
+		return
+	}
+	// Congestion avoidance: w segments per RTT.
+	w.cwnd += w.weight * info.AckedSegments / w.cwnd
+}
+
+// OnLoss implements tcp.CongestionControl: one of the w virtual flows
+// halves, so the ensemble loses 1/(2w) of its window.
+func (w *Weighted) OnLoss(now sim.Time) {
+	w.cwnd *= 1 - 1/(2*w.weight)
+	if w.cwnd < 1 {
+		w.cwnd = 1
+	}
+	w.ssthresh = math.Max(w.cwnd, 2)
+}
+
+// OnTimeout implements tcp.CongestionControl.
+func (w *Weighted) OnTimeout(now sim.Time) {
+	w.ssthresh = math.Max(w.cwnd*(1-1/(2*w.weight)), 2)
+	w.cwnd = 1
+}
+
+// Window implements tcp.CongestionControl.
+func (w *Weighted) Window() float64 { return w.cwnd }
+
+// Ssthresh implements tcp.CongestionControl.
+func (w *Weighted) Ssthresh() float64 { return w.ssthresh }
+
+// PacingInterval implements tcp.CongestionControl.
+func (w *Weighted) PacingInterval() sim.Time { return 0 }
+
+var _ tcp.CongestionControl = (*Weighted)(nil)

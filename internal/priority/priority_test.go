@@ -1,0 +1,322 @@
+package priority
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+func classes() []Class {
+	return []Class{{Name: "video", Share: 3}, {Name: "bulk", Share: 1}}
+}
+
+func TestAllocatorWeightsSumToFlowCount(t *testing.T) {
+	a := NewAllocator(classes(), 0.1)
+	for i := 0; i < 3; i++ {
+		a.Join("video")
+	}
+	for i := 0; i < 5; i++ {
+		a.Join("bulk")
+	}
+	w := a.Weights()
+	total := w["video"]*3 + w["bulk"]*5
+	if math.Abs(total-8) > 1e-9 {
+		t.Errorf("ensemble weight = %v, want 8 (TCP-friendly)", total)
+	}
+	if w["video"] <= w["bulk"] {
+		t.Errorf("video weight %v should exceed bulk %v", w["video"], w["bulk"])
+	}
+	// Proportionality: per-flow video weight / bulk weight = 3.
+	if ratio := w["video"] / w["bulk"]; math.Abs(ratio-3) > 1e-9 {
+		t.Errorf("weight ratio = %v, want 3", ratio)
+	}
+}
+
+func TestAllocatorMinWeightFloor(t *testing.T) {
+	a := NewAllocator([]Class{{Name: "hi", Share: 1000}, {Name: "lo", Share: 1}}, 0.25)
+	a.Join("hi")
+	a.Join("lo")
+	w := a.Weights()
+	if w["lo"] != 0.25 {
+		t.Errorf("lo weight = %v, want floored at 0.25", w["lo"])
+	}
+	if math.Abs(w["hi"]+w["lo"]-2) > 1e-9 {
+		t.Errorf("sum = %v, want 2", w["hi"]+w["lo"])
+	}
+}
+
+func TestAllocatorJoinLeave(t *testing.T) {
+	a := NewAllocator(classes(), 0)
+	w1 := a.Join("video")
+	if w1 != 1 {
+		t.Errorf("single flow weight = %v, want 1 (whole ensemble)", w1)
+	}
+	a.Join("bulk")
+	a.Leave("video")
+	if a.Active() != 1 {
+		t.Errorf("active = %d", a.Active())
+	}
+	if w := a.Weight("bulk"); w != 1 {
+		t.Errorf("last flow weight = %v, want 1", w)
+	}
+	a.Leave("bulk")
+	a.Leave("bulk") // surplus leave is a no-op
+	if a.Active() != 0 {
+		t.Error("active should be 0")
+	}
+	if len(a.Weights()) != 0 {
+		t.Error("weights with no flows should be empty")
+	}
+}
+
+func TestAllocatorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"unknown class": func() { NewAllocator(classes(), 0).Join("nope") },
+		"bad share":     func() { NewAllocator([]Class{{Name: "x", Share: 0}}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: for any population, per-flow weights sum to the flow count
+// and never fall below the floor.
+func TestAllocatorInvariantProperty(t *testing.T) {
+	f := func(nVideo, nBulk uint8) bool {
+		a := NewAllocator(classes(), 0.1)
+		for i := 0; i < int(nVideo%20); i++ {
+			a.Join("video")
+		}
+		for i := 0; i < int(nBulk%20); i++ {
+			a.Join("bulk")
+		}
+		n := a.Active()
+		if n == 0 {
+			return true
+		}
+		w := a.Weights()
+		sum := 0.0
+		for name, count := range map[string]int{"video": int(nVideo % 20), "bulk": int(nBulk % 20)} {
+			if count == 0 {
+				continue
+			}
+			if w[name] < 0.1-1e-12 {
+				return false
+			}
+			sum += w[name] * float64(count)
+		}
+		return math.Abs(sum-float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedScalesGrowth(t *testing.T) {
+	heavy := NewWeighted(4)
+	light := NewWeighted(0.5)
+	heavy.Init(0)
+	light.Init(0)
+	if heavy.Window() <= light.Window() {
+		t.Errorf("initial windows: heavy %v, light %v", heavy.Window(), light.Window())
+	}
+	for i := 0; i < 20; i++ {
+		info := tcp.AckInfo{Now: sim.Time(i) * sim.Millisecond, AckedSegments: 1, RTT: 100 * sim.Millisecond}
+		heavy.OnAck(info)
+		light.OnAck(info)
+	}
+	if heavy.Window() <= 2*light.Window() {
+		t.Errorf("growth not weight-scaled: heavy %v vs light %v", heavy.Window(), light.Window())
+	}
+	if heavy.Weight() != 4 || light.Weight() != 0.5 {
+		t.Error("weights lost")
+	}
+	if heavy.Name() != "multcp-w4" {
+		t.Errorf("name = %s", heavy.Name())
+	}
+	if heavy.PacingInterval() != 0 || heavy.Ssthresh() <= 0 {
+		t.Error("interface methods broken")
+	}
+}
+
+func TestWeightedSoftensDecrease(t *testing.T) {
+	heavy := NewWeighted(4) // decrease 1/8
+	light := NewWeighted(1) // decrease 1/2
+	for _, cc := range []*Weighted{heavy, light} {
+		cc.ssthresh = 4 // force congestion avoidance quickly
+		cc.Init(0)
+		cc.InitialSsthresh = 4
+		cc.Init(0)
+		for i := 0; i < 100; i++ {
+			cc.OnAck(tcp.AckInfo{AckedSegments: 1, RTT: 100 * sim.Millisecond})
+		}
+	}
+	hw, lw := heavy.Window(), light.Window()
+	heavy.OnLoss(0)
+	light.OnLoss(0)
+	heavyDrop := 1 - heavy.Window()/hw
+	lightDrop := 1 - light.Window()/lw
+	if heavyDrop >= lightDrop {
+		t.Errorf("heavy flow dropped %v, light %v: weighting not softening decrease", heavyDrop, lightDrop)
+	}
+	heavy.OnTimeout(0)
+	if heavy.Window() != 1 {
+		t.Errorf("timeout window = %v", heavy.Window())
+	}
+}
+
+func TestWeightedRejectsBadWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewWeighted(0)
+}
+
+// TestEnsembleSharingInSimulator drives two long-running member flows of
+// one ensemble over a dumbbell: a weight-3 member should take roughly
+// three times the bandwidth of a weight-1 member, because the split is
+// structural.
+func TestEnsembleSharingInSimulator(t *testing.T) {
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(2))
+	ens := NewEnsemble()
+	heavy, _ := tcp.Connect(eng, 1, d.Senders[0], d.Receivers[0], 0,
+		ens.Join(3), tcp.Config{})
+	light, _ := tcp.Connect(eng, 2, d.Senders[1], d.Receivers[1], 0,
+		ens.Join(1), tcp.Config{})
+	heavy.Start()
+	light.Start()
+	eng.RunUntil(120 * sim.Second)
+	hB := heavy.Stats().BytesAcked
+	lB := light.Stats().BytesAcked
+	ratio := float64(hB) / float64(lB)
+	t.Logf("heavy/light = %.2f (%d vs %d bytes)", ratio, hB, lB)
+	if ratio < 2 || ratio > 4.5 {
+		t.Errorf("bandwidth ratio = %.2f, want roughly 3", ratio)
+	}
+	// The ensemble still uses the full pipe.
+	total := float64(hB+lB) * 8 / 120
+	if total < 0.75*15e6 {
+		t.Errorf("ensemble throughput %.2f Mbps too low", total/1e6)
+	}
+}
+
+// TestEnsembleFriendliness checks the Section 3.3 invariant: an ensemble
+// of two flows with weights {3, 1} competing against two standard flows
+// takes about the same aggregate share as an ensemble of two
+// equal-weight flows would — reweighting inside the ensemble must not
+// change its aggregate aggressiveness.
+func TestEnsembleFriendliness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(w1, w2 float64) (ensemble, others float64) {
+		eng := sim.NewEngine()
+		d := sim.NewDumbbell(eng, sim.DefaultDumbbell(4))
+		ens := NewEnsemble()
+		mk := func(i int, flow sim.FlowID, cc tcp.CongestionControl) *tcp.Sender {
+			s, _ := tcp.Connect(eng, flow, d.Senders[i], d.Receivers[i], 0, cc, tcp.Config{})
+			s.Start()
+			return s
+		}
+		e1 := mk(0, 1, ens.Join(w1))
+		e2 := mk(1, 2, ens.Join(w2))
+		o1 := mk(2, 3, NewWeighted(1))
+		o2 := mk(3, 4, NewWeighted(1))
+		eng.RunUntil(120 * sim.Second)
+		ensB := float64(e1.Stats().BytesAcked + e2.Stats().BytesAcked)
+		oth := float64(o1.Stats().BytesAcked + o2.Stats().BytesAcked)
+		return ensB, oth
+	}
+	weightedEns, weightedOth := run(3, 1)
+	plainEns, plainOth := run(1, 1)
+	weightedShare := weightedEns / (weightedEns + weightedOth)
+	plainShare := plainEns / (plainEns + plainOth)
+	t.Logf("ensemble share: weighted %.3f vs plain %.3f", weightedShare, plainShare)
+	if math.Abs(weightedShare-plainShare) > 0.15 {
+		t.Errorf("weighted ensemble share %.3f deviates from plain %.3f by > 0.15",
+			weightedShare, plainShare)
+	}
+}
+
+func TestEnsembleJoinLeave(t *testing.T) {
+	ens := NewEnsemble()
+	m1 := ens.Join(2)
+	m2 := ens.Join(1)
+	if ens.Members() != 2 {
+		t.Errorf("members = %d", ens.Members())
+	}
+	m1.Init(0)
+	m2.Init(0) // second init inherits warm state
+	if m1.Window() <= m2.Window() {
+		t.Errorf("weight-2 member window %v should exceed weight-1 %v", m1.Window(), m2.Window())
+	}
+	// Weight shares: m1 gets 2/3 of the aggregate.
+	agg := ens.AggregateWindow()
+	if math.Abs(m1.Window()-math.Max(1, agg*2/3)) > 1e-9 {
+		t.Errorf("m1 window = %v, want %v", m1.Window(), agg*2/3)
+	}
+	ens.Leave(m1)
+	ens.Leave(m1) // idempotent
+	if ens.Members() != 1 {
+		t.Errorf("members after leave = %d", ens.Members())
+	}
+	if m2.Window() < 1 {
+		t.Error("window floor broken")
+	}
+	if m2.Name() != "ensemble" || m2.Weight() != 1 || m2.PacingInterval() != 0 {
+		t.Error("member accessors broken")
+	}
+}
+
+func TestEnsembleLossGuardDedupes(t *testing.T) {
+	ens := NewEnsemble()
+	m1 := ens.Join(1)
+	m2 := ens.Join(1)
+	m1.Init(0)
+	for i := 0; i < 50; i++ {
+		m1.OnAck(tcp.AckInfo{AckedSegments: 1})
+	}
+	before := ens.AggregateWindow()
+	// Both members report the same congestion event within the guard.
+	m1.OnLoss(10 * sim.Second)
+	m2.OnLoss(10*sim.Second + 20*sim.Millisecond)
+	after := ens.AggregateWindow()
+	if after < before*0.7 {
+		t.Errorf("double decrease: %v -> %v (one event should halve once at w=2: x0.75)", before, after)
+	}
+	// A later event decreases again.
+	m2.OnLoss(20 * sim.Second)
+	if ens.AggregateWindow() >= after {
+		t.Error("second event did not decrease")
+	}
+	// Timeout also guarded.
+	m1.OnTimeout(20*sim.Second + 10*sim.Millisecond)
+	if ens.AggregateWindow() == 1 {
+		t.Error("guarded timeout collapsed window")
+	}
+	m1.OnTimeout(40 * sim.Second)
+	if ens.AggregateWindow() != 1 {
+		t.Error("unguarded timeout should collapse window")
+	}
+}
+
+func TestEnsembleRejectsBadWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewEnsemble().Join(0)
+}

@@ -1,0 +1,181 @@
+package remy
+
+import (
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// UtilSource supplies the shared bottleneck utilization to a Remy-Phi
+// sender. Plain Remy uses nil.
+type UtilSource interface {
+	// Util returns the current utilization estimate in [0, 1].
+	Util() float64
+}
+
+// UtilFunc adapts a closure to UtilSource — the "ideal" mode wraps a live
+// oracle, e.g. the bottleneck link monitor.
+type UtilFunc func() float64
+
+// Util implements UtilSource.
+func (f UtilFunc) Util() float64 { return f() }
+
+// StaticUtil is a snapshot taken once (at connection start): the
+// "practical" mode of Section 2.2.2.
+type StaticUtil float64
+
+// Util implements UtilSource.
+func (s StaticUtil) Util() float64 { return float64(s) }
+
+// memoryAlpha is the EWMA gain for the send/ack interarrival features
+// (1/8, as in the Remy reference implementation).
+const memoryAlpha = 0.125
+
+// CC is the Remy congestion controller: it executes a Table. It
+// implements tcp.CongestionControl.
+type CC struct {
+	Table *Table
+	// Util supplies the Phi memory dimension; nil reads as 0 and the
+	// table should then be util-blind.
+	Util UtilSource
+	// InitialWindow is the starting window in segments (default 2).
+	InitialWindow float64
+	// PhiInitialWindow, when set (and Util is non-nil), maps the shared
+	// utilization read at connection start to the initial window: an idle
+	// bottleneck lets a new flow start near its fair share instead of
+	// discovering it from 2 segments — the Phi analogue of tuning Cubic's
+	// windowInit_ from shared state.
+	PhiInitialWindow bool
+	// OnCellVisit, if set, observes each table-cell execution (used by
+	// the trainer to find hot cells).
+	OnCellVisit func(cell int)
+
+	cwnd      float64
+	intersend sim.Time
+
+	minRTT   sim.Time
+	mem      Memory
+	lastAck  sim.Time
+	lastSent sim.Time
+	seenAck  bool
+}
+
+// NewCC returns a controller for the given table (which must be valid).
+func NewCC(table *Table, util UtilSource) *CC {
+	if err := table.Validate(); err != nil {
+		panic(err)
+	}
+	return &CC{Table: table, Util: util}
+}
+
+// Name implements tcp.CongestionControl.
+func (c *CC) Name() string {
+	if c.Table.UsesUtil() {
+		return "remy-phi"
+	}
+	return "remy"
+}
+
+// Init implements tcp.CongestionControl.
+func (c *CC) Init(now sim.Time) {
+	iw := c.InitialWindow
+	if iw <= 0 {
+		iw = 2
+	}
+	if c.PhiInitialWindow && c.Util != nil {
+		u := c.Util.Util()
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		// 2 segments when saturated, up to 24 when idle.
+		boost := iw + (1-u)*22
+		if boost > iw {
+			iw = boost
+		}
+	}
+	c.cwnd = iw
+	c.intersend = 0
+	c.minRTT = 0
+	c.mem = Memory{}
+	c.seenAck = false
+}
+
+// Window implements tcp.CongestionControl.
+func (c *CC) Window() float64 { return c.cwnd }
+
+// Ssthresh implements tcp.CongestionControl. Remy has no slow-start
+// threshold; report the window.
+func (c *CC) Ssthresh() float64 { return c.cwnd }
+
+// PacingInterval implements tcp.CongestionControl.
+func (c *CC) PacingInterval() sim.Time { return c.intersend }
+
+// Memory exposes the current memory state (for tests and debugging).
+func (c *CC) Memory() Memory { return c.mem }
+
+// OnAck implements tcp.CongestionControl: update the memory features, look
+// up the action, apply it.
+func (c *CC) OnAck(info tcp.AckInfo) {
+	if info.RTT > 0 {
+		if c.minRTT == 0 || info.RTT < c.minRTT {
+			c.minRTT = info.RTT
+		}
+		if c.minRTT > 0 {
+			c.mem.RTTRatio = float64(info.RTT) / float64(c.minRTT)
+		}
+	}
+	if c.seenAck {
+		ackGap := (info.Now - c.lastAck).Milliseconds()
+		c.mem.AckEWMAMs = memoryAlpha*ackGap + (1-memoryAlpha)*c.mem.AckEWMAMs
+		if info.SentAt > 0 && c.lastSent > 0 {
+			sendGap := (info.SentAt - c.lastSent).Milliseconds()
+			if sendGap < 0 {
+				sendGap = 0
+			}
+			c.mem.SendEWMAMs = memoryAlpha*sendGap + (1-memoryAlpha)*c.mem.SendEWMAMs
+		}
+	}
+	c.lastAck = info.Now
+	if info.SentAt > 0 {
+		c.lastSent = info.SentAt
+	}
+	c.seenAck = true
+	if c.Util != nil {
+		c.mem.Util = c.Util.Util()
+	}
+
+	cell := c.Table.Index(c.mem)
+	if c.OnCellVisit != nil {
+		c.OnCellVisit(cell)
+	}
+	act := c.Table.Actions[cell]
+	c.cwnd = act.Multiple*c.cwnd + act.Increment*info.AckedSegments
+	if c.cwnd < 1 {
+		c.cwnd = 1
+	}
+	if c.cwnd > 4096 {
+		c.cwnd = 4096
+	}
+	c.intersend = sim.Milliseconds(act.IntersendMs)
+}
+
+// OnLoss implements tcp.CongestionControl. The Remy rule tables act only
+// on acks; we apply a conservative halving so the controller composes
+// safely with FIFO drop-tail queues even with an untrained table.
+func (c *CC) OnLoss(now sim.Time) {
+	c.cwnd /= 2
+	if c.cwnd < 1 {
+		c.cwnd = 1
+	}
+}
+
+// OnTimeout implements tcp.CongestionControl.
+func (c *CC) OnTimeout(now sim.Time) {
+	c.cwnd = 1
+	c.mem = Memory{}
+	c.seenAck = false
+}
+
+var _ tcp.CongestionControl = (*CC)(nil)

@@ -1,0 +1,31 @@
+package remy_test
+
+import (
+	"fmt"
+
+	"repro/internal/remy"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// A Remy-Phi controller reading the shared utilization: on an idle
+// bottleneck it launches far more aggressively than plain Remy.
+func Example() {
+	plain := remy.NewCC(remy.DefaultTable(), nil)
+	plain.Init(0)
+
+	phi := remy.NewCC(remy.DefaultPhiTable(), remy.StaticUtil(0.1))
+	phi.PhiInitialWindow = true
+	phi.Init(0)
+
+	fmt.Println("plain remy initial window:", plain.Window())
+	fmt.Printf("remy-phi (idle link) initial window: %.1f\n", phi.Window())
+
+	// The table reacts to congestion memory on every ack.
+	phi.OnAck(tcp.AckInfo{Now: sim.Second, RTT: 150 * sim.Millisecond, AckedSegments: 1})
+	fmt.Println("acts on acks:", phi.Window() != 0)
+	// Output:
+	// plain remy initial window: 2
+	// remy-phi (idle link) initial window: 21.8
+	// acts on acks: true
+}

@@ -1,0 +1,188 @@
+package remy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Structural refinement: the original Remy does not only optimize whisker
+// actions, it also bisects the most-used whisker so the rule table grows
+// finer exactly where the congestion signal lives. The grid analogue here
+// is edge insertion: splitting a dimension adds one boundary, refining a
+// whole slab of cells while preserving the table's function everywhere
+// (each new cell inherits the action of the old cell containing it).
+
+// Dimension indexes for refinement.
+const (
+	DimSend = iota
+	DimAck
+	DimRatio
+	DimUtil
+)
+
+// MaxCells bounds table growth during training.
+const MaxCells = 256
+
+// binsOf decomposes a cell index into per-dimension bin indexes
+// (inverse of Index).
+func (t *Table) binsOf(idx int) (send, ack, ratio, util int) {
+	nu := len(t.UtilEdges) + 1
+	nr := len(t.RatioEdges) + 1
+	na := len(t.AckEdges) + 1
+	util = idx % nu
+	idx /= nu
+	ratio = idx % nr
+	idx /= nr
+	ack = idx % na
+	idx /= na
+	send = idx
+	return
+}
+
+// binBounds returns the [lo, hi) bounds of bin i (hi < 0 means unbounded).
+func binBounds(edges []float64, i int) (lo, hi float64) {
+	if i > 0 {
+		lo = edges[i-1]
+	}
+	if i < len(edges) {
+		return lo, edges[i]
+	}
+	return lo, -1
+}
+
+// splitPoint picks where to bisect a bin: the midpoint of a bounded bin,
+// double the lower bound of an unbounded one (or 1 from zero).
+func splitPoint(lo, hi float64) float64 {
+	if hi > 0 {
+		return (lo + hi) / 2
+	}
+	if lo == 0 {
+		return 1
+	}
+	return lo * 2
+}
+
+// SplitDim inserts an edge into the given dimension and returns the
+// refined table; the original is untouched. Every memory maps to the same
+// action before and after. Inserting a duplicate edge returns an
+// unchanged clone.
+func (t *Table) SplitDim(dim int, edge float64) *Table {
+	insert := func(edges []float64) []float64 {
+		out := append([]float64(nil), edges...)
+		i := sort.SearchFloat64s(out, edge)
+		if i < len(out) && out[i] == edge {
+			return out
+		}
+		out = append(out, 0)
+		copy(out[i+1:], out[i:])
+		out[i] = edge
+		return out
+	}
+	nt := &Table{
+		SendEdges:  append([]float64(nil), t.SendEdges...),
+		AckEdges:   append([]float64(nil), t.AckEdges...),
+		RatioEdges: append([]float64(nil), t.RatioEdges...),
+		UtilEdges:  append([]float64(nil), t.UtilEdges...),
+	}
+	switch dim {
+	case DimSend:
+		nt.SendEdges = insert(nt.SendEdges)
+	case DimAck:
+		nt.AckEdges = insert(nt.AckEdges)
+	case DimRatio:
+		nt.RatioEdges = insert(nt.RatioEdges)
+	case DimUtil:
+		nt.UtilEdges = insert(nt.UtilEdges)
+	default:
+		panic(fmt.Sprintf("remy: unknown dimension %d", dim))
+	}
+	nt.Actions = make([]Action, nt.Cells())
+	// Populate each new cell with the old action at a representative
+	// memory inside it.
+	for s := 0; s <= len(nt.SendEdges); s++ {
+		for a := 0; a <= len(nt.AckEdges); a++ {
+			for r := 0; r <= len(nt.RatioEdges); r++ {
+				for u := 0; u <= len(nt.UtilEdges); u++ {
+					m := Memory{
+						SendEWMAMs: repr(nt.SendEdges, s),
+						AckEWMAMs:  repr(nt.AckEdges, a),
+						RTTRatio:   repr(nt.RatioEdges, r),
+						Util:       repr(nt.UtilEdges, u),
+					}
+					nt.Actions[nt.Index(m)] = t.Action(m)
+				}
+			}
+		}
+	}
+	return nt
+}
+
+// repr returns a representative value inside bin i.
+func repr(edges []float64, i int) float64 {
+	lo, hi := binBounds(edges, i)
+	if hi > 0 {
+		return (lo + hi) / 2
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo * 1.5
+}
+
+// SplitHottest refines the table around its most-executed cell: the
+// widest dimension of that cell (in relative terms) is bisected. Returns
+// the refined table and true, or the original and false when the cell
+// cannot be split (table at MaxCells, or no visits).
+func (t *Table) SplitHottest(visits []int) (*Table, bool) {
+	if t.Cells() >= MaxCells || len(visits) != t.Cells() {
+		return t, false
+	}
+	hot, hotV := -1, 0
+	for cell, v := range visits {
+		if v > hotV {
+			hot, hotV = cell, v
+		}
+	}
+	if hot < 0 {
+		return t, false
+	}
+	sendB, ackB, ratioB, utilB := t.binsOf(hot)
+	type cand struct {
+		dim   int
+		edges []float64
+		bin   int
+	}
+	cands := []cand{
+		{DimAck, t.AckEdges, ackB},
+		{DimRatio, t.RatioEdges, ratioB},
+		{DimSend, t.SendEdges, sendB},
+	}
+	if t.UsesUtil() {
+		cands = append(cands, cand{DimUtil, t.UtilEdges, utilB})
+	}
+	// Pick the dimension whose hot bin is relatively widest (hi/lo ratio;
+	// unbounded bins count as widest).
+	bestDim, bestWidth := -1, 0.0
+	var bestPoint float64
+	for _, c := range cands {
+		lo, hi := binBounds(c.edges, c.bin)
+		var width float64
+		switch {
+		case hi < 0:
+			width = 1e18 // unbounded: always splittable
+		case lo == 0:
+			width = hi
+		default:
+			width = hi / lo
+		}
+		if width > bestWidth {
+			bestWidth = width
+			bestDim = c.dim
+			bestPoint = splitPoint(lo, hi)
+		}
+	}
+	if bestDim < 0 {
+		return t, false
+	}
+	return t.SplitDim(bestDim, bestPoint), true
+}

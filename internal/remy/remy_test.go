@@ -1,0 +1,470 @@
+package remy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+func TestBinOf(t *testing.T) {
+	edges := []float64{10, 40}
+	cases := map[float64]int{0: 0, 9.99: 0, 10: 1, 39: 1, 40: 2, 1000: 2}
+	for x, want := range cases {
+		if got := binOf(x, edges); got != want {
+			t.Errorf("binOf(%v) = %d, want %d", x, got, want)
+		}
+	}
+	if binOf(5, nil) != 0 {
+		t.Error("binOf with no edges should be 0")
+	}
+}
+
+func TestTableIndexCoversAllCellsUniquely(t *testing.T) {
+	tab := &Table{
+		SendEdges:  []float64{5},
+		AckEdges:   []float64{10, 40},
+		RatioEdges: []float64{1.5},
+		UtilEdges:  []float64{0.5},
+	}
+	tab.FillUniform(Action{Multiple: 1, Increment: 1})
+	if tab.Cells() != 2*3*2*2 {
+		t.Fatalf("cells = %d, want 24", tab.Cells())
+	}
+	seen := map[int]bool{}
+	for _, send := range []float64{1, 10} {
+		for _, ack := range []float64{1, 20, 100} {
+			for _, ratio := range []float64{1, 2} {
+				for _, util := range []float64{0.1, 0.9} {
+					idx := tab.Index(Memory{SendEWMAMs: send, AckEWMAMs: ack, RTTRatio: ratio, Util: util})
+					if idx < 0 || idx >= tab.Cells() {
+						t.Fatalf("index %d out of range", idx)
+					}
+					if seen[idx] {
+						t.Fatalf("duplicate index %d", idx)
+					}
+					seen[idx] = true
+				}
+			}
+		}
+	}
+	if len(seen) != tab.Cells() {
+		t.Errorf("covered %d cells of %d", len(seen), tab.Cells())
+	}
+}
+
+// Property: Index is always in range for arbitrary memories.
+func TestTableIndexInRangeProperty(t *testing.T) {
+	tab := DefaultPhiTable()
+	f := func(send, ack, ratio, util float64) bool {
+		idx := tab.Index(Memory{SendEWMAMs: send, AckEWMAMs: ack, RTTRatio: ratio, Util: util})
+		return idx >= 0 && idx < tab.Cells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultTablesValid(t *testing.T) {
+	for name, tab := range map[string]*Table{"base": DefaultTable(), "phi": DefaultPhiTable()} {
+		if err := tab.Validate(); err != nil {
+			t.Errorf("%s table invalid: %v", name, err)
+		}
+	}
+	if DefaultTable().UsesUtil() {
+		t.Error("base table should be util-blind")
+	}
+	if !DefaultPhiTable().UsesUtil() {
+		t.Error("phi table should use util")
+	}
+	if DefaultTable().Cells() != 9 || DefaultPhiTable().Cells() != 27 {
+		t.Errorf("cells = %d/%d, want 9/27", DefaultTable().Cells(), DefaultPhiTable().Cells())
+	}
+	if DefaultPhiTable().String() == "" {
+		t.Error("empty table string")
+	}
+}
+
+func TestPhiTableMoreAggressiveWhenIdle(t *testing.T) {
+	tab := DefaultPhiTable()
+	mem := Memory{AckEWMAMs: 5, RTTRatio: 1.05}
+	idle := tab.Action(Memory{AckEWMAMs: mem.AckEWMAMs, RTTRatio: mem.RTTRatio, Util: 0.1})
+	busy := tab.Action(Memory{AckEWMAMs: mem.AckEWMAMs, RTTRatio: mem.RTTRatio, Util: 0.9})
+	if idle.Increment <= busy.Increment {
+		t.Errorf("idle increment %v should exceed busy %v", idle.Increment, busy.Increment)
+	}
+}
+
+func TestTableValidateCatchesCorruption(t *testing.T) {
+	tab := DefaultTable()
+	tab.Actions = tab.Actions[:3]
+	if tab.Validate() == nil {
+		t.Error("short action slice passed validation")
+	}
+	tab = DefaultTable()
+	tab.Actions[0].Multiple = 0
+	if tab.Validate() == nil {
+		t.Error("zero multiple passed validation")
+	}
+	tab = DefaultTable()
+	tab.RatioEdges = []float64{2, 1}
+	if tab.Validate() == nil {
+		t.Error("non-ascending edges passed validation")
+	}
+}
+
+func TestTableCloneIsDeep(t *testing.T) {
+	a := DefaultTable()
+	b := a.Clone()
+	b.Actions[0].Increment = 99
+	if a.Actions[0].Increment == 99 {
+		t.Error("clone shares action storage")
+	}
+}
+
+func TestActionClamp(t *testing.T) {
+	a := Action{Multiple: 99, Increment: -5, IntersendMs: 1000}.clamp()
+	if a.Multiple != 1.3 || a.Increment != 0 || a.IntersendMs != 50 {
+		t.Errorf("clamp = %v", a)
+	}
+}
+
+func TestCCMemoryUpdates(t *testing.T) {
+	cc := NewCC(DefaultTable(), nil)
+	cc.Init(0)
+	if cc.Window() != 2 {
+		t.Errorf("initial window = %v", cc.Window())
+	}
+	// First ack initializes; second computes gaps.
+	cc.OnAck(tcp.AckInfo{Now: sim.Second, SentAt: 850 * sim.Millisecond,
+		RTT: 150 * sim.Millisecond, AckedSegments: 1})
+	cc.OnAck(tcp.AckInfo{Now: sim.Second + 20*sim.Millisecond, SentAt: 870 * sim.Millisecond,
+		RTT: 150 * sim.Millisecond, AckedSegments: 1})
+	m := cc.Memory()
+	if m.AckEWMAMs <= 0 || m.SendEWMAMs <= 0 {
+		t.Errorf("EWMAs not updated: %+v", m)
+	}
+	if m.RTTRatio != 1 {
+		t.Errorf("rtt ratio = %v, want 1 (rtt == min)", m.RTTRatio)
+	}
+	// Inflated RTT raises the ratio.
+	cc.OnAck(tcp.AckInfo{Now: sim.Second + 40*sim.Millisecond, SentAt: 880 * sim.Millisecond,
+		RTT: 300 * sim.Millisecond, AckedSegments: 1})
+	if cc.Memory().RTTRatio != 2 {
+		t.Errorf("rtt ratio = %v, want 2", cc.Memory().RTTRatio)
+	}
+}
+
+func TestCCWindowBounds(t *testing.T) {
+	cc := NewCC(DefaultTable(), nil)
+	cc.Init(0)
+	for i := 0; i < 10000; i++ {
+		cc.OnAck(tcp.AckInfo{Now: sim.Time(i) * sim.Millisecond, AckedSegments: 1,
+			RTT: 150 * sim.Millisecond})
+		if w := cc.Window(); w < 1 || w > 4096 {
+			t.Fatalf("window %v out of [1, 4096]", w)
+		}
+	}
+	cc.OnLoss(0)
+	if cc.Window() < 1 {
+		t.Error("window below 1 after loss")
+	}
+	cc.OnTimeout(0)
+	if cc.Window() != 1 {
+		t.Errorf("window after timeout = %v, want 1", cc.Window())
+	}
+}
+
+func TestCCUtilSources(t *testing.T) {
+	cc := NewCC(DefaultPhiTable(), StaticUtil(0.9))
+	cc.Init(0)
+	cc.OnAck(tcp.AckInfo{Now: sim.Second, AckedSegments: 1, RTT: 150 * sim.Millisecond})
+	if cc.Memory().Util != 0.9 {
+		t.Errorf("static util = %v", cc.Memory().Util)
+	}
+	if cc.Name() != "remy-phi" {
+		t.Errorf("name = %s", cc.Name())
+	}
+	val := 0.2
+	dyn := NewCC(DefaultPhiTable(), UtilFunc(func() float64 { return val }))
+	dyn.Init(0)
+	dyn.OnAck(tcp.AckInfo{Now: sim.Second, AckedSegments: 1})
+	val = 0.8
+	dyn.OnAck(tcp.AckInfo{Now: 2 * sim.Second, AckedSegments: 1})
+	if dyn.Memory().Util != 0.8 {
+		t.Errorf("dynamic util = %v, want 0.8", dyn.Memory().Util)
+	}
+	plain := NewCC(DefaultTable(), nil)
+	if plain.Name() != "remy" {
+		t.Errorf("name = %s", plain.Name())
+	}
+}
+
+func TestCCVisitHook(t *testing.T) {
+	visits := make([]int, DefaultTable().Cells())
+	cc := NewCC(DefaultTable(), nil)
+	cc.OnCellVisit = func(cell int) { visits[cell]++ }
+	cc.Init(0)
+	for i := 0; i < 10; i++ {
+		cc.OnAck(tcp.AckInfo{Now: sim.Time(i) * sim.Millisecond, AckedSegments: 1})
+	}
+	total := 0
+	for _, v := range visits {
+		total += v
+	}
+	if total != 10 {
+		t.Errorf("visits = %d, want 10", total)
+	}
+}
+
+func table3Scenario(senders int) workload.Scenario {
+	return workload.Scenario{
+		Dumbbell:    sim.DefaultDumbbell(senders),
+		MeanOnBytes: 100_000,
+		MeanOffTime: 500 * sim.Millisecond,
+		Duration:    15 * sim.Second,
+		Warmup:      2 * sim.Second,
+	}
+}
+
+func TestRemyEndToEndInSimulator(t *testing.T) {
+	res := Evaluate(DefaultTable(), EvalConfig{
+		Scenario: table3Scenario(4), Mode: UtilOff, Runs: 1, BaseSeed: 1,
+	})
+	if len(res.Runs) != 1 {
+		t.Fatal("no runs")
+	}
+	r := res.Runs[0]
+	if len(r.Flows) == 0 || r.AggThroughputMbps() <= 0 {
+		t.Fatalf("remy moved no data: %d flows", len(r.Flows))
+	}
+	visited := 0
+	for _, v := range res.Visits {
+		if v > 0 {
+			visited++
+		}
+	}
+	if visited == 0 {
+		t.Error("no table cells visited")
+	}
+}
+
+func TestRemyPhiModesRun(t *testing.T) {
+	for _, mode := range []UtilMode{UtilIdeal, UtilPractical} {
+		res := Evaluate(DefaultPhiTable(), EvalConfig{
+			Scenario: table3Scenario(4), Mode: mode, Runs: 1, BaseSeed: 2,
+		})
+		if res.Runs[0].AggThroughputMbps() <= 0 {
+			t.Errorf("mode %v moved no data", mode)
+		}
+	}
+	if UtilIdeal.String() != "ideal" || UtilPractical.String() != "practical" || UtilOff.String() != "off" {
+		t.Error("mode strings wrong")
+	}
+	if UtilMode(99).String() != "unknown" {
+		t.Error("unknown mode string wrong")
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	cfg := EvalConfig{Scenario: table3Scenario(3), Mode: UtilOff, Runs: 2, BaseSeed: 9}
+	a := Evaluate(DefaultTable(), cfg)
+	b := Evaluate(DefaultTable(), cfg)
+	if a.Objective != b.Objective {
+		t.Errorf("objective differs: %v vs %v", a.Objective, b.Objective)
+	}
+}
+
+func TestTrainImprovesOrHolds(t *testing.T) {
+	cfg := TrainConfig{
+		Eval:       EvalConfig{Scenario: table3Scenario(3), Mode: UtilOff, Runs: 1, BaseSeed: 4},
+		Iterations: 2,
+	}
+	before := Evaluate(DefaultTable(), cfg.Eval).Objective
+	trained, trace := Train(DefaultTable(), cfg)
+	if len(trace) != 2 {
+		t.Fatalf("trace length = %d", len(trace))
+	}
+	after := Evaluate(trained, cfg.Eval).Objective
+	if after < before-1e-9 {
+		t.Errorf("training made things worse: %v -> %v", before, after)
+	}
+	if err := trained.Validate(); err != nil {
+		t.Errorf("trained table invalid: %v", err)
+	}
+}
+
+func TestNeighborsAreClampedAndDistinct(t *testing.T) {
+	for _, a := range []Action{
+		{Multiple: 1, Increment: 0, IntersendMs: 0},
+		{Multiple: 1.3, Increment: 32, IntersendMs: 50},
+		{Multiple: 0.3, Increment: 0, IntersendMs: 0},
+	} {
+		for _, n := range neighbors(a) {
+			if n == a {
+				t.Errorf("neighbor equals original: %v", n)
+			}
+			if n != n.clamp() {
+				t.Errorf("unclamped neighbor %v", n)
+			}
+		}
+	}
+}
+
+func TestHottestCellRespectsTabu(t *testing.T) {
+	visits := []int{5, 10, 3}
+	if got := hottestCell(visits, map[int]int{}, 0); got != 1 {
+		t.Errorf("hottest = %d, want 1", got)
+	}
+	if got := hottestCell(visits, map[int]int{1: 1}, 2); got != 0 {
+		t.Errorf("with tabu, hottest = %d, want 0", got)
+	}
+	if got := hottestCell([]int{0, 0}, map[int]int{}, 0); got != -1 {
+		t.Errorf("no visits should give -1, got %d", got)
+	}
+}
+
+// Property: refinement preserves the table's function — any memory maps
+// to the same action before and after a split.
+func TestSplitDimPreservesFunction(t *testing.T) {
+	base := DefaultPhiTable()
+	f := func(dimRaw uint8, edgeRaw uint16, send, ack, ratio, util float64) bool {
+		dim := int(dimRaw) % 4
+		edge := float64(edgeRaw%1000) / 10
+		if edge <= 0 {
+			edge = 0.5
+		}
+		refined := base.SplitDim(dim, edge)
+		if err := refined.Validate(); err != nil {
+			return false
+		}
+		m := Memory{SendEWMAMs: abs(send), AckEWMAMs: abs(ack), RTTRatio: abs(ratio), Util: abs(util)}
+		return base.Action(m) == refined.Action(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 || x != x { // also map NaN to 0
+		return 0
+	}
+	if x > 1e9 {
+		return 1e9
+	}
+	return x
+}
+
+func TestSplitDimGrowsCells(t *testing.T) {
+	base := DefaultTable()
+	refined := base.SplitDim(DimRatio, 1.2)
+	if refined.Cells() != base.Cells()/3*4 {
+		t.Errorf("cells %d -> %d, want one extra ratio bin", base.Cells(), refined.Cells())
+	}
+	// Duplicate edge: no growth.
+	dup := base.SplitDim(DimAck, base.AckEdges[0])
+	if dup.Cells() != base.Cells() {
+		t.Errorf("duplicate edge grew table to %d", dup.Cells())
+	}
+	// Original untouched.
+	if base.Cells() != 9 {
+		t.Errorf("base mutated: %d cells", base.Cells())
+	}
+}
+
+func TestSplitHottest(t *testing.T) {
+	base := DefaultPhiTable()
+	visits := make([]int, base.Cells())
+	visits[base.Index(Memory{AckEWMAMs: 5, RTTRatio: 1.0, Util: 0.2})] = 100
+	refined, ok := base.SplitHottest(visits)
+	if !ok {
+		t.Fatal("split refused")
+	}
+	if refined.Cells() <= base.Cells() {
+		t.Errorf("cells %d -> %d", base.Cells(), refined.Cells())
+	}
+	if err := refined.Validate(); err != nil {
+		t.Error(err)
+	}
+	// No visits: refused.
+	if _, ok := base.SplitHottest(make([]int, base.Cells())); ok {
+		t.Error("split with no visits accepted")
+	}
+	// Wrong visits length: refused.
+	if _, ok := base.SplitHottest([]int{1}); ok {
+		t.Error("split with bad visits accepted")
+	}
+}
+
+func TestTrainWithSplitting(t *testing.T) {
+	cfg := TrainConfig{
+		Eval:       EvalConfig{Scenario: table3Scenario(3), Mode: UtilOff, Runs: 1, BaseSeed: 4},
+		Iterations: 3,
+		AllowSplit: true,
+	}
+	trained, trace := Train(DefaultTable(), cfg)
+	if len(trace) != 3 {
+		t.Fatalf("trace = %d", len(trace))
+	}
+	if trained.Cells() <= DefaultTable().Cells() {
+		t.Errorf("splitting did not grow the table: %d cells", trained.Cells())
+	}
+	if err := trained.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	orig := DefaultPhiTable()
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cells() != orig.Cells() {
+		t.Fatalf("cells %d vs %d", loaded.Cells(), orig.Cells())
+	}
+	// Same decisions everywhere.
+	for _, m := range []Memory{
+		{}, {AckEWMAMs: 5, RTTRatio: 1.0, Util: 0.2},
+		{AckEWMAMs: 50, RTTRatio: 2.0, Util: 0.9},
+		{SendEWMAMs: 3, AckEWMAMs: 20, RTTRatio: 1.2, Util: 0.5},
+	} {
+		if loaded.Action(m) != orig.Action(m) {
+			t.Errorf("decision differs at %+v", m)
+		}
+	}
+}
+
+func TestLoadTableValidates(t *testing.T) {
+	// Wrong action count for the declared grid.
+	bad := `{"ack_edges":[10,40],"ratio_edges":[1.5],"actions":[{"multiple":1,"increment":1}]}`
+	if _, err := LoadTable(strings.NewReader(bad)); err == nil {
+		t.Error("structurally invalid table accepted")
+	}
+	if _, err := LoadTable(strings.NewReader("{broken")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// A trained-then-shipped table loads and drives a CC.
+	var buf bytes.Buffer
+	if _, err := DefaultTable().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := NewCC(loaded, nil)
+	cc.Init(0)
+	if cc.Window() != 2 {
+		t.Error("loaded table CC broken")
+	}
+}

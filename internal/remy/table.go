@@ -1,0 +1,163 @@
+// Package remy implements a Remy-style machine-learned congestion
+// controller (Winstein & Balakrishnan, "TCP ex Machina", cited by the
+// paper as [45]): a rule table mapping a small congestion "memory" to
+// window/pacing actions, trained offline in the simulator.
+//
+// The Phi extension of Section 2.2.4 adds one memory dimension — the
+// shared bottleneck utilization u obtained from the context server — and
+// retrains. Remy-Phi-ideal reads u continuously from an oracle;
+// Remy-Phi-practical snapshots u once per connection, exactly the
+// lookup-at-start design of Section 2.2.2.
+package remy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Memory is the sender's congestion state, per the Remy paper's features:
+// EWMAs of the inter-send and inter-ack times of acknowledged packets and
+// the ratio of the latest RTT to the connection minimum. The Phi variant
+// adds the shared bottleneck utilization.
+type Memory struct {
+	// SendEWMAMs is the EWMA of inter-send intervals of acked packets, ms.
+	SendEWMAMs float64
+	// AckEWMAMs is the EWMA of inter-ack arrival intervals, ms.
+	AckEWMAMs float64
+	// RTTRatio is lastRTT / minRTT (>= 1 once an RTT is measured).
+	RTTRatio float64
+	// Util is the shared bottleneck utilization (0 when util-blind).
+	Util float64
+}
+
+// Action is what a rule prescribes on each ack, following Remy: a window
+// multiple m, a window increment b, and a minimum inter-send spacing r.
+type Action struct {
+	// Multiple scales the congestion window (m).
+	Multiple float64
+	// Increment adds segments to the window per acked segment (b).
+	Increment float64
+	// IntersendMs is the minimum spacing between data transmissions (r).
+	IntersendMs float64
+}
+
+func (a Action) String() string {
+	return fmt.Sprintf("m=%.2f b=%.2f r=%.2fms", a.Multiple, a.Increment, a.IntersendMs)
+}
+
+// clamp keeps trained actions inside a sane envelope.
+func (a Action) clamp() Action {
+	if a.Multiple < 0.3 {
+		a.Multiple = 0.3
+	}
+	if a.Multiple > 1.3 {
+		a.Multiple = 1.3
+	}
+	if a.Increment < 0 {
+		a.Increment = 0
+	}
+	if a.Increment > 32 {
+		a.Increment = 32
+	}
+	if a.IntersendMs < 0 {
+		a.IntersendMs = 0
+	}
+	if a.IntersendMs > 50 {
+		a.IntersendMs = 50
+	}
+	return a
+}
+
+// Table is the rule table: the memory space is partitioned into a grid by
+// per-dimension bin edges, with one Action per cell. An empty UtilEdges
+// makes the table utilization-blind (plain Remy).
+type Table struct {
+	SendEdges  []float64 // ms
+	AckEdges   []float64 // ms
+	RatioEdges []float64
+	UtilEdges  []float64
+
+	// Actions has one entry per cell, indexed by Index.
+	Actions []Action
+}
+
+// binOf returns the bin index of x given ascending edges: the number of
+// edges <= x, in [0, len(edges)].
+func binOf(x float64, edges []float64) int {
+	i := 0
+	for i < len(edges) && x >= edges[i] {
+		i++
+	}
+	return i
+}
+
+// Cells returns the number of cells in the table.
+func (t *Table) Cells() int {
+	return (len(t.SendEdges) + 1) * (len(t.AckEdges) + 1) *
+		(len(t.RatioEdges) + 1) * (len(t.UtilEdges) + 1)
+}
+
+// Index maps a memory to its cell index.
+func (t *Table) Index(m Memory) int {
+	idx := binOf(m.SendEWMAMs, t.SendEdges)
+	idx = idx*(len(t.AckEdges)+1) + binOf(m.AckEWMAMs, t.AckEdges)
+	idx = idx*(len(t.RatioEdges)+1) + binOf(m.RTTRatio, t.RatioEdges)
+	idx = idx*(len(t.UtilEdges)+1) + binOf(m.Util, t.UtilEdges)
+	return idx
+}
+
+// Action returns the action for a memory state.
+func (t *Table) Action(m Memory) Action {
+	return t.Actions[t.Index(m)]
+}
+
+// UsesUtil reports whether the table conditions on shared utilization.
+func (t *Table) UsesUtil() bool { return len(t.UtilEdges) > 0 }
+
+// Clone deep-copies the table (training mutates actions).
+func (t *Table) Clone() *Table {
+	c := *t
+	c.Actions = append([]Action(nil), t.Actions...)
+	return &c
+}
+
+// Validate checks structural invariants.
+func (t *Table) Validate() error {
+	if len(t.Actions) != t.Cells() {
+		return fmt.Errorf("remy: table has %d actions for %d cells", len(t.Actions), t.Cells())
+	}
+	for _, edges := range [][]float64{t.SendEdges, t.AckEdges, t.RatioEdges, t.UtilEdges} {
+		for i := 1; i < len(edges); i++ {
+			if edges[i] <= edges[i-1] {
+				return fmt.Errorf("remy: non-ascending edges %v", edges)
+			}
+		}
+	}
+	for i, a := range t.Actions {
+		if a.Multiple <= 0 {
+			return fmt.Errorf("remy: cell %d has non-positive multiple", i)
+		}
+	}
+	return nil
+}
+
+// FillUniform sets every cell to the same action (the training start
+// point) and returns the table.
+func (t *Table) FillUniform(a Action) *Table {
+	t.Actions = make([]Action, t.Cells())
+	for i := range t.Actions {
+		t.Actions[i] = a.clamp()
+	}
+	return t
+}
+
+// String renders the table compactly.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "remy table: %d cells (send %v | ack %v | ratio %v | util %v)\n",
+		t.Cells(), t.SendEdges, t.AckEdges, t.RatioEdges, t.UtilEdges)
+	for i, a := range t.Actions {
+		fmt.Fprintf(&b, "  cell %3d: %v\n", i, a)
+	}
+	return b.String()
+}

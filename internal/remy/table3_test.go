@@ -1,0 +1,77 @@
+package remy
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// TestTable3Ordering checks the paper's Table 3 shape with the seed
+// tables: on the 15 Mbps / 150 ms / 8-sender on-off workload, the log
+// power objective orders Remy-Phi (ideal and practical) above plain Remy
+// above Cubic, and the Phi variants deliver clearly higher throughput.
+func TestTable3Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := workload.Scenario{
+		Dumbbell:    sim.DefaultDumbbell(8),
+		MeanOnBytes: 100_000,
+		MeanOffTime: 500 * sim.Millisecond,
+		Duration:    60 * sim.Second,
+		Warmup:      5 * sim.Second,
+	}
+	const runs = 3
+	const baseSeed = 100
+
+	objective := func(rs []workload.Result) (logP, medThr float64) {
+		var objs, thr []float64
+		for i := range rs {
+			objs = append(objs, rs[i].LogPower())
+			thr = append(thr, rs[i].ThroughputsMbps()...)
+		}
+		return metrics.Mean(objs), metrics.Median(thr)
+	}
+
+	var cubicRuns []workload.Result
+	for i := 0; i < runs; i++ {
+		s := sc
+		s.Seed = baseSeed + int64(i)
+		s.CC = func(int) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) }
+		}
+		cubicRuns = append(cubicRuns, workload.Run(s))
+	}
+	cubicObj, cubicThr := objective(cubicRuns)
+
+	remyObj, remyThr := objective(Evaluate(DefaultTable(),
+		EvalConfig{Scenario: sc, Mode: UtilOff, Runs: runs, BaseSeed: baseSeed}).Runs)
+	practObj, practThr := objective(Evaluate(DefaultPhiTable(),
+		EvalConfig{Scenario: sc, Mode: UtilPractical, Runs: runs, BaseSeed: baseSeed}).Runs)
+	idealObj, idealThr := objective(Evaluate(DefaultPhiTable(),
+		EvalConfig{Scenario: sc, Mode: UtilIdeal, Runs: runs, BaseSeed: baseSeed}).Runs)
+
+	t.Logf("cubic:     logP=%.3f thr=%.2f", cubicObj, cubicThr)
+	t.Logf("remy:      logP=%.3f thr=%.2f", remyObj, remyThr)
+	t.Logf("practical: logP=%.3f thr=%.2f", practObj, practThr)
+	t.Logf("ideal:     logP=%.3f thr=%.2f", idealObj, idealThr)
+
+	if remyObj <= cubicObj {
+		t.Errorf("Remy objective %.3f should beat Cubic %.3f", remyObj, cubicObj)
+	}
+	if practObj <= remyObj {
+		t.Errorf("Remy-Phi-practical %.3f should beat Remy %.3f", practObj, remyObj)
+	}
+	if idealObj < practObj-0.05 {
+		t.Errorf("Remy-Phi-ideal %.3f should be at least Remy-Phi-practical %.3f", idealObj, practObj)
+	}
+	if practThr < 1.3*remyThr {
+		t.Errorf("Phi throughput %.2f should clearly exceed Remy %.2f", practThr, remyThr)
+	}
+	if idealThr <= cubicThr {
+		t.Errorf("ideal throughput %.2f should exceed cubic %.2f", idealThr, cubicThr)
+	}
+}

@@ -1,0 +1,90 @@
+package remy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Table serialization: a trained rule table is the artifact of the
+// (expensive) offline optimization, so it must be shippable — trained
+// once, distributed to the sender fleet, loaded at startup. The JSON form
+// mirrors the in-memory structure directly.
+
+type actionJSON struct {
+	Multiple    float64 `json:"multiple"`
+	Increment   float64 `json:"increment"`
+	IntersendMs float64 `json:"intersend_ms"`
+}
+
+type tableJSON struct {
+	SendEdges  []float64    `json:"send_edges,omitempty"`
+	AckEdges   []float64    `json:"ack_edges,omitempty"`
+	RatioEdges []float64    `json:"ratio_edges,omitempty"`
+	UtilEdges  []float64    `json:"util_edges,omitempty"`
+	Actions    []actionJSON `json:"actions"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{
+		SendEdges:  t.SendEdges,
+		AckEdges:   t.AckEdges,
+		RatioEdges: t.RatioEdges,
+		UtilEdges:  t.UtilEdges,
+	}
+	for _, a := range t.Actions {
+		out.Actions = append(out.Actions, actionJSON{
+			Multiple: a.Multiple, Increment: a.Increment, IntersendMs: a.IntersendMs,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler with structural validation.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	out := Table{
+		SendEdges:  in.SendEdges,
+		AckEdges:   in.AckEdges,
+		RatioEdges: in.RatioEdges,
+		UtilEdges:  in.UtilEdges,
+	}
+	for _, a := range in.Actions {
+		out.Actions = append(out.Actions, Action{
+			Multiple: a.Multiple, Increment: a.Increment, IntersendMs: a.IntersendMs,
+		})
+	}
+	if err := out.Validate(); err != nil {
+		return fmt.Errorf("remy: rejected table: %w", err)
+	}
+	*t = out
+	return nil
+}
+
+// WriteTo serializes the table as indented JSON.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// LoadTable parses and validates a table from JSON.
+func LoadTable(r io.Reader) (*Table, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

@@ -1,0 +1,97 @@
+package remy
+
+// Seed tables. These encode the qualitative shape a trained table takes on
+// the Table 3 topology (retrain with Train or `phi-experiments -run
+// table3 -retrain`): the RTT ratio is the primary congestion signal —
+// aggressive ramping while the queue is empty, holding in the mid band,
+// multiplicative back-off with pacing once the queue builds. The Phi
+// variant scales the whole response by the shared utilization: an idle
+// bottleneck permits a much more aggressive ramp (that is where the
+// paper's throughput gain comes from), a saturated one demands restraint.
+
+// baseEdges are the memory quantization boundaries shared by both tables.
+var (
+	baseAckEdges   = []float64{10, 40} // ms between acks: fast / medium / slow path
+	baseRatioEdges = []float64{1.05, 1.3}
+	phiUtilEdges   = []float64{0.45, 0.75}
+)
+
+// baseAction is the hand-derived action for an (ackBin, ratioBin) cell.
+func baseAction(ackBin, ratioBin int) Action {
+	var a Action
+	switch ratioBin {
+	case 0: // queue empty: ramp at slow-start pace
+		a = Action{Multiple: 1.0, Increment: 2.0, IntersendMs: 0}
+	case 1: // queue forming: hold
+		a = Action{Multiple: 1.0, Increment: 0.3, IntersendMs: 2}
+	default: // queue built: back off and pace
+		a = Action{Multiple: 0.8, Increment: 0, IntersendMs: 6}
+	}
+	// Slower ack arrival = slower path: stretch the pacing accordingly.
+	a.IntersendMs += float64(ackBin) * 2
+	return a.clamp()
+}
+
+// phiScale adapts a base action to the shared-utilization band.
+func phiScale(a Action, utilBin int) Action {
+	switch utilBin {
+	case 0: // idle bottleneck: no need to discover bandwidth slowly
+		a.Increment = a.Increment*3 + 1
+		a.Multiple += 0.02
+		a.IntersendMs *= 0.5
+	case 2: // saturated: be conservative immediately
+		a.Increment *= 0.5
+		a.Multiple -= 0.04
+		a.IntersendMs = a.IntersendMs*1.5 + 1
+	}
+	return a.clamp()
+}
+
+// DefaultTable returns the utilization-blind (plain Remy) seed table:
+// 3 ack bins x 3 ratio bins = 9 cells.
+func DefaultTable() *Table {
+	t := &Table{AckEdges: baseAckEdges, RatioEdges: baseRatioEdges}
+	t.Actions = make([]Action, t.Cells())
+	for ack := 0; ack <= len(t.AckEdges); ack++ {
+		for ratio := 0; ratio <= len(t.RatioEdges); ratio++ {
+			idx := t.Index(Memory{AckEWMAMs: edgeMid(t.AckEdges, ack), RTTRatio: edgeMid(t.RatioEdges, ratio)})
+			t.Actions[idx] = baseAction(ack, ratio)
+		}
+	}
+	return t
+}
+
+// DefaultPhiTable returns the Phi-extended seed table: the base grid
+// crossed with 3 utilization bins = 27 cells.
+func DefaultPhiTable() *Table {
+	t := &Table{AckEdges: baseAckEdges, RatioEdges: baseRatioEdges, UtilEdges: phiUtilEdges}
+	t.Actions = make([]Action, t.Cells())
+	for ack := 0; ack <= len(t.AckEdges); ack++ {
+		for ratio := 0; ratio <= len(t.RatioEdges); ratio++ {
+			for util := 0; util <= len(t.UtilEdges); util++ {
+				idx := t.Index(Memory{
+					AckEWMAMs: edgeMid(t.AckEdges, ack),
+					RTTRatio:  edgeMid(t.RatioEdges, ratio),
+					Util:      edgeMid(t.UtilEdges, util),
+				})
+				t.Actions[idx] = phiScale(baseAction(ack, ratio), util)
+			}
+		}
+	}
+	return t
+}
+
+// edgeMid returns a representative value inside bin i of edges.
+func edgeMid(edges []float64, i int) float64 {
+	switch {
+	case len(edges) == 0 || i == 0:
+		if len(edges) == 0 {
+			return 0
+		}
+		return edges[0] / 2
+	case i >= len(edges):
+		return edges[len(edges)-1] * 2
+	default:
+		return (edges[i-1] + edges[i]) / 2
+	}
+}

@@ -1,0 +1,202 @@
+package remy
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// UtilMode selects how senders read the shared utilization dimension.
+type UtilMode int
+
+// Utilization modes.
+const (
+	// UtilOff: plain Remy, no shared information.
+	UtilOff UtilMode = iota
+	// UtilIdeal: continuous, up-to-the-minute utilization (oracle) — the
+	// Remy-Phi-ideal row of Table 3, and the mode used during training.
+	UtilIdeal
+	// UtilPractical: one snapshot per connection at start — the
+	// lookup-at-open design of Section 2.2.2 (Remy-Phi-practical).
+	UtilPractical
+)
+
+func (m UtilMode) String() string {
+	switch m {
+	case UtilOff:
+		return "off"
+	case UtilIdeal:
+		return "ideal"
+	case UtilPractical:
+		return "practical"
+	default:
+		return "unknown"
+	}
+}
+
+// EvalConfig runs a Remy table against a workload.
+type EvalConfig struct {
+	// Scenario is the workload template (Table 3: 15 Mbps, 150 ms RTT,
+	// 8 senders, exp(100 KB) on / exp(0.5 s) off). CC and OnTopology are
+	// overridden.
+	Scenario workload.Scenario
+	// Mode selects the utilization feed.
+	Mode UtilMode
+	// Runs is the number of paired repetitions; BaseSeed+i seeds run i.
+	Runs     int
+	BaseSeed int64
+	// ProbeWindow is the trailing window for the ideal oracle (default 1s).
+	ProbeWindow sim.Time
+}
+
+// EvalResult is the outcome of evaluating one table.
+type EvalResult struct {
+	// Objective is the mean over runs of ln(throughput/delay), Remy's
+	// training objective (log power).
+	Objective float64
+	// Runs holds the underlying per-run results.
+	Runs []workload.Result
+	// Visits counts table-cell executions across all runs.
+	Visits []int
+}
+
+// Evaluate runs the table under the configured workload.
+func Evaluate(table *Table, cfg EvalConfig) EvalResult {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
+	}
+	if cfg.ProbeWindow <= 0 {
+		cfg.ProbeWindow = sim.Second
+	}
+	out := EvalResult{Visits: make([]int, table.Cells())}
+	var objs []float64
+	for i := 0; i < cfg.Runs; i++ {
+		sc := cfg.Scenario
+		sc.Seed = cfg.BaseSeed + int64(i)
+
+		var probe *sim.RateProbe
+		sc.OnTopology = func(eng *sim.Engine, d *sim.Dumbbell) {
+			if cfg.Mode != UtilOff {
+				probe = sim.NewRateProbe(eng, d.Bottleneck.Monitor(), 100*sim.Millisecond, cfg.ProbeWindow)
+			}
+		}
+		sc.CC = func(int) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl {
+				var util UtilSource
+				switch cfg.Mode {
+				case UtilIdeal:
+					util = UtilFunc(func() float64 { return probe.Utilization() })
+				case UtilPractical:
+					util = StaticUtil(probe.Utilization())
+				}
+				cc := NewCC(table, util)
+				cc.PhiInitialWindow = cfg.Mode != UtilOff
+				cc.OnCellVisit = func(cell int) { out.Visits[cell]++ }
+				return cc
+			}
+		}
+		r := workload.Run(sc)
+		out.Runs = append(out.Runs, r)
+		objs = append(objs, r.LogPower())
+	}
+	out.Objective = metrics.Mean(objs)
+	return out
+}
+
+// TrainConfig drives the offline optimizer.
+type TrainConfig struct {
+	Eval EvalConfig
+	// Iterations is the number of cell-improvement rounds.
+	Iterations int
+	// AllowSplit also refines the table structure: every third round the
+	// most-executed cell's widest dimension is bisected (the grid
+	// analogue of Remy's whisker splitting), up to MaxCells.
+	AllowSplit bool
+	// Log, if set, receives one line per iteration.
+	Log func(format string, args ...any)
+}
+
+// Train improves a table by Remy-style greedy optimization: in each round,
+// evaluate, pick the most-executed cell not improved recently, and try a
+// set of perturbed actions for it, keeping the best. Returns the improved
+// table and the objective after each iteration.
+func Train(start *Table, cfg TrainConfig) (*Table, []float64) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 5
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	table := start.Clone()
+	var trace []float64
+	recent := make(map[int]int) // cell -> last iteration optimized
+
+	for it := 0; it < cfg.Iterations; it++ {
+		base := Evaluate(table, cfg.Eval)
+		if cfg.AllowSplit && it%3 == 2 {
+			if refined, ok := table.SplitHottest(base.Visits); ok {
+				table = refined
+				recent = make(map[int]int) // cell indexes changed
+				logf("remy train it=%d split -> %d cells", it, table.Cells())
+				base = Evaluate(table, cfg.Eval)
+			}
+		}
+		cell := hottestCell(base.Visits, recent, it)
+		if cell < 0 {
+			trace = append(trace, base.Objective)
+			continue
+		}
+		bestAct, bestScore := table.Actions[cell], base.Objective
+		for _, cand := range neighbors(table.Actions[cell]) {
+			t2 := table.Clone()
+			t2.Actions[cell] = cand
+			score := Evaluate(t2, cfg.Eval).Objective
+			if score > bestScore {
+				bestAct, bestScore = cand, score
+			}
+		}
+		table.Actions[cell] = bestAct
+		recent[cell] = it + 1
+		trace = append(trace, bestScore)
+		logf("remy train it=%d cell=%d action=%v objective=%.4f", it, cell, bestAct, bestScore)
+	}
+	return table, trace
+}
+
+// hottestCell picks the most-visited cell not optimized within the last
+// two iterations.
+func hottestCell(visits []int, recent map[int]int, it int) int {
+	best, bestV := -1, 0
+	for cell, v := range visits {
+		if v <= bestV {
+			continue
+		}
+		if last, ok := recent[cell]; ok && it-last < 2 {
+			continue
+		}
+		best, bestV = cell, v
+	}
+	return best
+}
+
+// neighbors generates the candidate perturbations of an action.
+func neighbors(a Action) []Action {
+	cands := []Action{
+		{Multiple: a.Multiple, Increment: a.Increment + 1, IntersendMs: a.IntersendMs},
+		{Multiple: a.Multiple, Increment: a.Increment - 1, IntersendMs: a.IntersendMs},
+		{Multiple: a.Multiple * 1.08, Increment: a.Increment, IntersendMs: a.IntersendMs},
+		{Multiple: a.Multiple * 0.92, Increment: a.Increment, IntersendMs: a.IntersendMs},
+		{Multiple: a.Multiple, Increment: a.Increment, IntersendMs: a.IntersendMs*2 + 0.5},
+		{Multiple: a.Multiple, Increment: a.Increment, IntersendMs: a.IntersendMs / 2},
+	}
+	out := cands[:0]
+	for _, c := range cands {
+		c = c.clamp()
+		if c != a {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package sim
+
+// DumbbellConfig parameterizes the Figure 1 topology: N senders and N
+// receivers joined by a single bottleneck link between two routers, with
+// the bottleneck buffer sized as a multiple of the bandwidth-delay product.
+type DumbbellConfig struct {
+	// Senders is the number of sender/receiver pairs.
+	Senders int
+	// BottleneckRate is the bottleneck line rate in bits per second.
+	BottleneckRate int64
+	// RTT is the two-way propagation delay between a sender and its
+	// receiver when queues are empty.
+	RTT Time
+	// BufferBDP sizes the bottleneck buffer as this multiple of the
+	// bandwidth-delay product (the paper uses 5).
+	BufferBDP float64
+	// AccessRate is the per-host access link rate; it must exceed the
+	// bottleneck so the bottleneck is the bottleneck. Default 1 Gbit/s.
+	AccessRate int64
+	// Discipline optionally overrides the bottleneck queue discipline.
+	Discipline QueueDiscipline
+}
+
+// DefaultDumbbell returns the configuration used for Table 3: 15 Mbit/s
+// bottleneck, 150 ms RTT, buffer 5 x BDP.
+func DefaultDumbbell(senders int) DumbbellConfig {
+	return DumbbellConfig{
+		Senders:        senders,
+		BottleneckRate: 15_000_000,
+		RTT:            150 * Millisecond,
+		BufferBDP:      5,
+		AccessRate:     1_000_000_000,
+	}
+}
+
+// Dumbbell is the constructed topology. Sender i talks to Receiver i; the
+// forward bottleneck (data direction) is monitored.
+type Dumbbell struct {
+	Eng *Engine
+
+	Senders   []*Node
+	Receivers []*Node
+	LeftRtr   *Node
+	RightRtr  *Node
+
+	// Bottleneck carries data left-to-right; BottleneckRev carries acks.
+	Bottleneck    *Link
+	BottleneckRev *Link
+
+	cfg DumbbellConfig
+}
+
+// NodeID allocation inside a dumbbell: routers get 1 and 2, senders
+// 100+i, receivers 200+i.
+const (
+	leftRouterID  NodeID = 1
+	rightRouterID NodeID = 2
+	senderBaseID  NodeID = 100
+	recvBaseID    NodeID = 10000
+)
+
+// SenderID returns the NodeID of sender i.
+func SenderID(i int) NodeID { return senderBaseID + NodeID(i) }
+
+// ReceiverID returns the NodeID of receiver i.
+func ReceiverID(i int) NodeID { return recvBaseID + NodeID(i) }
+
+// NewDumbbell builds the topology on the given engine.
+func NewDumbbell(eng *Engine, cfg DumbbellConfig) *Dumbbell {
+	if cfg.Senders <= 0 {
+		panic("sim: dumbbell needs at least one sender")
+	}
+	if cfg.AccessRate == 0 {
+		cfg.AccessRate = 1_000_000_000
+	}
+	if cfg.BufferBDP == 0 {
+		cfg.BufferBDP = 5
+	}
+	d := &Dumbbell{Eng: eng, cfg: cfg}
+
+	d.LeftRtr = NewNode(eng, leftRouterID, "left-router")
+	d.RightRtr = NewNode(eng, rightRouterID, "right-router")
+
+	// Propagation split: each access hop RTT/8, bottleneck RTT/4, so the
+	// round trip sums to RTT.
+	accessDelay := cfg.RTT / 8
+	bnDelay := cfg.RTT / 4
+
+	bdp := int(float64(cfg.BottleneckRate) / 8 * cfg.RTT.Seconds())
+	bufBytes := int(cfg.BufferBDP * float64(bdp))
+
+	d.Bottleneck = NewLink(eng, "bottleneck", cfg.BottleneckRate, bnDelay, bufBytes, d.RightRtr)
+	d.Bottleneck.Discipline = cfg.Discipline
+	d.BottleneckRev = NewLink(eng, "bottleneck-rev", cfg.BottleneckRate, bnDelay, bufBytes, d.LeftRtr)
+	d.BottleneckRev.Discipline = cfg.Discipline
+	d.LeftRtr.SetDefaultRoute(d.Bottleneck)
+	d.RightRtr.SetDefaultRoute(d.BottleneckRev)
+
+	for i := 0; i < cfg.Senders; i++ {
+		s := NewNode(eng, SenderID(i), "sender")
+		r := NewNode(eng, ReceiverID(i), "receiver")
+		d.Senders = append(d.Senders, s)
+		d.Receivers = append(d.Receivers, r)
+
+		// Access links are generously buffered; they are not the bottleneck.
+		accessBuf := int(float64(cfg.AccessRate) / 8 * cfg.RTT.Seconds())
+		up := NewLink(eng, "access-up", cfg.AccessRate, accessDelay, accessBuf, d.LeftRtr)
+		down := NewLink(eng, "access-down", cfg.AccessRate, accessDelay, accessBuf, s)
+		s.SetDefaultRoute(up)
+		d.LeftRtr.AddRoute(s.ID, down)
+
+		rup := NewLink(eng, "raccess-up", cfg.AccessRate, accessDelay, accessBuf, d.RightRtr)
+		rdown := NewLink(eng, "raccess-down", cfg.AccessRate, accessDelay, accessBuf, r)
+		r.SetDefaultRoute(rup)
+		d.RightRtr.AddRoute(r.ID, rdown)
+	}
+	return d
+}
+
+// Config returns the configuration the dumbbell was built with.
+func (d *Dumbbell) Config() DumbbellConfig { return d.cfg }
+
+// BufferBytes returns the bottleneck buffer size in bytes.
+func (d *Dumbbell) BufferBytes() int { return d.Bottleneck.Capacity }
+
+// BDPBytes returns the bottleneck bandwidth-delay product in bytes.
+func (d *Dumbbell) BDPBytes() int {
+	return int(float64(d.cfg.BottleneckRate) / 8 * d.cfg.RTT.Seconds())
+}

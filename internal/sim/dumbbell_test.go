@@ -1,0 +1,164 @@
+package sim
+
+import "testing"
+
+func TestNodeDeliversToAttachedAgent(t *testing.T) {
+	e := NewEngine()
+	n := NewNode(e, 5, "n")
+	s := &sink{eng: e}
+	n.Attach(7, s)
+	n.Receive(&Packet{Flow: 7, Dst: 5, Size: 40})
+	if len(s.pkts) != 1 {
+		t.Fatal("agent did not receive packet")
+	}
+	n.Detach(7)
+	n.Receive(&Packet{Flow: 7, Dst: 5, Size: 40})
+	if len(s.pkts) != 1 {
+		t.Error("detached agent received packet")
+	}
+}
+
+func TestNodeForwardsViaRoute(t *testing.T) {
+	e := NewEngine()
+	dst := NewNode(e, 9, "dst")
+	s := &sink{eng: e}
+	dst.Attach(1, s)
+	n := NewNode(e, 5, "n")
+	l := NewLink(e, "l", 1_000_000, 0, 0, dst)
+	n.AddRoute(9, l)
+	n.Receive(&Packet{Flow: 1, Dst: 9, Size: 40})
+	e.Run()
+	if len(s.pkts) != 1 {
+		t.Fatal("packet not forwarded via route")
+	}
+	if n.Forwarded != 1 {
+		t.Errorf("Forwarded = %d, want 1", n.Forwarded)
+	}
+}
+
+func TestNodeCountsUnroutedDrops(t *testing.T) {
+	e := NewEngine()
+	n := NewNode(e, 5, "n")
+	n.Send(&Packet{Flow: 1, Dst: 42, Size: 40})
+	if n.Unrouted != 1 {
+		t.Errorf("Unrouted = %d, want 1", n.Unrouted)
+	}
+}
+
+func TestNodeDefaultRoute(t *testing.T) {
+	e := NewEngine()
+	dst := NewNode(e, 9, "dst")
+	s := &sink{eng: e}
+	dst.Attach(1, s)
+	n := NewNode(e, 5, "n")
+	n.SetDefaultRoute(NewLink(e, "l", 1_000_000, 0, 0, dst))
+	n.Send(&Packet{Flow: 1, Dst: 9, Size: 40})
+	e.Run()
+	if len(s.pkts) != 1 {
+		t.Fatal("default route not used")
+	}
+}
+
+func TestDumbbellEndToEndDelivery(t *testing.T) {
+	e := NewEngine()
+	d := NewDumbbell(e, DefaultDumbbell(3))
+	s := &sink{eng: e}
+	d.Receivers[2].Attach(77, s)
+	d.Senders[2].Send(&Packet{Flow: 77, Src: SenderID(2), Dst: ReceiverID(2), Size: 1500})
+	e.Run()
+	if len(s.pkts) != 1 {
+		t.Fatal("packet did not cross the dumbbell")
+	}
+	// One-way delay should be ~RTT/2 plus serialization.
+	if s.at[0] < 75*Millisecond || s.at[0] > 80*Millisecond {
+		t.Errorf("one-way delay %v, want ~75ms", s.at[0])
+	}
+}
+
+func TestDumbbellReversePath(t *testing.T) {
+	e := NewEngine()
+	d := NewDumbbell(e, DefaultDumbbell(2))
+	s := &sink{eng: e}
+	d.Senders[0].Attach(5, s)
+	d.Receivers[0].Send(&Packet{Flow: 5, Src: ReceiverID(0), Dst: SenderID(0), Size: 40})
+	e.Run()
+	if len(s.pkts) != 1 {
+		t.Fatal("ack path broken")
+	}
+}
+
+func TestDumbbellRTT(t *testing.T) {
+	e := NewEngine()
+	cfg := DefaultDumbbell(1)
+	d := NewDumbbell(e, cfg)
+	s := &sink{eng: e}
+	var rtt Time
+	// Echo agent at the receiver.
+	d.Receivers[0].Attach(1, receiverFunc(func(p *Packet) {
+		d.Receivers[0].Send(&Packet{Flow: 1, Src: ReceiverID(0), Dst: SenderID(0), Size: 40})
+	}))
+	d.Senders[0].Attach(1, receiverFunc(func(p *Packet) {
+		rtt = e.Now()
+		_ = s
+	}))
+	d.Senders[0].Send(&Packet{Flow: 1, Src: SenderID(0), Dst: ReceiverID(0), Size: 40})
+	e.Run()
+	// Propagation RTT is 150ms; allow a little serialization on top.
+	if rtt < cfg.RTT || rtt > cfg.RTT+Millisecond {
+		t.Errorf("measured RTT %v, want ~%v", rtt, cfg.RTT)
+	}
+}
+
+type receiverFunc func(p *Packet)
+
+func (f receiverFunc) Receive(p *Packet) { f(p) }
+
+func TestDumbbellBufferSizing(t *testing.T) {
+	e := NewEngine()
+	cfg := DefaultDumbbell(1)
+	d := NewDumbbell(e, cfg)
+	// BDP at 15 Mbps x 150 ms = 281250 B; buffer is 5x.
+	if d.BDPBytes() != 281250 {
+		t.Errorf("BDP = %d, want 281250", d.BDPBytes())
+	}
+	if d.BufferBytes() != 5*281250 {
+		t.Errorf("buffer = %d, want %d", d.BufferBytes(), 5*281250)
+	}
+}
+
+func TestDumbbellPanicsWithoutSenders(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero senders")
+		}
+	}()
+	NewDumbbell(NewEngine(), DumbbellConfig{})
+}
+
+func TestDumbbellIsolatedSenderReceiverPairs(t *testing.T) {
+	e := NewEngine()
+	d := NewDumbbell(e, DefaultDumbbell(2))
+	s0 := &sink{eng: e}
+	s1 := &sink{eng: e}
+	d.Receivers[0].Attach(1, s0)
+	d.Receivers[1].Attach(2, s1)
+	d.Senders[0].Send(&Packet{Flow: 1, Src: SenderID(0), Dst: ReceiverID(0), Size: 100})
+	d.Senders[1].Send(&Packet{Flow: 2, Src: SenderID(1), Dst: ReceiverID(1), Size: 100})
+	e.Run()
+	if len(s0.pkts) != 1 || len(s1.pkts) != 1 {
+		t.Errorf("cross-delivery: s0=%d s1=%d, want 1/1", len(s0.pkts), len(s1.pkts))
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{Flow: 3, Src: 1, Dst: 2, Seq: 100, Size: 1500}
+	if got := p.String(); got == "" {
+		t.Error("empty packet string")
+	}
+	if KindData.String() != "data" || KindAck.String() != "ack" {
+		t.Error("kind strings wrong")
+	}
+	if PacketKind(9).String() != "kind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is the discrete-event scheduler at the heart of the simulator.
+// Events are callbacks scheduled at virtual times; Run dispatches them in
+// time order, breaking ties by scheduling order so runs are reproducible.
+//
+// An Engine is not safe for concurrent use: a simulation is a single
+// logical thread of control, as in ns-2.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	stopped bool
+
+	// Executed counts dispatched events, for instrumentation and tests.
+	Executed uint64
+}
+
+// NewEngine returns an Engine with virtual time 0 and an empty calendar.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventHandle identifies a scheduled event so it can be cancelled.
+// The zero value is an invalid handle.
+type EventHandle struct {
+	ev *event
+}
+
+// Cancel prevents a pending event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op. Cancel on the zero handle is a
+// no-op as well, so callers can unconditionally cancel their timers.
+func (h EventHandle) Cancel() {
+	if h.ev != nil {
+		h.ev.fn = nil
+	}
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h EventHandle) Pending() bool { return h.ev != nil && h.ev.fn != nil }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it would silently corrupt causality, which is always a caller bug.
+func (e *Engine) At(t Time, fn func()) EventHandle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return EventHandle{ev}
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (e *Engine) After(d Time, fn func()) EventHandle {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently dispatching event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events until the calendar is empty or Stop is called.
+func (e *Engine) Run() {
+	e.runWhile(func() bool { return true })
+}
+
+// RunUntil dispatches events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.runWhile(func() bool { return e.queue[0].at <= deadline })
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) runWhile(cond func() bool) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped && cond() {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		e.Executed++
+	}
+}
+
+// Len returns the number of queued (possibly cancelled) events.
+func (e *Engine) Len() int { return len(e.queue) }

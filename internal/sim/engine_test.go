@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5 * Second, Second, 3 * Second, 2 * Second} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events, want 4", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events out of order: %v", fired)
+		}
+	}
+	if e.Now() != 5*Second {
+		t.Errorf("Now() = %v, want 5s", e.Now())
+	}
+}
+
+func TestEngineTiesFireInSchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestEngineAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(2*Second, func() {
+		e.After(500*Millisecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 2*Second+500*Millisecond {
+		t.Errorf("fired at %v, want 2.5s", at)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	h := e.At(Second, func() { fired = true })
+	h.Cancel()
+	if h.Pending() {
+		t.Error("cancelled handle still pending")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancel of zero handle must not panic.
+	var zero EventHandle
+	zero.Cancel()
+}
+
+func TestEngineCancelIsIdempotentAcrossFiring(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	h := e.At(Second, func() { n++ })
+	e.Run()
+	h.Cancel() // after firing: no-op
+	if n != 1 {
+		t.Errorf("event fired %d times, want 1", n)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Second, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("ran %d events after Stop, want 3", count)
+	}
+	// Run may be resumed afterwards.
+	e.Run()
+	if count != 10 {
+		t.Errorf("resume ran to %d events, want 10", count)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Second, func() { count++ })
+	}
+	e.RunUntil(5 * Second)
+	if count != 5 {
+		t.Errorf("RunUntil(5s) ran %d events, want 5", count)
+	}
+	if e.Now() != 5*Second {
+		t.Errorf("Now() = %v, want 5s", e.Now())
+	}
+	e.RunUntil(20 * Second)
+	if count != 10 {
+		t.Errorf("second RunUntil ran to %d, want 10", count)
+	}
+	if e.Now() != 20*Second {
+		t.Errorf("Now() = %v, want 20s (advance to deadline)", e.Now())
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+// Property: for any multiset of schedule times, dispatch order is the
+// sorted order.
+func TestEngineDispatchOrderProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		e := NewEngine()
+		var want []Time
+		var got []Time
+		for _, r := range raw {
+			at := Time(r)
+			want = append(want, at)
+			e.At(at, func() { got = append(got, at) })
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		e.Run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: nested scheduling never observes time running backwards.
+func TestEngineMonotonicTimeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := NewEngine()
+	last := Time(-1)
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		if e.Now() < last {
+			t.Fatalf("time went backwards: %v after %v", e.Now(), last)
+		}
+		last = e.Now()
+		if depth > 0 {
+			for i := 0; i < 3; i++ {
+				d := Time(rng.Intn(1000)) * Millisecond
+				e.After(d, func() { schedule(depth - 1) })
+			}
+		}
+	}
+	e.At(0, func() { schedule(5) })
+	e.Run()
+	if e.Executed == 0 {
+		t.Fatal("no events executed")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		in   Time
+		secs float64
+	}{
+		{Second, 1}, {500 * Millisecond, 0.5}, {150 * Millisecond, 0.15}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := c.in.Seconds(); got != c.secs {
+			t.Errorf("%v.Seconds() = %v, want %v", c.in, got, c.secs)
+		}
+		if got := Seconds(c.secs); got != c.in {
+			t.Errorf("Seconds(%v) = %v, want %v", c.secs, got, c.in)
+		}
+	}
+	if Milliseconds(150).Seconds() != 0.15 {
+		t.Error("Milliseconds(150) != 0.15s")
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	// 1500 bytes at 12 Mbps = 1 ms.
+	if got := TxTime(1500, 12_000_000); got != Millisecond {
+		t.Errorf("TxTime = %v, want 1ms", got)
+	}
+	if got := TxTime(1500, 0); got != 0 {
+		t.Errorf("TxTime at zero rate = %v, want 0", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		150 * Millisecond: "150ms",
+		2 * Second:        "2s",
+		MaxTime:           "never",
+		500 * Nanosecond:  "500ns",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Exponential(10) != b.Exponential(10) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGExponentialMean(t *testing.T) {
+	r := NewRNG(1)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(2.0)
+	}
+	mean := sum / n
+	if mean < 1.95 || mean > 2.05 {
+		t.Errorf("exponential mean = %v, want ~2.0", mean)
+	}
+}
+
+func TestRNGExpBytesAtLeastOne(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		if b := r.ExpBytes(3); b < 1 {
+			t.Fatalf("ExpBytes returned %d < 1", b)
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(5)
+	f1 := parent.Fork()
+	f2 := parent.Fork()
+	if f1.Float64() == f2.Float64() {
+		// A single collision is astronomically unlikely.
+		t.Error("forked RNGs produced identical first draw")
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(Second)
+		if j < 0 || j >= Second {
+			t.Fatalf("jitter %v out of [0, 1s)", j)
+		}
+	}
+	if r.Jitter(0) != 0 {
+		t.Error("Jitter(0) != 0")
+	}
+}
+
+func TestEngineRunUntilZeroAndEmpty(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(0) // empty calendar: just advances to deadline
+	if e.Now() != 0 {
+		t.Errorf("Now = %v", e.Now())
+	}
+	e.RunUntil(5 * Second)
+	if e.Now() != 5*Second {
+		t.Errorf("empty RunUntil did not advance: %v", e.Now())
+	}
+	if e.Len() != 0 || e.Executed != 0 {
+		t.Error("phantom events")
+	}
+}
+
+func TestEngineAfterNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(Second, func() {
+		e.After(-5*Second, func() { fired = true }) // clamps to now
+	})
+	e.Run()
+	if !fired {
+		t.Error("negative After never fired")
+	}
+}

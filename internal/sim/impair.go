@@ -1,0 +1,74 @@
+package sim
+
+// Impairments model path pathologies the Phi applications react to:
+// random loss, delay jitter, and packet reordering (Section 3.2's
+// informed-adaptation examples — jitter buffer sizing, dupack-threshold
+// tuning under prevalent reordering).
+
+// ImpairedLink wraps a link's delivery with random loss, jitter, and
+// reordering. It implements Receiver and is inserted in front of a
+// downstream receiver:
+//
+//	imp := sim.NewImpairedLink(eng, rng, downstream, sim.Impairments{...})
+//	link := sim.NewLink(eng, "l", rate, delay, buf, imp)
+type ImpairedLink struct {
+	eng  *Engine
+	rng  *RNG
+	to   Receiver
+	imp  Impairments
+	base Time // monotone delivery floor for non-reordered packets
+
+	// Dropped, Jittered, and Reordered count affected packets.
+	Dropped   uint64
+	Jittered  uint64
+	Reordered uint64
+}
+
+// Impairments configures an ImpairedLink.
+type Impairments struct {
+	// LossRate drops packets uniformly at random.
+	LossRate float64
+	// JitterMax adds a uniform extra delay in [0, JitterMax) to every
+	// packet (delivery order is preserved unless ReorderRate also set).
+	JitterMax Time
+	// ReorderRate delays the affected packet by ReorderDelay, letting
+	// later packets overtake it.
+	ReorderRate  float64
+	ReorderDelay Time
+}
+
+// NewImpairedLink creates the wrapper.
+func NewImpairedLink(eng *Engine, rng *RNG, to Receiver, imp Impairments) *ImpairedLink {
+	if imp.ReorderRate > 0 && imp.ReorderDelay == 0 {
+		imp.ReorderDelay = 5 * Millisecond
+	}
+	return &ImpairedLink{eng: eng, rng: rng, to: to, imp: imp}
+}
+
+// Receive implements Receiver.
+func (l *ImpairedLink) Receive(p *Packet) {
+	if l.imp.LossRate > 0 && l.rng.Float64() < l.imp.LossRate {
+		l.Dropped++
+		return
+	}
+	delay := Time(0)
+	if l.imp.JitterMax > 0 {
+		delay += l.rng.Jitter(l.imp.JitterMax)
+		l.Jittered++
+	}
+	if l.imp.ReorderRate > 0 && l.rng.Float64() < l.imp.ReorderRate {
+		delay += l.imp.ReorderDelay
+		l.Reordered++
+		// Reordered packets escape the monotone floor deliberately.
+		l.eng.After(delay, func() { l.to.Receive(p) })
+		return
+	}
+	// Keep non-reordered deliveries in order despite jitter: never
+	// deliver before a previously scheduled packet.
+	at := l.eng.Now() + delay
+	if at < l.base {
+		at = l.base
+	}
+	l.base = at
+	l.eng.At(at, func() { l.to.Receive(p) })
+}

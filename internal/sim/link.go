@@ -1,0 +1,182 @@
+package sim
+
+import "fmt"
+
+// Receiver is anything that can accept a packet: a node, or a transport
+// agent attached to one.
+type Receiver interface {
+	Receive(p *Packet)
+}
+
+// QueueDiscipline decides, given the current queue depth in bytes and the
+// arriving packet, whether to accept it. The Phi paper's incentive argument
+// (Sections 2.2.3, 3.1) rests on FIFO drop-tail queues, which is the
+// default; the discipline is pluggable so that dependence can be shown.
+type QueueDiscipline interface {
+	// Accept reports whether a packet of size bytes may join a queue that
+	// currently holds queuedBytes of a capacityBytes buffer.
+	Accept(queuedBytes, capacityBytes int, p *Packet) bool
+}
+
+// DropTail is the classic FIFO drop-tail discipline: accept while the
+// buffer has room, drop otherwise.
+type DropTail struct{}
+
+// Accept implements QueueDiscipline.
+func (DropTail) Accept(queuedBytes, capacityBytes int, p *Packet) bool {
+	return queuedBytes+p.Size <= capacityBytes
+}
+
+// Link is a simplex link with a fixed rate, propagation delay, and a finite
+// FIFO buffer. Packets are serialized one at a time at Rate, then delivered
+// to the downstream receiver after Delay. Arrivals that do not fit in the
+// buffer are dropped (drop-tail by default).
+type Link struct {
+	// Name labels the link in monitors and errors, e.g. "bottleneck".
+	Name string
+	// Rate is the line rate in bits per second.
+	Rate int64
+	// Delay is the one-way propagation delay.
+	Delay Time
+	// Capacity is the buffer size in bytes (queued packets, excluding the
+	// one being serialized). Zero means an unbounded buffer.
+	Capacity int
+	// Discipline decides drops; nil means DropTail.
+	Discipline QueueDiscipline
+
+	eng  *Engine
+	to   Receiver
+	down bool
+
+	queue       []*Packet
+	queuedBytes int
+	busy        bool
+
+	monitor *LinkMonitor
+	tracer  Tracer
+}
+
+// NewLink creates a link delivering into to.
+func NewLink(eng *Engine, name string, rate int64, delay Time, capacityBytes int, to Receiver) *Link {
+	if rate <= 0 {
+		panic("sim: link rate must be positive")
+	}
+	return &Link{Name: name, Rate: rate, Delay: delay, Capacity: capacityBytes, eng: eng, to: to}
+}
+
+// Monitor attaches (and returns) a LinkMonitor recording utilization,
+// queueing, and drops. Attaching twice returns the same monitor.
+func (l *Link) Monitor() *LinkMonitor {
+	if l.monitor == nil {
+		l.monitor = newLinkMonitor(l)
+	}
+	return l.monitor
+}
+
+// SetDown takes the link administratively down (packets are dropped) or
+// back up. Used for failure injection.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// SetTracer attaches a packet-event tracer (nil detaches).
+func (l *Link) SetTracer(t Tracer) { l.tracer = t }
+
+func (l *Link) trace(op TraceOp, p *Packet) {
+	if l.tracer != nil {
+		l.tracer.Trace(TraceEvent{
+			At: l.eng.Now(), Op: op, Link: l.Name,
+			Pkt: packetInfo(p), QueueBytes: l.queuedBytes,
+		})
+	}
+}
+
+// QueuedBytes returns the bytes currently waiting in the buffer.
+func (l *Link) QueuedBytes() int { return l.queuedBytes }
+
+// QueuedPackets returns the number of packets waiting in the buffer.
+func (l *Link) QueuedPackets() int { return len(l.queue) }
+
+// BDP returns the bandwidth-delay product in bytes for a given round-trip
+// time, the unit the paper sizes buffers in (buffer = 5 x BDP).
+func (l *Link) BDP(rtt Time) int {
+	return int(float64(l.Rate) / 8 * rtt.Seconds())
+}
+
+// Send enqueues a packet on the link, dropping it if the buffer is full or
+// the link is down.
+func (l *Link) Send(p *Packet) {
+	if l.down {
+		if l.monitor != nil {
+			l.monitor.onDrop(p)
+		}
+		l.trace(TraceDrop, p)
+		return
+	}
+	if l.monitor != nil {
+		l.monitor.onArrive(p)
+	}
+	disc := l.Discipline
+	if disc == nil {
+		disc = DropTail{}
+	}
+	// The packet being serialized occupies the transmitter, not the buffer,
+	// so an idle link always accepts.
+	if !l.busy {
+		l.busy = true
+		l.trace(TraceEnqueue, p)
+		l.transmit(p)
+		return
+	}
+	if l.Capacity > 0 && !disc.Accept(l.queuedBytes, l.Capacity, p) {
+		if l.monitor != nil {
+			l.monitor.onDrop(p)
+		}
+		l.trace(TraceDrop, p)
+		return
+	}
+	l.queue = append(l.queue, p)
+	l.queuedBytes += p.Size
+	l.trace(TraceEnqueue, p)
+	if l.monitor != nil {
+		l.monitor.onQueueChange(l.queuedBytes, len(l.queue))
+	}
+}
+
+// transmit serializes p, schedules its delivery, and then starts on the
+// next queued packet.
+func (l *Link) transmit(p *Packet) {
+	tx := TxTime(p.Size, l.Rate)
+	done := l.eng.Now() + tx
+	l.eng.At(done, func() {
+		if l.monitor != nil {
+			l.monitor.onForward(p, done)
+		}
+		l.trace(TraceDequeue, p)
+		// Deliver after propagation.
+		l.eng.At(done+l.Delay, func() {
+			if !l.down {
+				l.trace(TraceDeliver, p)
+				l.to.Receive(p)
+			}
+		})
+		l.next()
+	})
+}
+
+func (l *Link) next() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	p := l.queue[0]
+	l.queue[0] = nil
+	l.queue = l.queue[1:]
+	l.queuedBytes -= p.Size
+	if l.monitor != nil {
+		l.monitor.onQueueChange(l.queuedBytes, len(l.queue))
+	}
+	l.transmit(p)
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link(%s %dbps %v cap=%dB)", l.Name, l.Rate, l.Delay, l.Capacity)
+}

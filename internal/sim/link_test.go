@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// sink records received packets with their arrival times.
+type sink struct {
+	eng  *Engine
+	pkts []*Packet
+	at   []Time
+}
+
+func (s *sink) Receive(p *Packet) {
+	s.pkts = append(s.pkts, p)
+	s.at = append(s.at, s.eng.Now())
+}
+
+func mkPkt(size int) *Packet {
+	return &Packet{Flow: 1, Src: 100, Dst: 200, Size: size, Kind: KindData}
+}
+
+func TestLinkDeliversAfterTxPlusPropagation(t *testing.T) {
+	e := NewEngine()
+	s := &sink{eng: e}
+	// 1500B at 12 Mbps = 1 ms tx; 10 ms propagation.
+	l := NewLink(e, "l", 12_000_000, 10*Millisecond, 100000, s)
+	l.Send(mkPkt(1500))
+	e.Run()
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(s.pkts))
+	}
+	if want := 11 * Millisecond; s.at[0] != want {
+		t.Errorf("delivered at %v, want %v", s.at[0], want)
+	}
+}
+
+func TestLinkSerializesBackToBack(t *testing.T) {
+	e := NewEngine()
+	s := &sink{eng: e}
+	l := NewLink(e, "l", 12_000_000, 0, 1_000_000, s)
+	for i := 0; i < 5; i++ {
+		l.Send(mkPkt(1500))
+	}
+	e.Run()
+	if len(s.pkts) != 5 {
+		t.Fatalf("delivered %d, want 5", len(s.pkts))
+	}
+	for i, at := range s.at {
+		want := Time(i+1) * Millisecond
+		if at != want {
+			t.Errorf("packet %d delivered at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestLinkDropTailOverflow(t *testing.T) {
+	e := NewEngine()
+	s := &sink{eng: e}
+	// Buffer holds exactly 2 queued packets (plus 1 in the transmitter).
+	l := NewLink(e, "l", 12_000_000, 0, 3000, s)
+	mon := l.Monitor()
+	for i := 0; i < 5; i++ {
+		l.Send(mkPkt(1500))
+	}
+	e.Run()
+	if len(s.pkts) != 3 {
+		t.Fatalf("delivered %d, want 3 (1 transmitting + 2 buffered)", len(s.pkts))
+	}
+	if mon.DroppedPackets != 2 {
+		t.Errorf("dropped %d, want 2", mon.DroppedPackets)
+	}
+	if mon.ForwardedPackets != 3 {
+		t.Errorf("forwarded %d, want 3", mon.ForwardedPackets)
+	}
+	if got := mon.LossRate(); got != 2.0/5.0 {
+		t.Errorf("loss rate %v, want 0.4", got)
+	}
+}
+
+func TestLinkUnboundedBufferNeverDrops(t *testing.T) {
+	e := NewEngine()
+	s := &sink{eng: e}
+	l := NewLink(e, "l", 1_000_000, 0, 0, s)
+	mon := l.Monitor()
+	for i := 0; i < 200; i++ {
+		l.Send(mkPkt(1500))
+	}
+	e.Run()
+	if mon.DroppedPackets != 0 {
+		t.Errorf("unbounded buffer dropped %d packets", mon.DroppedPackets)
+	}
+	if len(s.pkts) != 200 {
+		t.Errorf("delivered %d, want 200", len(s.pkts))
+	}
+}
+
+func TestLinkDownDropsEverything(t *testing.T) {
+	e := NewEngine()
+	s := &sink{eng: e}
+	l := NewLink(e, "l", 1_000_000, 0, 0, s)
+	mon := l.Monitor()
+	l.SetDown(true)
+	l.Send(mkPkt(100))
+	e.Run()
+	if len(s.pkts) != 0 || mon.DroppedPackets != 1 {
+		t.Errorf("down link delivered=%d dropped=%d, want 0/1", len(s.pkts), mon.DroppedPackets)
+	}
+	l.SetDown(false)
+	l.Send(mkPkt(100))
+	e.Run()
+	if len(s.pkts) != 1 {
+		t.Errorf("restored link delivered %d, want 1", len(s.pkts))
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	e := NewEngine()
+	s := &sink{eng: e}
+	l := NewLink(e, "l", 12_000_000, 0, 1_000_000, s)
+	mon := l.Monitor()
+	// 5 x 1500B = 5 ms busy; run for 10 ms => 50% utilization.
+	for i := 0; i < 5; i++ {
+		l.Send(mkPkt(1500))
+	}
+	e.RunUntil(10 * Millisecond)
+	got := mon.Utilization()
+	if got < 0.49 || got > 0.51 {
+		t.Errorf("utilization = %v, want ~0.5", got)
+	}
+}
+
+func TestLinkMeanQueueDelay(t *testing.T) {
+	e := NewEngine()
+	s := &sink{eng: e}
+	l := NewLink(e, "l", 12_000_000, 0, 1_000_000, s)
+	mon := l.Monitor()
+	for i := 0; i < 10; i++ {
+		l.Send(mkPkt(1500))
+	}
+	e.Run()
+	// With 9 packets initially queued, the mean queue is positive and the
+	// max queue must be exactly 9 packets.
+	if mon.MaxQueuePacket != 9 {
+		t.Errorf("max queue = %d packets, want 9", mon.MaxQueuePacket)
+	}
+	if mon.MeanQueueDelay() <= 0 {
+		t.Error("mean queue delay should be positive")
+	}
+}
+
+func TestLinkMonitorReset(t *testing.T) {
+	e := NewEngine()
+	s := &sink{eng: e}
+	l := NewLink(e, "l", 12_000_000, 0, 1_000_000, s)
+	mon := l.Monitor()
+	l.Send(mkPkt(1500))
+	e.Run()
+	mon.Reset()
+	if mon.ForwardedPackets != 0 || mon.ArrivedPackets != 0 {
+		t.Error("Reset did not clear counters")
+	}
+	if mon.Utilization() != 0 {
+		t.Error("utilization after reset should be 0")
+	}
+}
+
+func TestLinkMonitorIsSingleton(t *testing.T) {
+	e := NewEngine()
+	l := NewLink(e, "l", 1, 0, 0, &sink{eng: e})
+	if l.Monitor() != l.Monitor() {
+		t.Error("Monitor() returned different instances")
+	}
+}
+
+func TestLinkBDP(t *testing.T) {
+	l := &Link{Rate: 15_000_000}
+	// 15 Mbps x 150 ms = 281250 bytes.
+	if got := l.BDP(150 * Millisecond); got != 281250 {
+		t.Errorf("BDP = %d, want 281250", got)
+	}
+}
+
+// Property: conservation — arrived == forwarded + dropped + still queued,
+// for any arrival pattern.
+func TestLinkConservationProperty(t *testing.T) {
+	f := func(sizes []uint16, capKB uint8) bool {
+		e := NewEngine()
+		s := &sink{eng: e}
+		l := NewLink(e, "l", 1_000_000, Millisecond, int(capKB)*1024+100, s)
+		mon := l.Monitor()
+		for _, sz := range sizes {
+			l.Send(mkPkt(int(sz%2000) + 40))
+		}
+		e.RunUntil(100 * Millisecond) // partial drain is fine
+		inFlightOrQueued := mon.ArrivedPackets - mon.ForwardedPackets - mon.DroppedPackets
+		return inFlightOrQueued == uint64(l.QueuedPackets())+busyCount(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func busyCount(l *Link) uint64 {
+	if l.busy {
+		return 1
+	}
+	return 0
+}
+
+func TestDropTailAccept(t *testing.T) {
+	d := DropTail{}
+	p := mkPkt(100)
+	if !d.Accept(0, 100, p) {
+		t.Error("empty queue with exact room should accept")
+	}
+	if d.Accept(1, 100, p) {
+		t.Error("overfull queue should reject")
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+// LinkMonitor accumulates the per-link statistics the Phi context server
+// and the experiment harness consume: bytes forwarded (for utilization),
+// drops (for loss rate), and a time-weighted average of queue occupancy.
+type LinkMonitor struct {
+	link *Link
+	eng  *Engine
+
+	start Time
+
+	// Arrivals.
+	ArrivedPackets uint64
+	ArrivedBytes   uint64
+
+	// Successfully serialized onto the wire.
+	ForwardedPackets uint64
+	ForwardedBytes   uint64
+
+	// Dropped at the buffer (or while down).
+	DroppedPackets uint64
+	DroppedBytes   uint64
+
+	// Queue occupancy integral for time-weighted averages.
+	lastChange     Time
+	lastBytes      int
+	lastPackets    int
+	byteSeconds    float64 // integral of queuedBytes dt (seconds)
+	packetSeconds  float64 // integral of queuedPackets dt (seconds)
+	MaxQueueBytes  int
+	MaxQueuePacket int
+}
+
+func newLinkMonitor(l *Link) *LinkMonitor {
+	return &LinkMonitor{link: l, eng: l.eng, start: l.eng.Now(), lastChange: l.eng.Now()}
+}
+
+func (m *LinkMonitor) onArrive(p *Packet) {
+	m.ArrivedPackets++
+	m.ArrivedBytes += uint64(p.Size)
+}
+
+func (m *LinkMonitor) onForward(p *Packet, _ Time) {
+	m.ForwardedPackets++
+	m.ForwardedBytes += uint64(p.Size)
+}
+
+func (m *LinkMonitor) onDrop(p *Packet) {
+	m.DroppedPackets++
+	m.DroppedBytes += uint64(p.Size)
+}
+
+func (m *LinkMonitor) onQueueChange(bytes, packets int) {
+	now := m.eng.Now()
+	dt := (now - m.lastChange).Seconds()
+	m.byteSeconds += float64(m.lastBytes) * dt
+	m.packetSeconds += float64(m.lastPackets) * dt
+	m.lastChange = now
+	m.lastBytes = bytes
+	m.lastPackets = packets
+	if bytes > m.MaxQueueBytes {
+		m.MaxQueueBytes = bytes
+	}
+	if packets > m.MaxQueuePacket {
+		m.MaxQueuePacket = packets
+	}
+}
+
+// Reset zeroes the counters and restarts the measurement interval at the
+// current virtual time. Used to discard warm-up transients.
+func (m *LinkMonitor) Reset() {
+	now := m.eng.Now()
+	*m = LinkMonitor{link: m.link, eng: m.eng, start: now, lastChange: now,
+		lastBytes: m.link.QueuedBytes(), lastPackets: m.link.QueuedPackets()}
+}
+
+// Elapsed returns the length of the measurement interval so far.
+func (m *LinkMonitor) Elapsed() Time { return m.eng.Now() - m.start }
+
+// Utilization returns the fraction of link capacity used over the
+// measurement interval, in [0, ~1].
+func (m *LinkMonitor) Utilization() float64 {
+	el := m.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.ForwardedBytes) * 8 / (float64(m.link.Rate) * el)
+}
+
+// LossRate returns dropped packets / arrived packets over the interval.
+func (m *LinkMonitor) LossRate() float64 {
+	if m.ArrivedPackets == 0 {
+		return 0
+	}
+	return float64(m.DroppedPackets) / float64(m.ArrivedPackets)
+}
+
+// MeanQueueBytes returns the time-weighted average buffer occupancy in bytes.
+func (m *LinkMonitor) MeanQueueBytes() float64 {
+	el := m.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	dt := (m.eng.Now() - m.lastChange).Seconds()
+	return (m.byteSeconds + float64(m.lastBytes)*dt) / el
+}
+
+// MeanQueueDelay converts the average occupancy into the average queueing
+// delay a packet would see at the link rate (occupancy / rate).
+func (m *LinkMonitor) MeanQueueDelay() Time {
+	return Seconds(m.MeanQueueBytes() * 8 / float64(m.link.Rate))
+}

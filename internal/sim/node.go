@@ -1,0 +1,77 @@
+package sim
+
+import "fmt"
+
+// Node is a host or router. Packets destined to the node are delivered to
+// the agent registered for their flow; packets for other nodes are
+// forwarded along the routing table.
+type Node struct {
+	ID   NodeID
+	Name string
+
+	eng          *Engine
+	routes       map[NodeID]*Link
+	defaultRoute *Link
+	agents       map[FlowID]Receiver
+
+	// Forwarded and Delivered count packets for tests and debugging.
+	Forwarded uint64
+	Delivered uint64
+	// Unrouted counts packets with no route; they are dropped.
+	Unrouted uint64
+}
+
+// NewNode creates a node with the given ID.
+func NewNode(eng *Engine, id NodeID, name string) *Node {
+	return &Node{ID: id, Name: name, eng: eng,
+		routes: make(map[NodeID]*Link), agents: make(map[FlowID]Receiver)}
+}
+
+// AddRoute installs a next-hop link for the destination.
+func (n *Node) AddRoute(dst NodeID, via *Link) { n.routes[dst] = via }
+
+// SetDefaultRoute installs the link used for destinations without a
+// specific route.
+func (n *Node) SetDefaultRoute(via *Link) { n.defaultRoute = via }
+
+// Attach registers agent to receive packets of the given flow addressed to
+// this node. A flow may be detached by attaching nil.
+func (n *Node) Attach(flow FlowID, agent Receiver) {
+	if agent == nil {
+		delete(n.agents, flow)
+		return
+	}
+	n.agents[flow] = agent
+}
+
+// Detach removes the agent registered for the flow.
+func (n *Node) Detach(flow FlowID) { delete(n.agents, flow) }
+
+// Receive implements Receiver: deliver locally or forward.
+func (n *Node) Receive(p *Packet) {
+	if p.Dst == n.ID {
+		if a, ok := n.agents[p.Flow]; ok {
+			n.Delivered++
+			a.Receive(p)
+		}
+		return
+	}
+	n.Send(p)
+}
+
+// Send routes a packet toward its destination. Packets with no matching
+// route and no default route are counted and dropped.
+func (n *Node) Send(p *Packet) {
+	link := n.routes[p.Dst]
+	if link == nil {
+		link = n.defaultRoute
+	}
+	if link == nil {
+		n.Unrouted++
+		return
+	}
+	n.Forwarded++
+	link.Send(p)
+}
+
+func (n *Node) String() string { return fmt.Sprintf("node(%d %s)", n.ID, n.Name) }

@@ -1,0 +1,73 @@
+package sim
+
+import "fmt"
+
+// NodeID identifies a node in the simulated topology.
+type NodeID int32
+
+// FlowID identifies an end-to-end flow (one transport connection).
+type FlowID uint64
+
+// PacketKind distinguishes the transport roles a simulated packet can play.
+type PacketKind uint8
+
+// Packet kinds.
+const (
+	KindData PacketKind = iota
+	KindAck
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Packet is the unit of transmission. Transport protocols stash their
+// headers in the exported transport fields (Seq, Ack); the simulator itself
+// only inspects Src, Dst, Size, and Flow.
+type Packet struct {
+	Flow FlowID
+	Src  NodeID
+	Dst  NodeID
+	Kind PacketKind
+
+	// Size is the wire size in bytes, including headers.
+	Size int
+
+	// Seq is the first payload byte carried (data) or echoed (ack).
+	Seq int64
+	// Ack is the cumulative acknowledgment: the next byte expected.
+	Ack int64
+	// Payload is the number of payload bytes carried by a data packet.
+	Payload int
+
+	// SentAt is stamped by the sender when the packet enters the network,
+	// enabling RTT measurement when echoed in EchoSentAt of the ack.
+	SentAt Time
+	// EchoSentAt echoes the SentAt of the data packet an ack acknowledges.
+	EchoSentAt Time
+	// Retransmit marks a retransmitted data packet; receivers echo acks
+	// normally, monitors may count them separately.
+	Retransmit bool
+
+	// Sack carries selective-acknowledgment ranges [start, end) of bytes
+	// the receiver holds above the cumulative ack, lowest ranges first.
+	Sack [][2]int64
+
+	// ECT marks the packet ECN-capable (RFC 3168); CE is set by a marking
+	// queue that would otherwise have dropped it; ECE is the receiver's
+	// echo of CE back to the sender on acks.
+	ECT bool
+	CE  bool
+	ECE bool
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s flow=%d %d->%d seq=%d ack=%d size=%d", p.Kind, p.Flow, p.Src, p.Dst, p.Seq, p.Ack, p.Size)
+}

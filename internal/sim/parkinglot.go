@@ -1,0 +1,145 @@
+package sim
+
+import "fmt"
+
+// ParkingLot is the classic multi-bottleneck WAN topology: H hops in
+// series, with one "long" path crossing every hop and per-hop "cross"
+// paths each crossing exactly one hop. Section 3.1 argues large providers
+// can deploy Phi on their inter-DC WANs; this topology is the standard
+// testbed for that setting — each hop is a separate PathKey with its own
+// congestion context.
+//
+//	long sender ──▶ R0 ═══ R1 ═══ R2 ═══ ... ═══ RH ──▶ long receiver
+//	                 ▲      ▲      ▲
+//	          cross0─┘ cross1      cross2 ...   (one per hop)
+type ParkingLot struct {
+	Eng *Engine
+
+	// Routers R0..RH (H+1 of them for H hops).
+	Routers []*Node
+	// Hops[i] carries traffic from R_i to R_{i+1}; HopsRev the reverse.
+	Hops    []*Link
+	HopsRev []*Link
+
+	// LongSender / LongReceiver terminate the end-to-end path.
+	LongSender   *Node
+	LongReceiver *Node
+	// CrossSenders[i] / CrossReceivers[i] terminate the path crossing
+	// only hop i.
+	CrossSenders   []*Node
+	CrossReceivers []*Node
+
+	cfg ParkingLotConfig
+}
+
+// ParkingLotConfig parameterizes the topology.
+type ParkingLotConfig struct {
+	// Hops is the number of serial bottleneck links (>= 1).
+	Hops int
+	// HopRate and HopDelay apply to every bottleneck hop.
+	HopRate  int64
+	HopDelay Time
+	// BufferBDP sizes each hop's buffer as a multiple of its own
+	// bandwidth-delay product at the long path's RTT.
+	BufferBDP float64
+	// AccessRate and AccessDelay apply to all host attachments.
+	AccessRate  int64
+	AccessDelay Time
+}
+
+// DefaultParkingLot returns a 3-hop inter-DC-like configuration:
+// 100 Mbit/s hops, 10 ms per hop.
+func DefaultParkingLot(hops int) ParkingLotConfig {
+	return ParkingLotConfig{
+		Hops:        hops,
+		HopRate:     100_000_000,
+		HopDelay:    10 * Millisecond,
+		BufferBDP:   1,
+		AccessRate:  1_000_000_000,
+		AccessDelay: Millisecond,
+	}
+}
+
+// Node ID allocation for parking lots (distinct from dumbbell ranges).
+const (
+	plRouterBase NodeID = 20000
+	plHostBase   NodeID = 30000
+)
+
+// PLLongSenderID and friends expose the assigned node IDs.
+func PLLongSenderID() NodeID         { return plHostBase }
+func PLLongReceiverID() NodeID       { return plHostBase + 1 }
+func PLCrossSenderID(hop int) NodeID { return plHostBase + 10 + NodeID(2*hop) }
+func PLCrossRecvID(hop int) NodeID   { return plHostBase + 11 + NodeID(2*hop) }
+
+// NewParkingLot builds the topology.
+func NewParkingLot(eng *Engine, cfg ParkingLotConfig) *ParkingLot {
+	if cfg.Hops < 1 {
+		panic("sim: parking lot needs at least one hop")
+	}
+	if cfg.BufferBDP == 0 {
+		cfg.BufferBDP = 1
+	}
+	pl := &ParkingLot{Eng: eng, cfg: cfg}
+
+	for i := 0; i <= cfg.Hops; i++ {
+		pl.Routers = append(pl.Routers, NewNode(eng, plRouterBase+NodeID(i), fmt.Sprintf("R%d", i)))
+	}
+	// The long path's RTT sizes every buffer.
+	longRTT := 2 * (Time(cfg.Hops)*cfg.HopDelay + 2*cfg.AccessDelay)
+	bufBytes := int(cfg.BufferBDP * float64(cfg.HopRate) / 8 * longRTT.Seconds())
+	for i := 0; i < cfg.Hops; i++ {
+		fwd := NewLink(eng, fmt.Sprintf("hop%d", i), cfg.HopRate, cfg.HopDelay, bufBytes, pl.Routers[i+1])
+		rev := NewLink(eng, fmt.Sprintf("hop%d-rev", i), cfg.HopRate, cfg.HopDelay, bufBytes, pl.Routers[i])
+		pl.Hops = append(pl.Hops, fwd)
+		pl.HopsRev = append(pl.HopsRev, rev)
+	}
+
+	attach := func(id NodeID, name string, router *Node) *Node {
+		n := NewNode(eng, id, name)
+		accessBuf := int(float64(cfg.AccessRate) / 8 * longRTT.Seconds())
+		up := NewLink(eng, name+"-up", cfg.AccessRate, cfg.AccessDelay, accessBuf, router)
+		down := NewLink(eng, name+"-down", cfg.AccessRate, cfg.AccessDelay, accessBuf, n)
+		n.SetDefaultRoute(up)
+		router.AddRoute(n.ID, down)
+		return n
+	}
+
+	pl.LongSender = attach(PLLongSenderID(), "long-snd", pl.Routers[0])
+	pl.LongReceiver = attach(PLLongReceiverID(), "long-rcv", pl.Routers[cfg.Hops])
+	for i := 0; i < cfg.Hops; i++ {
+		pl.CrossSenders = append(pl.CrossSenders,
+			attach(PLCrossSenderID(i), fmt.Sprintf("cross%d-snd", i), pl.Routers[i]))
+		pl.CrossReceivers = append(pl.CrossReceivers,
+			attach(PLCrossRecvID(i), fmt.Sprintf("cross%d-rcv", i), pl.Routers[i+1]))
+	}
+
+	// Routing: each router forwards "rightward" by default and knows the
+	// leftward chain explicitly.
+	for i := 0; i < cfg.Hops; i++ {
+		pl.Routers[i].SetDefaultRoute(pl.Hops[i])
+	}
+	// The last router's default points back (it has no rightward hop).
+	pl.Routers[cfg.Hops].SetDefaultRoute(pl.HopsRev[cfg.Hops-1])
+	// Leftward routes: every router must reach hosts attached to earlier
+	// routers (the long sender, cross senders) via the reverse chain.
+	for i := cfg.Hops; i > 0; i-- {
+		r := pl.Routers[i]
+		r.AddRoute(PLLongSenderID(), pl.HopsRev[i-1])
+		for h := 0; h < i; h++ {
+			r.AddRoute(PLCrossSenderID(h), pl.HopsRev[i-1])
+			if h < i-1 {
+				r.AddRoute(PLCrossRecvID(h), pl.HopsRev[i-1])
+			}
+		}
+	}
+	return pl
+}
+
+// LongRTT returns the propagation round trip of the end-to-end path.
+func (pl *ParkingLot) LongRTT() Time {
+	return 2 * (Time(pl.cfg.Hops)*pl.cfg.HopDelay + 2*pl.cfg.AccessDelay)
+}
+
+// HopPathKey names hop i for use as a Phi path key.
+func (pl *ParkingLot) HopPathKey(i int) string { return fmt.Sprintf("wan/hop%d", i) }

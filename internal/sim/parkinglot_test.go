@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParkingLotEndToEndDelivery(t *testing.T) {
+	eng := NewEngine()
+	pl := NewParkingLot(eng, DefaultParkingLot(3))
+	s := &sink{eng: eng}
+	pl.LongReceiver.Attach(1, s)
+	pl.LongSender.Send(&Packet{Flow: 1, Src: PLLongSenderID(), Dst: PLLongReceiverID(), Size: 1500})
+	eng.Run()
+	if len(s.pkts) != 1 {
+		t.Fatal("long path broken")
+	}
+	// One-way: 2 access + 3 hops = 2ms + 30ms plus serialization.
+	if s.at[0] < 32*Millisecond || s.at[0] > 34*Millisecond {
+		t.Errorf("one-way delay %v, want ~32ms", s.at[0])
+	}
+}
+
+func TestParkingLotReversePath(t *testing.T) {
+	eng := NewEngine()
+	pl := NewParkingLot(eng, DefaultParkingLot(3))
+	s := &sink{eng: eng}
+	pl.LongSender.Attach(1, s)
+	pl.LongReceiver.Send(&Packet{Flow: 1, Src: PLLongReceiverID(), Dst: PLLongSenderID(), Size: 40})
+	eng.Run()
+	if len(s.pkts) != 1 {
+		t.Fatal("reverse long path broken")
+	}
+}
+
+func TestParkingLotCrossPaths(t *testing.T) {
+	eng := NewEngine()
+	pl := NewParkingLot(eng, DefaultParkingLot(3))
+	for i := 0; i < 3; i++ {
+		s := &sink{eng: eng}
+		pl.CrossReceivers[i].Attach(FlowID(i+1), s)
+		pl.CrossSenders[i].Send(&Packet{Flow: FlowID(i + 1),
+			Src: PLCrossSenderID(i), Dst: PLCrossRecvID(i), Size: 1500})
+		eng.Run()
+		if len(s.pkts) != 1 {
+			t.Fatalf("cross path %d broken", i)
+		}
+		// Cross ack path too.
+		back := &sink{eng: eng}
+		pl.CrossSenders[i].Attach(FlowID(100+i), back)
+		pl.CrossReceivers[i].Send(&Packet{Flow: FlowID(100 + i),
+			Src: PLCrossRecvID(i), Dst: PLCrossSenderID(i), Size: 40})
+		eng.Run()
+		if len(back.pkts) != 1 {
+			t.Fatalf("cross reverse path %d broken", i)
+		}
+	}
+}
+
+func TestParkingLotLongRTT(t *testing.T) {
+	pl := NewParkingLot(NewEngine(), DefaultParkingLot(3))
+	// 2 * (3*10ms + 2*1ms) = 64ms.
+	if got := pl.LongRTT(); got != 64*Millisecond {
+		t.Errorf("long RTT = %v, want 64ms", got)
+	}
+	if pl.HopPathKey(1) != "wan/hop1" {
+		t.Errorf("path key = %q", pl.HopPathKey(1))
+	}
+}
+
+func TestParkingLotPanicsWithoutHops(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero hops")
+		}
+	}()
+	NewParkingLot(NewEngine(), ParkingLotConfig{})
+}
+
+// Property: a drop-tail link never reorders — delivery order equals send
+// order for any arrival pattern (the FIFO guarantee the paper's incentive
+// argument rests on).
+func TestLinkFIFOProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		eng := NewEngine()
+		s := &sink{eng: eng}
+		l := NewLink(eng, "l", 5_000_000, 2*Millisecond, 1<<20, s)
+		var sendOrder []int64
+		for i, raw := range sizes {
+			p := mkPkt(int(raw%1400) + 60)
+			p.Seq = int64(i)
+			jitteredAt := Time(i) * Time(raw%500) * Microsecond / 7
+			eng.At(jitteredAt, func() {
+				sendOrder = append(sendOrder, p.Seq)
+				l.Send(p)
+			})
+		}
+		eng.Run()
+		if len(s.pkts) != len(sendOrder) {
+			return false
+		}
+		for i := range s.pkts {
+			if s.pkts[i].Seq != sendOrder[i] {
+				return false // delivery order must equal send order
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+// RateProbe measures a link's utilization over a trailing window by
+// sampling its monitor on a fixed period. It provides the "up-to-the-
+// minute" utilization the Remy-Phi-ideal senders read, as opposed to the
+// cumulative average a LinkMonitor reports since its last reset.
+//
+// The probe schedules itself forever; drive the engine with RunUntil.
+type RateProbe struct {
+	eng *Engine
+	mon *LinkMonitor
+
+	interval Time
+	window   Time
+
+	times []Time
+	bytes []uint64
+}
+
+// NewRateProbe starts probing mon every interval, retaining window worth
+// of history. Typical: interval 100ms, window 1s.
+func NewRateProbe(eng *Engine, mon *LinkMonitor, interval, window Time) *RateProbe {
+	if interval <= 0 {
+		interval = 100 * Millisecond
+	}
+	if window < interval {
+		window = interval
+	}
+	p := &RateProbe{eng: eng, mon: mon, interval: interval, window: window}
+	p.sample()
+	return p
+}
+
+func (p *RateProbe) sample() {
+	now := p.eng.Now()
+	p.times = append(p.times, now)
+	p.bytes = append(p.bytes, p.mon.ForwardedBytes)
+	// Trim history older than the window (keep one sample at/just beyond
+	// the boundary so interpolation stays possible).
+	cutoff := now - p.window
+	i := 0
+	for i+1 < len(p.times) && p.times[i+1] <= cutoff {
+		i++
+	}
+	if i > 0 {
+		p.times = append(p.times[:0], p.times[i:]...)
+		p.bytes = append(p.bytes[:0], p.bytes[i:]...)
+	}
+	p.eng.After(p.interval, p.sample)
+}
+
+// Utilization returns the link utilization over the trailing window
+// (current bytes vs the oldest retained sample).
+func (p *RateProbe) Utilization() float64 {
+	now := p.eng.Now()
+	oldestT, oldestB := p.times[0], p.bytes[0]
+	dt := (now - oldestT).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	delta := float64(p.mon.ForwardedBytes - oldestB)
+	u := delta * 8 / (float64(p.mon.link.Rate) * dt)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,78 @@
+package sim
+
+import "math/rand"
+
+// RED is Random Early Detection queue management. The paper's incentive
+// argument (Sections 2.2.3 and 3.1) hinges on the prevalence of FIFO
+// drop-tail queues — "FIFO queueing is not incentive compatible" — so the
+// queue discipline is pluggable and RED exists as the counterfactual: an
+// ablation can show how the Phi deployment story changes when the network
+// polices early instead.
+//
+// This is the classic Floyd/Jacobson design: an EWMA of the queue size is
+// compared against min/max thresholds; between them packets are dropped
+// with a probability rising to MaxP, above MaxTh everything is dropped.
+type RED struct {
+	// MinTh and MaxTh are thresholds on the average queue size in bytes.
+	MinTh, MaxTh int
+	// MaxP is the drop probability at MaxTh (default 0.1).
+	MaxP float64
+	// Wq is the EWMA weight for the average queue size (default 0.002).
+	Wq float64
+	// Rand supplies randomness; it must be set (use the run's seeded RNG)
+	// so simulations stay deterministic.
+	Rand *rand.Rand
+	// MarkECT enables RFC 3168 behaviour: ECN-capable packets are marked
+	// CE instead of being early-dropped.
+	MarkECT bool
+
+	avg float64
+	// EarlyDrops counts probabilistic (early) drops separately from
+	// overflow; Marked counts CE markings in ECN mode.
+	EarlyDrops uint64
+	Marked     uint64
+}
+
+// NewRED returns a RED discipline with thresholds derived from the buffer
+// capacity: MinTh = cap/6, MaxTh = cap/2, per common guidance.
+func NewRED(capacityBytes int, rng *rand.Rand) *RED {
+	return &RED{
+		MinTh: capacityBytes / 6,
+		MaxTh: capacityBytes / 2,
+		MaxP:  0.1,
+		Wq:    0.002,
+		Rand:  rng,
+	}
+}
+
+// Accept implements QueueDiscipline.
+func (r *RED) Accept(queuedBytes, capacityBytes int, p *Packet) bool {
+	if queuedBytes+p.Size > capacityBytes {
+		return false // hard overflow
+	}
+	r.avg = (1-r.Wq)*r.avg + r.Wq*float64(queuedBytes)
+	switch {
+	case r.avg < float64(r.MinTh):
+		return true
+	case r.avg >= float64(r.MaxTh):
+		return r.congested(p)
+	default:
+		pr := r.MaxP * (r.avg - float64(r.MinTh)) / float64(r.MaxTh-r.MinTh)
+		if r.Rand.Float64() < pr {
+			return r.congested(p)
+		}
+		return true
+	}
+}
+
+// congested handles an early-drop decision: mark instead when both sides
+// are ECN-capable.
+func (r *RED) congested(p *Packet) bool {
+	if r.MarkECT && p.ECT {
+		p.CE = true
+		r.Marked++
+		return true
+	}
+	r.EarlyDrops++
+	return false
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestREDBelowMinThAcceptsAll(t *testing.T) {
+	red := NewRED(60000, rand.New(rand.NewSource(1)))
+	p := mkPkt(1500)
+	for i := 0; i < 100; i++ {
+		if !red.Accept(0, 60000, p) {
+			t.Fatal("RED dropped with an empty queue")
+		}
+	}
+	if red.EarlyDrops != 0 {
+		t.Errorf("early drops = %d", red.EarlyDrops)
+	}
+}
+
+func TestREDAboveMaxThDropsAll(t *testing.T) {
+	red := NewRED(60000, rand.New(rand.NewSource(1)))
+	red.avg = float64(red.MaxTh) + 1 // force the average up
+	p := mkPkt(100)
+	drops := 0
+	for i := 0; i < 50; i++ {
+		red.avg = float64(red.MaxTh) + 1
+		if !red.Accept(red.MaxTh+1000, 60000, p) {
+			drops++
+		}
+	}
+	if drops != 50 {
+		t.Errorf("dropped %d/50 above MaxTh", drops)
+	}
+}
+
+func TestREDProbabilisticRegion(t *testing.T) {
+	red := NewRED(60000, rand.New(rand.NewSource(1)))
+	red.Wq = 1 // track the instantaneous queue for the test
+	p := mkPkt(100)
+	mid := (red.MinTh + red.MaxTh) / 2
+	drops := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if !red.Accept(mid, 60000, p) {
+			drops++
+		}
+	}
+	// Expected drop probability ~ MaxP/2 = 0.05.
+	frac := float64(drops) / trials
+	if frac < 0.02 || frac > 0.09 {
+		t.Errorf("mid-region drop fraction = %v, want ~0.05", frac)
+	}
+}
+
+func TestREDHardOverflowAlwaysDrops(t *testing.T) {
+	red := NewRED(1000, rand.New(rand.NewSource(1)))
+	if red.Accept(900, 1000, mkPkt(200)) {
+		t.Error("RED accepted past hard capacity")
+	}
+}
+
+func TestREDOnLinkEndToEnd(t *testing.T) {
+	eng := NewEngine()
+	s := &sink{eng: eng}
+	l := NewLink(eng, "red", 1_000_000, Millisecond, 30000, s)
+	l.Discipline = NewRED(30000, rand.New(rand.NewSource(7)))
+	mon := l.Monitor()
+	for i := 0; i < 200; i++ {
+		l.Send(mkPkt(1500))
+	}
+	eng.Run()
+	if mon.DroppedPackets == 0 {
+		t.Error("RED link dropped nothing under a 200-packet burst into a 20-packet buffer")
+	}
+	if len(s.pkts) == 0 {
+		t.Error("RED link delivered nothing")
+	}
+}
+
+func TestImpairedLinkLoss(t *testing.T) {
+	eng := NewEngine()
+	s := &sink{eng: eng}
+	imp := NewImpairedLink(eng, NewRNG(1), s, Impairments{LossRate: 0.5})
+	for i := 0; i < 2000; i++ {
+		imp.Receive(mkPkt(100))
+	}
+	eng.Run()
+	frac := float64(len(s.pkts)) / 2000
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("delivered fraction = %v, want ~0.5", frac)
+	}
+	if imp.Dropped == 0 {
+		t.Error("drop counter zero")
+	}
+}
+
+func TestImpairedLinkJitterPreservesOrder(t *testing.T) {
+	eng := NewEngine()
+	s := &sink{eng: eng}
+	imp := NewImpairedLink(eng, NewRNG(2), s, Impairments{JitterMax: 10 * Millisecond})
+	for i := 0; i < 100; i++ {
+		p := mkPkt(100)
+		p.Seq = int64(i)
+		eng.At(Time(i)*Millisecond, func() { imp.Receive(p) })
+	}
+	eng.Run()
+	if len(s.pkts) != 100 {
+		t.Fatalf("delivered %d", len(s.pkts))
+	}
+	for i := 1; i < len(s.pkts); i++ {
+		if s.pkts[i].Seq < s.pkts[i-1].Seq {
+			t.Fatal("jitter-only impairment reordered packets")
+		}
+		if s.at[i] < s.at[i-1] {
+			t.Fatal("delivery times not monotone")
+		}
+	}
+	if imp.Jittered == 0 {
+		t.Error("jitter counter zero")
+	}
+}
+
+func TestImpairedLinkReorders(t *testing.T) {
+	eng := NewEngine()
+	s := &sink{eng: eng}
+	imp := NewImpairedLink(eng, NewRNG(3), s, Impairments{ReorderRate: 0.2, ReorderDelay: 5 * Millisecond})
+	for i := 0; i < 500; i++ {
+		p := mkPkt(100)
+		p.Seq = int64(i)
+		eng.At(Time(i)*Millisecond, func() { imp.Receive(p) })
+	}
+	eng.Run()
+	if len(s.pkts) != 500 {
+		t.Fatalf("delivered %d", len(s.pkts))
+	}
+	inversions := 0
+	for i := 1; i < len(s.pkts); i++ {
+		if s.pkts[i].Seq < s.pkts[i-1].Seq {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Error("no reordering observed at 20% reorder rate")
+	}
+	if imp.Reordered == 0 {
+		t.Error("reorder counter zero")
+	}
+}
+
+func TestImpairedLinkDefaultReorderDelay(t *testing.T) {
+	imp := NewImpairedLink(NewEngine(), NewRNG(1), &sink{}, Impairments{ReorderRate: 0.5})
+	if imp.imp.ReorderDelay != 5*Millisecond {
+		t.Errorf("default reorder delay = %v", imp.imp.ReorderDelay)
+	}
+}
+
+func TestRateProbeTrailingWindow(t *testing.T) {
+	eng := NewEngine()
+	s := &sink{eng: eng}
+	l := NewLink(eng, "l", 12_000_000, 0, 1<<20, s)
+	mon := l.Monitor()
+	probe := NewRateProbe(eng, mon, 100*Millisecond, Second)
+	// Saturate for 2 seconds: 1500B at 12 Mbps = 1ms per packet.
+	for i := 0; i < 2000; i++ {
+		i := i
+		eng.At(Time(i)*Millisecond, func() { l.Send(mkPkt(1500)) })
+	}
+	eng.RunUntil(2 * Second)
+	if u := probe.Utilization(); u < 0.95 || u > 1.0 {
+		t.Errorf("utilization while saturated = %v, want ~1", u)
+	}
+	// Go idle: the trailing window forgets the past.
+	eng.RunUntil(4 * Second)
+	if u := probe.Utilization(); u > 0.05 {
+		t.Errorf("utilization after idle = %v, want ~0", u)
+	}
+}
+
+func TestRateProbeHistoryBounded(t *testing.T) {
+	eng := NewEngine()
+	l := NewLink(eng, "l", 1_000_000, 0, 0, &sink{eng: eng})
+	probe := NewRateProbe(eng, l.Monitor(), 10*Millisecond, 100*Millisecond)
+	eng.RunUntil(10 * Second)
+	if n := len(probe.times); n > 20 {
+		t.Errorf("probe retained %d samples for a 10-sample window", n)
+	}
+}
+
+func TestLinkTracing(t *testing.T) {
+	eng := NewEngine()
+	s := &sink{eng: eng}
+	l := NewLink(eng, "traced", 12_000_000, Millisecond, 3000, s)
+	col := &CollectTracer{}
+	l.SetTracer(col)
+	for i := 0; i < 5; i++ { // 2 fit in buffer + 1 transmitting, 2 drop
+		l.Send(mkPkt(1500))
+	}
+	eng.Run()
+	var enq, deq, del, drop int
+	for _, ev := range col.Events() {
+		switch ev.Op {
+		case TraceEnqueue:
+			enq++
+		case TraceDequeue:
+			deq++
+		case TraceDeliver:
+			del++
+		case TraceDrop:
+			drop++
+		}
+		if ev.Link != "traced" || ev.Pkt.Size != 1500 {
+			t.Fatalf("bad event %+v", ev)
+		}
+	}
+	if enq != 3 || deq != 3 || del != 3 || drop != 2 {
+		t.Errorf("enq/deq/del/drop = %d/%d/%d/%d, want 3/3/3/2", enq, deq, del, drop)
+	}
+	// Chronological order.
+	evs := col.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("trace not chronological")
+		}
+	}
+	if col.Count() != len(evs) {
+		t.Error("count mismatch")
+	}
+}
+
+func TestWriterTracerFormat(t *testing.T) {
+	var buf deterministicBuffer
+	tr := NewWriterTracer(&buf)
+	tr.Trace(TraceEvent{
+		At: 1234567 * Microsecond, Op: TraceEnqueue, Link: "bottleneck",
+		Pkt: PacketInfo{Flow: 3, Src: 100, Dst: 10000, Kind: KindData,
+			Seq: 2896, Size: 1500, Rexmit: true, CEMark: true},
+		QueueBytes: 42000,
+	})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	want := "+ 1.234567 bottleneck flow=3 data 100->10000 seq=2896 ack=0 size=1500 q=42000 rexmit ce\n"
+	if line != want {
+		t.Errorf("trace line:\n got %q\nwant %q", line, want)
+	}
+	if tr.Events != 1 {
+		t.Errorf("events = %d", tr.Events)
+	}
+}
+
+func TestCollectTracerCap(t *testing.T) {
+	col := &CollectTracer{Cap: 3}
+	for i := 0; i < 10; i++ {
+		col.Trace(TraceEvent{At: Time(i)})
+	}
+	if col.Count() != 3 {
+		t.Errorf("count = %d, want capped 3", col.Count())
+	}
+	if col.Events()[0].At != 7 {
+		t.Error("cap did not keep the newest events")
+	}
+}
+
+// deterministicBuffer is a minimal strings.Builder-alike for trace tests.
+type deterministicBuffer struct{ b []byte }
+
+func (d *deterministicBuffer) Write(p []byte) (int, error) {
+	d.b = append(d.b, p...)
+	return len(p), nil
+}
+func (d *deterministicBuffer) String() string { return string(d.b) }

@@ -1,0 +1,55 @@
+package sim
+
+import "math/rand"
+
+// RNG wraps a seeded PRNG with the distributions the Phi evaluation uses
+// (exponential on/off workloads, Zipf destination popularity). Every
+// stochastic component of a simulation should draw from an RNG derived from
+// the run seed so experiments are exactly reproducible.
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child RNG. Components (each sender, each
+// generator) should get their own fork so adding one component does not
+// perturb the random sequence seen by the others.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Int63())
+}
+
+// Exponential draws from an exponential distribution with the given mean.
+// A non-positive mean yields 0.
+func (r *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.ExpFloat64() * mean
+}
+
+// ExpDuration draws an exponentially distributed virtual duration.
+func (r *RNG) ExpDuration(mean Time) Time {
+	return Time(r.Exponential(float64(mean)))
+}
+
+// ExpBytes draws an exponentially distributed transfer size, at least 1 byte.
+func (r *RNG) ExpBytes(mean int64) int64 {
+	b := int64(r.Exponential(float64(mean)))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Jitter returns a uniform duration in [0, max), used to desynchronize
+// otherwise identical senders at startup.
+func (r *RNG) Jitter(max Time) Time {
+	if max <= 0 {
+		return 0
+	}
+	return Time(r.Int63n(int64(max)))
+}

@@ -1,0 +1,69 @@
+// Package sim implements a deterministic, packet-level discrete-event
+// network simulator in the spirit of ns-2. It provides virtual time, an
+// event scheduler, nodes, drop-tail links, topology builders (notably the
+// dumbbell used throughout the Phi paper's evaluation), and monitors that
+// record link utilization, queueing, and loss.
+//
+// All simulations are deterministic given a seed: virtual time is an int64
+// nanosecond counter and simultaneous events fire in scheduling order.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, measured in nanoseconds since the start
+// of the simulation. It is deliberately distinct from time.Time: simulated
+// clocks share nothing with the wall clock.
+type Time int64
+
+// Duration constants expressed in virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time. It is used as the
+// horizon for "never" deadlines.
+const MaxTime = Time(math.MaxInt64)
+
+// Seconds converts a floating-point number of seconds to a Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Milliseconds converts a floating-point number of milliseconds to a Time.
+func Milliseconds(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time with adaptive units, e.g. "150ms" or "2.5s".
+func (t Time) String() string {
+	switch {
+	case t == MaxTime:
+		return "never"
+	case t < 0:
+		return fmt.Sprintf("-%s", -t)
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3gus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.4gms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// TxTime returns the serialization delay of sizeBytes at rateBps bits/s.
+func TxTime(sizeBytes int, rateBps int64) Time {
+	if rateBps <= 0 {
+		return 0
+	}
+	return Time(float64(sizeBytes) * 8 / float64(rateBps) * float64(Second))
+}

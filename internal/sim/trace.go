@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TraceEvent is one packet-level event in a simulation trace, in the
+// spirit of ns-2's trace files: every enqueue (+), dequeue/transmit (-),
+// drop (d), and delivery (r) on a traced link.
+type TraceEvent struct {
+	At   Time
+	Op   TraceOp
+	Link string
+	Pkt  PacketInfo
+	// QueueBytes is the buffer occupancy after the event.
+	QueueBytes int
+}
+
+// PacketInfo is the subset of packet fields recorded in traces.
+type PacketInfo struct {
+	Flow   FlowID
+	Src    NodeID
+	Dst    NodeID
+	Kind   PacketKind
+	Seq    int64
+	Ack    int64
+	Size   int
+	Rexmit bool
+	CEMark bool
+}
+
+// TraceOp identifies the event type.
+type TraceOp byte
+
+// Trace operations, matching ns-2's single-letter convention.
+const (
+	TraceEnqueue TraceOp = '+'
+	TraceDequeue TraceOp = '-'
+	TraceDrop    TraceOp = 'd'
+	TraceDeliver TraceOp = 'r'
+)
+
+// Tracer receives trace events from instrumented links.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// WriterTracer renders events as ns-2-style text lines:
+//
+//   - 1.234567 bottleneck flow=3 data 100->10000 seq=2896 size=1500 q=42000
+//
+// It buffers internally; call Flush (or Close the underlying writer side)
+// when done. Safe for use from a single simulation goroutine.
+type WriterTracer struct {
+	w *bufio.Writer
+	// Events counts traced events.
+	Events uint64
+}
+
+// NewWriterTracer wraps w.
+func NewWriterTracer(w io.Writer) *WriterTracer {
+	return &WriterTracer{w: bufio.NewWriter(w)}
+}
+
+// Trace implements Tracer.
+func (t *WriterTracer) Trace(ev TraceEvent) {
+	t.Events++
+	extra := ""
+	if ev.Pkt.Rexmit {
+		extra += " rexmit"
+	}
+	if ev.Pkt.CEMark {
+		extra += " ce"
+	}
+	fmt.Fprintf(t.w, "%c %.6f %s flow=%d %s %d->%d seq=%d ack=%d size=%d q=%d%s\n",
+		ev.Op, ev.At.Seconds(), ev.Link, ev.Pkt.Flow, ev.Pkt.Kind,
+		ev.Pkt.Src, ev.Pkt.Dst, ev.Pkt.Seq, ev.Pkt.Ack, ev.Pkt.Size,
+		ev.QueueBytes, extra)
+}
+
+// Flush drains buffered output.
+func (t *WriterTracer) Flush() error { return t.w.Flush() }
+
+// CollectTracer retains events in memory (tests, programmatic analysis).
+// Safe for concurrent use.
+type CollectTracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	// Cap bounds retention (0 = unbounded).
+	Cap int
+}
+
+// Trace implements Tracer.
+func (c *CollectTracer) Trace(ev TraceEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+	if c.Cap > 0 && len(c.events) > c.Cap {
+		c.events = c.events[len(c.events)-c.Cap:]
+	}
+}
+
+// Events returns a copy of the retained events.
+func (c *CollectTracer) Events() []TraceEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TraceEvent(nil), c.events...)
+}
+
+// Count returns the number of retained events.
+func (c *CollectTracer) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+func packetInfo(p *Packet) PacketInfo {
+	return PacketInfo{
+		Flow: p.Flow, Src: p.Src, Dst: p.Dst, Kind: p.Kind,
+		Seq: p.Seq, Ack: p.Ack, Size: p.Size,
+		Rexmit: p.Retransmit, CEMark: p.CE,
+	}
+}

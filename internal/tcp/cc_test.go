@@ -1,0 +1,300 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func ackAt(now sim.Time, rtt sim.Time) AckInfo {
+	return AckInfo{Now: now, RTT: rtt, AckedBytes: DefaultMSS, AckedSegments: 1}
+}
+
+func TestCubicInitRespectsParams(t *testing.T) {
+	c := NewCubic(CubicParams{InitialWindow: 8, InitialSsthresh: 64, Beta: 0.3})
+	c.Init(0)
+	if c.Window() != 8 {
+		t.Errorf("initial window = %v, want 8", c.Window())
+	}
+	if c.Ssthresh() != 64 {
+		t.Errorf("initial ssthresh = %v, want 64", c.Ssthresh())
+	}
+}
+
+func TestCubicSlowStartDoublesPerRTT(t *testing.T) {
+	c := NewCubic(DefaultCubicParams())
+	c.Init(0)
+	w0 := c.Window()
+	// One RTT's worth of acks: w0 acks, each growing cwnd by 1.
+	now := sim.Time(0)
+	for i := 0; i < int(w0); i++ {
+		c.OnAck(ackAt(now, 100*sim.Millisecond))
+	}
+	if got := c.Window(); got != 2*w0 {
+		t.Errorf("after 1 RTT of acks window = %v, want %v", got, 2*w0)
+	}
+}
+
+func TestCubicSlowStartCapsAtSsthresh(t *testing.T) {
+	c := NewCubic(CubicParams{InitialWindow: 2, InitialSsthresh: 16, Beta: 0.2})
+	c.Init(0)
+	for i := 0; i < 100; i++ {
+		c.OnAck(ackAt(sim.Time(i)*sim.Millisecond, 100*sim.Millisecond))
+	}
+	// Once past ssthresh, growth is congestion avoidance (slow); window
+	// must not blow past ssthresh in a handful of acks.
+	if c.Window() > 32 {
+		t.Errorf("window %v raced past ssthresh=16", c.Window())
+	}
+	if c.Window() < 16 {
+		t.Errorf("window %v should have reached ssthresh=16", c.Window())
+	}
+}
+
+func TestCubicLossAppliesBetaDecrease(t *testing.T) {
+	for _, beta := range []float64{0.1, 0.2, 0.5, 0.9} {
+		c := NewCubic(CubicParams{InitialWindow: 2, InitialSsthresh: 65536, Beta: beta})
+		c.Init(0)
+		for i := 0; i < 98; i++ {
+			c.OnAck(ackAt(0, 100*sim.Millisecond))
+		}
+		w := c.Window()
+		c.OnLoss(sim.Second)
+		want := w * (1 - beta)
+		if math.Abs(c.Window()-want) > 1e-9 {
+			t.Errorf("beta=%v: window after loss = %v, want %v", beta, c.Window(), want)
+		}
+		if c.Ssthresh() != math.Max(want, 2) {
+			t.Errorf("beta=%v: ssthresh after loss = %v, want %v", beta, c.Ssthresh(), want)
+		}
+	}
+}
+
+func TestCubicTimeoutCollapsesWindow(t *testing.T) {
+	c := NewCubic(DefaultCubicParams())
+	c.Init(0)
+	for i := 0; i < 100; i++ {
+		c.OnAck(ackAt(0, 100*sim.Millisecond))
+	}
+	c.OnTimeout(sim.Second)
+	if c.Window() != 1 {
+		t.Errorf("window after timeout = %v, want 1", c.Window())
+	}
+	if c.Ssthresh() < 2 {
+		t.Errorf("ssthresh after timeout = %v, want >= 2", c.Ssthresh())
+	}
+}
+
+func TestCubicConcaveGrowthTowardWmax(t *testing.T) {
+	c := NewCubic(DefaultCubicParams())
+	c.Init(0)
+	// Grow, lose, then recover: window should climb back toward wMax.
+	for i := 0; i < 198; i++ {
+		c.OnAck(ackAt(0, 100*sim.Millisecond))
+	}
+	wMax := c.Window()
+	c.OnLoss(sim.Second)
+	afterLoss := c.Window()
+	now := sim.Second
+	for i := 0; i < 2000; i++ {
+		now += 10 * sim.Millisecond
+		c.OnAck(ackAt(now, 100*sim.Millisecond))
+	}
+	if c.Window() <= afterLoss {
+		t.Errorf("window did not grow after loss: %v <= %v", c.Window(), afterLoss)
+	}
+	if c.Window() < 0.9*wMax {
+		t.Errorf("window %v did not approach wMax %v after 20s", c.Window(), wMax)
+	}
+}
+
+func TestCubicWindowNeverBelowOne(t *testing.T) {
+	f := func(events []bool) bool {
+		c := NewCubic(CubicParams{InitialWindow: 1, InitialSsthresh: 4, Beta: 0.9})
+		c.Init(0)
+		now := sim.Time(0)
+		for _, isLoss := range events {
+			now += sim.Millisecond
+			if isLoss {
+				c.OnLoss(now)
+			} else {
+				c.OnTimeout(now)
+			}
+			if c.Window() < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCubicMonotoneGrowthBetweenLosses(t *testing.T) {
+	c := NewCubic(DefaultCubicParams())
+	c.Init(0)
+	prev := c.Window()
+	now := sim.Time(0)
+	for i := 0; i < 5000; i++ {
+		now += sim.Millisecond
+		c.OnAck(ackAt(now, 100*sim.Millisecond))
+		if c.Window() < prev {
+			t.Fatalf("window shrank without loss at ack %d: %v -> %v", i, prev, c.Window())
+		}
+		prev = c.Window()
+	}
+}
+
+func TestCubicParamsValidation(t *testing.T) {
+	bad := []CubicParams{
+		{InitialWindow: 0, InitialSsthresh: 64, Beta: 0.2},
+		{InitialWindow: 2, InitialSsthresh: 1, Beta: 0.2},
+		{InitialWindow: 2, InitialSsthresh: 64, Beta: 0},
+		{InitialWindow: 2, InitialSsthresh: 64, Beta: 1},
+	}
+	for _, p := range bad {
+		if p.Valid() {
+			t.Errorf("params %v should be invalid", p)
+		}
+	}
+	if !DefaultCubicParams().Valid() {
+		t.Error("defaults invalid")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewCubic with invalid params did not panic")
+			}
+		}()
+		NewCubic(CubicParams{})
+	}()
+}
+
+func TestCubicParamsString(t *testing.T) {
+	if got := DefaultCubicParams().String(); got != "iw=2 ssthresh=65536 beta=0.2" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestNewRenoAIMD(t *testing.T) {
+	n := NewNewReno()
+	n.InitialSsthresh = 10
+	n.Init(0)
+	for i := 0; i < 200; i++ {
+		n.OnAck(ackAt(0, 100*sim.Millisecond))
+	}
+	w := n.Window()
+	// Congestion avoidance: ~1 segment per RTT; with 200 acks from cwnd 10,
+	// window should have grown but stayed modest.
+	if w <= 10 || w > 40 {
+		t.Errorf("CA window = %v, want in (10, 40]", w)
+	}
+	n.OnLoss(0)
+	if math.Abs(n.Window()-w/2) > 1e-9 {
+		t.Errorf("halving: %v -> %v", w, n.Window())
+	}
+	n.OnTimeout(0)
+	if n.Window() != 1 {
+		t.Errorf("timeout window = %v, want 1", n.Window())
+	}
+}
+
+func TestNewRenoZeroValueDefaults(t *testing.T) {
+	var n NewReno
+	n.Init(0)
+	if n.Window() != 2 || n.Ssthresh() != 65536 {
+		t.Errorf("zero-value defaults = %v/%v, want 2/65536", n.Window(), n.Ssthresh())
+	}
+	if n.Name() != "newreno" || n.PacingInterval() != 0 {
+		t.Error("name/pacing wrong")
+	}
+}
+
+func TestRTOEstimatorFirstSample(t *testing.T) {
+	r := newRTOEstimator(sim.Second, 200*sim.Millisecond, 60*sim.Second)
+	if r.RTO() != sim.Second {
+		t.Errorf("initial RTO = %v, want 1s", r.RTO())
+	}
+	r.Sample(100 * sim.Millisecond)
+	// SRTT=100ms, RTTVAR=50ms, RTO=100+200=300ms.
+	if r.SRTT() != 100*sim.Millisecond {
+		t.Errorf("SRTT = %v, want 100ms", r.SRTT())
+	}
+	if r.RTO() != 300*sim.Millisecond {
+		t.Errorf("RTO = %v, want 300ms", r.RTO())
+	}
+}
+
+func TestRTOEstimatorClampsToMin(t *testing.T) {
+	r := newRTOEstimator(sim.Second, 200*sim.Millisecond, 60*sim.Second)
+	for i := 0; i < 50; i++ {
+		r.Sample(10 * sim.Millisecond)
+	}
+	if r.RTO() != 200*sim.Millisecond {
+		t.Errorf("RTO = %v, want clamped to 200ms", r.RTO())
+	}
+}
+
+func TestRTOEstimatorBackoffDoubles(t *testing.T) {
+	r := newRTOEstimator(sim.Second, 200*sim.Millisecond, 60*sim.Second)
+	r.Sample(100 * sim.Millisecond) // RTO 300ms
+	r.Backoff()
+	if r.RTO() != 600*sim.Millisecond {
+		t.Errorf("after 1 backoff RTO = %v, want 600ms", r.RTO())
+	}
+	r.Backoff()
+	if r.RTO() != 1200*sim.Millisecond {
+		t.Errorf("after 2 backoffs RTO = %v, want 1.2s", r.RTO())
+	}
+	// A fresh sample resets the backoff.
+	r.Sample(100 * sim.Millisecond)
+	if r.RTO() > 400*sim.Millisecond {
+		t.Errorf("sample did not reset backoff: RTO = %v", r.RTO())
+	}
+}
+
+func TestRTOEstimatorCapsAtMax(t *testing.T) {
+	r := newRTOEstimator(sim.Second, 200*sim.Millisecond, 5*sim.Second)
+	for i := 0; i < 30; i++ {
+		r.Backoff()
+	}
+	if r.RTO() != 5*sim.Second {
+		t.Errorf("RTO = %v, want capped at 5s", r.RTO())
+	}
+	r.Sample(sim.Second)
+	for i := 0; i < 30; i++ {
+		r.Backoff()
+	}
+	if r.RTO() != 5*sim.Second {
+		t.Errorf("post-sample RTO = %v, want capped at 5s", r.RTO())
+	}
+}
+
+// Property: the RTO never leaves [min, max] under any sample/backoff mix.
+func TestRTOBoundsProperty(t *testing.T) {
+	min, max := 200*sim.Millisecond, 60*sim.Second
+	f := func(ops []int16) bool {
+		r := newRTOEstimator(sim.Second, min, max)
+		for _, op := range ops {
+			if op%5 == 0 {
+				r.Backoff()
+			} else {
+				d := sim.Time(op)
+				if d < 0 {
+					d = -d
+				}
+				r.Sample(d * sim.Millisecond / 10)
+			}
+			if r.RTO() < min || r.RTO() > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

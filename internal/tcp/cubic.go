@@ -1,0 +1,166 @@
+package tcp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// CubicParams are the three TCP Cubic knobs the Phi paper tunes from shared
+// network state (Table 1 / Table 2):
+//
+//   - InitialWindow   (ns-2 windowInit_): the initial congestion window.
+//   - InitialSsthresh (ns-2 initial_ssthresh): the initial slow-start
+//     threshold. RFC 5681 recommends "arbitrarily high"; the default of
+//     65536 segments matches the paper's default.
+//   - Beta: (1-Beta) is the multiplicative decrease factor applied on
+//     packet loss (the paper's default 0.2 gives a 0.8 decrease factor).
+type CubicParams struct {
+	InitialWindow   int
+	InitialSsthresh int
+	Beta            float64
+}
+
+// DefaultCubicParams returns the paper's Table 1 defaults.
+func DefaultCubicParams() CubicParams {
+	return CubicParams{InitialWindow: 2, InitialSsthresh: 65536, Beta: 0.2}
+}
+
+// String renders the parameters compactly, e.g. "iw=2 ssthresh=65536 beta=0.2".
+func (p CubicParams) String() string {
+	return fmt.Sprintf("iw=%d ssthresh=%d beta=%.2g", p.InitialWindow, p.InitialSsthresh, p.Beta)
+}
+
+// Valid reports whether the parameters are in sensible ranges.
+func (p CubicParams) Valid() bool {
+	return p.InitialWindow >= 1 && p.InitialSsthresh >= 2 && p.Beta > 0 && p.Beta < 1
+}
+
+// cubicC is the CUBIC scaling constant (Ha, Rhee, Xu 2008).
+const cubicC = 0.4
+
+// Cubic implements CUBIC congestion control: cubic window growth around the
+// last loss point W_max, with a TCP-friendly lower envelope. The growth
+// function is W(t) = C*(t-K)^3 + W_max with K = cbrt(W_max*Beta/C).
+type Cubic struct {
+	Params CubicParams
+
+	cwnd     float64
+	ssthresh float64
+
+	wMax       float64
+	epochStart sim.Time
+	k          float64
+	originW    float64
+	srttEst    sim.Time
+	lastDecr   sim.Time
+}
+
+// NewCubic returns a CUBIC controller with the given parameters.
+func NewCubic(p CubicParams) *Cubic {
+	if !p.Valid() {
+		panic(fmt.Sprintf("tcp: invalid cubic params %v", p))
+	}
+	return &Cubic{Params: p}
+}
+
+// Name implements CongestionControl.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Init implements CongestionControl.
+func (c *Cubic) Init(now sim.Time) {
+	c.cwnd = float64(c.Params.InitialWindow)
+	c.ssthresh = float64(c.Params.InitialSsthresh)
+	c.epochStart = 0
+	c.wMax = 0
+}
+
+// Window implements CongestionControl.
+func (c *Cubic) Window() float64 { return c.cwnd }
+
+// Ssthresh implements CongestionControl.
+func (c *Cubic) Ssthresh() float64 { return c.ssthresh }
+
+// PacingInterval implements CongestionControl (CUBIC is purely window based).
+func (c *Cubic) PacingInterval() sim.Time { return 0 }
+
+// OnAck implements CongestionControl.
+func (c *Cubic) OnAck(info AckInfo) {
+	if info.RTT > 0 {
+		if c.srttEst == 0 {
+			c.srttEst = info.RTT
+		} else {
+			c.srttEst = (7*c.srttEst + info.RTT) / 8
+		}
+	}
+	if c.cwnd < c.ssthresh {
+		// Slow start: one segment per acked segment.
+		c.cwnd += info.AckedSegments
+		if c.cwnd > c.ssthresh {
+			c.cwnd = c.ssthresh
+		}
+		return
+	}
+	c.congestionAvoidance(info.Now)
+}
+
+func (c *Cubic) congestionAvoidance(now sim.Time) {
+	if c.epochStart == 0 {
+		c.epochStart = now
+		if c.cwnd < c.wMax {
+			c.k = math.Cbrt(c.wMax * c.Params.Beta / cubicC)
+			c.originW = c.wMax
+		} else {
+			c.k = 0
+			c.originW = c.cwnd
+		}
+	}
+	rtt := c.srttEst
+	if rtt <= 0 {
+		rtt = 100 * sim.Millisecond
+	}
+	t := (now - c.epochStart).Seconds() + rtt.Seconds()
+	target := c.originW + cubicC*math.Pow(t-c.k, 3)
+
+	// TCP-friendly region (standard TCP estimate since the epoch).
+	wEst := c.originW*(1-c.Params.Beta) +
+		3*(c.Params.Beta/(2-c.Params.Beta))*((now-c.epochStart).Seconds()/rtt.Seconds())
+	if target < wEst {
+		target = wEst
+	}
+
+	if target > c.cwnd {
+		// Converge over roughly one RTT's worth of acks.
+		c.cwnd += (target - c.cwnd) / c.cwnd
+	} else {
+		c.cwnd += 0.01 / c.cwnd // minimal probing growth
+	}
+}
+
+// OnLoss implements CongestionControl (triple-dupack loss).
+func (c *Cubic) OnLoss(now sim.Time) {
+	// Fast convergence: if the new W_max is below the previous one, release
+	// bandwidth faster.
+	if c.cwnd < c.wMax {
+		c.wMax = c.cwnd * (2 - c.Params.Beta) / 2
+	} else {
+		c.wMax = c.cwnd
+	}
+	c.cwnd *= 1 - c.Params.Beta
+	if c.cwnd < 1 {
+		c.cwnd = 1
+	}
+	c.ssthresh = math.Max(c.cwnd, 2)
+	c.epochStart = 0
+	c.lastDecr = now
+}
+
+// OnTimeout implements CongestionControl.
+func (c *Cubic) OnTimeout(now sim.Time) {
+	c.wMax = c.cwnd
+	c.ssthresh = math.Max(c.cwnd*(1-c.Params.Beta), 2)
+	c.cwnd = 1
+	c.epochStart = 0
+	c.lastDecr = now
+}

@@ -1,0 +1,123 @@
+package tcp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// ecnDumbbell builds a dumbbell whose bottleneck runs marking RED.
+func ecnDumbbell(senders int) (*sim.Engine, *sim.Dumbbell, *sim.RED) {
+	eng := sim.NewEngine()
+	cfg := sim.DefaultDumbbell(senders)
+	bufBytes := int(cfg.BufferBDP * float64(cfg.BottleneckRate) / 8 * cfg.RTT.Seconds())
+	red := sim.NewRED(bufBytes, rand.New(rand.NewSource(1)))
+	red.MarkECT = true
+	cfg.Discipline = red
+	d := sim.NewDumbbell(eng, cfg)
+	return eng, d, red
+}
+
+func TestECNFlowGetsMarkedNotDropped(t *testing.T) {
+	eng, d, red := ecnDumbbell(2)
+	mon := d.Bottleneck.Monitor()
+	var senders []*Sender
+	var receivers []*Receiver
+	for i := 0; i < 2; i++ {
+		s, r := Connect(eng, sim.FlowID(i+1), d.Senders[i], d.Receivers[i], 0,
+			NewCubic(DefaultCubicParams()), Config{ECN: true})
+		s.Start()
+		senders = append(senders, s)
+		receivers = append(receivers, r)
+	}
+	eng.RunUntil(60 * sim.Second)
+
+	var marks, reductions, rexmits int64
+	for i := range senders {
+		marks += receivers[i].CongestionMarks
+		reductions += senders[i].Stats().ECNReductions
+		rexmits += senders[i].Stats().Retransmits
+	}
+	if red.Marked == 0 || marks == 0 {
+		t.Fatalf("no CE marks (red=%d rcv=%d)", red.Marked, marks)
+	}
+	if reductions == 0 {
+		t.Error("ECN echoes triggered no window reductions")
+	}
+	// ECN converts early drops into marks: the link should see (almost)
+	// no drops and the senders should rarely retransmit.
+	if mon.DroppedPackets > red.Marked/10 {
+		t.Errorf("drops %d should be far below marks %d", mon.DroppedPackets, red.Marked)
+	}
+	if rexmits > reductions {
+		t.Errorf("retransmits %d exceed ECN reductions %d: marking not doing its job", rexmits, reductions)
+	}
+	if mon.Utilization() < 0.8 {
+		t.Errorf("utilization %.2f too low under ECN", mon.Utilization())
+	}
+}
+
+func TestECNKeepsQueueShorterThanDropTail(t *testing.T) {
+	run := func(ecn bool) sim.Time {
+		var eng *sim.Engine
+		var d *sim.Dumbbell
+		if ecn {
+			eng, d, _ = ecnDumbbell(2)
+		} else {
+			eng = sim.NewEngine()
+			d = sim.NewDumbbell(eng, sim.DefaultDumbbell(2))
+		}
+		mon := d.Bottleneck.Monitor()
+		for i := 0; i < 2; i++ {
+			s, _ := Connect(eng, sim.FlowID(i+1), d.Senders[i], d.Receivers[i], 0,
+				NewCubic(DefaultCubicParams()), Config{ECN: ecn})
+			s.Start()
+		}
+		eng.RunUntil(60 * sim.Second)
+		return mon.MeanQueueDelay()
+	}
+	ecnDelay := run(true)
+	dropTailDelay := run(false)
+	t.Logf("mean queue delay: ECN/RED %v vs drop-tail %v", ecnDelay, dropTailDelay)
+	if ecnDelay >= dropTailDelay {
+		t.Errorf("ECN queue delay %v not below drop-tail %v", ecnDelay, dropTailDelay)
+	}
+}
+
+func TestNonECTFlowStillDroppedByMarkingRED(t *testing.T) {
+	eng, d, red := ecnDumbbell(1)
+	s, rcv := Connect(eng, 1, d.Senders[0], d.Receivers[0], 0,
+		NewCubic(DefaultCubicParams()), Config{ECN: false})
+	s.Start()
+	eng.RunUntil(30 * sim.Second)
+	if red.EarlyDrops == 0 {
+		t.Error("non-ECT traffic should still be early-dropped")
+	}
+	if rcv.CongestionMarks != 0 {
+		t.Error("non-ECT packets must not be marked")
+	}
+	if red.Marked != 0 {
+		t.Errorf("marked %d non-ECT packets", red.Marked)
+	}
+}
+
+func TestECEEchoLatchesUntilAcked(t *testing.T) {
+	r, col, eng := newLoopReceiver(t)
+	p := data(0, 100)
+	p.CE = true
+	r.Receive(p)
+	eng.Run()
+	if len(col.acks) != 1 || !col.acks[0].ECE {
+		t.Fatal("CE not echoed as ECE")
+	}
+	// Next ack without new CE carries no echo.
+	r.Receive(data(100, 100))
+	eng.Run()
+	if col.acks[1].ECE {
+		t.Error("ECE echoed without a new mark")
+	}
+	if r.CongestionMarks != 1 {
+		t.Errorf("marks = %d", r.CongestionMarks)
+	}
+}

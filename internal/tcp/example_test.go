@@ -1,0 +1,39 @@
+package tcp_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// One CUBIC transfer across the Figure 1 dumbbell.
+func Example() {
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(1))
+
+	snd, _ := tcp.Connect(eng, 1, d.Senders[0], d.Receivers[0], 500_000,
+		tcp.NewCubic(tcp.DefaultCubicParams()), tcp.Config{})
+	snd.Start()
+	eng.RunUntil(60 * sim.Second)
+
+	st := snd.Stats()
+	fmt.Println("completed:", st.Completed)
+	fmt.Println("bytes:", st.BytesAcked)
+	fmt.Println("min RTT ~150ms:", st.MinRTT >= 150*sim.Millisecond && st.MinRTT < 160*sim.Millisecond)
+	// Output:
+	// completed: true
+	// bytes: 500000
+	// min RTT ~150ms: true
+}
+
+// The three Cubic parameters the paper tunes.
+func ExampleCubicParams() {
+	def := tcp.DefaultCubicParams()
+	tuned := tcp.CubicParams{InitialWindow: 16, InitialSsthresh: 64, Beta: 0.2}
+	fmt.Println("default:", def)
+	fmt.Println("tuned:  ", tuned)
+	// Output:
+	// default: iw=2 ssthresh=65536 beta=0.2
+	// tuned:   iw=16 ssthresh=64 beta=0.2
+}

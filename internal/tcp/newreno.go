@@ -1,0 +1,75 @@
+package tcp
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// NewReno implements RFC 5681/6582 congestion control: slow start,
+// additive-increase congestion avoidance, and a half-window multiplicative
+// decrease on loss. It serves as the classical baseline alongside CUBIC.
+type NewReno struct {
+	// InitialWindow is the initial congestion window in segments (default 2).
+	InitialWindow int
+	// InitialSsthresh is the initial slow-start threshold (default 65536).
+	InitialSsthresh int
+
+	cwnd     float64
+	ssthresh float64
+}
+
+// NewNewReno returns a NewReno controller with RFC defaults.
+func NewNewReno() *NewReno {
+	return &NewReno{InitialWindow: 2, InitialSsthresh: 65536}
+}
+
+// Name implements CongestionControl.
+func (n *NewReno) Name() string { return "newreno" }
+
+// Init implements CongestionControl.
+func (n *NewReno) Init(now sim.Time) {
+	iw := n.InitialWindow
+	if iw == 0 {
+		iw = 2
+	}
+	ss := n.InitialSsthresh
+	if ss == 0 {
+		ss = 65536
+	}
+	n.cwnd = float64(iw)
+	n.ssthresh = float64(ss)
+}
+
+// Window implements CongestionControl.
+func (n *NewReno) Window() float64 { return n.cwnd }
+
+// Ssthresh implements CongestionControl.
+func (n *NewReno) Ssthresh() float64 { return n.ssthresh }
+
+// PacingInterval implements CongestionControl.
+func (n *NewReno) PacingInterval() sim.Time { return 0 }
+
+// OnAck implements CongestionControl.
+func (n *NewReno) OnAck(info AckInfo) {
+	if n.cwnd < n.ssthresh {
+		n.cwnd += info.AckedSegments
+		if n.cwnd > n.ssthresh {
+			n.cwnd = n.ssthresh
+		}
+		return
+	}
+	n.cwnd += info.AckedSegments / n.cwnd
+}
+
+// OnLoss implements CongestionControl.
+func (n *NewReno) OnLoss(now sim.Time) {
+	n.ssthresh = math.Max(n.cwnd/2, 2)
+	n.cwnd = n.ssthresh
+}
+
+// OnTimeout implements CongestionControl.
+func (n *NewReno) OnTimeout(now sim.Time) {
+	n.ssthresh = math.Max(n.cwnd/2, 2)
+	n.cwnd = 1
+}

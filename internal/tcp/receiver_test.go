@@ -1,0 +1,266 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// ackCollector captures acks emitted by a receiver under test.
+type ackCollector struct {
+	acks []*sim.Packet
+}
+
+func (a *ackCollector) Receive(p *sim.Packet) { a.acks = append(a.acks, p) }
+
+// newLoopReceiver wires a Receiver whose acks are captured locally.
+func newLoopReceiver(t *testing.T) (*Receiver, *ackCollector, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	rnode := sim.NewNode(eng, 2, "rcv")
+	snode := sim.NewNode(eng, 1, "snd")
+	col := &ackCollector{}
+	snode.Attach(1, col)
+	l := sim.NewLink(eng, "loop", 1_000_000_000, 0, 0, snode)
+	rnode.SetDefaultRoute(l)
+	r := NewReceiver(eng, 1, rnode, 1)
+	return r, col, eng
+}
+
+func data(seq int64, payload int) *sim.Packet {
+	return &sim.Packet{Flow: 1, Src: 1, Dst: 2, Kind: sim.KindData,
+		Seq: seq, Payload: payload, Size: payload + HeaderBytes, SentAt: 1}
+}
+
+func TestReceiverInOrderDelivery(t *testing.T) {
+	r, col, eng := newLoopReceiver(t)
+	r.Receive(data(0, 100))
+	r.Receive(data(100, 100))
+	eng.Run()
+	if r.RcvNxt() != 200 {
+		t.Errorf("rcvNxt = %d, want 200", r.RcvNxt())
+	}
+	if r.BytesReceived != 200 {
+		t.Errorf("bytes = %d, want 200", r.BytesReceived)
+	}
+	if len(col.acks) != 2 {
+		t.Fatalf("%d acks, want 2", len(col.acks))
+	}
+	if col.acks[1].Ack != 200 {
+		t.Errorf("last ack = %d, want 200", col.acks[1].Ack)
+	}
+}
+
+func TestReceiverOutOfOrderBuffering(t *testing.T) {
+	r, col, eng := newLoopReceiver(t)
+	r.Receive(data(100, 100)) // hole at 0
+	r.Receive(data(200, 100))
+	eng.Run()
+	if r.RcvNxt() != 0 {
+		t.Errorf("rcvNxt = %d, want 0 while hole open", r.RcvNxt())
+	}
+	// Duplicate acks for the hole.
+	for _, a := range col.acks {
+		if a.Ack != 0 {
+			t.Errorf("ack = %d, want 0", a.Ack)
+		}
+	}
+	r.Receive(data(0, 100)) // fill the hole
+	eng.Run()
+	if r.RcvNxt() != 300 {
+		t.Errorf("rcvNxt = %d, want 300 after fill", r.RcvNxt())
+	}
+	if r.BytesReceived != 300 {
+		t.Errorf("bytes = %d, want 300", r.BytesReceived)
+	}
+}
+
+func TestReceiverCountsDuplicates(t *testing.T) {
+	r, _, eng := newLoopReceiver(t)
+	r.Receive(data(0, 100))
+	r.Receive(data(0, 100))
+	eng.Run()
+	if r.Duplicates != 1 {
+		t.Errorf("duplicates = %d, want 1", r.Duplicates)
+	}
+	if r.BytesReceived != 100 {
+		t.Errorf("bytes = %d, want 100 (no double count)", r.BytesReceived)
+	}
+}
+
+func TestReceiverOverlappingSegment(t *testing.T) {
+	r, _, eng := newLoopReceiver(t)
+	r.Receive(data(0, 100))
+	r.Receive(data(50, 100)) // overlaps [50,150): only 50 new bytes
+	eng.Run()
+	if r.RcvNxt() != 150 {
+		t.Errorf("rcvNxt = %d, want 150", r.RcvNxt())
+	}
+	if r.BytesReceived != 150 {
+		t.Errorf("bytes = %d, want 150", r.BytesReceived)
+	}
+}
+
+func TestReceiverEchoesKarnMetadata(t *testing.T) {
+	r, col, eng := newLoopReceiver(t)
+	p := data(0, 100)
+	p.SentAt = 42 * sim.Millisecond
+	p.Retransmit = true
+	r.Receive(p)
+	eng.Run()
+	if len(col.acks) != 1 {
+		t.Fatal("no ack")
+	}
+	a := col.acks[0]
+	if a.EchoSentAt != 42*sim.Millisecond || !a.Retransmit {
+		t.Errorf("ack echo = (%v, %v), want (42ms, true)", a.EchoSentAt, a.Retransmit)
+	}
+	if a.Size != HeaderBytes {
+		t.Errorf("ack size = %d, want %d", a.Size, HeaderBytes)
+	}
+}
+
+func TestReceiverIgnoresAcks(t *testing.T) {
+	r, col, eng := newLoopReceiver(t)
+	r.Receive(&sim.Packet{Flow: 1, Kind: sim.KindAck, Ack: 500})
+	eng.Run()
+	if len(col.acks) != 0 || r.RcvNxt() != 0 {
+		t.Error("receiver reacted to an ack packet")
+	}
+}
+
+func TestReceiverManyOutOfOrderSegmentsDrainInOnePass(t *testing.T) {
+	r, _, eng := newLoopReceiver(t)
+	// Deliver segments 1..9 out of order, then segment 0.
+	for i := 9; i >= 1; i-- {
+		r.Receive(data(int64(i*100), 100))
+	}
+	r.Receive(data(0, 100))
+	eng.Run()
+	if r.RcvNxt() != 1000 {
+		t.Errorf("rcvNxt = %d, want 1000", r.RcvNxt())
+	}
+	if r.BytesReceived != 1000 {
+		t.Errorf("bytes = %d, want 1000", r.BytesReceived)
+	}
+}
+
+func TestSenderIgnoresDataPackets(t *testing.T) {
+	eng := sim.NewEngine()
+	n := sim.NewNode(eng, 1, "n")
+	s := NewSender(eng, 1, n, 2, 1000, NewCubic(DefaultCubicParams()), Config{})
+	s.Start()
+	s.Receive(data(0, 100)) // must not panic or corrupt state
+	if s.Done() {
+		t.Error("sender completed on a data packet")
+	}
+}
+
+func TestDelayedAcksHalveAckCount(t *testing.T) {
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(2))
+	// Flow 1: immediate acks. Flow 2: delayed acks.
+	s1, r1 := Connect(eng, 1, d.Senders[0], d.Receivers[0], 2_000_000,
+		NewCubic(DefaultCubicParams()), Config{})
+	s2, r2 := Connect(eng, 2, d.Senders[1], d.Receivers[1], 2_000_000,
+		NewCubic(DefaultCubicParams()), Config{})
+	r2.DelayAcks = true
+	s1.Start()
+	s2.Start()
+	eng.RunUntil(120 * sim.Second)
+	if !s1.Done() || !s2.Done() {
+		t.Fatalf("transfers incomplete: %v %v", s1.Done(), s2.Done())
+	}
+	if s2.Stats().BytesAcked != 2_000_000 {
+		t.Errorf("delayed-ack flow acked %d bytes", s2.Stats().BytesAcked)
+	}
+	// The delayed-ack receiver sends noticeably fewer acks.
+	if float64(r2.AcksSent) > 0.75*float64(r1.AcksSent) {
+		t.Errorf("delayed acks = %d vs immediate %d, want clearly fewer", r2.AcksSent, r1.AcksSent)
+	}
+}
+
+func TestDelayedAckTimerFiresForOddSegment(t *testing.T) {
+	r, col, eng := newLoopReceiver(t)
+	r.DelayAcks = true
+	r.AckDelay = 40 * sim.Millisecond
+	r.Receive(data(0, 100)) // one in-order segment: ack is deferred
+	eng.RunUntil(10 * sim.Millisecond)
+	if len(col.acks) != 0 {
+		t.Fatalf("ack sent before delay: %d", len(col.acks))
+	}
+	eng.RunUntil(100 * sim.Millisecond)
+	if len(col.acks) != 1 {
+		t.Fatalf("delayed ack not sent: %d", len(col.acks))
+	}
+	if col.acks[0].Ack != 100 {
+		t.Errorf("delayed ack = %d, want 100", col.acks[0].Ack)
+	}
+	if r.DelayedAcks != 1 {
+		t.Errorf("DelayedAcks = %d", r.DelayedAcks)
+	}
+}
+
+func TestDelayedAckImmediateOnOutOfOrder(t *testing.T) {
+	r, col, eng := newLoopReceiver(t)
+	r.DelayAcks = true
+	r.Receive(data(100, 100)) // out of order: ack immediately
+	eng.RunUntil(sim.Millisecond)
+	if len(col.acks) != 1 {
+		t.Fatalf("OOO data not acked immediately: %d acks", len(col.acks))
+	}
+	// Hole fill also acks immediately (it changes the cumulative point).
+	r.Receive(data(0, 100))
+	eng.RunUntil(2 * sim.Millisecond)
+	if len(col.acks) != 2 {
+		t.Fatalf("hole fill not acked immediately: %d acks", len(col.acks))
+	}
+	if col.acks[1].Ack != 200 {
+		t.Errorf("cumulative ack = %d, want 200", col.acks[1].Ack)
+	}
+}
+
+func TestDelayedAckSecondSegmentAcksAtOnce(t *testing.T) {
+	r, col, eng := newLoopReceiver(t)
+	r.DelayAcks = true
+	r.Receive(data(0, 100))
+	r.Receive(data(100, 100))
+	eng.RunUntil(sim.Millisecond)
+	if len(col.acks) != 1 {
+		t.Fatalf("second segment should flush the ack: %d acks", len(col.acks))
+	}
+	if col.acks[0].Ack != 200 {
+		t.Errorf("ack = %d, want 200", col.acks[0].Ack)
+	}
+	if r.DelayedAcks != 0 {
+		t.Error("timer should not have fired")
+	}
+}
+
+// TestEndToEndConservation: at completion, the receiver holds exactly the
+// bytes the sender believes were delivered, for several loss regimes.
+func TestEndToEndConservation(t *testing.T) {
+	for _, buf := range []float64{5, 0.5, 0.1} {
+		cfg := sim.DefaultDumbbell(1)
+		cfg.BufferBDP = buf
+		eng := sim.NewEngine()
+		d := sim.NewDumbbell(eng, cfg)
+		snd, rcv := Connect(eng, 1, d.Senders[0], d.Receivers[0], 3_000_000,
+			NewCubic(DefaultCubicParams()), Config{})
+		snd.Start()
+		eng.RunUntil(600 * sim.Second)
+		if !snd.Done() {
+			t.Fatalf("buf=%v: incomplete", buf)
+		}
+		st := snd.Stats()
+		if st.BytesAcked != 3_000_000 {
+			t.Errorf("buf=%v: acked %d", buf, st.BytesAcked)
+		}
+		if rcv.BytesReceived != 3_000_000 {
+			t.Errorf("buf=%v: receiver got %d in-order bytes", buf, rcv.BytesReceived)
+		}
+		if rcv.RcvNxt() != 3_000_000 {
+			t.Errorf("buf=%v: rcvNxt %d", buf, rcv.RcvNxt())
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestTransferSurvivesArbitraryImpairments is the transport's central
+// robustness property: under any combination of random loss (up to 20%),
+// jitter, and reordering on the data path, a bounded transfer still
+// completes and delivers exactly its bytes.
+func TestTransferSurvivesArbitraryImpairments(t *testing.T) {
+	f := func(seed int64, lossRaw, reorderRaw, jitterRaw uint8) bool {
+		imp := sim.Impairments{
+			LossRate:     float64(lossRaw%21) / 100,    // 0..20%
+			ReorderRate:  float64(reorderRaw%16) / 100, // 0..15%
+			ReorderDelay: 8 * sim.Millisecond,
+			JitterMax:    sim.Time(jitterRaw%20) * sim.Millisecond,
+		}
+		eng := sim.NewEngine()
+		rng := sim.NewRNG(seed)
+		snd := sim.NewNode(eng, 1, "snd")
+		rcv := sim.NewNode(eng, 2, "rcv")
+		wrapped := sim.NewImpairedLink(eng, rng, rcv, imp)
+		fwd := sim.NewLink(eng, "fwd", 8_000_000, 20*sim.Millisecond, 1<<19, wrapped)
+		rev := sim.NewLink(eng, "rev", 8_000_000, 20*sim.Millisecond, 1<<19, snd)
+		snd.SetDefaultRoute(fwd)
+		rcv.SetDefaultRoute(rev)
+
+		const bytes = 400_000
+		sender, receiver := Connect(eng, 1, snd, rcv, bytes,
+			NewCubic(DefaultCubicParams()), Config{})
+		sender.Start()
+		eng.RunUntil(30 * 60 * sim.Second) // generous horizon for 20% loss
+		if !sender.Done() {
+			t.Logf("seed=%d imp=%+v: incomplete after 30min: %+v", seed, imp, sender.Stats())
+			return false
+		}
+		st := sender.Stats()
+		return st.BytesAcked == bytes && st.Completed &&
+			receiver.RcvNxt() == bytes && receiver.BytesReceived == bytes
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransferSurvivesAckPathLoss: impairing the reverse (ack) path must
+// not break reliability either.
+func TestTransferSurvivesAckPathLoss(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(77)
+	snd := sim.NewNode(eng, 1, "snd")
+	rcv := sim.NewNode(eng, 2, "rcv")
+	fwd := sim.NewLink(eng, "fwd", 8_000_000, 20*sim.Millisecond, 1<<19, rcv)
+	ackImp := sim.NewImpairedLink(eng, rng, snd, sim.Impairments{LossRate: 0.3})
+	rev := sim.NewLink(eng, "rev", 8_000_000, 20*sim.Millisecond, 1<<19, ackImp)
+	snd.SetDefaultRoute(fwd)
+	rcv.SetDefaultRoute(rev)
+
+	sender, _ := Connect(eng, 1, snd, rcv, 500_000, NewCubic(DefaultCubicParams()), Config{})
+	sender.Start()
+	eng.RunUntil(10 * 60 * sim.Second)
+	if !sender.Done() || sender.Stats().BytesAcked != 500_000 {
+		t.Fatalf("transfer with 30%% ack loss incomplete: %+v", sender.Stats())
+	}
+}
+
+// TestManyShortFlowsUnderLoss: the workload pattern of the paper (many
+// short connections) under random loss — every connection must finish.
+func TestManyShortFlowsUnderLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(5)
+	snd := sim.NewNode(eng, 1, "snd")
+	rcv := sim.NewNode(eng, 2, "rcv")
+	imp := sim.NewImpairedLink(eng, rng, rcv, sim.Impairments{LossRate: 0.05})
+	fwd := sim.NewLink(eng, "fwd", 8_000_000, 20*sim.Millisecond, 1<<19, imp)
+	rev := sim.NewLink(eng, "rev", 8_000_000, 20*sim.Millisecond, 1<<19, snd)
+	snd.SetDefaultRoute(fwd)
+	rev.Monitor()
+	rcv.SetDefaultRoute(rev)
+
+	completed := 0
+	var launch func(i int)
+	launch = func(i int) {
+		if i >= 50 {
+			return
+		}
+		s, _ := Connect(eng, sim.FlowID(i+1), snd, rcv, 30_000,
+			NewCubic(DefaultCubicParams()), Config{OnComplete: func(st *FlowStats) {
+				if st.Completed {
+					completed++
+				}
+				launch(i + 1)
+			}})
+		s.Start()
+	}
+	launch(0)
+	eng.RunUntil(20 * 60 * sim.Second)
+	if completed != 50 {
+		t.Errorf("completed %d/50 short flows under 5%% loss", completed)
+	}
+}

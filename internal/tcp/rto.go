@@ -1,0 +1,75 @@
+package tcp
+
+import "repro/internal/sim"
+
+// rtoEstimator implements the RFC 6298 retransmission timeout computation
+// (SRTT/RTTVAR smoothing with the standard gains) with exponential backoff.
+type rtoEstimator struct {
+	srtt    sim.Time
+	rttvar  sim.Time
+	hasRTT  bool
+	rto     sim.Time
+	backoff uint
+
+	min, max sim.Time
+}
+
+func newRTOEstimator(initial, min, max sim.Time) *rtoEstimator {
+	return &rtoEstimator{rto: initial, min: min, max: max}
+}
+
+// Sample folds a new RTT measurement in and resets the backoff.
+func (r *rtoEstimator) Sample(rtt sim.Time) {
+	if !r.hasRTT {
+		r.srtt = rtt
+		r.rttvar = rtt / 2
+		r.hasRTT = true
+	} else {
+		diff := r.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		r.rttvar = (3*r.rttvar + diff) / 4
+		r.srtt = (7*r.srtt + rtt) / 8
+	}
+	r.backoff = 0
+	r.update()
+}
+
+func (r *rtoEstimator) update() {
+	rto := r.srtt + 4*r.rttvar
+	if rto < r.min {
+		rto = r.min
+	}
+	for i := uint(0); i < r.backoff; i++ {
+		rto *= 2
+		if rto >= r.max {
+			break
+		}
+	}
+	if rto > r.max {
+		rto = r.max
+	}
+	r.rto = rto
+}
+
+// Backoff doubles the timeout after an expiry (Karn's algorithm).
+func (r *rtoEstimator) Backoff() {
+	if r.backoff < 16 {
+		r.backoff++
+	}
+	if !r.hasRTT {
+		r.rto *= 2
+		if r.rto > r.max {
+			r.rto = r.max
+		}
+		return
+	}
+	r.update()
+}
+
+// RTO returns the current timeout value.
+func (r *rtoEstimator) RTO() sim.Time { return r.rto }
+
+// SRTT returns the smoothed RTT (zero before the first sample).
+func (r *rtoEstimator) SRTT() sim.Time { return r.srtt }

@@ -1,0 +1,493 @@
+package tcp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// segState tracks a sent-but-unacked segment on the SACK scoreboard.
+type segState struct {
+	length    int
+	sacked    bool
+	lost      bool
+	rexmitted bool
+	// rexmitHS and rexmitAt snapshot highestSacked and the clock at
+	// retransmission time; once the sacked frontier advances 3 segments
+	// past rexmitHS and at least a smoothed RTT has elapsed without this
+	// segment being sacked, the retransmission itself is deemed lost.
+	rexmitHS int64
+	rexmitAt sim.Time
+}
+
+// Sender is a packet-level TCP sender with SACK-based loss recovery
+// (RFC 2018/6675 style, at segment granularity). It transmits TotalBytes
+// (or streams forever if TotalBytes <= 0), detects loss via SACK/dupacks
+// and via retransmission timeout, and delegates window evolution to the
+// CongestionControl.
+type Sender struct {
+	eng  *sim.Engine
+	node *sim.Node
+	peer sim.NodeID
+	flow sim.FlowID
+	cc   CongestionControl
+	cfg  Config
+
+	// TotalBytes is the transfer length; <= 0 streams indefinitely.
+	TotalBytes int64
+
+	started bool
+	done    bool
+
+	sndUna int64 // lowest unacknowledged byte
+	sndNxt int64 // next new byte to transmit
+
+	// SACK scoreboard, keyed by segment start sequence.
+	board         map[int64]*segState
+	sackedBytes   int64
+	lostUnrex     int64 // bytes marked lost and not yet retransmitted
+	highestSacked int64 // highest sacked segment start + length, 0 if none
+	lossScan      int64 // lowest sequence not yet classified for loss
+
+	dupAcks     int
+	inRecovery  bool
+	recover     int64 // snd.nxt when recovery began
+	lostQueue   []int64
+	rexmitWatch []int64  // outstanding retransmissions, for re-loss detection
+	lastDecr    sim.Time // last congestion-window decrease
+
+	rto      *rtoEstimator
+	rtoTimer sim.EventHandle
+
+	// Pacing state for rate-based controllers.
+	nextSendAt sim.Time
+	paceTimer  sim.EventHandle
+
+	stats FlowStats
+}
+
+// NewSender creates a sender for flow on node, addressed to peer, and
+// attaches it to the node. Call Start to begin transmitting.
+func NewSender(eng *sim.Engine, flow sim.FlowID, node *sim.Node, peer sim.NodeID, totalBytes int64, cc CongestionControl, cfg Config) *Sender {
+	c := cfg.withDefaults()
+	s := &Sender{
+		eng: eng, node: node, peer: peer, flow: flow, cc: cc, cfg: c,
+		TotalBytes: totalBytes,
+		board:      make(map[int64]*segState),
+		rto:        newRTOEstimator(c.RTOInit, c.RTOMin, c.RTOMax),
+	}
+	node.Attach(flow, s)
+	return s
+}
+
+// Stats returns a snapshot of the connection statistics so far.
+func (s *Sender) Stats() FlowStats { return s.stats }
+
+// CC exposes the congestion controller (for tests and instrumentation).
+func (s *Sender) CC() CongestionControl { return s.cc }
+
+// Done reports whether the transfer has completed or been stopped.
+func (s *Sender) Done() bool { return s.done }
+
+// InRecovery reports whether the sender is in fast recovery.
+func (s *Sender) InRecovery() bool { return s.inRecovery }
+
+// Start begins the transfer at the current virtual time.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.stats.Flow = s.flow
+	s.stats.Start = s.eng.Now()
+	s.cc.Init(s.eng.Now())
+	s.trySend()
+}
+
+// Stop ends an unbounded transfer (or aborts a bounded one), finalizing
+// statistics and firing OnComplete.
+func (s *Sender) Stop() {
+	if s.done {
+		return
+	}
+	s.finish(s.TotalBytes > 0 && s.sndUna >= s.TotalBytes)
+}
+
+func (s *Sender) finish(completed bool) {
+	s.done = true
+	s.rtoTimer.Cancel()
+	s.paceTimer.Cancel()
+	s.stats.End = s.eng.Now()
+	s.stats.Completed = completed
+	s.node.Detach(s.flow)
+	if s.cfg.OnComplete != nil {
+		s.cfg.OnComplete(&s.stats)
+	}
+}
+
+// cwndBytes returns the usable window in bytes (at least one segment).
+func (s *Sender) cwndBytes() int64 {
+	w := s.cc.Window()
+	if w < 1 {
+		w = 1
+	}
+	return int64(w * float64(s.cfg.MSS))
+}
+
+// pipeBytes estimates the bytes currently in flight: everything sent but
+// unacked, minus what the receiver holds (sacked) and what is known lost
+// and not yet retransmitted.
+func (s *Sender) pipeBytes() int64 {
+	p := s.sndNxt - s.sndUna - s.sackedBytes - s.lostUnrex
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// trySend transmits retransmissions first, then new segments, as the
+// window (and pacing) allows.
+func (s *Sender) trySend() {
+	if s.done || !s.started {
+		return
+	}
+	for {
+		if s.pipeBytes()+int64(s.cfg.MSS) > s.cwndBytes() {
+			return // window full
+		}
+		if pace := s.cc.PacingInterval(); pace > 0 {
+			now := s.eng.Now()
+			if now < s.nextSendAt {
+				if !s.paceTimer.Pending() {
+					s.paceTimer = s.eng.At(s.nextSendAt, s.trySend)
+				}
+				return
+			}
+			s.nextSendAt = now + pace
+		}
+		if seq, st, ok := s.popLost(); ok {
+			st.rexmitted = true
+			st.rexmitHS = s.highestSacked
+			st.rexmitAt = s.eng.Now()
+			s.lostUnrex -= int64(st.length)
+			s.rexmitWatch = append(s.rexmitWatch, seq)
+			s.transmit(seq, st.length, true)
+			continue
+		}
+		if s.TotalBytes > 0 && s.sndNxt >= s.TotalBytes {
+			return // everything transmitted, waiting for acks
+		}
+		payload := int64(s.cfg.MSS)
+		if s.TotalBytes > 0 && s.sndNxt+payload > s.TotalBytes {
+			payload = s.TotalBytes - s.sndNxt
+		}
+		s.board[s.sndNxt] = &segState{length: int(payload)}
+		s.transmit(s.sndNxt, int(payload), false)
+		s.sndNxt += payload
+	}
+}
+
+// popLost returns the next lost, unretransmitted segment, skipping stale
+// queue entries.
+func (s *Sender) popLost() (int64, *segState, bool) {
+	for len(s.lostQueue) > 0 {
+		seq := s.lostQueue[0]
+		s.lostQueue = s.lostQueue[1:]
+		st := s.board[seq]
+		if st == nil || st.sacked || st.rexmitted || seq < s.sndUna {
+			continue
+		}
+		return seq, st, true
+	}
+	return 0, nil, false
+}
+
+// transmit sends one data segment.
+func (s *Sender) transmit(seq int64, payload int, retransmit bool) {
+	p := &sim.Packet{
+		Flow: s.flow, Src: s.node.ID, Dst: s.peer, Kind: sim.KindData,
+		Seq: seq, Payload: payload, Size: payload + HeaderBytes,
+		SentAt: s.eng.Now(), Retransmit: retransmit,
+		ECT: s.cfg.ECN,
+	}
+	s.stats.PacketsSent++
+	if retransmit {
+		s.stats.Retransmits++
+	}
+	s.node.Send(p)
+	// RFC 6298 (5.1): start the timer when data is sent and it is not
+	// already running. It is restarted only when an ack advances snd.una,
+	// so it measures time since the oldest outstanding data.
+	if !s.rtoTimer.Pending() {
+		s.armRTO()
+	}
+}
+
+func (s *Sender) armRTO() {
+	s.rtoTimer.Cancel()
+	s.rtoTimer = s.eng.After(s.rto.RTO(), s.onTimeout)
+}
+
+// Receive handles incoming acks.
+func (s *Sender) Receive(p *sim.Packet) {
+	if s.done || p.Kind != sim.KindAck {
+		return
+	}
+	if p.ECE {
+		// RFC 3168: react to an echoed congestion mark at most once per
+		// round trip, with a window reduction but no retransmission.
+		wait := s.rto.SRTT()
+		if wait <= 0 {
+			wait = s.rto.RTO() / 2
+		}
+		if now := s.eng.Now(); now-s.lastDecr >= wait {
+			s.lastDecr = now
+			s.stats.ECNReductions++
+			s.cc.OnLoss(now)
+		}
+	}
+	prevSacked := s.sackedBytes
+	s.mergeSack(p.Sack)
+	if p.Ack > s.sndUna {
+		s.onNewAck(p)
+	} else if p.Ack == s.sndUna && s.sndNxt > s.sndUna {
+		s.onDupAck()
+		// New SACK information is forward progress: the peer is still
+		// receiving. Restarting the timer here prevents spurious RTOs when
+		// queueing suddenly inflates the RTT beyond a stale RTO.
+		if s.sackedBytes > prevSacked && s.sndNxt > s.sndUna {
+			s.armRTO()
+		}
+	}
+	s.detectLoss()
+	s.trySend()
+}
+
+// mergeSack folds the receiver's SACK ranges into the scoreboard.
+func (s *Sender) mergeSack(blocks [][2]int64) {
+	for _, b := range blocks {
+		// Mark whole segments covered by [b[0], b[1]).
+		start := b[0]
+		if rem := start % int64(s.cfg.MSS); rem != 0 {
+			start += int64(s.cfg.MSS) - rem
+		}
+		for seq := start; seq < b[1]; {
+			st := s.board[seq]
+			if st == nil {
+				// Unknown alignment (shortened tail segment); scan by MSS.
+				seq += int64(s.cfg.MSS)
+				continue
+			}
+			if seq+int64(st.length) <= b[1] && !st.sacked && seq >= s.sndUna {
+				st.sacked = true
+				s.sackedBytes += int64(st.length)
+				if st.lost && !st.rexmitted {
+					// No longer a hole: keep the pipe accounting tight.
+					s.lostUnrex -= int64(st.length)
+				}
+				if end := seq + int64(st.length); end > s.highestSacked {
+					s.highestSacked = end
+				}
+			}
+			seq += int64(st.length)
+		}
+	}
+}
+
+// detectLoss classifies segments well below the highest SACK as lost
+// (the SACK analogue of three duplicate acks) and enters recovery.
+func (s *Sender) detectLoss() {
+	if s.highestSacked == 0 {
+		return
+	}
+	threshold := s.highestSacked - int64(s.cfg.DupAckThreshold)*int64(s.cfg.MSS)
+	if s.lossScan < s.sndUna {
+		s.lossScan = s.sndUna
+	}
+	newlyLost := false
+	reLost := false
+	for seq := s.lossScan; seq < threshold; {
+		st := s.board[seq]
+		if st == nil {
+			seq += int64(s.cfg.MSS)
+			continue
+		}
+		if !st.sacked && !st.lost {
+			st.lost = true
+			s.lostUnrex += int64(st.length)
+			s.lostQueue = append(s.lostQueue, seq)
+			newlyLost = true
+		}
+		seq += int64(st.length)
+	}
+	if threshold > s.lossScan {
+		s.lossScan = threshold
+	}
+	// Re-loss: a retransmission is presumed dropped once the sacked
+	// frontier has advanced 3 segments past where it stood when the
+	// retransmission went out AND a smoothed RTT has elapsed (so we do not
+	// re-declare loss before the retransmission could possibly be acked).
+	// Requeue it so recovery cannot deadlock on a dropped retransmission.
+	wait := s.rto.SRTT()
+	if wait <= 0 {
+		wait = s.rto.RTO() / 2
+	}
+	now := s.eng.Now()
+	kept := s.rexmitWatch[:0]
+	for _, seq := range s.rexmitWatch {
+		st := s.board[seq]
+		if st == nil || st.sacked || seq < s.sndUna || !st.rexmitted {
+			continue
+		}
+		if s.highestSacked >= st.rexmitHS+int64(s.cfg.DupAckThreshold)*int64(s.cfg.MSS) && now-st.rexmitAt >= wait {
+			st.rexmitted = false
+			st.lost = true
+			s.lostUnrex += int64(st.length)
+			s.lostQueue = append(s.lostQueue, seq)
+			reLost = true
+			continue
+		}
+		kept = append(kept, seq)
+	}
+	s.rexmitWatch = kept
+	if newlyLost && !s.inRecovery {
+		s.enterRecovery()
+	} else if reLost && now-s.lastDecr >= wait {
+		// A dropped retransmission means the loss event is still in
+		// progress: apply a further once-per-round-trip window decrease
+		// (in the spirit of PRR/rate-halving) so a window far above the
+		// pipe cannot jam recovery indefinitely.
+		s.lastDecr = now
+		s.cc.OnLoss(now)
+	}
+}
+
+func (s *Sender) enterRecovery() {
+	s.inRecovery = true
+	s.recover = s.sndNxt
+	s.stats.FastRecoveries++
+	s.lastDecr = s.eng.Now()
+	s.cc.OnLoss(s.eng.Now())
+}
+
+func (s *Sender) onNewAck(p *sim.Packet) {
+	now := s.eng.Now()
+	acked := p.Ack - s.sndUna
+	// Prune the scoreboard below the new left edge.
+	for seq := s.sndUna; seq < p.Ack; {
+		st := s.board[seq]
+		if st == nil {
+			seq += int64(s.cfg.MSS)
+			continue
+		}
+		if st.sacked {
+			s.sackedBytes -= int64(st.length)
+		} else if st.lost && !st.rexmitted {
+			s.lostUnrex -= int64(st.length)
+		}
+		delete(s.board, seq)
+		seq += int64(st.length)
+	}
+	s.sndUna = p.Ack
+	s.stats.BytesAcked += acked
+	s.dupAcks = 0
+
+	var rtt sim.Time
+	if !p.Retransmit && p.EchoSentAt > 0 {
+		rtt = now - p.EchoSentAt
+		s.rto.Sample(rtt)
+		s.stats.addRTTSample(rtt)
+	}
+
+	if s.inRecovery && p.Ack >= s.recover {
+		// Exit recovery. Queued lost segments (losses from what is now the
+		// next epoch) stay queued: clearing them would leak permanently
+		// un-retransmitted holes, since lossScan never revisits them.
+		s.inRecovery = false
+	}
+
+	if !s.inRecovery {
+		s.cc.OnAck(AckInfo{
+			Now: now, SentAt: p.EchoSentAt, RTT: rtt,
+			AckedBytes: int(acked), AckedSegments: float64(acked) / float64(s.cfg.MSS),
+			FlightBytes: int(s.pipeBytes()),
+		})
+	}
+
+	if s.TotalBytes > 0 && s.sndUna >= s.TotalBytes {
+		s.finish(true)
+		return
+	}
+	if s.sndNxt > s.sndUna {
+		s.armRTO()
+	} else {
+		s.rtoTimer.Cancel()
+	}
+}
+
+func (s *Sender) onDupAck() {
+	s.dupAcks++
+	if s.dupAcks == s.cfg.DupAckThreshold && !s.inRecovery {
+		// Classic triple-dupack entry (covers SACK-less corner cases):
+		// treat the first unacked segment as lost.
+		if st := s.board[s.sndUna]; st != nil && !st.lost && !st.sacked {
+			st.lost = true
+			s.lostUnrex += int64(st.length)
+			s.lostQueue = append(s.lostQueue, s.sndUna)
+		}
+		s.enterRecovery()
+	}
+}
+
+func (s *Sender) onTimeout() {
+	if s.done {
+		return
+	}
+	s.stats.Timeouts++
+	s.dupAcks = 0
+	s.inRecovery = false
+	s.rto.Backoff()
+	s.cc.OnTimeout(s.eng.Now())
+	// Everything outstanding and unsacked is presumed lost and will be
+	// retransmitted under the collapsed window. SACK knowledge is kept so
+	// data the receiver already holds is not resent.
+	s.lostQueue = s.lostQueue[:0]
+	s.rexmitWatch = s.rexmitWatch[:0]
+	s.lostUnrex = 0
+	for seq := s.sndUna; seq < s.sndNxt; {
+		st := s.board[seq]
+		if st == nil {
+			seq += int64(s.cfg.MSS)
+			continue
+		}
+		if !st.sacked {
+			st.lost = true
+			st.rexmitted = false
+			s.lostUnrex += int64(st.length)
+			s.lostQueue = append(s.lostQueue, seq)
+		}
+		seq += int64(st.length)
+	}
+	s.armRTO() // restart for the retransmission about to go out
+	s.trySend()
+}
+
+// segmentLenAt returns the payload length of the segment starting at seq.
+func (s *Sender) segmentLenAt(seq int64) int {
+	l := int64(s.cfg.MSS)
+	if s.TotalBytes > 0 && seq+l > s.TotalBytes {
+		l = s.TotalBytes - seq
+	}
+	if l < 1 {
+		l = 1
+	}
+	return int(l)
+}
+
+// DebugState summarizes internal reliability state for debugging tools.
+func (s *Sender) DebugState() string {
+	return fmt.Sprintf("una=%d nxt=%d recover=%d pipe=%d sacked=%d lostUnrex=%d lq=%d watch=%d",
+		s.sndUna/int64(s.cfg.MSS), s.sndNxt/int64(s.cfg.MSS), s.recover/int64(s.cfg.MSS),
+		s.pipeBytes()/int64(s.cfg.MSS), s.sackedBytes/int64(s.cfg.MSS),
+		s.lostUnrex/int64(s.cfg.MSS), len(s.lostQueue), len(s.rexmitWatch))
+}

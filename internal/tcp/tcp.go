@@ -1,0 +1,187 @@
+// Package tcp implements packet-level TCP endpoints for the simulator:
+// a sender with slow start, fast retransmit/recovery and RTO, a cumulative-
+// ACK receiver, and pluggable congestion control. CUBIC — with the three
+// parameters the Phi paper tunes (windowInit_, initial_ssthresh, beta) —
+// and NewReno are provided; package remy plugs in its learned controller
+// through the same interface.
+package tcp
+
+import (
+	"repro/internal/sim"
+)
+
+// Default sizing constants. MSS is the payload per segment; a full-sized
+// data packet occupies MSS+HeaderBytes on the wire, an ACK HeaderBytes.
+const (
+	DefaultMSS  = 1448
+	HeaderBytes = 52
+)
+
+// AckInfo carries everything a congestion controller may want to know about
+// a (new, non-duplicate) cumulative acknowledgment.
+type AckInfo struct {
+	// Now is the virtual time the ack arrived.
+	Now sim.Time
+	// SentAt is when the acked data packet entered the network.
+	SentAt sim.Time
+	// RTT is the sampled round-trip time (zero if the sample was suppressed
+	// by Karn's rule because the data was a retransmission).
+	RTT sim.Time
+	// AckedBytes is the number of new bytes this ack covers.
+	AckedBytes int
+	// AckedSegments is AckedBytes expressed in MSS units.
+	AckedSegments float64
+	// FlightBytes is the number of bytes still outstanding after this ack.
+	FlightBytes int
+}
+
+// CongestionControl is the strategy interface the sender drives. Windows
+// are expressed in segments (MSS units) and may be fractional.
+//
+// Implementations are per-connection and need not be safe for concurrent
+// use; the simulator is single-threaded.
+type CongestionControl interface {
+	// Name identifies the scheme in results, e.g. "cubic".
+	Name() string
+	// Init is called once when the connection starts.
+	Init(now sim.Time)
+	// OnAck is called for every ack that advances the window.
+	OnAck(info AckInfo)
+	// OnLoss is called when a loss is detected by triple duplicate ack
+	// (entering fast recovery). It is not called again until recovery ends.
+	OnLoss(now sim.Time)
+	// OnTimeout is called on retransmission timeout.
+	OnTimeout(now sim.Time)
+	// Window returns the congestion window in segments (>= 1).
+	Window() float64
+	// Ssthresh returns the slow-start threshold in segments.
+	Ssthresh() float64
+	// PacingInterval returns the minimum spacing between data packet
+	// transmissions; zero disables pacing. Rate-based schemes (Remy) use
+	// this, window-based schemes return 0.
+	PacingInterval() sim.Time
+}
+
+// Config holds per-connection tunables independent of congestion control.
+// The zero value selects sane defaults.
+type Config struct {
+	// MSS is the segment payload size in bytes (default DefaultMSS).
+	MSS int
+	// RTOMin, RTOInit, RTOMax bound the retransmission timeout
+	// (defaults 200 ms, 1 s, 60 s).
+	RTOMin  sim.Time
+	RTOInit sim.Time
+	RTOMax  sim.Time
+	// DupAckThreshold is the duplicate-ack (and SACK-gap) count treated
+	// as loss (default 3). Section 3.2: raising it on paths where shared
+	// experience shows prevalent reordering avoids spurious retransmits.
+	DupAckThreshold int
+	// ECN enables RFC 3168 explicit congestion notification: data packets
+	// are sent ECN-capable, and an echoed congestion mark triggers one
+	// window reduction per round trip with no retransmission.
+	ECN bool
+	// OnComplete, if set, fires when the transfer finishes (bounded flows)
+	// or when Stop is called (unbounded flows).
+	OnComplete func(*FlowStats)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MSS == 0 {
+		out.MSS = DefaultMSS
+	}
+	if out.RTOMin == 0 {
+		out.RTOMin = 200 * sim.Millisecond
+	}
+	if out.RTOInit == 0 {
+		out.RTOInit = sim.Second
+	}
+	if out.RTOMax == 0 {
+		out.RTOMax = 60 * sim.Second
+	}
+	if out.DupAckThreshold == 0 {
+		out.DupAckThreshold = 3
+	}
+	return out
+}
+
+// FlowStats summarizes one connection, the raw material for the power
+// metric computations in package metrics.
+type FlowStats struct {
+	Flow  sim.FlowID
+	Start sim.Time
+	End   sim.Time
+
+	// BytesAcked is the number of payload bytes delivered (cumulatively
+	// acknowledged).
+	BytesAcked int64
+	// PacketsSent counts data packet transmissions, including retransmits.
+	PacketsSent int64
+	// Retransmits counts retransmitted data packets.
+	Retransmits int64
+	// Timeouts counts RTO firings.
+	Timeouts int64
+	// FastRecoveries counts entries into fast recovery.
+	FastRecoveries int64
+	// ECNReductions counts window reductions triggered by ECN echoes.
+	ECNReductions int64
+
+	// RTT aggregation over Karn-valid samples.
+	RTTCount int64
+	RTTSum   sim.Time
+	MinRTT   sim.Time
+	MaxRTT   sim.Time
+
+	// Completed reports whether the transfer delivered all requested bytes.
+	Completed bool
+}
+
+// Duration is the connection's lifetime ("on time" in the paper's terms).
+func (f *FlowStats) Duration() sim.Time { return f.End - f.Start }
+
+// ThroughputBps is delivered payload bits over the on-time.
+func (f *FlowStats) ThroughputBps() float64 {
+	d := f.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(f.BytesAcked) * 8 / d
+}
+
+// AvgRTT is the mean of the RTT samples, or zero if there were none.
+func (f *FlowStats) AvgRTT() sim.Time {
+	if f.RTTCount == 0 {
+		return 0
+	}
+	return f.RTTSum / sim.Time(f.RTTCount)
+}
+
+// QueueingDelay estimates the queueing component of delay as the average
+// RTT in excess of the propagation RTT.
+func (f *FlowStats) QueueingDelay(propRTT sim.Time) sim.Time {
+	q := f.AvgRTT() - propRTT
+	if q < 0 {
+		return 0
+	}
+	return q
+}
+
+// LossRate returns retransmitted / sent data packets, the sender-side loss
+// estimate used when link counters are unavailable.
+func (f *FlowStats) LossRate() float64 {
+	if f.PacketsSent == 0 {
+		return 0
+	}
+	return float64(f.Retransmits) / float64(f.PacketsSent)
+}
+
+func (f *FlowStats) addRTTSample(rtt sim.Time) {
+	f.RTTCount++
+	f.RTTSum += rtt
+	if f.MinRTT == 0 || rtt < f.MinRTT {
+		f.MinRTT = rtt
+	}
+	if rtt > f.MaxRTT {
+		f.MaxRTT = rtt
+	}
+}

@@ -1,0 +1,216 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runTransfer runs one bounded transfer over a fresh dumbbell and returns
+// the final stats plus the dumbbell for link inspection.
+func runTransfer(t *testing.T, bytes int64, cfg sim.DumbbellConfig, cc CongestionControl) (*FlowStats, *sim.Dumbbell) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, cfg)
+	d.Bottleneck.Monitor()
+	var got *FlowStats
+	snd, _ := Connect(eng, 1, d.Senders[0], d.Receivers[0], bytes,
+		cc, Config{OnComplete: func(st *FlowStats) { got = st }})
+	snd.Start()
+	eng.RunUntil(600 * sim.Second)
+	if got == nil {
+		t.Fatalf("transfer of %d bytes did not complete; sent=%d acked=%d timeouts=%d",
+			bytes, snd.Stats().PacketsSent, snd.Stats().BytesAcked, snd.Stats().Timeouts)
+	}
+	return got, d
+}
+
+func TestTransferCompletesLossless(t *testing.T) {
+	st, _ := runTransfer(t, 500_000, sim.DefaultDumbbell(1), NewCubic(DefaultCubicParams()))
+	if st.BytesAcked != 500_000 {
+		t.Errorf("acked %d bytes, want 500000", st.BytesAcked)
+	}
+	if !st.Completed {
+		t.Error("transfer not marked completed")
+	}
+	if st.Timeouts != 0 {
+		t.Errorf("unexpected timeouts: %d", st.Timeouts)
+	}
+}
+
+func TestTransferSmallerThanOneSegment(t *testing.T) {
+	st, _ := runTransfer(t, 100, sim.DefaultDumbbell(1), NewCubic(DefaultCubicParams()))
+	if st.BytesAcked != 100 {
+		t.Errorf("acked %d, want 100", st.BytesAcked)
+	}
+	// One RTT plus serialization.
+	if d := st.Duration(); d < 150*sim.Millisecond || d > 160*sim.Millisecond {
+		t.Errorf("1-segment transfer took %v, want ~150ms", d)
+	}
+}
+
+func TestTransferExactlyMultipleSegments(t *testing.T) {
+	st, _ := runTransfer(t, int64(3*DefaultMSS), sim.DefaultDumbbell(1), NewCubic(DefaultCubicParams()))
+	if st.BytesAcked != int64(3*DefaultMSS) {
+		t.Errorf("acked %d, want %d", st.BytesAcked, 3*DefaultMSS)
+	}
+}
+
+func TestRTTSamplesNearPropagation(t *testing.T) {
+	st, _ := runTransfer(t, 200_000, sim.DefaultDumbbell(1), NewCubic(DefaultCubicParams()))
+	if st.RTTCount == 0 {
+		t.Fatal("no RTT samples")
+	}
+	if st.MinRTT < 150*sim.Millisecond || st.MinRTT > 155*sim.Millisecond {
+		t.Errorf("min RTT %v, want ~150ms", st.MinRTT)
+	}
+	if st.AvgRTT() < st.MinRTT {
+		t.Error("avg RTT below min RTT")
+	}
+}
+
+func TestLongTransferSaturatesBottleneck(t *testing.T) {
+	// 100 MB at 15 Mbps: tens of seconds of steady state dominate the
+	// slow-start transient.
+	st, d := runTransfer(t, 100_000_000, sim.DefaultDumbbell(1), NewCubic(DefaultCubicParams()))
+	thr := st.ThroughputBps()
+	if thr < 0.65*15e6 {
+		t.Errorf("throughput %.2f Mbps, want > 9.75 Mbps", thr/1e6)
+	}
+	if thr > 15e6 {
+		t.Errorf("throughput %.2f Mbps exceeds line rate", thr/1e6)
+	}
+	// Utilization over the transfer lifetime (not the idle tail).
+	mon := d.Bottleneck.Monitor()
+	util := float64(mon.ForwardedBytes) * 8 / (15e6 * st.Duration().Seconds())
+	if util < 0.65 {
+		t.Errorf("bottleneck utilization %.2f, want > 0.65", util)
+	}
+}
+
+func TestLossRecoveryWithTinyBuffer(t *testing.T) {
+	cfg := sim.DefaultDumbbell(1)
+	cfg.BufferBDP = 0.1 // force drops during slow start
+	st, d := runTransfer(t, 5_000_000, cfg, NewCubic(DefaultCubicParams()))
+	if d.Bottleneck.Monitor().DroppedPackets == 0 {
+		t.Fatal("expected drops with a 0.1 BDP buffer")
+	}
+	if st.Retransmits == 0 {
+		t.Error("drops occurred but nothing was retransmitted")
+	}
+	if st.BytesAcked != 5_000_000 {
+		t.Errorf("acked %d, want 5000000 despite losses", st.BytesAcked)
+	}
+}
+
+func TestCompetingFlowsShareBottleneck(t *testing.T) {
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(2))
+	var stats []*FlowStats
+	for i := 0; i < 2; i++ {
+		snd, _ := Connect(eng, sim.FlowID(i+1), d.Senders[i], d.Receivers[i], 10_000_000,
+			NewCubic(DefaultCubicParams()), Config{OnComplete: func(st *FlowStats) { stats = append(stats, st) }})
+		snd.Start()
+	}
+	eng.RunUntil(300 * sim.Second)
+	if len(stats) != 2 {
+		t.Fatalf("%d flows completed, want 2", len(stats))
+	}
+	for _, st := range stats {
+		thr := st.ThroughputBps()
+		if thr < 0.2*15e6 || thr > 0.95*15e6 {
+			t.Errorf("flow %d throughput %.2f Mbps outside plausible sharing range", st.Flow, thr/1e6)
+		}
+	}
+}
+
+func TestTimeoutOnBlackhole(t *testing.T) {
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(1))
+	snd, _ := Connect(eng, 1, d.Senders[0], d.Receivers[0], 1_000_000,
+		NewCubic(DefaultCubicParams()), Config{})
+	snd.Start()
+	// Take the bottleneck down mid-transfer, then restore it.
+	eng.At(200*sim.Millisecond, func() { d.Bottleneck.SetDown(true) })
+	eng.At(3*sim.Second, func() { d.Bottleneck.SetDown(false) })
+	eng.RunUntil(300 * sim.Second)
+	st := snd.Stats()
+	if st.Timeouts == 0 {
+		t.Error("no RTO fired across a 2.8s blackhole")
+	}
+	if !snd.Done() || st.BytesAcked != 1_000_000 {
+		t.Errorf("transfer did not recover: done=%v acked=%d", snd.Done(), st.BytesAcked)
+	}
+}
+
+func TestUnboundedFlowStop(t *testing.T) {
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(1))
+	var done *FlowStats
+	snd, rcv := Connect(eng, 1, d.Senders[0], d.Receivers[0], 0,
+		NewCubic(DefaultCubicParams()), Config{OnComplete: func(st *FlowStats) { done = st }})
+	snd.Start()
+	eng.At(10*sim.Second, snd.Stop)
+	eng.RunUntil(11 * sim.Second)
+	if done == nil {
+		t.Fatal("Stop did not complete the flow")
+	}
+	if done.Completed {
+		t.Error("unbounded flow marked Completed")
+	}
+	if done.BytesAcked == 0 {
+		t.Error("unbounded flow moved no data")
+	}
+	if rcv.BytesReceived < done.BytesAcked {
+		t.Errorf("receiver got %d < acked %d", rcv.BytesReceived, done.BytesAcked)
+	}
+}
+
+func TestSenderStartIsIdempotent(t *testing.T) {
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(1))
+	snd, _ := Connect(eng, 1, d.Senders[0], d.Receivers[0], 10_000, NewCubic(DefaultCubicParams()), Config{})
+	snd.Start()
+	snd.Start()
+	eng.RunUntil(10 * sim.Second)
+	if !snd.Done() {
+		t.Error("transfer incomplete")
+	}
+	snd.Stop() // after done: no-op
+}
+
+func TestNewRenoTransferCompletes(t *testing.T) {
+	st, _ := runTransfer(t, 2_000_000, sim.DefaultDumbbell(1), NewNewReno())
+	if st.BytesAcked != 2_000_000 {
+		t.Errorf("acked %d, want 2000000", st.BytesAcked)
+	}
+}
+
+func TestFlowStatsDerivedMetrics(t *testing.T) {
+	st := &FlowStats{Start: 0, End: 2 * sim.Second, BytesAcked: 250_000,
+		PacketsSent: 100, Retransmits: 5}
+	if got := st.ThroughputBps(); got != 1e6 {
+		t.Errorf("throughput = %v, want 1e6", got)
+	}
+	if got := st.LossRate(); got != 0.05 {
+		t.Errorf("loss rate = %v, want 0.05", got)
+	}
+	st.addRTTSample(100 * sim.Millisecond)
+	st.addRTTSample(200 * sim.Millisecond)
+	if st.AvgRTT() != 150*sim.Millisecond {
+		t.Errorf("avg RTT = %v", st.AvgRTT())
+	}
+	if st.MinRTT != 100*sim.Millisecond || st.MaxRTT != 200*sim.Millisecond {
+		t.Errorf("min/max RTT = %v/%v", st.MinRTT, st.MaxRTT)
+	}
+	if q := st.QueueingDelay(100 * sim.Millisecond); q != 50*sim.Millisecond {
+		t.Errorf("queueing delay = %v, want 50ms", q)
+	}
+	if q := st.QueueingDelay(sim.Second); q != 0 {
+		t.Errorf("queueing delay clamped = %v, want 0", q)
+	}
+	empty := &FlowStats{}
+	if empty.ThroughputBps() != 0 || empty.AvgRTT() != 0 || empty.LossRate() != 0 {
+		t.Error("zero-value stats should yield zero metrics")
+	}
+}

@@ -1,0 +1,34 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// A complete experiment in one call: the paper's on/off workload over the
+// Figure 1 dumbbell, measured on the power metric.
+func Example() {
+	res := workload.Run(workload.Scenario{
+		Dumbbell:    sim.DefaultDumbbell(4),
+		MeanOnBytes: 100_000,               // exp-distributed transfer sizes
+		MeanOffTime: 500 * sim.Millisecond, // exp-distributed idle times
+		Duration:    30 * sim.Second,
+		Warmup:      3 * sim.Second,
+		Seed:        1,
+		CC: func(sender int) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl {
+				return tcp.NewCubic(tcp.DefaultCubicParams())
+			}
+		},
+	})
+	fmt.Println("flows ran:", len(res.Flows) > 50)
+	fmt.Println("utilization in (0,1]:", res.Utilization > 0 && res.Utilization <= 1)
+	fmt.Println("power positive:", res.LossPower() > 0)
+	// Output:
+	// flows ran: true
+	// utilization in (0,1]: true
+	// power positive: true
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/ipfix"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Trace-driven replay: instead of a synthetic on/off model, drive the
+// dumbbell with the flows of an IPFIX export — each record becomes one
+// transfer of its (sampling-corrected) size at its recorded start time.
+// This closes the loop between the Section 2.1 measurement pipeline and
+// the Section 2.2 simulations: the same records a collector gathered can
+// be replayed under any congestion-control scheme.
+
+// ReplayConfig parameterizes a replay run.
+type ReplayConfig struct {
+	// Dumbbell is the topology; senders are assigned to flows round-robin.
+	Dumbbell sim.DumbbellConfig
+	// Records are the flows to replay (start times are taken from
+	// FlowRecord.Start, rebased so the earliest starts at zero).
+	Records []ipfix.FlowRecord
+	// SampleN scales record octet counts back up (records gathered under
+	// 1-in-N sampling carry ~1/N of the true bytes); 0 or 1 replays as-is.
+	SampleN int
+	// MaxFlows bounds the replay (0 = all).
+	MaxFlows int
+	// Horizon bounds the simulation; 0 derives it from the trace span
+	// plus a drain margin.
+	Horizon sim.Time
+	// CC constructs a controller per flow (required).
+	CC func() tcp.CongestionControl
+	// TCP carries transport tunables.
+	TCP tcp.Config
+}
+
+// Replay runs the trace and returns the usual scenario result.
+func Replay(cfg ReplayConfig) Result {
+	if cfg.CC == nil {
+		panic("workload: ReplayConfig.CC is required")
+	}
+	records := cfg.Records
+	if cfg.MaxFlows > 0 && len(records) > cfg.MaxFlows {
+		records = records[:cfg.MaxFlows]
+	}
+	ordered := make([]ipfix.FlowRecord, len(records))
+	copy(ordered, records)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
+
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, cfg.Dumbbell)
+	mon := d.Bottleneck.Monitor()
+
+	res := Result{PropRTT: cfg.Dumbbell.RTT}
+	scale := int64(1)
+	if cfg.SampleN > 1 {
+		scale = int64(cfg.SampleN)
+	}
+
+	var base uint32
+	if len(ordered) > 0 {
+		base = ordered[0].Start
+	}
+	var lastStart sim.Time
+	var senders []*tcp.Sender
+	for i := range ordered {
+		rec := &ordered[i]
+		sender := i % cfg.Dumbbell.Senders
+		bytes := int64(rec.Octets) * scale
+		if bytes < 1 {
+			bytes = 1
+		}
+		at := sim.Time(rec.Start-base) * sim.Second
+		if at > lastStart {
+			lastStart = at
+		}
+		flow := sim.FlowID(i + 1)
+		i := i
+		eng.At(at, func() {
+			tcpCfg := cfg.TCP
+			tcpCfg.OnComplete = func(st *tcp.FlowStats) {
+				res.Flows = append(res.Flows, *st)
+				res.SenderOf = append(res.SenderOf, i%cfg.Dumbbell.Senders)
+			}
+			snd, _ := tcp.Connect(eng, flow, d.Senders[sender], d.Receivers[sender],
+				bytes, cfg.CC(), tcpCfg)
+			senders = append(senders, snd)
+			snd.Start()
+		})
+	}
+
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = lastStart + 60*sim.Second
+	}
+	eng.RunUntil(horizon)
+	for _, s := range senders {
+		if !s.Done() {
+			s.Stop()
+		}
+	}
+	res.Duration = horizon
+	res.Utilization = mon.Utilization()
+	res.LinkLossRate = mon.LossRate()
+	res.MeanQueueDelay = mon.MeanQueueDelay()
+	return res
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/ipfix"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+func replayRecord(start uint32, octets uint64, port uint16) ipfix.FlowRecord {
+	return ipfix.FlowRecord{
+		Key: ipfix.FlowKey{
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("100.1.2.3"),
+			SrcPort: 443, DstPort: port,
+		},
+		Octets: octets, Packets: octets / 1500, Start: start, End: start + 5,
+	}
+}
+
+func TestReplayRunsEveryRecord(t *testing.T) {
+	records := []ipfix.FlowRecord{
+		replayRecord(100, 50_000, 1),
+		replayRecord(101, 80_000, 2),
+		replayRecord(103, 20_000, 3),
+		replayRecord(100, 40_000, 4),
+	}
+	res := Replay(ReplayConfig{
+		Dumbbell: sim.DefaultDumbbell(2),
+		Records:  records,
+		CC: func() tcp.CongestionControl {
+			return tcp.NewCubic(tcp.DefaultCubicParams())
+		},
+	})
+	if len(res.Flows) != 4 {
+		t.Fatalf("replayed %d flows, want 4", len(res.Flows))
+	}
+	var total int64
+	for i := range res.Flows {
+		if !res.Flows[i].Completed {
+			t.Errorf("flow %d incomplete", i)
+		}
+		total += res.Flows[i].BytesAcked
+	}
+	if total != 190_000 {
+		t.Errorf("delivered %d bytes, want 190000", total)
+	}
+	if res.Utilization <= 0 {
+		t.Error("no utilization measured")
+	}
+}
+
+func TestReplayRebasesStartTimes(t *testing.T) {
+	// Trace starting at t=5000s must not make the sim wait 5000s.
+	records := []ipfix.FlowRecord{replayRecord(5000, 10_000, 1)}
+	res := Replay(ReplayConfig{
+		Dumbbell: sim.DefaultDumbbell(1),
+		Records:  records,
+		CC:       func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) },
+	})
+	if len(res.Flows) != 1 || !res.Flows[0].Completed {
+		t.Fatal("rebased flow did not run")
+	}
+	if res.Flows[0].Start > sim.Second {
+		t.Errorf("flow started at %v, want near 0 after rebase", res.Flows[0].Start)
+	}
+}
+
+func TestReplaySamplingCorrection(t *testing.T) {
+	// A sampled record of 1500 octets at 1:4096 replays as ~6.1 MB.
+	records := []ipfix.FlowRecord{replayRecord(0, 1500, 1)}
+	res := Replay(ReplayConfig{
+		Dumbbell: sim.DefaultDumbbell(1),
+		Records:  records,
+		SampleN:  4096,
+		Horizon:  600 * sim.Second,
+		CC:       func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) },
+	})
+	if len(res.Flows) != 1 {
+		t.Fatal("flow missing")
+	}
+	if got := res.Flows[0].BytesAcked; got != 1500*4096 {
+		t.Errorf("delivered %d, want %d", got, 1500*4096)
+	}
+}
+
+func TestReplayMaxFlowsAndHorizon(t *testing.T) {
+	var records []ipfix.FlowRecord
+	for i := 0; i < 20; i++ {
+		records = append(records, replayRecord(uint32(i), 10_000, uint16(i+1)))
+	}
+	res := Replay(ReplayConfig{
+		Dumbbell: sim.DefaultDumbbell(4),
+		Records:  records,
+		MaxFlows: 5,
+		Horizon:  120 * sim.Second,
+		CC:       func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) },
+	})
+	if len(res.Flows) != 5 {
+		t.Errorf("replayed %d flows, want capped 5", len(res.Flows))
+	}
+}
+
+func TestReplayFromGeneratedTrace(t *testing.T) {
+	// The full pipeline: synthesize an egress trace, collect it through
+	// the codec, replay the first flows of the busiest minute.
+	cfg := ipfix.DefaultSynthConfig()
+	cfg.Flows = 5000
+	records := ipfix.Generate(cfg, ipfix.DefaultSamplingRate)
+	res := Replay(ReplayConfig{
+		Dumbbell: sim.DefaultDumbbell(8),
+		Records:  records,
+		MaxFlows: 40,
+		CC:       func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) },
+	})
+	if len(res.Flows) != 40 {
+		t.Fatalf("replayed %d flows", len(res.Flows))
+	}
+	completed := 0
+	for i := range res.Flows {
+		if res.Flows[i].Completed {
+			completed++
+		}
+	}
+	if completed < 35 {
+		t.Errorf("only %d/40 trace flows completed", completed)
+	}
+}
+
+func TestReplayRequiresCC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("missing CC did not panic")
+		}
+	}()
+	Replay(ReplayConfig{Dumbbell: sim.DefaultDumbbell(1)})
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	res := Replay(ReplayConfig{
+		Dumbbell: sim.DefaultDumbbell(1),
+		Horizon:  sim.Second,
+		CC:       func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) },
+	})
+	if len(res.Flows) != 0 {
+		t.Errorf("empty trace produced %d flows", len(res.Flows))
+	}
+	if res.Utilization != 0 {
+		t.Errorf("utilization = %v", res.Utilization)
+	}
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Scenario describes one complete dumbbell experiment: topology, traffic
+// model, congestion control per sender, and measurement horizon. It is the
+// unit of execution for every figure and table in the paper's evaluation.
+type Scenario struct {
+	// Dumbbell is the topology (Figure 1).
+	Dumbbell sim.DumbbellConfig
+	// MeanOnBytes / MeanOffTime parameterize the on/off traffic model.
+	// Ignored when LongRunning is set.
+	MeanOnBytes int64
+	MeanOffTime sim.Time
+	// LongRunning replaces on/off sources with one persistent flow per
+	// sender (Figure 2c's workload).
+	LongRunning bool
+	// Duration is the simulated horizon; Warmup excludes the initial
+	// transient from link-level measurements.
+	Duration sim.Time
+	Warmup   sim.Time
+	// Seed makes the run reproducible.
+	Seed int64
+	// CC returns the congestion-controller factory for sender i. This is
+	// where Phi-modified and unmodified senders are mixed (Figure 4).
+	CC func(sender int) func() tcp.CongestionControl
+	// TCP carries shared transport tunables.
+	TCP tcp.Config
+	// DelayAcks enables delayed acknowledgments at every receiver.
+	DelayAcks bool
+	// OnStart / OnEnd observe connection lifecycles (Phi's lookup and
+	// report points).
+	OnStart func(sender int, flow sim.FlowID)
+	// OnEnd fires when any connection finishes.
+	OnEnd func(sender int, st *tcp.FlowStats)
+	// OnTopology fires once after the dumbbell is built and its monitor
+	// attached, before any traffic starts — the hook through which
+	// oracle-style controllers (Remy-Phi-ideal) reach the bottleneck.
+	OnTopology func(eng *sim.Engine, d *sim.Dumbbell)
+}
+
+// Result aggregates one scenario run.
+type Result struct {
+	// Flows holds per-connection stats, including partially completed
+	// connections aborted at the horizon.
+	Flows []tcp.FlowStats
+	// SenderOf maps the index in Flows to the sender that ran it.
+	SenderOf []int
+
+	// Link-level measurements over the post-warmup interval.
+	Utilization    float64
+	LinkLossRate   float64
+	MeanQueueDelay sim.Time
+
+	// PropRTT is the topology's propagation round-trip time.
+	PropRTT sim.Time
+	// Duration is the measured horizon.
+	Duration sim.Time
+}
+
+// Run executes the scenario and returns its measurements.
+func Run(sc Scenario) Result {
+	if sc.CC == nil {
+		panic("workload: Scenario.CC is required")
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(sc.Seed)
+	d := sim.NewDumbbell(eng, sc.Dumbbell)
+	mon := d.Bottleneck.Monitor()
+	ids := NewIDGen()
+	if sc.OnTopology != nil {
+		sc.OnTopology(eng, d)
+	}
+
+	res := Result{PropRTT: sc.Dumbbell.RTT, Duration: sc.Duration}
+	record := func(sender int) func(*tcp.FlowStats) {
+		return func(st *tcp.FlowStats) {
+			res.Flows = append(res.Flows, *st)
+			res.SenderOf = append(res.SenderOf, sender)
+			if sc.OnEnd != nil {
+				sc.OnEnd(sender, st)
+			}
+		}
+	}
+
+	var stops []func()
+	for i := 0; i < sc.Dumbbell.Senders; i++ {
+		i := i
+		cfg := SourceConfig{
+			MeanOnBytes: sc.MeanOnBytes,
+			MeanOffTime: sc.MeanOffTime,
+			CC:          sc.CC(i),
+			TCP:         sc.TCP,
+			DelayAcks:   sc.DelayAcks,
+			OnEnd:       record(i),
+			StartJitter: sc.Dumbbell.RTT,
+		}
+		if sc.OnStart != nil {
+			cfg.OnStart = func(flow sim.FlowID) { sc.OnStart(i, flow) }
+		}
+		if sc.LongRunning {
+			src := NewPersistentSource(eng, ids, d.Senders[i], d.Receivers[i], cfg)
+			src.Start()
+			stops = append(stops, src.Stop)
+		} else {
+			src := NewOnOffSource(eng, rng.Fork(), ids, d.Senders[i], d.Receivers[i], cfg)
+			src.Start()
+			stops = append(stops, src.Stop)
+		}
+	}
+
+	if sc.Warmup > 0 {
+		eng.At(sc.Warmup, mon.Reset)
+	}
+	eng.RunUntil(sc.Duration)
+	for _, stop := range stops {
+		stop()
+	}
+
+	res.Utilization = mon.Utilization()
+	res.LinkLossRate = mon.LossRate()
+	res.MeanQueueDelay = mon.MeanQueueDelay()
+	return res
+}
+
+// usable reports whether a flow moved data and has a measurable duration.
+func usable(f *tcp.FlowStats) bool {
+	return f.BytesAcked > 0 && f.Duration() > 0
+}
+
+// ThroughputsMbps returns per-flow throughputs in Mbit/s.
+func (r *Result) ThroughputsMbps() []float64 {
+	var out []float64
+	for i := range r.Flows {
+		if f := &r.Flows[i]; usable(f) {
+			out = append(out, f.ThroughputBps()/1e6)
+		}
+	}
+	return out
+}
+
+// QueueingDelaysMs returns per-flow average queueing delays (RTT above
+// propagation) in milliseconds.
+func (r *Result) QueueingDelaysMs() []float64 {
+	var out []float64
+	for i := range r.Flows {
+		if f := &r.Flows[i]; usable(f) && f.RTTCount > 0 {
+			out = append(out, f.QueueingDelay(r.PropRTT).Milliseconds())
+		}
+	}
+	return out
+}
+
+// AggThroughputMbps is total delivered bits over total on-time, the
+// paper's "throughput = bits transferred / ontime".
+func (r *Result) AggThroughputMbps() float64 {
+	var bits, secs float64
+	for i := range r.Flows {
+		if f := &r.Flows[i]; usable(f) {
+			bits += float64(f.BytesAcked) * 8
+			secs += f.Duration().Seconds()
+		}
+	}
+	if secs == 0 {
+		return 0
+	}
+	return bits / secs / 1e6
+}
+
+// MeanRTT returns the sample-weighted mean RTT across flows.
+func (r *Result) MeanRTT() sim.Time {
+	var sum sim.Time
+	var n int64
+	for i := range r.Flows {
+		sum += r.Flows[i].RTTSum
+		n += r.Flows[i].RTTCount
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / sim.Time(n)
+}
+
+// MeanQueueingDelayMs is the mean RTT in excess of propagation, in ms.
+func (r *Result) MeanQueueingDelayMs() float64 {
+	q := r.MeanRTT() - r.PropRTT
+	if q < 0 {
+		q = 0
+	}
+	return q.Milliseconds()
+}
+
+// SenderLossRate is total retransmissions over total data packets sent.
+func (r *Result) SenderLossRate() float64 {
+	var rex, sent int64
+	for i := range r.Flows {
+		rex += r.Flows[i].Retransmits
+		sent += r.Flows[i].PacketsSent
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(rex) / float64(sent)
+}
+
+// LossPower evaluates the paper's objective P_l = r(1-l)/d over this run:
+// aggregate throughput (Mbit/s), link loss rate, and mean RTT (seconds).
+func (r *Result) LossPower() float64 {
+	return metrics.LossPower(r.AggThroughputMbps(), r.LinkLossRate, r.MeanRTT().Seconds())
+}
+
+// LogPower evaluates Remy's objective ln(throughput/delay) over this run.
+func (r *Result) LogPower() float64 {
+	return metrics.LogPower(r.AggThroughputMbps(), r.MeanRTT().Seconds())
+}
+
+// MedianThroughputMbps returns the median per-flow throughput.
+func (r *Result) MedianThroughputMbps() float64 {
+	return metrics.Median(r.ThroughputsMbps())
+}
+
+// MedianQueueingDelayMs returns the median per-flow queueing delay.
+func (r *Result) MedianQueueingDelayMs() float64 {
+	return metrics.Median(r.QueueingDelaysMs())
+}
+
+// CompletedFlows counts connections that delivered all their bytes.
+func (r *Result) CompletedFlows() int {
+	n := 0
+	for i := range r.Flows {
+		if r.Flows[i].Completed {
+			n++
+		}
+	}
+	return n
+}

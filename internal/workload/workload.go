@@ -1,0 +1,161 @@
+// Package workload generates the traffic models of the Phi paper's
+// evaluation: senders alternating between exponentially distributed "on"
+// transfers and exponentially distributed "off" idle periods (Section 2.2),
+// plus persistent long-running flows (Figure 2c). It also provides the
+// Scenario runner that wires workloads onto a dumbbell topology and
+// collects the per-flow and per-link measurements the experiments consume.
+package workload
+
+import (
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// IDGen allocates unique flow IDs within one simulation.
+type IDGen struct{ next sim.FlowID }
+
+// NewIDGen returns a generator starting at 1.
+func NewIDGen() *IDGen { return &IDGen{next: 1} }
+
+// Next returns a fresh flow ID.
+func (g *IDGen) Next() sim.FlowID {
+	id := g.next
+	g.next++
+	return id
+}
+
+// SourceConfig parameterizes one on/off traffic source.
+type SourceConfig struct {
+	// MeanOnBytes is the mean of the exponential transfer-size
+	// distribution (e.g. 500 KB for Figure 2, 100 KB for Table 3).
+	MeanOnBytes int64
+	// MeanOffTime is the mean of the exponential idle-period distribution.
+	MeanOffTime sim.Time
+	// CC constructs the congestion controller for each new connection.
+	// It is consulted per connection, which is where Phi plugs in
+	// context-dependent parameter choices.
+	CC func() tcp.CongestionControl
+	// TCP carries per-connection transport tunables.
+	TCP tcp.Config
+	// DelayAcks enables RFC 1122 delayed acknowledgments at receivers.
+	DelayAcks bool
+	// OnStart, if set, fires when a connection begins (Phi lookup point).
+	OnStart func(flow sim.FlowID)
+	// OnEnd, if set, fires when a connection completes (Phi report point).
+	OnEnd func(st *tcp.FlowStats)
+	// StartJitter delays the first connection by a uniform random amount
+	// to desynchronize sources.
+	StartJitter sim.Time
+}
+
+// Source drives sequential connections between one sender/receiver pair:
+// transfer, idle, transfer, ... until stopped.
+type Source struct {
+	eng  *sim.Engine
+	rng  *sim.RNG
+	ids  *IDGen
+	src  *sim.Node
+	dst  *sim.Node
+	cfg  SourceConfig
+	cur  *tcp.Sender
+	done bool
+
+	// Completed holds the stats of finished connections.
+	Completed []tcp.FlowStats
+	// Launched counts connections started.
+	Launched int
+}
+
+// NewOnOffSource creates a source between src and dst. Call Start.
+func NewOnOffSource(eng *sim.Engine, rng *sim.RNG, ids *IDGen, src, dst *sim.Node, cfg SourceConfig) *Source {
+	if cfg.CC == nil {
+		panic("workload: SourceConfig.CC is required")
+	}
+	return &Source{eng: eng, rng: rng, ids: ids, src: src, dst: dst, cfg: cfg}
+}
+
+// Start schedules the first connection.
+func (s *Source) Start() {
+	s.eng.After(s.rng.Jitter(s.cfg.StartJitter), s.launch)
+}
+
+// Stop prevents further connections from starting and aborts the current
+// transfer (its partial stats are still recorded).
+func (s *Source) Stop() {
+	s.done = true
+	if s.cur != nil && !s.cur.Done() {
+		s.cur.Stop()
+	}
+}
+
+func (s *Source) launch() {
+	if s.done {
+		return
+	}
+	size := s.rng.ExpBytes(s.cfg.MeanOnBytes)
+	flow := s.ids.Next()
+	cfg := s.cfg.TCP
+	cfg.OnComplete = s.onComplete
+	snd, rcv := tcp.Connect(s.eng, flow, s.src, s.dst, size, s.cfg.CC(), cfg)
+	rcv.DelayAcks = s.cfg.DelayAcks
+	s.cur = snd
+	s.Launched++
+	if s.cfg.OnStart != nil {
+		s.cfg.OnStart(flow)
+	}
+	snd.Start()
+}
+
+func (s *Source) onComplete(st *tcp.FlowStats) {
+	s.Completed = append(s.Completed, *st)
+	s.cur = nil
+	if s.cfg.OnEnd != nil {
+		s.cfg.OnEnd(st)
+	}
+	if s.done {
+		return
+	}
+	off := s.rng.ExpDuration(s.cfg.MeanOffTime)
+	s.eng.After(off, s.launch)
+}
+
+// PersistentSource drives a single long-running connection (Figure 2c's
+// workload) that streams until stopped.
+type PersistentSource struct {
+	Sender   *tcp.Sender
+	Receiver *tcp.Receiver
+	cfg      SourceConfig
+
+	// Completed holds the final stats after Stop.
+	Completed []tcp.FlowStats
+}
+
+// NewPersistentSource creates and attaches an unbounded transfer.
+func NewPersistentSource(eng *sim.Engine, ids *IDGen, src, dst *sim.Node, cfg SourceConfig) *PersistentSource {
+	if cfg.CC == nil {
+		panic("workload: SourceConfig.CC is required")
+	}
+	p := &PersistentSource{cfg: cfg}
+	flow := ids.Next()
+	tcpCfg := cfg.TCP
+	tcpCfg.OnComplete = func(st *tcp.FlowStats) {
+		p.Completed = append(p.Completed, *st)
+		if cfg.OnEnd != nil {
+			cfg.OnEnd(st)
+		}
+	}
+	p.Sender, p.Receiver = tcp.Connect(eng, flow, src, dst, 0, cfg.CC(), tcpCfg)
+	p.Receiver.DelayAcks = cfg.DelayAcks
+	return p
+}
+
+// Start begins streaming.
+func (p *PersistentSource) Start() {
+	if p.cfg.OnStart != nil {
+		p.cfg.OnStart(p.Sender.Stats().Flow)
+	}
+	p.Sender.Start()
+}
+
+// Stop ends the stream, finalizing stats.
+func (p *PersistentSource) Stop() { p.Sender.Stop() }

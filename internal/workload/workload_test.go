@@ -1,0 +1,273 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+func cubicFactory() func() tcp.CongestionControl {
+	return func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) }
+}
+
+func TestIDGenUnique(t *testing.T) {
+	g := NewIDGen()
+	seen := map[sim.FlowID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if seen[id] {
+			t.Fatalf("duplicate flow id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestOnOffSourceRunsSequentialConnections(t *testing.T) {
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(1))
+	var started, ended int
+	src := NewOnOffSource(eng, sim.NewRNG(1), NewIDGen(), d.Senders[0], d.Receivers[0], SourceConfig{
+		MeanOnBytes: 50_000,
+		MeanOffTime: 500 * sim.Millisecond,
+		CC:          cubicFactory(),
+		OnStart:     func(sim.FlowID) { started++ },
+		OnEnd:       func(*tcp.FlowStats) { ended++ },
+	})
+	src.Start()
+	eng.RunUntil(60 * sim.Second)
+	src.Stop()
+	if src.Launched < 10 {
+		t.Errorf("launched %d connections in 60s, want >= 10", src.Launched)
+	}
+	if started != src.Launched {
+		t.Errorf("OnStart fired %d times, launched %d", started, src.Launched)
+	}
+	if ended < started-1 || ended > started {
+		t.Errorf("OnEnd fired %d times for %d starts", ended, started)
+	}
+	// Connections must be sequential: each completed flow started after
+	// the previous one ended.
+	for i := 1; i < len(src.Completed); i++ {
+		if src.Completed[i].Start < src.Completed[i-1].End {
+			t.Fatalf("connections overlap: #%d starts %v before #%d ends %v",
+				i, src.Completed[i].Start, i-1, src.Completed[i-1].End)
+		}
+	}
+	for i := range src.Completed {
+		if !src.Completed[i].Completed {
+			t.Errorf("flow %d not completed", i)
+		}
+	}
+}
+
+func TestOnOffSourceStopAbortsCurrent(t *testing.T) {
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(1))
+	src := NewOnOffSource(eng, sim.NewRNG(2), NewIDGen(), d.Senders[0], d.Receivers[0], SourceConfig{
+		MeanOnBytes: 100_000_000, // huge: still in flight at stop
+		MeanOffTime: sim.Second,
+		CC:          cubicFactory(),
+	})
+	src.Start()
+	eng.RunUntil(2 * sim.Second)
+	src.Stop()
+	eng.RunUntil(3 * sim.Second)
+	if len(src.Completed) != 1 {
+		t.Fatalf("expected 1 aborted flow recorded, got %d", len(src.Completed))
+	}
+	if src.Completed[0].Completed {
+		t.Error("aborted flow marked completed")
+	}
+	if src.Launched != 1 {
+		t.Errorf("launched %d after stop, want 1", src.Launched)
+	}
+}
+
+func TestPersistentSourceStreamsUntilStopped(t *testing.T) {
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(1))
+	p := NewPersistentSource(eng, NewIDGen(), d.Senders[0], d.Receivers[0], SourceConfig{
+		CC: cubicFactory(),
+	})
+	p.Start()
+	eng.RunUntil(10 * sim.Second)
+	p.Stop()
+	if len(p.Completed) != 1 {
+		t.Fatalf("stats not recorded on stop")
+	}
+	if p.Completed[0].BytesAcked < 1_000_000 {
+		t.Errorf("persistent flow moved only %d bytes in 10s", p.Completed[0].BytesAcked)
+	}
+}
+
+func TestSourceRequiresCC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("missing CC did not panic")
+		}
+	}()
+	eng := sim.NewEngine()
+	d := sim.NewDumbbell(eng, sim.DefaultDumbbell(1))
+	NewOnOffSource(eng, sim.NewRNG(1), NewIDGen(), d.Senders[0], d.Receivers[0], SourceConfig{})
+}
+
+func baseScenario(senders int, seed int64) Scenario {
+	return Scenario{
+		Dumbbell:    sim.DefaultDumbbell(senders),
+		MeanOnBytes: 500_000,
+		MeanOffTime: 2 * sim.Second,
+		Duration:    60 * sim.Second,
+		Warmup:      5 * sim.Second,
+		Seed:        seed,
+		CC:          func(int) func() tcp.CongestionControl { return cubicFactory() },
+	}
+}
+
+func TestScenarioRunProducesFlows(t *testing.T) {
+	res := Run(baseScenario(4, 1))
+	if len(res.Flows) < 20 {
+		t.Fatalf("only %d flows in 60s with 4 senders", len(res.Flows))
+	}
+	if res.Utilization <= 0 || res.Utilization > 1.01 {
+		t.Errorf("utilization = %v", res.Utilization)
+	}
+	if res.CompletedFlows() == 0 {
+		t.Error("no completed flows")
+	}
+	if len(res.SenderOf) != len(res.Flows) {
+		t.Error("SenderOf misaligned")
+	}
+	if res.AggThroughputMbps() <= 0 {
+		t.Error("aggregate throughput zero")
+	}
+	if res.MeanRTT() < res.PropRTT {
+		t.Errorf("mean RTT %v below propagation %v", res.MeanRTT(), res.PropRTT)
+	}
+	if res.LossPower() <= 0 {
+		t.Error("loss power should be positive")
+	}
+}
+
+func TestScenarioDeterministicUnderSeed(t *testing.T) {
+	a := Run(baseScenario(3, 42))
+	b := Run(baseScenario(3, 42))
+	if len(a.Flows) != len(b.Flows) {
+		t.Fatalf("flow counts differ: %d vs %d", len(a.Flows), len(b.Flows))
+	}
+	if a.Utilization != b.Utilization || a.LinkLossRate != b.LinkLossRate {
+		t.Error("link metrics differ under same seed")
+	}
+	for i := range a.Flows {
+		if a.Flows[i].BytesAcked != b.Flows[i].BytesAcked || a.Flows[i].End != b.Flows[i].End {
+			t.Fatalf("flow %d differs under same seed", i)
+		}
+	}
+	c := Run(baseScenario(3, 43))
+	if len(a.Flows) == len(c.Flows) && a.Utilization == c.Utilization {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestScenarioMoreSendersMoreUtilization(t *testing.T) {
+	lo := Run(baseScenario(2, 7))
+	hi := Run(baseScenario(16, 7))
+	if hi.Utilization <= lo.Utilization {
+		t.Errorf("utilization did not rise with load: %v (2 senders) vs %v (16)",
+			lo.Utilization, hi.Utilization)
+	}
+}
+
+func TestScenarioLongRunning(t *testing.T) {
+	sc := baseScenario(8, 3)
+	sc.LongRunning = true
+	sc.Duration = 30 * sim.Second
+	res := Run(sc)
+	if len(res.Flows) != 8 {
+		t.Fatalf("%d flows, want 8 persistent", len(res.Flows))
+	}
+	if res.Utilization < 0.9 {
+		t.Errorf("8 persistent flows should saturate: util = %v", res.Utilization)
+	}
+	for i := range res.Flows {
+		if res.Flows[i].Completed {
+			t.Error("persistent flow marked completed")
+		}
+	}
+}
+
+func TestScenarioPerSenderCC(t *testing.T) {
+	sc := baseScenario(2, 5)
+	var counts [2]int
+	sc.CC = func(i int) func() tcp.CongestionControl {
+		return func() tcp.CongestionControl {
+			counts[i]++
+			return tcp.NewCubic(tcp.DefaultCubicParams())
+		}
+	}
+	Run(sc)
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Errorf("per-sender CC factories not exercised: %v", counts)
+	}
+}
+
+func TestScenarioHooks(t *testing.T) {
+	sc := baseScenario(2, 9)
+	sc.Duration = 20 * sim.Second
+	starts := map[int]int{}
+	ends := map[int]int{}
+	sc.OnStart = func(sender int, flow sim.FlowID) { starts[sender]++ }
+	sc.OnEnd = func(sender int, st *tcp.FlowStats) { ends[sender]++ }
+	res := Run(sc)
+	if len(starts) != 2 {
+		t.Errorf("OnStart saw %d senders, want 2", len(starts))
+	}
+	total := 0
+	for _, n := range ends {
+		total += n
+	}
+	if total != len(res.Flows) {
+		t.Errorf("OnEnd fired %d times for %d flows", total, len(res.Flows))
+	}
+}
+
+func TestResultMedianHelpers(t *testing.T) {
+	res := Run(baseScenario(4, 11))
+	med := res.MedianThroughputMbps()
+	if med <= 0 {
+		t.Error("median throughput zero")
+	}
+	if res.MedianQueueingDelayMs() < 0 {
+		t.Error("median queueing delay negative")
+	}
+	if res.MeanQueueingDelayMs() < 0 {
+		t.Error("mean queueing delay negative")
+	}
+	if res.SenderLossRate() < 0 || res.SenderLossRate() > 1 {
+		t.Errorf("sender loss rate = %v", res.SenderLossRate())
+	}
+}
+
+func TestScenarioDelayAcksPlumbing(t *testing.T) {
+	sc := baseScenario(2, 21)
+	sc.Duration = 20 * sim.Second
+	sc.DelayAcks = true
+	res := Run(sc)
+	if len(res.Flows) == 0 {
+		t.Fatal("no flows with delayed acks")
+	}
+	if res.CompletedFlows() == 0 {
+		t.Error("no completed flows with delayed acks")
+	}
+	// Persistent variant too.
+	sc.LongRunning = true
+	res = Run(sc)
+	if len(res.Flows) != 2 {
+		t.Fatalf("persistent delack flows = %d", len(res.Flows))
+	}
+	for i := range res.Flows {
+		if res.Flows[i].BytesAcked == 0 {
+			t.Error("persistent delack flow moved no data")
+		}
+	}
+}
