@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments experiments-full examples clean
+.PHONY: all build vet race cover test test-short bench experiments experiments-full examples clean
 
-all: build vet test
+all: build vet race
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,16 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Full test suite under the race detector (includes the phi/cluster
+# concurrency stress tests, which only bite with -race on).
+race:
+	$(GO) test -race ./...
+
+# Coverage summary across every package.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -41,3 +51,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
+	rm -f coverage.out

@@ -1,0 +1,175 @@
+// Command phi-cluster runs a sharded Phi context server: N phi.Server
+// shards behind a consistent-hash ring, fronted by a failover-aware
+// router, served over the phiwire protocol on one address. Each shard
+// periodically snapshots its path state to disk and is rehydrated from
+// its snapshot on startup, so a restart does not zero out the domain's
+// u/q/n estimates.
+//
+// Usage:
+//
+//	phi-cluster -listen :7731 -shards 4 -snapshot-dir /var/lib/phi \
+//	    -snapshot-interval 30s -path bottleneck=15000000
+//
+// Flags:
+//
+//	-listen addr              frontend listen address (default 127.0.0.1:7731)
+//	-shards n                 shard count (default 4)
+//	-vnodes n                 virtual nodes per shard on the ring (default 128)
+//	-window d                 utilization estimation window (default 10s)
+//	-timeout d                per-shard call timeout at the router (default 0:
+//	                          in-process shards cannot hang, so no timeout)
+//	-down-after n             consecutive failures before a shard is routed
+//	                          around (default 3)
+//	-cooldown d               how long a down shard is skipped before being
+//	                          probed again (default 5s)
+//	-replicate                mirror reports to each path's fallback shard so
+//	                          failover lands on warm state (default true)
+//	-snapshot-dir dir         snapshot directory; empty disables snapshots
+//	-snapshot-interval d      time between snapshots (default 30s)
+//	-path name=bitsPerSecond  register a path capacity (repeatable)
+//	-policy file              publish this JSON policy (default: built-in)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/phi"
+	"repro/internal/phiwire"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7731", "listen address")
+		shards     = flag.Int("shards", 4, "shard count")
+		vnodes     = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard")
+		window     = flag.Duration("window", 10*time.Second, "utilization estimation window")
+		timeout    = flag.Duration("timeout", 0, "per-shard call timeout (0 = none)")
+		downAfter  = flag.Int("down-after", 3, "consecutive failures before a shard is routed around")
+		cooldown   = flag.Duration("cooldown", 5*time.Second, "down-shard reprobe cooldown")
+		replicate  = flag.Bool("replicate", true, "mirror reports to the fallback shard")
+		snapDir    = flag.String("snapshot-dir", "", "snapshot directory (empty = snapshots off)")
+		snapEvery  = flag.Duration("snapshot-interval", 30*time.Second, "time between snapshots")
+		policyPath = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
+		paths      pathFlags
+	)
+	flag.Var(&paths, "path", "register a path capacity as name=bitsPerSecond (repeatable)")
+	flag.Parse()
+	if *shards < 1 {
+		log.Fatalf("-shards must be >= 1 (got %d)", *shards)
+	}
+
+	cl := cluster.New(cluster.Config{
+		Shards: *shards,
+		VNodes: *vnodes,
+		Clock:  func() sim.Time { return sim.Time(time.Now().UnixNano()) },
+		Server: phi.ServerConfig{Window: sim.Time(window.Nanoseconds())},
+		Frontend: cluster.FrontendConfig{
+			Timeout:          *timeout,
+			DownAfter:        *downAfter,
+			Cooldown:         *cooldown,
+			ReplicateReports: *replicate,
+		},
+	})
+
+	stopSnapshots := func() {}
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			log.Fatalf("snapshot dir: %v", err)
+		}
+		restored, err := cl.LoadSnapshots(*snapDir)
+		if err != nil {
+			log.Fatalf("restore snapshots: %v", err)
+		}
+		if restored > 0 {
+			log.Printf("rehydrated %d/%d shards from %s", restored, *shards, *snapDir)
+		}
+		stopSnapshots = cl.StartSnapshotters(*snapDir, *snapEvery, log.Printf)
+		log.Printf("snapshotting every %v to %s", *snapEvery, *snapDir)
+	}
+
+	for _, p := range paths {
+		cl.Frontend.RegisterPath(phi.PathKey(p.name), p.capacity)
+		log.Printf("registered path %q at %d bit/s", p.name, p.capacity)
+	}
+
+	srv := phiwire.NewServer(cl.Frontend, log.Printf)
+	policy := phi.DefaultPolicy()
+	if *policyPath != "" {
+		f, err := os.Open(*policyPath)
+		if err != nil {
+			log.Fatalf("policy: %v", err)
+		}
+		policy, err = phi.LoadPolicy(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("policy: %v", err)
+		}
+		log.Printf("publishing policy from %s (%d rules)", *policyPath, len(policy.Rules))
+	} else {
+		log.Printf("publishing the built-in policy (%d rules)", len(policy.Rules))
+	}
+	if err := srv.SetPolicy(policy); err != nil {
+		log.Fatalf("publish policy: %v", err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("phi cluster listening on %s (%d shards, %d vnodes/shard)", *listen, *shards, *vnodes)
+		errc <- srv.ListenAndServe(*listen)
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+		srv.Close()
+	case err := <-errc:
+		stopSnapshots()
+		log.Fatalf("serve: %v", err)
+	}
+	stopSnapshots() // takes a final snapshot per shard
+	handled, rejected := srv.Stats()
+	fs := cl.Frontend.Stats()
+	log.Printf("served %d requests (%d rejected); routed %d lookups / %d reports, %d failovers, %d degraded",
+		handled, rejected, fs.Lookups, fs.Reports, fs.Failovers, fs.Degraded)
+}
+
+// pathFlags collects repeated -path name=capacity flags.
+type pathFlags []struct {
+	name     string
+	capacity int64
+}
+
+func (p *pathFlags) String() string {
+	var parts []string
+	for _, e := range *p {
+		parts = append(parts, fmt.Sprintf("%s=%d", e.name, e.capacity))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *pathFlags) Set(v string) error {
+	name, capStr, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=bitsPerSecond, got %q", v)
+	}
+	c, err := strconv.ParseInt(capStr, 10, 64)
+	if err != nil || c <= 0 {
+		return fmt.Errorf("bad capacity in %q", v)
+	}
+	*p = append(*p, struct {
+		name     string
+		capacity int64
+	}{name, c})
+	return nil
+}

@@ -70,8 +70,9 @@ func main() {
 	}
 	row("Cubic (default)", &vres)
 	row("Cubic-Phi", &pres)
+	lookups, reports := server.Stats()
 	fmt.Printf("\ncontext server: %d lookups, %d reports, last context %v\n",
-		server.Lookups, server.Reports, client.LastContext)
+		lookups, reports, client.LastContext)
 	if pres.LossPower() > vres.LossPower() {
 		fmt.Println("=> sharing network state improved the power metric, as in the paper")
 	}

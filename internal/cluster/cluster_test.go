@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/phi"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// TestClusterMatchesMonolithManyPaths drives identical synthetic traffic
+// over many paths into a monolithic phi.Server and a 4-shard cluster and
+// demands bit-identical contexts: sharding is exact, because all state
+// for one path lives on exactly one shard.
+func TestClusterMatchesMonolithManyPaths(t *testing.T) {
+	var now sim.Time
+	clock := func() sim.Time { return now }
+	mono := phi.NewServer(clock, phi.ServerConfig{})
+	cl := New(Config{Shards: 4, Clock: clock})
+
+	const paths = 64
+	key := func(i int) phi.PathKey { return phi.PathKey(fmt.Sprintf("dst-/24-%d", i)) }
+	for i := 0; i < paths; i++ {
+		mono.RegisterPath(key(i), 10_000_000)
+		cl.Frontend.RegisterPath(key(i), 10_000_000)
+	}
+
+	// Deterministic traffic: staggered starts, varying sizes and RTTs.
+	for round := 0; round < 8; round++ {
+		for i := 0; i < paths; i++ {
+			p := key(i)
+			now += 13 * sim.Millisecond
+			mono.ReportStart(p)
+			cl.Frontend.ReportStart(p)
+			if round%2 == 0 {
+				r := phi.Report{
+					Bytes:  int64(10_000 * (i + round + 1)),
+					AvgRTT: sim.Time(100+i) * sim.Millisecond,
+					MinRTT: 90 * sim.Millisecond,
+				}
+				now += 7 * sim.Millisecond
+				mono.ReportEnd(p, r)
+				cl.Frontend.ReportEnd(p, r)
+			}
+		}
+	}
+
+	for i := 0; i < paths; i++ {
+		want, err1 := mono.Lookup(key(i))
+		got, err2 := cl.Frontend.Lookup(key(i))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("lookup errs: %v / %v", err1, err2)
+		}
+		if got != want {
+			t.Errorf("path %d: cluster %v != monolith %v", i, got, want)
+		}
+	}
+	if st := cl.Frontend.Stats(); st.Degraded != 0 || st.Failovers != 0 {
+		t.Errorf("healthy run should not degrade or fail over: %+v", st)
+	}
+
+	// The keyspace actually spread: no shard holds everything.
+	for _, s := range cl.Shards {
+		if n := s.PathCount(); n == paths {
+			t.Errorf("shard %d owns all %d paths — ring did not shard", s.ID, n)
+		}
+	}
+	lookups, _ := cl.Stats()
+	if lookups == 0 {
+		t.Error("shard-level counters never moved")
+	}
+}
+
+// TestClusterMatchesMonolithInSimulator is the acceptance experiment: the
+// same seeded workload, once against the monolithic server and once
+// against a 4-shard cluster frontend, must produce identical simulation
+// results — context quality is unchanged by sharding.
+func TestClusterMatchesMonolithInSimulator(t *testing.T) {
+	run := func(station interface {
+		phi.ContextSource
+		phi.Reporter
+	}, register func(phi.PathKey, int64), now *sim.Time) workload.Result {
+		sc := workload.Scenario{
+			Dumbbell:    sim.DefaultDumbbell(6),
+			MeanOnBytes: 200_000,
+			MeanOffTime: sim.Second,
+			Duration:    30 * sim.Second,
+			Warmup:      2 * sim.Second,
+			Seed:        99,
+		}
+		register("bottleneck", sc.Dumbbell.BottleneckRate)
+		client := &phi.Client{
+			Source:   station,
+			Reporter: station,
+			Policy:   phi.DefaultPolicy(),
+			Path:     "bottleneck",
+		}
+		sc.CC = func(int) func() tcp.CongestionControl { return client.CC() }
+		sc.OnStart = func(_ int, flow sim.FlowID) { client.OnStart(flow) }
+		sc.OnEnd = func(_ int, st *tcp.FlowStats) {
+			*now = st.End
+			client.OnEnd(st)
+		}
+		res := workload.Run(sc)
+		if client.Fallbacks != 0 {
+			t.Fatalf("unexpected client fallbacks: %d", client.Fallbacks)
+		}
+		return res
+	}
+
+	var nowMono sim.Time
+	mono := phi.NewServer(func() sim.Time { return nowMono }, phi.ServerConfig{})
+	mres := run(mono, mono.RegisterPath, &nowMono)
+
+	var nowCl sim.Time
+	cl := New(Config{Shards: 4, Clock: func() sim.Time { return nowCl }})
+	cres := run(cl.Frontend, cl.Frontend.RegisterPath, &nowCl)
+
+	if len(mres.Flows) == 0 || len(mres.Flows) != len(cres.Flows) {
+		t.Fatalf("flow counts differ: %d vs %d", len(mres.Flows), len(cres.Flows))
+	}
+	if mres.AggThroughputMbps() != cres.AggThroughputMbps() {
+		t.Errorf("throughput: monolith %.4f, cluster %.4f Mbit/s",
+			mres.AggThroughputMbps(), cres.AggThroughputMbps())
+	}
+	if mres.MeanQueueingDelayMs() != cres.MeanQueueingDelayMs() {
+		t.Errorf("queueing delay: monolith %.4f, cluster %.4f ms",
+			mres.MeanQueueingDelayMs(), cres.MeanQueueingDelayMs())
+	}
+	if mres.LinkLossRate != cres.LinkLossRate {
+		t.Errorf("loss: monolith %v, cluster %v", mres.LinkLossRate, cres.LinkLossRate)
+	}
+}
+
+// TestClusterFailoverMidRun kills the owning shard mid-run and checks the
+// layered degradation story end to end: warm failover via the replica,
+// degradation to policy defaults when the replica dies too, and full
+// recovery after a snapshot restore.
+func TestClusterFailoverMidRun(t *testing.T) {
+	var now sim.Time
+	cl := New(Config{
+		Shards:   4,
+		Clock:    func() sim.Time { return now },
+		Frontend: FrontendConfig{ReplicateReports: true, DownAfter: 1000}, // no breaker: observe raw failover
+	})
+	path := phi.PathKey("bottleneck")
+	owner, fb := cl.Ring.OwnerAndFallback(path)
+	cl.Frontend.RegisterPath(path, 10_000_000)
+
+	for i := 0; i < 10; i++ {
+		now += 50 * sim.Millisecond
+		cl.Frontend.ReportStart(path)
+		now += 50 * sim.Millisecond
+		cl.Frontend.ReportEnd(path, phi.Report{
+			Bytes:  100_000,
+			AvgRTT: 110 * sim.Millisecond,
+			MinRTT: 100 * sim.Millisecond,
+		})
+	}
+	healthy, err := cl.Frontend.Lookup(path)
+	if err != nil {
+		t.Fatalf("healthy lookup: %v", err)
+	}
+
+	dir := t.TempDir()
+	if err := cl.Shards[owner].SaveSnapshot(dir); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	// Kill the owner mid-run: lookups must keep succeeding, served warm
+	// from the replica (report replication mirrored all state there).
+	cl.Shards[owner].Crash()
+	failedOver, err := cl.Frontend.Lookup(path)
+	if err != nil {
+		t.Fatalf("lookup with owner down must not fail: %v", err)
+	}
+	if failedOver != healthy {
+		t.Errorf("replica served %v, want the mirrored %v", failedOver, healthy)
+	}
+	if st := cl.Frontend.Stats(); st.Failovers == 0 {
+		t.Error("failover counter never moved")
+	}
+
+	// Kill the replica too: now the frontend degrades and a phi.Client
+	// quietly falls back to policy defaults.
+	cl.Shards[fb].Crash()
+	client := &phi.Client{Source: cl.Frontend, Policy: phi.DefaultPolicy(), Path: path}
+	if params := client.ParamsForNewConnection(); params != phi.DefaultPolicy().Default {
+		t.Errorf("degraded params = %v, want policy default", params)
+	}
+	if client.Fallbacks != 1 {
+		t.Errorf("client fallbacks = %d, want 1", client.Fallbacks)
+	}
+
+	// Restore the owner from its snapshot: lookups recover the pre-crash
+	// estimates exactly.
+	if ok, err := cl.Shards[owner].LoadSnapshot(dir); err != nil || !ok {
+		t.Fatalf("restore: ok=%v err=%v", ok, err)
+	}
+	restored, err := cl.Frontend.Lookup(path)
+	if err != nil {
+		t.Fatalf("post-restore lookup: %v", err)
+	}
+	if restored != healthy {
+		t.Errorf("restored context %v, want %v", restored, healthy)
+	}
+}

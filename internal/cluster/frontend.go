@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/phi"
+)
+
+// Errors surfaced by the frontend. A caller that sees ErrAllReplicasDown
+// should degrade to its policy defaults — exactly the ContextSource
+// contract, which phi.Client already honors.
+var (
+	ErrAllReplicasDown = errors.New("cluster: owner and fallback shard both unavailable")
+	ErrShardTimeout    = errors.New("cluster: shard call timed out")
+)
+
+// FrontendConfig tunes routing and failure handling.
+type FrontendConfig struct {
+	// Timeout bounds each shard call. Zero calls synchronously with no
+	// timeout — right for in-process shards, which cannot hang; set it
+	// when shards are remote.
+	Timeout time.Duration
+	// DownAfter marks a shard down after this many consecutive failures
+	// (default 3). While down it is skipped without being called.
+	DownAfter int
+	// Cooldown is how long a down shard is skipped before the next call
+	// probes it again (default 5s). Uses the wall clock: shard health is
+	// an operational property, not simulated state.
+	Cooldown time.Duration
+	// ReplicateReports mirrors every report to the path's fallback shard
+	// so failover lands on warm state instead of empty estimates, at the
+	// cost of doubling report writes. Lookups still read only the owner,
+	// so estimates are unchanged while the owner is healthy.
+	ReplicateReports bool
+}
+
+func (c FrontendConfig) withDefaults() FrontendConfig {
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// shardHealth is the frontend's per-shard circuit breaker.
+type shardHealth struct {
+	mu          sync.Mutex
+	consecFails int
+	downUntil   time.Time
+}
+
+// FrontendStats counts routing outcomes.
+type FrontendStats struct {
+	// Lookups and Reports are operations accepted by the frontend.
+	Lookups uint64
+	Reports uint64
+	// Failovers are operations the owner failed and the fallback served.
+	Failovers uint64
+	// Degraded are lookups where owner and fallback both failed and the
+	// caller was told to fall back to policy defaults.
+	Degraded uint64
+	// Mirrored counts successful report replications to fallbacks.
+	Mirrored uint64
+}
+
+// Frontend routes context-server operations to the owning shard, with
+// per-shard health tracking, a single retry against the path's fallback
+// replica, and graceful degradation (an error, which phi.Client turns
+// into policy defaults) when both are unavailable.
+//
+// It implements phi.ContextSource, phi.Reporter, and ReportProgress, so
+// it drops in anywhere a *phi.Server does — including behind
+// phiwire.Server.
+type Frontend struct {
+	ring   *Ring
+	shards []Conn
+	cfg    FrontendConfig
+	health []shardHealth
+	now    func() time.Time // wall clock, swappable in tests
+
+	lookups   atomic.Uint64
+	reports   atomic.Uint64
+	failovers atomic.Uint64
+	degraded  atomic.Uint64
+	mirrored  atomic.Uint64
+}
+
+// NewFrontend builds a frontend over the given shard connections; the
+// ring must have exactly len(shards) shards.
+func NewFrontend(ring *Ring, shards []Conn, cfg FrontendConfig) *Frontend {
+	if ring.Shards() != len(shards) {
+		panic("cluster: ring size does not match shard count")
+	}
+	return &Frontend{
+		ring:   ring,
+		shards: shards,
+		cfg:    cfg.withDefaults(),
+		health: make([]shardHealth, len(shards)),
+		now:    time.Now,
+	}
+}
+
+// Ring exposes the routing ring (read-only by construction).
+func (f *Frontend) Ring() *Ring { return f.ring }
+
+// Stats returns a snapshot of the routing counters.
+func (f *Frontend) Stats() FrontendStats {
+	return FrontendStats{
+		Lookups:   f.lookups.Load(),
+		Reports:   f.reports.Load(),
+		Failovers: f.failovers.Load(),
+		Degraded:  f.degraded.Load(),
+		Mirrored:  f.mirrored.Load(),
+	}
+}
+
+// markResult updates shard i's breaker after a call.
+func (f *Frontend) markResult(i int, err error) {
+	h := &f.health[i]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err == nil {
+		h.consecFails = 0
+		h.downUntil = time.Time{}
+		return
+	}
+	h.consecFails++
+	if h.consecFails >= f.cfg.DownAfter {
+		h.downUntil = f.now().Add(f.cfg.Cooldown)
+	}
+}
+
+// skippable reports whether shard i is marked down and still cooling off.
+func (f *Frontend) skippable(i int) bool {
+	h := &f.health[i]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.downUntil.IsZero() && f.now().Before(h.downUntil)
+}
+
+// ShardDown reports whether the frontend currently routes around shard i.
+func (f *Frontend) ShardDown(i int) bool { return f.skippable(i) }
+
+// call runs op against shard i under the configured timeout, updating
+// the shard's breaker. A shard in cooldown is skipped outright.
+func (f *Frontend) call(i int, op func(Conn) error) error {
+	if f.skippable(i) {
+		return ErrShardDown
+	}
+	var err error
+	if f.cfg.Timeout <= 0 {
+		err = op(f.shards[i])
+	} else {
+		done := make(chan error, 1)
+		go func() { done <- op(f.shards[i]) }()
+		select {
+		case err = <-done:
+		case <-time.After(f.cfg.Timeout):
+			err = ErrShardTimeout
+		}
+	}
+	f.markResult(i, err)
+	return err
+}
+
+// Lookup implements phi.ContextSource: owner first, one retry on the
+// fallback replica, then degrade.
+func (f *Frontend) Lookup(path phi.PathKey) (phi.Context, error) {
+	f.lookups.Add(1)
+	owner, fb := f.ring.OwnerAndFallback(path)
+	var ctx phi.Context
+	get := func(c Conn) error {
+		var err error
+		ctx, err = c.Lookup(path)
+		return err
+	}
+	if err := f.call(owner, get); err == nil {
+		return ctx, nil
+	}
+	if fb >= 0 {
+		if err := f.call(fb, get); err == nil {
+			f.failovers.Add(1)
+			return ctx, nil
+		}
+	}
+	f.degraded.Add(1)
+	return phi.Context{}, ErrAllReplicasDown
+}
+
+// ReportStart implements phi.Reporter.
+func (f *Frontend) ReportStart(path phi.PathKey) error {
+	return f.deliverReport(path, func(c Conn) error { return c.ReportStart(path) })
+}
+
+// ReportEnd implements phi.Reporter.
+func (f *Frontend) ReportEnd(path phi.PathKey, r phi.Report) error {
+	return f.deliverReport(path, func(c Conn) error { return c.ReportEnd(path, r) })
+}
+
+// ReportProgress forwards a mid-connection report.
+func (f *Frontend) ReportProgress(path phi.PathKey, r phi.Report) error {
+	return f.deliverReport(path, func(c Conn) error { return c.ReportProgress(path, r) })
+}
+
+// deliverReport routes a report to the owner (failing over once to the
+// fallback) and, when replication is on, mirrors it to the fallback so a
+// later failover finds warm state. Mirror failures are best-effort: they
+// feed the breaker but never fail the report.
+func (f *Frontend) deliverReport(path phi.PathKey, op func(Conn) error) error {
+	f.reports.Add(1)
+	owner, fb := f.ring.OwnerAndFallback(path)
+	err := f.call(owner, op)
+	switch {
+	case err == nil:
+		if f.cfg.ReplicateReports && fb >= 0 {
+			if f.call(fb, op) == nil {
+				f.mirrored.Add(1)
+			}
+		}
+		return nil
+	case fb >= 0:
+		if f.call(fb, op) == nil {
+			f.failovers.Add(1)
+			return nil
+		}
+		return ErrAllReplicasDown
+	default:
+		return err
+	}
+}
+
+// pathRegistrar is the optional capacity-registration facet of a shard
+// connection. In-process shards implement it; wire-backed ones need not
+// (capacities are then registered on the shard processes directly).
+type pathRegistrar interface {
+	RegisterPath(path phi.PathKey, capacityBps int64)
+}
+
+// RegisterPath declares a path capacity on its owner and fallback shards,
+// mirroring phi.Server.RegisterPath for a sharded deployment.
+func (f *Frontend) RegisterPath(path phi.PathKey, capacityBps int64) {
+	owner, fb := f.ring.OwnerAndFallback(path)
+	if s, ok := f.shards[owner].(pathRegistrar); ok {
+		s.RegisterPath(path, capacityBps)
+	}
+	if fb >= 0 {
+		if s, ok := f.shards[fb].(pathRegistrar); ok {
+			s.RegisterPath(path, capacityBps)
+		}
+	}
+}

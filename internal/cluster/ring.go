@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/phi"
+)
+
+// Ring is a consistent-hash ring that shards path keys across N shards.
+// Each shard contributes VNodes virtual points so load spreads evenly and
+// resizing the cluster moves only ~1/N of the keyspace. The ring is
+// immutable after construction and therefore safe for concurrent use.
+type Ring struct {
+	points []ringPoint // sorted by hash, clockwise
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// DefaultVNodes is the virtual-node count per shard used when NewRing is
+// given zero: enough that the max/min keyspace share stays within a few
+// percent for small clusters.
+const DefaultVNodes = 128
+
+// NewRing builds a ring over `shards` shards with `vnodes` virtual points
+// each (0 = DefaultVNodes). It panics on shards < 1; a cluster without
+// shards has no meaning.
+func NewRing(shards, vnodes int) *Ring {
+	if shards < 1 {
+		panic("cluster: NewRing needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := hashKey(fmt.Sprintf("shard-%d/vnode-%d", s, v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the MurmurHash3 finalizer. Raw FNV-1a of strings that differ
+// only in a trailing counter ("path-1", "path-2", …) differs only in the
+// low bits, which clusters ring points and keys into contiguous runs and
+// ruins the shard balance; the finalizer avalanches every input bit
+// across the whole word.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the shard owning the path: the first virtual point at or
+// clockwise of the key's hash.
+func (r *Ring) Owner(path phi.PathKey) int {
+	owner, _ := r.OwnerAndFallback(path)
+	return owner
+}
+
+// OwnerAndFallback returns the owning shard and the failover replica: the
+// next distinct shard clockwise from the owner, which is also where the
+// frontend mirrors reports. Fallback is -1 in a single-shard ring.
+func (r *Ring) OwnerAndFallback(path phi.PathKey) (owner, fallback int) {
+	h := hashKey(string(path))
+	n := len(r.points)
+	i := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	if i == n {
+		i = 0
+	}
+	owner = r.points[i].shard
+	if r.shards == 1 {
+		return owner, -1
+	}
+	for j := 1; j < n; j++ {
+		if s := r.points[(i+j)%n].shard; s != owner {
+			return owner, s
+		}
+	}
+	return owner, -1 // unreachable with shards > 1, but keep it total
+}

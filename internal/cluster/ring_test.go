@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/phi"
+)
+
+func TestRingDeterministicAndTotal(t *testing.T) {
+	a := NewRing(4, 0)
+	b := NewRing(4, 0)
+	for i := 0; i < 1000; i++ {
+		key := phi.PathKey(fmt.Sprintf("path-%d", i))
+		oa, fa := a.OwnerAndFallback(key)
+		ob, fb := b.OwnerAndFallback(key)
+		if oa != ob || fa != fb {
+			t.Fatalf("ring not deterministic for %q: (%d,%d) vs (%d,%d)", key, oa, fa, ob, fb)
+		}
+		if oa < 0 || oa >= 4 {
+			t.Fatalf("owner %d out of range", oa)
+		}
+		if fa < 0 || fa >= 4 {
+			t.Fatalf("fallback %d out of range", fa)
+		}
+		if oa == fa {
+			t.Fatalf("fallback equals owner for %q", key)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 4, 20000
+	r := NewRing(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(phi.PathKey(fmt.Sprintf("dst-24-%d", i)))]++
+	}
+	want := keys / shards
+	for s, c := range counts {
+		// With 128 vnodes the spread stays well inside ±50% of even.
+		if c < want/2 || c > want*3/2 {
+			t.Errorf("shard %d owns %d keys, want within [%d, %d]", s, c, want/2, want*3/2)
+		}
+	}
+}
+
+func TestRingSingleShard(t *testing.T) {
+	r := NewRing(1, 8)
+	owner, fb := r.OwnerAndFallback("anything")
+	if owner != 0 {
+		t.Fatalf("owner = %d, want 0", owner)
+	}
+	if fb != -1 {
+		t.Fatalf("fallback = %d, want -1 in a single-shard ring", fb)
+	}
+}
+
+func TestRingResizeMovesFewKeys(t *testing.T) {
+	// Consistent hashing's point: growing 4 -> 5 shards should move only
+	// roughly 1/5 of the keyspace, not reshuffle everything.
+	const keys = 10000
+	r4, r5 := NewRing(4, 0), NewRing(5, 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := phi.PathKey(fmt.Sprintf("path-%d", i))
+		if r4.Owner(key) != r5.Owner(key) {
+			moved++
+		}
+	}
+	if moved > keys*35/100 {
+		t.Errorf("resize moved %d/%d keys; consistent hashing should move ~1/5", moved, keys)
+	}
+	if moved == 0 {
+		t.Error("resize moved no keys at all — ring is suspiciously static")
+	}
+}

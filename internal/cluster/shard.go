@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/phi"
+	"repro/internal/sim"
+)
+
+// ErrShardDown is returned by every operation against a crashed shard.
+var ErrShardDown = errors.New("cluster: shard down")
+
+// Conn is what the frontend needs from one shard: the full station
+// interface plus mid-connection progress reports. *Shard implements it
+// in-process; a wire-backed client implementing the same methods can
+// stand in for a remote shard process.
+type Conn interface {
+	Lookup(path phi.PathKey) (phi.Context, error)
+	ReportStart(path phi.PathKey) error
+	ReportEnd(path phi.PathKey, r phi.Report) error
+	ReportProgress(path phi.PathKey, r phi.Report) error
+}
+
+// Shard is one partition of the context-server keyspace: a phi.Server of
+// its own (and therefore a lock of its own — hot paths on different
+// shards never contend), plus crash/restart/restore controls used by the
+// failover machinery and by fault-injection tests.
+type Shard struct {
+	// ID is the shard's index in the ring, fixed at construction.
+	ID int
+
+	clock func() sim.Time
+	cfg   phi.ServerConfig
+
+	mu   sync.Mutex
+	srv  *phi.Server // replaced wholesale on crash/restart
+	down bool
+}
+
+// NewShard creates shard id with its own backing phi.Server.
+func NewShard(id int, clock func() sim.Time, cfg phi.ServerConfig) *Shard {
+	return &Shard{ID: id, clock: clock, cfg: cfg, srv: phi.NewServer(clock, cfg)}
+}
+
+// server returns the live backend, or nil if the shard is down.
+func (s *Shard) server() *phi.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return nil
+	}
+	return s.srv
+}
+
+// Lookup implements Conn.
+func (s *Shard) Lookup(path phi.PathKey) (phi.Context, error) {
+	srv := s.server()
+	if srv == nil {
+		return phi.Context{}, ErrShardDown
+	}
+	return srv.Lookup(path)
+}
+
+// ReportStart implements Conn.
+func (s *Shard) ReportStart(path phi.PathKey) error {
+	srv := s.server()
+	if srv == nil {
+		return ErrShardDown
+	}
+	return srv.ReportStart(path)
+}
+
+// ReportEnd implements Conn.
+func (s *Shard) ReportEnd(path phi.PathKey, r phi.Report) error {
+	srv := s.server()
+	if srv == nil {
+		return ErrShardDown
+	}
+	return srv.ReportEnd(path, r)
+}
+
+// ReportProgress implements Conn.
+func (s *Shard) ReportProgress(path phi.PathKey, r phi.Report) error {
+	srv := s.server()
+	if srv == nil {
+		return ErrShardDown
+	}
+	return srv.ReportProgress(path, r)
+}
+
+// RegisterPath forwards to the backing server (no-op while down).
+func (s *Shard) RegisterPath(path phi.PathKey, capacityBps int64) {
+	if srv := s.server(); srv != nil {
+		srv.RegisterPath(path, capacityBps)
+	}
+}
+
+// Crash simulates process loss: the shard goes down and all in-memory
+// path state is discarded. Only a Restart (empty) or RestoreSnapshot
+// (rehydrated) brings it back.
+func (s *Shard) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down = true
+	s.srv = phi.NewServer(s.clock, s.cfg)
+}
+
+// Down reports whether the shard is crashed.
+func (s *Shard) Down() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// Restart brings a crashed shard back with empty state.
+func (s *Shard) Restart() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down = false
+}
+
+// Export snapshots the shard's path state (see phi.Server.ExportState).
+// A down shard exports nothing.
+func (s *Shard) Export() []phi.PathSnapshot {
+	srv := s.server()
+	if srv == nil {
+		return nil
+	}
+	return srv.ExportState()
+}
+
+// Stats returns the backing server's lookup/report counters (zero while
+// down — the counters died with the process).
+func (s *Shard) Stats() (lookups, reports uint64) {
+	srv := s.server()
+	if srv == nil {
+		return 0, 0
+	}
+	return srv.Stats()
+}
+
+// PathCount returns the number of paths with state on this shard.
+func (s *Shard) PathCount() int {
+	srv := s.server()
+	if srv == nil {
+		return 0
+	}
+	return srv.PathCount()
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/phi"
+	"repro/internal/sim"
+)
+
+// feedShard pushes a deterministic little workload at one path.
+func feedShard(s *Shard, path phi.PathKey, now *sim.Time) {
+	s.RegisterPath(path, 10_000_000)
+	for i := 0; i < 5; i++ {
+		*now += 100 * sim.Millisecond
+		s.ReportStart(path)
+		*now += 200 * sim.Millisecond
+		s.ReportEnd(path, phi.Report{
+			Bytes:  50_000,
+			AvgRTT: 120 * sim.Millisecond,
+			MinRTT: 100 * sim.Millisecond,
+		})
+	}
+	s.ReportStart(path) // leave one active so N survives the roundtrip
+}
+
+func TestSnapshotRoundtripRestoresEstimates(t *testing.T) {
+	var now sim.Time
+	clock := func() sim.Time { return now }
+	s := NewShard(0, clock, phi.ServerConfig{})
+	path := phi.PathKey("bottleneck")
+	feedShard(s, path, &now)
+
+	before, err := s.Lookup(path)
+	if err != nil {
+		t.Fatalf("Lookup before: %v", err)
+	}
+	if before.U == 0 || before.Q == 0 || before.N != 1 {
+		t.Fatalf("precondition: context should be non-trivial, got %v", before)
+	}
+
+	dir := t.TempDir()
+	if err := s.SaveSnapshot(dir); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+
+	// Crash wipes everything...
+	s.Crash()
+	if _, err := s.Lookup(path); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("crashed shard lookup err = %v, want ErrShardDown", err)
+	}
+
+	// ...restart without the snapshot would zero the estimates...
+	s.Restart()
+	zeroed, _ := s.Lookup(path)
+	if zeroed == before {
+		t.Fatal("restart alone should not have preserved state")
+	}
+
+	// ...but restoring the snapshot brings them back exactly.
+	ok, err := s.LoadSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("LoadSnapshot: ok=%v err=%v", ok, err)
+	}
+	after, err := s.Lookup(path)
+	if err != nil {
+		t.Fatalf("Lookup after: %v", err)
+	}
+	if after != before {
+		t.Errorf("restored context %v != pre-crash %v", after, before)
+	}
+}
+
+func TestSnapshotVersionGate(t *testing.T) {
+	dir := t.TempDir()
+	snap := &Snapshot{Version: SnapshotVersion + 1, Shard: 0}
+	data, _ := json.Marshal(snap)
+	if err := os.WriteFile(SnapshotPath(dir, 0), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshotFile(SnapshotPath(dir, 0)); !errors.Is(err, ErrSnapshotVersion) {
+		t.Errorf("err = %v, want ErrSnapshotVersion", err)
+	}
+}
+
+func TestSnapshotShardMismatch(t *testing.T) {
+	var now sim.Time
+	s := NewShard(3, func() sim.Time { return now }, phi.ServerConfig{})
+	snap := &Snapshot{Version: SnapshotVersion, Shard: 1}
+	if err := s.RestoreSnapshot(snap); err == nil {
+		t.Error("restoring shard 1's snapshot into shard 3 should fail")
+	}
+}
+
+func TestSnapshotMissingFile(t *testing.T) {
+	var now sim.Time
+	s := NewShard(0, func() sim.Time { return now }, phi.ServerConfig{})
+	ok, err := s.LoadSnapshot(t.TempDir())
+	if ok || err != nil {
+		t.Errorf("missing snapshot: ok=%v err=%v, want false/nil", ok, err)
+	}
+}
+
+func TestSnapshotCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(SnapshotPath(dir, 0), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshotFile(SnapshotPath(dir, 0)); err == nil {
+		t.Error("corrupt snapshot should not parse")
+	}
+}
+
+func TestWriteSnapshotFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := SnapshotPath(dir, 0)
+	for gen := 0; gen < 3; gen++ {
+		snap := &Snapshot{Version: SnapshotVersion, Shard: 0, TakenAt: sim.Time(gen)}
+		if err := WriteSnapshotFile(path, snap); err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+		got, err := ReadSnapshotFile(path)
+		if err != nil {
+			t.Fatalf("gen %d read: %v", gen, err)
+		}
+		if got.TakenAt != sim.Time(gen) {
+			t.Fatalf("gen %d: read TakenAt %d", gen, got.TakenAt)
+		}
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("%d files left in snapshot dir, want 1 (no temp litter)", len(entries))
+	}
+}

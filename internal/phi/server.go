@@ -2,6 +2,7 @@ package phi
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -46,9 +47,10 @@ type Server struct {
 	cfg   ServerConfig
 	paths map[PathKey]*pathState
 
-	// Lookups and Reports count operations, for tests and ops visibility.
-	Lookups uint64
-	Reports uint64
+	// lookups and reports count operations; they are atomics so Stats can
+	// be read while the server is serving without taking s.mu.
+	lookups atomic.Uint64
+	reports atomic.Uint64
 }
 
 type timedReport struct {
@@ -96,7 +98,7 @@ func (s *Server) state(path PathKey) *pathState {
 func (s *Server) Lookup(path PathKey) (Context, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.Lookups++
+	s.lookups.Add(1)
 	st := s.state(path)
 	now := s.clock()
 	s.prune(st, now)
@@ -129,7 +131,7 @@ func (s *Server) Lookup(path PathKey) (Context, error) {
 func (s *Server) ReportStart(path PathKey) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.Reports++
+	s.reports.Add(1)
 	st := s.state(path)
 	st.starts = append(st.starts, s.clock())
 	return nil
@@ -152,7 +154,7 @@ func (s *Server) ReportProgress(path PathKey, r Report) error {
 func (s *Server) report(path PathKey, r Report, end bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.Reports++
+	s.reports.Add(1)
 	st := s.state(path)
 	if end && len(st.starts) > 0 {
 		st.starts = st.starts[1:]
@@ -214,6 +216,12 @@ func (s *Server) ActiveSenders(path PathKey) int {
 	st := s.state(path)
 	s.expireActives(st, s.clock())
 	return len(st.starts)
+}
+
+// Stats returns the lookup and report operation counts. It is safe to
+// call while the server is serving.
+func (s *Server) Stats() (lookups, reports uint64) {
+	return s.lookups.Load(), s.reports.Load()
 }
 
 // PathCount returns the number of paths with state.

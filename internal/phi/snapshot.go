@@ -1,0 +1,77 @@
+package phi
+
+import "repro/internal/sim"
+
+// Snapshot support: a Server's per-path state can be exported as plain
+// serializable values and later imported into a fresh Server, so a
+// restarted context server does not zero out its u/q/n estimates. The
+// types mirror pathState field-for-field; times are sim.Time (int64
+// nanoseconds), which marshal naturally to JSON and binary codecs.
+//
+// Package cluster layers a versioned on-disk format and a periodic
+// snapshotter on top of these primitives.
+
+// ReportSample is one timed byte report inside a PathSnapshot.
+type ReportSample struct {
+	At    sim.Time `json:"at"`
+	Bytes int64    `json:"bytes"`
+}
+
+// PathSnapshot is the exported state of one path.
+type PathSnapshot struct {
+	Path        PathKey        `json:"path"`
+	CapacityBps int64          `json:"capacity_bps,omitempty"`
+	Starts      []sim.Time     `json:"starts,omitempty"`
+	Reports     []ReportSample `json:"reports,omitempty"`
+	MinRTT      sim.Time       `json:"min_rtt,omitempty"`
+	QEWMA       sim.Time       `json:"q_ewma,omitempty"`
+	QInit       bool           `json:"q_init,omitempty"`
+	MaxRateBps  float64        `json:"max_rate_bps,omitempty"`
+}
+
+// ExportState snapshots every path's state. The result is detached from
+// the server: mutating it does not affect live state.
+func (s *Server) ExportState() []PathSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PathSnapshot, 0, len(s.paths))
+	for path, st := range s.paths {
+		ps := PathSnapshot{
+			Path:        path,
+			CapacityBps: st.capacityBps,
+			MinRTT:      st.minRTT,
+			QEWMA:       st.qEWMA,
+			QInit:       st.qInit,
+			MaxRateBps:  st.maxRateBps,
+		}
+		ps.Starts = append(ps.Starts, st.starts...)
+		for _, r := range st.reports {
+			ps.Reports = append(ps.Reports, ReportSample{At: r.at, Bytes: r.bytes})
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+// ImportState replaces the server's path state with the snapshot. Stale
+// entries are not filtered here; the normal window/TTL pruning retires
+// them on the next operation against each path.
+func (s *Server) ImportState(paths []PathSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.paths = make(map[PathKey]*pathState, len(paths))
+	for _, ps := range paths {
+		st := &pathState{
+			capacityBps: ps.CapacityBps,
+			minRTT:      ps.MinRTT,
+			qEWMA:       ps.QEWMA,
+			qInit:       ps.QInit,
+			maxRateBps:  ps.MaxRateBps,
+		}
+		st.starts = append(st.starts, ps.Starts...)
+		for _, r := range ps.Reports {
+			st.reports = append(st.reports, timedReport{at: r.At, bytes: r.Bytes})
+		}
+		s.paths[ps.Path] = st
+	}
+}

@@ -1,0 +1,73 @@
+package phi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestServerConcurrentStress hammers one Server from many goroutines —
+// lookups, start/end/progress reports, and every read-side accessor —
+// over a spread of paths. It asserts nothing subtle; its value is under
+// `go test -race`, where any unsynchronized access to server state
+// (including the stats counters, once plain exported fields read without
+// the mutex) fails the run.
+func TestServerConcurrentStress(t *testing.T) {
+	var tick atomic.Int64
+	clock := func() sim.Time { return sim.Time(tick.Add(1) * int64(sim.Millisecond)) }
+	srv := NewServer(clock, ServerConfig{})
+
+	const (
+		workers = 16
+		paths   = 32
+		ops     = 400
+	)
+	for i := 0; i < paths; i += 2 { // half calibrated, half learned
+		srv.RegisterPath(pathN(i), 10_000_000)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				p := pathN((w*ops + i) % paths)
+				switch i % 5 {
+				case 0:
+					if _, err := srv.Lookup(p); err != nil {
+						t.Errorf("Lookup: %v", err)
+					}
+				case 1:
+					srv.ReportStart(p)
+				case 2:
+					srv.ReportEnd(p, Report{Bytes: 40_000, AvgRTT: 110 * sim.Millisecond, MinRTT: 100 * sim.Millisecond})
+				case 3:
+					srv.ReportProgress(p, Report{Bytes: 10_000, AvgRTT: 120 * sim.Millisecond, MinRTT: 100 * sim.Millisecond})
+				case 4:
+					// Read-side surface, all safe to call while serving.
+					srv.Stats()
+					srv.ActiveSenders(p)
+					srv.PathCount()
+					srv.ExportState()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	lookups, reports := srv.Stats()
+	wantLookups := uint64(workers * ops / 5)
+	wantReports := uint64(3 * workers * ops / 5)
+	if lookups != wantLookups || reports != wantReports {
+		t.Errorf("stats = (%d, %d), want (%d, %d)", lookups, reports, wantLookups, wantReports)
+	}
+	if got := srv.PathCount(); got != paths {
+		t.Errorf("PathCount = %d, want %d", got, paths)
+	}
+}
+
+func pathN(i int) PathKey { return PathKey(fmt.Sprintf("path-%02d", i)) }

@@ -168,8 +168,8 @@ func TestPhiClientEndToEndInSimulator(t *testing.T) {
 	if len(r.Flows) == 0 {
 		t.Fatal("no flows")
 	}
-	if srv.Lookups == 0 || srv.Reports == 0 {
-		t.Errorf("server not exercised: lookups=%d reports=%d", srv.Lookups, srv.Reports)
+	if lookups, reports := srv.Stats(); lookups == 0 || reports == 0 {
+		t.Errorf("server not exercised: lookups=%d reports=%d", lookups, reports)
 	}
 	if client.Fallbacks != 0 {
 		t.Errorf("unexpected fallbacks: %d", client.Fallbacks)

@@ -6,32 +6,46 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/phi"
 )
 
-// Server serves the Phi wire protocol over TCP, backed by a phi.Server
-// (which is safe for concurrent use). One goroutine per connection.
+// Backend is what the wire server needs from the state plane: lookups,
+// the start/end report pair, and mid-connection progress reports. Both
+// the monolithic phi.Server and the sharded cluster.Frontend satisfy it,
+// so one wire server fronts either deployment.
+type Backend interface {
+	phi.ContextSource
+	phi.Reporter
+	ReportProgress(path phi.PathKey, r phi.Report) error
+}
+
+// Server serves the Phi wire protocol over TCP, backed by any Backend
+// (which must be safe for concurrent use). One goroutine per connection.
 // If a policy is set, clients may also fetch it at startup, so the
 // context server is the single distribution point for both the shared
 // state and the parameter mapping.
 type Server struct {
-	backend *phi.Server
+	backend Backend
 
-	mu       sync.Mutex
-	policy   []byte // serialized policy, nil if none
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-	wg       sync.WaitGroup
-	logf     func(format string, args ...any)
-	Handled  uint64 // requests served (atomic access under mu)
-	Rejected uint64 // malformed frames
+	mu     sync.Mutex
+	policy []byte // serialized policy, nil if none
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+	logf   func(format string, args ...any)
+
+	// handled counts requests served, rejected counts malformed frames.
+	// They are atomics so Stats is safe to call while serving.
+	handled  atomic.Uint64
+	rejected atomic.Uint64
 }
 
 // NewServer wraps backend for network service. logf, if non-nil, receives
 // connection-level errors; nil discards them.
-func NewServer(backend *phi.Server, logf func(string, ...any)) *Server {
+func NewServer(backend Backend, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -206,21 +220,12 @@ func (s *Server) handle(payload []byte) []byte {
 	}
 }
 
-func (s *Server) bumpHandled() {
-	s.mu.Lock()
-	s.Handled++
-	s.mu.Unlock()
-}
+func (s *Server) bumpHandled() { s.handled.Add(1) }
 
-func (s *Server) bumpRejected() {
-	s.mu.Lock()
-	s.Rejected++
-	s.mu.Unlock()
-}
+func (s *Server) bumpRejected() { s.rejected.Add(1) }
 
-// Stats returns handled/rejected counters.
+// Stats returns handled/rejected counters. It is safe to call while the
+// server is serving.
 func (s *Server) Stats() (handled, rejected uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.Handled, s.Rejected
+	return s.handled.Load(), s.rejected.Load()
 }
