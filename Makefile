@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race cover test test-short bench experiments experiments-full examples clean
+.PHONY: all build vet race cover test test-short bench load experiments experiments-full examples clean
 
 all: build vet race
 
@@ -30,8 +30,24 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
+# Microbenchmarks: the per-figure harnesses in the root package plus the
+# substrate benches — telemetry record path, phiwire encode/decode and
+# handler, phi.Server instrumented-vs-bare lookup/report.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . ./internal/telemetry ./internal/phiwire ./internal/phi
+
+# Seed load-generation run: drive a local 4-shard phi-cluster for 30s
+# open-loop at 2000 lifecycles/s and write BENCH_loadgen.json
+# (DESIGN.md §8.3). Fixed seed so reruns are comparable.
+load:
+	$(GO) build -o /tmp/phi-load-bench-cluster ./cmd/phi-cluster
+	$(GO) build -o /tmp/phi-load-bench-load ./cmd/phi-load
+	/tmp/phi-load-bench-cluster -listen 127.0.0.1:7731 -shards 4 \
+		-metrics-addr 127.0.0.1:7732 & \
+	CLUSTER=$$!; trap 'kill $$CLUSTER' EXIT; sleep 1; \
+	/tmp/phi-load-bench-load -addr 127.0.0.1:7731 -mode open -rate 2000 \
+		-duration 30s -warmup 2s -paths 64 -skew zipf -seed 42 \
+		-out BENCH_loadgen.json
 
 # Regenerate every table and figure (coarse ~ minutes).
 experiments:

@@ -28,6 +28,11 @@
 //	-snapshot-interval d      time between snapshots (default 30s)
 //	-path name=bitsPerSecond  register a path capacity (repeatable)
 //	-policy file              publish this JSON policy (default: built-in)
+//	-metrics-addr addr        serve Prometheus metrics at /metrics on this
+//	                          address (empty = telemetry off). Covers the
+//	                          frontend's routing counters, per-shard call
+//	                          latency and breaker state, per-shard server
+//	                          metrics, snapshot cycles, and the wire layer.
 package main
 
 import (
@@ -44,22 +49,24 @@ import (
 	"repro/internal/phi"
 	"repro/internal/phiwire"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen     = flag.String("listen", "127.0.0.1:7731", "listen address")
-		shards     = flag.Int("shards", 4, "shard count")
-		vnodes     = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard")
-		window     = flag.Duration("window", 10*time.Second, "utilization estimation window")
-		timeout    = flag.Duration("timeout", 0, "per-shard call timeout (0 = none)")
-		downAfter  = flag.Int("down-after", 3, "consecutive failures before a shard is routed around")
-		cooldown   = flag.Duration("cooldown", 5*time.Second, "down-shard reprobe cooldown")
-		replicate  = flag.Bool("replicate", true, "mirror reports to the fallback shard")
-		snapDir    = flag.String("snapshot-dir", "", "snapshot directory (empty = snapshots off)")
-		snapEvery  = flag.Duration("snapshot-interval", 30*time.Second, "time between snapshots")
-		policyPath = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
-		paths      pathFlags
+		listen      = flag.String("listen", "127.0.0.1:7731", "listen address")
+		shards      = flag.Int("shards", 4, "shard count")
+		vnodes      = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard")
+		window      = flag.Duration("window", 10*time.Second, "utilization estimation window")
+		timeout     = flag.Duration("timeout", 0, "per-shard call timeout (0 = none)")
+		downAfter   = flag.Int("down-after", 3, "consecutive failures before a shard is routed around")
+		cooldown    = flag.Duration("cooldown", 5*time.Second, "down-shard reprobe cooldown")
+		replicate   = flag.Bool("replicate", true, "mirror reports to the fallback shard")
+		snapDir     = flag.String("snapshot-dir", "", "snapshot directory (empty = snapshots off)")
+		snapEvery   = flag.Duration("snapshot-interval", 30*time.Second, "time between snapshots")
+		policyPath  = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = telemetry off)")
+		paths       pathFlags
 	)
 	flag.Var(&paths, "path", "register a path capacity as name=bitsPerSecond (repeatable)")
 	flag.Parse()
@@ -79,6 +86,12 @@ func main() {
 			ReplicateReports: *replicate,
 		},
 	})
+
+	var reg *telemetry.Registry // nil keeps every hot path uninstrumented
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		cl.Instrument(reg)
+	}
 
 	stopSnapshots := func() {}
 	if *snapDir != "" {
@@ -102,6 +115,15 @@ func main() {
 	}
 
 	srv := phiwire.NewServer(cl.Frontend, log.Printf)
+	srv.SetMetrics(phiwire.NewServerMetrics(reg))
+	if *metricsAddr != "" {
+		ms, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer ms.Close()
+		log.Printf("serving metrics on http://%s/metrics", ms.Addr())
+	}
 	policy := phi.DefaultPolicy()
 	if *policyPath != "" {
 		f, err := os.Open(*policyPath)

@@ -1,0 +1,422 @@
+// Command phi-load drives the real Phi wire protocol against a running
+// phi-server or phi-cluster and reports throughput and latency
+// quantiles as machine-readable JSON — the yardstick for every perf
+// change to the context-server data path.
+//
+// Each generated operation is one connection lifecycle, exactly the
+// paper's per-connection protocol: a context lookup at "connection
+// start", a start report, and an end report carrying a synthetic
+// transfer summary. Two load models are supported:
+//
+//   - closed (default): N workers, each with its own TCP connection,
+//     issue lifecycles back to back. Throughput is limited by server
+//     latency; this measures capacity.
+//   - open: lifecycles arrive by a Poisson process at -rate per second,
+//     independent of completions, served by a bounded in-flight pool
+//     over a fixed connection pool. This measures tail latency at a
+//     fixed offered load, the number that decides whether a shared
+//     control plane is affordable (arrivals do not slow down when the
+//     server does).
+//
+// Path keys are drawn uniformly or Zipf-skewed from -paths distinct
+// keys, modelling a few hot inter-datacenter paths among many cold
+// ones.
+//
+// Example, against a 4-shard cluster:
+//
+//	phi-cluster -listen 127.0.0.1:7731 -shards 4 -metrics-addr 127.0.0.1:7732 &
+//	phi-load -addr 127.0.0.1:7731 -mode open -rate 2000 -duration 30s \
+//	    -warmup 2s -paths 64 -skew zipf -out BENCH_loadgen.json
+//
+// The JSON result includes per-op latency quantiles (p50/p90/p99/p999),
+// throughput, and error/degrade counts; the warmup window is excluded.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/phi"
+	"repro/internal/phiwire"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7731", "context server address")
+		mode        = flag.String("mode", "closed", "load model: closed (worker pool) or open (Poisson arrivals)")
+		workers     = flag.Int("workers", 32, "closed-loop worker count (one connection each)")
+		rate        = flag.Float64("rate", 1000, "open-loop arrival rate, lifecycles/s")
+		conns       = flag.Int("conns", 64, "open-loop connection pool size")
+		maxInflight = flag.Int("max-inflight", 4096, "open-loop bound on concurrent lifecycles (excess arrivals are dropped and counted)")
+		duration    = flag.Duration("duration", 30*time.Second, "measured run length (after warmup)")
+		warmup      = flag.Duration("warmup", 2*time.Second, "warmup length excluded from results")
+		paths       = flag.Int("paths", 64, "distinct path keys")
+		pathPrefix  = flag.String("path-prefix", "path-", "path key prefix")
+		skew        = flag.String("skew", "uniform", "path key distribution: uniform or zipf")
+		zipfS       = flag.Float64("zipf-s", 1.2, "zipf skew exponent (>1)")
+		meanBytes   = flag.Float64("mean-bytes", 1<<20, "mean synthetic transfer size reported at connection end")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-request timeout")
+		seed        = flag.Int64("seed", 1, "PRNG seed")
+		out         = flag.String("out", "", "write the JSON result here (default stdout)")
+	)
+	flag.Parse()
+
+	if *paths < 1 || *workers < 1 || *conns < 1 || *maxInflight < 1 {
+		log.Fatal("-paths, -workers, -conns, and -max-inflight must be >= 1")
+	}
+	if *mode != "closed" && *mode != "open" {
+		log.Fatalf("-mode must be closed or open, got %q", *mode)
+	}
+	if *skew != "uniform" && *skew != "zipf" {
+		log.Fatalf("-skew must be uniform or zipf, got %q", *skew)
+	}
+	if *skew == "zipf" && *zipfS <= 1 {
+		log.Fatalf("-zipf-s must be > 1, got %v", *zipfS)
+	}
+
+	// Fail fast if the server is unreachable before spinning anything up.
+	probe := phiwire.Dial(*addr, *timeout)
+	if _, err := probe.Lookup(phi.PathKey(*pathPrefix + "0")); err != nil {
+		var se phiwire.ServerError
+		if !errors.As(err, &se) {
+			log.Fatalf("context server at %s unreachable: %v", *addr, err)
+		}
+	}
+	probe.Close()
+
+	cfg := runConfig{
+		Addr:        *addr,
+		Mode:        *mode,
+		Workers:     *workers,
+		RatePerSec:  *rate,
+		Conns:       *conns,
+		MaxInflight: *maxInflight,
+		DurationS:   duration.Seconds(),
+		WarmupS:     warmup.Seconds(),
+		Paths:       *paths,
+		Skew:        *skew,
+		ZipfS:       *zipfS,
+		MeanBytes:   *meanBytes,
+		TimeoutS:    timeout.Seconds(),
+		Seed:        *seed,
+	}
+	res := run(cfg, *pathPrefix)
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s: %.0f lifecycles/s, lookup p99 %.0fus",
+		*out, res.LifecyclesPerSec, res.Ops["lookup"].P99Us)
+}
+
+// runConfig echoes the knobs into the result for reproducibility.
+type runConfig struct {
+	Addr        string  `json:"addr"`
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers,omitempty"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	Conns       int     `json:"conns,omitempty"`
+	MaxInflight int     `json:"max_inflight,omitempty"`
+	DurationS   float64 `json:"duration_s"`
+	WarmupS     float64 `json:"warmup_s"`
+	Paths       int     `json:"paths"`
+	Skew        string  `json:"skew"`
+	ZipfS       float64 `json:"zipf_s,omitempty"`
+	MeanBytes   float64 `json:"mean_bytes"`
+	TimeoutS    float64 `json:"timeout_s"`
+	Seed        int64   `json:"seed"`
+}
+
+// opStats accumulates one operation type's outcomes (telemetry
+// histograms double as the loadgen's own measurement instrument).
+type opStats struct {
+	lat       *telemetry.Histogram
+	transport atomic.Uint64 // connection/timeout failures
+	server    atomic.Uint64 // application-level (degrade) errors
+}
+
+func newOpStats() *opStats { return &opStats{lat: telemetry.NewHistogram()} }
+
+func (o *opStats) record(start time.Time, err error) {
+	o.lat.Observe(time.Since(start))
+	if err == nil {
+		return
+	}
+	var se phiwire.ServerError
+	if errors.As(err, &se) {
+		o.server.Add(1)
+	} else {
+		o.transport.Add(1)
+	}
+}
+
+// runStats is one measurement window's counters; the warmup window gets
+// its own instance, discarded at the switch.
+type runStats struct {
+	lookup, start, end *opStats
+	queueWait          *telemetry.Histogram // open loop: arrival -> issue
+	lifecycles         atomic.Uint64
+	dropped            atomic.Uint64 // open loop: arrivals past max-inflight
+}
+
+func newRunStats() *runStats {
+	return &runStats{
+		lookup:    newOpStats(),
+		start:     newOpStats(),
+		end:       newOpStats(),
+		queueWait: telemetry.NewHistogram(),
+	}
+}
+
+// opResult is the JSON form of one op's latency distribution.
+type opResult struct {
+	Count           uint64  `json:"count"`
+	TransportErrors uint64  `json:"transport_errors"`
+	ServerErrors    uint64  `json:"server_errors"`
+	MeanUs          float64 `json:"mean_us"`
+	P50Us           float64 `json:"p50_us"`
+	P90Us           float64 `json:"p90_us"`
+	P99Us           float64 `json:"p99_us"`
+	P999Us          float64 `json:"p999_us"`
+	MaxUs           float64 `json:"max_us"`
+}
+
+func (o *opStats) result() opResult {
+	s := o.lat.Snapshot()
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	return opResult{
+		Count:           s.Count,
+		TransportErrors: o.transport.Load(),
+		ServerErrors:    o.server.Load(),
+		MeanUs:          s.Mean() / 1e3,
+		P50Us:           us(s.Quantile(0.50)),
+		P90Us:           us(s.Quantile(0.90)),
+		P99Us:           us(s.Quantile(0.99)),
+		P999Us:          us(s.Quantile(0.999)),
+		MaxUs:           us(s.Max()),
+	}
+}
+
+// result is the machine-readable run summary (BENCH_loadgen.json).
+type result struct {
+	Tool             string              `json:"tool"`
+	Config           runConfig           `json:"config"`
+	StartedAt        string              `json:"started_at"`
+	MeasuredS        float64             `json:"measured_s"`
+	Lifecycles       uint64              `json:"lifecycles"`
+	LifecyclesPerSec float64             `json:"lifecycles_per_sec"`
+	OpsPerSec        float64             `json:"ops_per_sec"`
+	ErrorsTotal      uint64              `json:"errors_total"`
+	DegradedTotal    uint64              `json:"degraded_total"`
+	Dropped          uint64              `json:"dropped_arrivals"`
+	Ops              map[string]opResult `json:"ops"`
+}
+
+// pathPicker returns a per-goroutine path chooser (rand.Rand and
+// rand.Zipf are not concurrency-safe, so each worker gets its own,
+// seeded deterministically).
+func pathPicker(cfg runConfig, prefix string, workerSeed int64) func() phi.PathKey {
+	keys := make([]phi.PathKey, cfg.Paths)
+	for i := range keys {
+		keys[i] = phi.PathKey(fmt.Sprintf("%s%d", prefix, i))
+	}
+	rng := rand.New(rand.NewSource(workerSeed))
+	if cfg.Skew == "zipf" {
+		z := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Paths-1))
+		return func() phi.PathKey { return keys[z.Uint64()] }
+	}
+	return func() phi.PathKey { return keys[rng.Intn(cfg.Paths)] }
+}
+
+// lifecycle performs one full connection protocol exchange and records
+// each phase into st.
+func lifecycle(cl *phiwire.Client, path phi.PathKey, st *runStats, rng *rand.Rand, meanBytes float64) {
+	t0 := time.Now()
+	_, err := cl.Lookup(path)
+	st.lookup.record(t0, err)
+
+	t1 := time.Now()
+	err = cl.ReportStart(path)
+	st.start.record(t1, err)
+
+	// Synthetic transfer: exponential sizes around the mean, plausible
+	// RTTs so the server's q estimator has something to chew on.
+	bytes := int64(rng.ExpFloat64() * meanBytes)
+	minRTT := 20*sim.Millisecond + sim.Time(rng.Int63n(int64(20*sim.Millisecond)))
+	avgRTT := minRTT + sim.Time(rng.Int63n(int64(10*sim.Millisecond)))
+	rep := phi.Report{
+		Bytes:    bytes,
+		Duration: sim.Time(float64(bytes) * 8 / 1e9 * float64(sim.Second)),
+		AvgRTT:   avgRTT,
+		MinRTT:   minRTT,
+		LossRate: 0,
+	}
+	t2 := time.Now()
+	err = cl.ReportEnd(path, rep)
+	st.end.record(t2, err)
+
+	st.lifecycles.Add(1)
+}
+
+func run(cfg runConfig, prefix string) *result {
+	warmStats := newRunStats()
+	mainStats := newRunStats()
+	// Workers read the active window through an atomic pointer; the
+	// warmup -> measurement switch is one store.
+	var active atomic.Pointer[runStats]
+	active.Store(warmStats)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	startedAt := time.Now()
+
+	switch cfg.Mode {
+	case "closed":
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cl := phiwire.Dial(cfg.Addr, time.Duration(cfg.TimeoutS*float64(time.Second)))
+				defer cl.Close()
+				pick := pathPicker(cfg, prefix, cfg.Seed+int64(w))
+				rng := rand.New(rand.NewSource(cfg.Seed ^ int64(w)<<20))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					lifecycle(cl, pick(), active.Load(), rng, cfg.MeanBytes)
+				}
+			}(w)
+		}
+	case "open":
+		// Fixed connection pool; lifecycles grab connections round-robin.
+		pool := make([]*phiwire.Client, cfg.Conns)
+		for i := range pool {
+			pool[i] = phiwire.Dial(cfg.Addr, time.Duration(cfg.TimeoutS*float64(time.Second)))
+		}
+		defer func() {
+			for _, cl := range pool {
+				cl.Close()
+			}
+		}()
+		var next atomic.Uint64
+		type arrival struct{ at time.Time }
+		queue := make(chan arrival, cfg.MaxInflight)
+		for w := 0; w < cfg.MaxInflight; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				pick := pathPicker(cfg, prefix, cfg.Seed+int64(w))
+				rng := rand.New(rand.NewSource(cfg.Seed ^ int64(w)<<20))
+				for a := range queue {
+					st := active.Load()
+					st.queueWait.Observe(time.Since(a.at))
+					cl := pool[next.Add(1)%uint64(len(pool))]
+					lifecycle(cl, pick(), st, rng, cfg.MeanBytes)
+				}
+			}(w)
+		}
+		// Poisson arrival process: exponential inter-arrival gaps at
+		// -rate per second, independent of completions (open loop). If
+		// the in-flight bound is hit the arrival is dropped and counted,
+		// never queued — queuing would silently close the loop.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(queue)
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			nextAt := time.Now()
+			for {
+				gap := time.Duration(rng.ExpFloat64() / cfg.RatePerSec * float64(time.Second))
+				nextAt = nextAt.Add(gap)
+				if d := time.Until(nextAt); d > 0 {
+					select {
+					case <-stop:
+						return
+					case <-time.After(d):
+					}
+				} else {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				select {
+				case queue <- arrival{at: nextAt}:
+				default:
+					active.Load().dropped.Add(1)
+				}
+			}
+		}()
+	}
+
+	warmup := time.Duration(cfg.WarmupS * float64(time.Second))
+	duration := time.Duration(cfg.DurationS * float64(time.Second))
+	time.Sleep(warmup)
+	active.Store(mainStats)
+	measureStart := time.Now()
+	time.Sleep(duration)
+	measured := time.Since(measureStart)
+	close(stop)
+	wg.Wait()
+
+	st := mainStats
+	ops := map[string]opResult{
+		"lookup":       st.lookup.result(),
+		"report_start": st.start.result(),
+		"report_end":   st.end.result(),
+	}
+	if cfg.Mode == "open" {
+		qw := st.queueWait.Snapshot()
+		ops["queue_wait"] = opResult{
+			Count:  qw.Count,
+			MeanUs: qw.Mean() / 1e3,
+			P50Us:  float64(qw.Quantile(0.5)) / 1e3,
+			P90Us:  float64(qw.Quantile(0.9)) / 1e3,
+			P99Us:  float64(qw.Quantile(0.99)) / 1e3,
+			P999Us: float64(qw.Quantile(0.999)) / 1e3,
+			MaxUs:  float64(qw.Max()) / 1e3,
+		}
+	}
+	totalOps := st.lookup.lat.Count() + st.start.lat.Count() + st.end.lat.Count()
+	var errs, degrades uint64
+	for _, o := range []*opStats{st.lookup, st.start, st.end} {
+		errs += o.transport.Load()
+		degrades += o.server.Load()
+	}
+	return &result{
+		Tool:             "phi-load",
+		Config:           cfg,
+		StartedAt:        startedAt.UTC().Format(time.RFC3339),
+		MeasuredS:        measured.Seconds(),
+		Lifecycles:       st.lifecycles.Load(),
+		LifecyclesPerSec: float64(st.lifecycles.Load()) / measured.Seconds(),
+		OpsPerSec:        float64(totalOps) / measured.Seconds(),
+		ErrorsTotal:      errs,
+		DegradedTotal:    degrades,
+		Dropped:          st.dropped.Load(),
+		Ops:              ops,
+	}
+}

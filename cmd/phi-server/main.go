@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	phi-server -listen :7731 -path bottleneck=15000000
+//	phi-server -listen :7731 -path bottleneck=15000000 \
+//	    -metrics-addr 127.0.0.1:7732
+//
+// With -metrics-addr set, the server exposes Prometheus-text-format
+// telemetry (lookup/report counts and latency histograms, wire-level
+// request counters, open connections) at /metrics on that address.
 package main
 
 import (
@@ -21,28 +26,45 @@ import (
 	"repro/internal/phi"
 	"repro/internal/phiwire"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen     = flag.String("listen", "127.0.0.1:7731", "listen address")
-		window     = flag.Duration("window", 10*time.Second, "utilization estimation window")
-		policyPath = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
-		paths      pathFlags
+		listen      = flag.String("listen", "127.0.0.1:7731", "listen address")
+		window      = flag.Duration("window", 10*time.Second, "utilization estimation window")
+		policyPath  = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = telemetry off)")
+		paths       pathFlags
 	)
 	flag.Var(&paths, "path", "register a path capacity as name=bitsPerSecond (repeatable)")
 	flag.Parse()
+
+	var reg *telemetry.Registry // nil keeps every hot path uninstrumented
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
 
 	backend := phi.NewServer(
 		func() sim.Time { return sim.Time(time.Now().UnixNano()) },
 		phi.ServerConfig{Window: sim.Time(window.Nanoseconds())},
 	)
+	backend.SetMetrics(phi.NewServerMetrics(reg, nil))
 	for _, p := range paths {
 		backend.RegisterPath(phi.PathKey(p.name), p.capacity)
 		log.Printf("registered path %q at %d bit/s", p.name, p.capacity)
 	}
 
 	srv := phiwire.NewServer(backend, log.Printf)
+	srv.SetMetrics(phiwire.NewServerMetrics(reg))
+	if *metricsAddr != "" {
+		ms, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer ms.Close()
+		log.Printf("serving metrics on http://%s/metrics", ms.Addr())
+	}
 	policy := phi.DefaultPolicy()
 	if *policyPath != "" {
 		f, err := os.Open(*policyPath)

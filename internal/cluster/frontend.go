@@ -61,11 +61,14 @@ type FrontendStats struct {
 	Reports uint64
 	// Failovers are operations the owner failed and the fallback served.
 	Failovers uint64
-	// Degraded are lookups where owner and fallback both failed and the
-	// caller was told to fall back to policy defaults.
+	// Degraded are operations where owner and fallback both failed and
+	// the caller was told to fall back to policy defaults.
 	Degraded uint64
 	// Mirrored counts successful report replications to fallbacks.
 	Mirrored uint64
+	// Retries are fallback attempts after an owner failure (successful
+	// or not; the successful ones are Failovers).
+	Retries uint64
 }
 
 // Frontend routes context-server operations to the owning shard, with
@@ -88,7 +91,17 @@ type Frontend struct {
 	failovers atomic.Uint64
 	degraded  atomic.Uint64
 	mirrored  atomic.Uint64
+	retries   atomic.Uint64
+
+	// metrics is the optional telemetry surface (nil = uninstrumented).
+	// Set before serving: the field is read without synchronization.
+	metrics *FrontendMetrics
 }
+
+// SetMetrics attaches (or detaches, with nil) the telemetry surface.
+// The metric set's per-shard slices must cover every shard id. Call
+// before the frontend starts serving.
+func (f *Frontend) SetMetrics(m *FrontendMetrics) { f.metrics = m }
 
 // NewFrontend builds a frontend over the given shard connections; the
 // ring must have exactly len(shards) shards.
@@ -116,22 +129,30 @@ func (f *Frontend) Stats() FrontendStats {
 		Failovers: f.failovers.Load(),
 		Degraded:  f.degraded.Load(),
 		Mirrored:  f.mirrored.Load(),
+		Retries:   f.retries.Load(),
 	}
 }
 
 // markResult updates shard i's breaker after a call.
 func (f *Frontend) markResult(i int, err error) {
+	m := f.metrics
 	h := &f.health[i]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if err == nil {
 		h.consecFails = 0
 		h.downUntil = time.Time{}
+		if m != nil {
+			m.Down[i].Set(0)
+		}
 		return
 	}
 	h.consecFails++
 	if h.consecFails >= f.cfg.DownAfter {
 		h.downUntil = f.now().Add(f.cfg.Cooldown)
+		if m != nil {
+			m.Down[i].Set(1)
+		}
 	}
 }
 
@@ -152,6 +173,11 @@ func (f *Frontend) call(i int, op func(Conn) error) error {
 	if f.skippable(i) {
 		return ErrShardDown
 	}
+	m := f.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	var err error
 	if f.cfg.Timeout <= 0 {
 		err = op(f.shards[i])
@@ -165,13 +191,23 @@ func (f *Frontend) call(i int, op func(Conn) error) error {
 		}
 	}
 	f.markResult(i, err)
+	if m != nil {
+		m.CallSeconds[i].Observe(time.Since(start))
+		if err != nil {
+			m.CallErrors[i].Inc()
+		}
+	}
 	return err
 }
 
 // Lookup implements phi.ContextSource: owner first, one retry on the
 // fallback replica, then degrade.
 func (f *Frontend) Lookup(path phi.PathKey) (phi.Context, error) {
+	m := f.metrics
 	f.lookups.Add(1)
+	if m != nil {
+		m.Lookups.Inc()
+	}
 	owner, fb := f.ring.OwnerAndFallback(path)
 	var ctx phi.Context
 	get := func(c Conn) error {
@@ -183,12 +219,22 @@ func (f *Frontend) Lookup(path phi.PathKey) (phi.Context, error) {
 		return ctx, nil
 	}
 	if fb >= 0 {
+		f.retries.Add(1)
+		if m != nil {
+			m.Retries.Inc()
+		}
 		if err := f.call(fb, get); err == nil {
 			f.failovers.Add(1)
+			if m != nil {
+				m.Failovers.Inc()
+			}
 			return ctx, nil
 		}
 	}
 	f.degraded.Add(1)
+	if m != nil {
+		m.Degraded.Inc()
+	}
 	return phi.Context{}, ErrAllReplicasDown
 }
 
@@ -212,7 +258,11 @@ func (f *Frontend) ReportProgress(path phi.PathKey, r phi.Report) error {
 // later failover finds warm state. Mirror failures are best-effort: they
 // feed the breaker but never fail the report.
 func (f *Frontend) deliverReport(path phi.PathKey, op func(Conn) error) error {
+	m := f.metrics
 	f.reports.Add(1)
+	if m != nil {
+		m.Reports.Inc()
+	}
 	owner, fb := f.ring.OwnerAndFallback(path)
 	err := f.call(owner, op)
 	switch {
@@ -220,13 +270,27 @@ func (f *Frontend) deliverReport(path phi.PathKey, op func(Conn) error) error {
 		if f.cfg.ReplicateReports && fb >= 0 {
 			if f.call(fb, op) == nil {
 				f.mirrored.Add(1)
+				if m != nil {
+					m.Mirrored.Inc()
+				}
 			}
 		}
 		return nil
 	case fb >= 0:
+		f.retries.Add(1)
+		if m != nil {
+			m.Retries.Inc()
+		}
 		if f.call(fb, op) == nil {
 			f.failovers.Add(1)
+			if m != nil {
+				m.Failovers.Inc()
+			}
 			return nil
+		}
+		f.degraded.Add(1)
+		if m != nil {
+			m.Degraded.Inc()
 		}
 		return ErrAllReplicasDown
 	default:

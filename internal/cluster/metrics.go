@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"strconv"
+
+	"repro/internal/phi"
+	"repro/internal/telemetry"
+)
+
+// FrontendMetrics is the telemetry surface of the routing layer:
+// operation and failure-handling counters plus per-shard call latency
+// and breaker state. A nil *FrontendMetrics disables instrumentation
+// (one branch on the hot path); individual handles are nil-safe too.
+type FrontendMetrics struct {
+	Lookups   *telemetry.Counter
+	Reports   *telemetry.Counter
+	Failovers *telemetry.Counter
+	Degraded  *telemetry.Counter
+	Mirrored  *telemetry.Counter
+	// Retries counts fallback attempts after an owner failure (whether
+	// or not the fallback succeeded; successes are Failovers).
+	Retries *telemetry.Counter
+
+	// Per-shard series, indexed by shard id.
+	CallSeconds []*telemetry.Histogram
+	CallErrors  []*telemetry.Counter
+	// Down is 1 while the breaker routes around the shard, else 0.
+	Down []*telemetry.Gauge
+}
+
+// NewFrontendMetrics registers the frontend metric set for a cluster of
+// the given shard count. A nil registry yields nil.
+func NewFrontendMetrics(reg *telemetry.Registry, shards int) *FrontendMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &FrontendMetrics{
+		Lookups:   reg.Counter("phi_cluster_lookups_total", "lookups accepted by the frontend", nil),
+		Reports:   reg.Counter("phi_cluster_reports_total", "reports accepted by the frontend", nil),
+		Failovers: reg.Counter("phi_cluster_failovers_total", "operations served by the fallback replica", nil),
+		Degraded:  reg.Counter("phi_cluster_degraded_total", "operations failed on owner and fallback", nil),
+		Mirrored:  reg.Counter("phi_cluster_mirrored_total", "reports replicated to fallback shards", nil),
+		Retries:   reg.Counter("phi_cluster_retries_total", "fallback attempts after owner failure", nil),
+	}
+	for i := 0; i < shards; i++ {
+		l := telemetry.Labels{"shard": strconv.Itoa(i)}
+		m.CallSeconds = append(m.CallSeconds, reg.Histogram("phi_cluster_shard_call_seconds", "latency of calls into each shard", l))
+		m.CallErrors = append(m.CallErrors, reg.Counter("phi_cluster_shard_call_errors_total", "failed calls into each shard", l))
+		m.Down = append(m.Down, reg.Gauge("phi_cluster_shard_down", "1 while the breaker routes around the shard", l))
+	}
+	return m
+}
+
+// SnapshotMetrics times the shard snapshot cycle. One set is shared by
+// every shard's snapshotter (cycles are infrequent; per-shard latency
+// separation is not worth the cardinality).
+type SnapshotMetrics struct {
+	Cycles  *telemetry.Counter
+	Errors  *telemetry.Counter
+	Seconds *telemetry.Histogram
+}
+
+// NewSnapshotMetrics registers the snapshot metric set. A nil registry
+// yields nil.
+func NewSnapshotMetrics(reg *telemetry.Registry) *SnapshotMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &SnapshotMetrics{
+		Cycles:  reg.Counter("phi_cluster_snapshots_total", "shard snapshots written", nil),
+		Errors:  reg.Counter("phi_cluster_snapshot_errors_total", "shard snapshot failures", nil),
+		Seconds: reg.Histogram("phi_cluster_snapshot_seconds", "time to capture and persist one shard snapshot", nil),
+	}
+}
+
+// Instrument wires the whole cluster into reg: the frontend's routing
+// metrics, each shard's context-server metrics (labelled shard=i), and
+// the shared snapshot metrics. A nil registry is a no-op, so callers
+// can wire unconditionally. Call before the cluster starts serving.
+func (c *Cluster) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.Frontend.SetMetrics(NewFrontendMetrics(reg, len(c.Shards)))
+	snap := NewSnapshotMetrics(reg)
+	for i, s := range c.Shards {
+		s.SetSnapshotMetrics(snap)
+		s.SetServerMetrics(phi.NewServerMetrics(reg, telemetry.Labels{"shard": strconv.Itoa(i)}))
+	}
+}

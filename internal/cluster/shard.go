@@ -36,6 +36,13 @@ type Shard struct {
 	mu   sync.Mutex
 	srv  *phi.Server // replaced wholesale on crash/restart
 	down bool
+
+	// srvMetrics is re-applied to every replacement phi.Server, so the
+	// registry-level counters survive crash/restore cycles even though
+	// the server instance (and its internal counters) does not.
+	srvMetrics *phi.ServerMetrics
+	// snapMetrics times the snapshot cycle (shared across shards).
+	snapMetrics *SnapshotMetrics
 }
 
 // NewShard creates shard id with its own backing phi.Server.
@@ -96,6 +103,24 @@ func (s *Shard) RegisterPath(path phi.PathKey, capacityBps int64) {
 	}
 }
 
+// SetServerMetrics attaches the context-server metric set to the
+// backing server, now and across every future crash/restore replacement.
+// Call before the shard starts serving.
+func (s *Shard) SetServerMetrics(m *phi.ServerMetrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.srvMetrics = m
+	s.srv.SetMetrics(m)
+}
+
+// SetSnapshotMetrics attaches snapshot-cycle telemetry. Call before the
+// snapshotter starts.
+func (s *Shard) SetSnapshotMetrics(m *SnapshotMetrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapMetrics = m
+}
+
 // Crash simulates process loss: the shard goes down and all in-memory
 // path state is discarded. Only a Restart (empty) or RestoreSnapshot
 // (rehydrated) brings it back.
@@ -104,6 +129,7 @@ func (s *Shard) Crash() {
 	defer s.mu.Unlock()
 	s.down = true
 	s.srv = phi.NewServer(s.clock, s.cfg)
+	s.srv.SetMetrics(s.srvMetrics)
 }
 
 // Down reports whether the shard is crashed.

@@ -56,6 +56,7 @@ func (s *Shard) RestoreSnapshot(snap *Snapshot) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.srv = phi.NewServer(s.clock, s.cfg)
+	s.srv.SetMetrics(s.srvMetrics)
 	s.srv.ImportState(snap.Paths)
 	s.down = false
 	return nil
@@ -112,7 +113,23 @@ func ReadSnapshotFile(path string) (*Snapshot, error) {
 
 // SaveSnapshot captures the shard's state and writes it under dir.
 func (s *Shard) SaveSnapshot(dir string) error {
-	return WriteSnapshotFile(SnapshotPath(dir, s.ID), s.TakeSnapshot())
+	s.mu.Lock()
+	m := s.snapMetrics
+	s.mu.Unlock()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	err := WriteSnapshotFile(SnapshotPath(dir, s.ID), s.TakeSnapshot())
+	if m != nil {
+		m.Seconds.Observe(time.Since(start))
+		if err != nil {
+			m.Errors.Inc()
+		} else {
+			m.Cycles.Inc()
+		}
+	}
+	return err
 }
 
 // LoadSnapshot rehydrates the shard from its file under dir, if one

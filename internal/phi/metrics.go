@@ -1,0 +1,48 @@
+package phi
+
+import "repro/internal/telemetry"
+
+// ServerMetrics is the telemetry surface of one context server: op
+// counts, op latency, and live path cardinality. All fields are nil-safe
+// handles, and a nil *ServerMetrics disables instrumentation entirely —
+// the uninstrumented hot path pays one branch.
+type ServerMetrics struct {
+	// Lookups and Reports count operations (reports include start, end,
+	// and progress).
+	Lookups *telemetry.Counter
+	Reports *telemetry.Counter
+	// LookupSeconds and ReportSeconds time the in-server critical
+	// section of each operation.
+	LookupSeconds *telemetry.Histogram
+	ReportSeconds *telemetry.Histogram
+	// Paths tracks the number of paths with state.
+	Paths *telemetry.Gauge
+}
+
+// NewServerMetrics registers the context-server metric set on reg with
+// the given constant labels (e.g. the shard id). A nil registry yields
+// nil, so callers can wire unconditionally.
+func NewServerMetrics(reg *telemetry.Registry, labels telemetry.Labels) *ServerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ServerMetrics{
+		Lookups:       reg.Counter("phi_server_lookups_total", "context lookups served", labels),
+		Reports:       reg.Counter("phi_server_reports_total", "reports folded in (start+end+progress)", labels),
+		LookupSeconds: reg.Histogram("phi_server_lookup_seconds", "in-server lookup latency", labels),
+		ReportSeconds: reg.Histogram("phi_server_report_seconds", "in-server report latency", labels),
+		Paths:         reg.Gauge("phi_server_paths", "paths with live state", labels),
+	}
+}
+
+// SetMetrics attaches (or detaches, with nil) the metric set. Call it
+// before the server starts serving: the field is read without
+// synchronization on the hot path.
+func (s *Server) SetMetrics(m *ServerMetrics) {
+	s.metrics = m
+	if m != nil {
+		s.mu.Lock()
+		m.Paths.Set(float64(len(s.paths)))
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,59 @@
+package phi
+
+// Benchmarks isolating the telemetry overhead on the context server's
+// hot path: the same lookup/report cycle with and without a metric set
+// attached. The delta is dominated by the two monotonic clock reads;
+// the histogram record itself is ~20ns (see internal/telemetry).
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func benchServer(instrument bool) *Server {
+	var now sim.Time
+	s := NewServer(func() sim.Time { now += sim.Millisecond; return now }, ServerConfig{})
+	if instrument {
+		s.SetMetrics(NewServerMetrics(telemetry.NewRegistry(), nil))
+	}
+	return s
+}
+
+func benchLookup(b *testing.B, instrument bool) {
+	s := benchServer(instrument)
+	s.RegisterPath("p", 1e9)
+	if err := s.ReportStart("p"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Lookup("p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerLookup(b *testing.B)             { benchLookup(b, false) }
+func BenchmarkServerLookupInstrumented(b *testing.B) { benchLookup(b, true) }
+
+func benchReportCycle(b *testing.B, instrument bool) {
+	s := benchServer(instrument)
+	s.RegisterPath("p", 1e9)
+	r := Report{Bytes: 1 << 16, Duration: 100 * sim.Millisecond, AvgRTT: 40 * sim.Millisecond, MinRTT: 30 * sim.Millisecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ReportStart("p"); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.ReportEnd("p", r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerReportCycle(b *testing.B)             { benchReportCycle(b, false) }
+func BenchmarkServerReportCycleInstrumented(b *testing.B) { benchReportCycle(b, true) }

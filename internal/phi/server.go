@@ -3,6 +3,7 @@ package phi
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -51,6 +52,10 @@ type Server struct {
 	// be read while the server is serving without taking s.mu.
 	lookups atomic.Uint64
 	reports atomic.Uint64
+
+	// metrics is the optional telemetry surface (nil = uninstrumented;
+	// the hot path then pays exactly one branch). Set before serving.
+	metrics *ServerMetrics
 }
 
 type timedReport struct {
@@ -90,14 +95,21 @@ func (s *Server) state(path PathKey) *pathState {
 	if !ok {
 		st = &pathState{}
 		s.paths[path] = st
+		if m := s.metrics; m != nil {
+			m.Paths.Set(float64(len(s.paths)))
+		}
 	}
 	return st
 }
 
 // Lookup implements ContextSource. It never fails in-process.
 func (s *Server) Lookup(path PathKey) (Context, error) {
+	m := s.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.lookups.Add(1)
 	st := s.state(path)
 	now := s.clock()
@@ -124,16 +136,31 @@ func (s *Server) Lookup(path PathKey) (Context, error) {
 			u = 1
 		}
 	}
-	return Context{U: u, Q: st.qEWMA, N: len(st.starts)}, nil
+	ctx := Context{U: u, Q: st.qEWMA, N: len(st.starts)}
+	s.mu.Unlock()
+	if m != nil {
+		m.Lookups.Inc()
+		m.LookupSeconds.Observe(time.Since(start))
+	}
+	return ctx, nil
 }
 
 // ReportStart implements Reporter.
 func (s *Server) ReportStart(path PathKey) error {
+	m := s.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.reports.Add(1)
 	st := s.state(path)
 	st.starts = append(st.starts, s.clock())
+	s.mu.Unlock()
+	if m != nil {
+		m.Reports.Inc()
+		m.ReportSeconds.Observe(time.Since(start))
+	}
 	return nil
 }
 
@@ -152,8 +179,12 @@ func (s *Server) ReportProgress(path PathKey, r Report) error {
 }
 
 func (s *Server) report(path PathKey, r Report, end bool) error {
+	m := s.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.reports.Add(1)
 	st := s.state(path)
 	if end && len(st.starts) > 0 {
@@ -178,6 +209,11 @@ func (s *Server) report(path PathKey, r Report, end bool) error {
 			a := s.cfg.QueueAlpha
 			st.qEWMA = sim.Time(a*float64(q) + (1-a)*float64(st.qEWMA))
 		}
+	}
+	s.mu.Unlock()
+	if m != nil {
+		m.Reports.Inc()
+		m.ReportSeconds.Observe(time.Since(start))
 	}
 	return nil
 }

@@ -74,4 +74,7 @@ func (s *Server) ImportState(paths []PathSnapshot) {
 		}
 		s.paths[ps.Path] = st
 	}
+	if m := s.metrics; m != nil {
+		m.Paths.Set(float64(len(s.paths)))
+	}
 }

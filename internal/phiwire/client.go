@@ -10,6 +10,15 @@ import (
 	"repro/internal/phi"
 )
 
+// ServerError is an application-level error returned by the server (the
+// request was delivered and refused — e.g. a degraded cluster), as
+// opposed to a transport failure. Callers distinguish the two with
+// errors.As: transport errors mean retry/reconnect, server errors mean
+// the control plane answered and said no.
+type ServerError string
+
+func (e ServerError) Error() string { return "phiwire: server error: " + string(e) }
+
 // Client is a phi.Station over TCP. It holds one connection, serializes
 // requests over it, reconnects lazily after failures, and applies a
 // per-request deadline. All methods are safe for concurrent use.
@@ -17,12 +26,24 @@ import (
 // Errors are returned rather than retried: the phi.Client fallback policy
 // (use defaults when the control plane is unreachable) is the intended
 // consumer.
+//
+// After Close, all requests fail with net.ErrClosed: a closed client
+// never re-dials, so it cannot leak a connection nobody will close.
 type Client struct {
 	addr    string
 	timeout time.Duration
 
-	mu   sync.Mutex
-	conn net.Conn
+	// dial establishes the connection; tests inject failures and count
+	// connections through it.
+	dial func(addr string, timeout time.Duration) (net.Conn, error)
+
+	// metrics is the optional telemetry surface (nil = uninstrumented).
+	// Set before first use.
+	metrics *ClientMetrics
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
 }
 
 // DefaultTimeout bounds each request round trip.
@@ -34,13 +55,25 @@ func Dial(addr string, timeout time.Duration) *Client {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	return &Client{addr: addr, timeout: timeout}
+	return &Client{
+		addr:    addr,
+		timeout: timeout,
+		dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+	}
 }
 
-// Close tears down the connection.
+// SetMetrics attaches (or detaches, with nil) the telemetry surface.
+// Call before the client is shared across goroutines.
+func (c *Client) SetMetrics(m *ClientMetrics) { c.metrics = m }
+
+// Close tears down the connection and marks the client closed; any
+// later request fails with net.ErrClosed instead of reconnecting.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.conn != nil {
 		err := c.conn.Close()
 		c.conn = nil
@@ -51,16 +84,38 @@ func (c *Client) Close() error {
 
 // roundTrip sends one request and reads one response, holding the
 // connection lock for the duration (requests are small; the protocol is
-// strictly request/response).
+// strictly request/response). Every failure path closes and forgets the
+// connection before returning, so repeated failures churn through at
+// most one live connection.
 func (c *Client) roundTrip(req []byte) ([]byte, error) {
+	m := c.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	resp, err := c.lockedRoundTrip(req)
+	if m != nil {
+		m.RTTSeconds.Observe(time.Since(start))
+		if err != nil {
+			m.Errors.Inc()
+		}
+	}
+	return resp, err
+}
+
+func (c *Client) lockedRoundTrip(req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, net.ErrClosed
+	}
 	if c.conn == nil {
-		conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+		conn, err := c.dial(c.addr, c.timeout)
 		if err != nil {
 			return nil, err
 		}
 		c.conn = conn
+		c.metrics.DialsInc()
 	}
 	deadline := time.Now().Add(c.timeout)
 	if err := c.conn.SetDeadline(deadline); err != nil {
@@ -77,6 +132,14 @@ func (c *Client) roundTrip(req []byte) ([]byte, error) {
 		return nil, err
 	}
 	return resp, nil
+}
+
+// DialsInc is a nil-safe dial-counter bump.
+func (m *ClientMetrics) DialsInc() {
+	if m == nil {
+		return
+	}
+	m.Dials.Inc()
 }
 
 func (c *Client) drop() {
@@ -98,7 +161,7 @@ func errFromResponse(resp []byte) error {
 	if err != nil {
 		return ErrMalformed
 	}
-	return fmt.Errorf("phiwire: server error: %s", msg)
+	return ServerError(msg)
 }
 
 // Lookup implements phi.ContextSource.

@@ -1,0 +1,139 @@
+package phiwire
+
+// Regression tests for the client's connection lifecycle under repeated
+// failures: every failed round trip must close the connection it used,
+// and a closed client must never re-dial (the use-after-Close leak).
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/phi"
+)
+
+// countedConn tracks Close calls on the wrapped connection.
+type countedConn struct {
+	net.Conn
+	closed *atomic.Int64
+	once   atomic.Bool
+}
+
+func (c *countedConn) Close() error {
+	if c.once.CompareAndSwap(false, true) {
+		c.closed.Add(1)
+	}
+	return c.Conn.Close()
+}
+
+// countingDialer wraps the real dialer, counting opens and closes.
+type countingDialer struct {
+	opened atomic.Int64
+	closed atomic.Int64
+}
+
+func (d *countingDialer) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	d.opened.Add(1)
+	return &countedConn{Conn: conn, closed: &d.closed}, nil
+}
+
+// TestClientNoLeakUnderRepeatedFailures drives many failing round trips
+// against a server that accepts and immediately closes every connection.
+// Each attempt dials a fresh connection; all but the live one must have
+// been closed.
+func TestClientNoLeakUnderRepeatedFailures(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close() // slam the door: every request will fail mid-flight
+		}
+	}()
+
+	c := Dial(ln.Addr().String(), 200*time.Millisecond)
+	d := &countingDialer{}
+	c.dial = d.dial
+	defer c.Close()
+
+	const attempts = 50
+	for i := 0; i < attempts; i++ {
+		if _, err := c.Lookup("p"); err == nil {
+			t.Fatal("lookup unexpectedly succeeded against a slamming server")
+		}
+	}
+	if leaked := d.opened.Load() - d.closed.Load(); leaked > 1 {
+		t.Errorf("leaked %d connections after %d failed round trips (opened %d, closed %d)",
+			leaked, attempts, d.opened.Load(), d.closed.Load())
+	}
+}
+
+// TestClientUseAfterCloseDoesNotReconnect: Close is final. A request on
+// a closed client fails with net.ErrClosed and must not dial.
+func TestClientUseAfterCloseDoesNotReconnect(t *testing.T) {
+	srv, _, addr := startServer(t)
+	defer srv.Close()
+
+	c := Dial(addr, time.Second)
+	d := &countingDialer{}
+	c.dial = d.dial
+	if err := c.ReportStart("p"); err != nil {
+		t.Fatal(err)
+	}
+	dialsBefore := d.opened.Load()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("p"); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("lookup after Close: err = %v, want net.ErrClosed", err)
+	}
+	if err := c.ReportEnd("p", phi.Report{Bytes: 1}); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("report after Close: err = %v, want net.ErrClosed", err)
+	}
+	if d.opened.Load() != dialsBefore {
+		t.Errorf("closed client re-dialed: %d dials after close", d.opened.Load()-dialsBefore)
+	}
+	if leaked := d.opened.Load() - d.closed.Load(); leaked != 0 {
+		t.Errorf("%d connections alive after Close", leaked)
+	}
+	// Idempotent close.
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestClientServerErrorKeepsConnection: an application-level error
+// response must not churn the connection (the transport is healthy).
+func TestClientServerErrorKeepsConnection(t *testing.T) {
+	srv, _, addr := startServer(t)
+	defer srv.Close()
+
+	c := Dial(addr, time.Second)
+	d := &countingDialer{}
+	c.dial = d.dial
+	defer c.Close()
+
+	// No policy published: FetchPolicy yields a ServerError.
+	for i := 0; i < 5; i++ {
+		_, err := c.FetchPolicy()
+		var se ServerError
+		if !errors.As(err, &se) {
+			t.Fatalf("err = %v, want ServerError", err)
+		}
+	}
+	if d.opened.Load() != 1 {
+		t.Errorf("server errors churned connections: %d dials, want 1", d.opened.Load())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/phi"
 )
@@ -41,7 +42,15 @@ type Server struct {
 	// They are atomics so Stats is safe to call while serving.
 	handled  atomic.Uint64
 	rejected atomic.Uint64
+
+	// metrics is the optional telemetry surface (nil = uninstrumented).
+	// Set before Serve: the field is read without synchronization.
+	metrics *ServerMetrics
 }
+
+// SetMetrics attaches (or detaches, with nil) the telemetry surface.
+// Call before Serve.
+func (s *Server) SetMetrics(m *ServerMetrics) { s.metrics = m }
 
 // NewServer wraps backend for network service. logf, if non-nil, receives
 // connection-level errors; nil discards them.
@@ -134,11 +143,18 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	m := s.metrics
+	if m != nil {
+		m.OpenConns.Add(1)
+	}
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		if m != nil {
+			m.OpenConns.Add(-1)
+		}
 		s.wg.Done()
 	}()
 	for {
@@ -149,7 +165,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		var start time.Time
+		if m != nil {
+			start = time.Now()
+		}
 		resp := s.handle(payload)
+		if m != nil {
+			m.HandleSeconds.Observe(time.Since(start))
+		}
 		if err := writeFrame(conn, resp); err != nil {
 			s.logf("phiwire: write to %v: %v", conn.RemoteAddr(), err)
 			return
@@ -159,6 +182,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // handle processes one request payload and returns the response payload.
 func (s *Server) handle(payload []byte) []byte {
+	m := s.metrics
 	if len(payload) == 0 {
 		s.bumpRejected()
 		return encodeError("empty frame")
@@ -173,9 +197,12 @@ func (s *Server) handle(payload []byte) []byte {
 		}
 		ctx, err := s.backend.Lookup(phi.PathKey(path))
 		if err != nil {
-			return encodeError(err.Error())
+			return s.encodeBackendError(err)
 		}
 		s.bumpHandled()
+		if m != nil {
+			m.Lookups.Inc()
+		}
 		return encodeContext(ctx)
 	case MsgReportStart:
 		path, _, err := readString(body)
@@ -184,18 +211,24 @@ func (s *Server) handle(payload []byte) []byte {
 			return encodeError("malformed report-start")
 		}
 		if err := s.backend.ReportStart(phi.PathKey(path)); err != nil {
-			return encodeError(err.Error())
+			return s.encodeBackendError(err)
 		}
 		s.bumpHandled()
+		if m != nil {
+			m.Starts.Inc()
+		}
 		return []byte{MsgOK}
 	case MsgGetPolicy:
 		s.mu.Lock()
 		policy := s.policy
 		s.mu.Unlock()
 		if policy == nil {
-			return encodeError("no policy published")
+			return s.encodeBackendError(errors.New("no policy published"))
 		}
 		s.bumpHandled()
+		if m != nil {
+			m.Policies.Inc()
+		}
 		return append([]byte{MsgPolicy}, policy...)
 	case MsgReportEnd, MsgProgress:
 		path, report, err := decodeReportEnd(body)
@@ -210,9 +243,16 @@ func (s *Server) handle(payload []byte) []byte {
 			herr = s.backend.ReportEnd(path, report)
 		}
 		if herr != nil {
-			return encodeError(herr.Error())
+			return s.encodeBackendError(herr)
 		}
 		s.bumpHandled()
+		if m != nil {
+			if typ == MsgProgress {
+				m.Progresses.Inc()
+			} else {
+				m.Ends.Inc()
+			}
+		}
 		return []byte{MsgOK}
 	default:
 		s.bumpRejected()
@@ -220,9 +260,24 @@ func (s *Server) handle(payload []byte) []byte {
 	}
 }
 
+// encodeBackendError counts and encodes an application-level error (the
+// backend refused the request — e.g. a degraded cluster — as opposed to
+// a malformed frame).
+func (s *Server) encodeBackendError(err error) []byte {
+	if m := s.metrics; m != nil {
+		m.Errors.Inc()
+	}
+	return encodeError(err.Error())
+}
+
 func (s *Server) bumpHandled() { s.handled.Add(1) }
 
-func (s *Server) bumpRejected() { s.rejected.Add(1) }
+func (s *Server) bumpRejected() {
+	s.rejected.Add(1)
+	if m := s.metrics; m != nil {
+		m.Rejected.Inc()
+	}
+}
 
 // Stats returns handled/rejected counters. It is safe to call while the
 // server is serving.

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram is log-linear over non-negative int64 values (by
+// convention, latencies in nanoseconds): each power-of-two octave is
+// split into 2^subBucketBits linear sub-buckets, so the relative
+// quantile error is bounded by 1/2^subBucketBits (~3.1%) while the whole
+// int64 range fits in a fixed array — no locks, no allocation, no
+// rebucketing on the record path. The same layout is used by HdrHistogram
+// and the Go runtime's internal time histogram.
+const (
+	subBucketBits = 5
+	subBuckets    = 1 << subBucketBits // 32 linear sub-buckets per octave
+
+	// NumBuckets covers values 0..2^63-1: one linear region below
+	// subBuckets plus (63-subBucketBits+1) octaves of subBuckets each.
+	NumBuckets = (64 - subBucketBits + 1) * subBuckets
+)
+
+// bucketIndex maps a non-negative value to its bucket. Values below
+// subBuckets map exactly (index == value); above, the index is the
+// octave (position of the leading bit) concatenated with the top
+// subBucketBits bits of the mantissa.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // >= subBucketBits
+	mantissa := (u >> (uint(exp) - subBucketBits)) & (subBuckets - 1)
+	return subBuckets + (exp-subBucketBits)*subBuckets + int(mantissa)
+}
+
+// bucketLower returns the smallest value mapping to bucket i.
+func bucketLower(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	block := (i - subBuckets) / subBuckets
+	m := (i - subBuckets) % subBuckets
+	exp := uint(subBucketBits + block)
+	return int64(uint64(1)<<exp + uint64(m)<<(exp-subBucketBits))
+}
+
+// bucketUpper returns the largest value mapping to bucket i (the
+// inclusive `le` bound in Prometheus terms).
+func bucketUpper(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	block := (i - subBuckets) / subBuckets
+	exp := uint(subBucketBits + block)
+	width := int64(1) << (exp - subBucketBits)
+	return bucketLower(i) + width - 1
+}
+
+// Histogram is a lock-free log-linear histogram of int64 samples
+// (canonically nanoseconds). The zero value is ready to use; a nil
+// *Histogram ignores all records, so an uninstrumented path costs one
+// branch.
+//
+// Record and Observe are safe for unlimited concurrency: three atomic
+// adds, no locks. Snapshot is not a point-in-time cut — buckets are read
+// individually while writers proceed — but every recorded sample lands
+// in exactly one snapshot-visible bucket, which is all a monitoring read
+// needs.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an unregistered histogram.
+func NewHistogram() *Histogram { return new(Histogram) }
+
+// Record adds one sample. Negative samples clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Observe records a duration in nanoseconds — the canonical use.
+func (h *Histogram) Observe(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded samples (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot captures the histogram's current contents for analysis or
+// merging. A nil histogram yields an empty snapshot.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	s := &HistSnapshot{}
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is an immutable copy of a histogram's buckets. Count is
+// the bucket total (internally consistent even when the snapshot raced
+// with writers). Snapshots merge by addition, so per-shard or per-worker
+// histograms aggregate into one distribution.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Buckets [NumBuckets]uint64
+}
+
+// Merge adds other's samples into s and returns s.
+func (s *HistSnapshot) Merge(other *HistSnapshot) *HistSnapshot {
+	if other == nil {
+		return s
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	return s
+}
+
+// Sub subtracts an earlier snapshot of the same histogram, yielding the
+// distribution recorded in between (the warmup-exclusion primitive).
+func (s *HistSnapshot) Sub(earlier *HistSnapshot) *HistSnapshot {
+	if earlier == nil {
+		return s
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] -= earlier.Buckets[i]
+	}
+	s.Count -= earlier.Count
+	s.Sum -= earlier.Sum
+	return s
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) of the
+// recorded samples: the inclusive upper bound of the bucket holding the
+// ceil(q*count)-th smallest sample. The estimate is monotone in q,
+// never below the exact quantile, and within a relative error of
+// 1/2^subBucketBits (~3.1%) above it. Returns 0 on an empty snapshot.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(NumBuckets - 1)
+}
+
+// Mean returns the exact mean of recorded samples (sum is tracked
+// exactly, not from buckets). Returns 0 on an empty snapshot.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Max returns an upper bound on the largest recorded sample (the upper
+// bound of the highest non-empty bucket).
+func (s *HistSnapshot) Max() int64 {
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			return bucketUpper(i)
+		}
+	}
+	return 0
+}
+
+// float <-> bits helpers for Gauge.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }

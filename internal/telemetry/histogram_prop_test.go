@@ -1,0 +1,185 @@
+package telemetry
+
+// Property-based tests for the log-linear histogram: bucket-layout
+// invariants, merge commutativity/associativity, quantile monotonicity,
+// and the bucket-bound error contract checked against exact quantiles
+// from a sorted copy of the samples.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketLayoutInvariants: buckets tile the non-negative int64 line
+// contiguously, indices are monotone in the value, and every value lies
+// within its own bucket's bounds.
+func TestBucketLayoutInvariants(t *testing.T) {
+	// Contiguity across every bucket boundary that int64 can reach.
+	for i := 0; i < NumBuckets-1; i++ {
+		lo, up := bucketLower(i), bucketUpper(i)
+		if lo > up {
+			t.Fatalf("bucket %d: lower %d > upper %d", i, lo, up)
+		}
+		nextLo := bucketLower(i + 1)
+		if up+1 != nextLo && nextLo > 0 { // nextLo overflows past int64 max at the very top
+			t.Fatalf("gap between bucket %d (upper %d) and %d (lower %d)", i, up, i+1, nextLo)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	prevIdx := -1
+	// Sorted random values must produce non-decreasing indices.
+	var vals []int64
+	for i := 0; i < 5000; i++ {
+		vals = append(vals, rng.Int63())
+		vals = append(vals, rng.Int63n(1<<20)) // dense small values too
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx < prevIdx {
+			t.Fatalf("index not monotone: value %d -> bucket %d after bucket %d", v, idx, prevIdx)
+		}
+		prevIdx = idx
+		if v < bucketLower(idx) || v > bucketUpper(idx) {
+			t.Fatalf("value %d outside bucket %d bounds [%d, %d]", v, idx, bucketLower(idx), bucketUpper(idx))
+		}
+		// Relative width bound: (upper - lower) <= lower / subBuckets for
+		// values beyond the linear region.
+		if v >= subBuckets {
+			lo, up := bucketLower(idx), bucketUpper(idx)
+			if up-lo > lo/subBuckets {
+				t.Fatalf("bucket %d too wide: [%d, %d]", idx, lo, up)
+			}
+		}
+	}
+}
+
+// sampleSets returns named random sample distributions exercising very
+// different shapes (uniform, heavy-tailed, constant, tiny-n).
+func sampleSets(rng *rand.Rand) map[string][]int64 {
+	exp := make([]int64, 2000)
+	for i := range exp {
+		exp[i] = int64(rng.ExpFloat64() * 1e6)
+	}
+	uni := make([]int64, 1777)
+	for i := range uni {
+		uni[i] = rng.Int63n(1 << 40)
+	}
+	pareto := make([]int64, 999)
+	for i := range pareto {
+		pareto[i] = int64(1e3 * math.Pow(1-rng.Float64(), -2))
+	}
+	konst := make([]int64, 100)
+	for i := range konst {
+		konst[i] = 123456
+	}
+	return map[string][]int64{
+		"exponential": exp,
+		"uniform":     uni,
+		"pareto":      pareto,
+		"constant":    konst,
+		"single":      {42},
+		"two":         {7, 1 << 30},
+	}
+}
+
+func histOf(samples []int64) *Histogram {
+	h := NewHistogram()
+	for _, v := range samples {
+		h.Record(v)
+	}
+	return h
+}
+
+// TestMergeCommutativeAssociative: A+B == B+A and (A+B)+C == A+(B+C),
+// bucket for bucket.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sets := sampleSets(rng)
+	a := histOf(sets["exponential"]).Snapshot()
+	b := histOf(sets["uniform"]).Snapshot()
+	c := histOf(sets["pareto"]).Snapshot()
+
+	ab := histOf(sets["exponential"]).Snapshot().Merge(b)
+	ba := histOf(sets["uniform"]).Snapshot().Merge(a)
+	if *ab != *ba {
+		t.Fatal("merge is not commutative")
+	}
+	abc1 := histOf(sets["exponential"]).Snapshot().Merge(b).Merge(c)
+	bc := histOf(sets["uniform"]).Snapshot().Merge(c)
+	abc2 := histOf(sets["exponential"]).Snapshot().Merge(bc)
+	if *abc1 != *abc2 {
+		t.Fatal("merge is not associative")
+	}
+	if abc1.Count != a.Count+b.Count+c.Count {
+		t.Fatalf("merged count %d != %d", abc1.Count, a.Count+b.Count+c.Count)
+	}
+	if abc1.Sum != a.Sum+b.Sum+c.Sum {
+		t.Fatalf("merged sum %d != %d", abc1.Sum, a.Sum+b.Sum+c.Sum)
+	}
+}
+
+// TestQuantileMonotone: for any sample set, Quantile must be
+// non-decreasing in q.
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for name, samples := range sampleSets(rng) {
+		s := histOf(samples).Snapshot()
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.001 {
+			v := s.Quantile(q)
+			if v < prev {
+				t.Fatalf("%s: quantile(%v) = %d < quantile at lower q = %d", name, q, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestQuantileErrorBoundVsExactSort: the histogram quantile must bracket
+// the exact (sorted-sample) quantile from above, within one bucket's
+// relative width: exact <= est <= exact*(1+1/subBuckets) + 1.
+func TestQuantileErrorBoundVsExactSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	quantiles := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
+	for name, samples := range sampleSets(rng) {
+		s := histOf(samples).Snapshot()
+		sorted := append([]int64(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range quantiles {
+			rank := int(math.Ceil(q * float64(len(sorted))))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := sorted[rank-1]
+			est := s.Quantile(q)
+			if est < exact {
+				t.Errorf("%s: quantile(%v) = %d below exact %d", name, q, est, exact)
+			}
+			bound := exact + exact/subBuckets + 1
+			if est > bound {
+				t.Errorf("%s: quantile(%v) = %d exceeds error bound %d (exact %d)", name, q, est, bound, exact)
+			}
+		}
+	}
+}
+
+// TestMergeQuantileEquivalence: quantiles of a merged snapshot equal
+// quantiles of one histogram fed both sample sets (sharded recording is
+// lossless).
+func TestMergeQuantileEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sets := sampleSets(rng)
+	merged := histOf(sets["exponential"]).Snapshot().Merge(histOf(sets["pareto"]).Snapshot())
+	combined := histOf(append(append([]int64(nil), sets["exponential"]...), sets["pareto"]...)).Snapshot()
+	if *merged != *combined {
+		t.Fatal("merged snapshot differs from combined recording")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if merged.Quantile(q) != combined.Quantile(q) {
+			t.Fatalf("quantile(%v) differs: %d vs %d", q, merged.Quantile(q), combined.Quantile(q))
+		}
+	}
+}

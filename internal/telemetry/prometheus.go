@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Histograms are exposed with
+// `_bucket{le=...}` series in seconds (only non-empty buckets, which is
+// valid: cumulative counts over any increasing subset of bounds), plus
+// `_sum` (seconds) and `_count`. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool)
+	for _, m := range r.snapshot() {
+		if !seen[m.name] {
+			seen[m.name] = true
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, typeString(m.kind))
+		}
+		switch m.kind {
+		case counterKind:
+			fmt.Fprintf(bw, "%s %d\n", series(m.name, m.labels, ""), m.counter.Value())
+		case gaugeKind:
+			fmt.Fprintf(bw, "%s %s\n", series(m.name, m.labels, ""), formatFloat(m.gauge.Value()))
+		case histogramKind:
+			writeHistogram(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+func typeString(k metricKind) string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series renders `name{labels,extra}`, omitting empty braces.
+func series(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeHistogram emits the cumulative bucket series. Recorded values are
+// nanoseconds; bounds and sum are converted to seconds per Prometheus
+// convention (names should end in _seconds).
+func writeHistogram(w io.Writer, m *registered) {
+	s := m.hist.Snapshot()
+	var cum uint64
+	for i := range s.Buckets {
+		if s.Buckets[i] == 0 {
+			continue
+		}
+		cum += s.Buckets[i]
+		le := formatFloat(float64(bucketUpper(i)) / 1e9)
+		fmt.Fprintf(w, "%s %d\n", series(m.name+"_bucket", m.labels, `le="`+le+`"`), cum)
+	}
+	fmt.Fprintf(w, "%s %d\n", series(m.name+"_bucket", m.labels, `le="+Inf"`), s.Count)
+	fmt.Fprintf(w, "%s %s\n", series(m.name+"_sum", m.labels, ""), formatFloat(float64(s.Sum)/1e9))
+	fmt.Fprintf(w, "%s %d\n", series(m.name+"_count", m.labels, ""), s.Count)
+}
+
+// Handler returns an http.Handler serving the exposition (any path).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are gone; nothing to do but drop the conn.
+			return
+		}
+	})
+}
+
+// MetricsServer is a running exposition endpoint.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr exposing reg at /metrics (and at
+// /, for curl convenience). It returns once the listener is bound, so
+// the caller knows scrapes can succeed; the accept loop runs in the
+// background until Close.
+func Serve(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/", reg.Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &MetricsServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address.
+func (m *MetricsServer) Addr() net.Addr { return m.ln.Addr() }
+
+// Close stops the endpoint.
+func (m *MetricsServer) Close() error { return m.srv.Close() }

@@ -1,0 +1,245 @@
+// Package telemetry is a dependency-free metrics layer for the context
+// server's data path: atomic counters and gauges, log-linear latency
+// histograms with mergeable snapshots and quantile estimation, and
+// Prometheus-text-format exposition over an opt-in HTTP endpoint.
+//
+// The design constraint comes straight from the paper: the whole point of
+// the connection-boundary protocol is that per-connection overhead is one
+// lookup and one report, so the instruments measuring that overhead must
+// cost (almost) nothing themselves. Two rules follow:
+//
+//  1. The record path is lock-free — counters and histogram buckets are
+//     plain atomics, no maps, no allocation, no formatting.
+//  2. Every handle is nil-safe: methods on a nil *Counter, *Gauge, or
+//     *Histogram are no-ops, so uninstrumented deployments pay exactly
+//     one nil check per metric touch and need no conditional wiring.
+//
+// Metric names follow Prometheus conventions (snake_case, `_total` for
+// counters, `_seconds` for latency histograms); constant labels are fixed
+// at registration, so the hot path never renders a label.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; a nil *Counter ignores all writes.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// NewCounter returns an unregistered counter (useful standalone, e.g. in
+// a load generator that reads its own metrics instead of exposing them).
+func NewCounter() *Counter { return new(Counter) }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down. The zero value is ready to
+// use; a nil *Gauge ignores all writes.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// NewGauge returns an unregistered gauge.
+func NewGauge() *Gauge { return new(Gauge) }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(floatBits(v))
+}
+
+// Add adds d (atomically, via CAS).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(floatFrom(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFrom(g.bits.Load())
+}
+
+// Labels are constant key/value pairs attached to a metric at
+// registration. They become part of the metric's identity.
+type Labels map[string]string
+
+// render serializes labels in sorted-key order as a Prometheus label
+// block without braces: `k1="v1",k2="v2"`. Empty labels render as "".
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	return b.String()
+}
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+// registered is one metric plus its exposition identity.
+type registered struct {
+	name   string
+	help   string
+	labels string // rendered, "" if none
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named metrics for exposition. A nil *Registry is valid:
+// all lookups return nil handles, which in turn no-op, so an entire
+// subsystem is instrumented or not via one value.
+//
+// Registration is for the setup path (it takes a lock and renders
+// labels); the returned handles are the hot-path interface.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*registered
+	index   map[string]*registered
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*registered)}
+}
+
+// lookup finds or stores a metric under name+labels, enforcing kind
+// consistency. Re-registering the same name/labels/kind returns the
+// existing metric, so wiring code may be run twice harmlessly.
+func (r *Registry) lookup(name, help string, labels Labels, kind metricKind, make func() *registered) *registered {
+	if err := checkName(name); err != nil {
+		panic(err)
+	}
+	key := name + "{" + labels.render() + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.index[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as a different kind", key))
+		}
+		return m
+	}
+	m := make()
+	m.name, m.help, m.labels, m.kind = name, help, labels.render(), kind
+	r.metrics = append(r.metrics, m)
+	r.index[key] = m
+	return m
+}
+
+// Counter registers (or finds) a counter. A nil registry returns nil.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, labels, counterKind, func() *registered {
+		return &registered{counter: NewCounter()}
+	}).counter
+}
+
+// Gauge registers (or finds) a gauge. A nil registry returns nil.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, labels, gaugeKind, func() *registered {
+		return &registered{gauge: NewGauge()}
+	}).gauge
+}
+
+// Histogram registers (or finds) a latency histogram. A nil registry
+// returns nil.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, labels, histogramKind, func() *registered {
+		return &registered{hist: NewHistogram()}
+	}).hist
+}
+
+// snapshot returns the registered metrics slice (copied under the lock;
+// the metrics themselves are read via atomics).
+func (r *Registry) snapshot() []*registered {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*registered, len(r.metrics))
+	copy(out, r.metrics)
+	return out
+}
+
+// checkName enforces the Prometheus metric-name charset.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("telemetry: empty metric name")
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return fmt.Errorf("telemetry: metric name %q starts with a digit", name)
+			}
+		default:
+			return fmt.Errorf("telemetry: metric name %q contains %q", name, c)
+		}
+	}
+	return nil
+}

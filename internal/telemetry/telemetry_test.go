@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	g := NewGauge()
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.Add(1)
+	h.Record(5)
+	h.Observe(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil handles returned non-zero values")
+	}
+	if h.Snapshot().Count != 0 {
+		t.Error("nil histogram snapshot not empty")
+	}
+	if r.Counter("x", "", nil) != nil || r.Gauge("x", "", nil) != nil || r.Histogram("x", "", nil) != nil {
+		t.Error("nil registry returned non-nil metrics")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Errorf("nil registry write: %v", err)
+	}
+}
+
+func TestRegistryIdempotentAndKindChecked(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("phi_test_total", "help", Labels{"shard": "0"})
+	b := r.Counter("phi_test_total", "help", Labels{"shard": "0"})
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	if r.Counter("phi_test_total", "", Labels{"shard": "1"}) == a {
+		t.Error("different labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("phi_test_total", "", Labels{"shard": "0"})
+}
+
+func TestBadMetricNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lives", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "", nil)
+		}()
+	}
+}
+
+func TestConcurrentRecordAndExpose(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("phi_ops_total", "ops", nil)
+	h := r.Histogram("phi_op_seconds", "latency", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Record(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	// Expose concurrently with the writers; must not race or corrupt.
+	for i := 0; i < 10; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Snapshot().Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Snapshot().Count)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("phi_lookups_total", "total lookups", nil).Add(7)
+	r.Gauge("phi_paths", "live paths", Labels{"shard": "2"}).Set(3)
+	h := r.Histogram("phi_lookup_seconds", "lookup latency", nil)
+	h.Observe(1 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP phi_lookups_total total lookups",
+		"# TYPE phi_lookups_total counter",
+		"phi_lookups_total 7",
+		"# TYPE phi_paths gauge",
+		`phi_paths{shard="2"} 3`,
+		"# TYPE phi_lookup_seconds histogram",
+		`phi_lookup_seconds_bucket{le="+Inf"} 2`,
+		"phi_lookup_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Bucket counts must be cumulative and end at the total.
+	if !strings.Contains(out, "phi_lookup_seconds_bucket") {
+		t.Fatalf("no bucket lines:\n%s", out)
+	}
+	// _sum in seconds: 3ms = 0.003, allow float formatting.
+	if !strings.Contains(out, "phi_lookup_seconds_sum 0.003") {
+		t.Errorf("sum not in seconds:\n%s", out)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("phi_up_total", "", nil).Inc()
+	ms, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", ms.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "phi_up_total 1") {
+		t.Errorf("body = %s", body)
+	}
+}
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	h := NewHistogram()
+	h.Record(10)
+	h.Record(100)
+	warm := h.Snapshot()
+	h.Record(1000)
+	h.Record(10000)
+	run := h.Snapshot().Sub(warm)
+	if run.Count != 2 {
+		t.Errorf("post-warmup count = %d, want 2", run.Count)
+	}
+	if run.Sum != 11000 {
+		t.Errorf("post-warmup sum = %d, want 11000", run.Sum)
+	}
+	if q := run.Quantile(1); q < 10000 {
+		t.Errorf("max quantile %d below recorded max", q)
+	}
+}
