@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race cover test test-short bench load experiments experiments-full examples clean
+.PHONY: all build vet race cover test test-short bench bench-smoke fuzz-smoke load trace-demo experiments experiments-full examples clean
 
 all: build vet race
 
@@ -48,6 +48,41 @@ load:
 	/tmp/phi-load-bench-load -addr 127.0.0.1:7731 -mode open -rate 2000 \
 		-duration 30s -warmup 2s -paths 64 -skew zipf -seed 42 \
 		-out BENCH_loadgen.json
+
+# One benchmark iteration per function: catches benchmarks that no
+# longer compile or crash, without paying for real measurement (CI runs
+# this on every push).
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Short fuzzing burst over the phiwire codec fuzzers (CI runs this on
+# every push; crank -fuzztime locally for a real campaign).
+fuzz-smoke:
+	for target in FuzzHandle FuzzDecodeReportEnd FuzzReadFrame FuzzReadString; do \
+		$(GO) test -run=NONE -fuzz="^$$target$$" -fuzztime=10s ./internal/phiwire || exit 1; \
+	done
+
+# End-to-end tracing demo: a traced 4-shard cluster under 10s of traced
+# load, a mid-run shard crash, then the retained traces — the failover
+# shows up as error-class traces whose spans carry failover/breaker
+# notes. Inspect further at http://127.0.0.1:7732/debug/traces.
+trace-demo:
+	$(GO) build -o /tmp/phi-demo-cluster ./cmd/phi-cluster
+	$(GO) build -o /tmp/phi-demo-load ./cmd/phi-load
+	/tmp/phi-demo-cluster -listen 127.0.0.1:7731 -shards 4 \
+		-metrics-addr 127.0.0.1:7732 -trace & \
+	CLUSTER=$$!; trap 'kill $$CLUSTER' EXIT; sleep 1; \
+	/tmp/phi-demo-load -addr 127.0.0.1:7731 -mode open -rate 2000 \
+		-duration 10s -warmup 1s -paths 64 -skew zipf -seed 42 -trace & \
+	LOAD=$$!; sleep 4; \
+	echo "--- crashing shard 0 mid-load ---"; \
+	curl -s 'http://127.0.0.1:7732/debug/shard?id=0&op=crash'; sleep 2; \
+	curl -s 'http://127.0.0.1:7732/debug/shard?id=0&op=restart'; \
+	wait $$LOAD; \
+	echo "--- error-class traces (failover story) ---"; \
+	curl -s 'http://127.0.0.1:7732/debug/traces?view=errors&format=text' | head -40; \
+	echo "--- slowest traces ---"; \
+	curl -s 'http://127.0.0.1:7732/debug/traces?view=slowest&format=text' | head -20
 
 # Regenerate every table and figure (coarse ~ minutes).
 experiments:

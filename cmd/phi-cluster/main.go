@@ -33,12 +33,22 @@
 //	                          frontend's routing counters, per-shard call
 //	                          latency and breaker state, per-shard server
 //	                          metrics, snapshot cycles, and the wire layer.
+//	                          Also serves /debug/traces (with -trace),
+//	                          /debug/exemplars, /debug/pprof/, and
+//	                          /debug/shard?id=N&op=crash|restart|status
+//	                          for fault injection.
+//	-trace                    record request traces end to end (client
+//	                          trace headers are joined; routing, retry,
+//	                          failover, and degrade decisions land on
+//	                          spans at /debug/traces)
+//	-log-level level          minimum log level: debug|info|warn|error
+//	-log-json                 emit logs as JSON lines (default logfmt)
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -50,6 +60,8 @@ import (
 	"repro/internal/phiwire"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
+	tlog "repro/internal/trace/log"
 )
 
 func main() {
@@ -66,12 +78,27 @@ func main() {
 		snapEvery   = flag.Duration("snapshot-interval", 30*time.Second, "time between snapshots")
 		policyPath  = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = telemetry off)")
+		traceOn     = flag.Bool("trace", false, "record request traces (view at /debug/traces on -metrics-addr)")
+		logLevel    = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
 		paths       pathFlags
 	)
 	flag.Var(&paths, "path", "register a path capacity as name=bitsPerSecond (repeatable)")
 	flag.Parse()
+
+	lvl, err := tlog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var lopts []tlog.Option
+	if *logJSON {
+		lopts = append(lopts, tlog.WithJSON())
+	}
+	logger := tlog.New(os.Stderr, lvl, lopts...).Component("phi-cluster")
+
 	if *shards < 1 {
-		log.Fatalf("-shards must be >= 1 (got %d)", *shards)
+		logger.Fatal("-shards must be >= 1", "got", *shards)
 	}
 
 	cl := cluster.New(cluster.Config{
@@ -92,60 +119,68 @@ func main() {
 		reg = telemetry.NewRegistry()
 		cl.Instrument(reg)
 	}
+	var tracer *trace.Tracer // nil likewise keeps tracing a no-op
+	if *traceOn {
+		tracer = trace.NewTracer(trace.Config{})
+		cl.Trace(tracer)
+	}
 
 	stopSnapshots := func() {}
 	if *snapDir != "" {
 		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
-			log.Fatalf("snapshot dir: %v", err)
+			logger.Fatal("snapshot dir", "err", err)
 		}
 		restored, err := cl.LoadSnapshots(*snapDir)
 		if err != nil {
-			log.Fatalf("restore snapshots: %v", err)
+			logger.Fatal("restore snapshots", "err", err)
 		}
 		if restored > 0 {
-			log.Printf("rehydrated %d/%d shards from %s", restored, *shards, *snapDir)
+			logger.Info("rehydrated shards from snapshots", "restored", restored, "shards", *shards, "dir", *snapDir)
 		}
-		stopSnapshots = cl.StartSnapshotters(*snapDir, *snapEvery, log.Printf)
-		log.Printf("snapshotting every %v to %s", *snapEvery, *snapDir)
+		stopSnapshots = cl.StartSnapshotters(*snapDir, *snapEvery, logger.Component("snapshot").Printf)
+		logger.Info("snapshotting", "interval", *snapEvery, "dir", *snapDir)
 	}
 
 	for _, p := range paths {
 		cl.Frontend.RegisterPath(phi.PathKey(p.name), p.capacity)
-		log.Printf("registered path %q at %d bit/s", p.name, p.capacity)
+		logger.Info("registered path", "path", p.name, "capacity_bps", p.capacity)
 	}
 
-	srv := phiwire.NewServer(cl.Frontend, log.Printf)
+	srv := phiwire.NewServer(cl.Frontend, logger.Component("phiwire").Printf)
 	srv.SetMetrics(phiwire.NewServerMetrics(reg))
+	srv.SetTracer(tracer)
 	if *metricsAddr != "" {
-		ms, err := telemetry.Serve(*metricsAddr, reg)
+		ms, err := telemetry.Serve(*metricsAddr, reg,
+			telemetry.Endpoint{Path: "/debug/traces", Handler: tracer.Collector().Handler()},
+			telemetry.Endpoint{Path: "/debug/shard", Handler: shardDebugHandler(cl, logger)})
 		if err != nil {
-			log.Fatalf("metrics: %v", err)
+			logger.Fatal("metrics server", "err", err)
 		}
 		defer ms.Close()
-		log.Printf("serving metrics on http://%s/metrics", ms.Addr())
+		logger.Info("metrics server up", "addr", ms.Addr().String(), "tracing", *traceOn)
 	}
 	policy := phi.DefaultPolicy()
 	if *policyPath != "" {
 		f, err := os.Open(*policyPath)
 		if err != nil {
-			log.Fatalf("policy: %v", err)
+			logger.Fatal("open policy", "path", *policyPath, "err", err)
 		}
 		policy, err = phi.LoadPolicy(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("policy: %v", err)
+			logger.Fatal("load policy", "path", *policyPath, "err", err)
 		}
-		log.Printf("publishing policy from %s (%d rules)", *policyPath, len(policy.Rules))
+		logger.Info("publishing policy", "path", *policyPath, "rules", len(policy.Rules))
 	} else {
-		log.Printf("publishing the built-in policy (%d rules)", len(policy.Rules))
+		logger.Info("publishing the built-in policy", "rules", len(policy.Rules))
 	}
 	if err := srv.SetPolicy(policy); err != nil {
-		log.Fatalf("publish policy: %v", err)
+		logger.Fatal("publish policy", "err", err)
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("phi cluster listening on %s (%d shards, %d vnodes/shard)", *listen, *shards, *vnodes)
+		logger.Info("listening", "addr", *listen, "shards", *shards, "vnodes", *vnodes)
 		errc <- srv.ListenAndServe(*listen)
 	}()
 
@@ -153,17 +188,45 @@ func main() {
 	signal.Notify(sigc, os.Interrupt)
 	select {
 	case sig := <-sigc:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		srv.Close()
 	case err := <-errc:
 		stopSnapshots()
-		log.Fatalf("serve: %v", err)
+		logger.Fatal("serve", "err", err)
 	}
 	stopSnapshots() // takes a final snapshot per shard
 	handled, rejected := srv.Stats()
 	fs := cl.Frontend.Stats()
-	log.Printf("served %d requests (%d rejected); routed %d lookups / %d reports, %d failovers, %d degraded",
-		handled, rejected, fs.Lookups, fs.Reports, fs.Failovers, fs.Degraded)
+	logger.Info("served", "requests", handled, "rejected", rejected,
+		"lookups", fs.Lookups, "reports", fs.Reports, "failovers", fs.Failovers, "degraded", fs.Degraded)
+}
+
+// shardDebugHandler serves /debug/shard?id=N&op=crash|restart|status —
+// runtime fault injection for failover drills: crash a shard mid-load,
+// watch traces at /debug/traces pick up retry/failover notes, restart
+// it, watch the breaker close.
+func shardDebugHandler(cl *cluster.Cluster, logger *tlog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Query().Get("id"))
+		if err != nil || id < 0 || id >= len(cl.Shards) {
+			http.Error(w, fmt.Sprintf("bad shard id (want 0..%d)", len(cl.Shards)-1), http.StatusBadRequest)
+			return
+		}
+		switch op := r.URL.Query().Get("op"); op {
+		case "crash":
+			cl.Shards[id].Crash()
+			logger.Warn("shard crashed by debug request", "shard", id)
+		case "restart":
+			cl.Shards[id].Restart()
+			logger.Info("shard restarted by debug request", "shard", id)
+		case "", "status":
+		default:
+			http.Error(w, "op must be crash, restart, or status", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"shard\":%d,\"down\":%v}\n", id, cl.Shards[id].Down())
+	})
 }
 
 // pathFlags collects repeated -path name=capacity flags.

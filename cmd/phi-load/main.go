@@ -37,7 +37,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"os"
 	"sync"
@@ -48,7 +47,13 @@ import (
 	"repro/internal/phiwire"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
+	tlog "repro/internal/trace/log"
 )
+
+// opLifecycle is the root span covering one full connection protocol
+// exchange (lookup + start report + end report).
+var opLifecycle = trace.Name("loadgen.lifecycle")
 
 func main() {
 	var (
@@ -68,31 +73,24 @@ func main() {
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-request timeout")
 		seed        = flag.Int64("seed", 1, "PRNG seed")
 		out         = flag.String("out", "", "write the JSON result here (default stdout)")
+		traceOn     = flag.Bool("trace", false, "trace lifecycles end to end (propagated to the server over the wire)")
+		traceDump   = flag.String("trace-dump", "", "write retained traces in text form to this file at exit (requires -trace)")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/traces and pprof on this address while running")
+		logLevel    = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
 	)
 	flag.Parse()
 
-	if *paths < 1 || *workers < 1 || *conns < 1 || *maxInflight < 1 {
-		log.Fatal("-paths, -workers, -conns, and -max-inflight must be >= 1")
+	lvl, err := tlog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	if *mode != "closed" && *mode != "open" {
-		log.Fatalf("-mode must be closed or open, got %q", *mode)
+	var lopts []tlog.Option
+	if *logJSON {
+		lopts = append(lopts, tlog.WithJSON())
 	}
-	if *skew != "uniform" && *skew != "zipf" {
-		log.Fatalf("-skew must be uniform or zipf, got %q", *skew)
-	}
-	if *skew == "zipf" && *zipfS <= 1 {
-		log.Fatalf("-zipf-s must be > 1, got %v", *zipfS)
-	}
-
-	// Fail fast if the server is unreachable before spinning anything up.
-	probe := phiwire.Dial(*addr, *timeout)
-	if _, err := probe.Lookup(phi.PathKey(*pathPrefix + "0")); err != nil {
-		var se phiwire.ServerError
-		if !errors.As(err, &se) {
-			log.Fatalf("context server at %s unreachable: %v", *addr, err)
-		}
-	}
-	probe.Close()
+	logger := tlog.New(os.Stderr, lvl, lopts...).Component("phi-load")
 
 	cfg := runConfig{
 		Addr:        *addr,
@@ -110,11 +108,55 @@ func main() {
 		TimeoutS:    timeout.Seconds(),
 		Seed:        *seed,
 	}
-	res := run(cfg, *pathPrefix)
+	if errs := cfg.validate(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "phi-load:", e)
+		}
+		os.Exit(2)
+	}
+	if *traceDump != "" && !*traceOn {
+		fmt.Fprintln(os.Stderr, "phi-load: -trace-dump requires -trace")
+		os.Exit(2)
+	}
+
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.NewTracer(trace.Config{})
+		logger.Info("tracing enabled", "mode", cfg.Mode)
+	}
+	if *debugAddr != "" {
+		ds, err := telemetry.Serve(*debugAddr, nil,
+			telemetry.Endpoint{Path: "/debug/traces", Handler: tracer.Collector().Handler()})
+		if err != nil {
+			logger.Fatal("debug server", "err", err)
+		}
+		defer ds.Close()
+		logger.Info("debug server up", "addr", ds.Addr().String())
+	}
+
+	// Fail fast if the server is unreachable before spinning anything up.
+	probe := phiwire.Dial(*addr, *timeout)
+	if _, err := probe.Lookup(phi.PathKey(*pathPrefix + "0")); err != nil {
+		var se phiwire.ServerError
+		if !errors.As(err, &se) {
+			logger.Fatal("context server unreachable", "addr", *addr, "err", err)
+		}
+	}
+	probe.Close()
+
+	res := run(cfg, *pathPrefix, tracer)
+
+	if *traceDump != "" {
+		if err := dumpTraces(*traceDump, tracer.Collector()); err != nil {
+			logger.Error("trace dump", "err", err)
+		} else {
+			logger.Info("wrote trace dump", "path", *traceDump)
+		}
+	}
 
 	enc, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("encode result", "err", err)
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
@@ -122,10 +164,26 @@ func main() {
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		log.Fatal(err)
+		logger.Fatal("write result", "err", err)
 	}
-	log.Printf("wrote %s: %.0f lifecycles/s, lookup p99 %.0fus",
-		*out, res.LifecyclesPerSec, res.Ops["lookup"].P99Us)
+	logger.Info("run complete", "out", *out,
+		"lifecycles_per_sec", fmt.Sprintf("%.0f", res.LifecyclesPerSec),
+		"lookup_p99_us", fmt.Sprintf("%.0f", res.Ops["lookup"].P99Us))
+}
+
+// dumpTraces writes every retained trace (errors first, then slowest,
+// then the sampled rest) in the human-readable text form.
+func dumpTraces(path string, col *trace.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var all []*trace.Trace
+	all = append(all, col.Errors()...)
+	all = append(all, col.Slowest()...)
+	all = append(all, col.Sampled()...)
+	trace.WriteText(f, all)
+	return f.Close()
 }
 
 // runConfig echoes the knobs into the result for reproducibility.
@@ -144,6 +202,63 @@ type runConfig struct {
 	MeanBytes   float64 `json:"mean_bytes"`
 	TimeoutS    float64 `json:"timeout_s"`
 	Seed        int64   `json:"seed"`
+}
+
+// validate checks every knob up front and returns all problems at once,
+// so a misconfigured run dies before dialing anything rather than
+// producing a garbage benchmark file.
+func (c runConfig) validate() []error {
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+	if c.Addr == "" {
+		fail("-addr must not be empty")
+	}
+	switch c.Mode {
+	case "closed":
+		if c.Workers < 1 {
+			fail("-workers must be >= 1 (got %d)", c.Workers)
+		}
+	case "open":
+		if c.RatePerSec <= 0 {
+			fail("-rate must be > 0 (got %v)", c.RatePerSec)
+		}
+		if c.Conns < 1 {
+			fail("-conns must be >= 1 (got %d)", c.Conns)
+		}
+		if c.MaxInflight < 1 {
+			fail("-max-inflight must be >= 1 (got %d)", c.MaxInflight)
+		}
+	default:
+		fail("-mode must be closed or open (got %q)", c.Mode)
+	}
+	if c.DurationS <= 0 {
+		fail("-duration must be > 0 (got %vs)", c.DurationS)
+	}
+	if c.WarmupS < 0 {
+		fail("-warmup must be >= 0 (got %vs)", c.WarmupS)
+	}
+	if c.Paths < 1 {
+		fail("-paths must be >= 1 (got %d)", c.Paths)
+	}
+	switch c.Skew {
+	case "uniform":
+	case "zipf":
+		if c.ZipfS <= 1 {
+			fail("-zipf-s must be > 1 (got %v)", c.ZipfS)
+		}
+		if c.Paths < 2 {
+			fail("-skew zipf needs -paths >= 2 (got %d)", c.Paths)
+		}
+	default:
+		fail("-skew must be uniform or zipf (got %q)", c.Skew)
+	}
+	if c.MeanBytes <= 0 {
+		fail("-mean-bytes must be > 0 (got %v)", c.MeanBytes)
+	}
+	if c.TimeoutS <= 0 {
+		fail("-timeout must be > 0 (got %vs)", c.TimeoutS)
+	}
+	return errs
 }
 
 // opStats accumulates one operation type's outcomes (telemetry
@@ -248,15 +363,28 @@ func pathPicker(cfg runConfig, prefix string, workerSeed int64) func() phi.PathK
 }
 
 // lifecycle performs one full connection protocol exchange and records
-// each phase into st.
-func lifecycle(cl *phiwire.Client, path phi.PathKey, st *runStats, rng *rand.Rand, meanBytes float64) {
+// each phase into st. With a tracer, the whole exchange becomes one
+// trace rooted here: the per-request client spans (and, over the wire,
+// the server's handling and routing spans) hang off the lifecycle span.
+func lifecycle(tr *trace.Tracer, cl *phiwire.Client, path phi.PathKey, st *runStats, rng *rand.Rand, meanBytes float64) {
+	sp := tr.Start(trace.SpanContext{}, opLifecycle)
+	sc := sp.Context()
+	var firstErr error
+	keep := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
 	t0 := time.Now()
-	_, err := cl.Lookup(path)
+	_, err := cl.LookupSpan(sc, path)
 	st.lookup.record(t0, err)
+	keep(err)
 
 	t1 := time.Now()
-	err = cl.ReportStart(path)
+	err = cl.ReportStartSpan(sc, path)
 	st.start.record(t1, err)
+	keep(err)
 
 	// Synthetic transfer: exponential sizes around the mean, plausible
 	// RTTs so the server's q estimator has something to chew on.
@@ -271,13 +399,15 @@ func lifecycle(cl *phiwire.Client, path phi.PathKey, st *runStats, rng *rand.Ran
 		LossRate: 0,
 	}
 	t2 := time.Now()
-	err = cl.ReportEnd(path, rep)
+	err = cl.ReportEndSpan(sc, path, rep)
 	st.end.record(t2, err)
+	keep(err)
 
+	sp.End(firstErr)
 	st.lifecycles.Add(1)
 }
 
-func run(cfg runConfig, prefix string) *result {
+func run(cfg runConfig, prefix string, tracer *trace.Tracer) *result {
 	warmStats := newRunStats()
 	mainStats := newRunStats()
 	// Workers read the active window through an atomic pointer; the
@@ -296,6 +426,7 @@ func run(cfg runConfig, prefix string) *result {
 			go func(w int) {
 				defer wg.Done()
 				cl := phiwire.Dial(cfg.Addr, time.Duration(cfg.TimeoutS*float64(time.Second)))
+				cl.SetTracer(tracer)
 				defer cl.Close()
 				pick := pathPicker(cfg, prefix, cfg.Seed+int64(w))
 				rng := rand.New(rand.NewSource(cfg.Seed ^ int64(w)<<20))
@@ -305,7 +436,7 @@ func run(cfg runConfig, prefix string) *result {
 						return
 					default:
 					}
-					lifecycle(cl, pick(), active.Load(), rng, cfg.MeanBytes)
+					lifecycle(tracer, cl, pick(), active.Load(), rng, cfg.MeanBytes)
 				}
 			}(w)
 		}
@@ -314,6 +445,7 @@ func run(cfg runConfig, prefix string) *result {
 		pool := make([]*phiwire.Client, cfg.Conns)
 		for i := range pool {
 			pool[i] = phiwire.Dial(cfg.Addr, time.Duration(cfg.TimeoutS*float64(time.Second)))
+			pool[i].SetTracer(tracer)
 		}
 		defer func() {
 			for _, cl := range pool {
@@ -333,7 +465,7 @@ func run(cfg runConfig, prefix string) *result {
 					st := active.Load()
 					st.queueWait.Observe(time.Since(a.at))
 					cl := pool[next.Add(1)%uint64(len(pool))]
-					lifecycle(cl, pick(), st, rng, cfg.MeanBytes)
+					lifecycle(tracer, cl, pick(), st, rng, cfg.MeanBytes)
 				}
 			}(w)
 		}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// base returns a config that validates cleanly in closed mode.
+func base() runConfig {
+	return runConfig{
+		Addr: "127.0.0.1:7731", Mode: "closed", Workers: 8,
+		RatePerSec: 1000, Conns: 16, MaxInflight: 256,
+		DurationS: 5, WarmupS: 1, Paths: 16, Skew: "uniform",
+		ZipfS: 1.2, MeanBytes: 1 << 20, TimeoutS: 2, Seed: 1,
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if errs := base().validate(); len(errs) != 0 {
+		t.Fatalf("clean config rejected: %v", errs)
+	}
+	open := base()
+	open.Mode = "open"
+	if errs := open.validate(); len(errs) != 0 {
+		t.Fatalf("clean open config rejected: %v", errs)
+	}
+	zipf := base()
+	zipf.Skew = "zipf"
+	if errs := zipf.validate(); len(errs) != 0 {
+		t.Fatalf("clean zipf config rejected: %v", errs)
+	}
+}
+
+func TestValidateRejectsBadKnobs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*runConfig)
+		want string // substring of the expected complaint
+	}{
+		{"empty addr", func(c *runConfig) { c.Addr = "" }, "-addr"},
+		{"bad mode", func(c *runConfig) { c.Mode = "bursty" }, "-mode"},
+		{"zero workers", func(c *runConfig) { c.Workers = 0 }, "-workers"},
+		{"negative workers", func(c *runConfig) { c.Workers = -3 }, "-workers"},
+		{"negative rate", func(c *runConfig) { c.Mode = "open"; c.RatePerSec = -5 }, "-rate"},
+		{"zero rate", func(c *runConfig) { c.Mode = "open"; c.RatePerSec = 0 }, "-rate"},
+		{"zero conns", func(c *runConfig) { c.Mode = "open"; c.Conns = 0 }, "-conns"},
+		{"zero inflight", func(c *runConfig) { c.Mode = "open"; c.MaxInflight = 0 }, "-max-inflight"},
+		{"zero duration", func(c *runConfig) { c.DurationS = 0 }, "-duration"},
+		{"negative warmup", func(c *runConfig) { c.WarmupS = -1 }, "-warmup"},
+		{"zero paths", func(c *runConfig) { c.Paths = 0 }, "-paths"},
+		{"bad skew", func(c *runConfig) { c.Skew = "pareto" }, "-skew"},
+		{"zipf exponent at 1", func(c *runConfig) { c.Skew = "zipf"; c.ZipfS = 1 }, "-zipf-s"},
+		{"zipf exponent below 1", func(c *runConfig) { c.Skew = "zipf"; c.ZipfS = 0.5 }, "-zipf-s"},
+		{"zipf one path", func(c *runConfig) { c.Skew = "zipf"; c.Paths = 1 }, "-paths >= 2"},
+		{"zero mean bytes", func(c *runConfig) { c.MeanBytes = 0 }, "-mean-bytes"},
+		{"negative timeout", func(c *runConfig) { c.TimeoutS = -2 }, "-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mut(&cfg)
+			errs := cfg.validate()
+			if len(errs) == 0 {
+				t.Fatalf("config accepted: %+v", cfg)
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no complaint mentioning %q in %v", tc.want, errs)
+			}
+		})
+	}
+}
+
+func TestValidateReportsAllProblemsAtOnce(t *testing.T) {
+	cfg := base()
+	cfg.Mode = "open"
+	cfg.RatePerSec = -1
+	cfg.Conns = 0
+	cfg.Paths = 0
+	errs := cfg.validate()
+	if len(errs) < 3 {
+		t.Fatalf("want >= 3 accumulated errors, got %v", errs)
+	}
+}
+
+func TestValidateModeScoping(t *testing.T) {
+	// Open-loop knobs must not be checked in closed mode and vice versa.
+	cfg := base()
+	cfg.RatePerSec = -1 // irrelevant in closed mode
+	cfg.Conns = 0
+	cfg.MaxInflight = 0
+	if errs := cfg.validate(); len(errs) != 0 {
+		t.Fatalf("closed mode rejected open-loop knobs: %v", errs)
+	}
+	open := base()
+	open.Mode = "open"
+	open.Workers = 0 // irrelevant in open mode
+	if errs := open.validate(); len(errs) != 0 {
+		t.Fatalf("open mode rejected closed-loop knobs: %v", errs)
+	}
+}

@@ -10,13 +10,14 @@
 //
 // With -metrics-addr set, the server exposes Prometheus-text-format
 // telemetry (lookup/report counts and latency histograms, wire-level
-// request counters, open connections) at /metrics on that address.
+// request counters, open connections) at /metrics on that address,
+// plus /debug/traces (with -trace), /debug/exemplars, and the standard
+// pprof profiles under /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strconv"
@@ -27,6 +28,8 @@ import (
 	"repro/internal/phiwire"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
+	tlog "repro/internal/trace/log"
 )
 
 func main() {
@@ -35,14 +38,32 @@ func main() {
 		window      = flag.Duration("window", 10*time.Second, "utilization estimation window")
 		policyPath  = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = telemetry off)")
+		traceOn     = flag.Bool("trace", false, "record request traces (view at /debug/traces on -metrics-addr)")
+		logLevel    = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
 		paths       pathFlags
 	)
 	flag.Var(&paths, "path", "register a path capacity as name=bitsPerSecond (repeatable)")
 	flag.Parse()
 
+	lvl, err := tlog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var lopts []tlog.Option
+	if *logJSON {
+		lopts = append(lopts, tlog.WithJSON())
+	}
+	logger := tlog.New(os.Stderr, lvl, lopts...).Component("phi-server")
+
 	var reg *telemetry.Registry // nil keeps every hot path uninstrumented
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
+	}
+	var tracer *trace.Tracer // nil likewise keeps tracing a no-op
+	if *traceOn {
+		tracer = trace.NewTracer(trace.Config{})
 	}
 
 	backend := phi.NewServer(
@@ -50,42 +71,45 @@ func main() {
 		phi.ServerConfig{Window: sim.Time(window.Nanoseconds())},
 	)
 	backend.SetMetrics(phi.NewServerMetrics(reg, nil))
+	backend.SetTracer(tracer)
 	for _, p := range paths {
 		backend.RegisterPath(phi.PathKey(p.name), p.capacity)
-		log.Printf("registered path %q at %d bit/s", p.name, p.capacity)
+		logger.Info("registered path", "path", p.name, "capacity_bps", p.capacity)
 	}
 
-	srv := phiwire.NewServer(backend, log.Printf)
+	srv := phiwire.NewServer(backend, logger.Component("phiwire").Printf)
 	srv.SetMetrics(phiwire.NewServerMetrics(reg))
+	srv.SetTracer(tracer)
 	if *metricsAddr != "" {
-		ms, err := telemetry.Serve(*metricsAddr, reg)
+		ms, err := telemetry.Serve(*metricsAddr, reg,
+			telemetry.Endpoint{Path: "/debug/traces", Handler: tracer.Collector().Handler()})
 		if err != nil {
-			log.Fatalf("metrics: %v", err)
+			logger.Fatal("metrics server", "err", err)
 		}
 		defer ms.Close()
-		log.Printf("serving metrics on http://%s/metrics", ms.Addr())
+		logger.Info("metrics server up", "addr", ms.Addr().String(), "tracing", *traceOn)
 	}
 	policy := phi.DefaultPolicy()
 	if *policyPath != "" {
 		f, err := os.Open(*policyPath)
 		if err != nil {
-			log.Fatalf("policy: %v", err)
+			logger.Fatal("open policy", "path", *policyPath, "err", err)
 		}
 		policy, err = phi.LoadPolicy(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("policy: %v", err)
+			logger.Fatal("load policy", "path", *policyPath, "err", err)
 		}
-		log.Printf("publishing policy from %s (%d rules)", *policyPath, len(policy.Rules))
+		logger.Info("publishing policy", "path", *policyPath, "rules", len(policy.Rules))
 	} else {
-		log.Printf("publishing the built-in policy (%d rules)", len(policy.Rules))
+		logger.Info("publishing the built-in policy", "rules", len(policy.Rules))
 	}
 	if err := srv.SetPolicy(policy); err != nil {
-		log.Fatalf("publish policy: %v", err)
+		logger.Fatal("publish policy", "err", err)
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("phi context server listening on %s", *listen)
+		logger.Info("listening", "addr", *listen)
 		errc <- srv.ListenAndServe(*listen)
 	}()
 
@@ -93,13 +117,13 @@ func main() {
 	signal.Notify(sigc, os.Interrupt)
 	select {
 	case sig := <-sigc:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		srv.Close()
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		logger.Fatal("serve", "err", err)
 	}
 	handled, rejected := srv.Stats()
-	log.Printf("served %d requests (%d rejected)", handled, rejected)
+	logger.Info("served", "requests", handled, "rejected", rejected)
 }
 
 // pathFlags collects repeated -path name=capacity flags.

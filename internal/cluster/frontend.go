@@ -7,6 +7,34 @@ import (
 	"time"
 
 	"repro/internal/phi"
+	"repro/internal/trace"
+)
+
+// TracedConn is the optional span-propagating facet of a shard Conn.
+// In-process *Shard implements it (spans go straight to the shared
+// tracer); so does phiwire.Client, which forwards the span context on
+// the wire to a remote shard process.
+type TracedConn interface {
+	LookupSpan(sc trace.SpanContext, path phi.PathKey) (phi.Context, error)
+	ReportStartSpan(sc trace.SpanContext, path phi.PathKey) error
+	ReportEndSpan(sc trace.SpanContext, path phi.PathKey, r phi.Report) error
+	ReportProgressSpan(sc trace.SpanContext, path phi.PathKey, r phi.Report) error
+}
+
+// Frontend span names and decision notes. The notes mark the routing
+// decisions worth keeping a trace for: the tail-based collector retains
+// every trace that failed over, degraded, or hit an open breaker.
+var (
+	opFrontLookup   = trace.Name("frontend.lookup")
+	opFrontStart    = trace.Name("frontend.report_start")
+	opFrontEnd      = trace.Name("frontend.report_end")
+	opFrontProgress = trace.Name("frontend.report_progress")
+	opShardCall     = trace.Name("shard.call")
+
+	noteRetry       = trace.Name("retry")
+	noteFailover    = trace.Name("failover")
+	noteDegraded    = trace.Name("degraded")
+	noteBreakerOpen = trace.Name("breaker-open")
 )
 
 // Errors surfaced by the frontend. A caller that sees ErrAllReplicasDown
@@ -82,6 +110,9 @@ type FrontendStats struct {
 type Frontend struct {
 	ring   *Ring
 	shards []Conn
+	// tconns[i] is shards[i]'s traced facet, resolved once at
+	// construction (nil if unimplemented).
+	tconns []TracedConn
 	cfg    FrontendConfig
 	health []shardHealth
 	now    func() time.Time // wall clock, swappable in tests
@@ -96,6 +127,10 @@ type Frontend struct {
 	// metrics is the optional telemetry surface (nil = uninstrumented).
 	// Set before serving: the field is read without synchronization.
 	metrics *FrontendMetrics
+
+	// tracer records routing spans (nil = untraced). Set before serving:
+	// the field is read without synchronization.
+	tracer *trace.Tracer
 }
 
 // SetMetrics attaches (or detaches, with nil) the telemetry surface.
@@ -103,15 +138,24 @@ type Frontend struct {
 // before the frontend starts serving.
 func (f *Frontend) SetMetrics(m *FrontendMetrics) { f.metrics = m }
 
+// SetTracer attaches (or detaches, with nil) the span tracer. Call
+// before the frontend starts serving.
+func (f *Frontend) SetTracer(t *trace.Tracer) { f.tracer = t }
+
 // NewFrontend builds a frontend over the given shard connections; the
 // ring must have exactly len(shards) shards.
 func NewFrontend(ring *Ring, shards []Conn, cfg FrontendConfig) *Frontend {
 	if ring.Shards() != len(shards) {
 		panic("cluster: ring size does not match shard count")
 	}
+	tconns := make([]TracedConn, len(shards))
+	for i, s := range shards {
+		tconns[i], _ = s.(TracedConn)
+	}
 	return &Frontend{
 		ring:   ring,
 		shards: shards,
+		tconns: tconns,
 		cfg:    cfg.withDefaults(),
 		health: make([]shardHealth, len(shards)),
 		now:    time.Now,
@@ -168,10 +212,21 @@ func (f *Frontend) skippable(i int) bool {
 func (f *Frontend) ShardDown(i int) bool { return f.skippable(i) }
 
 // call runs op against shard i under the configured timeout, updating
-// the shard's breaker. A shard in cooldown is skipped outright.
-func (f *Frontend) call(i int, op func(Conn) error) error {
+// the shard's breaker and recording a shard.call span under parent. A
+// shard in cooldown is skipped outright (noted as breaker-open on the
+// span). op receives the shard index and the span context to forward to
+// the shard connection.
+func (f *Frontend) call(i int, parent trace.SpanContext, op func(i int, sc trace.SpanContext) error) error {
+	csp := f.tracer.Start(parent, opShardCall)
+	csp.SetShard(i)
 	if f.skippable(i) {
+		csp.Note(noteBreakerOpen)
+		csp.End(ErrShardDown)
 		return ErrShardDown
+	}
+	sc := csp.Context()
+	if !sc.Valid() {
+		sc = parent // no local tracer: still forward the caller's trace
 	}
 	m := f.metrics
 	var start time.Time
@@ -180,10 +235,10 @@ func (f *Frontend) call(i int, op func(Conn) error) error {
 	}
 	var err error
 	if f.cfg.Timeout <= 0 {
-		err = op(f.shards[i])
+		err = op(i, sc)
 	} else {
 		done := make(chan error, 1)
-		go func() { done <- op(f.shards[i]) }()
+		go func() { done <- op(i, sc) }()
 		select {
 		case err = <-done:
 		case <-time.After(f.cfg.Timeout):
@@ -197,25 +252,76 @@ func (f *Frontend) call(i int, op func(Conn) error) error {
 			m.CallErrors[i].Inc()
 		}
 	}
+	csp.End(err)
 	return err
+}
+
+// connLookup and friends dispatch one shard operation, through the
+// traced facet when the shard supports it and a span context exists.
+func (f *Frontend) connLookup(i int, sc trace.SpanContext, path phi.PathKey) (phi.Context, error) {
+	if tc := f.tconns[i]; tc != nil && sc.Valid() {
+		return tc.LookupSpan(sc, path)
+	}
+	return f.shards[i].Lookup(path)
+}
+
+func (f *Frontend) connReportStart(i int, sc trace.SpanContext, path phi.PathKey) error {
+	if tc := f.tconns[i]; tc != nil && sc.Valid() {
+		return tc.ReportStartSpan(sc, path)
+	}
+	return f.shards[i].ReportStart(path)
+}
+
+func (f *Frontend) connReportEnd(i int, sc trace.SpanContext, path phi.PathKey, r phi.Report) error {
+	if tc := f.tconns[i]; tc != nil && sc.Valid() {
+		return tc.ReportEndSpan(sc, path, r)
+	}
+	return f.shards[i].ReportEnd(path, r)
+}
+
+func (f *Frontend) connReportProgress(i int, sc trace.SpanContext, path phi.PathKey, r phi.Report) error {
+	if tc := f.tconns[i]; tc != nil && sc.Valid() {
+		return tc.ReportProgressSpan(sc, path, r)
+	}
+	return f.shards[i].ReportProgress(path, r)
+}
+
+// spanOrParent picks the context child calls should hang off: the
+// frontend's own span when tracing is on, the caller's otherwise.
+func spanOrParent(sp trace.Span, parent trace.SpanContext) trace.SpanContext {
+	if sc := sp.Context(); sc.Valid() {
+		return sc
+	}
+	return parent
 }
 
 // Lookup implements phi.ContextSource: owner first, one retry on the
 // fallback replica, then degrade.
 func (f *Frontend) Lookup(path phi.PathKey) (phi.Context, error) {
+	return f.LookupSpan(trace.SpanContext{}, path)
+}
+
+// LookupSpan is Lookup joined to a caller's trace: the routing span it
+// records (and every shard-call span under it) becomes a child of
+// parent, so a wire request traced at the client shows owner attempts,
+// retries, and failovers as nested spans.
+func (f *Frontend) LookupSpan(parent trace.SpanContext, path phi.PathKey) (phi.Context, error) {
 	m := f.metrics
 	f.lookups.Add(1)
 	if m != nil {
 		m.Lookups.Inc()
 	}
+	sp := f.tracer.Start(parent, opFrontLookup)
+	sc := spanOrParent(sp, parent)
 	owner, fb := f.ring.OwnerAndFallback(path)
 	var ctx phi.Context
-	get := func(c Conn) error {
+	get := func(i int, csc trace.SpanContext) error {
 		var err error
-		ctx, err = c.Lookup(path)
+		ctx, err = f.connLookup(i, csc, path)
 		return err
 	}
-	if err := f.call(owner, get); err == nil {
+	if err := f.call(owner, sc, get); err == nil {
+		sp.End(nil)
 		return ctx, nil
 	}
 	if fb >= 0 {
@@ -223,11 +329,14 @@ func (f *Frontend) Lookup(path phi.PathKey) (phi.Context, error) {
 		if m != nil {
 			m.Retries.Inc()
 		}
-		if err := f.call(fb, get); err == nil {
+		sp.Note(noteRetry)
+		if err := f.call(fb, sc, get); err == nil {
 			f.failovers.Add(1)
 			if m != nil {
 				m.Failovers.Inc()
 			}
+			sp.Note(noteFailover)
+			sp.End(nil)
 			return ctx, nil
 		}
 	}
@@ -235,65 +344,99 @@ func (f *Frontend) Lookup(path phi.PathKey) (phi.Context, error) {
 	if m != nil {
 		m.Degraded.Inc()
 	}
+	sp.Note(noteDegraded)
+	sp.End(ErrAllReplicasDown)
 	return phi.Context{}, ErrAllReplicasDown
 }
 
 // ReportStart implements phi.Reporter.
 func (f *Frontend) ReportStart(path phi.PathKey) error {
-	return f.deliverReport(path, func(c Conn) error { return c.ReportStart(path) })
+	return f.ReportStartSpan(trace.SpanContext{}, path)
+}
+
+// ReportStartSpan is ReportStart joined to a caller's trace.
+func (f *Frontend) ReportStartSpan(parent trace.SpanContext, path phi.PathKey) error {
+	return f.deliverReport(parent, opFrontStart, path, func(i int, sc trace.SpanContext) error {
+		return f.connReportStart(i, sc, path)
+	})
 }
 
 // ReportEnd implements phi.Reporter.
 func (f *Frontend) ReportEnd(path phi.PathKey, r phi.Report) error {
-	return f.deliverReport(path, func(c Conn) error { return c.ReportEnd(path, r) })
+	return f.ReportEndSpan(trace.SpanContext{}, path, r)
+}
+
+// ReportEndSpan is ReportEnd joined to a caller's trace.
+func (f *Frontend) ReportEndSpan(parent trace.SpanContext, path phi.PathKey, r phi.Report) error {
+	return f.deliverReport(parent, opFrontEnd, path, func(i int, sc trace.SpanContext) error {
+		return f.connReportEnd(i, sc, path, r)
+	})
 }
 
 // ReportProgress forwards a mid-connection report.
 func (f *Frontend) ReportProgress(path phi.PathKey, r phi.Report) error {
-	return f.deliverReport(path, func(c Conn) error { return c.ReportProgress(path, r) })
+	return f.ReportProgressSpan(trace.SpanContext{}, path, r)
+}
+
+// ReportProgressSpan is ReportProgress joined to a caller's trace.
+func (f *Frontend) ReportProgressSpan(parent trace.SpanContext, path phi.PathKey, r phi.Report) error {
+	return f.deliverReport(parent, opFrontProgress, path, func(i int, sc trace.SpanContext) error {
+		return f.connReportProgress(i, sc, path, r)
+	})
 }
 
 // deliverReport routes a report to the owner (failing over once to the
 // fallback) and, when replication is on, mirrors it to the fallback so a
 // later failover finds warm state. Mirror failures are best-effort: they
-// feed the breaker but never fail the report.
-func (f *Frontend) deliverReport(path phi.PathKey, op func(Conn) error) error {
+// feed the breaker but never fail the report. Routing decisions are
+// recorded on a span under parent (mirrors are deliberately not noted —
+// replication is routine, not interesting).
+func (f *Frontend) deliverReport(parent trace.SpanContext, name trace.Ref, path phi.PathKey, op func(i int, sc trace.SpanContext) error) error {
 	m := f.metrics
 	f.reports.Add(1)
 	if m != nil {
 		m.Reports.Inc()
 	}
+	sp := f.tracer.Start(parent, name)
+	sc := spanOrParent(sp, parent)
 	owner, fb := f.ring.OwnerAndFallback(path)
-	err := f.call(owner, op)
+	err := f.call(owner, sc, op)
 	switch {
 	case err == nil:
 		if f.cfg.ReplicateReports && fb >= 0 {
-			if f.call(fb, op) == nil {
+			if f.call(fb, sc, op) == nil {
 				f.mirrored.Add(1)
 				if m != nil {
 					m.Mirrored.Inc()
 				}
 			}
 		}
+		sp.End(nil)
 		return nil
 	case fb >= 0:
 		f.retries.Add(1)
 		if m != nil {
 			m.Retries.Inc()
 		}
-		if f.call(fb, op) == nil {
+		sp.Note(noteRetry)
+		if f.call(fb, sc, op) == nil {
 			f.failovers.Add(1)
 			if m != nil {
 				m.Failovers.Inc()
 			}
+			sp.Note(noteFailover)
+			sp.End(nil)
 			return nil
 		}
 		f.degraded.Add(1)
 		if m != nil {
 			m.Degraded.Inc()
 		}
+		sp.Note(noteDegraded)
+		sp.End(ErrAllReplicasDown)
 		return ErrAllReplicasDown
 	default:
+		sp.End(err)
 		return err
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/phi"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ErrShardDown is returned by every operation against a crashed shard.
@@ -43,6 +44,8 @@ type Shard struct {
 	srvMetrics *phi.ServerMetrics
 	// snapMetrics times the snapshot cycle (shared across shards).
 	snapMetrics *SnapshotMetrics
+	// tracer is likewise re-applied across crash/restore replacements.
+	tracer *trace.Tracer
 }
 
 // NewShard creates shard id with its own backing phi.Server.
@@ -121,6 +124,52 @@ func (s *Shard) SetSnapshotMetrics(m *SnapshotMetrics) {
 	s.snapMetrics = m
 }
 
+// SetTracer attaches the span tracer to the backing server, now and
+// across every future crash/restore replacement. Call before the shard
+// starts serving.
+func (s *Shard) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+	s.srv.SetTracer(t)
+}
+
+// LookupSpan implements TracedConn.
+func (s *Shard) LookupSpan(sc trace.SpanContext, path phi.PathKey) (phi.Context, error) {
+	srv := s.server()
+	if srv == nil {
+		return phi.Context{}, ErrShardDown
+	}
+	return srv.LookupSpan(sc, path)
+}
+
+// ReportStartSpan implements TracedConn.
+func (s *Shard) ReportStartSpan(sc trace.SpanContext, path phi.PathKey) error {
+	srv := s.server()
+	if srv == nil {
+		return ErrShardDown
+	}
+	return srv.ReportStartSpan(sc, path)
+}
+
+// ReportEndSpan implements TracedConn.
+func (s *Shard) ReportEndSpan(sc trace.SpanContext, path phi.PathKey, r phi.Report) error {
+	srv := s.server()
+	if srv == nil {
+		return ErrShardDown
+	}
+	return srv.ReportEndSpan(sc, path, r)
+}
+
+// ReportProgressSpan implements TracedConn.
+func (s *Shard) ReportProgressSpan(sc trace.SpanContext, path phi.PathKey, r phi.Report) error {
+	srv := s.server()
+	if srv == nil {
+		return ErrShardDown
+	}
+	return srv.ReportProgressSpan(sc, path, r)
+}
+
 // Crash simulates process loss: the shard goes down and all in-memory
 // path state is discarded. Only a Restart (empty) or RestoreSnapshot
 // (rehydrated) brings it back.
@@ -130,6 +179,7 @@ func (s *Shard) Crash() {
 	s.down = true
 	s.srv = phi.NewServer(s.clock, s.cfg)
 	s.srv.SetMetrics(s.srvMetrics)
+	s.srv.SetTracer(s.tracer)
 }
 
 // Down reports whether the shard is crashed.

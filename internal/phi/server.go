@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ServerConfig tunes the context server's estimators.
@@ -56,6 +57,10 @@ type Server struct {
 	// metrics is the optional telemetry surface (nil = uninstrumented;
 	// the hot path then pays exactly one branch). Set before serving.
 	metrics *ServerMetrics
+
+	// tracer records per-operation spans (nil = untraced; same one-branch
+	// discipline as metrics). Set before serving.
+	tracer *trace.Tracer
 }
 
 type timedReport struct {

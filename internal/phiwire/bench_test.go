@@ -82,7 +82,7 @@ func benchHandle(b *testing.B, instrument bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resp := srv.handle(req)
+		resp, _ := srv.handle(req)
 		if resp[0] != MsgContext {
 			b.Fatalf("resp type %x", resp[0])
 		}

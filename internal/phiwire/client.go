@@ -8,6 +8,16 @@ import (
 	"time"
 
 	"repro/internal/phi"
+	"repro/internal/trace"
+)
+
+// Client-side span names.
+var (
+	opClientDial     = trace.Name("client.dial")
+	opClientLookup   = trace.Name("client.lookup")
+	opClientStart    = trace.Name("client.report_start")
+	opClientEnd      = trace.Name("client.report_end")
+	opClientProgress = trace.Name("client.report_progress")
 )
 
 // ServerError is an application-level error returned by the server (the
@@ -41,9 +51,20 @@ type Client struct {
 	// Set before first use.
 	metrics *ClientMetrics
 
+	// tracer records per-request spans (nil = untraced). Set before
+	// first use. With a tracer set the client also negotiates the trace
+	// capability at dial time (see connTraced).
+	tracer *trace.Tracer
+
 	mu     sync.Mutex
 	conn   net.Conn
 	closed bool
+
+	// connTraced records whether the current connection's peer
+	// acknowledged CapTrace in the Hello exchange; only then do request
+	// frames carry trace headers. Reset on every reconnect, so the
+	// client adapts if it is pointed at an older server. Guarded by mu.
+	connTraced bool
 }
 
 // DefaultTimeout bounds each request round trip.
@@ -68,6 +89,10 @@ func Dial(addr string, timeout time.Duration) *Client {
 // Call before the client is shared across goroutines.
 func (c *Client) SetMetrics(m *ClientMetrics) { c.metrics = m }
 
+// SetTracer attaches (or detaches, with nil) the span tracer. Call
+// before the client is shared across goroutines.
+func (c *Client) SetTracer(t *trace.Tracer) { c.tracer = t }
+
 // Close tears down the connection and marks the client closed; any
 // later request fails with net.ErrClosed instead of reconnecting.
 func (c *Client) Close() error {
@@ -87,15 +112,15 @@ func (c *Client) Close() error {
 // strictly request/response). Every failure path closes and forgets the
 // connection before returning, so repeated failures churn through at
 // most one live connection.
-func (c *Client) roundTrip(req []byte) ([]byte, error) {
+func (c *Client) roundTrip(sc trace.SpanContext, req []byte) ([]byte, error) {
 	m := c.metrics
 	var start time.Time
 	if m != nil {
 		start = time.Now()
 	}
-	resp, err := c.lockedRoundTrip(req)
+	resp, err := c.lockedRoundTrip(sc, req)
 	if m != nil {
-		m.RTTSeconds.Observe(time.Since(start))
+		m.RTTSeconds.ObserveExemplar(time.Since(start), uint64(sc.Trace))
 		if err != nil {
 			m.Errors.Inc()
 		}
@@ -103,28 +128,44 @@ func (c *Client) roundTrip(req []byte) ([]byte, error) {
 	return resp, err
 }
 
-func (c *Client) lockedRoundTrip(req []byte) ([]byte, error) {
+func (c *Client) lockedRoundTrip(sc trace.SpanContext, req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, net.ErrClosed
 	}
 	if c.conn == nil {
+		dsp := c.tracer.Start(sc, opClientDial)
 		conn, err := c.dial(c.addr, c.timeout)
 		if err != nil {
+			dsp.End(err)
 			return nil, err
 		}
 		c.conn = conn
 		c.metrics.DialsInc()
+		if c.tracer != nil {
+			if err := c.negotiate(); err != nil {
+				dsp.End(err)
+				c.drop()
+				return nil, err
+			}
+		}
+		dsp.End(nil)
 	}
 	deadline := time.Now().Add(c.timeout)
 	if err := c.conn.SetDeadline(deadline); err != nil {
 		c.drop()
 		return nil, err
 	}
-	if err := writeFrame(c.conn, req); err != nil {
+	var werr error
+	if c.connTraced && sc.Valid() && len(req) > 0 && req[0]&0x80 == 0 {
+		werr = writeTracedFrame(c.conn, req, sc)
+	} else {
+		werr = writeFrame(c.conn, req)
+	}
+	if werr != nil {
 		c.drop()
-		return nil, err
+		return nil, werr
 	}
 	resp, err := readFrame(c.conn)
 	if err != nil {
@@ -132,6 +173,32 @@ func (c *Client) lockedRoundTrip(req []byte) ([]byte, error) {
 		return nil, err
 	}
 	return resp, nil
+}
+
+// negotiate runs the Hello exchange on a fresh connection (mu held).
+// Any HelloAck carrying CapTrace turns trace headers on for this
+// connection; an error reply means an old (version 1) peer, which is not
+// a failure — the client just stays on plain frames. Only transport
+// errors propagate.
+func (c *Client) negotiate() error {
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return err
+	}
+	if err := writeFrame(c.conn, encodeHello(MsgHello, ProtocolVersion, CapTrace)); err != nil {
+		return err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if len(resp) > 0 && resp[0] == MsgHelloAck {
+		if _, caps, derr := decodeHello(resp[1:]); derr == nil && caps&CapTrace != 0 {
+			c.connTraced = true
+			return nil
+		}
+	}
+	c.connTraced = false
+	return nil
 }
 
 // DialsInc is a nil-safe dial-counter bump.
@@ -147,6 +214,7 @@ func (c *Client) drop() {
 		c.conn.Close()
 		c.conn = nil
 	}
+	c.connTraced = false
 }
 
 // errFromResponse converts an error response into a Go error.
@@ -166,70 +234,105 @@ func errFromResponse(resp []byte) error {
 
 // Lookup implements phi.ContextSource.
 func (c *Client) Lookup(path phi.PathKey) (phi.Context, error) {
+	return c.LookupSpan(trace.SpanContext{}, path)
+}
+
+// LookupSpan is Lookup joined to a caller's trace: the client span it
+// records (and propagates on the wire) is a child of parent. With no
+// tracer attached, the parent context itself is forwarded, so an
+// untraced relay still preserves the caller's trace across processes.
+func (c *Client) LookupSpan(parent trace.SpanContext, path phi.PathKey) (phi.Context, error) {
 	req, err := encodeLookup(path)
 	if err != nil {
 		return phi.Context{}, err
 	}
-	resp, err := c.roundTrip(req)
-	if err != nil {
-		return phi.Context{}, err
+	sp := c.tracer.Start(parent, opClientLookup)
+	resp, err := c.roundTrip(wireContext(sp, parent), req)
+	if err == nil {
+		err = errFromResponse(resp)
 	}
-	if err := errFromResponse(resp); err != nil {
-		return phi.Context{}, err
+	var ctx phi.Context
+	if err == nil {
+		if resp[0] != MsgContext {
+			err = ErrMalformed
+		} else {
+			ctx, err = decodeContext(resp[1:])
+		}
 	}
-	if resp[0] != MsgContext {
-		return phi.Context{}, ErrMalformed
-	}
-	return decodeContext(resp[1:])
+	sp.End(err)
+	return ctx, err
 }
 
 // ReportStart implements phi.Reporter.
 func (c *Client) ReportStart(path phi.PathKey) error {
+	return c.ReportStartSpan(trace.SpanContext{}, path)
+}
+
+// ReportStartSpan is ReportStart joined to a caller's trace.
+func (c *Client) ReportStartSpan(parent trace.SpanContext, path phi.PathKey) error {
 	req, err := encodeReportStart(path)
 	if err != nil {
 		return err
 	}
-	return c.expectOK(req)
+	return c.expectOK(parent, opClientStart, req)
 }
 
 // ReportEnd implements phi.Reporter.
 func (c *Client) ReportEnd(path phi.PathKey, r phi.Report) error {
+	return c.ReportEndSpan(trace.SpanContext{}, path, r)
+}
+
+// ReportEndSpan is ReportEnd joined to a caller's trace.
+func (c *Client) ReportEndSpan(parent trace.SpanContext, path phi.PathKey, r phi.Report) error {
 	req, err := encodeReport(MsgReportEnd, path, r)
 	if err != nil {
 		return err
 	}
-	return c.expectOK(req)
+	return c.expectOK(parent, opClientEnd, req)
 }
 
 // ReportProgress sends a mid-connection report (long flows, Section
 // 2.2.2's multiple-communications refinement).
 func (c *Client) ReportProgress(path phi.PathKey, r phi.Report) error {
+	return c.ReportProgressSpan(trace.SpanContext{}, path, r)
+}
+
+// ReportProgressSpan is ReportProgress joined to a caller's trace.
+func (c *Client) ReportProgressSpan(parent trace.SpanContext, path phi.PathKey, r phi.Report) error {
 	req, err := encodeReport(MsgProgress, path, r)
 	if err != nil {
 		return err
 	}
-	return c.expectOK(req)
+	return c.expectOK(parent, opClientProgress, req)
 }
 
-func (c *Client) expectOK(req []byte) error {
-	resp, err := c.roundTrip(req)
-	if err != nil {
-		return err
+func (c *Client) expectOK(parent trace.SpanContext, name trace.Ref, req []byte) error {
+	sp := c.tracer.Start(parent, name)
+	resp, err := c.roundTrip(wireContext(sp, parent), req)
+	if err == nil {
+		err = errFromResponse(resp)
 	}
-	if err := errFromResponse(resp); err != nil {
-		return err
+	if err == nil && (len(resp) == 0 || resp[0] != MsgOK) {
+		err = ErrMalformed
 	}
-	if len(resp) == 0 || resp[0] != MsgOK {
-		return ErrMalformed
+	sp.End(err)
+	return err
+}
+
+// wireContext picks the span context to put on the wire: the client's
+// own span when it has a tracer, the caller's otherwise.
+func wireContext(sp trace.Span, parent trace.SpanContext) trace.SpanContext {
+	if sc := sp.Context(); sc.Valid() {
+		return sc
 	}
-	return nil
+	return parent
 }
 
 // FetchPolicy retrieves the server's published parameter policy, so a
 // freshly booted sender needs to be configured with nothing but the
 // context server's address.
 func (c *Client) FetchPolicy() (*phi.Policy, error) {
-	resp, err := c.roundTrip([]byte{MsgGetPolicy})
+	resp, err := c.roundTrip(trace.SpanContext{}, []byte{MsgGetPolicy})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,188 @@
+package phiwire
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/phi"
+	"repro/internal/trace"
+)
+
+// FuzzHandle throws arbitrary request payloads at the server's dispatch
+// loop. Whatever arrives, the server must answer with a well-formed
+// response frame (high type bit set) and never panic — a malformed or
+// hostile peer can degrade only itself.
+func FuzzHandle(f *testing.F) {
+	backend := phi.NewServer(wallClock, phi.ServerConfig{})
+	backend.RegisterPath("p", 1_000_000)
+	srv := NewServer(backend, nil)
+	if err := srv.SetPolicy(phi.DefaultPolicy()); err != nil {
+		f.Fatal(err)
+	}
+
+	lookup, _ := encodeLookup("p")
+	report, _ := encodeReport(MsgReportEnd, "p", phi.Report{Bytes: 1 << 20})
+	var traced bytes.Buffer
+	if err := writeTracedFrame(&traced, lookup, trace.SpanContext{Trace: 7, Span: 9}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{MsgLookup})
+	f.Add(lookup)
+	f.Add(report)
+	f.Add(encodeHello(MsgHello, ProtocolVersion, CapTrace))
+	f.Add(traced.Bytes()[4:]) // payload of a traced lookup frame
+	f.Add([]byte{MsgLookup | TraceFlag, 0, 0, 0})
+	f.Add([]byte{MsgContext, 1, 2, 3}) // response type as a request
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		resp, _ := srv.handle(payload)
+		if len(resp) == 0 {
+			t.Fatalf("empty response for payload %x", payload)
+		}
+		if resp[0]&0x80 == 0 {
+			t.Fatalf("response type %#x has request bit for payload %x", resp[0], payload)
+		}
+	})
+}
+
+// FuzzDecodeReportEnd checks the report codec: decoding must never
+// panic, and anything that decodes cleanly must survive an
+// encode/decode round trip bit-for-bit.
+func FuzzDecodeReportEnd(f *testing.F) {
+	good, _ := encodeReport(MsgReportEnd, "path-a", phi.Report{
+		Bytes: 123, Duration: 456, AvgRTT: 789, MinRTT: 12, LossRate: 0.25,
+	})
+	f.Add(good[1:])
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 'x'})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		path, r, err := decodeReportEnd(b)
+		if err != nil {
+			return
+		}
+		if len(path) > MaxPathLen {
+			// Legal at this layer (the length prefix allows 64 KiB); the
+			// server rejects it at dispatch. Encode refuses to produce it.
+			if _, encErr := encodeReport(MsgReportEnd, path, r); encErr == nil {
+				t.Fatalf("encodeReport accepted %d-byte path", len(path))
+			}
+			return
+		}
+		enc, err := encodeReport(MsgReportEnd, path, r)
+		if err != nil {
+			t.Fatalf("re-encode of decoded report failed: %v", err)
+		}
+		path2, r2, err := decodeReportEnd(enc[1:])
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		// Compare loss rates by bit pattern so NaN inputs round-trip too.
+		if path2 != path || r2.Bytes != r.Bytes || r2.Duration != r.Duration ||
+			r2.AvgRTT != r.AvgRTT || r2.MinRTT != r.MinRTT ||
+			math.Float64bits(r2.LossRate) != math.Float64bits(r.LossRate) {
+			t.Fatalf("round trip changed report: %q %+v -> %q %+v", path, r, path2, r2)
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader. It
+// must never panic or allocate beyond MaxFrame, and any frame it
+// accepts must round-trip through writeFrame.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte{MsgOK}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // length far beyond MaxFrame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxFrame {
+			t.Fatalf("readFrame returned %d bytes > MaxFrame", len(payload))
+		}
+		var out bytes.Buffer
+		if err := writeFrame(&out, payload); err != nil {
+			t.Fatalf("writeFrame rejected accepted payload: %v", err)
+		}
+		back, err := readFrame(&out)
+		if err != nil || !bytes.Equal(back, payload) {
+			t.Fatalf("frame round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadString checks the length-prefixed string codec against
+// arbitrary input: no panics, and decoded strings re-encode to the
+// bytes they came from.
+func FuzzReadString(f *testing.F) {
+	f.Add(appendString(nil, "hello"))
+	f.Add([]byte{})
+	f.Add([]byte{0, 5, 'a'}) // length prefix longer than the body
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, rest, err := readString(b)
+		if err != nil {
+			return
+		}
+		if len(s)+len(rest)+2 != len(b) {
+			t.Fatalf("readString lost bytes: %d string + %d rest + 2 != %d", len(s), len(rest), len(b))
+		}
+		if enc := appendString(nil, s); !bytes.Equal(enc, b[:len(enc)]) {
+			t.Fatalf("re-encode mismatch for %q", s)
+		}
+	})
+}
+
+// TestHandleRejectsOversizedPath is the regression test for the issue
+// the fuzzers surfaced: the client-side encoders cap path keys at
+// MaxPathLen, but the string codec admits anything up to 64 KiB, so a
+// hand-rolled frame could push an arbitrarily long key into the backend
+// (and into every per-path map behind it). The server must refuse such
+// requests at dispatch.
+func TestHandleRejectsOversizedPath(t *testing.T) {
+	backend := phi.NewServer(wallClock, phi.ServerConfig{})
+	srv := NewServer(backend, nil)
+	long := strings.Repeat("x", MaxPathLen+1)
+
+	for _, msgType := range []byte{MsgLookup, MsgReportStart} {
+		resp, _ := srv.handle(appendString([]byte{msgType}, long))
+		if resp[0] != MsgError {
+			t.Fatalf("type %#x: oversized path accepted: %x", msgType, resp)
+		}
+		if msg, _, _ := readString(resp[1:]); !strings.Contains(msg, "too long") {
+			t.Fatalf("type %#x: unexpected error %q", msgType, msg)
+		}
+	}
+	for _, msgType := range []byte{MsgReportEnd, MsgProgress} {
+		b := appendString([]byte{msgType}, long)
+		b = appendInt64(b, 1)
+		b = appendInt64(b, 1)
+		b = appendInt64(b, 1)
+		b = appendInt64(b, 1)
+		b = appendFloat(b, 0)
+		resp, _ := srv.handle(b)
+		if resp[0] != MsgError {
+			t.Fatalf("type %#x: oversized path accepted: %x", msgType, resp)
+		}
+	}
+	if _, rejected := srv.Stats(); rejected != 4 {
+		t.Fatalf("rejected = %d, want 4", rejected)
+	}
+	// A key at exactly MaxPathLen is legal.
+	edge := strings.Repeat("y", MaxPathLen)
+	backend.RegisterPath(phi.PathKey(edge), 1_000_000)
+	resp, _ := srv.handle(appendString([]byte{MsgLookup}, edge))
+	if resp[0] != MsgContext {
+		t.Fatalf("MaxPathLen key rejected: %x", resp)
+	}
+}

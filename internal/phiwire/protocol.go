@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/phi"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Message types.
@@ -33,10 +34,33 @@ const (
 	MsgReportEnd   = 0x03
 	MsgGetPolicy   = 0x04
 	MsgProgress    = 0x05
+	MsgHello       = 0x06
 	MsgContext     = 0x81
 	MsgOK          = 0x82
 	MsgPolicy      = 0x83
+	MsgHelloAck    = 0x84
 	MsgError       = 0xFF
+)
+
+// TraceFlag, set on a request type byte, marks an optional 16-byte trace
+// header (trace ID + parent span ID) between the type byte and the
+// normal body. The flag occupies an otherwise unused bit of the request
+// type space (responses use 0x80), so untraced frames are byte-for-byte
+// identical to protocol version 1 — an old client against a new server
+// never sees the extension. A client only sets the flag after a
+// Hello/HelloAck capability exchange proved the server understands it,
+// so a new client against an old server falls back to plain frames.
+const TraceFlag = 0x40
+
+// ProtocolVersion is the version advertised in Hello frames. Version 1
+// predates Hello (old peers answer it with an error frame, which new
+// clients treat as "no capabilities").
+const ProtocolVersion = 2
+
+// Capability bits exchanged in Hello/HelloAck.
+const (
+	// CapTrace: the peer understands TraceFlag trace headers.
+	CapTrace = 1 << 0
 )
 
 // MaxFrame bounds frame payloads; anything larger is a protocol violation.
@@ -119,6 +143,61 @@ func readInt64(b []byte) (int64, []byte, error) {
 		return 0, nil, ErrMalformed
 	}
 	return int64(binary.BigEndian.Uint64(b)), b[8:], nil
+}
+
+// encodeHello builds a Hello (or HelloAck) frame: version then
+// capability bits.
+func encodeHello(msgType byte, version uint16, caps uint32) []byte {
+	b := binary.BigEndian.AppendUint16([]byte{msgType}, version)
+	return binary.BigEndian.AppendUint32(b, caps)
+}
+
+// decodeHello parses a Hello/HelloAck payload (after the type byte).
+func decodeHello(b []byte) (version uint16, caps uint32, err error) {
+	if len(b) < 6 {
+		return 0, 0, ErrMalformed
+	}
+	return binary.BigEndian.Uint16(b), binary.BigEndian.Uint32(b[2:]), nil
+}
+
+// traceHeaderLen is the wire size of a span context.
+const traceHeaderLen = 16
+
+// readSpanContext parses the 16-byte trace header that follows a
+// TraceFlag type byte.
+func readSpanContext(b []byte) (trace.SpanContext, []byte, error) {
+	if len(b) < traceHeaderLen {
+		return trace.SpanContext{}, nil, ErrMalformed
+	}
+	sc := trace.SpanContext{
+		Trace: trace.TraceID(binary.BigEndian.Uint64(b)),
+		Span:  trace.SpanID(binary.BigEndian.Uint64(b[8:])),
+	}
+	return sc, b[traceHeaderLen:], nil
+}
+
+// writeTracedFrame writes payload as a traced frame: the type byte gains
+// TraceFlag and the span context is spliced in after it. The payload is
+// not copied — the frame header, flagged type byte, and trace header go
+// out in one fixed-size write, then the body.
+func writeTracedFrame(w io.Writer, payload []byte, sc trace.SpanContext) error {
+	if len(payload) == 0 {
+		return ErrMalformed
+	}
+	n := len(payload) + traceHeaderLen
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4 + 1 + traceHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(n))
+	hdr[4] = payload[0] | TraceFlag
+	binary.BigEndian.PutUint64(hdr[5:], uint64(sc.Trace))
+	binary.BigEndian.PutUint64(hdr[13:], uint64(sc.Span))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload[1:])
+	return err
 }
 
 // encodeLookup builds a lookup request.

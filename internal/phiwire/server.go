@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/phi"
+	"repro/internal/trace"
 )
 
 // Backend is what the wire server needs from the state plane: lookups,
@@ -22,6 +23,27 @@ type Backend interface {
 	ReportProgress(path phi.PathKey, r phi.Report) error
 }
 
+// TracedBackend is the optional span-propagating facet of a Backend.
+// When the backend implements it and the request carries a trace
+// context, the server calls these variants so routing and shard spans
+// join the request's trace; otherwise it falls back to the plain
+// methods. Both phi.Server and cluster.Frontend implement it.
+type TracedBackend interface {
+	LookupSpan(sc trace.SpanContext, path phi.PathKey) (phi.Context, error)
+	ReportStartSpan(sc trace.SpanContext, path phi.PathKey) error
+	ReportEndSpan(sc trace.SpanContext, path phi.PathKey, r phi.Report) error
+	ReportProgressSpan(sc trace.SpanContext, path phi.PathKey, r phi.Report) error
+}
+
+// Server-side span names.
+var (
+	opServerLookup   = trace.Name("server.lookup")
+	opServerStart    = trace.Name("server.report_start")
+	opServerEnd      = trace.Name("server.report_end")
+	opServerProgress = trace.Name("server.report_progress")
+	opServerPolicy   = trace.Name("server.get_policy")
+)
+
 // Server serves the Phi wire protocol over TCP, backed by any Backend
 // (which must be safe for concurrent use). One goroutine per connection.
 // If a policy is set, clients may also fetch it at startup, so the
@@ -29,6 +51,9 @@ type Backend interface {
 // state and the parameter mapping.
 type Server struct {
 	backend Backend
+	// tbackend is backend's traced facet, resolved once at construction
+	// (nil if unimplemented).
+	tbackend TracedBackend
 
 	mu     sync.Mutex
 	policy []byte // serialized policy, nil if none
@@ -46,11 +71,23 @@ type Server struct {
 	// metrics is the optional telemetry surface (nil = uninstrumented).
 	// Set before Serve: the field is read without synchronization.
 	metrics *ServerMetrics
+
+	// tracer records per-request spans (nil = untraced). Set before
+	// Serve: the field is read without synchronization. Traced request
+	// frames are understood and answered regardless — the tracer only
+	// controls whether this process records spans of its own.
+	tracer *trace.Tracer
 }
 
 // SetMetrics attaches (or detaches, with nil) the telemetry surface.
 // Call before Serve.
 func (s *Server) SetMetrics(m *ServerMetrics) { s.metrics = m }
+
+// SetTracer attaches (or detaches, with nil) the span tracer. Call
+// before Serve. With a tracer set, every request gets a handling span:
+// requests carrying a wire trace header join the client's trace, the
+// rest start server-local traces.
+func (s *Server) SetTracer(t *trace.Tracer) { s.tracer = t }
 
 // NewServer wraps backend for network service. logf, if non-nil, receives
 // connection-level errors; nil discards them.
@@ -58,7 +95,8 @@ func NewServer(backend Backend, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{backend: backend, conns: make(map[net.Conn]struct{}), logf: logf}
+	tb, _ := backend.(TracedBackend)
+	return &Server{backend: backend, tbackend: tb, conns: make(map[net.Conn]struct{}), logf: logf}
 }
 
 // SetPolicy publishes a parameter policy for clients to fetch; nil
@@ -169,9 +207,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if m != nil {
 			start = time.Now()
 		}
-		resp := s.handle(payload)
+		resp, tid := s.handle(payload)
 		if m != nil {
-			m.HandleSeconds.Observe(time.Since(start))
+			m.HandleSeconds.ObserveExemplar(time.Since(start), uint64(tid))
 		}
 		if err := writeFrame(conn, resp); err != nil {
 			s.logf("phiwire: write to %v: %v", conn.RemoteAddr(), err)
@@ -180,70 +218,118 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// handle processes one request payload and returns the response payload.
-func (s *Server) handle(payload []byte) []byte {
+// handle processes one request payload and returns the response payload
+// plus the trace ID of the span recorded for it (zero when untraced).
+func (s *Server) handle(payload []byte) ([]byte, trace.TraceID) {
 	m := s.metrics
 	if len(payload) == 0 {
 		s.bumpRejected()
-		return encodeError("empty frame")
+		return encodeError("empty frame"), 0
 	}
 	typ, body := payload[0], payload[1:]
+	// Requests (high bit clear) may carry a trace header; peel it off
+	// before dispatch. Traced frames are accepted whether or not this
+	// server records spans of its own.
+	var sc trace.SpanContext
+	if typ&0x80 == 0 && typ&TraceFlag != 0 {
+		var err error
+		sc, body, err = readSpanContext(body)
+		if err != nil {
+			s.bumpRejected()
+			return encodeError("malformed trace header"), 0
+		}
+		typ &^= TraceFlag
+	}
 	switch typ {
+	case MsgHello:
+		if _, _, err := decodeHello(body); err != nil {
+			s.bumpRejected()
+			return encodeError("malformed hello"), 0
+		}
+		s.bumpHandled()
+		return encodeHello(MsgHelloAck, ProtocolVersion, CapTrace), 0
 	case MsgLookup:
 		path, _, err := readString(body)
 		if err != nil {
 			s.bumpRejected()
-			return encodeError("malformed lookup")
+			return encodeError("malformed lookup"), 0
 		}
-		ctx, err := s.backend.Lookup(phi.PathKey(path))
+		if len(path) > MaxPathLen {
+			s.bumpRejected()
+			return encodeError("path key too long"), 0
+		}
+		sp := s.startSpan(sc, opServerLookup)
+		ctx, err := s.backendLookup(sp.Context(), phi.PathKey(path))
+		sp.End(err)
 		if err != nil {
-			return s.encodeBackendError(err)
+			return s.encodeBackendError(err), sp.Context().Trace
 		}
 		s.bumpHandled()
 		if m != nil {
 			m.Lookups.Inc()
 		}
-		return encodeContext(ctx)
+		return encodeContext(ctx), sp.Context().Trace
 	case MsgReportStart:
 		path, _, err := readString(body)
 		if err != nil {
 			s.bumpRejected()
-			return encodeError("malformed report-start")
+			return encodeError("malformed report-start"), 0
 		}
-		if err := s.backend.ReportStart(phi.PathKey(path)); err != nil {
-			return s.encodeBackendError(err)
+		if len(path) > MaxPathLen {
+			s.bumpRejected()
+			return encodeError("path key too long"), 0
+		}
+		sp := s.startSpan(sc, opServerStart)
+		err = s.backendReportStart(sp.Context(), phi.PathKey(path))
+		sp.End(err)
+		if err != nil {
+			return s.encodeBackendError(err), sp.Context().Trace
 		}
 		s.bumpHandled()
 		if m != nil {
 			m.Starts.Inc()
 		}
-		return []byte{MsgOK}
+		return []byte{MsgOK}, sp.Context().Trace
 	case MsgGetPolicy:
 		s.mu.Lock()
 		policy := s.policy
 		s.mu.Unlock()
+		sp := s.startSpan(sc, opServerPolicy)
 		if policy == nil {
-			return s.encodeBackendError(errors.New("no policy published"))
+			err := errors.New("no policy published")
+			sp.End(err)
+			return s.encodeBackendError(err), sp.Context().Trace
 		}
+		sp.End(nil)
 		s.bumpHandled()
 		if m != nil {
 			m.Policies.Inc()
 		}
-		return append([]byte{MsgPolicy}, policy...)
+		return append([]byte{MsgPolicy}, policy...), sp.Context().Trace
 	case MsgReportEnd, MsgProgress:
 		path, report, err := decodeReportEnd(body)
 		if err != nil {
 			s.bumpRejected()
-			return encodeError("malformed report")
+			return encodeError("malformed report"), 0
 		}
+		if len(path) > MaxPathLen {
+			s.bumpRejected()
+			return encodeError("path key too long"), 0
+		}
+		name := opServerEnd
+		if typ == MsgProgress {
+			name = opServerProgress
+		}
+		sp := s.startSpan(sc, name)
 		var herr error
 		if typ == MsgProgress {
-			herr = s.backend.ReportProgress(path, report)
+			herr = s.backendReportProgress(sp.Context(), path, report)
 		} else {
-			herr = s.backend.ReportEnd(path, report)
+			herr = s.backendReportEnd(sp.Context(), path, report)
 		}
+		sp.End(herr)
 		if herr != nil {
-			return s.encodeBackendError(herr)
+			return s.encodeBackendError(herr), sp.Context().Trace
 		}
 		s.bumpHandled()
 		if m != nil {
@@ -253,11 +339,52 @@ func (s *Server) handle(payload []byte) []byte {
 				m.Ends.Inc()
 			}
 		}
-		return []byte{MsgOK}
+		return []byte{MsgOK}, sp.Context().Trace
 	default:
 		s.bumpRejected()
-		return encodeError("unknown message type")
+		return encodeError("unknown message type"), 0
 	}
+}
+
+// startSpan opens the handling span for a request: joining the wire
+// trace when the client sent one, starting a server-local trace
+// otherwise. With no tracer it returns a no-op span.
+func (s *Server) startSpan(sc trace.SpanContext, name trace.Ref) trace.Span {
+	if sc.Valid() {
+		return s.tracer.StartRemote(sc, name)
+	}
+	return s.tracer.Start(trace.SpanContext{}, name)
+}
+
+// backendLookup and friends dispatch to the traced backend facet when
+// both a traced backend and a live span context exist, and to the plain
+// Backend methods otherwise.
+func (s *Server) backendLookup(sc trace.SpanContext, path phi.PathKey) (phi.Context, error) {
+	if s.tbackend != nil && sc.Valid() {
+		return s.tbackend.LookupSpan(sc, path)
+	}
+	return s.backend.Lookup(path)
+}
+
+func (s *Server) backendReportStart(sc trace.SpanContext, path phi.PathKey) error {
+	if s.tbackend != nil && sc.Valid() {
+		return s.tbackend.ReportStartSpan(sc, path)
+	}
+	return s.backend.ReportStart(path)
+}
+
+func (s *Server) backendReportEnd(sc trace.SpanContext, path phi.PathKey, r phi.Report) error {
+	if s.tbackend != nil && sc.Valid() {
+		return s.tbackend.ReportEndSpan(sc, path, r)
+	}
+	return s.backend.ReportEnd(path, r)
+}
+
+func (s *Server) backendReportProgress(sc trace.SpanContext, path phi.PathKey, r phi.Report) error {
+	if s.tbackend != nil && sc.Valid() {
+		return s.tbackend.ReportProgressSpan(sc, path, r)
+	}
+	return s.backend.ReportProgress(path, r)
 }
 
 // encodeBackendError counts and encodes an application-level error (the

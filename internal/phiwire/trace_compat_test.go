@@ -1,0 +1,244 @@
+package phiwire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/phi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// startV1Server runs a protocol-version-1 server: a frame loop that
+// predates Hello and TraceFlag, answering any unknown type byte with an
+// error frame (exactly what the v1 dispatch did). It counts frames whose
+// type byte carries TraceFlag, so tests can assert a well-behaved new
+// client never sends the extension to an old peer.
+func startV1Server(t *testing.T) (addr string, flagged *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	flagged = new(atomic.Int64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					payload, err := readFrame(conn)
+					if err != nil {
+						return
+					}
+					var resp []byte
+					switch {
+					case len(payload) == 0:
+						resp = encodeError("empty frame")
+					case payload[0]&TraceFlag != 0 && payload[0]&0x80 == 0:
+						flagged.Add(1)
+						resp = encodeError("unknown message type")
+					case payload[0] == MsgLookup:
+						resp = encodeContext(phi.Context{U: 0.5, Q: 10, N: 3})
+					case payload[0] == MsgReportStart, payload[0] == MsgReportEnd, payload[0] == MsgProgress:
+						resp = []byte{MsgOK}
+					default:
+						// v1 has no Hello: it lands here.
+						resp = encodeError("unknown message type")
+					}
+					if err := writeFrame(conn, resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), flagged
+}
+
+// retained merges every retention class of a collector.
+func retained(c *trace.Collector) []*trace.Trace {
+	var all []*trace.Trace
+	all = append(all, c.Errors()...)
+	all = append(all, c.Slowest()...)
+	all = append(all, c.Sampled()...)
+	return all
+}
+
+// TestTracedClientAgainstV1Server: a new client with tracing enabled
+// pointed at an old server must keep working — the Hello probe is
+// refused, the client stays on plain frames (never sending TraceFlag),
+// and its local spans still record the calls.
+func TestTracedClientAgainstV1Server(t *testing.T) {
+	addr, flagged := startV1Server(t)
+	tr := trace.NewTracer(trace.Config{SampleEvery: 1})
+	c := Dial(addr, time.Second)
+	defer c.Close()
+	c.SetTracer(tr)
+
+	ctx, err := c.Lookup("p")
+	if err != nil {
+		t.Fatalf("lookup via v1 server: %v", err)
+	}
+	if ctx.U != 0.5 || ctx.N != 3 {
+		t.Fatalf("bad context %+v", ctx)
+	}
+	if err := c.ReportEnd("p", phi.Report{Bytes: 1, Duration: sim.Time(time.Millisecond)}); err != nil {
+		t.Fatalf("report via v1 server: %v", err)
+	}
+	if n := flagged.Load(); n != 0 {
+		t.Fatalf("client sent %d TraceFlag frames to a v1 server", n)
+	}
+	// The client still traces locally even though nothing crossed the wire.
+	var names []string
+	for _, tc := range retained(tr.Collector()) {
+		for _, sp := range tc.Spans {
+			names = append(names, sp.Name)
+		}
+	}
+	want := map[string]bool{"client.dial": false, "client.lookup": false, "client.report_end": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("span %q missing from local traces (got %v)", n, names)
+		}
+	}
+}
+
+// TestUntracedClientAgainstTracedServer: an old-style client (no
+// tracer, so no Hello, plain frames only) against a new tracing server.
+// Requests succeed and the server records server-local root spans —
+// none marked as joining a remote trace.
+func TestUntracedClientAgainstTracedServer(t *testing.T) {
+	srv, backend, addr := startServer(t)
+	backend.RegisterPath("p", 1_000_000)
+	str := trace.NewTracer(trace.Config{SampleEvery: 1})
+	srv.SetTracer(str)
+
+	c := Dial(addr, time.Second)
+	defer c.Close()
+	if _, err := c.Lookup("p"); err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if err := c.ReportStart("p"); err != nil {
+		t.Fatalf("report-start: %v", err)
+	}
+
+	traces := retained(str.Collector())
+	if len(traces) == 0 {
+		t.Fatal("traced server retained no traces from an untraced client")
+	}
+	for _, tc := range traces {
+		for _, sp := range tc.Spans {
+			if sp.Remote {
+				t.Fatalf("server span %q claims a remote parent with an untraced client", sp.Name)
+			}
+		}
+	}
+}
+
+// TestTracedClientAgainstTracedServer: both ends new. The Hello
+// exchange upgrades the connection, the lookup's trace ID crosses the
+// wire, and the server's handling span joins the client's trace: same
+// trace ID on both collectors, server span marked remote.
+func TestTracedClientAgainstTracedServer(t *testing.T) {
+	srv, backend, addr := startServer(t)
+	backend.RegisterPath("p", 1_000_000)
+	str := trace.NewTracer(trace.Config{SampleEvery: 1})
+	srv.SetTracer(str)
+
+	ctr := trace.NewTracer(trace.Config{SampleEvery: 1})
+	c := Dial(addr, time.Second)
+	defer c.Close()
+	c.SetTracer(ctr)
+
+	if _, err := c.Lookup("p"); err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+
+	clientIDs := make(map[string]bool)
+	for _, tc := range retained(ctr.Collector()) {
+		clientIDs[tc.ID] = true
+	}
+	if len(clientIDs) == 0 {
+		t.Fatal("client retained no traces")
+	}
+	joined := false
+	for _, tc := range retained(str.Collector()) {
+		if !clientIDs[tc.ID] {
+			continue
+		}
+		for _, sp := range tc.Spans {
+			if sp.Name == "server.lookup" && sp.Remote {
+				joined = true
+			}
+		}
+	}
+	if !joined {
+		t.Fatalf("no server trace joined a client trace ID (client IDs %v)", clientIDs)
+	}
+}
+
+// TestReconnectRenegotiates: the trace capability is per connection.
+// After the server side drops the connection, the client's next request
+// re-dials and re-runs Hello, and trace headers resume.
+func TestReconnectRenegotiates(t *testing.T) {
+	srv, backend, addr := startServer(t)
+	backend.RegisterPath("p", 1_000_000)
+	str := trace.NewTracer(trace.Config{SampleEvery: 1})
+	srv.SetTracer(str)
+
+	ctr := trace.NewTracer(trace.Config{SampleEvery: 1})
+	c := Dial(addr, time.Second)
+	defer c.Close()
+	c.SetTracer(ctr)
+
+	if _, err := c.Lookup("p"); err != nil {
+		t.Fatalf("first lookup: %v", err)
+	}
+	c.mu.Lock()
+	if !c.connTraced {
+		t.Fatal("connection not upgraded after Hello")
+	}
+	// Sever the connection out from under the client.
+	c.conn.Close()
+	c.mu.Unlock()
+
+	// The first request after the break may fail (the client discovers
+	// the dead connection), but a retry must reconnect and renegotiate.
+	var err error
+	for i := 0; i < 3; i++ {
+		if _, err = c.Lookup("p"); err == nil {
+			break
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			continue
+		}
+		var ne net.Error
+		if errors.As(err, &ne) {
+			continue
+		}
+		t.Fatalf("unexpected error after reconnect: %v", err)
+	}
+	if err != nil {
+		t.Fatalf("lookup never recovered: %v", err)
+	}
+	c.mu.Lock()
+	traced := c.connTraced
+	c.mu.Unlock()
+	if !traced {
+		t.Fatal("reconnected connection lost the trace capability")
+	}
+}

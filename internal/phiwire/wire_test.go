@@ -496,7 +496,7 @@ func TestServerHandleNeverPanicsProperty(t *testing.T) {
 				t.Fatalf("handle panicked on %x: %v", raw, r)
 			}
 		}()
-		resp := srv.handle(raw)
+		resp, _ := srv.handle(raw)
 		return len(resp) > 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {

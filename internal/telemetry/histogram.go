@@ -71,9 +71,17 @@ func bucketUpper(i int) int64 {
 // in exactly one snapshot-visible bucket, which is all a monitoring read
 // needs.
 type Histogram struct {
-	count   atomic.Uint64
-	sum     atomic.Int64
-	buckets [NumBuckets]atomic.Uint64
+	count atomic.Uint64
+	sum   atomic.Int64
+	// exemplars holds the latest trace ID observed per bucket, allocated
+	// lazily on the first traced observation so untraced histograms pay
+	// one pointer load.
+	exemplars atomic.Pointer[exemplarSet]
+	buckets   [NumBuckets]atomic.Uint64
+}
+
+type exemplarSet struct {
+	ids [NumBuckets]atomic.Uint64
 }
 
 // NewHistogram returns an unregistered histogram.
@@ -94,6 +102,62 @@ func (h *Histogram) Record(v int64) {
 
 // Observe records a duration in nanoseconds — the canonical use.
 func (h *Histogram) Observe(d time.Duration) { h.Record(int64(d)) }
+
+// ObserveExemplar is Observe plus an exemplar: the trace ID of the
+// request that produced the sample is remembered for the sample's
+// bucket (newest wins), linking the latency distribution back to
+// concrete traces at /debug/exemplars. A zero trace ID (untraced
+// request) records the sample alone.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
+	if h == nil {
+		return
+	}
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	if traceID != 0 {
+		es := h.exemplars.Load()
+		if es == nil {
+			es = new(exemplarSet)
+			if !h.exemplars.CompareAndSwap(nil, es) {
+				es = h.exemplars.Load()
+			}
+		}
+		es.ids[bucketIndex(v)].Store(traceID)
+	}
+	h.Record(v)
+}
+
+// Exemplar links a histogram bucket to the most recent trace that
+// landed in it.
+type Exemplar struct {
+	// UpperNs is the bucket's inclusive upper bound in nanoseconds.
+	UpperNs int64 `json:"upper_ns"`
+	// TraceID identifies the trace (hex form is what /debug/traces
+	// accepts).
+	TraceID uint64 `json:"-"`
+}
+
+// Exemplars returns the per-bucket exemplars recorded so far, lowest
+// bucket first. Nil histograms and histograms that never saw a traced
+// sample return nil.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	es := h.exemplars.Load()
+	if es == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range es.ids {
+		if id := es.ids[i].Load(); id != 0 {
+			out = append(out, Exemplar{UpperNs: bucketUpper(i), TraceID: id})
+		}
+	}
+	return out
+}
 
 // Count returns the number of recorded samples (0 on nil).
 func (h *Histogram) Count() uint64 {

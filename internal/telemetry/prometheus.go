@@ -2,10 +2,12 @@ package telemetry
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 )
@@ -100,23 +102,75 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// ExemplarsHandler serves the registry's histogram exemplars as JSON:
+// metric series name to a list of {upper_ns, trace_id} pairs. The
+// Prometheus 0.0.4 text format cannot carry exemplars, so they get
+// their own debug endpoint; the trace IDs are the hex form /debug/traces
+// reports.
+func (r *Registry) ExemplarsHandler() http.Handler {
+	type jsonExemplar struct {
+		UpperNs int64  `json:"upper_ns"`
+		TraceID string `json:"trace_id"`
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		out := make(map[string][]jsonExemplar)
+		if r != nil {
+			for _, m := range r.snapshot() {
+				if m.kind != histogramKind {
+					continue
+				}
+				exs := m.hist.Exemplars()
+				if len(exs) == 0 {
+					continue
+				}
+				js := make([]jsonExemplar, len(exs))
+				for i, e := range exs {
+					js[i] = jsonExemplar{UpperNs: e.UpperNs, TraceID: fmt.Sprintf("%016x", e.TraceID)}
+				}
+				out[series(m.name, m.labels, "")] = js
+			}
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+}
+
 // MetricsServer is a running exposition endpoint.
 type MetricsServer struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
+// Endpoint mounts an extra handler on the metrics server — how the
+// daemons hang /debug/traces and friends off the same port they already
+// expose for scraping.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
 // Serve starts an HTTP server on addr exposing reg at /metrics (and at
-// /, for curl convenience). It returns once the listener is bound, so
-// the caller knows scrapes can succeed; the accept loop runs in the
-// background until Close.
-func Serve(addr string, reg *Registry) (*MetricsServer, error) {
+// /, for curl convenience), histogram exemplars at /debug/exemplars,
+// the standard pprof profiles under /debug/pprof/, and any extra
+// endpoints. It returns once the listener is bound, so the caller knows
+// scrapes can succeed; the accept loop runs in the background until
+// Close.
+func Serve(addr string, reg *Registry, extra ...Endpoint) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/exemplars", reg.ExemplarsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		mux.Handle(e.Path, e.Handler)
+	}
 	mux.Handle("/", reg.Handler())
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)

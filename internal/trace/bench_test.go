@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+)
+
+var (
+	benchRoot  = Name("bench.root")
+	benchChild = Name("bench.child")
+)
+
+// BenchmarkSpanDisabled is the cost of a span site with tracing off —
+// the acceptance bar is zero allocations and a few nanoseconds.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(SpanContext{}, benchRoot)
+		sp.End(nil)
+	}
+}
+
+// BenchmarkSpanEnabled is the per-span cost with tracing on (ID mint,
+// two time reads, one ring write).
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer(Config{SampleEvery: -1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(SpanContext{}, benchRoot)
+		sp.End(nil)
+	}
+}
+
+// BenchmarkSpanEnabledChild measures a root+child pair, the common
+// request shape.
+func BenchmarkSpanEnabledChild(b *testing.B) {
+	tr := NewTracer(Config{SampleEvery: -1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.Start(SpanContext{}, benchRoot)
+		child := tr.Start(root.Context(), benchChild)
+		child.End(nil)
+		root.End(nil)
+	}
+}
+
+// BenchmarkSpanEnabledParallel hits the sharded rings from many
+// goroutines.
+func BenchmarkSpanEnabledParallel(b *testing.B) {
+	tr := NewTracer(Config{SampleEvery: -1})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sp := tr.Start(SpanContext{}, benchRoot)
+			sp.End(nil)
+		}
+	})
+}
+
+// BenchmarkSpanError is the rare error path (interning plus the
+// interesting-set store plus retention).
+func BenchmarkSpanError(b *testing.B) {
+	tr := NewTracer(Config{SampleEvery: -1, KeepErrors: 8})
+	err := errors.New("bench error")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(SpanContext{}, benchRoot)
+		sp.End(err)
+	}
+}

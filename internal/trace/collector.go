@@ -1,0 +1,400 @@
+package trace
+
+import (
+	"container/heap"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the collector. Zero values select the defaults.
+type Config struct {
+	// Rings is the number of span ring buffers (rounded up to a power of
+	// two; default: NumCPU rounded up). Spans of one trace always land in
+	// the same ring, so assembly is a single-ring scan.
+	Rings int
+	// RingSize is the slot count per ring (rounded up to a power of two;
+	// default 2048).
+	RingSize int
+	// KeepSlowest is how many slowest-root traces are retained (default 32).
+	KeepSlowest int
+	// KeepErrors is how many error/interesting traces are retained,
+	// newest-wins (default 64).
+	KeepErrors int
+	// SampleEvery probabilistically retains one in every SampleEvery
+	// otherwise-boring traces (default 128; negative disables sampling).
+	SampleEvery int
+	// MaxSpans bounds the spans assembled per retained trace (default 64).
+	MaxSpans int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rings <= 0 {
+		c.Rings = runtime.NumCPU()
+	}
+	c.Rings = 1 << bits.Len(uint(c.Rings-1)) // next power of two
+	if c.RingSize <= 0 {
+		c.RingSize = 2048
+	}
+	c.RingSize = 1 << bits.Len(uint(c.RingSize-1))
+	if c.KeepSlowest <= 0 {
+		c.KeepSlowest = 32
+	}
+	if c.KeepErrors <= 0 {
+		c.KeepErrors = 64
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 128
+	}
+	if c.MaxSpans <= 0 {
+		c.MaxSpans = 64
+	}
+	return c
+}
+
+// spanRecord is the fixed-size form of a finished span.
+type spanRecord struct {
+	trace  TraceID
+	span   SpanID
+	parent SpanID
+	name   Ref
+	note   Ref
+	errRef Ref
+	shard  int32
+	flags  uint8
+	start  int64 // unix nanos
+	dur    int64 // nanos
+}
+
+// slot holds one spanRecord entirely in atomics, guarded by a per-slot
+// seqlock: the writer makes seq odd, stores the fields, and makes it
+// even; a reader accepts a copy only if it saw the same even seq before
+// and after. All accesses are atomic, so the collector is clean under
+// the race detector while staying lock-free.
+type slot struct {
+	seq    atomic.Uint64
+	trace  atomic.Uint64
+	span   atomic.Uint64
+	parent atomic.Uint64
+	// meta packs name(16) | note(16) | errRef(16) | flags(8) | spare(8).
+	meta  atomic.Uint64
+	shard atomic.Int64
+	start atomic.Int64
+	dur   atomic.Int64
+}
+
+func packMeta(name, note, errRef Ref, flags uint8) uint64 {
+	return uint64(name)<<48 | uint64(note)<<32 | uint64(errRef)<<16 | uint64(flags)<<8
+}
+
+func unpackMeta(m uint64) (name, note, errRef Ref, flags uint8) {
+	return Ref(m >> 48), Ref(m >> 32), Ref(m >> 16), uint8(m >> 8)
+}
+
+func (s *slot) store(rec *spanRecord) {
+	s.seq.Add(1) // odd: write in progress
+	s.trace.Store(uint64(rec.trace))
+	s.span.Store(uint64(rec.span))
+	s.parent.Store(uint64(rec.parent))
+	s.meta.Store(packMeta(rec.name, rec.note, rec.errRef, rec.flags))
+	s.shard.Store(int64(rec.shard))
+	s.start.Store(rec.start)
+	s.dur.Store(rec.dur)
+	s.seq.Add(1) // even: stable
+}
+
+// load copies the slot into rec, reporting whether the copy is
+// consistent (no concurrent writer touched it mid-read).
+func (s *slot) load(rec *spanRecord) bool {
+	s1 := s.seq.Load()
+	if s1 == 0 || s1%2 == 1 {
+		return false
+	}
+	rec.trace = TraceID(s.trace.Load())
+	rec.span = SpanID(s.span.Load())
+	rec.parent = SpanID(s.parent.Load())
+	rec.name, rec.note, rec.errRef, rec.flags = unpackMeta(s.meta.Load())
+	rec.shard = int32(s.shard.Load())
+	rec.start = s.start.Load()
+	rec.dur = s.dur.Load()
+	return s.seq.Load() == s1
+}
+
+// ring is one lock-free span buffer: writers claim slots with an atomic
+// head increment and overwrite the oldest records when full.
+type ring struct {
+	head  atomic.Uint64
+	slots []slot
+}
+
+func (r *ring) put(rec *spanRecord) {
+	i := r.head.Add(1) - 1
+	r.slots[i&uint64(len(r.slots)-1)].store(rec)
+}
+
+// scan collects consistent records matching trace id, up to max.
+func (r *ring) scan(id TraceID, max int) []spanRecord {
+	var out []spanRecord
+	var rec spanRecord
+	for i := range r.slots {
+		if !r.slots[i].load(&rec) || rec.trace != id {
+			continue
+		}
+		out = append(out, rec)
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// SpanInfo is the assembled, human-consumable form of one span.
+type SpanInfo struct {
+	ID       string  `json:"id"`
+	Parent   string  `json:"parent,omitempty"`
+	Name     string  `json:"name"`
+	Note     string  `json:"note,omitempty"`
+	Shard    int     `json:"shard"` // NoShard (-1) when not shard-bound
+	Remote   bool    `json:"remote_parent,omitempty"`
+	OffsetUs float64 `json:"offset_us"` // start relative to the trace's first span
+	DurUs    float64 `json:"dur_us"`
+	Err      string  `json:"err,omitempty"`
+}
+
+// Trace is one retained trace: the locally observed spans of a request.
+type Trace struct {
+	ID    string     `json:"id"`
+	Root  string     `json:"root"`
+	Start time.Time  `json:"start"`
+	DurUs float64    `json:"dur_us"`
+	Err   string     `json:"err,omitempty"`
+	Kept  string     `json:"kept"` // "error" | "slow" | "sampled"
+	Spans []SpanInfo `json:"spans"`
+}
+
+// Collector receives finished spans and applies tail-based retention.
+type Collector struct {
+	cfg      Config
+	rings    []ring
+	ringMask uint64
+
+	// interesting is a small lossy set of trace IDs flagged mid-flight
+	// (child error, failover note, …) so the root-end decision can keep
+	// them even when the root itself looks healthy.
+	interesting [512]atomic.Uint64
+
+	sampleCtr atomic.Uint64
+	dropped   atomic.Uint64 // local roots that were not retained
+	finished  atomic.Uint64 // local roots observed
+
+	// slowFloor caches the smallest retained slow-trace duration so the
+	// common case (not slow enough) skips the lock entirely.
+	slowFloor atomic.Int64
+
+	mu      sync.Mutex
+	slow    slowHeap // min-heap by duration, capacity KeepSlowest
+	errs    []*Trace // newest-wins ring, capacity KeepErrors
+	errsIdx int
+	sampled []*Trace // newest-wins ring, capacity KeepErrors
+	sampIdx int
+}
+
+// NewCollector creates a collector per cfg.
+func NewCollector(cfg Config) *Collector {
+	cfg = cfg.withDefaults()
+	c := &Collector{cfg: cfg, rings: make([]ring, cfg.Rings), ringMask: uint64(cfg.Rings - 1)}
+	for i := range c.rings {
+		c.rings[i].slots = make([]slot, cfg.RingSize)
+	}
+	c.slowFloor.Store(-1) // heap not full: everything qualifies
+	return c
+}
+
+// ringFor shards by trace ID so one trace's spans colocate: assembly is
+// a single-ring scan, and concurrent traces spread across rings, which
+// bounds contention like a per-core buffer would.
+func (c *Collector) ringFor(id TraceID) *ring {
+	return &c.rings[splitmix64(uint64(id))&c.ringMask]
+}
+
+func (c *Collector) record(rec *spanRecord) {
+	c.ringFor(rec.trace).put(rec)
+}
+
+func (c *Collector) markInteresting(id TraceID) {
+	if id == 0 {
+		return
+	}
+	c.interesting[uint64(id)&511].Store(uint64(id))
+}
+
+func (c *Collector) isInteresting(id TraceID) bool {
+	return c.interesting[uint64(id)&511].Load() == uint64(id)
+}
+
+// finishTrace runs the tail-retention decision when a local root ends:
+// always keep error/interesting traces, always keep the slowest N, and
+// sample one in SampleEvery of the rest. Only kept traces are assembled.
+func (c *Collector) finishTrace(root *spanRecord, err error) {
+	c.finished.Add(1)
+	switch {
+	case err != nil || root.flags&flagError != 0 || c.isInteresting(root.trace):
+		c.retain(c.assemble(root), "error")
+	case c.qualifiesSlow(root.dur):
+		c.retain(c.assemble(root), "slow")
+	case c.cfg.SampleEvery > 0 && c.sampleCtr.Add(1)%uint64(c.cfg.SampleEvery) == 0:
+		c.retain(c.assemble(root), "sampled")
+	default:
+		c.dropped.Add(1)
+	}
+}
+
+func (c *Collector) qualifiesSlow(dur int64) bool {
+	return dur > c.slowFloor.Load()
+}
+
+// assemble scans the trace's ring and builds the retained form. This is
+// the expensive path; it runs only for retained traces.
+func (c *Collector) assemble(root *spanRecord) *Trace {
+	recs := c.ringFor(root.trace).scan(root.trace, c.cfg.MaxSpans)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].start < recs[j].start })
+	t0 := root.start
+	if len(recs) > 0 && recs[0].start < t0 {
+		t0 = recs[0].start
+	}
+	tr := &Trace{
+		ID:    hex64(uint64(root.trace)),
+		Root:  lookupRef(root.name),
+		Start: time.Unix(0, t0),
+		DurUs: float64(root.dur) / 1e3,
+		Err:   lookupRef(root.errRef),
+		Spans: make([]SpanInfo, 0, len(recs)),
+	}
+	for i := range recs {
+		r := &recs[i]
+		tr.Spans = append(tr.Spans, SpanInfo{
+			ID:       hex64(uint64(r.span)),
+			Parent:   hexOrEmpty(uint64(r.parent)),
+			Name:     lookupRef(r.name),
+			Note:     lookupRef(r.note),
+			Shard:    int(r.shard),
+			Remote:   r.flags&flagRemote != 0,
+			OffsetUs: float64(r.start-t0) / 1e3,
+			DurUs:    float64(r.dur) / 1e3,
+			Err:      lookupRef(r.errRef),
+		})
+	}
+	return tr
+}
+
+func (c *Collector) retain(tr *Trace, why string) {
+	tr.Kept = why
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch why {
+	case "error":
+		if len(c.errs) < c.cfg.KeepErrors {
+			c.errs = append(c.errs, tr)
+		} else {
+			c.errs[c.errsIdx%len(c.errs)] = tr
+			c.errsIdx++
+		}
+	case "slow":
+		if len(c.slow) < c.cfg.KeepSlowest {
+			heap.Push(&c.slow, tr)
+		} else if tr.DurUs > c.slow[0].DurUs {
+			c.slow[0] = tr
+			heap.Fix(&c.slow, 0)
+		}
+		if len(c.slow) == c.cfg.KeepSlowest {
+			c.slowFloor.Store(int64(c.slow[0].DurUs * 1e3))
+		}
+	case "sampled":
+		if len(c.sampled) < c.cfg.KeepErrors {
+			c.sampled = append(c.sampled, tr)
+		} else {
+			c.sampled[c.sampIdx%len(c.sampled)] = tr
+			c.sampIdx++
+		}
+	}
+}
+
+// Slowest returns the retained slowest traces, slowest first.
+func (c *Collector) Slowest() []*Trace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := make([]*Trace, len(c.slow))
+	copy(out, c.slow)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DurUs > out[j].DurUs })
+	return out
+}
+
+// Errors returns the retained error/interesting traces, newest last.
+func (c *Collector) Errors() []*Trace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Trace(nil), c.errs...)
+}
+
+// Sampled returns the probabilistically retained traces, newest last.
+func (c *Collector) Sampled() []*Trace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Trace(nil), c.sampled...)
+}
+
+// Stats reports how many local traces finished and how many were
+// dropped by the sampler.
+func (c *Collector) Stats() (finished, dropped uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.finished.Load(), c.dropped.Load()
+}
+
+// slowHeap is a min-heap of traces by duration (root = fastest retained,
+// the next eviction candidate).
+type slowHeap []*Trace
+
+func (h slowHeap) Len() int           { return len(h) }
+func (h slowHeap) Less(i, j int) bool { return h[i].DurUs < h[j].DurUs }
+func (h slowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *slowHeap) Push(x any)        { *h = append(*h, x.(*Trace)) }
+func (h *slowHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+const hexDigits = "0123456789abcdef"
+
+// hex64 formats an ID as 16 hex digits without fmt.
+func hex64(v uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+func hexOrEmpty(v uint64) string {
+	if v == 0 {
+		return ""
+	}
+	return hex64(v)
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Handler serves the collector's retained traces for debugging:
+//
+//	GET /debug/traces                 JSON {slowest, errors, sampled, stats}
+//	GET /debug/traces?view=slowest    JSON, one retention class only
+//	GET /debug/traces?format=text     human-readable slowest + error traces
+//	                                  (combine with view= for one class)
+//
+// A nil collector serves empty results, so the endpoint can be mounted
+// unconditionally.
+func (c *Collector) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		view := req.URL.Query().Get("view")
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			switch view {
+			case "slowest":
+				WriteText(w, c.Slowest())
+			case "errors":
+				WriteText(w, c.Errors())
+			case "sampled":
+				WriteText(w, c.Sampled())
+			default:
+				fmt.Fprintf(w, "== slowest traces ==\n")
+				WriteText(w, c.Slowest())
+				fmt.Fprintf(w, "\n== error traces ==\n")
+				WriteText(w, c.Errors())
+			}
+			return
+		}
+		finished, dropped := c.Stats()
+		var out any
+		switch view {
+		case "slowest":
+			out = c.Slowest()
+		case "errors":
+			out = c.Errors()
+		case "sampled":
+			out = c.Sampled()
+		default:
+			out = map[string]any{
+				"stats": map[string]uint64{
+					"finished": finished,
+					"dropped":  dropped,
+				},
+				"slowest": c.Slowest(),
+				"errors":  c.Errors(),
+				"sampled": c.Sampled(),
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+}
+
+// WriteText renders traces in a compact human-readable form: one header
+// line per trace, one indented line per span with its offset, duration,
+// shard, note, and error.
+func WriteText(w io.Writer, traces []*Trace) {
+	for _, tr := range traces {
+		errStr := ""
+		if tr.Err != "" {
+			errStr = "  err=" + tr.Err
+		}
+		fmt.Fprintf(w, "trace %s  root=%s  dur=%.0fus  kept=%s%s\n",
+			tr.ID, tr.Root, tr.DurUs, tr.Kept, errStr)
+		for _, sp := range tr.Spans {
+			var attrs strings.Builder
+			if sp.Shard != NoShard {
+				fmt.Fprintf(&attrs, "  shard=%d", sp.Shard)
+			}
+			if sp.Note != "" {
+				fmt.Fprintf(&attrs, "  note=%s", sp.Note)
+			}
+			if sp.Err != "" {
+				fmt.Fprintf(&attrs, "  err=%s", sp.Err)
+			}
+			if sp.Remote {
+				attrs.WriteString("  remote-parent")
+			}
+			fmt.Fprintf(w, "  %10.0fus %10.0fus  %s%s\n",
+				sp.OffsetUs, sp.DurUs, sp.Name, attrs.String())
+		}
+	}
+}

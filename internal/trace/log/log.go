@@ -1,0 +1,272 @@
+// Package log is the structured, leveled logging facade for the Phi
+// daemons: logfmt or JSON lines on a shared sink, per-component child
+// loggers, and a Printf adapter for the older logf-style hooks
+// (phiwire.NewServer, snapshotters).
+//
+// It follows the repo's nil-safe idiom: every method on a nil *Logger is
+// a no-op, so library code can hold a logger unconditionally. Levels
+// below the sink's minimum return before formatting anything.
+package log
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel parses a level name (debug, info, warn, error).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("log: unknown level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// sink is the shared output: one writer, one lock, one format.
+type sink struct {
+	mu   sync.Mutex
+	w    io.Writer
+	min  Level
+	json bool
+	now  func() time.Time // swappable in tests
+}
+
+// Logger emits structured records to its sink, stamped with a component
+// name and any bound key/value fields. A nil *Logger discards
+// everything.
+type Logger struct {
+	s         *sink
+	component string
+	bound     []kv // fields from With, rendered on every record
+}
+
+type kv struct {
+	k string
+	v any
+}
+
+// Option configures New.
+type Option func(*sink)
+
+// WithJSON switches the sink to JSON lines (default logfmt).
+func WithJSON() Option { return func(s *sink) { s.json = true } }
+
+// WithClock injects a clock (tests).
+func WithClock(now func() time.Time) Option { return func(s *sink) { s.now = now } }
+
+// New creates a root logger writing records at or above min to w.
+func New(w io.Writer, min Level, opts ...Option) *Logger {
+	s := &sink{w: w, min: min, now: time.Now}
+	for _, o := range opts {
+		o(s)
+	}
+	return &Logger{s: s}
+}
+
+// Default returns a logfmt logger on stderr at Info — the daemons'
+// out-of-the-box configuration.
+func Default() *Logger { return New(os.Stderr, LevelInfo) }
+
+// Component derives a child logger stamped component=name.
+func (l *Logger) Component(name string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s, component: name, bound: l.bound}
+}
+
+// With derives a child logger with extra key/value fields bound to every
+// record. Args are alternating keys and values; a trailing key without a
+// value is paired with "(missing)".
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := &Logger{s: l.s, component: l.component}
+	child.bound = append(append([]kv(nil), l.bound...), pairs(args)...)
+	return child
+}
+
+// Enabled reports whether records at level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.s.min
+}
+
+// Debug logs at debug level; args are alternating keys and values.
+func (l *Logger) Debug(msg string, args ...any) { l.log(LevelDebug, msg, args) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, args ...any) { l.log(LevelInfo, msg, args) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, args ...any) { l.log(LevelWarn, msg, args) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, args ...any) { l.log(LevelError, msg, args) }
+
+// Fatal logs at error level and exits with status 1 — the daemon
+// boot-error idiom. (On a nil logger it still exits.)
+func (l *Logger) Fatal(msg string, args ...any) {
+	l.log(LevelError, msg, args)
+	osExit(1)
+}
+
+// osExit is swappable so tests can assert Fatal behavior.
+var osExit = os.Exit
+
+// Printf adapts the logger to the printf-style logf hooks used by
+// phiwire.NewServer and the snapshotters; records land at warn level,
+// since those hooks only report connection and snapshot errors.
+func (l *Logger) Printf(format string, args ...any) {
+	if l == nil || !l.Enabled(LevelWarn) {
+		return
+	}
+	l.log(LevelWarn, fmt.Sprintf(format, args...), nil)
+}
+
+func pairs(args []any) []kv {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]kv, 0, (len(args)+1)/2)
+	for i := 0; i < len(args); i += 2 {
+		k, ok := args[i].(string)
+		if !ok {
+			k = fmt.Sprint(args[i])
+		}
+		var v any = "(missing)"
+		if i+1 < len(args) {
+			v = args[i+1]
+		}
+		out = append(out, kv{k, v})
+	}
+	return out
+}
+
+func (l *Logger) log(level Level, msg string, args []any) {
+	if l == nil || level < l.s.min {
+		return
+	}
+	fields := pairs(args)
+	s := l.s
+	ts := s.now().UTC()
+	var line []byte
+	if s.json {
+		line = renderJSON(ts, level, l.component, msg, l.bound, fields)
+	} else {
+		line = renderLogfmt(ts, level, l.component, msg, l.bound, fields)
+	}
+	s.mu.Lock()
+	s.w.Write(line)
+	s.mu.Unlock()
+}
+
+func renderLogfmt(ts time.Time, level Level, component, msg string, bound, fields []kv) []byte {
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(ts.Format(time.RFC3339Nano))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	if component != "" {
+		b.WriteString(" component=")
+		writeValue(&b, component)
+	}
+	b.WriteString(" msg=")
+	writeValue(&b, msg)
+	for _, f := range bound {
+		b.WriteByte(' ')
+		b.WriteString(f.k)
+		b.WriteByte('=')
+		writeValue(&b, fmt.Sprint(f.v))
+	}
+	for _, f := range fields {
+		b.WriteByte(' ')
+		b.WriteString(f.k)
+		b.WriteByte('=')
+		writeValue(&b, fmt.Sprint(f.v))
+	}
+	b.WriteByte('\n')
+	return []byte(b.String())
+}
+
+// writeValue writes a logfmt value, quoting only when needed.
+func writeValue(b *strings.Builder, v string) {
+	if v != "" && !strings.ContainsAny(v, " \t\n\"=") {
+		b.WriteString(v)
+		return
+	}
+	b.WriteString(strconv.Quote(v))
+}
+
+func renderJSON(ts time.Time, level Level, component, msg string, bound, fields []kv) []byte {
+	rec := make(map[string]any, 4+len(bound)+len(fields))
+	rec["ts"] = ts.Format(time.RFC3339Nano)
+	rec["level"] = level.String()
+	if component != "" {
+		rec["component"] = component
+	}
+	rec["msg"] = msg
+	for _, f := range bound {
+		rec[f.k] = jsonValue(f.v)
+	}
+	for _, f := range fields {
+		rec[f.k] = jsonValue(f.v)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		// Unmarshalable value: degrade to the message alone.
+		line, _ = json.Marshal(map[string]any{"ts": rec["ts"], "level": rec["level"], "msg": msg})
+	}
+	return append(line, '\n')
+}
+
+// jsonValue keeps primitives as-is and stringifies everything else, so
+// error values and durations render usefully.
+func jsonValue(v any) any {
+	switch v.(type) {
+	case string, bool, int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64, float32, float64, nil:
+		return v
+	default:
+		return fmt.Sprint(v)
+	}
+}

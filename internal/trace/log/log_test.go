@@ -1,0 +1,181 @@
+package log
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+func TestNilLoggerNoops(t *testing.T) {
+	var l *Logger
+	l.Info("ignored", "k", "v")
+	l.Error("ignored")
+	l.Printf("ignored %d", 1)
+	if l.Component("x") != nil || l.With("k", "v") != nil {
+		t.Fatal("nil logger derived a non-nil child")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger claims enabled")
+	}
+}
+
+func TestLogfmtOutput(t *testing.T) {
+	var buf strings.Builder
+	l := New(&buf, LevelDebug, WithClock(fixedClock())).Component("cluster").With("shard", 3)
+	l.Info("snapshot written", "path", "/var/lib/phi", "dur", 150*time.Millisecond)
+	line := buf.String()
+	for _, want := range []string{
+		"ts=2026-08-06T12:00:00Z", "level=info", "component=cluster",
+		"msg=\"snapshot written\"", "shard=3", "path=/var/lib/phi", "dur=150ms",
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("logfmt line missing %q:\n%s", want, line)
+		}
+	}
+}
+
+func TestLogfmtQuoting(t *testing.T) {
+	var buf strings.Builder
+	l := New(&buf, LevelDebug, WithClock(fixedClock()))
+	l.Warn("a b", "k", `say "hi" = ok`)
+	line := buf.String()
+	if !strings.Contains(line, `msg="a b"`) || !strings.Contains(line, `k="say \"hi\" = ok"`) {
+		t.Fatalf("quoting wrong:\n%s", line)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf strings.Builder
+	l := New(&buf, LevelDebug, WithJSON(), WithClock(fixedClock())).Component("phiwire")
+	l.Error("read failed", "err", errors.New("conn reset"), "conns", 4)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &rec); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if rec["level"] != "error" || rec["component"] != "phiwire" ||
+		rec["msg"] != "read failed" || rec["err"] != "conn reset" || rec["conns"] != float64(4) {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf strings.Builder
+	l := New(&buf, LevelWarn, WithClock(fixedClock()))
+	l.Debug("no")
+	l.Info("no")
+	l.Warn("yes")
+	l.Error("yes")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("emitted %d lines, want 2:\n%s", got, buf.String())
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelWarn) {
+		t.Fatal("Enabled disagrees with filtering")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+func TestPrintfAdapter(t *testing.T) {
+	var buf strings.Builder
+	l := New(&buf, LevelInfo, WithClock(fixedClock())).Component("phiwire")
+	l.Printf("phiwire: read from %v: %v", "1.2.3.4:5", errors.New("eof"))
+	line := buf.String()
+	if !strings.Contains(line, "level=warn") || !strings.Contains(line, "1.2.3.4:5") {
+		t.Fatalf("printf adapter line:\n%s", line)
+	}
+	// Below the sink minimum it must not even format.
+	quiet := New(&buf, LevelError)
+	before := buf.Len()
+	quiet.Printf("dropped %d", 1)
+	if buf.Len() != before {
+		t.Fatal("Printf emitted below min level")
+	}
+}
+
+func TestOddArgsPairing(t *testing.T) {
+	var buf strings.Builder
+	l := New(&buf, LevelDebug, WithClock(fixedClock()))
+	l.Info("m", "lonely")
+	if !strings.Contains(buf.String(), `lonely=(missing)`) {
+		t.Fatalf("odd args not paired:\n%s", buf.String())
+	}
+}
+
+func TestFatalExits(t *testing.T) {
+	old := osExit
+	defer func() { osExit = old }()
+	var code int
+	osExit = func(c int) { code = c }
+	var buf strings.Builder
+	l := New(&buf, LevelInfo, WithClock(fixedClock()))
+	l.Fatal("boom", "err", "x")
+	if code != 1 {
+		t.Fatalf("Fatal exited with %d", code)
+	}
+	if !strings.Contains(buf.String(), "level=error") {
+		t.Fatalf("Fatal line:\n%s", buf.String())
+	}
+}
+
+func TestConcurrentWritesInterleaveByLine(t *testing.T) {
+	var buf syncBuffer
+	l := New(&buf, LevelDebug)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Info("line", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=line") {
+			t.Fatalf("torn line: %q", line)
+		}
+	}
+}
+
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,291 @@
+// Package trace is lightweight per-request span tracing for the
+// context-server data path: trace/span IDs minted at the client,
+// propagated over the phiwire protocol, and recorded at every layer the
+// request crosses (client dial/request, frontend routing and failover,
+// shard handling).
+//
+// The design follows the same always-cheap discipline as the telemetry
+// package, in the spirit of Dapper-style production tracing:
+//
+//  1. A nil *Tracer is a complete no-op — Start returns a zero Span and
+//     End returns immediately, with zero allocation, so an untraced
+//     deployment pays one nil check per span site.
+//  2. The record path is lock-free: finished spans are written into
+//     per-core-count sharded ring buffers of fixed-size, atomics-only
+//     slots (a seqlock per slot guards against torn reads). No maps, no
+//     allocation, no formatting.
+//  3. Retention is tail-based: the keep/drop decision is made when a
+//     trace's local root span ends, so error traces and the slowest N
+//     are always kept while the boring bulk is sampled probabilistically.
+//     Only retained traces pay for assembly (a ring scan plus one
+//     allocation) — the interesting tail is expensive, the common case
+//     is not.
+//
+// Span names and notes are interned Refs registered at package init
+// time, so the hot path stores small integers, never strings; error
+// messages are interned lazily on the (rare) error path.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end request; zero means "not traced".
+// IDs are minted by the client that originates the request and
+// propagated over the wire, so client- and server-side collectors can be
+// joined on the ID.
+type TraceID uint64
+
+// SpanID identifies one span within a trace; zero means "none".
+type SpanID uint64
+
+// SpanContext is the propagated part of a span: enough to parent a child
+// span locally or remotely. It is a small value, passed by copy.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 }
+
+// Ref is an interned span name or note. Register names at init time with
+// Name; the zero Ref renders as "".
+type Ref uint16
+
+// refOverflow is returned once the intern table is full, so a
+// pathological error storm cannot grow memory without bound.
+const refOverflow Ref = 1
+
+// baseNames seeds the intern table. It is a plain var (not an init
+// func) so Name is safe to call from package-level var initializers in
+// any package, including this one's tests — Go's initialization
+// dependency analysis orders it before any such call.
+var baseNames = []string{"", "<overflow>"}
+
+// nameTable interns span names and notes (and, lazily, error strings).
+// Reads on the hot path are index lookups into an append-only slice
+// published through an atomic pointer; writes (registration, rare error
+// interning) take a lock.
+var nameTable = struct {
+	mu    sync.Mutex
+	index map[string]Ref
+	names atomic.Pointer[[]string]
+}{index: map[string]Ref{"": 0, "<overflow>": refOverflow}}
+
+// loadNames returns the published intern slice (the seed table until
+// the first registration stores a copy).
+func loadNames() []string {
+	if p := nameTable.names.Load(); p != nil {
+		return *p
+	}
+	return baseNames
+}
+
+// maxInterned bounds the intern table; past it, new strings collapse to
+// the overflow entry.
+const maxInterned = 1024
+
+// Name interns s and returns its Ref. Call from package-level var
+// initializers, not hot paths.
+func Name(s string) Ref {
+	nameTable.mu.Lock()
+	defer nameTable.mu.Unlock()
+	if r, ok := nameTable.index[s]; ok {
+		return r
+	}
+	cur := loadNames()
+	if len(cur) >= maxInterned {
+		return refOverflow
+	}
+	next := make([]string, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = s
+	r := Ref(len(cur))
+	nameTable.index[s] = r
+	nameTable.names.Store(&next)
+	return r
+}
+
+// lookupRef resolves a Ref to its string ("" for zero or unknown).
+func lookupRef(r Ref) string {
+	names := loadNames()
+	if int(r) < len(names) {
+		return names[r]
+	}
+	return ""
+}
+
+// internErr interns an error's message. Only called on error paths.
+func internErr(err error) Ref {
+	if err == nil {
+		return 0
+	}
+	return Name(err.Error())
+}
+
+// Span flag bits.
+const (
+	flagError     = 1 << 0 // span ended with a non-nil error
+	flagLocalRoot = 1 << 1 // ending this span completes the local trace
+	flagRemote    = 1 << 2 // parent span lives in another process
+)
+
+// NoShard is the shard attribute of spans not tied to a shard.
+const NoShard = -1
+
+// Tracer mints IDs and records finished spans into its Collector. A nil
+// *Tracer disables tracing entirely (zero-allocation no-ops).
+type Tracer struct {
+	col  *Collector
+	seed uint64
+	ctr  atomic.Uint64
+}
+
+// NewTracer creates a tracer with its own collector. cfg zero values
+// select defaults.
+func NewTracer(cfg Config) *Tracer {
+	return &Tracer{
+		col:  NewCollector(cfg),
+		seed: uint64(time.Now().UnixNano()) | 1,
+	}
+}
+
+// Collector returns the tracer's collector (nil on a nil tracer).
+func (t *Tracer) Collector() *Collector {
+	if t == nil {
+		return nil
+	}
+	return t.col
+}
+
+// splitmix64 is a fast, well-distributed 64-bit mixer; with a per-tracer
+// seed and an atomic counter it yields unique-enough IDs with no locks
+// and no global PRNG.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (t *Tracer) nextID() uint64 {
+	id := splitmix64(t.seed + t.ctr.Add(1))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Span is one timed operation within a trace. It is a value: starting a
+// span allocates nothing, and End writes the finished record into the
+// collector. The zero Span (from a nil tracer) no-ops everywhere.
+type Span struct {
+	t      *Tracer
+	sc     SpanContext
+	parent SpanID
+	start  time.Time
+	name   Ref
+	note   Ref
+	shard  int32
+	flags  uint8
+}
+
+// Start begins a span. An invalid parent starts a new trace whose local
+// root this span is; a valid parent starts a child span in the parent's
+// trace. On a nil tracer it returns the zero Span.
+func (t *Tracer) Start(parent SpanContext, name Ref) Span {
+	if t == nil {
+		return Span{}
+	}
+	sp := Span{t: t, name: name, shard: NoShard, start: time.Now()}
+	if parent.Valid() {
+		sp.sc = SpanContext{Trace: parent.Trace, Span: SpanID(t.nextID())}
+		sp.parent = parent.Span
+	} else {
+		sp.sc = SpanContext{Trace: TraceID(t.nextID()), Span: SpanID(t.nextID())}
+		sp.flags = flagLocalRoot
+	}
+	return sp
+}
+
+// StartRemote begins the local root span of a trace that originated in
+// another process: the trace ID is adopted from the wire and the remote
+// span becomes the parent, but ending this span completes the *local*
+// trace and triggers the retention decision. An invalid context falls
+// back to starting a fresh local trace (a server can trace requests from
+// clients that do not).
+func (t *Tracer) StartRemote(parent SpanContext, name Ref) Span {
+	if t == nil {
+		return Span{}
+	}
+	if !parent.Valid() {
+		return t.Start(SpanContext{}, name)
+	}
+	return Span{
+		t:      t,
+		sc:     SpanContext{Trace: parent.Trace, Span: SpanID(t.nextID())},
+		parent: parent.Span,
+		name:   name,
+		shard:  NoShard,
+		flags:  flagLocalRoot | flagRemote,
+		start:  time.Now(),
+	}
+}
+
+// Context returns the span's propagation context (zero on a no-op span),
+// used both to parent local children and as the wire trace header.
+func (s *Span) Context() SpanContext { return s.sc }
+
+// Note attaches an interned annotation (e.g. "failover") to the span and
+// marks the trace interesting, so tail retention keeps it even if the
+// root span itself succeeds quickly.
+func (s *Span) Note(note Ref) {
+	if s.t == nil {
+		return
+	}
+	s.note = note
+	s.t.col.markInteresting(s.sc.Trace)
+}
+
+// SetShard attaches a shard id attribute.
+func (s *Span) SetShard(shard int) {
+	if s.t == nil {
+		return
+	}
+	s.shard = int32(shard)
+}
+
+// End finishes the span, recording it (and err, if any) into the
+// collector. Ending a local root span triggers the tail-based retention
+// decision for the whole locally observed trace.
+func (s *Span) End(err error) {
+	if s.t == nil {
+		return
+	}
+	col := s.t.col
+	rec := spanRecord{
+		trace:  s.sc.Trace,
+		span:   s.sc.Span,
+		parent: s.parent,
+		name:   s.name,
+		note:   s.note,
+		shard:  s.shard,
+		flags:  s.flags,
+		start:  s.start.UnixNano(),
+		dur:    time.Since(s.start).Nanoseconds(),
+	}
+	if err != nil {
+		rec.flags |= flagError
+		rec.errRef = internErr(err)
+		if rec.flags&flagLocalRoot == 0 {
+			col.markInteresting(s.sc.Trace)
+		}
+	}
+	col.record(&rec)
+	if rec.flags&flagLocalRoot != 0 {
+		col.finishTrace(&rec, err)
+	}
+}

@@ -1,0 +1,317 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	opRoot  = Name("test.root")
+	opChild = Name("test.child")
+	opNote  = Name("failover")
+)
+
+// keepAll retains every trace via sampling, so tests can assert on what
+// was recorded without racing the slow-heap floor.
+func keepAll() Config { return Config{SampleEvery: 1} }
+
+// retained merges every retention class (an unfilled slow-heap claims
+// traces before the sampler sees them).
+func retained(c *Collector) []*Trace {
+	var out []*Trace
+	out = append(out, c.Errors()...)
+	out = append(out, c.Slowest()...)
+	out = append(out, c.Sampled()...)
+	return out
+}
+
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(SpanContext{}, opRoot)
+	if sp.Context().Valid() {
+		t.Fatal("nil tracer produced a valid span context")
+	}
+	sp.Note(opNote)
+	sp.SetShard(3)
+	sp.End(errors.New("boom")) // must not panic
+	if tr.Collector() != nil {
+		t.Fatal("nil tracer has a collector")
+	}
+	if got := tr.Collector().Slowest(); got != nil {
+		t.Fatalf("nil collector returned traces: %v", got)
+	}
+}
+
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start(SpanContext{}, opRoot)
+		child := tr.Start(sp.Context(), opChild)
+		child.End(nil)
+		sp.End(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %v times per span pair, want 0", allocs)
+	}
+}
+
+func TestSpanParenting(t *testing.T) {
+	tr := NewTracer(keepAll())
+	root := tr.Start(SpanContext{}, opRoot)
+	child := tr.Start(root.Context(), opChild)
+	if child.Context().Trace != root.Context().Trace {
+		t.Fatal("child span left the trace")
+	}
+	if child.Context().Span == root.Context().Span {
+		t.Fatal("child reused the root span ID")
+	}
+	child.End(nil)
+	root.End(nil)
+
+	all := retained(tr.Collector())
+	if len(all) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(all))
+	}
+	got := all[0]
+	if got.Root != "test.root" || len(got.Spans) != 2 {
+		t.Fatalf("trace = %+v", got)
+	}
+	var childInfo *SpanInfo
+	for i := range got.Spans {
+		if got.Spans[i].Name == "test.child" {
+			childInfo = &got.Spans[i]
+		}
+	}
+	if childInfo == nil {
+		t.Fatal("child span not assembled")
+	}
+	if childInfo.Parent == "" {
+		t.Fatal("child span lost its parent link")
+	}
+}
+
+func TestErrorTraceAlwaysKept(t *testing.T) {
+	tr := NewTracer(Config{SampleEvery: -1}) // sampling off: only tail rules
+	for i := 0; i < 10; i++ {
+		sp := tr.Start(SpanContext{}, opRoot)
+		sp.End(nil)
+	}
+	sp := tr.Start(SpanContext{}, opRoot)
+	sp.End(errors.New("shard down"))
+
+	errs := tr.Collector().Errors()
+	if len(errs) != 1 {
+		t.Fatalf("retained %d error traces, want 1", len(errs))
+	}
+	if errs[0].Err != "shard down" {
+		t.Fatalf("error message = %q", errs[0].Err)
+	}
+}
+
+func TestChildErrorMarksTraceInteresting(t *testing.T) {
+	tr := NewTracer(Config{SampleEvery: -1})
+	root := tr.Start(SpanContext{}, opRoot)
+	child := tr.Start(root.Context(), opChild)
+	child.End(errors.New("owner failed"))
+	root.End(nil) // root succeeded (failover), but the trace is interesting
+
+	errs := tr.Collector().Errors()
+	if len(errs) != 1 {
+		t.Fatalf("retained %d traces, want 1 (child error must retain the trace)", len(errs))
+	}
+	found := false
+	for _, sp := range errs[0].Spans {
+		if sp.Err == "owner failed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("child error lost in assembly: %+v", errs[0].Spans)
+	}
+}
+
+func TestNoteMarksTraceInteresting(t *testing.T) {
+	tr := NewTracer(Config{SampleEvery: -1})
+	root := tr.Start(SpanContext{}, opRoot)
+	child := tr.Start(root.Context(), opChild)
+	child.Note(opNote)
+	child.End(nil)
+	root.End(nil)
+
+	errs := tr.Collector().Errors()
+	if len(errs) != 1 {
+		t.Fatalf("noted trace not retained (got %d)", len(errs))
+	}
+	found := false
+	for _, sp := range errs[0].Spans {
+		if sp.Note == "failover" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("note lost in assembly: %+v", errs[0].Spans)
+	}
+}
+
+func TestSlowestRetention(t *testing.T) {
+	tr := NewTracer(Config{SampleEvery: -1, KeepSlowest: 2})
+	for _, d := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 3 * time.Millisecond, time.Microsecond} {
+		sp := tr.Start(SpanContext{}, opRoot)
+		sp.start = sp.start.Add(-d) // backdate instead of sleeping
+		sp.End(nil)
+	}
+	slow := tr.Collector().Slowest()
+	if len(slow) != 2 {
+		t.Fatalf("retained %d slow traces, want 2", len(slow))
+	}
+	if slow[0].DurUs < slow[1].DurUs {
+		t.Fatal("slowest not sorted descending")
+	}
+	if slow[0].DurUs < 4500 || slow[1].DurUs < 2500 {
+		t.Fatalf("kept the wrong traces: %v, %v us", slow[0].DurUs, slow[1].DurUs)
+	}
+}
+
+func TestStartRemoteAdoptsTrace(t *testing.T) {
+	client := NewTracer(keepAll())
+	server := NewTracer(keepAll())
+
+	csp := client.Start(SpanContext{}, opRoot)
+	ssp := server.StartRemote(csp.Context(), opChild)
+	if ssp.Context().Trace != csp.Context().Trace {
+		t.Fatal("remote span did not adopt the wire trace ID")
+	}
+	ssp.End(nil)
+	csp.End(nil)
+
+	st := retained(server.Collector())
+	ct := retained(client.Collector())
+	if len(st) != 1 || len(ct) != 1 {
+		t.Fatalf("server retained %d, client %d; want 1 and 1", len(st), len(ct))
+	}
+	if st[0].ID != ct[0].ID {
+		t.Fatalf("trace IDs diverged: server %s client %s", st[0].ID, ct[0].ID)
+	}
+	if !st[0].Spans[0].Remote {
+		t.Fatal("server root span not marked remote-parent")
+	}
+}
+
+func TestStartRemoteInvalidContextFallsBack(t *testing.T) {
+	tr := NewTracer(keepAll())
+	sp := tr.StartRemote(SpanContext{}, opRoot)
+	if !sp.Context().Valid() {
+		t.Fatal("StartRemote with invalid parent must start a fresh trace")
+	}
+	sp.End(nil)
+	if got := retained(tr.Collector()); len(got) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(got))
+	}
+}
+
+func TestConcurrentSpansRaceClean(t *testing.T) {
+	tr := NewTracer(Config{SampleEvery: 4, RingSize: 256, Rings: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				root := tr.Start(SpanContext{}, opRoot)
+				child := tr.Start(root.Context(), opChild)
+				child.SetShard(g)
+				if i%97 == 0 {
+					child.End(errors.New("spurious"))
+				} else {
+					child.End(nil)
+				}
+				root.End(nil)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			tr.Collector().Slowest()
+			tr.Collector().Errors()
+			tr.Collector().Sampled()
+		}
+	}()
+	wg.Wait()
+	<-done
+	finished, _ := tr.Collector().Stats()
+	if finished != 8*500 {
+		t.Fatalf("finished = %d, want %d", finished, 8*500)
+	}
+}
+
+func TestHandlerJSONAndText(t *testing.T) {
+	tr := NewTracer(keepAll())
+	root := tr.Start(SpanContext{}, opRoot)
+	child := tr.Start(root.Context(), opChild)
+	child.SetShard(2)
+	child.Note(opNote)
+	child.End(nil)
+	root.End(nil)
+
+	h := tr.Collector().Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	for _, key := range []string{"slowest", "errors", "sampled", "stats"} {
+		if _, ok := out[key]; !ok {
+			t.Fatalf("JSON missing %q: %s", key, rec.Body.String())
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?format=text", nil))
+	text := rec.Body.String()
+	if !strings.Contains(text, "test.root") || !strings.Contains(text, "note=failover") {
+		t.Fatalf("text view missing spans:\n%s", text)
+	}
+
+	// format=text must respect view. The noted trace is retained as an
+	// error-class trace, so view=errors shows it (with no section headers)
+	// and view=slowest renders empty instead of falling back to the
+	// default two-section layout.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?view=errors&format=text", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "test.root") || strings.Contains(body, "== slowest traces ==") {
+		t.Fatalf("view=errors text wrong:\n%s", body)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?view=slowest&format=text", nil))
+	if body := rec.Body.String(); strings.Contains(body, "test.root") {
+		t.Fatalf("view=slowest text rendered non-slow traces:\n%s", body)
+	}
+
+	// A nil collector must serve an empty-but-valid response.
+	rec = httptest.NewRecorder()
+	(*Collector)(nil).Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil collector handler status = %d", rec.Code)
+	}
+}
+
+func TestInternOverflowCollapses(t *testing.T) {
+	// Exhausting the intern table must degrade, not grow without bound.
+	for i := 0; i < maxInterned+100; i++ {
+		Name("overflow-test-" + string(rune('a'+i%26)) + "-" + time.Now().String())
+	}
+	r := Name("definitely-new-after-overflow")
+	if got := lookupRef(r); got != "<overflow>" && got != "definitely-new-after-overflow" {
+		t.Fatalf("overflow ref resolved to %q", got)
+	}
+}
