@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race cover test test-short bench bench-smoke fuzz-smoke load trace-demo experiments experiments-full examples clean
+.PHONY: all build vet race cover test test-short bench bench-smoke fuzz-smoke load trace-demo health-demo experiments experiments-full examples clean
 
 all: build vet race
 
@@ -83,6 +83,31 @@ trace-demo:
 	curl -s 'http://127.0.0.1:7732/debug/traces?view=errors&format=text' | head -40; \
 	echo "--- slowest traces ---"; \
 	curl -s 'http://127.0.0.1:7732/debug/traces?view=slowest&format=text' | head -20
+
+# Live health-monitoring demo (DESIGN.md §10): a 4-shard cluster with
+# the health monitor on, grid-structured load, and a mid-run fault that
+# silences one service/ISP/metro slice of the workload — the Figure 5
+# outage story played live. The server detects the volume dip, localizes
+# it, and surfaces it at /debug/health; phi-load polls that endpoint and
+# reports detection and time-to-detect in its JSON summary. The fault
+# lands after the monitor's warmup (10 x 1s buckets, so the baseline is
+# established) and past its diagnosis period (20 buckets, so
+# localization has the history it needs).
+health-demo:
+	$(GO) build -o /tmp/phi-health-cluster ./cmd/phi-cluster
+	$(GO) build -o /tmp/phi-health-load ./cmd/phi-load
+	/tmp/phi-health-cluster -listen 127.0.0.1:7731 -shards 4 \
+		-metrics-addr 127.0.0.1:7732 -health & \
+	CLUSTER=$$!; trap 'kill $$CLUSTER' EXIT; sleep 1; \
+	/tmp/phi-health-load -addr 127.0.0.1:7731 -mode open -rate 2000 \
+		-duration 40s -warmup 2s -paths 64 -grid 1x4x4 -seed 42 \
+		-fault-match isp-1/metro-1 -fault-after 24s -fault-for 12s \
+		-health-url http://127.0.0.1:7732/debug/health \
+		-out /tmp/phi-health-demo.json; \
+	echo "--- /debug/health after the run ---"; \
+	curl -s 'http://127.0.0.1:7732/debug/health?format=text'; \
+	echo "--- phi-load fault injection and detection summary ---"; \
+	sed -n '/"fault":/,$$p' /tmp/phi-health-demo.json
 
 # Regenerate every table and figure (coarse ~ minutes).
 experiments:

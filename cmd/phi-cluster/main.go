@@ -41,6 +41,13 @@
 //	                          trace headers are joined; routing, retry,
 //	                          failover, and degrade decisions land on
 //	                          spans at /debug/traces)
+//	-health                   run the live health monitor: streaming
+//	                          volume-dip detection and localization over
+//	                          the serving path, surfaced at /debug/health
+//	                          (JSON; ?format=text for a summary)
+//	-health-addr addr         also serve /debug/health on a dedicated
+//	                          address (implies -health)
+//	-health-bucket d          health rollup bucket width (default 1s)
 //	-log-level level          minimum log level: debug|info|warn|error
 //	-log-json                 emit logs as JSON lines (default logfmt)
 package main
@@ -56,6 +63,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/health"
 	"repro/internal/phi"
 	"repro/internal/phiwire"
 	"repro/internal/sim"
@@ -79,6 +87,9 @@ func main() {
 		policyPath  = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = telemetry off)")
 		traceOn     = flag.Bool("trace", false, "record request traces (view at /debug/traces on -metrics-addr)")
+		healthOn    = flag.Bool("health", false, "run the live health monitor (view at /debug/health on -metrics-addr or -health-addr)")
+		healthAddr  = flag.String("health-addr", "", "serve /debug/health on a dedicated address (implies -health)")
+		healthWin   = flag.Duration("health-bucket", time.Second, "health monitor rollup bucket width")
 		logLevel    = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
 		paths       pathFlags
@@ -124,6 +135,16 @@ func main() {
 		tracer = trace.NewTracer(trace.Config{})
 		cl.Trace(tracer)
 	}
+	var monitor *health.Monitor // nil likewise keeps health hooks no-ops
+	if *healthOn || *healthAddr != "" {
+		monitor = health.NewMonitor(health.Config{BucketDur: *healthWin, Shards: *shards})
+		monitor.SetLogger(logger.Component("health"))
+		monitor.SetTracer(tracer)
+		monitor.SetMetrics(health.NewMetrics(reg))
+		cl.Health(monitor) // frontend feeds ops, shard calls, routing, breakers
+		stop := monitor.Start()
+		defer stop()
+	}
 
 	stopSnapshots := func() {}
 	if *snapDir != "" {
@@ -149,15 +170,26 @@ func main() {
 	srv := phiwire.NewServer(cl.Frontend, logger.Component("phiwire").Printf)
 	srv.SetMetrics(phiwire.NewServerMetrics(reg))
 	srv.SetTracer(tracer)
+	srv.SetHealth(monitor)
 	if *metricsAddr != "" {
 		ms, err := telemetry.Serve(*metricsAddr, reg,
 			telemetry.Endpoint{Path: "/debug/traces", Handler: tracer.Collector().Handler()},
-			telemetry.Endpoint{Path: "/debug/shard", Handler: shardDebugHandler(cl, logger)})
+			telemetry.Endpoint{Path: "/debug/shard", Handler: shardDebugHandler(cl, logger)},
+			telemetry.Endpoint{Path: "/debug/health", Handler: monitor.Handler()})
 		if err != nil {
 			logger.Fatal("metrics server", "err", err)
 		}
 		defer ms.Close()
-		logger.Info("metrics server up", "addr", ms.Addr().String(), "tracing", *traceOn)
+		logger.Info("metrics server up", "addr", ms.Addr().String(), "tracing", *traceOn, "health", monitor != nil)
+	}
+	if *healthAddr != "" {
+		hs, err := telemetry.Serve(*healthAddr, nil,
+			telemetry.Endpoint{Path: "/debug/health", Handler: monitor.Handler()})
+		if err != nil {
+			logger.Fatal("health server", "err", err)
+		}
+		defer hs.Close()
+		logger.Info("health server up", "addr", hs.Addr().String())
 	}
 	policy := phi.DefaultPolicy()
 	if *policyPath != "" {

@@ -38,7 +38,10 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +70,11 @@ func main() {
 		warmup      = flag.Duration("warmup", 2*time.Second, "warmup length excluded from results")
 		paths       = flag.Int("paths", 64, "distinct path keys")
 		pathPrefix  = flag.String("path-prefix", "path-", "path key prefix")
+		grid        = flag.String("grid", "", "structure path keys over a SxIxM service/ISP/metro grid (e.g. 1x4x4): keys become svc-i/isp-j/metro-k/p-n, the slices the server's health monitor localizes over")
+		faultMatch  = flag.String("fault-match", "", "mid-run fault injection: suppress lifecycles whose path contains this substring (e.g. isp-1/metro-1)")
+		faultAfter  = flag.Duration("fault-after", 10*time.Second, "fault start, measured from run start (warmup included)")
+		faultFor    = flag.Duration("fault-for", 15*time.Second, "fault duration (0 = until the run ends)")
+		healthURL   = flag.String("health-url", "", "poll this /debug/health URL during the run and summarize detections (and time-to-detect) in the result")
 		skew        = flag.String("skew", "uniform", "path key distribution: uniform or zipf")
 		zipfS       = flag.Float64("zipf-s", 1.2, "zipf skew exponent (>1)")
 		meanBytes   = flag.Float64("mean-bytes", 1<<20, "mean synthetic transfer size reported at connection end")
@@ -107,6 +115,11 @@ func main() {
 		MeanBytes:   *meanBytes,
 		TimeoutS:    timeout.Seconds(),
 		Seed:        *seed,
+		Grid:        *grid,
+		FaultMatch:  *faultMatch,
+		FaultAfterS: faultAfter.Seconds(),
+		FaultForS:   faultFor.Seconds(),
+		HealthURL:   *healthURL,
 	}
 	if errs := cfg.validate(); len(errs) > 0 {
 		for _, e := range errs {
@@ -136,7 +149,7 @@ func main() {
 
 	// Fail fast if the server is unreachable before spinning anything up.
 	probe := phiwire.Dial(*addr, *timeout)
-	if _, err := probe.Lookup(phi.PathKey(*pathPrefix + "0")); err != nil {
+	if _, err := probe.Lookup(makeKeys(cfg, *pathPrefix)[0]); err != nil {
 		var se phiwire.ServerError
 		if !errors.As(err, &se) {
 			logger.Fatal("context server unreachable", "addr", *addr, "err", err)
@@ -202,6 +215,28 @@ type runConfig struct {
 	MeanBytes   float64 `json:"mean_bytes"`
 	TimeoutS    float64 `json:"timeout_s"`
 	Seed        int64   `json:"seed"`
+	Grid        string  `json:"grid,omitempty"`
+	FaultMatch  string  `json:"fault_match,omitempty"`
+	FaultAfterS float64 `json:"fault_after_s,omitempty"`
+	FaultForS   float64 `json:"fault_for_s,omitempty"`
+	HealthURL   string  `json:"health_url,omitempty"`
+}
+
+// parseGrid parses a SxIxM grid spec ("1x4x4") into its three
+// dimension sizes.
+func parseGrid(spec string) (dims [3]int, err error) {
+	parts := strings.Split(spec, "x")
+	if len(parts) != 3 {
+		return dims, fmt.Errorf("want SxIxM (e.g. 1x4x4), got %q", spec)
+	}
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return dims, fmt.Errorf("bad grid dimension %q in %q", p, spec)
+		}
+		dims[i] = n
+	}
+	return dims, nil
 }
 
 // validate checks every knob up front and returns all problems at once,
@@ -257,6 +292,22 @@ func (c runConfig) validate() []error {
 	}
 	if c.TimeoutS <= 0 {
 		fail("-timeout must be > 0 (got %vs)", c.TimeoutS)
+	}
+	if c.Grid != "" {
+		if _, err := parseGrid(c.Grid); err != nil {
+			fail("-grid: %v", err)
+		}
+	}
+	if c.FaultMatch != "" {
+		if c.FaultAfterS < 0 {
+			fail("-fault-after must be >= 0 (got %vs)", c.FaultAfterS)
+		}
+		if c.FaultForS < 0 {
+			fail("-fault-for must be >= 0 (got %vs)", c.FaultForS)
+		}
+		if c.FaultAfterS >= c.WarmupS+c.DurationS {
+			fail("-fault-after %vs is past the end of the run (%vs)", c.FaultAfterS, c.WarmupS+c.DurationS)
+		}
 	}
 	return errs
 }
@@ -344,16 +395,43 @@ type result struct {
 	DegradedTotal    uint64              `json:"degraded_total"`
 	Dropped          uint64              `json:"dropped_arrivals"`
 	Ops              map[string]opResult `json:"ops"`
+	Fault            *faultResult        `json:"fault,omitempty"`
+	Health           *healthResult       `json:"health,omitempty"`
+}
+
+// makeKeys builds the path key universe. With -grid SxIxM, keys are
+// structured as svc-i/isp-j/metro-k/p-n — the slice labels the
+// server-side health monitor aggregates over and localizes against
+// (internal/health.DefaultSlicer splits on "/"). Keys are spread
+// round-robin over the grid cells so every slice carries traffic.
+// Without -grid, keys are the flat prefix0..prefixN-1 series.
+func makeKeys(cfg runConfig, prefix string) []phi.PathKey {
+	keys := make([]phi.PathKey, cfg.Paths)
+	if cfg.Grid != "" {
+		dims, err := parseGrid(cfg.Grid) // validated before run start
+		if err != nil {
+			panic(err)
+		}
+		for i := range keys {
+			cell := i % (dims[0] * dims[1] * dims[2])
+			svc := cell % dims[0]
+			isp := (cell / dims[0]) % dims[1]
+			metro := cell / (dims[0] * dims[1]) % dims[2]
+			keys[i] = phi.PathKey(fmt.Sprintf("svc-%d/isp-%d/metro-%d/p-%d", svc, isp, metro, i))
+		}
+		return keys
+	}
+	for i := range keys {
+		keys[i] = phi.PathKey(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return keys
 }
 
 // pathPicker returns a per-goroutine path chooser (rand.Rand and
 // rand.Zipf are not concurrency-safe, so each worker gets its own,
 // seeded deterministically).
 func pathPicker(cfg runConfig, prefix string, workerSeed int64) func() phi.PathKey {
-	keys := make([]phi.PathKey, cfg.Paths)
-	for i := range keys {
-		keys[i] = phi.PathKey(fmt.Sprintf("%s%d", prefix, i))
-	}
+	keys := makeKeys(cfg, prefix)
 	rng := rand.New(rand.NewSource(workerSeed))
 	if cfg.Skew == "zipf" {
 		z := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Paths-1))
@@ -407,6 +485,179 @@ func lifecycle(tr *trace.Tracer, cl *phiwire.Client, path phi.PathKey, st *runSt
 	st.lifecycles.Add(1)
 }
 
+// faultCtl injects the mid-run fault: while active, lifecycles whose
+// path contains the match substring are suppressed before they reach
+// the wire — exactly the silent partial outage (a slice of the
+// workload going dark) the server-side health monitor exists to
+// detect and localize. drop is nil-safe so the hot loops pay one
+// branch when no fault is configured.
+type faultCtl struct {
+	match      string
+	active     atomic.Bool
+	suppressed atomic.Uint64
+	injectedAt atomic.Int64 // wall clock, unix nanos, set once at activation
+}
+
+func (f *faultCtl) drop(path phi.PathKey) bool {
+	if f == nil || !f.active.Load() || !strings.Contains(string(path), f.match) {
+		return false
+	}
+	f.suppressed.Add(1)
+	return true
+}
+
+// schedule arms the fault: after cfg.FaultAfterS (measured from run
+// start, warmup included) suppression turns on; after cfg.FaultForS
+// more it turns off again (0 = hold until the run ends).
+func (f *faultCtl) schedule(cfg runConfig, stop <-chan struct{}, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Duration(cfg.FaultAfterS * float64(time.Second))):
+		}
+		f.injectedAt.Store(time.Now().UnixNano())
+		f.active.Store(true)
+		if cfg.FaultForS == 0 {
+			return
+		}
+		select {
+		case <-stop:
+		case <-time.After(time.Duration(cfg.FaultForS * float64(time.Second))):
+		}
+		f.active.Store(false)
+	}()
+}
+
+// faultResult summarizes the injected fault in the JSON output.
+type faultResult struct {
+	Match                string  `json:"match"`
+	InjectedAtS          float64 `json:"injected_at_s"` // offset from run start
+	DurationS            float64 `json:"duration_s"`    // 0 = until run end
+	SuppressedLifecycles uint64  `json:"suppressed_lifecycles"`
+}
+
+// healthAnomaly mirrors the anomaly fields of the server's
+// /debug/health JSON that the watcher needs.
+type healthAnomaly struct {
+	ID           uint64    `json:"id"`
+	Scope        string    `json:"scope"`
+	StartedAt    time.Time `json:"started_at"`
+	Localization string    `json:"localization"`
+}
+
+// healthSnapshot is the subset of the /debug/health document we decode.
+type healthSnapshot struct {
+	Status string          `json:"status"`
+	Active []healthAnomaly `json:"active_anomalies"`
+	Recent []healthAnomaly `json:"recent_anomalies"`
+}
+
+// healthResult is the end-of-run detection summary: did the server's
+// monitor notice the fault we injected, how long did it take, and
+// where did it localize it.
+type healthResult struct {
+	URL            string  `json:"url"`
+	Polls          uint64  `json:"polls"`
+	PollErrors     uint64  `json:"poll_errors"`
+	FinalStatus    string  `json:"final_status,omitempty"`
+	AnomaliesSeen  int     `json:"anomalies_seen"`
+	FaultDetected  bool    `json:"fault_detected"`
+	DetectedScope  string  `json:"detected_scope,omitempty"`
+	Localization   string  `json:"localization,omitempty"`
+	TimeToDetectS  float64 `json:"time_to_detect_s,omitempty"`  // anomaly started_at - fault injection
+	TimeToObserveS float64 `json:"time_to_observe_s,omitempty"` // first poll showing it - fault injection
+}
+
+// healthWatcher polls /debug/health during the run, tracking every
+// distinct anomaly and the first one matching the injected fault.
+type healthWatcher struct {
+	url   string
+	fault *faultCtl
+
+	mu       sync.Mutex
+	res      healthResult
+	seen     map[uint64]struct{}
+	detected *healthAnomaly
+	firstObs time.Time // wall clock of the poll that first showed the match
+}
+
+func newHealthWatcher(url string, fault *faultCtl) *healthWatcher {
+	return &healthWatcher{url: url, fault: fault, seen: make(map[uint64]struct{}), res: healthResult{URL: url}}
+}
+
+func (w *healthWatcher) start(stop <-chan struct{}, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				w.poll() // final look so late detections still count
+				return
+			case <-tick.C:
+				w.poll()
+			}
+		}
+	}()
+}
+
+func (w *healthWatcher) poll() {
+	resp, err := http.Get(w.url)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.res.Polls++
+	if err != nil {
+		w.res.PollErrors++
+		return
+	}
+	var snap healthSnapshot
+	derr := json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if derr != nil {
+		w.res.PollErrors++
+		return
+	}
+	w.res.FinalStatus = snap.Status
+	for _, a := range append(snap.Active, snap.Recent...) {
+		a := a
+		w.seen[a.ID] = struct{}{}
+		// Credit the detection to the injected fault if the anomaly's
+		// scope or localization mentions the suppressed slice.
+		if w.fault != nil && w.detected == nil &&
+			(strings.Contains(a.Scope, w.fault.match) || strings.Contains(a.Localization, w.fault.match)) {
+			w.detected = &a
+			w.firstObs = time.Now()
+		}
+		if w.detected != nil && a.ID == w.detected.ID && a.Localization != "" {
+			w.detected.Localization = a.Localization // localization can arrive on a later sweep
+		}
+	}
+}
+
+// summary finalizes the watcher's result once the run is over.
+func (w *healthWatcher) summary() *healthResult {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.res.AnomaliesSeen = len(w.seen)
+	if w.detected != nil {
+		w.res.FaultDetected = true
+		w.res.DetectedScope = w.detected.Scope
+		w.res.Localization = w.detected.Localization
+		if inj := w.fault.injectedAt.Load(); inj != 0 {
+			injAt := time.Unix(0, inj)
+			w.res.TimeToDetectS = w.detected.StartedAt.Sub(injAt).Seconds()
+			w.res.TimeToObserveS = w.firstObs.Sub(injAt).Seconds()
+		}
+	}
+	r := w.res
+	return &r
+}
+
 func run(cfg runConfig, prefix string, tracer *trace.Tracer) *result {
 	warmStats := newRunStats()
 	mainStats := newRunStats()
@@ -418,6 +669,17 @@ func run(cfg runConfig, prefix string, tracer *trace.Tracer) *result {
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	startedAt := time.Now()
+
+	var fault *faultCtl
+	if cfg.FaultMatch != "" {
+		fault = &faultCtl{match: cfg.FaultMatch}
+		fault.schedule(cfg, stop, &wg)
+	}
+	var watcher *healthWatcher
+	if cfg.HealthURL != "" {
+		watcher = newHealthWatcher(cfg.HealthURL, fault)
+		watcher.start(stop, &wg)
+	}
 
 	switch cfg.Mode {
 	case "closed":
@@ -436,7 +698,15 @@ func run(cfg runConfig, prefix string, tracer *trace.Tracer) *result {
 						return
 					default:
 					}
-					lifecycle(tracer, cl, pick(), active.Load(), rng, cfg.MeanBytes)
+					path := pick()
+					if fault.drop(path) {
+						// Suppressed: the lifecycle never happens. Brief
+						// sleep so a worker stuck on a dark slice does
+						// not spin redrawing paths.
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					lifecycle(tracer, cl, path, active.Load(), rng, cfg.MeanBytes)
 				}
 			}(w)
 		}
@@ -464,8 +734,12 @@ func run(cfg runConfig, prefix string, tracer *trace.Tracer) *result {
 				for a := range queue {
 					st := active.Load()
 					st.queueWait.Observe(time.Since(a.at))
+					path := pick()
+					if fault.drop(path) {
+						continue // arrival consumed, lifecycle suppressed
+					}
 					cl := pool[next.Add(1)%uint64(len(pool))]
-					lifecycle(tracer, cl, pick(), st, rng, cfg.MeanBytes)
+					lifecycle(tracer, cl, path, st, rng, cfg.MeanBytes)
 				}
 			}(w)
 		}
@@ -538,7 +812,7 @@ func run(cfg runConfig, prefix string, tracer *trace.Tracer) *result {
 		errs += o.transport.Load()
 		degrades += o.server.Load()
 	}
-	return &result{
+	res := &result{
 		Tool:             "phi-load",
 		Config:           cfg,
 		StartedAt:        startedAt.UTC().Format(time.RFC3339),
@@ -551,4 +825,16 @@ func run(cfg runConfig, prefix string, tracer *trace.Tracer) *result {
 		Dropped:          st.dropped.Load(),
 		Ops:              ops,
 	}
+	if fault != nil {
+		res.Fault = &faultResult{
+			Match:                fault.match,
+			InjectedAtS:          cfg.FaultAfterS,
+			DurationS:            cfg.FaultForS,
+			SuppressedLifecycles: fault.suppressed.Load(),
+		}
+	}
+	if watcher != nil {
+		res.Health = watcher.summary()
+	}
+	return res
 }

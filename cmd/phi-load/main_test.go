@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -54,6 +55,12 @@ func TestValidateRejectsBadKnobs(t *testing.T) {
 		{"zipf one path", func(c *runConfig) { c.Skew = "zipf"; c.Paths = 1 }, "-paths >= 2"},
 		{"zero mean bytes", func(c *runConfig) { c.MeanBytes = 0 }, "-mean-bytes"},
 		{"negative timeout", func(c *runConfig) { c.TimeoutS = -2 }, "-timeout"},
+		{"grid too few dims", func(c *runConfig) { c.Grid = "4x4" }, "-grid"},
+		{"grid bad dim", func(c *runConfig) { c.Grid = "1xtwox4" }, "-grid"},
+		{"grid zero dim", func(c *runConfig) { c.Grid = "1x0x4" }, "-grid"},
+		{"fault after negative", func(c *runConfig) { c.FaultMatch = "isp-1"; c.FaultAfterS = -1 }, "-fault-after"},
+		{"fault for negative", func(c *runConfig) { c.FaultMatch = "isp-1"; c.FaultForS = -1 }, "-fault-for"},
+		{"fault after past run end", func(c *runConfig) { c.FaultMatch = "isp-1"; c.FaultAfterS = 10 }, "past the end"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -85,6 +92,68 @@ func TestValidateReportsAllProblemsAtOnce(t *testing.T) {
 	errs := cfg.validate()
 	if len(errs) < 3 {
 		t.Fatalf("want >= 3 accumulated errors, got %v", errs)
+	}
+}
+
+func TestMakeKeysGrid(t *testing.T) {
+	cfg := base()
+	cfg.Paths = 8
+	cfg.Grid = "1x2x2"
+	keys := makeKeys(cfg, "path-")
+	if len(keys) != 8 {
+		t.Fatalf("want 8 keys, got %d", len(keys))
+	}
+	// Keys round-robin the 4 grid cells, so each isp-j/metro-k slice
+	// gets exactly Paths/cells keys.
+	slices := map[string]int{}
+	for i, k := range keys {
+		parts := strings.Split(string(k), "/")
+		if len(parts) != 4 {
+			t.Fatalf("key %q: want svc/isp/metro/p structure", k)
+		}
+		if want := fmt.Sprintf("p-%d", i); parts[3] != want {
+			t.Fatalf("key %q: want leaf %q", k, want)
+		}
+		slices[parts[1]+"/"+parts[2]]++
+	}
+	if len(slices) != 4 {
+		t.Fatalf("want 4 distinct isp/metro slices, got %v", slices)
+	}
+	for s, n := range slices {
+		if n != 2 {
+			t.Fatalf("slice %s has %d keys, want 2", s, n)
+		}
+	}
+	// Without a grid, keys stay the flat prefix series.
+	cfg.Grid = ""
+	flat := makeKeys(cfg, "path-")
+	if string(flat[3]) != "path-3" {
+		t.Fatalf("flat key = %q, want path-3", flat[3])
+	}
+}
+
+func TestFaultCtlDrop(t *testing.T) {
+	var nilFault *faultCtl
+	if nilFault.drop("svc-0/isp-1/metro-1/p-5") {
+		t.Fatal("nil faultCtl dropped a path")
+	}
+	f := &faultCtl{match: "isp-1/metro-1"}
+	if f.drop("svc-0/isp-1/metro-1/p-5") {
+		t.Fatal("inactive fault dropped a path")
+	}
+	f.active.Store(true)
+	if !f.drop("svc-0/isp-1/metro-1/p-5") {
+		t.Fatal("active fault did not drop a matching path")
+	}
+	if f.drop("svc-0/isp-0/metro-1/p-2") {
+		t.Fatal("active fault dropped a non-matching path")
+	}
+	if got := f.suppressed.Load(); got != 1 {
+		t.Fatalf("suppressed count = %d, want 1", got)
+	}
+	f.active.Store(false)
+	if f.drop("svc-0/isp-1/metro-1/p-5") {
+		t.Fatal("cleared fault still dropping")
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/phi"
 	"repro/internal/phiwire"
 	"repro/internal/sim"
@@ -39,6 +40,9 @@ func main() {
 		policyPath  = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = telemetry off)")
 		traceOn     = flag.Bool("trace", false, "record request traces (view at /debug/traces on -metrics-addr)")
+		healthOn    = flag.Bool("health", false, "run the live health monitor (view at /debug/health on -metrics-addr or -health-addr)")
+		healthAddr  = flag.String("health-addr", "", "serve /debug/health on a dedicated address (implies -health)")
+		healthWin   = flag.Duration("health-bucket", time.Second, "health monitor rollup bucket width")
 		logLevel    = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
 		paths       pathFlags
@@ -65,6 +69,15 @@ func main() {
 	if *traceOn {
 		tracer = trace.NewTracer(trace.Config{})
 	}
+	var monitor *health.Monitor // nil likewise keeps health hooks no-ops
+	if *healthOn || *healthAddr != "" {
+		monitor = health.NewMonitor(health.Config{BucketDur: *healthWin})
+		monitor.SetLogger(logger.Component("health"))
+		monitor.SetTracer(tracer)
+		monitor.SetMetrics(health.NewMetrics(reg))
+		stop := monitor.Start()
+		defer stop()
+	}
 
 	backend := phi.NewServer(
 		func() sim.Time { return sim.Time(time.Now().UnixNano()) },
@@ -72,6 +85,7 @@ func main() {
 	)
 	backend.SetMetrics(phi.NewServerMetrics(reg, nil))
 	backend.SetTracer(tracer)
+	backend.SetHealth(monitor)
 	for _, p := range paths {
 		backend.RegisterPath(phi.PathKey(p.name), p.capacity)
 		logger.Info("registered path", "path", p.name, "capacity_bps", p.capacity)
@@ -80,14 +94,25 @@ func main() {
 	srv := phiwire.NewServer(backend, logger.Component("phiwire").Printf)
 	srv.SetMetrics(phiwire.NewServerMetrics(reg))
 	srv.SetTracer(tracer)
+	srv.SetHealth(monitor)
 	if *metricsAddr != "" {
 		ms, err := telemetry.Serve(*metricsAddr, reg,
-			telemetry.Endpoint{Path: "/debug/traces", Handler: tracer.Collector().Handler()})
+			telemetry.Endpoint{Path: "/debug/traces", Handler: tracer.Collector().Handler()},
+			telemetry.Endpoint{Path: "/debug/health", Handler: monitor.Handler()})
 		if err != nil {
 			logger.Fatal("metrics server", "err", err)
 		}
 		defer ms.Close()
-		logger.Info("metrics server up", "addr", ms.Addr().String(), "tracing", *traceOn)
+		logger.Info("metrics server up", "addr", ms.Addr().String(), "tracing", *traceOn, "health", monitor != nil)
+	}
+	if *healthAddr != "" {
+		hs, err := telemetry.Serve(*healthAddr, nil,
+			telemetry.Endpoint{Path: "/debug/health", Handler: monitor.Handler()})
+		if err != nil {
+			logger.Fatal("health server", "err", err)
+		}
+		defer hs.Close()
+		logger.Info("health server up", "addr", hs.Addr().String())
 	}
 	policy := phi.DefaultPolicy()
 	if *policyPath != "" {

@@ -23,6 +23,7 @@ package cluster
 import (
 	"time"
 
+	healthmon "repro/internal/health"
 	"repro/internal/phi"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -87,6 +88,15 @@ func (c *Cluster) Trace(t *trace.Tracer) {
 	for _, s := range c.Shards {
 		s.SetTracer(t)
 	}
+}
+
+// Health attaches the live health monitor to the frontend, which feeds
+// it accepted operations, per-shard call results, routing decisions,
+// and its breaker view. The monitor attaches at the frontend only —
+// shard-level phi.Servers see the same operations and would double
+// count. Call before the cluster starts serving.
+func (c *Cluster) Health(m *healthmon.Monitor) {
+	c.Frontend.SetHealth(m)
 }
 
 // SaveSnapshots writes every shard's snapshot under dir; the first error

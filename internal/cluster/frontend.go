@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	healthmon "repro/internal/health"
 	"repro/internal/phi"
 	"repro/internal/trace"
 )
@@ -131,6 +132,10 @@ type Frontend struct {
 	// tracer records routing spans (nil = untraced). Set before serving:
 	// the field is read without synchronization.
 	tracer *trace.Tracer
+
+	// hmon feeds the live health monitor (nil = unmonitored; Record
+	// methods are nil-safe). Set before serving.
+	hmon *healthmon.Monitor
 }
 
 // SetMetrics attaches (or detaches, with nil) the telemetry surface.
@@ -141,6 +146,23 @@ func (f *Frontend) SetMetrics(m *FrontendMetrics) { f.metrics = m }
 // SetTracer attaches (or detaches, with nil) the span tracer. Call
 // before the frontend starts serving.
 func (f *Frontend) SetTracer(t *trace.Tracer) { f.tracer = t }
+
+// SetHealth attaches (or detaches, with nil) the live health monitor
+// and installs the frontend's breaker view as its shard-status source.
+// Call before the frontend starts serving.
+func (f *Frontend) SetHealth(m *healthmon.Monitor) {
+	f.hmon = m
+	if m == nil {
+		return
+	}
+	m.SetShardStatus(func() []bool {
+		down := make([]bool, len(f.shards))
+		for i := range down {
+			down[i] = f.ShardDown(i)
+		}
+		return down
+	})
+}
 
 // NewFrontend builds a frontend over the given shard connections; the
 // ring must have exactly len(shards) shards.
@@ -222,6 +244,7 @@ func (f *Frontend) call(i int, parent trace.SpanContext, op func(i int, sc trace
 	if f.skippable(i) {
 		csp.Note(noteBreakerOpen)
 		csp.End(ErrShardDown)
+		f.hmon.RecordRouting(healthmon.RouteBreakerOpen)
 		return ErrShardDown
 	}
 	sc := csp.Context()
@@ -246,6 +269,7 @@ func (f *Frontend) call(i int, parent trace.SpanContext, op func(i int, sc trace
 		}
 	}
 	f.markResult(i, err)
+	f.hmon.RecordShardCall(i, err != nil)
 	if m != nil {
 		m.CallSeconds[i].Observe(time.Since(start))
 		if err != nil {
@@ -311,6 +335,8 @@ func (f *Frontend) LookupSpan(parent trace.SpanContext, path phi.PathKey) (phi.C
 	if m != nil {
 		m.Lookups.Inc()
 	}
+	f.hmon.RecordLookup(string(path))
+	f.hmon.RecordTrace(string(path), uint64(parent.Trace))
 	sp := f.tracer.Start(parent, opFrontLookup)
 	sc := spanOrParent(sp, parent)
 	owner, fb := f.ring.OwnerAndFallback(path)
@@ -329,12 +355,14 @@ func (f *Frontend) LookupSpan(parent trace.SpanContext, path phi.PathKey) (phi.C
 		if m != nil {
 			m.Retries.Inc()
 		}
+		f.hmon.RecordRouting(healthmon.RouteRetry)
 		sp.Note(noteRetry)
 		if err := f.call(fb, sc, get); err == nil {
 			f.failovers.Add(1)
 			if m != nil {
 				m.Failovers.Inc()
 			}
+			f.hmon.RecordRouting(healthmon.RouteFailover)
 			sp.Note(noteFailover)
 			sp.End(nil)
 			return ctx, nil
@@ -344,6 +372,7 @@ func (f *Frontend) LookupSpan(parent trace.SpanContext, path phi.PathKey) (phi.C
 	if m != nil {
 		m.Degraded.Inc()
 	}
+	f.hmon.RecordRouting(healthmon.RouteDegraded)
 	sp.Note(noteDegraded)
 	sp.End(ErrAllReplicasDown)
 	return phi.Context{}, ErrAllReplicasDown
@@ -397,6 +426,8 @@ func (f *Frontend) deliverReport(parent trace.SpanContext, name trace.Ref, path 
 	if m != nil {
 		m.Reports.Inc()
 	}
+	f.hmon.RecordReport(string(path))
+	f.hmon.RecordTrace(string(path), uint64(parent.Trace))
 	sp := f.tracer.Start(parent, name)
 	sc := spanOrParent(sp, parent)
 	owner, fb := f.ring.OwnerAndFallback(path)
@@ -418,12 +449,14 @@ func (f *Frontend) deliverReport(parent trace.SpanContext, name trace.Ref, path 
 		if m != nil {
 			m.Retries.Inc()
 		}
+		f.hmon.RecordRouting(healthmon.RouteRetry)
 		sp.Note(noteRetry)
 		if f.call(fb, sc, op) == nil {
 			f.failovers.Add(1)
 			if m != nil {
 				m.Failovers.Inc()
 			}
+			f.hmon.RecordRouting(healthmon.RouteFailover)
 			sp.Note(noteFailover)
 			sp.End(nil)
 			return nil
@@ -432,6 +465,7 @@ func (f *Frontend) deliverReport(parent trace.SpanContext, name trace.Ref, path 
 		if m != nil {
 			m.Degraded.Inc()
 		}
+		f.hmon.RecordRouting(healthmon.RouteDegraded)
 		sp.Note(noteDegraded)
 		sp.End(ErrAllReplicasDown)
 		return ErrAllReplicasDown

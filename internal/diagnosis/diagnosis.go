@@ -44,10 +44,19 @@ func (s Slice) value(dim string) string {
 	}
 }
 
-// Store holds minute-granularity request counts per slice over a fixed
-// horizon.
+// Store holds minute-granularity request counts per slice over a bounded
+// horizon. The horizon slides: adding at a minute past the end evicts the
+// oldest minutes, so a long-running feeder (the live health monitor) can
+// Add forever while the store stays a fixed-size rolling window. Offline
+// batch use is unchanged — minutes [0, Minutes) never slide.
+//
+// Store is NOT safe for concurrent use. Online feeders must confine it to
+// one goroutine (internal/health owns its store from the rotation
+// goroutine and copies under its own lock for snapshots); the offline
+// experiments build it single-threaded before analysis.
 type Store struct {
 	minutes int
+	start   int // absolute index of the window's first minute
 	series  map[Slice][]float64
 }
 
@@ -62,18 +71,50 @@ func NewStore(minutes int) *Store {
 // Minutes returns the horizon length.
 func (s *Store) Minutes() int { return s.minutes }
 
-// Add accumulates count requests for the slice at the given minute.
-// Out-of-range minutes are ignored.
+// Start returns the absolute minute index of the window's first bucket:
+// 0 until the window has slid, then it grows as old minutes are evicted.
+// Series()[i] holds minute Start()+i.
+func (s *Store) Start() int { return s.start }
+
+// Add accumulates count requests for the slice at the given (absolute)
+// minute. A minute before the window is ignored (already evicted); a
+// minute at or past the window's end slides the window forward, evicting
+// the oldest minutes from every slice.
 func (s *Store) Add(sl Slice, minute int, count float64) {
-	if minute < 0 || minute >= s.minutes {
+	if minute < s.start {
 		return
+	}
+	if minute >= s.start+s.minutes {
+		s.slide(minute - (s.start + s.minutes) + 1)
 	}
 	series, ok := s.series[sl]
 	if !ok {
 		series = make([]float64, s.minutes)
 		s.series[sl] = series
 	}
-	series[minute] += count
+	series[minute-s.start] += count
+}
+
+// slide advances the window by n minutes, evicting the oldest n buckets
+// of every slice. Eviction is a bounded in-place shift (no allocation);
+// it runs at most once per wall-clock bucket, off every hot path.
+func (s *Store) slide(n int) {
+	if n >= s.minutes {
+		for _, series := range s.series {
+			for i := range series {
+				series[i] = 0
+			}
+		}
+		s.start += n
+		return
+	}
+	for _, series := range s.series {
+		copy(series, series[n:])
+		for i := s.minutes - n; i < s.minutes; i++ {
+			series[i] = 0
+		}
+	}
+	s.start += n
 }
 
 // Slices returns the populated slices in a stable (sorted) order, so

@@ -11,13 +11,22 @@ func TestStoreAccumulates(t *testing.T) {
 	sl := Slice{Service: "video", ISP: "isp-1", Metro: "seattle"}
 	s.Add(sl, 3, 5)
 	s.Add(sl, 3, 2)
-	s.Add(sl, -1, 100) // ignored
-	s.Add(sl, 10, 100) // ignored
+	s.Add(sl, -1, 100) // before the window: ignored
 	if got := s.Series(sl)[3]; got != 7 {
 		t.Errorf("series[3] = %v, want 7", got)
 	}
 	if got := s.Total()[3]; got != 7 {
 		t.Errorf("total[3] = %v, want 7", got)
+	}
+	s.Add(sl, 10, 100) // one past the end: slides the window by one
+	if s.Start() != 1 {
+		t.Errorf("start = %d after sliding add, want 1", s.Start())
+	}
+	if got := s.Series(sl)[2]; got != 7 {
+		t.Errorf("minute 3 after slide = %v, want 7", got)
+	}
+	if got := s.Series(sl)[9]; got != 100 {
+		t.Errorf("minute 10 after slide = %v, want 100", got)
 	}
 	if len(s.Slices()) != 1 {
 		t.Errorf("slices = %d", len(s.Slices()))

@@ -1,0 +1,74 @@
+package diagnosis
+
+import "testing"
+
+// TestStoreSlidesWindow pins the online contract: adds past the horizon
+// evict the oldest minutes instead of being dropped, Start tracks the
+// eviction, and in-window history is preserved at shifted indexes.
+func TestStoreSlidesWindow(t *testing.T) {
+	sl := Slice{Service: "s", ISP: "i", Metro: "m"}
+	st := NewStore(4)
+	for minute := 0; minute < 4; minute++ {
+		st.Add(sl, minute, float64(minute+1)) // [1 2 3 4]
+	}
+	if st.Start() != 0 {
+		t.Fatalf("window slid during in-range adds: start=%d", st.Start())
+	}
+
+	// Minute 5 is two past the end: evict minutes 0 and 1.
+	st.Add(sl, 5, 6)
+	if st.Start() != 2 {
+		t.Fatalf("start=%d after sliding to minute 5, want 2", st.Start())
+	}
+	want := []float64{3, 4, 0, 6}
+	got := st.Series(sl)
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("series after slide = %v, want %v", got, want)
+		}
+	}
+
+	// An add before the window is an eviction no-op, not a corruption.
+	st.Add(sl, 1, 99)
+	if got := st.Series(sl); got[0] != 3 {
+		t.Fatalf("pre-window add mutated the series: %v", got)
+	}
+
+	// A jump far past the horizon zeroes everything cleanly.
+	st.Add(sl, 100, 7)
+	if st.Start() != 97 {
+		t.Fatalf("start=%d after jump to minute 100, want 97", st.Start())
+	}
+	want = []float64{0, 0, 0, 7}
+	got = st.Series(sl)
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("series after jump = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestStoreSlideCoversAllSlices ensures eviction is applied to every
+// slice, including ones not touched by the triggering Add.
+func TestStoreSlideCoversAllSlices(t *testing.T) {
+	a := Slice{Service: "a"}
+	b := Slice{Service: "b"}
+	st := NewStore(3)
+	st.Add(a, 0, 10)
+	st.Add(b, 0, 20)
+	st.Add(b, 2, 22)
+
+	st.Add(a, 3, 13) // slides by one; b is not mentioned but must shift too
+	if got := st.Series(b); got[0] != 0 || got[1] != 22 || got[2] != 0 {
+		t.Fatalf("untouched slice not slid: %v", got)
+	}
+	if got := st.Series(a); got[2] != 13 {
+		t.Fatalf("triggering slice misplaced: %v", got)
+	}
+
+	// Aggregations keep working on the slid window.
+	total := st.Total()
+	if total[1] != 22 || total[2] != 13 {
+		t.Fatalf("total on slid window = %v", total)
+	}
+}

@@ -1,0 +1,241 @@
+package health
+
+import (
+	"time"
+
+	"repro/internal/diagnosis"
+	"repro/internal/trace"
+)
+
+// rotate closes the current bucket: it swaps every slice's counter to
+// zero, feeds the sliding diagnosis store, recomputes shard rates, and
+// steps the streaming detectors. It runs once per BucketDur on the
+// rotation goroutine (tests call it directly with an injected clock).
+func (m *Monitor) rotate() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	now := m.cfg.Clock()
+	sec := m.bucketSec()
+
+	var total float64
+	for _, s := range m.all {
+		v := float64(s.cur.Swap(0))
+		total += v
+		s.rate = v / sec
+		m.store.Add(s.slice, m.tick, v)
+		m.observe(&s.det, s.key, s, v, now)
+	}
+	m.totalRate = total / sec
+	m.observe(&m.totalDet, "total", nil, total, now)
+
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.rate = float64(sh.calls.Swap(0)) / sec
+		sh.errRate = float64(sh.errs.Swap(0)) / sec
+	}
+
+	m.rotations++
+	if m.rotations%uint64(m.cfg.DiagnoseEvery) == 0 {
+		m.sweepLocked()
+	}
+	m.tick++
+}
+
+// observe steps one scope's detector with the bucket's event count.
+// sser is nil for the total scope.
+func (m *Monitor) observe(d *detector, scope string, sser *sliceSeries, count float64, now time.Time) {
+	cfg := &m.cfg
+	sec := m.bucketSec()
+
+	if a := d.active; a != nil {
+		a.ObservedRate = count / sec
+		if d.mean > 0 {
+			a.Depth = clamp01(1 - count/d.mean)
+		}
+		if count >= cfg.RecoverRatio*d.mean {
+			d.goodRun++
+			if d.goodRun >= cfg.RecoverBuckets {
+				m.closeAnomalyLocked(d, now)
+			}
+		} else {
+			d.goodRun = 0
+		}
+		return
+	}
+
+	minCount := cfg.MinRate * sec
+	anomalous := d.warm >= cfg.WarmupBuckets &&
+		d.mean >= minCount &&
+		count < cfg.DipRatio*d.mean &&
+		d.mean-count > cfg.ZThresh*d.sigma()
+	if anomalous {
+		d.badRun++
+		if d.badRun >= cfg.SustainBuckets {
+			m.openAnomalyLocked(d, scope, sser, count, now)
+		}
+		// Freeze the baseline on suspect buckets so the dip itself does
+		// not drag the expectation down toward the fault.
+		return
+	}
+	d.badRun = 0
+	if d.warm == 0 {
+		// Seed from the first observation: ramping the EWMA up from zero
+		// would bake the warmup transient into the variance estimate and
+		// deafen the detector for many windows.
+		d.mean = count
+	} else {
+		delta := count - d.mean
+		d.mean += cfg.Alpha * delta
+		d.variance = (1 - cfg.Alpha) * (d.variance + cfg.Alpha*delta*delta)
+	}
+	d.warm++
+}
+
+// openAnomalyLocked promotes a sustained dip to a first-class alert:
+// append to the active set, bump metrics, mark trace evidence, attempt
+// localization, and emit the structured alert record.
+func (m *Monitor) openAnomalyLocked(d *detector, scope string, sser *sliceSeries, count float64, now time.Time) {
+	sec := m.bucketSec()
+	m.nextID++
+	a := &Anomaly{
+		ID:           m.nextID,
+		Scope:        scope,
+		StartedAt:    now,
+		Active:       true,
+		BaselineRate: d.mean / sec,
+		ObservedRate: count / sec,
+		startTick:    m.tick - (m.cfg.SustainBuckets - 1),
+	}
+	if d.mean > 0 {
+		a.Depth = clamp01(1 - count/d.mean)
+	}
+	d.active = a
+	d.goodRun = 0
+	d.badRun = 0
+	m.active = append(m.active, a)
+
+	m.metrics.Anomalies.Inc()
+	m.metrics.Active.Set(float64(len(m.active)))
+	m.markEvidence(sser, now)
+	m.localizeLocked(a)
+	m.log.Warn("anomaly detected",
+		"id", a.ID,
+		"scope", a.Scope,
+		"baseline_rps", a.BaselineRate,
+		"observed_rps", a.ObservedRate,
+		"depth", a.Depth,
+		"localization", a.Localization,
+	)
+}
+
+// closeAnomalyLocked resolves the detector's active anomaly and moves it
+// to the recent ring.
+func (m *Monitor) closeAnomalyLocked(d *detector, now time.Time) {
+	a := d.active
+	d.active = nil
+	d.goodRun = 0
+	a.Active = false
+	a.EndedAt = now
+
+	for i, x := range m.active {
+		if x == a {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	m.recent = append(m.recent, a)
+	if over := len(m.recent) - m.cfg.RecentAnomalies; over > 0 {
+		m.recent = append(m.recent[:0], m.recent[over:]...)
+	}
+
+	m.metrics.Recoveries.Inc()
+	m.metrics.Active.Set(float64(len(m.active)))
+	m.log.Info("anomaly resolved",
+		"id", a.ID,
+		"scope", a.Scope,
+		"duration_s", now.Sub(a.StartedAt).Seconds(),
+		"localization", a.Localization,
+	)
+}
+
+// markEvidence pins the evidence traces of an anomaly's scope: the last
+// trace seen on each affected slice is marked interesting immediately,
+// and the slice keeps marking its traced requests for EvidenceWindow so
+// the requests around the incident survive tail sampling. A nil sser
+// means a total-scope anomaly: every slice is evidence.
+func (m *Monitor) markEvidence(sser *sliceSeries, now time.Time) {
+	col := m.tracer.Collector()
+	until := now.Add(m.cfg.EvidenceWindow).UnixNano()
+	mark := func(s *sliceSeries) {
+		s.markUntil.Store(until)
+		if tid := s.lastTrace.Load(); tid != 0 {
+			col.MarkInteresting(trace.TraceID(tid))
+		}
+	}
+	if sser != nil {
+		mark(sser)
+		return
+	}
+	for _, s := range m.all {
+		mark(s)
+	}
+}
+
+// localizeLocked runs diagnosis.Localize over the rolling window for the
+// anomaly's span. It needs at least one full seasonal period of same-
+// phase history before the baseline is meaningful; until then the
+// anomaly stays unlocalized and the periodic sweep retries.
+func (m *Monitor) localizeLocked(a *Anomaly) {
+	start := a.startTick - m.store.Start()
+	if start < 0 {
+		start = 0
+	}
+	if start < m.cfg.DiagnosisPeriod {
+		return
+	}
+	end := m.tick - m.store.Start() + 1
+	ev := diagnosis.Event{Start: start, End: end}
+	loc := diagnosis.Localize(m.store, ev, diagnosis.LocalizeConfig{
+		Period:       m.cfg.DiagnosisPeriod,
+		PinThreshold: m.cfg.PinThreshold,
+	})
+	if len(loc.Pinned) == 0 {
+		return
+	}
+	if a.Localization == "" {
+		m.metrics.Localized.Inc()
+	}
+	a.Localization = loc.String()
+	a.Pinned = loc.Pinned
+	a.Coverage = loc.Coverage
+}
+
+// sweepLocked is the periodic diagnosis pass: re-run the offline
+// detector over the rolling total series (the live rendition of the
+// Figure 5 confirmation) and re-localize active anomalies, whose
+// attribution sharpens as the dip extends.
+func (m *Monitor) sweepLocked() {
+	m.diagRuns++
+	m.diagLast = diagnosis.Detect(m.store.Total(), diagnosis.DetectConfig{
+		Ratio:  m.cfg.DiagnosisRatio,
+		MinLen: m.cfg.SustainBuckets,
+		Period: m.cfg.DiagnosisPeriod,
+	})
+	for _, a := range m.active {
+		m.localizeLocked(a)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

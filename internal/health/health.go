@@ -1,0 +1,523 @@
+// Package health is the live health-monitoring pipeline over the Phi
+// serving path: it ingests data-path events (lookups, reports, routing
+// decisions, connection churn), maintains bounded windowed rollups per
+// workload slice and per shard, and runs online detectors over those
+// windows — an EWMA/z-score volume-dip detector per slice plus the
+// offline diagnosis machinery (diagnosis.Detect / diagnosis.Localize)
+// re-run continuously on the rolling window, so the Figure 5 outage
+// story (detect an unreachability event from a volume dip, localize it
+// to a service/ISP/metro slice) plays out live against real traffic.
+//
+// Detections are first-class alert events: they are logged as structured
+// records through internal/trace/log, counted and gauged in the
+// telemetry registry, and they mark the affected slice's traces
+// "interesting" so tail-based retention keeps the evidence around the
+// incident. A /debug/health endpoint (see Handler) snapshots the whole
+// picture: overall status, per-shard rates and breaker state, top-K hot
+// slices, and active and recent anomalies with their localization.
+//
+// The ingestion side follows the repo's hot-path rules (the same ones
+// internal/telemetry obeys): every Record method on a nil *Monitor is a
+// no-op, so uninstrumented deployments pay one nil check; on a live
+// monitor an event is one cache-friendly map lookup plus one atomic
+// add — no time arithmetic, no locks, no allocation. All bucketing
+// happens on a single rotation goroutine that fires once per BucketDur,
+// swaps the current-bucket atomics to zero, feeds the sliding
+// diagnosis.Store, and runs the detectors.
+package health
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/diagnosis"
+	"repro/internal/trace"
+	tlog "repro/internal/trace/log"
+)
+
+// RoutingEvent classifies a frontend routing decision worth counting.
+type RoutingEvent uint8
+
+const (
+	// RouteRetry: a shard call failed and was retried on the same owner.
+	RouteRetry RoutingEvent = iota
+	// RouteFailover: a call moved to the fallback shard.
+	RouteFailover
+	// RouteDegraded: the frontend answered degraded (synthesized context).
+	RouteDegraded
+	// RouteBreakerOpen: a call skipped a shard because its breaker was open.
+	RouteBreakerOpen
+
+	numRoutingEvents
+)
+
+func (e RoutingEvent) String() string {
+	switch e {
+	case RouteRetry:
+		return "retry"
+	case RouteFailover:
+		return "failover"
+	case RouteDegraded:
+		return "degraded"
+	case RouteBreakerOpen:
+		return "breaker_open"
+	default:
+		return "unknown"
+	}
+}
+
+// Slicer maps a path key to the diagnosis slice it belongs to. The
+// monitor aggregates per-slice, not per-path, so cardinality is bounded
+// by the workload's slice structure rather than its path space.
+type Slicer func(path string) diagnosis.Slice
+
+// DefaultSlicer interprets a path key's "/"-separated components as
+// service/ISP/metro (the structured keys phi-load's -grid mode emits,
+// e.g. "svc-0/isp-1/metro-2/p-3"). Unstructured keys become a
+// service-only slice, which still participates in detection.
+func DefaultSlicer(path string) diagnosis.Slice {
+	var sl diagnosis.Slice
+	parts := strings.SplitN(path, "/", 4)
+	sl.Service = parts[0]
+	if len(parts) > 1 {
+		sl.ISP = parts[1]
+	}
+	if len(parts) > 2 {
+		sl.Metro = parts[2]
+	}
+	return sl
+}
+
+// sliceKey renders the slice as a compact scope label.
+func sliceKey(sl diagnosis.Slice) string {
+	k := sl.Service
+	if sl.ISP != "" {
+		k += "/" + sl.ISP
+	}
+	if sl.Metro != "" {
+		k += "/" + sl.Metro
+	}
+	return k
+}
+
+// Config tunes the monitor. The zero value is usable: one-second
+// buckets, a two-minute window, and detector thresholds sized for the
+// load generator's default rates.
+type Config struct {
+	// BucketDur is the rollup bucket width (default 1s).
+	BucketDur time.Duration
+	// Buckets is the window length in buckets (default 120).
+	Buckets int
+	// Shards is the number of backend shards to track (0: no shard rollups).
+	Shards int
+	// Slicer maps path keys to slices (default DefaultSlicer).
+	Slicer Slicer
+
+	// Alpha is the EWMA smoothing factor for per-slice baselines
+	// (default 0.2).
+	Alpha float64
+	// ZThresh is the z-score a dip must exceed, with a Poisson
+	// (sqrt-of-mean) noise floor on sigma (default 3).
+	ZThresh float64
+	// DipRatio flags a bucket when observed < DipRatio * baseline
+	// (default 0.5).
+	DipRatio float64
+	// RecoverRatio closes an anomaly once observed >= RecoverRatio *
+	// baseline for RecoverBuckets buckets (default 0.8).
+	RecoverRatio float64
+	// MinRate (events/sec) is the baseline floor below which a slice is
+	// too quiet to alarm on (default 1).
+	MinRate float64
+	// WarmupBuckets is how many buckets a baseline must absorb before
+	// its detector can fire (default 10).
+	WarmupBuckets int
+	// SustainBuckets is how many consecutive anomalous buckets open an
+	// anomaly (default 3).
+	SustainBuckets int
+	// RecoverBuckets is how many consecutive recovered buckets close one
+	// (default 2).
+	RecoverBuckets int
+
+	// DiagnosisPeriod is the seasonal period, in buckets, handed to
+	// diagnosis.Detect/Localize on the rolling window (default
+	// Buckets/6, min 2).
+	DiagnosisPeriod int
+	// DiagnosisRatio is diagnosis.DetectConfig.Ratio for the rolling
+	// confirmation sweep (default 0.7).
+	DiagnosisRatio float64
+	// PinThreshold is the localization pin threshold; live windows are
+	// noisier than the offline experiment, so the default is 0.6.
+	PinThreshold float64
+	// DiagnoseEvery re-runs the diagnosis sweep and re-localizes active
+	// anomalies every N rotations (default 5).
+	DiagnoseEvery int
+
+	// EvidenceWindow is how long after an anomaly opens the affected
+	// slice's traced requests keep being marked interesting (default 30s).
+	EvidenceWindow time.Duration
+	// TopK is how many hot slices a snapshot lists (default 10).
+	TopK int
+	// RecentAnomalies is how many resolved anomalies are retained
+	// (default 32).
+	RecentAnomalies int
+
+	// Clock overrides time.Now (tests).
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.BucketDur <= 0 {
+		c.BucketDur = time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 120
+	}
+	if c.Slicer == nil {
+		c.Slicer = DefaultSlicer
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.2
+	}
+	if c.ZThresh == 0 {
+		c.ZThresh = 3
+	}
+	if c.DipRatio == 0 {
+		c.DipRatio = 0.5
+	}
+	if c.RecoverRatio == 0 {
+		c.RecoverRatio = 0.8
+	}
+	if c.MinRate == 0 {
+		c.MinRate = 1
+	}
+	if c.WarmupBuckets == 0 {
+		c.WarmupBuckets = 10
+	}
+	if c.SustainBuckets == 0 {
+		c.SustainBuckets = 3
+	}
+	if c.RecoverBuckets == 0 {
+		c.RecoverBuckets = 2
+	}
+	if c.DiagnosisPeriod == 0 {
+		c.DiagnosisPeriod = c.Buckets / 6
+		if c.DiagnosisPeriod < 2 {
+			c.DiagnosisPeriod = 2
+		}
+	}
+	if c.DiagnosisRatio == 0 {
+		c.DiagnosisRatio = 0.7
+	}
+	if c.PinThreshold == 0 {
+		c.PinThreshold = 0.6
+	}
+	if c.DiagnoseEvery == 0 {
+		c.DiagnoseEvery = 5
+	}
+	if c.EvidenceWindow == 0 {
+		c.EvidenceWindow = 30 * time.Second
+	}
+	if c.TopK == 0 {
+		c.TopK = 10
+	}
+	if c.RecentAnomalies == 0 {
+		c.RecentAnomalies = 32
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// sliceSeries is one slice's live state: a current-bucket atomic hit by
+// the ingestion hot path, and detector state owned by the rotation
+// goroutine (read under mu for snapshots).
+type sliceSeries struct {
+	key   string
+	slice diagnosis.Slice
+
+	cur       atomic.Int64  // events this bucket (hot path)
+	lastTrace atomic.Uint64 // most recent trace ID seen on this slice
+	markUntil atomic.Int64  // unix nanos; traces before this are evidence
+
+	det  detector // rotation goroutine only
+	rate float64  // last completed bucket, events/sec (under mu)
+}
+
+// shardSeries tracks one backend shard's call volume and error volume.
+type shardSeries struct {
+	calls atomic.Int64 // this bucket
+	errs  atomic.Int64
+
+	callsTotal atomic.Uint64
+	errsTotal  atomic.Uint64
+
+	rate    float64 // last bucket, calls/sec (under mu)
+	errRate float64
+}
+
+// detector is the per-scope EWMA/z-score streaming dip detector. All
+// fields are owned by the rotation goroutine.
+type detector struct {
+	mean     float64 // EWMA of per-bucket counts
+	variance float64 // EWMA of squared deviations
+	warm     int     // buckets absorbed into the baseline
+	badRun   int     // consecutive anomalous buckets
+	goodRun  int     // consecutive recovered buckets (while active)
+	active   *Anomaly
+}
+
+// Anomaly is one detected volume-dip episode, from detection until
+// RecoverBuckets of recovery, then retained in the recent ring.
+type Anomaly struct {
+	ID        uint64    `json:"id"`
+	Scope     string    `json:"scope"` // "total" or a slice key
+	StartedAt time.Time `json:"started_at"`
+	EndedAt   time.Time `json:"ended_at,omitempty"`
+	Active    bool      `json:"active"`
+
+	// BaselineRate is the frozen pre-dip EWMA, events/sec.
+	BaselineRate float64 `json:"baseline_rate_per_sec"`
+	// ObservedRate is the most recent bucket's rate, events/sec.
+	ObservedRate float64 `json:"observed_rate_per_sec"`
+	// Depth is the fractional deficit (1 = blackout), updated while active.
+	Depth float64 `json:"depth"`
+
+	// Localization is the diagnosis.Localize verdict over the rolling
+	// window ("" until enough same-phase history exists).
+	Localization string             `json:"localization,omitempty"`
+	Pinned       map[string]string  `json:"pinned,omitempty"`
+	Coverage     map[string]float64 `json:"coverage,omitempty"`
+
+	startTick int // absolute bucket index of the first anomalous bucket
+}
+
+// Monitor is the streaming health monitor. The zero value is not usable;
+// construct with NewMonitor. All Record methods are safe on a nil
+// receiver and safe for concurrent use.
+type Monitor struct {
+	cfg Config
+
+	log     *tlog.Logger
+	tracer  *trace.Tracer
+	metrics *Metrics
+
+	// shardStatus reports per-shard breaker state (true = down), set by
+	// the cluster frontend.
+	shardStatus atomic.Pointer[func() []bool]
+
+	startedAt time.Time
+
+	// Hot-path ingestion state.
+	lookups atomic.Uint64
+	reports atomic.Uint64
+	conns   atomic.Int64
+	routing [numRoutingEvents]atomic.Uint64
+	paths   sync.Map // path string -> *sliceSeries (memoized slicer)
+	slices  sync.Map // slice key string -> *sliceSeries
+	shards  []shardSeries
+
+	// Rotation + snapshot state, guarded by mu. The rotation goroutine
+	// is the only writer; Snapshot and Handler read.
+	mu        sync.Mutex
+	store     *diagnosis.Store
+	all       []*sliceSeries
+	tick      int // absolute index of the bucket being closed next
+	rotations uint64
+	totalDet  detector
+	totalRate float64
+	nextID    uint64
+	active    []*Anomaly
+	recent    []*Anomaly
+	diagRuns  uint64
+	diagLast  []diagnosis.Event // last confirmation sweep over Total()
+}
+
+// NewMonitor builds a monitor with the given configuration. Call Start
+// to begin rotation, and the Set* methods (before Start) to wire alert
+// fan-out.
+func NewMonitor(cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	return &Monitor{
+		cfg:       cfg,
+		metrics:   &Metrics{}, // nil handles no-op until SetMetrics
+		startedAt: cfg.Clock(),
+		shards:    make([]shardSeries, cfg.Shards),
+		store:     diagnosis.NewStore(cfg.Buckets),
+	}
+}
+
+// SetLogger directs alert records to l (component "health" is the
+// caller's choice; the monitor logs as given).
+func (m *Monitor) SetLogger(l *tlog.Logger) {
+	if m == nil {
+		return
+	}
+	m.log = l
+}
+
+// SetTracer wires the tracer whose collector receives evidence marks.
+func (m *Monitor) SetTracer(t *trace.Tracer) {
+	if m == nil {
+		return
+	}
+	m.tracer = t
+}
+
+// SetMetrics wires telemetry counters/gauges for alert fan-out.
+func (m *Monitor) SetMetrics(hm *Metrics) {
+	if m == nil || hm == nil {
+		return
+	}
+	m.metrics = hm
+}
+
+// SetShardStatus installs a callback reporting per-shard breaker state
+// (true = down). The cluster frontend installs its ShardDown view; safe
+// to call at any time, including after Start.
+func (m *Monitor) SetShardStatus(fn func() []bool) {
+	if m == nil || fn == nil {
+		return
+	}
+	m.shardStatus.Store(&fn)
+}
+
+// Start launches the rotation goroutine and returns an idempotent stop
+// function. Safe on a nil monitor (returns a no-op).
+func (m *Monitor) Start() (stop func()) {
+	if m == nil {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(m.cfg.BucketDur)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				m.rotate()
+			case <-stopCh:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopCh)
+			<-done
+		})
+	}
+}
+
+// RecordLookup ingests one context lookup for path.
+func (m *Monitor) RecordLookup(path string) {
+	if m == nil {
+		return
+	}
+	m.lookups.Add(1)
+	m.seriesFor(path).cur.Add(1)
+	m.metrics.Events.Inc()
+}
+
+// RecordReport ingests one usage report for path.
+func (m *Monitor) RecordReport(path string) {
+	if m == nil {
+		return
+	}
+	m.reports.Add(1)
+	m.seriesFor(path).cur.Add(1)
+	m.metrics.Events.Inc()
+}
+
+// RecordTrace notes that a traced request for path carried trace ID tid.
+// The ID is retained as the slice's evidence pointer; while the slice is
+// inside an anomaly's evidence window the trace is marked interesting so
+// tail-based retention keeps it.
+func (m *Monitor) RecordTrace(path string, tid uint64) {
+	if m == nil || tid == 0 {
+		return
+	}
+	s := m.seriesFor(path)
+	s.lastTrace.Store(tid)
+	if until := s.markUntil.Load(); until != 0 && m.cfg.Clock().UnixNano() < until {
+		m.tracer.Collector().MarkInteresting(trace.TraceID(tid))
+	}
+}
+
+// RecordShardCall ingests one backend shard call and whether it failed.
+func (m *Monitor) RecordShardCall(shard int, failed bool) {
+	if m == nil || shard < 0 || shard >= len(m.shards) {
+		return
+	}
+	s := &m.shards[shard]
+	s.calls.Add(1)
+	s.callsTotal.Add(1)
+	if failed {
+		s.errs.Add(1)
+		s.errsTotal.Add(1)
+	}
+}
+
+// RecordRouting counts one frontend routing event.
+func (m *Monitor) RecordRouting(ev RoutingEvent) {
+	if m == nil || ev >= numRoutingEvents {
+		return
+	}
+	m.routing[ev].Add(1)
+}
+
+// RecordConn tracks connection churn (+1 on accept, -1 on close).
+func (m *Monitor) RecordConn(delta int) {
+	if m == nil {
+		return
+	}
+	m.conns.Add(int64(delta))
+}
+
+// seriesFor resolves the slice series for a path, memoizing the slicer
+// verdict so the steady-state hot path is one sync.Map load plus one
+// atomic add.
+func (m *Monitor) seriesFor(path string) *sliceSeries {
+	if v, ok := m.paths.Load(path); ok {
+		return v.(*sliceSeries)
+	}
+	return m.seriesForSlow(path)
+}
+
+func (m *Monitor) seriesForSlow(path string) *sliceSeries {
+	sl := m.cfg.Slicer(path)
+	key := sliceKey(sl)
+	var s *sliceSeries
+	if v, ok := m.slices.Load(key); ok {
+		s = v.(*sliceSeries)
+	} else {
+		m.mu.Lock()
+		if v, ok := m.slices.Load(key); ok {
+			s = v.(*sliceSeries)
+		} else {
+			s = &sliceSeries{key: key, slice: sl}
+			m.slices.Store(key, s)
+			m.all = append(m.all, s)
+			m.metrics.Slices.Set(float64(len(m.all)))
+		}
+		m.mu.Unlock()
+	}
+	m.paths.Store(path, s)
+	return s
+}
+
+// bucketSec is the bucket width in seconds (rate denominators).
+func (m *Monitor) bucketSec() float64 { return m.cfg.BucketDur.Seconds() }
+
+// sigma returns the detector's noise estimate with a Poisson floor:
+// counting noise alone makes sigma at least sqrt(mean), so thin slices
+// do not alarm on shot noise even before the variance EWMA warms up.
+func (d *detector) sigma() float64 {
+	return math.Sqrt(math.Max(d.variance, d.mean))
+}

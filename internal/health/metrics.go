@@ -1,0 +1,34 @@
+package health
+
+import "repro/internal/telemetry"
+
+// Metrics are the monitor's telemetry handles. Alert fan-out touches
+// them on the rotation goroutine; only Events is on the ingestion hot
+// path. All handles are nil-safe, so an unwired monitor pays nothing.
+type Metrics struct {
+	// Events counts data-path events ingested (lookups + reports).
+	Events *telemetry.Counter
+	// Anomalies counts anomalies opened.
+	Anomalies *telemetry.Counter
+	// Recoveries counts anomalies resolved.
+	Recoveries *telemetry.Counter
+	// Localized counts anomalies that got a localization pin.
+	Localized *telemetry.Counter
+	// Active gauges currently-open anomalies.
+	Active *telemetry.Gauge
+	// Slices gauges distinct workload slices tracked.
+	Slices *telemetry.Gauge
+}
+
+// NewMetrics registers the monitor's metrics. A nil registry yields
+// nil handles throughout, which no-op.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Events:     reg.Counter("phi_health_events_total", "Data-path events ingested by the health monitor.", nil),
+		Anomalies:  reg.Counter("phi_health_anomalies_total", "Volume-dip anomalies detected.", nil),
+		Recoveries: reg.Counter("phi_health_recoveries_total", "Anomalies resolved after sustained recovery.", nil),
+		Localized:  reg.Counter("phi_health_localized_total", "Anomalies attributed to a slice by localization.", nil),
+		Active:     reg.Gauge("phi_health_anomalies_active", "Currently open anomalies.", nil),
+		Slices:     reg.Gauge("phi_health_slices_tracked", "Distinct workload slices tracked.", nil),
+	}
+}

@@ -1,0 +1,261 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Status values, in decreasing severity: an active anomaly wins, then a
+// tripped shard breaker, then an unwarmed baseline, then ok.
+const (
+	StatusAnomalous = "anomalous"
+	StatusDegraded  = "degraded"
+	StatusWarming   = "warming"
+	StatusOK        = "ok"
+)
+
+// Snapshot is one consistent view of the monitor, as served by
+// /debug/health.
+type Snapshot struct {
+	Status  string     `json:"status"`
+	Now     time.Time  `json:"now"`
+	UptimeS float64    `json:"uptime_s"`
+	Window  WindowInfo `json:"window"`
+
+	Totals  Totals        `json:"totals"`
+	Routing RoutingCounts `json:"routing"`
+	Shards  []ShardStatus `json:"shards,omitempty"`
+
+	// TopSlices are the hottest slices by last-bucket rate (up to TopK).
+	TopSlices []SliceStatus `json:"top_slices"`
+
+	Active []Anomaly `json:"active_anomalies"`
+	Recent []Anomaly `json:"recent_anomalies"`
+
+	Diagnosis DiagInfo `json:"diagnosis"`
+}
+
+// WindowInfo describes the rollup window geometry.
+type WindowInfo struct {
+	BucketMs      float64 `json:"bucket_ms"`
+	Buckets       int     `json:"buckets"`
+	Rotations     uint64  `json:"rotations"`
+	SlicesTracked int     `json:"slices_tracked"`
+}
+
+// Totals are whole-process counters plus the last bucket's rate.
+type Totals struct {
+	Lookups    uint64  `json:"lookups_total"`
+	Reports    uint64  `json:"reports_total"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	OpenConns  int64   `json:"open_conns"`
+}
+
+// RoutingCounts are cumulative frontend routing decisions.
+type RoutingCounts struct {
+	Retries     uint64 `json:"retries"`
+	Failovers   uint64 `json:"failovers"`
+	Degraded    uint64 `json:"degraded"`
+	BreakerOpen uint64 `json:"breaker_open"`
+}
+
+// ShardStatus is one backend shard's live view.
+type ShardStatus struct {
+	ID            int     `json:"id"`
+	RatePerSec    float64 `json:"rate_per_sec"`
+	ErrRatePerSec float64 `json:"err_rate_per_sec"`
+	Calls         uint64  `json:"calls_total"`
+	Errors        uint64  `json:"errors_total"`
+	BreakerOpen   bool    `json:"breaker_open"`
+}
+
+// SliceStatus is one workload slice's live view.
+type SliceStatus struct {
+	Slice              string  `json:"slice"`
+	RatePerSec         float64 `json:"rate_per_sec"`
+	BaselineRatePerSec float64 `json:"baseline_rate_per_sec"`
+	Anomalous          bool    `json:"anomalous"`
+}
+
+// DiagInfo summarizes the periodic diagnosis sweep over the rolling
+// total series.
+type DiagInfo struct {
+	Runs          uint64  `json:"runs"`
+	EventsLastRun int     `json:"events_last_run"`
+	LastDepth     float64 `json:"last_event_depth,omitempty"`
+}
+
+// Snapshot captures a consistent view. Safe on nil (zero Snapshot).
+func (m *Monitor) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	var down []bool
+	if fn := m.shardStatus.Load(); fn != nil {
+		down = (*fn)()
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	now := m.cfg.Clock()
+	snap := Snapshot{
+		Now:     now,
+		UptimeS: now.Sub(m.startedAt).Seconds(),
+		Window: WindowInfo{
+			BucketMs:      float64(m.cfg.BucketDur) / float64(time.Millisecond),
+			Buckets:       m.cfg.Buckets,
+			Rotations:     m.rotations,
+			SlicesTracked: len(m.all),
+		},
+		Totals: Totals{
+			Lookups:    m.lookups.Load(),
+			Reports:    m.reports.Load(),
+			RatePerSec: m.totalRate,
+			OpenConns:  m.conns.Load(),
+		},
+		Routing: RoutingCounts{
+			Retries:     m.routing[RouteRetry].Load(),
+			Failovers:   m.routing[RouteFailover].Load(),
+			Degraded:    m.routing[RouteDegraded].Load(),
+			BreakerOpen: m.routing[RouteBreakerOpen].Load(),
+		},
+	}
+
+	breakerOpen := false
+	for i := range m.shards {
+		sh := &m.shards[i]
+		st := ShardStatus{
+			ID:            i,
+			RatePerSec:    sh.rate,
+			ErrRatePerSec: sh.errRate,
+			Calls:         sh.callsTotal.Load(),
+			Errors:        sh.errsTotal.Load(),
+		}
+		if i < len(down) && down[i] {
+			st.BreakerOpen = true
+			breakerOpen = true
+		}
+		snap.Shards = append(snap.Shards, st)
+	}
+
+	top := make([]*sliceSeries, len(m.all))
+	copy(top, m.all)
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].rate != top[j].rate {
+			return top[i].rate > top[j].rate
+		}
+		return top[i].key < top[j].key
+	})
+	if len(top) > m.cfg.TopK {
+		top = top[:m.cfg.TopK]
+	}
+	sec := m.bucketSec()
+	for _, s := range top {
+		snap.TopSlices = append(snap.TopSlices, SliceStatus{
+			Slice:              s.key,
+			RatePerSec:         s.rate,
+			BaselineRatePerSec: s.det.mean / sec,
+			Anomalous:          s.det.active != nil,
+		})
+	}
+
+	// Anomaly structs are mutated under mu; copy the values out. The
+	// Pinned/Coverage maps are replaced wholesale by localization, never
+	// mutated in place, so sharing them with the copy is safe.
+	for _, a := range m.active {
+		snap.Active = append(snap.Active, *a)
+	}
+	for _, a := range m.recent {
+		snap.Recent = append(snap.Recent, *a)
+	}
+
+	snap.Diagnosis = DiagInfo{Runs: m.diagRuns, EventsLastRun: len(m.diagLast)}
+	if n := len(m.diagLast); n > 0 {
+		snap.Diagnosis.LastDepth = m.diagLast[n-1].Depth
+	}
+
+	switch {
+	case len(m.active) > 0:
+		snap.Status = StatusAnomalous
+	case breakerOpen:
+		snap.Status = StatusDegraded
+	case m.totalDet.warm < m.cfg.WarmupBuckets:
+		snap.Status = StatusWarming
+	default:
+		snap.Status = StatusOK
+	}
+	return snap
+}
+
+// Handler serves the monitor state as JSON (default) or a terminal-
+// friendly text summary (?format=text), following the /debug/traces
+// handler's conventions. Safe on a nil monitor (serves a zero snapshot).
+func (m *Monitor) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := m.Snapshot()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeText(w, &snap)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+}
+
+func writeText(w interface{ Write([]byte) (int, error) }, s *Snapshot) {
+	fmt.Fprintf(w, "health: %s  uptime %.0fs  window %d x %.0fms (%d rotations)\n",
+		s.Status, s.UptimeS, s.Window.Buckets, s.Window.BucketMs, s.Window.Rotations)
+	fmt.Fprintf(w, "totals: %d lookups, %d reports, %.1f ev/s, %d conns open\n",
+		s.Totals.Lookups, s.Totals.Reports, s.Totals.RatePerSec, s.Totals.OpenConns)
+	fmt.Fprintf(w, "routing: %d retries, %d failovers, %d degraded, %d breaker-open\n",
+		s.Routing.Retries, s.Routing.Failovers, s.Routing.Degraded, s.Routing.BreakerOpen)
+	for _, sh := range s.Shards {
+		state := "closed"
+		if sh.BreakerOpen {
+			state = "OPEN"
+		}
+		fmt.Fprintf(w, "shard %d: %.1f calls/s, %.1f errs/s, breaker %s (%d calls, %d errors)\n",
+			sh.ID, sh.RatePerSec, sh.ErrRatePerSec, state, sh.Calls, sh.Errors)
+	}
+	if len(s.TopSlices) > 0 {
+		fmt.Fprintf(w, "top slices (%d tracked):\n", s.Window.SlicesTracked)
+		for _, sl := range s.TopSlices {
+			flag := ""
+			if sl.Anomalous {
+				flag = "  ** ANOMALOUS **"
+			}
+			fmt.Fprintf(w, "  %-40s %8.1f ev/s (baseline %.1f)%s\n",
+				sl.Slice, sl.RatePerSec, sl.BaselineRatePerSec, flag)
+		}
+	}
+	writeAnomalies := func(label string, list []Anomaly) {
+		if len(list) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%s anomalies:\n", label)
+		for _, a := range list {
+			loc := a.Localization
+			if loc == "" {
+				loc = "unlocalized"
+			}
+			end := "ongoing"
+			if !a.Active {
+				end = fmt.Sprintf("ended %s", a.EndedAt.Format(time.RFC3339))
+			}
+			fmt.Fprintf(w, "  #%d %s: depth %.2f (%.1f -> %.1f ev/s), started %s, %s, %s\n",
+				a.ID, a.Scope, a.Depth, a.BaselineRate, a.ObservedRate,
+				a.StartedAt.Format(time.RFC3339), end, loc)
+		}
+	}
+	writeAnomalies("active", s.Active)
+	writeAnomalies("recent", s.Recent)
+	fmt.Fprintf(w, "diagnosis sweeps: %d runs, %d events last run\n",
+		s.Diagnosis.Runs, s.Diagnosis.EventsLastRun)
+}

@@ -1,0 +1,61 @@
+package phi
+
+// Benchmarks isolating the health-monitor overhead on the context
+// server's hot path. The disabled case (no monitor attached) is the
+// acceptance bar: it must be indistinguishable from the plain server —
+// the hook is a single nil check. The attached case adds one sync.Map
+// load plus two atomic adds (the monitor's ingestion path).
+
+import (
+	"testing"
+
+	"repro/internal/health"
+	"repro/internal/sim"
+)
+
+func benchHealthServer(attach bool) *Server {
+	var now sim.Time
+	s := NewServer(func() sim.Time { now += sim.Millisecond; return now }, ServerConfig{})
+	if attach {
+		// Not started: ingestion cost only, no rotation goroutine.
+		s.SetHealth(health.NewMonitor(health.Config{}))
+	}
+	return s
+}
+
+func benchHealthLookup(b *testing.B, attach bool) {
+	s := benchHealthServer(attach)
+	s.RegisterPath("p", 1e9)
+	if err := s.ReportStart("p"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Lookup("p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerLookupHealthDisabled(b *testing.B) { benchHealthLookup(b, false) }
+func BenchmarkServerLookupHealthAttached(b *testing.B) { benchHealthLookup(b, true) }
+
+func benchHealthReportCycle(b *testing.B, attach bool) {
+	s := benchHealthServer(attach)
+	s.RegisterPath("p", 1e9)
+	r := Report{Bytes: 1 << 16, Duration: 100 * sim.Millisecond, AvgRTT: 40 * sim.Millisecond, MinRTT: 30 * sim.Millisecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ReportStart("p"); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.ReportEnd("p", r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerReportCycleHealthDisabled(b *testing.B) { benchHealthReportCycle(b, false) }
+func BenchmarkServerReportCycleHealthAttached(b *testing.B) { benchHealthReportCycle(b, true) }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -61,7 +62,16 @@ type Server struct {
 	// tracer records per-operation spans (nil = untraced; same one-branch
 	// discipline as metrics). Set before serving.
 	tracer *trace.Tracer
+
+	// health feeds the live anomaly monitor (nil = unmonitored; its
+	// Record methods are nil-safe, so the hot path pays one branch).
+	// Set before serving.
+	health *health.Monitor
 }
+
+// SetHealth attaches (or detaches, with nil) the live health monitor.
+// Call before serving.
+func (s *Server) SetHealth(m *health.Monitor) { s.health = m }
 
 type timedReport struct {
 	at    sim.Time
@@ -147,6 +157,9 @@ func (s *Server) Lookup(path PathKey) (Context, error) {
 		m.Lookups.Inc()
 		m.LookupSeconds.Observe(time.Since(start))
 	}
+	if h := s.health; h != nil {
+		h.RecordLookup(string(path))
+	}
 	return ctx, nil
 }
 
@@ -165,6 +178,9 @@ func (s *Server) ReportStart(path PathKey) error {
 	if m != nil {
 		m.Reports.Inc()
 		m.ReportSeconds.Observe(time.Since(start))
+	}
+	if h := s.health; h != nil {
+		h.RecordReport(string(path))
 	}
 	return nil
 }
@@ -219,6 +235,9 @@ func (s *Server) report(path PathKey, r Report, end bool) error {
 	if m != nil {
 		m.Reports.Inc()
 		m.ReportSeconds.Observe(time.Since(start))
+	}
+	if h := s.health; h != nil {
+		h.RecordReport(string(path))
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	healthmon "repro/internal/health"
 	"repro/internal/phi"
 	"repro/internal/trace"
 )
@@ -77,6 +78,11 @@ type Server struct {
 	// frames are understood and answered regardless — the tracer only
 	// controls whether this process records spans of its own.
 	tracer *trace.Tracer
+
+	// health feeds connection churn and trace-evidence pointers to the
+	// live health monitor (nil = unmonitored; Record methods are
+	// nil-safe). Set before Serve.
+	health *healthmon.Monitor
 }
 
 // SetMetrics attaches (or detaches, with nil) the telemetry surface.
@@ -88,6 +94,10 @@ func (s *Server) SetMetrics(m *ServerMetrics) { s.metrics = m }
 // requests carrying a wire trace header join the client's trace, the
 // rest start server-local traces.
 func (s *Server) SetTracer(t *trace.Tracer) { s.tracer = t }
+
+// SetHealth attaches (or detaches, with nil) the live health monitor.
+// Call before Serve.
+func (s *Server) SetHealth(m *healthmon.Monitor) { s.health = m }
 
 // NewServer wraps backend for network service. logf, if non-nil, receives
 // connection-level errors; nil discards them.
@@ -185,6 +195,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	if m != nil {
 		m.OpenConns.Add(1)
 	}
+	s.health.RecordConn(1)
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
@@ -193,6 +204,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if m != nil {
 			m.OpenConns.Add(-1)
 		}
+		s.health.RecordConn(-1)
 		s.wg.Done()
 	}()
 	for {
@@ -268,6 +280,9 @@ func (s *Server) handle(payload []byte) ([]byte, trace.TraceID) {
 		if m != nil {
 			m.Lookups.Inc()
 		}
+		// Hand the monitor the trace-evidence pointer: the last trace ID
+		// seen per slice is what gets marked interesting on an anomaly.
+		s.health.RecordTrace(path, uint64(sp.Context().Trace))
 		return encodeContext(ctx), sp.Context().Trace
 	case MsgReportStart:
 		path, _, err := readString(body)

@@ -231,6 +231,18 @@ func (c *Collector) markInteresting(id TraceID) {
 	c.interesting[uint64(id)&511].Store(uint64(id))
 }
 
+// MarkInteresting flags a trace for tail retention from outside the span
+// API — the health monitor uses it to pin the evidence traces of a slice
+// whose volume just went anomalous, so the requests around an incident
+// survive sampling. Safe on a nil collector; a no-op for traces whose
+// local root already ended (retention is decided at root end).
+func (c *Collector) MarkInteresting(id TraceID) {
+	if c == nil {
+		return
+	}
+	c.markInteresting(id)
+}
+
 func (c *Collector) isInteresting(id TraceID) bool {
 	return c.interesting[uint64(id)&511].Load() == uint64(id)
 }
