@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race cover test test-short bench bench-smoke fuzz-smoke load trace-demo health-demo experiments experiments-full examples clean
+.PHONY: all build vet race cover test test-short bench bench-smoke bench-sim fuzz-smoke load trace-demo health-demo experiments experiments-full experiments-compare golden-manifest examples clean
 
 all: build vet race
 
@@ -109,13 +109,38 @@ health-demo:
 	echo "--- phi-load fault injection and detection summary ---"; \
 	sed -n '/"fault":/,$$p' /tmp/phi-health-demo.json
 
-# Regenerate every table and figure (coarse ~ minutes).
+# Simulator throughput benchmark: the fixed reference scenario with the
+# time-series probe detached vs attached, written to BENCH_sim.json
+# (engine events/sec per arm plus the overhead fraction; budget 5%).
+# Fixed seed so reruns are comparable.
+bench-sim:
+	$(GO) run ./cmd/phi-sim -senders 8 -duration 300s -seed 42 \
+		-probe-interval 100ms -bench-reps 12 -bench-out BENCH_sim.json
+
+# Regenerate every table and figure (coarse ~ minutes). Each run also
+# writes results/manifest_all.json; watch a run live with
+#   go run ./cmd/phi-experiments -run all -status-addr :9100
+# and curl http://localhost:9100/debug/experiments?format=text
 experiments:
 	$(GO) run ./cmd/phi-experiments -run all
 
 # Paper-scale configuration (full Table 2 grid, n = 8; slow).
 experiments-full:
 	$(GO) run ./cmd/phi-experiments -run all -full
+
+# Golden-manifest subset: the fast experiments CI re-runs on every push.
+GOLDEN_RUN = table1,table2,fig2a,fig5,sharing
+GOLDEN_MANIFEST = results/manifest_golden_coarse.json
+
+# Re-record the committed golden manifest (after an intentional change
+# to simulation results, review the metric diff before committing).
+golden-manifest:
+	$(GO) run ./cmd/phi-experiments -run $(GOLDEN_RUN) -manifest $(GOLDEN_MANIFEST)
+
+# Reproducibility check: re-run the golden configuration and fail if any
+# recorded metric drifts beyond tolerance (CI runs this on every push).
+experiments-compare:
+	$(GO) run ./cmd/phi-experiments -compare $(GOLDEN_MANIFEST)
 
 examples:
 	$(GO) run ./examples/quickstart

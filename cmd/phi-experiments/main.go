@@ -6,12 +6,20 @@
 //	phi-experiments -run all
 //	phi-experiments -run table3 -retrain
 //	phi-experiments -run fig2a,fig2b -full -csv out/
+//	phi-experiments -run all -status-addr :9100   # live /debug/experiments
+//	phi-experiments -compare results/manifest_golden_coarse.json
 //
 // By default experiments run in a coarse configuration that preserves the
 // paper's qualitative shapes in minutes; -full selects the paper-scale
 // grid (full Table 2 sweep, n = 8 runs, 100 long-running flows), which
 // takes considerably longer. With -csv, each experiment also writes the
 // series it plots as a CSV file for external plotting.
+//
+// Every run writes a manifest (results/manifest_<run>.json) recording
+// the configuration, toolchain, wall time, and each experiment's summary
+// metrics. -compare re-runs the configuration an archived manifest
+// records and exits non-zero if any metric drifts beyond -tolerance —
+// the regression check CI applies against a committed golden manifest.
 package main
 
 import (
@@ -20,103 +28,169 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
-func main() {
-	var (
-		runList = flag.String("run", "all", "comma-separated experiments: table1,table2,fig2a,fig2b,fig2c,fig3,fig4,deployment,table3,fig5,sharing,policy,ablations or 'all'")
-		full    = flag.Bool("full", false, "paper-scale configuration (much slower)")
-		seed    = flag.Int64("seed", 0, "seed offset for all runs")
-		retrain = flag.Bool("retrain", false, "retrain the Remy tables before Table 3 (slow)")
-		csvDir  = flag.String("csv", "", "also write each experiment's series as CSV into this directory")
-	)
-	flag.Parse()
+type flags struct {
+	runList    string
+	full       bool
+	seed       int64
+	retrain    bool
+	csvDir     string
+	workers    int
+	statusAddr string
+	resultsDir string
+	manifest   string
+	compare    string
+	tolerance  float64
+}
 
-	o := experiments.Options{Full: *full, Seed: *seed}
-	all := []string{"table1", "table2", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "table3", "fig5", "sharing", "ablations"}
-	var selected []string
-	if *runList == "all" {
-		selected = all
-	} else {
-		for _, name := range strings.Split(*runList, ",") {
-			selected = append(selected, strings.TrimSpace(strings.ToLower(name)))
-		}
+func parseFlags() flags {
+	var fl flags
+	flag.StringVar(&fl.runList, "run", "all",
+		"comma-separated experiments (see names below) or 'all'/'ablations'")
+	flag.BoolVar(&fl.full, "full", false, "paper-scale configuration (much slower)")
+	flag.Int64Var(&fl.seed, "seed", 0, "seed offset for all runs")
+	flag.BoolVar(&fl.retrain, "retrain", false, "retrain the Remy tables before Table 3 (slow)")
+	flag.StringVar(&fl.csvDir, "csv", "", "also write each experiment's series as CSV into this directory")
+	flag.IntVar(&fl.workers, "workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial; results are identical)")
+	flag.StringVar(&fl.statusAddr, "status-addr", "",
+		"serve /metrics and /debug/experiments (live phase, grid progress, ETA) on this address while running")
+	flag.StringVar(&fl.resultsDir, "results", "results", "directory for run manifests")
+	flag.StringVar(&fl.manifest, "manifest", "", "write the run manifest to this exact path (overrides -results)")
+	flag.StringVar(&fl.compare, "compare", "",
+		"re-run the configuration recorded in this manifest and fail on metric regressions (ignores -run/-full/-seed/-retrain)")
+	flag.Float64Var(&fl.tolerance, "tolerance", 0.05, "relative tolerance for -compare metric checks")
+	flag.Parse()
+	return fl
+}
+
+// validate checks every flag, collecting all errors so a misconfigured
+// invocation reports everything wrong at once, then exits 2.
+func validate(fl flags) ([]experiments.Experiment, experiments.Manifest) {
+	var errs []string
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
 	}
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+	var exps []experiments.Experiment
+	var archived experiments.Manifest
+	if fl.compare != "" {
+		m, err := experiments.ReadManifest(fl.compare)
+		if err != nil {
+			fail("-compare: %v", err)
+		} else if len(m.Results) == 0 {
+			fail("-compare: %s records no experiment results", fl.compare)
+		} else {
+			archived = m
+			exps, err = experiments.Resolve(strings.Join(m.Experiments, ","))
+			if err != nil {
+				fail("-compare: manifest %s: %v (was it written by an older build?)", fl.compare, err)
+			}
+		}
+	} else {
+		var err error
+		exps, err = experiments.Resolve(fl.runList)
+		if err != nil {
+			fail("-run: %v\n  valid names: %s", err, strings.Join(experiments.Names(), ", "))
+		}
+	}
+	if fl.workers < 0 {
+		fail("-workers must be >= 0, got %d", fl.workers)
+	}
+	if fl.tolerance < 0 || fl.tolerance >= 1 {
+		fail("-tolerance must be in [0, 1), got %g", fl.tolerance)
+	}
+	if flag.NArg() > 0 {
+		fail("unexpected arguments: %s", strings.Join(flag.Args(), " "))
+	}
+
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "phi-experiments: %s\n", e)
+		}
+		fmt.Fprintf(os.Stderr, "run 'phi-experiments -h' for usage\n")
+		os.Exit(2)
+	}
+	return exps, archived
+}
+
+// manifestPath derives results/manifest_<run>.json from the -run list.
+func manifestPath(fl flags) string {
+	if fl.manifest != "" {
+		return fl.manifest
+	}
+	name := strings.ToLower(fl.runList)
+	clean := strings.Map(func(r rune) rune {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			return r
+		}
+		return '-'
+	}, name)
+	clean = strings.Trim(clean, "-")
+	if clean == "" {
+		clean = "run"
+	}
+	return filepath.Join(fl.resultsDir, "manifest_"+clean+".json")
+}
+
+func main() {
+	fl := parseFlags()
+	exps, archived := validate(fl)
+
+	o := experiments.Options{Full: fl.full, Seed: fl.seed, Retrain: fl.retrain, Workers: fl.workers}
+	if fl.compare != "" {
+		o = archived.Options()
+		o.Workers = fl.workers
+	}
+
+	// Progress is always attached; -status-addr additionally exposes it
+	// (with the phi_experiments_* metrics) over HTTP while the run lasts.
+	var reg *telemetry.Registry
+	if fl.statusAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	o.Progress = experiments.NewProgress(reg)
+	if fl.statusAddr != "" {
+		srv, err := telemetry.Serve(fl.statusAddr, reg, telemetry.Endpoint{
+			Path: "/debug/experiments", Handler: o.Progress.Handler(),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phi-experiments: -status-addr: %v\n", err)
 			os.Exit(1)
 		}
-	}
-	exportCSV := func(name string, out fmt.Stringer) {
-		if *csvDir == "" {
-			return
-		}
-		cw, ok := out.(experiments.CSVWriter)
-		if !ok {
-			return
-		}
-		path := filepath.Join(*csvDir, name+".csv")
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "csv %s: %v\n", name, err)
-			return
-		}
-		defer f.Close()
-		if err := cw.WriteCSV(f); err != nil {
-			fmt.Fprintf(os.Stderr, "csv %s: %v\n", name, err)
-			return
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "status: http://%s/debug/experiments\n", srv.Addr())
 	}
 
-	for _, name := range selected {
-		var out fmt.Stringer
-		switch name {
-		case "table1":
-			out = experiments.Table1()
-		case "table2":
-			out = experiments.Table2(o)
-		case "fig2a":
-			out = experiments.Fig2a(o)
-		case "fig2b":
-			out = experiments.Fig2b(o)
-		case "fig2c":
-			out = experiments.Fig2c(o)
-		case "fig3":
-			out = experiments.Fig3(o)
-		case "fig4":
-			out = experiments.Fig4(o)
-		case "deployment":
-			out = experiments.DeploymentCurve(o)
-		case "table3":
-			out = experiments.Table3(o, *retrain)
-		case "fig5":
-			out = experiments.Fig5(o)
-		case "sharing":
-			out = experiments.Sharing(o)
-		case "policy":
-			out = experiments.BuildPolicy(o)
-		case "ablations":
-			cad := experiments.AblationCadence(o)
-			fmt.Println(cad)
-			exportCSV("ablation_cadence", cad)
-			buck := experiments.AblationBuckets(o)
-			fmt.Println(buck)
-			exportCSV("ablation_buckets", buck)
-			qd := experiments.AblationQueueDiscipline(o)
-			fmt.Println(qd)
-			exportCSV("ablation_queue_discipline", qd)
-			out = experiments.AblationTraining(o)
-			exportCSV("ablation_training", out)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			os.Exit(2)
+	h := &experiments.Harness{Opts: o, Out: os.Stdout, CSVDir: fl.csvDir, Log: os.Stderr}
+	begin := time.Now()
+	reports := h.Run(exps)
+	wall := time.Since(begin)
+	fresh := experiments.NewManifest(o, reports, wall)
+
+	if fl.compare != "" {
+		mismatches := experiments.CompareManifests(archived, fresh, fl.tolerance)
+		if len(mismatches) > 0 {
+			fmt.Fprintf(os.Stderr, "phi-experiments: %d metric(s) drifted beyond %.1f%% of %s:\n",
+				len(mismatches), 100*fl.tolerance, fl.compare)
+			for _, mm := range mismatches {
+				fmt.Fprintf(os.Stderr, "  %s\n", mm)
+			}
+			os.Exit(1)
 		}
-		exportCSV(name, out)
-		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "compare: fresh run matches %s (%d experiments, tolerance %.1f%%)\n",
+			fl.compare, len(fresh.Results), 100*fl.tolerance)
+		return
 	}
+
+	path := manifestPath(fl)
+	if err := fresh.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "phi-experiments: manifest: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }

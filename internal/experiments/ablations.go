@@ -75,24 +75,21 @@ func AblationCadence(o Options) AblationResult {
 	runs := o.runs()
 	out := AblationResult{Title: "Ablation: freshness of shared congestion state"}
 
-	runDefault := func() []workload.Result {
-		var rs []workload.Result
-		for i := 0; i < runs; i++ {
-			s := sc
-			s.Seed = 800 + o.Seed + int64(i)
-			s.CC = func(int) func() tcp.CongestionControl {
-				return func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) }
-			}
-			rs = append(rs, workload.Run(s))
+	runDefault := o.runParallel("cadence/no-sharing", runs, func(i int) workload.Scenario {
+		s := sc
+		s.Seed = 800 + o.Seed + int64(i)
+		s.CC = func(int) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) }
 		}
-		return rs
-	}
-	out.Rows = append(out.Rows, rowFromRuns("no sharing (defaults)", runDefault()))
+		return s
+	})
+	out.Rows = append(out.Rows, rowFromRuns("no sharing (defaults)", runDefault))
 
 	policy := phi.DefaultPolicy()
 	runServer := func(window sim.Time) []workload.Result {
-		var rs []workload.Result
-		for i := 0; i < runs; i++ {
+		// Each run gets its own server and clock hookup, so runs are
+		// independent and safe to execute concurrently.
+		return o.runParallel(fmt.Sprintf("cadence/server-%v", window), runs, func(i int) workload.Scenario {
 			s := sc
 			s.Seed = 800 + o.Seed + int64(i)
 			var eng *sim.Engine
@@ -108,34 +105,29 @@ func AblationCadence(o Options) AblationResult {
 			s.CC = func(int) func() tcp.CongestionControl { return client.CC() }
 			s.OnStart = func(_ int, flow sim.FlowID) { client.OnStart(flow) }
 			s.OnEnd = func(_ int, st *tcp.FlowStats) { client.OnEnd(st) }
-			rs = append(rs, workload.Run(s))
-		}
-		return rs
+			return s
+		})
 	}
 	for _, w := range []sim.Time{2 * sim.Second, 10 * sim.Second, 30 * sim.Second} {
 		out.Rows = append(out.Rows, rowFromRuns(
 			fmt.Sprintf("context server (%v window)", w), runServer(w)))
 	}
 
-	runOracle := func() []workload.Result {
-		var rs []workload.Result
-		for i := 0; i < runs; i++ {
-			s := sc
-			s.Seed = 800 + o.Seed + int64(i)
-			var probe *sim.RateProbe
-			s.OnTopology = func(e *sim.Engine, d *sim.Dumbbell) {
-				probe = sim.NewRateProbe(e, d.Bottleneck.Monitor(), 100*sim.Millisecond, sim.Second)
-			}
-			s.CC = func(int) func() tcp.CongestionControl {
-				return func() tcp.CongestionControl {
-					return tcp.NewCubic(policy.Params(phi.Context{U: probe.Utilization()}))
-				}
-			}
-			rs = append(rs, workload.Run(s))
+	runOracle := o.runParallel("cadence/oracle", runs, func(i int) workload.Scenario {
+		s := sc
+		s.Seed = 800 + o.Seed + int64(i)
+		var probe *sim.RateProbe
+		s.OnTopology = func(e *sim.Engine, d *sim.Dumbbell) {
+			probe = sim.NewRateProbe(e, d.Bottleneck.Monitor(), 100*sim.Millisecond, sim.Second)
 		}
-		return rs
-	}
-	out.Rows = append(out.Rows, rowFromRuns("oracle (continuous)", runOracle()))
+		s.CC = func(int) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl {
+				return tcp.NewCubic(policy.Params(phi.Context{U: probe.Utilization()}))
+			}
+		}
+		return s
+	})
+	out.Rows = append(out.Rows, rowFromRuns("oracle (continuous)", runOracle))
 	return out
 }
 
@@ -160,31 +152,30 @@ func AblationBuckets(o Options) AblationResult {
 
 	loads := []int{lowUtilSenders, highUtilSenders, 6}
 	runs := o.runs()
-	evalPolicy := func(pol *phi.Policy) []workload.Result {
-		var rs []workload.Result
-		for _, senders := range loads {
-			for i := 0; i < runs; i++ {
-				s := fig2Scenario(senders, o)
-				s.Seed = 900 + o.Seed + int64(i)
-				var probe *sim.RateProbe
-				s.OnTopology = func(e *sim.Engine, d *sim.Dumbbell) {
-					probe = sim.NewRateProbe(e, d.Bottleneck.Monitor(), 100*sim.Millisecond, sim.Second)
-				}
-				s.CC = func(int) func() tcp.CongestionControl {
-					return func() tcp.CongestionControl {
-						return tcp.NewCubic(pol.Params(phi.Context{U: probe.Utilization()}))
-					}
-				}
-				rs = append(rs, workload.Run(s))
+	evalPolicy := func(name string, pol *phi.Policy) []workload.Result {
+		// The loads x runs double loop, flattened so every run can go to
+		// its own worker; index order matches the serial nesting.
+		return o.runParallel("buckets/"+name, len(loads)*runs, func(j int) workload.Scenario {
+			senders, i := loads[j/runs], j%runs
+			s := fig2Scenario(senders, o)
+			s.Seed = 900 + o.Seed + int64(i)
+			var probe *sim.RateProbe
+			s.OnTopology = func(e *sim.Engine, d *sim.Dumbbell) {
+				probe = sim.NewRateProbe(e, d.Bottleneck.Monitor(), 100*sim.Millisecond, sim.Second)
 			}
-		}
-		return rs
+			s.CC = func(int) func() tcp.CongestionControl {
+				return func() tcp.CongestionControl {
+					return tcp.NewCubic(pol.Params(phi.Context{U: probe.Utilization()}))
+				}
+			}
+			return s
+		})
 	}
 
 	out := AblationResult{Title: "Ablation: context-bucketing granularity (mean over 3 load levels)"}
-	out.Rows = append(out.Rows, rowFromRuns("1 band (one size fits all)", evalPolicy(one)))
-	out.Rows = append(out.Rows, rowFromRuns("2 bands", evalPolicy(two)))
-	out.Rows = append(out.Rows, rowFromRuns("4 bands (default policy)", evalPolicy(full)))
+	out.Rows = append(out.Rows, rowFromRuns("1 band (one size fits all)", evalPolicy("1-band", one)))
+	out.Rows = append(out.Rows, rowFromRuns("2 bands", evalPolicy("2-band", two)))
+	out.Rows = append(out.Rows, rowFromRuns("4 bands (default policy)", evalPolicy("4-band", full)))
 	return out
 }
 
@@ -197,8 +188,8 @@ func AblationQueueDiscipline(o Options) AblationResult {
 	runs := o.runs()
 	out := AblationResult{Title: "Ablation: FIFO drop-tail vs RED under all-default senders"}
 	for _, disc := range []string{"fifo", "red"} {
-		var rs []workload.Result
-		for i := 0; i < runs; i++ {
+		disc := disc
+		rs := o.runParallel("qdisc/"+disc, runs, func(i int) workload.Scenario {
 			s := fig2Scenario(highUtilSenders, o)
 			s.Seed = 950 + o.Seed + int64(i)
 			if disc == "red" {
@@ -208,8 +199,8 @@ func AblationQueueDiscipline(o Options) AblationResult {
 			s.CC = func(int) func() tcp.CongestionControl {
 				return func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) }
 			}
-			rs = append(rs, workload.Run(s))
-		}
+			return s
+		})
 		out.Rows = append(out.Rows, rowFromRuns(disc, rs))
 	}
 	return out

@@ -21,7 +21,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/phi"
 	"repro/internal/sim"
@@ -39,6 +42,16 @@ type Options struct {
 	Full bool
 	// Seed offsets all run seeds.
 	Seed int64
+	// Workers bounds the number of simulations run concurrently. 0 uses
+	// GOMAXPROCS; 1 forces serial execution. Results are bit-identical
+	// regardless (every run is independently seeded and stored by index).
+	Workers int
+	// Retrain re-derives the Remy tables before Table 3 (slow).
+	Retrain bool
+	// Progress, when non-nil, receives live grid-point and experiment
+	// completion events (the /debug/experiments feed). Nil is fine: every
+	// Progress method no-ops on a nil receiver.
+	Progress *Progress
 }
 
 func (o Options) runs() int {
@@ -60,6 +73,52 @@ func (o Options) spec() phi.SweepSpec {
 		return phi.Table2Spec()
 	}
 	return phi.CoarseSpec()
+}
+
+// sweep executes a parameter sweep with the options' parallelism and
+// progress reporting attached. Method values on a nil *Progress are
+// valid no-ops, so the hooks are wired unconditionally.
+func (o Options) sweep(cfg phi.SweepConfig) *phi.SweepResult {
+	cfg.Parallelism = o.Workers
+	cfg.OnStart = o.Progress.AddPoints
+	cfg.OnPoint = o.Progress.SweepPoint
+	return phi.RunSweep(cfg)
+}
+
+// runParallel executes n independent scenario runs across the options'
+// workers, storing results by index so the output is bit-identical to
+// the serial loop it replaces. mk is called once per index, from worker
+// goroutines: it must derive everything run-local (seeds, probes,
+// servers) from i and capture no mutable state shared across indices.
+func (o Options) runParallel(label string, n int, mk func(i int) workload.Scenario) []workload.Result {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	o.Progress.AddPoints(n)
+	out := make([]workload.Result, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				begin := time.Now()
+				out[i] = workload.Run(mk(i))
+				o.Progress.PointDone(fmt.Sprintf("%s run %d", label, i), time.Since(begin))
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
 }
 
 // fig2Rate is the Figure 2 bottleneck rate. The paper specifies the
@@ -144,7 +203,7 @@ type SweepFigure struct {
 // Fig2a regenerates Figure 2a (low link utilization).
 func Fig2a(o Options) SweepFigure {
 	sc := fig2Scenario(lowUtilSenders, o)
-	res := phi.RunSweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 100 + o.Seed})
+	res := o.sweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 100 + o.Seed})
 	return SweepFigure{Name: "Figure 2a (low utilization)", Sweep: res,
 		Utilization: meanUtil(res)}
 }
@@ -152,7 +211,7 @@ func Fig2a(o Options) SweepFigure {
 // Fig2b regenerates Figure 2b (high link utilization).
 func Fig2b(o Options) SweepFigure {
 	sc := fig2Scenario(highUtilSenders, o)
-	res := phi.RunSweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 200 + o.Seed})
+	res := o.sweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 200 + o.Seed})
 	return SweepFigure{Name: "Figure 2b (high utilization)", Sweep: res,
 		Utilization: meanUtil(res)}
 }
@@ -171,7 +230,7 @@ func Fig2c(o Options) SweepFigure {
 		Duration:    o.duration(),
 		Warmup:      10 * sim.Second,
 	}
-	res := phi.RunSweep(phi.SweepConfig{Scenario: sc, Spec: phi.BetaOnlySpec(), Runs: o.runs(), BaseSeed: 300 + o.Seed})
+	res := o.sweep(phi.SweepConfig{Scenario: sc, Spec: phi.BetaOnlySpec(), Runs: o.runs(), BaseSeed: 300 + o.Seed})
 	return SweepFigure{Name: "Figure 2c (long-running connections)", Sweep: res,
 		Utilization: meanUtil(res)}
 }

@@ -22,7 +22,7 @@ func Fig3(o Options) Fig3Result {
 	if runs < 4 {
 		runs = 4 // leave-one-out needs enough runs to be meaningful
 	}
-	res := phi.RunSweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: runs, BaseSeed: 400 + o.Seed})
+	res := o.sweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: runs, BaseSeed: 400 + o.Seed})
 	return Fig3Result{LOO: res.LeaveOneOut()}
 }
 
@@ -69,7 +69,7 @@ func Fig4(o Options) Fig4Result {
 	sc := fig2Scenario(highUtilSenders, o)
 
 	// Find the cooperative optimum first (as the paper does).
-	sweep := phi.RunSweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 500 + o.Seed})
+	sweep := o.sweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 500 + o.Seed})
 	best := sweep.Best().Params
 
 	mixed := phi.RunMixed(phi.MixedConfig{
@@ -126,7 +126,7 @@ type DeploymentCurveResult struct {
 // modified fractions.
 func DeploymentCurve(o Options) DeploymentCurveResult {
 	sc := fig2Scenario(highUtilSenders+1, o) // 4 senders: fractions land on whole senders
-	sweep := phi.RunSweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 980 + o.Seed})
+	sweep := o.sweep(phi.SweepConfig{Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 980 + o.Seed})
 	best := sweep.Best().Params
 
 	var out DeploymentCurveResult

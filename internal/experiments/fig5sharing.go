@@ -199,7 +199,7 @@ func BuildPolicy(o Options) PolicyResult {
 		{1.01, 16},
 	} {
 		sc := fig2Scenario(cfg.senders, o)
-		bands[cfg.maxU] = phi.RunSweep(phi.SweepConfig{
+		bands[cfg.maxU] = o.sweep(phi.SweepConfig{
 			Scenario: sc, Spec: o.spec(), Runs: o.runs(), BaseSeed: 700 + o.Seed,
 		})
 	}

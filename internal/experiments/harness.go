@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Harness executes a resolved list of experiments in order, reporting
+// each phase and grid point to Options.Progress, streaming rendered
+// results, exporting CSV series, and collecting the per-experiment
+// reports a run manifest is built from.
+type Harness struct {
+	// Opts configures every experiment. Opts.Progress, when set, receives
+	// Plan/Start/Finish events around the per-sweep grid reporting.
+	Opts Options
+	// Out receives each experiment's rendered result (nil discards).
+	Out io.Writer
+	// CSVDir, when non-empty, receives <name>.csv for every result that
+	// exports series.
+	CSVDir string
+	// Log receives harness notices — CSV paths written, export failures
+	// (which do not abort the run). Nil discards.
+	Log io.Writer
+}
+
+// RunReport is one executed experiment.
+type RunReport struct {
+	Name        string
+	Output      fmt.Stringer
+	WallSeconds float64
+	// Metrics holds the result's summary scalars (nil when the result
+	// type reports none).
+	Metrics map[string]float64
+}
+
+// Run executes the experiments and returns one report per experiment.
+func (h *Harness) Run(exps []Experiment) []RunReport {
+	logf := func(format string, args ...any) {
+		if h.Log != nil {
+			fmt.Fprintf(h.Log, format+"\n", args...)
+		}
+	}
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.Name
+	}
+	h.Opts.Progress.Plan(names)
+
+	reports := make([]RunReport, 0, len(exps))
+	for _, e := range exps {
+		h.Opts.Progress.StartExperiment(e.Name)
+		begin := time.Now()
+		out := e.Run(h.Opts)
+		wall := time.Since(begin)
+		h.Opts.Progress.FinishExperiment(e.Name, wall)
+
+		if h.Out != nil {
+			fmt.Fprintln(h.Out, out)
+		}
+		if h.CSVDir != "" {
+			if cw, ok := out.(CSVWriter); ok {
+				path := filepath.Join(h.CSVDir, e.Name+".csv")
+				if err := exportCSVFile(path, cw); err != nil {
+					logf("csv %s: %v", e.Name, err)
+				} else {
+					logf("wrote %s", path)
+				}
+			}
+		}
+		rep := RunReport{Name: e.Name, Output: out, WallSeconds: wall.Seconds()}
+		if mr, ok := out.(MetricsReporter); ok {
+			rep.Metrics = mr.SummaryMetrics()
+		}
+		reports = append(reports, rep)
+	}
+	return reports
+}
+
+func exportCSVFile(path string, cw CSVWriter) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := cw.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Run manifests: every phi-experiments run records what was run (the
+// experiment list, seed, scale, grid), under which toolchain, how long
+// it took, and each experiment's summary metrics. An archived manifest
+// is a reproducibility contract: `phi-experiments -compare <manifest>`
+// re-runs the same configuration and fails if any recorded metric
+// drifts beyond tolerance — because every simulation is deterministic
+// in its seed, a correct rebuild matches the archive exactly.
+
+// Manifest is the serialized record of one run.
+type Manifest struct {
+	Experiments []string `json:"experiments"`
+	Seed        int64    `json:"seed"`
+	Full        bool     `json:"full"`
+	Retrain     bool     `json:"retrain,omitempty"`
+	// GridPoints and RunsPerPoint pin the sweep scale this configuration
+	// implies (coarse: 27 x 3, full: 576 x 8).
+	GridPoints   int     `json:"grid_points"`
+	RunsPerPoint int     `json:"runs_per_point"`
+	GoVersion    string  `json:"go_version"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Workers      int     `json:"workers"`
+
+	Results []ManifestResult `json:"results"`
+}
+
+// ManifestResult is one experiment's recorded outcome.
+type ManifestResult struct {
+	Name        string             `json:"name"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// NewManifest assembles the manifest for a completed run.
+func NewManifest(o Options, reports []RunReport, wall time.Duration) Manifest {
+	m := Manifest{
+		Seed:         o.Seed,
+		Full:         o.Full,
+		Retrain:      o.Retrain,
+		GridPoints:   len(o.spec().Points()),
+		RunsPerPoint: o.runs(),
+		GoVersion:    runtime.Version(),
+		WallSeconds:  wall.Seconds(),
+		Workers:      o.Workers,
+	}
+	for _, r := range reports {
+		m.Experiments = append(m.Experiments, r.Name)
+		m.Results = append(m.Results, ManifestResult{
+			Name: r.Name, WallSeconds: r.WallSeconds, Metrics: r.Metrics,
+		})
+	}
+	return m
+}
+
+// Options reconstructs the run configuration a -compare re-run must use.
+// Workers is deliberately not restored: parallelism does not affect
+// results, so the fresh run uses the caller's.
+func (m Manifest) Options() Options {
+	return Options{Full: m.Full, Seed: m.Seed, Retrain: m.Retrain}
+}
+
+// WriteFile writes the manifest as indented JSON (metric keys sorted by
+// encoding/json, so identical runs produce byte-identical files modulo
+// wall times).
+func (m Manifest) WriteFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadManifest loads an archived manifest.
+func ReadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Mismatch is one metric that differs between an archived manifest and a
+// fresh run beyond tolerance. Got is NaN when the fresh run is missing
+// the experiment or metric entirely.
+type Mismatch struct {
+	Experiment string
+	Metric     string
+	Want, Got  float64
+}
+
+func (m Mismatch) String() string {
+	if m.Metric == "(experiment)" {
+		return fmt.Sprintf("%s: experiment missing from fresh run", m.Experiment)
+	}
+	if math.IsNaN(m.Got) {
+		return fmt.Sprintf("%s/%s: recorded %g, missing from fresh run", m.Experiment, m.Metric, m.Want)
+	}
+	return fmt.Sprintf("%s/%s: recorded %g, fresh run %g", m.Experiment, m.Metric, m.Want, m.Got)
+}
+
+// CompareManifests checks a fresh run against an archived manifest:
+// every experiment and metric the archive records must be present and
+// within relative tolerance tol (values whose magnitudes are both below
+// 1e-9 compare equal). Extra experiments or metrics in the fresh run are
+// ignored — archives pin what they recorded, not what later code adds.
+// Mismatches are returned sorted by experiment then metric.
+func CompareManifests(archived, fresh Manifest, tol float64) []Mismatch {
+	var out []Mismatch
+	freshByName := make(map[string]ManifestResult)
+	for _, r := range fresh.Results {
+		freshByName[r.Name] = r
+	}
+	for _, want := range archived.Results {
+		got, ok := freshByName[want.Name]
+		if !ok {
+			out = append(out, Mismatch{Experiment: want.Name, Metric: "(experiment)", Want: math.NaN(), Got: math.NaN()})
+			continue
+		}
+		keys := make([]string, 0, len(want.Metrics))
+		for k := range want.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			w := want.Metrics[k]
+			g, ok := got.Metrics[k]
+			if !ok {
+				out = append(out, Mismatch{Experiment: want.Name, Metric: k, Want: w, Got: math.NaN()})
+				continue
+			}
+			if !withinTolerance(w, g, tol) {
+				out = append(out, Mismatch{Experiment: want.Name, Metric: k, Want: w, Got: g})
+			}
+		}
+	}
+	return out
+}
+
+// withinTolerance reports whether got matches want within relative
+// tolerance tol.
+func withinTolerance(want, got, tol float64) bool {
+	if want == got {
+		return true
+	}
+	if math.IsNaN(want) || math.IsNaN(got) {
+		return math.IsNaN(want) && math.IsNaN(got)
+	}
+	scale := math.Max(math.Abs(want), math.Abs(got))
+	if scale < 1e-9 {
+		return true
+	}
+	return math.Abs(got-want) <= tol*scale
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReports() []RunReport {
+	return []RunReport{
+		{Name: "table1", WallSeconds: 0.01,
+			Metrics: map[string]float64{"beta": 0.2, "initial_window": 2}},
+		{Name: "fig2b", WallSeconds: 12.5,
+			Metrics: map[string]float64{"default_power": 3.1, "optimal_power": 9.7, "loss_default": 0.0392}},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	o := Options{Full: false, Seed: 7, Retrain: true, Workers: 4}
+	m := NewManifest(o, sampleReports(), 12510*time.Millisecond)
+	if m.GridPoints != 27 || m.RunsPerPoint != 3 {
+		t.Errorf("coarse grid recorded as %dx%d, want 27x3", m.GridPoints, m.RunsPerPoint)
+	}
+	if !strings.HasPrefix(m.GoVersion, "go") {
+		t.Errorf("go version %q", m.GoVersion)
+	}
+	if got := m.Options(); got.Seed != 7 || got.Full || !got.Retrain || got.Workers != 0 {
+		t.Errorf("Options() = %+v (workers must not be restored)", got)
+	}
+
+	path := filepath.Join(t.TempDir(), "sub", "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", m, got)
+	}
+}
+
+func TestReadManifestRejectsGarbage(t *testing.T) {
+	if _, err := ReadManifest(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestCompareManifestsIdentical(t *testing.T) {
+	m := NewManifest(Options{}, sampleReports(), time.Second)
+	fresh := NewManifest(Options{}, sampleReports(), 3*time.Second) // wall differs: ignored
+	if mm := CompareManifests(m, fresh, 0); len(mm) != 0 {
+		t.Fatalf("identical metrics flagged: %v", mm)
+	}
+}
+
+func TestCompareManifestsDrift(t *testing.T) {
+	archived := NewManifest(Options{}, sampleReports(), time.Second)
+	perturbed := sampleReports()
+	perturbed[1].Metrics = map[string]float64{"default_power": 3.1, "optimal_power": 8.0, "loss_default": 0.0392}
+	fresh := NewManifest(Options{}, perturbed, time.Second)
+
+	mm := CompareManifests(archived, fresh, 0.05)
+	if len(mm) != 1 {
+		t.Fatalf("mismatches = %v, want exactly the perturbed metric", mm)
+	}
+	if mm[0].Experiment != "fig2b" || mm[0].Metric != "optimal_power" {
+		t.Errorf("mismatch names %s/%s", mm[0].Experiment, mm[0].Metric)
+	}
+	if s := mm[0].String(); !strings.Contains(s, "fig2b") || !strings.Contains(s, "optimal_power") {
+		t.Errorf("mismatch rendering %q must name figure and metric", s)
+	}
+	// Within 5% tolerance the same drift passes at a looser setting.
+	if mm := CompareManifests(archived, fresh, 0.2); len(mm) != 0 {
+		t.Errorf("20%% tolerance should absorb the drift: %v", mm)
+	}
+}
+
+func TestCompareManifestsMissing(t *testing.T) {
+	archived := NewManifest(Options{}, sampleReports(), time.Second)
+	fresh := NewManifest(Options{}, sampleReports()[:1], time.Second)
+	mm := CompareManifests(archived, fresh, 0.05)
+	if len(mm) != 1 || mm[0].Experiment != "fig2b" {
+		t.Fatalf("mismatches = %v, want missing-experiment entry for fig2b", mm)
+	}
+	if !strings.Contains(mm[0].String(), "missing") {
+		t.Errorf("rendering %q should say missing", mm[0])
+	}
+
+	// A metric the archive records but the fresh run dropped.
+	dropped := sampleReports()
+	dropped[1].Metrics = map[string]float64{"default_power": 3.1, "optimal_power": 9.7}
+	mm = CompareManifests(archived, NewManifest(Options{}, dropped, time.Second), 0.05)
+	if len(mm) != 1 || mm[0].Metric != "loss_default" || !math.IsNaN(mm[0].Got) {
+		t.Fatalf("mismatches = %v, want missing loss_default", mm)
+	}
+}
+
+func TestWithinTolerance(t *testing.T) {
+	cases := []struct {
+		want, got, tol float64
+		ok             bool
+	}{
+		{1, 1, 0, true},
+		{0, 0, 0, true},
+		{1e-12, -1e-12, 0, true}, // both below the absolute floor
+		{100, 104, 0.05, true},
+		{100, 106, 0.05, false},
+		{-100, -104, 0.05, true},
+		{0, 0.5, 0.05, false},
+		{math.NaN(), math.NaN(), 0.05, true},
+		{math.NaN(), 1, 0.05, false},
+	}
+	for _, c := range cases {
+		if got := withinTolerance(c.want, c.got, c.tol); got != c.ok {
+			t.Errorf("withinTolerance(%g, %g, %g) = %v, want %v", c.want, c.got, c.tol, got, c.ok)
+		}
+	}
+}
+
+// TestHarnessRunsAndReports exercises the harness end to end on the two
+// instant experiments: progress events, rendered output, and summary
+// metrics all flow into the reports a manifest is built from.
+func TestHarnessRunsAndReports(t *testing.T) {
+	exps, err := Resolve("table1,table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgress(nil)
+	var out strings.Builder
+	h := &Harness{Opts: Options{Progress: prog}, Out: &out}
+	reports := h.Run(exps)
+
+	if len(reports) != 2 || reports[0].Name != "table1" || reports[1].Name != "table2" {
+		t.Fatalf("reports = %+v", reports)
+	}
+	if reports[0].Metrics["initial_ssthresh"] != 65536 {
+		t.Errorf("table1 metrics = %v", reports[0].Metrics)
+	}
+	if reports[1].Metrics["grid_points"] != 27 {
+		t.Errorf("table2 metrics = %v", reports[1].Metrics)
+	}
+	if !strings.Contains(out.String(), "Table 1") || !strings.Contains(out.String(), "Table 2") {
+		t.Errorf("rendered output incomplete:\n%s", out.String())
+	}
+	s := prog.Snapshot()
+	if len(s.Experiments) != 2 || s.Experiments[0].State != "done" || s.Experiments[1].State != "done" {
+		t.Errorf("progress after run = %+v", s.Experiments)
+	}
+
+	m := NewManifest(h.Opts, reports, time.Second)
+	if len(m.Experiments) != 2 || m.Results[0].Metrics["beta"] != 0.2 {
+		t.Errorf("manifest = %+v", m)
+	}
+}

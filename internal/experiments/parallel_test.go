@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunParallelMatchesSerial pins the contract behind Options.Workers:
+// every run is independently seeded and stored by index, so a parallel
+// ablation is bit-identical to the serial one.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serial := AblationQueueDiscipline(Options{Workers: 1})
+	parallel := AblationQueueDiscipline(Options{Workers: 4})
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel ablation diverged from serial:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}
+
+// TestRunParallelProgressAccounting checks that runParallel announces
+// exactly the points it completes, with labels attributing them to the
+// running phase.
+func TestRunParallelProgressAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	prog := NewProgress(nil)
+	prog.StartExperiment("ablation-qdisc")
+	o := Options{Workers: 2, Progress: prog}
+	AblationQueueDiscipline(o)
+	s := prog.Snapshot()
+	if s.Total == 0 || s.Total != s.Completed {
+		t.Fatalf("grid accounting %d/%d, want all announced points completed", s.Completed, s.Total)
+	}
+	if len(s.Slowest) == 0 || s.Slowest[0].Experiment != "ablation-qdisc" {
+		t.Errorf("slowest leaderboard = %+v", s.Slowest)
+	}
+	if s.Slowest[0].WallSeconds <= 0 {
+		t.Errorf("point wall time not recorded: %+v", s.Slowest[0])
+	}
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/tcp"
+	"repro/internal/telemetry"
+)
+
+// slowestKept bounds the slowest-combo leaderboard in snapshots.
+const slowestKept = 8
+
+// Progress is the live view of an experiment-harness run: which
+// experiment is executing, how many grid points have completed out of
+// how many announced, an ETA extrapolated from the observed point rate,
+// and the slowest parameter combinations so far. It also feeds the
+// counters and wall-time histograms into a telemetry.Registry, so a
+// `-status-addr` run exposes phi_experiments_* series on /metrics
+// alongside the /debug/experiments snapshot.
+//
+// All methods are safe for concurrent use and no-ops on a nil receiver,
+// so experiments can report unconditionally.
+type Progress struct {
+	mu        sync.Mutex
+	startedAt time.Time
+	phase     string
+	exps      []ExperimentProgress
+	total     int
+	done      int
+	slowest   []SlowPoint // sorted by wall, descending
+
+	// telemetry handles (nil when no registry was given)
+	cPoints *telemetry.Counter
+	gTotal  *telemetry.Gauge
+	gDone   *telemetry.Gauge
+	hPoint  *telemetry.Histogram
+	hExp    *telemetry.Histogram
+}
+
+// ExperimentProgress is one experiment's harness state.
+type ExperimentProgress struct {
+	Name string `json:"name"`
+	// State is pending | running | done.
+	State       string  `json:"state"`
+	WallSeconds float64 `json:"wall_s"`
+}
+
+// SlowPoint is one grid point on the slowest leaderboard.
+type SlowPoint struct {
+	Experiment  string  `json:"experiment"`
+	Point       string  `json:"point"`
+	WallSeconds float64 `json:"wall_s"`
+}
+
+// NewProgress creates a Progress, registering its metrics on reg (which
+// may be nil for an unexposed run).
+func NewProgress(reg *telemetry.Registry) *Progress {
+	return &Progress{
+		startedAt: time.Now(),
+		cPoints:   reg.Counter("phi_experiments_points_completed_total", "Grid points completed across all experiments.", nil),
+		gTotal:    reg.Gauge("phi_experiments_points_total", "Grid points announced so far (grows as experiments start).", nil),
+		gDone:     reg.Gauge("phi_experiments_points_done", "Grid points completed (gauge twin of the counter, for ratio panels).", nil),
+		hPoint:    reg.Histogram("phi_experiments_point_seconds", "Wall time per grid point.", nil),
+		hExp:      reg.Histogram("phi_experiments_experiment_seconds", "Wall time per experiment.", nil),
+	}
+}
+
+// Plan announces the experiments the harness will run, in order.
+func (p *Progress) Plan(names []string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.startedAt = time.Now()
+	p.exps = p.exps[:0]
+	for _, n := range names {
+		p.exps = append(p.exps, ExperimentProgress{Name: n, State: "pending"})
+	}
+}
+
+// StartExperiment marks an experiment running; subsequent grid points
+// are attributed to it.
+func (p *Progress) StartExperiment(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.phase = name
+	for i := range p.exps {
+		if p.exps[i].Name == name {
+			p.exps[i].State = "running"
+			return
+		}
+	}
+	p.exps = append(p.exps, ExperimentProgress{Name: name, State: "running"})
+}
+
+// FinishExperiment marks an experiment done and records its wall time.
+func (p *Progress) FinishExperiment(name string, wall time.Duration) {
+	if p == nil {
+		return
+	}
+	p.hExp.Observe(wall)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.phase == name {
+		p.phase = ""
+	}
+	for i := range p.exps {
+		if p.exps[i].Name == name {
+			p.exps[i].State = "done"
+			p.exps[i].WallSeconds = wall.Seconds()
+			return
+		}
+	}
+}
+
+// AddPoints announces n more grid points (phi.SweepConfig.OnStart shape).
+func (p *Progress) AddPoints(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total += n
+	total := p.total
+	p.mu.Unlock()
+	p.gTotal.Set(float64(total))
+}
+
+// PointDone records one completed grid point with a display label.
+func (p *Progress) PointDone(label string, wall time.Duration) {
+	if p == nil {
+		return
+	}
+	p.cPoints.Inc()
+	p.hPoint.Observe(wall)
+	p.mu.Lock()
+	p.done++
+	p.gDone.Set(float64(p.done))
+	sp := SlowPoint{Experiment: p.phase, Point: label, WallSeconds: wall.Seconds()}
+	i := sort.Search(len(p.slowest), func(i int) bool { return p.slowest[i].WallSeconds < sp.WallSeconds })
+	if i < slowestKept {
+		p.slowest = append(p.slowest, SlowPoint{})
+		copy(p.slowest[i+1:], p.slowest[i:])
+		p.slowest[i] = sp
+		if len(p.slowest) > slowestKept {
+			p.slowest = p.slowest[:slowestKept]
+		}
+	}
+	p.mu.Unlock()
+}
+
+// SweepPoint adapts PointDone to phi.SweepConfig.OnPoint.
+func (p *Progress) SweepPoint(params tcp.CubicParams, wall time.Duration) {
+	p.PointDone(params.String(), wall)
+}
+
+// Snapshot is the /debug/experiments payload.
+type Snapshot struct {
+	// Phase is the currently running experiment ("" between experiments
+	// or after the run).
+	Phase       string               `json:"phase"`
+	Experiments []ExperimentProgress `json:"experiments"`
+	// Grid progress: completed/total announced points, elapsed wall
+	// time, observed rate, and the extrapolated time to completion.
+	Completed    int         `json:"completed"`
+	Total        int         `json:"total"`
+	ElapsedS     float64     `json:"elapsed_s"`
+	PointsPerSec float64     `json:"points_per_sec"`
+	EtaS         float64     `json:"eta_s"`
+	Slowest      []SlowPoint `json:"slowest,omitempty"`
+}
+
+// Snapshot returns the current state (zero value on nil).
+func (p *Progress) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Snapshot{
+		Phase:       p.phase,
+		Experiments: append([]ExperimentProgress(nil), p.exps...),
+		Completed:   p.done,
+		Total:       p.total,
+		ElapsedS:    time.Since(p.startedAt).Seconds(),
+		Slowest:     append([]SlowPoint(nil), p.slowest...),
+	}
+	if s.ElapsedS > 0 && s.Completed > 0 {
+		s.PointsPerSec = float64(s.Completed) / s.ElapsedS
+		if s.Total > s.Completed {
+			s.EtaS = float64(s.Total-s.Completed) / s.PointsPerSec
+		}
+	}
+	return s
+}
+
+// String renders the snapshot as the text form of /debug/experiments.
+func (s Snapshot) String() string {
+	var b []byte
+	app := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	phase := s.Phase
+	if phase == "" {
+		phase = "-"
+	}
+	app("experiments run: phase=%s grid %d/%d elapsed %.1fs", phase, s.Completed, s.Total, s.ElapsedS)
+	if s.PointsPerSec > 0 {
+		app(" (%.1f pts/s", s.PointsPerSec)
+		if s.EtaS > 0 {
+			app(", eta %.0fs", s.EtaS)
+		}
+		app(")")
+	}
+	app("\n\n%-22s %-8s %10s\n", "experiment", "state", "wall s")
+	for _, e := range s.Experiments {
+		wall := "-"
+		if e.State == "done" {
+			wall = fmt.Sprintf("%.2f", e.WallSeconds)
+		}
+		app("%-22s %-8s %10s\n", e.Name, e.State, wall)
+	}
+	if len(s.Slowest) > 0 {
+		app("\nslowest grid points:\n")
+		for _, sp := range s.Slowest {
+			app("  %8.2fs  %-14s %s\n", sp.WallSeconds, sp.Experiment, sp.Point)
+		}
+	}
+	return string(b)
+}
+
+// Handler serves the snapshot: JSON by default, aligned text with
+// ?format=text.
+func (p *Progress) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := p.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, s.String())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s)
+	})
+}

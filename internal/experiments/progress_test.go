@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Plan([]string{"a"})
+	p.StartExperiment("a")
+	p.AddPoints(3)
+	p.PointDone("x", time.Second)
+	p.FinishExperiment("a", time.Second)
+	if s := p.Snapshot(); s.Total != 0 || s.Completed != 0 {
+		t.Errorf("nil progress snapshot = %+v", s)
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := NewProgress(reg)
+	p.Plan([]string{"fig2a", "fig2b"})
+	p.StartExperiment("fig2a")
+	p.AddPoints(4)
+	p.PointDone("pt-0", 10*time.Millisecond)
+	p.PointDone("pt-1", 30*time.Millisecond)
+
+	s := p.Snapshot()
+	if s.Phase != "fig2a" {
+		t.Errorf("phase = %q", s.Phase)
+	}
+	if s.Completed != 2 || s.Total != 4 {
+		t.Errorf("grid = %d/%d, want 2/4", s.Completed, s.Total)
+	}
+	if len(s.Experiments) != 2 || s.Experiments[0].State != "running" || s.Experiments[1].State != "pending" {
+		t.Errorf("experiments = %+v", s.Experiments)
+	}
+	if s.PointsPerSec <= 0 || s.EtaS <= 0 {
+		t.Errorf("rate/eta missing: %+v", s)
+	}
+	// Slowest leaderboard is sorted descending.
+	if len(s.Slowest) != 2 || s.Slowest[0].Point != "pt-1" || s.Slowest[0].Experiment != "fig2a" {
+		t.Errorf("slowest = %+v", s.Slowest)
+	}
+
+	p.FinishExperiment("fig2a", 40*time.Millisecond)
+	s = p.Snapshot()
+	if s.Phase != "" {
+		t.Errorf("phase after finish = %q", s.Phase)
+	}
+	if s.Experiments[0].State != "done" || s.Experiments[0].WallSeconds <= 0 {
+		t.Errorf("finished experiment = %+v", s.Experiments[0])
+	}
+
+	// The telemetry registry carries the counters alongside.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"phi_experiments_points_completed_total 2",
+		"phi_experiments_points_total 4",
+		"phi_experiments_point_seconds_count 2",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestProgressSlowestBounded(t *testing.T) {
+	p := NewProgress(nil)
+	p.StartExperiment("x")
+	p.AddPoints(100)
+	for i := 0; i < 100; i++ {
+		p.PointDone("pt", time.Duration(i)*time.Millisecond)
+	}
+	s := p.Snapshot()
+	if len(s.Slowest) != slowestKept {
+		t.Fatalf("leaderboard size %d, want %d", len(s.Slowest), slowestKept)
+	}
+	for i := 1; i < len(s.Slowest); i++ {
+		if s.Slowest[i].WallSeconds > s.Slowest[i-1].WallSeconds {
+			t.Fatalf("leaderboard not descending: %+v", s.Slowest)
+		}
+	}
+	if s.Slowest[0].WallSeconds != 0.099 {
+		t.Errorf("slowest = %v, want 99ms", s.Slowest[0].WallSeconds)
+	}
+}
+
+func TestProgressHandler(t *testing.T) {
+	p := NewProgress(nil)
+	p.Plan([]string{"table1"})
+	p.StartExperiment("table1")
+	p.AddPoints(2)
+	p.PointDone("pt", time.Millisecond)
+
+	// JSON view.
+	rec := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/experiments", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type %q", ct)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if s.Phase != "table1" || s.Completed != 1 || s.Total != 2 {
+		t.Errorf("snapshot = %+v", s)
+	}
+
+	// Text view.
+	rec = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/experiments?format=text", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"phase=table1", "grid 1/2", "table1", "running"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text view missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Experiment is one runnable artifact of the paper's evaluation: a name
+// (the -run token), a one-line summary for listings, and the function
+// that produces its result.
+type Experiment struct {
+	Name    string
+	Summary string
+	Run     func(Options) fmt.Stringer
+}
+
+// Index returns every runnable experiment in canonical order. The
+// ablations are individually addressable so manifests record one metric
+// set per runnable name; the "ablations" alias still runs all four.
+func Index() []Experiment {
+	return []Experiment{
+		{"table1", "default TCP Cubic parameters (Table 1)",
+			func(o Options) fmt.Stringer { return Table1() }},
+		{"table2", "sweep grid ranges (Table 2)",
+			func(o Options) fmt.Stringer { return Table2(o) }},
+		{"fig2a", "low-utilization Cubic sweep (Figure 2a)",
+			func(o Options) fmt.Stringer { return Fig2a(o) }},
+		{"fig2b", "high-utilization Cubic sweep (Figure 2b)",
+			func(o Options) fmt.Stringer { return Fig2b(o) }},
+		{"fig2c", "long-running flows, beta sweep (Figure 2c)",
+			func(o Options) fmt.Stringer { return Fig2c(o) }},
+		{"fig3", "leave-one-out stability (Figure 3)",
+			func(o Options) fmt.Stringer { return Fig3(o) }},
+		{"fig4", "incremental deployment (Figure 4)",
+			func(o Options) fmt.Stringer { return Fig4(o) }},
+		{"deployment", "Figure 4 across adoption fractions",
+			func(o Options) fmt.Stringer { return DeploymentCurve(o) }},
+		{"table3", "Remy / Remy-Phi / Cubic comparison (Table 3)",
+			func(o Options) fmt.Stringer { return Table3(o, o.Retrain) }},
+		{"fig5", "unreachability detection and localization (Figure 5)",
+			func(o Options) fmt.Stringer { return Fig5(o) }},
+		{"sharing", "IPFIX flow-sharing CDF (Section 2.1)",
+			func(o Options) fmt.Stringer { return Sharing(o) }},
+		{"policy", "distill sweeps into a Phi policy",
+			func(o Options) fmt.Stringer { return BuildPolicy(o) }},
+		{"ablation-cadence", "freshness of shared congestion state",
+			func(o Options) fmt.Stringer { return AblationCadence(o) }},
+		{"ablation-buckets", "context-bucketing granularity",
+			func(o Options) fmt.Stringer { return AblationBuckets(o) }},
+		{"ablation-qdisc", "FIFO drop-tail vs RED",
+			func(o Options) fmt.Stringer { return AblationQueueDiscipline(o) }},
+		{"ablation-training", "seed vs trained Remy tables",
+			func(o Options) fmt.Stringer { return AblationTraining(o) }},
+	}
+}
+
+// aliases maps group names to the experiments they expand to.
+func aliases() map[string][]string {
+	return map[string][]string{
+		// "all" is the paper's artifact set plus the ablations; the
+		// deployment curve and policy distillation remain opt-in extras,
+		// as before.
+		"all": {"table1", "table2", "fig2a", "fig2b", "fig2c", "fig3", "fig4",
+			"table3", "fig5", "sharing",
+			"ablation-cadence", "ablation-buckets", "ablation-qdisc", "ablation-training"},
+		"ablations": {"ablation-cadence", "ablation-buckets", "ablation-qdisc", "ablation-training"},
+	}
+}
+
+// Names returns every valid -run token: experiment names first, then the
+// group aliases.
+func Names() []string {
+	var out []string
+	for _, e := range Index() {
+		out = append(out, e.Name)
+	}
+	out = append(out, "all", "ablations")
+	return out
+}
+
+// Resolve expands a comma-separated -run selection (experiment names and
+// the "all"/"ablations" aliases, case-insensitive) into experiments,
+// preserving order and dropping duplicates. An unknown token returns an
+// error naming it; callers list Names() alongside.
+func Resolve(list string) ([]Experiment, error) {
+	byName := make(map[string]Experiment)
+	for _, e := range Index() {
+		byName[e.Name] = e
+	}
+	al := aliases()
+	var out []Experiment
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, byName[name])
+		}
+	}
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(strings.ToLower(tok))
+		if tok == "" {
+			continue
+		}
+		if expansion, ok := al[tok]; ok {
+			for _, name := range expansion {
+				add(name)
+			}
+			continue
+		}
+		if _, ok := byName[tok]; !ok {
+			return nil, fmt.Errorf("unknown experiment %q", tok)
+		}
+		add(tok)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty experiment selection %q", list)
+	}
+	return out, nil
+}

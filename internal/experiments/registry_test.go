@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolveAll(t *testing.T) {
+	exps, err := Resolve("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, e := range exps {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"table1", "fig2a", "table3", "fig5", "sharing",
+		"ablation-cadence", "ablation-buckets", "ablation-qdisc", "ablation-training"} {
+		if !names[want] {
+			t.Errorf("'all' missing %s", want)
+		}
+	}
+	// The opt-in extras stay out of 'all'.
+	if names["deployment"] || names["policy"] {
+		t.Errorf("'all' should not include deployment/policy: %v", names)
+	}
+}
+
+func TestResolveAliasAndDedupe(t *testing.T) {
+	exps, err := Resolve("ablations, Ablation-Cadence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 4 {
+		t.Fatalf("got %d experiments, want 4 deduped ablations", len(exps))
+	}
+	if exps[0].Name != "ablation-cadence" {
+		t.Errorf("order not preserved: %s first", exps[0].Name)
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	if _, err := Resolve("fig2a,fig9"); err == nil || !strings.Contains(err.Error(), "fig9") {
+		t.Fatalf("err = %v, want unknown-name error naming fig9", err)
+	}
+	if _, err := Resolve(" , "); err == nil {
+		t.Fatal("empty selection should error")
+	}
+}
+
+func TestNamesCoverIndexAndAliases(t *testing.T) {
+	names := Names()
+	set := make(map[string]bool)
+	for _, n := range names {
+		set[n] = true
+	}
+	for _, e := range Index() {
+		if !set[e.Name] {
+			t.Errorf("Names() missing %s", e.Name)
+		}
+		if e.Run == nil || e.Summary == "" {
+			t.Errorf("experiment %s incomplete", e.Name)
+		}
+	}
+	if !set["all"] || !set["ablations"] {
+		t.Error("Names() missing aliases")
+	}
+	// Every name Names() advertises must resolve.
+	for _, n := range names {
+		if _, err := Resolve(n); err != nil {
+			t.Errorf("advertised name %q does not resolve: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/diagnosis"
+	"repro/internal/metrics"
+)
+
+// Summary metrics: every result type reduces itself to a flat map of
+// named scalars. These are what run manifests record and what
+// `phi-experiments -compare` checks a fresh run against — the headline
+// numbers of each figure/table, not the full series (those go to -csv).
+
+// MetricsReporter is implemented by result types that expose scalar
+// summary metrics for run manifests and regression comparison.
+type MetricsReporter interface {
+	SummaryMetrics() map[string]float64
+}
+
+// metricKey normalizes a row/series name into a manifest metric key:
+// lowercase, runs of non-alphanumerics collapsed to single underscores.
+func metricKey(parts ...string) string {
+	var b strings.Builder
+	wrote := false
+	pend := false
+	for _, part := range parts {
+		for _, r := range strings.ToLower(part) {
+			alnum := (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+			if !alnum {
+				pend = wrote
+				continue
+			}
+			if pend {
+				b.WriteByte('_')
+				pend = false
+			}
+			b.WriteRune(r)
+			wrote = true
+		}
+		pend = wrote
+	}
+	return b.String()
+}
+
+// SummaryMetrics reports the default parameter values.
+func (r Table1Result) SummaryMetrics() map[string]float64 {
+	return map[string]float64{
+		"initial_ssthresh": float64(r.Defaults.InitialSsthresh),
+		"initial_window":   float64(r.Defaults.InitialWindow),
+		"beta":             r.Defaults.Beta,
+	}
+}
+
+// SummaryMetrics reports the grid size.
+func (r Table2Result) SummaryMetrics() map[string]float64 {
+	return map[string]float64{"grid_points": float64(r.Points)}
+}
+
+// SummaryMetrics reports the sweep's headline contrast: default vs
+// optimal objective, the improvement factors, and the loss rates behind
+// the paper's 3.92%-vs-0.01% claim.
+func (f SweepFigure) SummaryMetrics() map[string]float64 {
+	gain, delayRed, lossDef, lossOpt := f.Improvement()
+	return map[string]float64{
+		"utilization":     f.Utilization,
+		"default_power":   f.Sweep.Default.MeanPower(),
+		"optimal_power":   f.Sweep.Best().MeanPower(),
+		"throughput_gain": gain,
+		"delay_reduction": delayRed,
+		"loss_default":    lossDef,
+		"loss_optimal":    lossOpt,
+	}
+}
+
+// SummaryMetrics reports the mean of each Figure 3 series and the
+// common-setting gain (the figure's takeaway).
+func (r Fig3Result) SummaryMetrics() map[string]float64 {
+	return map[string]float64{
+		"default_power_mean": metrics.Mean(r.LOO.DefaultPower),
+		"common_power_mean":  metrics.Mean(r.LOO.CommonPower),
+		"optimal_power_mean": metrics.Mean(r.LOO.OptimalPower),
+		"common_gain":        r.CommonGainOverDefault(),
+	}
+}
+
+// SummaryMetrics reports each Figure 4 group's objective and delay.
+func (r Fig4Result) SummaryMetrics() map[string]float64 {
+	return map[string]float64{
+		"modified_power":        r.Modified.MeanPower(),
+		"unmodified_power":      r.Unmodified.MeanPower(),
+		"all_default_power":     r.AllDefault.MeanPower(),
+		"modified_qdelay_ms":    r.Modified.MeanQueueDelayMs(),
+		"unmodified_qdelay_ms":  r.Unmodified.MeanQueueDelayMs(),
+		"all_default_qdelay_ms": r.AllDefault.MeanQueueDelayMs(),
+	}
+}
+
+// SummaryMetrics reports the modified group's objective per adoption level.
+func (r DeploymentCurveResult) SummaryMetrics() map[string]float64 {
+	out := make(map[string]float64)
+	for _, p := range r.Points {
+		key := fmt.Sprintf("modified_power_%dpct", int(p.Fraction*100+0.5))
+		out[key] = p.Modified.MeanPower()
+	}
+	return out
+}
+
+// SummaryMetrics reports each algorithm's three Table 3 columns.
+func (r Table3Result) SummaryMetrics() map[string]float64 {
+	out := make(map[string]float64)
+	for _, row := range r.Rows {
+		out[metricKey(row.Algorithm, "median_thr_mbps")] = row.MedianThrMbps
+		out[metricKey(row.Algorithm, "median_qdelay_ms")] = row.MedianQDelayMs
+		out[metricKey(row.Algorithm, "objective")] = row.Objective
+	}
+	return out
+}
+
+// SummaryMetrics reports whether the injected outage was detected and how
+// well it was localized.
+func (r Fig5Result) SummaryMetrics() map[string]float64 {
+	out := map[string]float64{
+		"detected": 0,
+		"findings": float64(len(r.Findings)),
+	}
+	if r.Best != nil {
+		out["detected"] = 1
+		out["coverage_service"] = r.Localization.Coverage[diagnosis.DimService]
+		out["coverage_isp"] = r.Localization.Coverage[diagnosis.DimISP]
+		out["coverage_metro"] = r.Localization.Coverage[diagnosis.DimMetro]
+	}
+	return out
+}
+
+// SummaryMetrics reports the Section 2.1 sharing fractions.
+func (r SharingResult) SummaryMetrics() map[string]float64 {
+	return map[string]float64{
+		"exported_flows":     float64(r.ExportedFlows),
+		"slices":             float64(r.Slices),
+		"share_at_least_5":   r.AtLeast5,
+		"share_at_least_100": r.AtLeast100,
+	}
+}
+
+// SummaryMetrics reports each ablation configuration's objective.
+func (r AblationResult) SummaryMetrics() map[string]float64 {
+	out := make(map[string]float64)
+	for _, row := range r.Rows {
+		out[metricKey(row.Name, "power")] = row.Power
+	}
+	return out
+}
+
+// SummaryMetrics reports the distilled policy's shape.
+func (r PolicyResult) SummaryMetrics() map[string]float64 {
+	return map[string]float64{
+		"rules": float64(len(r.Policy.Rules)),
+		"bands": float64(len(r.Bands)),
+	}
+}
+
+// assert the implementations.
+var (
+	_ MetricsReporter = Table1Result{}
+	_ MetricsReporter = Table2Result{}
+	_ MetricsReporter = SweepFigure{}
+	_ MetricsReporter = Fig3Result{}
+	_ MetricsReporter = Fig4Result{}
+	_ MetricsReporter = DeploymentCurveResult{}
+	_ MetricsReporter = Table3Result{}
+	_ MetricsReporter = Fig5Result{}
+	_ MetricsReporter = SharingResult{}
+	_ MetricsReporter = AblationResult{}
+	_ MetricsReporter = PolicyResult{}
+)

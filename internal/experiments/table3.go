@@ -96,15 +96,14 @@ func Table3(o Options, retrain bool) Table3Result {
 		remy.EvalConfig{Scenario: sc, Mode: remy.UtilOff, Runs: runs, BaseSeed: seed}).Runs)
 
 	// Cubic baseline.
-	var cubicRuns []workload.Result
-	for i := 0; i < runs; i++ {
+	cubicRuns := o.runParallel("table3/cubic", runs, func(i int) workload.Scenario {
 		s := sc
 		s.Seed = seed + int64(i)
 		s.CC = func(int) func() tcp.CongestionControl {
 			return func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) }
 		}
-		cubicRuns = append(cubicRuns, workload.Run(s))
-	}
+		return s
+	})
 	add("Cubic", cubicRuns)
 	return res
 }

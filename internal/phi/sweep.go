@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/tcp"
@@ -138,6 +139,15 @@ type SweepConfig struct {
 	// independent and deterministically seeded, so results are identical
 	// to a serial sweep). 0 uses GOMAXPROCS; 1 forces serial.
 	Parallelism int
+	// OnStart, if set, is called once before any point runs, with the
+	// number of points the sweep will execute (grid plus the default
+	// reference point). Progress instrumentation hangs off this pair.
+	OnStart func(points int)
+	// OnPoint, if set, is called as each point completes, with its
+	// parameters and wall-clock duration. Called from worker goroutines:
+	// implementations must be safe for concurrent use. Neither hook
+	// affects results or their ordering.
+	OnPoint func(params tcp.CubicParams, wall time.Duration)
 }
 
 // SweepResult holds the full sweep plus the default-parameter reference.
@@ -158,6 +168,9 @@ func RunSweep(cfg SweepConfig) *SweepResult {
 	}
 	points := cfg.Spec.Points()
 	res := &SweepResult{Points: make([]SweepPoint, len(points))}
+	if cfg.OnStart != nil {
+		cfg.OnStart(len(points) + 1)
+	}
 
 	type job struct{ idx int } // idx -1 is the default point
 	jobs := make(chan job)
@@ -167,10 +180,19 @@ func RunSweep(cfg SweepConfig) *SweepResult {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				params := tcp.DefaultCubicParams()
+				if j.idx >= 0 {
+					params = points[j.idx]
+				}
+				begin := time.Now()
+				pt := runPoint(cfg, params)
 				if j.idx < 0 {
-					res.Default = runPoint(cfg, tcp.DefaultCubicParams())
+					res.Default = pt
 				} else {
-					res.Points[j.idx] = runPoint(cfg, points[j.idx])
+					res.Points[j.idx] = pt
+				}
+				if cfg.OnPoint != nil {
+					cfg.OnPoint(params, time.Since(begin))
 				}
 			}
 		}()

@@ -1,7 +1,9 @@
 package phi
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -202,5 +204,43 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 		if a.Default.Runs[j] != b.Default.Runs[j] {
 			t.Fatal("default point differs")
 		}
+	}
+}
+
+func TestSweepProgressHooks(t *testing.T) {
+	spec := SweepSpec{Ssthresh: []int{16, 64}, WindowInit: []int{2}, Beta: []float64{0.2, 0.5}}
+	var mu sync.Mutex
+	var announced int
+	var seen []tcp.CubicParams
+	res := RunSweep(SweepConfig{
+		Scenario: quickScenario(2), Spec: spec, Runs: 1, BaseSeed: 5,
+		Parallelism: 4,
+		OnStart:     func(points int) { announced = points },
+		OnPoint: func(p tcp.CubicParams, wall time.Duration) {
+			if wall < 0 {
+				t.Errorf("negative wall time for %v", p)
+			}
+			mu.Lock()
+			seen = append(seen, p)
+			mu.Unlock()
+		},
+	})
+	if want := len(spec.Points()) + 1; announced != want {
+		t.Errorf("OnStart announced %d points, want %d", announced, want)
+	}
+	if len(seen) != announced {
+		t.Errorf("OnPoint fired %d times, want %d", len(seen), announced)
+	}
+	defaults := 0
+	for _, p := range seen {
+		if p == tcp.DefaultCubicParams() {
+			defaults++
+		}
+	}
+	if defaults != 1 {
+		t.Errorf("default reference point reported %d times, want 1", defaults)
+	}
+	if len(res.Points) != len(spec.Points()) {
+		t.Errorf("hooks changed the result shape: %d points", len(res.Points))
 	}
 }

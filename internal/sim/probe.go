@@ -1,0 +1,433 @@
+package sim
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Probe samples attached link monitors and flows on a fixed virtual-time
+// cadence into bounded, ring-buffered time series — the live form of the
+// paper's Figure 2/3 dynamics: bottleneck utilization u and queue q over
+// time, plus per-flow congestion state. Samples are taken on the engine's
+// virtual clock, so a probed run is deterministic: the same seed yields
+// bit-identical series regardless of wall-clock speed or parallelism.
+//
+// A Probe is passive with respect to the traffic it observes: it reads
+// the monitor's counters, never touches the queue, and schedules exactly
+// one event per interval, so its overhead is a fixed, tiny fraction of
+// the event budget (pinned by BenchmarkProbeOverhead).
+type Probe struct {
+	eng    *Engine
+	cfg    ProbeConfig
+	handle EventHandle
+
+	links []*LinkSeries
+	flows []*FlowSeries
+}
+
+// ProbeConfig parameterizes a Probe.
+type ProbeConfig struct {
+	// Interval is the sampling cadence in virtual time. Default 100ms.
+	Interval Time
+	// MaxSamples bounds each series; when full, the oldest sample is
+	// evicted (the series keeps the trailing window). Default 4096.
+	MaxSamples int
+}
+
+func (c *ProbeConfig) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = 100 * Millisecond
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 4096
+	}
+}
+
+// FlowProbeSample is the instantaneous congestion state a transport
+// endpoint exposes to a Probe.
+type FlowProbeSample struct {
+	// CwndBytes is the current congestion window in bytes.
+	CwndBytes int64
+	// SRTT is the smoothed round-trip time estimate (0 before the first
+	// sample).
+	SRTT Time
+	// BytesAcked is the cumulative payload delivered so far; the probe
+	// differentiates it into per-interval throughput.
+	BytesAcked int64
+}
+
+// FlowProbe is implemented by transport senders (notably *tcp.Sender)
+// that can report their congestion state to a Probe.
+type FlowProbe interface {
+	FlowProbeID() FlowID
+	FlowProbeSample() FlowProbeSample
+}
+
+// LinkSample is one cadence tick of a link series. Rates are computed
+// over the interval since the previous sample, not cumulatively, so the
+// series shows dynamics (the sawtooth, the standing queue), not the
+// long-run average a LinkMonitor reports.
+type LinkSample struct {
+	// At is the virtual sample time.
+	At Time `json:"at_ns"`
+	// Utilization is forwarded bits over capacity for this interval.
+	Utilization float64 `json:"utilization"`
+	// QueueBytes / QueuePackets are the instantaneous buffer occupancy.
+	QueueBytes   int `json:"queue_bytes"`
+	QueuePackets int `json:"queue_packets"`
+	// LossRate is interval drops over interval arrivals (0 when idle).
+	LossRate float64 `json:"loss_rate"`
+	// ForwardedBytes / DroppedPackets are interval deltas.
+	ForwardedBytes uint64 `json:"forwarded_bytes"`
+	DroppedPackets uint64 `json:"dropped_packets"`
+}
+
+// FlowSample is one cadence tick of a flow series.
+type FlowSample struct {
+	At Time `json:"at_ns"`
+	// CwndBytes is the congestion window at the sample instant.
+	CwndBytes int64 `json:"cwnd_bytes"`
+	// SRTT is the smoothed RTT estimate at the sample instant.
+	SRTT Time `json:"srtt_ns"`
+	// ThroughputMbps is delivered payload over this interval.
+	ThroughputMbps float64 `json:"throughput_mbps"`
+}
+
+// ring is a bounded FIFO of samples; at capacity the oldest is evicted.
+type ring[T any] struct {
+	buf     []T
+	start   int // index of the oldest element
+	n       int
+	evicted uint64
+}
+
+func newRing[T any](capacity int) ring[T] { return ring[T]{buf: make([]T, capacity)} }
+
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.buf[r.start] = v
+		r.start = (r.start + 1) % len(r.buf)
+		r.evicted++
+		return
+	}
+	r.buf[(r.start+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// slice returns the samples oldest-first.
+func (r *ring[T]) slice() []T {
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// LinkSeries is the bounded time series of one watched link.
+type LinkSeries struct {
+	Name string
+	mon  *LinkMonitor
+	link *Link
+	ring ring[LinkSample]
+
+	// previous cumulative monitor readings, for interval deltas
+	lastForwarded uint64
+	lastArrived   uint64
+	lastDropped   uint64
+}
+
+// Samples returns the retained samples, oldest first.
+func (s *LinkSeries) Samples() []LinkSample { return s.ring.slice() }
+
+// Evicted returns how many samples were dropped at the ring cap.
+func (s *LinkSeries) Evicted() uint64 { return s.ring.evicted }
+
+// FlowSeries is the bounded time series of one watched flow.
+type FlowSeries struct {
+	Name string
+	flow FlowProbe
+	ring ring[FlowSample]
+
+	lastAcked int64
+}
+
+// Samples returns the retained samples, oldest first.
+func (s *FlowSeries) Samples() []FlowSample { return s.ring.slice() }
+
+// Evicted returns how many samples were dropped at the ring cap.
+func (s *FlowSeries) Evicted() uint64 { return s.ring.evicted }
+
+// NewProbe creates a probe on eng and starts its sampling clock: the
+// first tick fires one interval from now, so series attached at t=0 get
+// their first sample at t=Interval.
+func NewProbe(eng *Engine, cfg ProbeConfig) *Probe {
+	cfg.defaults()
+	p := &Probe{eng: eng, cfg: cfg}
+	p.handle = eng.After(cfg.Interval, p.tick)
+	return p
+}
+
+// Interval returns the sampling cadence.
+func (p *Probe) Interval() Time { return p.cfg.Interval }
+
+// WatchLink attaches a link under the given name (attaching the link's
+// monitor if needed) and returns its series. A nil probe returns nil, so
+// wiring code can attach unconditionally.
+func (p *Probe) WatchLink(name string, l *Link) *LinkSeries {
+	if p == nil {
+		return nil
+	}
+	mon := l.Monitor()
+	s := &LinkSeries{Name: name, mon: mon, link: l, ring: newRing[LinkSample](p.cfg.MaxSamples),
+		lastForwarded: mon.ForwardedBytes, lastArrived: mon.ArrivedPackets, lastDropped: mon.DroppedPackets}
+	p.links = append(p.links, s)
+	return s
+}
+
+// WatchFlow attaches a flow under the given name and returns its series.
+// A nil probe returns nil.
+func (p *Probe) WatchFlow(name string, f FlowProbe) *FlowSeries {
+	if p == nil {
+		return nil
+	}
+	s := &FlowSeries{Name: name, flow: f, ring: newRing[FlowSample](p.cfg.MaxSamples)}
+	s.lastAcked = f.FlowProbeSample().BytesAcked
+	p.flows = append(p.flows, s)
+	return s
+}
+
+// Stop cancels the sampling clock. Attached series keep their samples.
+func (p *Probe) Stop() {
+	if p == nil {
+		return
+	}
+	p.handle.Cancel()
+}
+
+func (p *Probe) tick() {
+	now := p.eng.Now()
+	dt := p.cfg.Interval.Seconds()
+	for _, s := range p.links {
+		fwd := s.mon.ForwardedBytes - s.lastForwarded
+		arr := s.mon.ArrivedPackets - s.lastArrived
+		drop := s.mon.DroppedPackets - s.lastDropped
+		s.lastForwarded, s.lastArrived, s.lastDropped =
+			s.mon.ForwardedBytes, s.mon.ArrivedPackets, s.mon.DroppedPackets
+		var loss float64
+		if arr > 0 {
+			loss = float64(drop) / float64(arr)
+		}
+		s.ring.push(LinkSample{
+			At:             now,
+			Utilization:    float64(fwd) * 8 / (float64(s.link.Rate) * dt),
+			QueueBytes:     s.link.QueuedBytes(),
+			QueuePackets:   s.link.QueuedPackets(),
+			LossRate:       loss,
+			ForwardedBytes: fwd,
+			DroppedPackets: drop,
+		})
+	}
+	for _, s := range p.flows {
+		st := s.flow.FlowProbeSample()
+		acked := st.BytesAcked - s.lastAcked
+		s.lastAcked = st.BytesAcked
+		s.ring.push(FlowSample{
+			At:             now,
+			CwndBytes:      st.CwndBytes,
+			SRTT:           st.SRTT,
+			ThroughputMbps: float64(acked) * 8 / dt / 1e6,
+		})
+	}
+	p.handle = p.eng.After(p.cfg.Interval, p.tick)
+}
+
+// ProbeDump is the exportable snapshot of every series a probe holds.
+// It round-trips exactly through both JSON and CSV (see ReadDumpJSON /
+// ReadDumpCSV), which is what lets an archived run's dynamics be
+// re-plotted or diffed later.
+type ProbeDump struct {
+	// IntervalNs is the sampling cadence in virtual nanoseconds.
+	IntervalNs int64            `json:"interval_ns"`
+	Links      []LinkSeriesDump `json:"links,omitempty"`
+	Flows      []FlowSeriesDump `json:"flows,omitempty"`
+}
+
+// LinkSeriesDump is one link series in export form.
+type LinkSeriesDump struct {
+	Name    string       `json:"name"`
+	Evicted uint64       `json:"evicted"`
+	Samples []LinkSample `json:"samples"`
+}
+
+// FlowSeriesDump is one flow series in export form.
+type FlowSeriesDump struct {
+	Name    string       `json:"name"`
+	Evicted uint64       `json:"evicted"`
+	Samples []FlowSample `json:"samples"`
+}
+
+// Dump snapshots every series, links then flows, each in attach order.
+func (p *Probe) Dump() ProbeDump {
+	d := ProbeDump{IntervalNs: int64(p.cfg.Interval)}
+	for _, s := range p.links {
+		d.Links = append(d.Links, LinkSeriesDump{Name: s.Name, Evicted: s.ring.evicted, Samples: s.Samples()})
+	}
+	for _, s := range p.flows {
+		d.Flows = append(d.Flows, FlowSeriesDump{Name: s.Name, Evicted: s.ring.evicted, Samples: s.Samples()})
+	}
+	return d
+}
+
+// WriteJSON writes the dump as indented JSON.
+func (d ProbeDump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadDumpJSON parses a dump written by WriteJSON.
+func ReadDumpJSON(r io.Reader) (ProbeDump, error) {
+	var d ProbeDump
+	err := json.NewDecoder(r).Decode(&d)
+	return d, err
+}
+
+// probeCSVHeader is the unified CSV schema: one row per sample, link and
+// flow series distinguished by the kind column, inapplicable cells empty.
+var probeCSVHeader = []string{
+	"kind", "series", "t_ns",
+	"utilization", "queue_bytes", "queue_packets", "loss_rate", "forwarded_bytes", "dropped_packets",
+	"cwnd_bytes", "srtt_ns", "throughput_mbps",
+}
+
+func fg(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV writes every series as one flat CSV table (schema in the
+// header row). Row order is deterministic: links then flows, attach
+// order, samples oldest-first.
+func (d ProbeDump) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(probeCSVHeader); err != nil {
+		return err
+	}
+	// The interval rides along in a pseudo row so the CSV alone
+	// reconstructs the dump.
+	if err := cw.Write([]string{"interval", "", strconv.FormatInt(d.IntervalNs, 10), "", "", "", "", "", "", "", "", ""}); err != nil {
+		return err
+	}
+	for _, s := range d.Links {
+		for _, x := range s.Samples {
+			if err := cw.Write([]string{
+				"link", s.Name, strconv.FormatInt(int64(x.At), 10),
+				fg(x.Utilization), strconv.Itoa(x.QueueBytes), strconv.Itoa(x.QueuePackets),
+				fg(x.LossRate), strconv.FormatUint(x.ForwardedBytes, 10), strconv.FormatUint(x.DroppedPackets, 10),
+				"", "", "",
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range d.Flows {
+		for _, x := range s.Samples {
+			if err := cw.Write([]string{
+				"flow", s.Name, strconv.FormatInt(int64(x.At), 10),
+				"", "", "", "", "", "",
+				strconv.FormatInt(x.CwndBytes, 10), strconv.FormatInt(int64(x.SRTT), 10), fg(x.ThroughputMbps),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadDumpCSV parses a dump written by WriteCSV. Evicted counts are not
+// carried by the CSV form and read back as zero.
+func ReadDumpCSV(r io.Reader) (ProbeDump, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return ProbeDump{}, err
+	}
+	if len(rows) == 0 || len(rows[0]) != len(probeCSVHeader) {
+		return ProbeDump{}, fmt.Errorf("sim: not a probe CSV")
+	}
+	var d ProbeDump
+	links := map[string]*LinkSeriesDump{}
+	flows := map[string]*FlowSeriesDump{}
+	var linkOrder, flowOrder []string
+	pf := func(s string) float64 { v, _ := strconv.ParseFloat(s, 64); return v }
+	pi := func(s string) int { v, _ := strconv.Atoi(s); return v }
+	pu := func(s string) uint64 { v, _ := strconv.ParseUint(s, 10, 64); return v }
+	pt := func(s string) Time { v, _ := strconv.ParseInt(s, 10, 64); return Time(v) }
+	for _, row := range rows[1:] {
+		switch row[0] {
+		case "interval":
+			d.IntervalNs = int64(pt(row[2]))
+		case "link":
+			s, ok := links[row[1]]
+			if !ok {
+				s = &LinkSeriesDump{Name: row[1]}
+				links[row[1]] = s
+				linkOrder = append(linkOrder, row[1])
+			}
+			s.Samples = append(s.Samples, LinkSample{
+				At: pt(row[2]), Utilization: pf(row[3]),
+				QueueBytes: pi(row[4]), QueuePackets: pi(row[5]), LossRate: pf(row[6]),
+				ForwardedBytes: pu(row[7]), DroppedPackets: pu(row[8]),
+			})
+		case "flow":
+			s, ok := flows[row[1]]
+			if !ok {
+				s = &FlowSeriesDump{Name: row[1]}
+				flows[row[1]] = s
+				flowOrder = append(flowOrder, row[1])
+			}
+			v, _ := strconv.ParseInt(row[9], 10, 64)
+			s.Samples = append(s.Samples, FlowSample{
+				At: pt(row[2]), CwndBytes: v,
+				SRTT: pt(row[10]), ThroughputMbps: pf(row[11]),
+			})
+		default:
+			return ProbeDump{}, fmt.Errorf("sim: unknown probe CSV row kind %q", row[0])
+		}
+	}
+	for _, n := range linkOrder {
+		d.Links = append(d.Links, *links[n])
+	}
+	for _, n := range flowOrder {
+		d.Flows = append(d.Flows, *flows[n])
+	}
+	return d, nil
+}
+
+// MaxQueueBytes returns the largest sampled queue occupancy.
+func (s LinkSeriesDump) MaxQueueBytes() int {
+	max := 0
+	for _, x := range s.Samples {
+		if x.QueueBytes > max {
+			max = x.QueueBytes
+		}
+	}
+	return max
+}
+
+// UtilizationQuantile returns the q-quantile (0..1) of the sampled
+// per-interval utilization, 0 for an empty series.
+func (s LinkSeriesDump) UtilizationQuantile(q float64) float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(s.Samples))
+	for i, x := range s.Samples {
+		xs[i] = x.Utilization
+	}
+	sort.Float64s(xs)
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}

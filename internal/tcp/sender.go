@@ -86,6 +86,19 @@ func (s *Sender) Stats() FlowStats { return s.stats }
 // CC exposes the congestion controller (for tests and instrumentation).
 func (s *Sender) CC() CongestionControl { return s.cc }
 
+// FlowProbeID implements sim.FlowProbe.
+func (s *Sender) FlowProbeID() sim.FlowID { return s.flow }
+
+// FlowProbeSample implements sim.FlowProbe, exposing the instantaneous
+// congestion state (cwnd, smoothed RTT, bytes delivered) to a sim.Probe.
+func (s *Sender) FlowProbeSample() sim.FlowProbeSample {
+	return sim.FlowProbeSample{
+		CwndBytes:  s.cwndBytes(),
+		SRTT:       s.rto.SRTT(),
+		BytesAcked: s.stats.BytesAcked,
+	}
+}
+
 // Done reports whether the transfer has completed or been stopped.
 func (s *Sender) Done() bool { return s.done }
 

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -41,6 +43,15 @@ type Scenario struct {
 	// attached, before any traffic starts — the hook through which
 	// oracle-style controllers (Remy-Phi-ideal) reach the bottleneck.
 	OnTopology func(eng *sim.Engine, d *sim.Dumbbell)
+	// ProbeInterval, when positive, attaches a sim.Probe to the run: the
+	// bottleneck link is sampled on this virtual-time cadence (and, for
+	// long-running scenarios, every persistent sender's flow), and the
+	// collected series are returned in Result.Probe — the live
+	// utilization/queue/cwnd dynamics of the paper's Figures 1-3.
+	ProbeInterval sim.Time
+	// ProbeCap bounds each probe series (ring-buffer eviction beyond it);
+	// 0 uses the probe default.
+	ProbeCap int
 }
 
 // Result aggregates one scenario run.
@@ -60,6 +71,10 @@ type Result struct {
 	PropRTT sim.Time
 	// Duration is the measured horizon.
 	Duration sim.Time
+
+	// Probe holds the sampled time series when Scenario.ProbeInterval was
+	// set (nil otherwise).
+	Probe *sim.Probe
 }
 
 // Run executes the scenario and returns its measurements.
@@ -77,6 +92,12 @@ func Run(sc Scenario) Result {
 	}
 
 	res := Result{PropRTT: sc.Dumbbell.RTT, Duration: sc.Duration}
+	var probe *sim.Probe
+	if sc.ProbeInterval > 0 {
+		probe = sim.NewProbe(eng, sim.ProbeConfig{Interval: sc.ProbeInterval, MaxSamples: sc.ProbeCap})
+		probe.WatchLink("bottleneck", d.Bottleneck)
+		res.Probe = probe
+	}
 	record := func(sender int) func(*tcp.FlowStats) {
 		return func(st *tcp.FlowStats) {
 			res.Flows = append(res.Flows, *st)
@@ -104,6 +125,9 @@ func Run(sc Scenario) Result {
 		}
 		if sc.LongRunning {
 			src := NewPersistentSource(eng, ids, d.Senders[i], d.Receivers[i], cfg)
+			if probe != nil {
+				probe.WatchFlow(fmt.Sprintf("sender-%d", i), src.Sender)
+			}
 			src.Start()
 			stops = append(stops, src.Stop)
 		} else {
