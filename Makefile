@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race cover test test-short bench bench-smoke bench-sim fuzz-smoke load trace-demo health-demo experiments experiments-full experiments-compare golden-manifest examples clean
+.PHONY: all build vet race cover test test-short bench bench-smoke bench-sim bench-ingest fuzz-smoke load ingest-demo trace-demo health-demo experiments experiments-full experiments-compare golden-manifest examples clean
 
 all: build vet race
 
@@ -55,12 +55,39 @@ load:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# Short fuzzing burst over the phiwire codec fuzzers (CI runs this on
-# every push; crank -fuzztime locally for a real campaign).
+# Short fuzzing burst over the phiwire and ipfix codec fuzzers (CI runs
+# this on every push; crank -fuzztime locally for a real campaign).
 fuzz-smoke:
 	for target in FuzzHandle FuzzDecodeReportEnd FuzzReadFrame FuzzReadString; do \
 		$(GO) test -run=NONE -fuzz="^$$target$$" -fuzztime=10s ./internal/phiwire || exit 1; \
 	done
+	$(GO) test -run=NONE -fuzz='^FuzzDecodeIPFIX$$' -fuzztime=10s ./internal/ipfix
+
+# Passive-ingest pipeline benchmark (DESIGN.md §12): decode + track +
+# report throughput against a real phi.Server, best of 5 in-process
+# reps, plus the counted-drop shed behavior at 2x that rate, written to
+# BENCH_ingest.json. Fixed seed so reruns are comparable.
+bench-ingest:
+	$(GO) run ./cmd/phi-load -mode ipfixbench -bench-reps 5 -seed 42 \
+		-out BENCH_ingest.json
+
+# Passive-ingest demo: a phi-server with the IPFIX collector on, a 5s
+# synthetic export flood (no cooperative senders at all), then the
+# reconstructed per-path state at /debug/ingest — the context server
+# learns RTT, loss, and throughput per path purely from the exports.
+ingest-demo:
+	$(GO) build -o /tmp/phi-ingest-server ./cmd/phi-server
+	$(GO) build -o /tmp/phi-ingest-load ./cmd/phi-load
+	/tmp/phi-ingest-server -listen 127.0.0.1:7731 -metrics-addr 127.0.0.1:7732 \
+		-ipfix-addr 127.0.0.1:4739 -ipfix-window 1s & \
+	SERVER=$$!; trap 'kill $$SERVER' EXIT; sleep 1; \
+	/tmp/phi-ingest-load -mode ipfix -ipfix-addr 127.0.0.1:4739 \
+		-duration 5s -ipfix-rate 500000 -seed 42 -out /tmp/phi-ingest-demo.json; \
+	sleep 1; \
+	echo "--- /debug/ingest after the flood ---"; \
+	curl -s 'http://127.0.0.1:7732/debug/ingest?format=text'; \
+	echo "--- passive reports folded into the server ---"; \
+	curl -s http://127.0.0.1:7732/metrics | grep -E 'phi_server_passive|phi_ingest_reports'
 
 # End-to-end tracing demo: a traced 4-shard cluster under 10s of traced
 # load, a mid-run shard crash, then the retained traces — the failover

@@ -48,6 +48,17 @@
 //	-health-addr addr         also serve /debug/health on a dedicated
 //	                          address (implies -health)
 //	-health-bucket d          health rollup bucket width (default 1s)
+//	-ipfix-addr addr          receive IPFIX exports on this UDP address and
+//	                          fold passively reconstructed context (RTT,
+//	                          loss, throughput per path) into the cluster
+//	                          through the frontend, exactly as cooperative
+//	                          reports arrive; state at /debug/ingest on
+//	                          -metrics-addr (empty = off)
+//	-ipfix-sample n           exporter packet sampling rate, 1-in-N (default 1)
+//	-ipfix-window d           per-path aggregation window, stream time
+//	                          (default 5s)
+//	-passive-weight w         weight of passive reports relative to
+//	                          cooperative ones (0 = server default of 1)
 //	-log-level level          minimum log level: debug|info|warn|error
 //	-log-json                 emit logs as JSON lines (default logfmt)
 package main
@@ -64,6 +75,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/health"
+	"repro/internal/ingest"
+	"repro/internal/ipfix"
 	"repro/internal/phi"
 	"repro/internal/phiwire"
 	"repro/internal/sim"
@@ -90,6 +103,10 @@ func main() {
 		healthOn    = flag.Bool("health", false, "run the live health monitor (view at /debug/health on -metrics-addr or -health-addr)")
 		healthAddr  = flag.String("health-addr", "", "serve /debug/health on a dedicated address (implies -health)")
 		healthWin   = flag.Duration("health-bucket", time.Second, "health monitor rollup bucket width")
+		ipfixAddr   = flag.String("ipfix-addr", "", "receive IPFIX exports on this UDP address and ingest passive context (empty = off)")
+		ipfixSample = flag.Int("ipfix-sample", 1, "ipfix: exporter packet sampling rate (1-in-N)")
+		ipfixWindow = flag.Duration("ipfix-window", 5*time.Second, "ipfix: per-path aggregation window (stream time)")
+		passiveWt   = flag.Float64("passive-weight", 0, "weight of passive (IPFIX-inferred) reports relative to cooperative ones (0 = server default of 1)")
 		logLevel    = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
 		paths       pathFlags
@@ -116,7 +133,7 @@ func main() {
 		Shards: *shards,
 		VNodes: *vnodes,
 		Clock:  func() sim.Time { return sim.Time(time.Now().UnixNano()) },
-		Server: phi.ServerConfig{Window: sim.Time(window.Nanoseconds())},
+		Server: phi.ServerConfig{Window: sim.Time(window.Nanoseconds()), PassiveWeight: *passiveWt},
 		Frontend: cluster.FrontendConfig{
 			Timeout:          *timeout,
 			DownAfter:        *downAfter,
@@ -167,15 +184,53 @@ func main() {
 		logger.Info("registered path", "path", p.name, "capacity_bps", p.capacity)
 	}
 
+	// Passive ingest: an IPFIX collector feeding reconstructed context
+	// through the frontend, so passive reports shard, replicate, and
+	// fail over exactly like cooperative ones.
+	var (
+		ingestPipe *ingest.Pipeline
+		ingestCol  *ipfix.Collector
+	)
+	if *ipfixAddr != "" {
+		p, err := ingest.New(ingest.Config{
+			Sink:         cl.Frontend,
+			SampleN:      *ipfixSample,
+			WindowMillis: uint64(ipfixWindow.Milliseconds()),
+			Metrics:      ingest.NewMetrics(reg, nil),
+		})
+		if err != nil {
+			logger.Fatal("ipfix ingest", "err", err)
+		}
+		col, err := ipfix.NewRawCollector(*ipfixAddr, p.Datagram)
+		if err != nil {
+			logger.Fatal("ipfix collector", "addr", *ipfixAddr, "err", err)
+		}
+		ingestPipe, ingestCol = p, col
+		// Close the socket before stopping the pipeline: Datagram must
+		// not be called after Stop.
+		defer func() {
+			col.Close()
+			p.Stop()
+		}()
+		logger.Info("ipfix ingest up", "addr", col.Addr(),
+			"sample", *ipfixSample, "window", ipfixWindow.String())
+	}
+
 	srv := phiwire.NewServer(cl.Frontend, logger.Component("phiwire").Printf)
 	srv.SetMetrics(phiwire.NewServerMetrics(reg))
 	srv.SetTracer(tracer)
 	srv.SetHealth(monitor)
 	if *metricsAddr != "" {
-		ms, err := telemetry.Serve(*metricsAddr, reg,
-			telemetry.Endpoint{Path: "/debug/traces", Handler: tracer.Collector().Handler()},
-			telemetry.Endpoint{Path: "/debug/shard", Handler: shardDebugHandler(cl, logger)},
-			telemetry.Endpoint{Path: "/debug/health", Handler: monitor.Handler()})
+		endpoints := []telemetry.Endpoint{
+			{Path: "/debug/traces", Handler: tracer.Collector().Handler()},
+			{Path: "/debug/shard", Handler: shardDebugHandler(cl, logger)},
+			{Path: "/debug/health", Handler: monitor.Handler()},
+		}
+		if ingestPipe != nil {
+			endpoints = append(endpoints,
+				telemetry.Endpoint{Path: "/debug/ingest", Handler: ingest.Handler(ingestPipe, ingestCol)})
+		}
+		ms, err := telemetry.Serve(*metricsAddr, reg, endpoints...)
 		if err != nil {
 			logger.Fatal("metrics server", "err", err)
 		}

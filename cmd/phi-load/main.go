@@ -18,6 +18,12 @@
 //     control plane is affordable (arrivals do not slow down when the
 //     server does).
 //
+// Two further modes exercise the passive-ingest path instead of the
+// wire protocol (see ipfix.go): -mode ipfix floods a server's
+// -ipfix-addr collector with synthetic TCP-template IPFIX over UDP, and
+// -mode ipfixbench benchmarks the ingest pipeline in-process, writing
+// BENCH_ingest.json.
+//
 // Path keys are drawn uniformly or Zipf-skewed from -paths distinct
 // keys, modelling a few hot inter-datacenter paths among many cold
 // ones.
@@ -86,6 +92,12 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/traces and pprof on this address while running")
 		logLevel    = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
+		ipfixAddr   = flag.String("ipfix-addr", "127.0.0.1:4739", "ipfix mode: collector UDP address to flood")
+		ipfixFlows  = flag.Int("ipfix-flows", 256, "ipfix modes: concurrent synthetic TCP flows")
+		ipfixPaths  = flag.Int("ipfix-paths", 16, "ipfix modes: distinct destination /24 paths")
+		ipfixLoss   = flag.Float64("ipfix-loss", 0.01, "ipfix modes: planted retransmit probability")
+		ipfixRate   = flag.Float64("ipfix-rate", 0, "ipfix mode: records/s pacing (0 = unpaced)")
+		benchReps   = flag.Int("bench-reps", 5, "ipfixbench mode: best-of repetitions")
 	)
 	flag.Parse()
 
@@ -99,6 +111,22 @@ func main() {
 		lopts = append(lopts, tlog.WithJSON())
 	}
 	logger := tlog.New(os.Stderr, lvl, lopts...).Component("phi-load")
+
+	// The IPFIX modes share none of the wire-protocol plumbing below
+	// (no connections, no probe): dispatch before building runConfig.
+	if *mode == "ipfix" || *mode == "ipfixbench" {
+		runIPFIXMode(*mode, ipfixConfig{
+			Addr:       *ipfixAddr,
+			Flows:      *ipfixFlows,
+			Paths:      *ipfixPaths,
+			LossRate:   *ipfixLoss,
+			RatePerSec: *ipfixRate,
+			DurationS:  duration.Seconds(),
+			Reps:       *benchReps,
+			Seed:       *seed,
+		}, *out, logger)
+		return
+	}
 
 	cfg := runConfig{
 		Addr:        *addr,
@@ -264,7 +292,7 @@ func (c runConfig) validate() []error {
 			fail("-max-inflight must be >= 1 (got %d)", c.MaxInflight)
 		}
 	default:
-		fail("-mode must be closed or open (got %q)", c.Mode)
+		fail("-mode must be closed, open, ipfix, or ipfixbench (got %q)", c.Mode)
 	}
 	if c.DurationS <= 0 {
 		fail("-duration must be > 0 (got %vs)", c.DurationS)

@@ -13,6 +13,14 @@
 // request counters, open connections) at /metrics on that address,
 // plus /debug/traces (with -trace), /debug/exemplars, and the standard
 // pprof profiles under /debug/pprof/.
+//
+// With -ipfix-addr set, the server also runs the passive-ingest
+// pipeline: IPFIX exports received on that UDP address are decoded,
+// per-flow TCP state is reconstructed (RTT from sequence/ack matching,
+// loss from retransmissions, throughput from octet deltas), and the
+// inferred per-path context is folded into the same server the
+// cooperative protocol fills — no sender cooperation required.
+// Pipeline state is served at /debug/ingest on -metrics-addr.
 package main
 
 import (
@@ -25,6 +33,8 @@ import (
 	"time"
 
 	"repro/internal/health"
+	"repro/internal/ingest"
+	"repro/internal/ipfix"
 	"repro/internal/phi"
 	"repro/internal/phiwire"
 	"repro/internal/sim"
@@ -43,6 +53,10 @@ func main() {
 		healthOn    = flag.Bool("health", false, "run the live health monitor (view at /debug/health on -metrics-addr or -health-addr)")
 		healthAddr  = flag.String("health-addr", "", "serve /debug/health on a dedicated address (implies -health)")
 		healthWin   = flag.Duration("health-bucket", time.Second, "health monitor rollup bucket width")
+		ipfixAddr   = flag.String("ipfix-addr", "", "receive IPFIX exports on this UDP address and ingest passive context (empty = off)")
+		ipfixSample = flag.Int("ipfix-sample", 1, "ipfix: exporter packet sampling rate (1-in-N)")
+		ipfixWindow = flag.Duration("ipfix-window", 5*time.Second, "ipfix: per-path aggregation window (stream time)")
+		passiveWt   = flag.Float64("passive-weight", 0, "weight of passive (IPFIX-inferred) reports relative to cooperative ones (0 = server default of 1)")
 		logLevel    = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
 		paths       pathFlags
@@ -81,7 +95,7 @@ func main() {
 
 	backend := phi.NewServer(
 		func() sim.Time { return sim.Time(time.Now().UnixNano()) },
-		phi.ServerConfig{Window: sim.Time(window.Nanoseconds())},
+		phi.ServerConfig{Window: sim.Time(window.Nanoseconds()), PassiveWeight: *passiveWt},
 	)
 	backend.SetMetrics(phi.NewServerMetrics(reg, nil))
 	backend.SetTracer(tracer)
@@ -91,14 +105,51 @@ func main() {
 		logger.Info("registered path", "path", p.name, "capacity_bps", p.capacity)
 	}
 
+	// Passive ingest: an IPFIX collector feeding the same backend the
+	// cooperative wire protocol reports into.
+	var (
+		ingestPipe *ingest.Pipeline
+		ingestCol  *ipfix.Collector
+	)
+	if *ipfixAddr != "" {
+		p, err := ingest.New(ingest.Config{
+			Sink:         backend,
+			SampleN:      *ipfixSample,
+			WindowMillis: uint64(ipfixWindow.Milliseconds()),
+			Metrics:      ingest.NewMetrics(reg, nil),
+		})
+		if err != nil {
+			logger.Fatal("ipfix ingest", "err", err)
+		}
+		col, err := ipfix.NewRawCollector(*ipfixAddr, p.Datagram)
+		if err != nil {
+			logger.Fatal("ipfix collector", "addr", *ipfixAddr, "err", err)
+		}
+		ingestPipe, ingestCol = p, col
+		// Close the socket before stopping the pipeline: Datagram must
+		// not be called after Stop.
+		defer func() {
+			col.Close()
+			p.Stop()
+		}()
+		logger.Info("ipfix ingest up", "addr", col.Addr(),
+			"sample", *ipfixSample, "window", ipfixWindow.String())
+	}
+
 	srv := phiwire.NewServer(backend, logger.Component("phiwire").Printf)
 	srv.SetMetrics(phiwire.NewServerMetrics(reg))
 	srv.SetTracer(tracer)
 	srv.SetHealth(monitor)
 	if *metricsAddr != "" {
-		ms, err := telemetry.Serve(*metricsAddr, reg,
-			telemetry.Endpoint{Path: "/debug/traces", Handler: tracer.Collector().Handler()},
-			telemetry.Endpoint{Path: "/debug/health", Handler: monitor.Handler()})
+		endpoints := []telemetry.Endpoint{
+			{Path: "/debug/traces", Handler: tracer.Collector().Handler()},
+			{Path: "/debug/health", Handler: monitor.Handler()},
+		}
+		if ingestPipe != nil {
+			endpoints = append(endpoints,
+				telemetry.Endpoint{Path: "/debug/ingest", Handler: ingest.Handler(ingestPipe, ingestCol)})
+		}
+		ms, err := telemetry.Serve(*metricsAddr, reg, endpoints...)
 		if err != nil {
 			logger.Fatal("metrics server", "err", err)
 		}

@@ -1,0 +1,61 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/ipfix"
+)
+
+// DebugSnapshot is the /debug/ingest payload: pipeline counters, the
+// tracker's reconstructed per-path state, and (when the pipeline is fed
+// by a UDP collector) the collector's transport-layer counters.
+type DebugSnapshot struct {
+	Pipeline  Stats                 `json:"pipeline"`
+	Collector *ipfix.CollectorStats `json:"collector,omitempty"`
+}
+
+// Handler serves the pipeline state as JSON (default) or a terminal-
+// friendly text summary (?format=text), following the /debug/traces
+// conventions. collector may be nil when the pipeline is fed directly.
+func Handler(p *Pipeline, collector *ipfix.Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := DebugSnapshot{Pipeline: p.Snapshot()}
+		if collector != nil {
+			cs := collector.Stats()
+			snap.Collector = &cs
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeText(w, &snap)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+}
+
+func writeText(w interface{ Write([]byte) (int, error) }, s *DebugSnapshot) {
+	p := &s.Pipeline
+	fmt.Fprintf(w, "ingest: %d datagrams -> %d records -> %d reports (%d windows)\n",
+		p.Datagrams, p.Records, p.Reports, p.Tracker.Windows)
+	fmt.Fprintf(w, "dropped: %d datagrams (decode queue), %d records (track queue); %d decode errors\n",
+		p.DroppedDecode, p.DroppedTrack, p.DecodeErrors)
+	fmt.Fprintf(w, "orphans: %d records recovered, %d sets dropped\n",
+		p.OrphanRecords, p.OrphanDropped)
+	t := &p.Tracker
+	fmt.Fprintf(w, "tracker: %d flows (%d evicted, %d dropped), %d rtt samples, %d retransmits, %d unmatched acks, watermark %dms\n",
+		t.Flows, t.FlowsEvicted, t.FlowsDropped, t.RTTSamples, t.Retransmits, t.AcksUnmatched, t.WatermarkMillis)
+	for _, ps := range p.Paths {
+		fmt.Fprintf(w, "  %-24s %3d flows  srtt %7.2fms  min %7.2fms  (%d samples)\n",
+			ps.Path, ps.Flows, ps.SRTTMs, ps.MinRTTMs, ps.RTTSamples)
+	}
+	if c := s.Collector; c != nil {
+		fmt.Fprintf(w, "collector: %d datagrams, %d sessions (%d evicted), %d errors, orphans %d buffered / %d recovered / %d dropped, %d malformed\n",
+			c.Datagrams, c.Sessions, c.EvictedSessions, c.Errors,
+			c.OrphanBuffered, c.OrphanRecovered, c.OrphanDropped, c.Malformed)
+	}
+}

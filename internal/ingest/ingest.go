@@ -1,0 +1,105 @@
+// Package ingest is the paper's production measurement story (Section
+// 2.1) turned into a pipeline: the provider already watches its egress
+// with sampled IPFIX export, so per-path congestion context can be
+// recovered passively — no sender cooperation anywhere — and fed into
+// the same context server the cooperative protocol fills.
+//
+// The pipeline is an ETL over datagrams:
+//
+//	UDP socket -> decode -> track -> report
+//
+// Decode turns datagrams into flow records (per-session RFC 7011
+// decoders, reusing internal/ipfix). Track reconstructs per-flow TCP
+// state from the sampled records — sequence/ack matching yields RTT
+// samples, non-advancing sequence numbers count retransmissions, octet
+// deltas give throughput — and aggregates it per path in sliced time
+// windows. Report folds each window into phi reports tagged
+// phi.SourcePassive, so the server can weigh inferred evidence
+// differently from sender self-reports (ServerConfig.PassiveWeight).
+//
+// Stages are connected by bounded queues; under overload the pipeline
+// sheds load by dropping at stage boundaries and counting every drop
+// (phi_ingest_dropped_total, /debug/ingest) rather than queueing
+// without bound. Synchronous mode (Config.Synchronous) runs the whole
+// pipeline inline on the caller's goroutine for deterministic tests and
+// benchmarks.
+package ingest
+
+import (
+	"fmt"
+
+	"repro/internal/ipfix"
+	"repro/internal/phi"
+)
+
+// ReportSink is where reconstructed context goes: the report half of a
+// context server. Both phi.Server and cluster.Frontend satisfy it.
+type ReportSink interface {
+	ReportStart(path phi.PathKey) error
+	ReportEnd(path phi.PathKey, r phi.Report) error
+	ReportProgress(path phi.PathKey, r phi.Report) error
+}
+
+// Config tunes the pipeline.
+type Config struct {
+	// Sink receives the passive reports. Required.
+	Sink ReportSink
+
+	// PathKey maps a flow record to the path whose context it informs.
+	// Default: the destination /24 (the paper's spatial granularity).
+	PathKey func(*ipfix.FlowRecord) string
+
+	// SampleN is the exporter's 1-in-N packet sampling rate; observed
+	// byte counts are scaled back up by it (default 1).
+	SampleN int
+
+	// WindowMillis slices time for per-path aggregation: one passive
+	// report per path per window (default 5000). The clock is the
+	// record stream's own observation timestamps (the watermark), so
+	// replays behave identically to live feeds.
+	WindowMillis uint64
+
+	// IdleTimeoutMillis evicts a flow unseen for this long, retiring
+	// its ReportStart registration (default 15000).
+	IdleTimeoutMillis uint64
+
+	// MaxFlows bounds the tracker's flow table; new flows beyond it are
+	// dropped and counted (default 65536).
+	MaxFlows int
+
+	// QueueLen bounds each inter-stage queue (default 1024 datagrams /
+	// record batches).
+	QueueLen int
+
+	// Synchronous disables the stage goroutines: Process and FlushAll
+	// run the whole pipeline inline, deterministically.
+	Synchronous bool
+
+	// Metrics is the optional telemetry surface (nil = uninstrumented).
+	Metrics *Metrics
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Sink == nil {
+		return c, fmt.Errorf("ingest: Config.Sink is required")
+	}
+	if c.PathKey == nil {
+		c.PathKey = func(r *ipfix.FlowRecord) string { return r.DstSubnet24().String() }
+	}
+	if c.SampleN <= 0 {
+		c.SampleN = 1
+	}
+	if c.WindowMillis == 0 {
+		c.WindowMillis = 5000
+	}
+	if c.IdleTimeoutMillis == 0 {
+		c.IdleTimeoutMillis = 15000
+	}
+	if c.MaxFlows <= 0 {
+		c.MaxFlows = 65536
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	return c, nil
+}

@@ -1,0 +1,46 @@
+package ingest
+
+import "repro/internal/telemetry"
+
+// Metrics is the pipeline's telemetry surface. All fields are nil-safe
+// handles; a nil *Metrics disables instrumentation entirely (the hot
+// path then pays one branch per stage).
+type Metrics struct {
+	// Datagrams counts export datagrams fed in; Records counts decoded
+	// flow records; Reports counts passive reports emitted to the sink;
+	// Windows counts aggregation flushes.
+	Datagrams *telemetry.Counter
+	Records   *telemetry.Counter
+	Reports   *telemetry.Counter
+	Windows   *telemetry.Counter
+	// DroppedDecode and DroppedTrack count load shed at each stage
+	// boundary under overload (datagrams and records respectively).
+	DroppedDecode *telemetry.Counter
+	DroppedTrack  *telemetry.Counter
+	// DecodeErrors counts undecodable datagrams; OrphanRecords counts
+	// records recovered from data sets that arrived before their
+	// template (the UDP reorder path).
+	DecodeErrors  *telemetry.Counter
+	OrphanRecords *telemetry.Counter
+	// Flows tracks the live reconstructed-flow table size.
+	Flows *telemetry.Gauge
+}
+
+// NewMetrics registers the ingest metric set on reg. A nil registry
+// yields nil, so callers can wire unconditionally.
+func NewMetrics(reg *telemetry.Registry, labels telemetry.Labels) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Datagrams:     reg.Counter("phi_ingest_datagrams_total", "IPFIX datagrams received", labels),
+		Records:       reg.Counter("phi_ingest_records_total", "flow records decoded", labels),
+		Reports:       reg.Counter("phi_ingest_reports_total", "passive reports emitted", labels),
+		Windows:       reg.Counter("phi_ingest_windows_total", "aggregation windows flushed", labels),
+		DroppedDecode: reg.Counter("phi_ingest_dropped_datagrams_total", "datagrams shed at the decode queue", labels),
+		DroppedTrack:  reg.Counter("phi_ingest_dropped_records_total", "records shed at the track queue", labels),
+		DecodeErrors:  reg.Counter("phi_ingest_decode_errors_total", "undecodable datagrams", labels),
+		OrphanRecords: reg.Counter("phi_ipfix_orphan_records_total", "records recovered from template-less data sets", labels),
+		Flows:         reg.Gauge("phi_ingest_flows", "live reconstructed TCP flows", labels),
+	}
+}

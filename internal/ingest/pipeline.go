@@ -1,0 +1,273 @@
+package ingest
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ipfix"
+)
+
+// datagram is one received export message with its transport session.
+type datagram struct {
+	session string
+	data    []byte
+}
+
+// Pipeline is the passive-ingest ETL. Feed it datagrams (Datagram, the
+// handler shape ipfix.NewRawCollector wants) or pre-decoded records
+// (Records); reconstructed context flows out through Config.Sink.
+//
+// In the default asynchronous mode the stages run on their own
+// goroutines — decode on one, track on another (reporting is fused into
+// track: windows flush at most once per WindowMillis, and splitting the
+// sink calls onto a third queue could drop a ReportEnd and leak a
+// sender registration). The stages are connected by bounded queues that
+// drop (and count) under overload instead of queueing without bound. In
+// synchronous mode everything runs inline on the caller's goroutine:
+// same code, deterministic order. Feed methods are safe for one
+// concurrent caller each (the raw collector's receive goroutine).
+type Pipeline struct {
+	cfg Config
+
+	// decode-stage state (owned by the decode goroutine, or the caller
+	// in synchronous mode).
+	decoders map[string]*ipfix.Decoder
+
+	// track-stage state (owned by the track goroutine / caller).
+	tracker *tracker
+
+	decodeQ chan datagram
+	trackQ  chan []ipfix.FlowRecord
+
+	// Counters, all atomics so Snapshot never blocks a stage.
+	datagrams      atomic.Uint64
+	records        atomic.Uint64
+	decodeDrops    atomic.Uint64
+	trackDrops     atomic.Uint64
+	decodeErrors   atomic.Uint64
+	orphanRecords  atomic.Uint64
+	orphanDropped  atomic.Uint64
+	reportsEmitted atomic.Uint64
+
+	mu      sync.Mutex // guards tracker access across Snapshot/track stage
+	wg      sync.WaitGroup
+	stopped chan struct{}
+	once    sync.Once
+}
+
+// New builds a pipeline. In asynchronous mode (cfg.Synchronous false)
+// the stage goroutines start immediately; call Stop to drain and halt.
+func New(cfg Config) (*Pipeline, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:      cfg,
+		decoders: make(map[string]*ipfix.Decoder),
+		tracker:  newTracker(cfg),
+		stopped:  make(chan struct{}),
+	}
+	if !cfg.Synchronous {
+		p.decodeQ = make(chan datagram, cfg.QueueLen)
+		p.trackQ = make(chan []ipfix.FlowRecord, cfg.QueueLen)
+		p.wg.Add(2)
+		go p.decodeLoop()
+		go p.trackLoop()
+	}
+	return p, nil
+}
+
+// Datagram feeds one export datagram into the pipeline. The slice is
+// owned by the pipeline afterwards (ipfix.NewRawCollector hands over a
+// fresh copy per datagram). In asynchronous mode it never blocks: when
+// the decode queue is full the datagram is dropped and counted.
+func (p *Pipeline) Datagram(session string, data []byte) {
+	p.datagrams.Add(1)
+	if m := p.cfg.Metrics; m != nil {
+		m.Datagrams.Inc()
+	}
+	if p.cfg.Synchronous {
+		p.track(p.decode(session, data))
+		return
+	}
+	select {
+	case p.decodeQ <- datagram{session: session, data: data}:
+	default:
+		p.decodeDrops.Add(1)
+		if m := p.cfg.Metrics; m != nil {
+			m.DroppedDecode.Inc()
+		}
+	}
+}
+
+// Records bypasses the decode stage, feeding already-decoded records
+// (e.g. from a file replay). Same overload behavior as Datagram.
+func (p *Pipeline) Records(recs []ipfix.FlowRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	if p.cfg.Synchronous {
+		p.track(recs)
+		return
+	}
+	select {
+	case p.trackQ <- recs:
+	default:
+		p.trackDrops.Add(uint64(len(recs)))
+		if m := p.cfg.Metrics; m != nil {
+			m.DroppedTrack.Add(uint64(len(recs)))
+		}
+	}
+}
+
+// decode runs the decode stage for one datagram: a per-session decoder
+// (templates are per transport session) hardened against orphan data
+// sets and malformed templates.
+func (p *Pipeline) decode(session string, data []byte) []ipfix.FlowRecord {
+	dec, ok := p.decoders[session]
+	if !ok {
+		// Sessions are bounded the same way the collector bounds them:
+		// refuse pathological session churn by resetting the map.
+		if len(p.decoders) >= 256 {
+			p.decoders = make(map[string]*ipfix.Decoder)
+		}
+		dec = ipfix.NewDecoder()
+		p.decoders[session] = dec
+	}
+	preRecovered, preDropped := dec.OrphanRecovered, dec.OrphanDropped
+	recs, err := dec.Decode(data)
+	if err != nil {
+		p.decodeErrors.Add(1)
+		if m := p.cfg.Metrics; m != nil {
+			m.DecodeErrors.Inc()
+		}
+	}
+	if d := dec.OrphanRecovered - preRecovered; d > 0 {
+		p.orphanRecords.Add(d)
+		if m := p.cfg.Metrics; m != nil {
+			m.OrphanRecords.Add(d)
+		}
+	}
+	if d := dec.OrphanDropped - preDropped; d > 0 {
+		p.orphanDropped.Add(d)
+	}
+	p.records.Add(uint64(len(recs)))
+	if m := p.cfg.Metrics; m != nil {
+		m.Records.Add(uint64(len(recs)))
+	}
+	return recs
+}
+
+// track runs the track stage for one record batch, flushing whenever
+// the stream clock crosses a window boundary.
+func (p *Pipeline) track(recs []ipfix.FlowRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	p.mu.Lock()
+	for i := range recs {
+		p.tracker.observe(&recs[i])
+	}
+	for p.tracker.due() {
+		n := p.tracker.flush()
+		p.reportsEmitted.Add(uint64(n))
+		if m := p.cfg.Metrics; m != nil {
+			m.Reports.Add(uint64(n))
+			m.Windows.Inc()
+			m.Flows.Set(float64(len(p.tracker.flows)))
+		}
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pipeline) decodeLoop() {
+	defer p.wg.Done()
+	for d := range p.decodeQ {
+		recs := p.decode(d.session, d.data)
+		if len(recs) == 0 {
+			continue
+		}
+		select {
+		case p.trackQ <- recs:
+		default:
+			p.trackDrops.Add(uint64(len(recs)))
+			if m := p.cfg.Metrics; m != nil {
+				m.DroppedTrack.Add(uint64(len(recs)))
+			}
+		}
+	}
+	close(p.trackQ)
+}
+
+func (p *Pipeline) trackLoop() {
+	defer p.wg.Done()
+	for recs := range p.trackQ {
+		p.track(recs)
+	}
+}
+
+// FlushAll forces a window flush regardless of the watermark — the
+// deterministic-mode way to drain pending aggregates (also used by Stop).
+func (p *Pipeline) FlushAll() {
+	p.mu.Lock()
+	n := p.tracker.flush()
+	p.reportsEmitted.Add(uint64(n))
+	if m := p.cfg.Metrics; m != nil {
+		m.Reports.Add(uint64(n))
+		m.Windows.Inc()
+		m.Flows.Set(float64(len(p.tracker.flows)))
+	}
+	p.mu.Unlock()
+}
+
+// Stop drains the queues, flushes the final window, and halts the stage
+// goroutines. Safe to call once; Datagram must not be called after.
+func (p *Pipeline) Stop() {
+	p.once.Do(func() {
+		if !p.cfg.Synchronous {
+			close(p.decodeQ)
+			p.wg.Wait()
+		}
+		close(p.stopped)
+		p.FlushAll()
+	})
+}
+
+// Stats is the pipeline's counter snapshot for /debug/ingest.
+type Stats struct {
+	Datagrams     uint64 `json:"datagrams"`
+	Records       uint64 `json:"records"`
+	Reports       uint64 `json:"reports"`
+	DecodeErrors  uint64 `json:"decode_errors"`
+	OrphanRecords uint64 `json:"orphan_records"`
+	OrphanDropped uint64 `json:"orphan_dropped"`
+	// Dropped* count load shed at each stage boundary under overload:
+	// whole datagrams at the decode queue, records at the track queue.
+	DroppedDecode uint64 `json:"dropped_decode"`
+	DroppedTrack  uint64 `json:"dropped_track"`
+
+	Tracker TrackerStats  `json:"tracker"`
+	Paths   []PathSummary `json:"paths"`
+}
+
+// Snapshot returns the current stats. Safe to call while the pipeline
+// runs.
+func (p *Pipeline) Snapshot() Stats {
+	s := Stats{
+		Datagrams:     p.datagrams.Load(),
+		Records:       p.records.Load(),
+		Reports:       p.reportsEmitted.Load(),
+		DecodeErrors:  p.decodeErrors.Load(),
+		OrphanRecords: p.orphanRecords.Load(),
+		OrphanDropped: p.orphanDropped.Load(),
+		DroppedDecode: p.decodeDrops.Load(),
+		DroppedTrack:  p.trackDrops.Load(),
+	}
+	p.mu.Lock()
+	s.Tracker = p.tracker.stats
+	s.Tracker.Flows = len(p.tracker.flows)
+	s.Paths = p.tracker.pathSummaries()
+	p.mu.Unlock()
+	return s
+}

@@ -1,0 +1,314 @@
+package ingest
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ipfix"
+	"repro/internal/ipfix/synth"
+	"repro/internal/phi"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestPipelinePassiveOnlyPopulatesServer is the acceptance E2E: with
+// cooperative reports disabled entirely, an IPFIX-only stream drives
+// phi.Server to per-path contexts whose RTT matches the planted ground
+// truth within tolerance.
+func TestPipelinePassiveOnlyPopulatesServer(t *testing.T) {
+	var now sim.Time
+	server := phi.NewServer(func() sim.Time { return now }, phi.ServerConfig{})
+	reg := telemetry.NewRegistry()
+	server.SetMetrics(phi.NewServerMetrics(reg, nil))
+
+	stream := synth.NewStream(synth.StreamConfig{
+		Flows: 16, Paths: 4, RTTMillisBase: 20, RTTMillisStep: 10,
+		LossRate: 0.02, Seed: 7,
+	})
+	p, err := New(Config{
+		Sink:         server,
+		Synchronous:  true,
+		WindowMillis: 2000,
+		Metrics:      NewMetrics(reg, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 10 virtual seconds of traffic through the wire codec, exactly as a
+	// collector would receive it.
+	enc := ipfix.NewEncoder(1)
+	for i := 0; i < 10; i++ {
+		msgs, err := stream.Messages(enc, 1000, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			p.Datagram("exporter-1", m)
+		}
+	}
+	p.FlushAll()
+
+	if got := server.PassiveReports(); got == 0 {
+		t.Fatal("no passive reports reached the server")
+	}
+	lookups, reports := server.Stats()
+	_ = lookups
+	if reports == 0 {
+		t.Fatal("no reports folded in")
+	}
+	// Per-path context: RTT reconstruction within 20%, senders active.
+	for i, truth := range stream.Truth() {
+		ctx, err := server.Lookup(phi.PathKey(truth.Subnet.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctx.N == 0 {
+			t.Errorf("path %d: no active senders inferred", i)
+		}
+		if ctx.U <= 0 {
+			t.Errorf("path %d: utilization not populated", i)
+		}
+	}
+	// The tracker's own per-path SRTT must match the planted RTTs.
+	snap := p.Snapshot()
+	if len(snap.Paths) != 4 {
+		t.Fatalf("tracked %d paths, want 4", len(snap.Paths))
+	}
+	for _, ps := range snap.Paths {
+		var want float64
+		for i, k := range stream.PathKeys() {
+			if k == ps.Path {
+				want = stream.Truth()[i].RTTMillis
+			}
+		}
+		if want == 0 {
+			t.Fatalf("unexpected path %s", ps.Path)
+		}
+		if ps.SRTTMs < want*0.8 || ps.SRTTMs > want*1.2 {
+			t.Errorf("path %s: reconstructed SRTT %.2fms, planted %.0fms", ps.Path, ps.SRTTMs, want)
+		}
+	}
+	if snap.Tracker.RTTSamples == 0 || snap.Tracker.Retransmits == 0 {
+		t.Errorf("tracker stats missing evidence: %+v", snap.Tracker)
+	}
+	// Metrics flowed.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, metric := range []string{
+		"phi_ingest_datagrams_total", "phi_ingest_records_total",
+		"phi_ingest_reports_total", "phi_server_passive_reports_total",
+	} {
+		if !strings.Contains(out, metric) {
+			t.Errorf("metric %s not exported", metric)
+		}
+	}
+}
+
+// TestPipelineOrphanRecovery feeds a data-only datagram before its
+// template through the full pipeline: the records must be recovered and
+// counted, not lost.
+func TestPipelineOrphanRecovery(t *testing.T) {
+	sink := newRecordingSink()
+	p, err := New(Config{Sink: sink, Synchronous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := ipfix.NewEncoder(1)
+	stream := synth.NewStream(synth.StreamConfig{Flows: 2, Paths: 1, Seed: 1})
+	msgs, err := stream.Messages(enc, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) < 2 {
+		t.Fatalf("want >= 2 messages, got %d", len(msgs))
+	}
+	// Deliver out of order: the data-only second message first.
+	p.Datagram("exp", msgs[1])
+	if s := p.Snapshot(); s.Records != 0 {
+		t.Fatalf("records decoded before template arrived: %d", s.Records)
+	}
+	p.Datagram("exp", msgs[0])
+	s := p.Snapshot()
+	if s.OrphanRecords == 0 {
+		t.Error("no orphan records counted")
+	}
+	if s.Records == 0 {
+		t.Error("no records recovered")
+	}
+}
+
+// TestPipelineAsyncDelivers checks the asynchronous path end to end:
+// records fed on one goroutine surface as reports after Stop.
+func TestPipelineAsyncDelivers(t *testing.T) {
+	sink := newRecordingSink()
+	p, err := New(Config{Sink: sink, WindowMillis: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := ipfix.NewEncoder(1)
+	stream := synth.NewStream(synth.StreamConfig{Flows: 4, Paths: 2, Seed: 2})
+	msgs, err := stream.Messages(enc, 3000, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs {
+		p.Datagram("exp", m)
+	}
+	p.Stop()
+	s := p.Snapshot()
+	if s.Records == 0 {
+		t.Fatal("async pipeline decoded nothing")
+	}
+	if s.Reports == 0 {
+		t.Fatal("async pipeline reported nothing")
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.progress) == 0 {
+		t.Fatal("sink saw no progress reports")
+	}
+}
+
+// TestPipelineOverloadShedsAndCounts pins the 2x-overload behavior: a
+// blocked track stage forces the bounded queue to shed, and every drop
+// is counted rather than silently lost or unboundedly queued.
+func TestPipelineOverloadShedsAndCounts(t *testing.T) {
+	block := make(chan struct{})
+	sink := &blockingSink{release: block}
+	p, err := New(Config{Sink: sink, QueueLen: 2, WindowMillis: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each batch crosses a window boundary, so the track stage calls the
+	// sink (which blocks) almost immediately; subsequent batches pile
+	// into the bounded queue and then shed.
+	key := testKey()
+	var fed uint64
+	for i := 0; i < 200; i++ {
+		r := dataRec(key, uint32(1000+i*1460), uint64(100+i*10))
+		p.Records([]ipfix.FlowRecord{r})
+		fed++
+	}
+	// Poll the drop counter directly: Snapshot would contend on the
+	// tracker mutex the blocked flush is holding.
+	deadline := time.After(5 * time.Second)
+	for p.trackDrops.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no drops recorded under overload")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(block)
+	p.Stop()
+	s := p.Snapshot()
+	if s.DroppedTrack == 0 {
+		t.Fatal("drops vanished")
+	}
+	if s.DroppedTrack >= fed {
+		t.Fatalf("everything dropped (%d of %d): queue never drained", s.DroppedTrack, fed)
+	}
+}
+
+// blockingSink blocks the first progress report until released.
+type blockingSink struct {
+	release <-chan struct{}
+}
+
+func (s *blockingSink) ReportStart(phi.PathKey) error { return nil }
+func (s *blockingSink) ReportEnd(phi.PathKey, phi.Report) error {
+	return nil
+}
+func (s *blockingSink) ReportProgress(phi.PathKey, phi.Report) error {
+	<-s.release
+	return nil
+}
+
+// TestPipelineUDPEndToEnd runs the real socket path: exporter -> UDP ->
+// raw collector -> pipeline -> server.
+func TestPipelineUDPEndToEnd(t *testing.T) {
+	var now sim.Time
+	server := phi.NewServer(func() sim.Time { return now }, phi.ServerConfig{})
+	p, err := New(Config{Sink: server, WindowMillis: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := ipfix.NewRawCollector("127.0.0.1:0", p.Datagram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	exp, err := ipfix.NewExporter(col.Addr(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	stream := synth.NewStream(synth.StreamConfig{Flows: 8, Paths: 2, Seed: 3})
+	enc := ipfix.NewEncoder(42)
+	msgs, err := stream.Messages(enc, 2000, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs {
+		if err := exp.WriteMessage(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// UDP on loopback is reliable in practice but asynchronous: poll.
+	deadline := time.After(5 * time.Second)
+	for server.PassiveReports() == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("no passive reports after flood; snapshot %+v, collector %+v",
+				p.Snapshot(), col.Stats())
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	// Close the socket before stopping the pipeline: Datagram must not
+	// be called after Stop (same order the daemons shut down in).
+	col.Close()
+	p.Stop()
+	if cs := col.Stats(); cs.Datagrams == 0 {
+		t.Error("collector counted no datagrams")
+	}
+}
+
+// TestDebugHandlerFormats checks /debug/ingest in both formats.
+func TestDebugHandlerFormats(t *testing.T) {
+	sink := newRecordingSink()
+	p, err := New(Config{Sink: sink, Synchronous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dataRec(testKey(), 1000, 100)
+	p.Records([]ipfix.FlowRecord{r})
+
+	rec := httptest.NewRecorder()
+	Handler(p, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/ingest", nil))
+	var snap DebugSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if snap.Pipeline.Tracker.Flows != 1 {
+		t.Errorf("snapshot flows = %d, want 1", snap.Pipeline.Tracker.Flows)
+	}
+	if snap.Collector != nil {
+		t.Error("collector section present without a collector")
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(p, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/ingest?format=text", nil))
+	if body := rec.Body.String(); !strings.Contains(body, "tracker:") {
+		t.Errorf("text format missing tracker line:\n%s", body)
+	}
+}

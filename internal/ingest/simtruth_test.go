@@ -1,0 +1,130 @@
+package ingest
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/ipfix"
+	"repro/internal/ipfix/synth"
+	"repro/internal/phi"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/workload"
+)
+
+// TestPassiveReconstructionMatchesSimTruth closes the loop against the
+// simulator: a dumbbell run produces per-flow ground truth (the probe's
+// SRTT series and the senders' retransmit counts); synthetic IPFIX is
+// generated from those series as an egress exporter would have seen the
+// flows; and the passive tracker, fed only the IPFIX, must reconstruct
+// SRTT and loss within tolerance of what the simulator actually did.
+func TestPassiveReconstructionMatchesSimTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := workload.Run(workload.Scenario{
+		Dumbbell:    sim.DefaultDumbbell(3),
+		LongRunning: true,
+		Duration:    20 * sim.Second,
+		Warmup:      2 * sim.Second,
+		Seed:        42,
+		CC: func(int) func() tcp.CongestionControl {
+			return func() tcp.CongestionControl { return tcp.NewCubic(tcp.DefaultCubicParams()) }
+		},
+		ProbeInterval: 100 * sim.Millisecond,
+	})
+	dump := res.Probe.Dump()
+	if len(dump.Flows) != 3 {
+		t.Fatalf("want 3 probed flows, got %d", len(dump.Flows))
+	}
+
+	// Simulated ground truth: mean instantaneous SRTT per flow, and the
+	// aggregate retransmit fraction across the run.
+	var totRetrans, totPackets uint64
+	for _, f := range res.Flows {
+		totRetrans += uint64(f.Retransmits)
+		totPackets += uint64(f.PacketsSent)
+	}
+	simLoss := float64(totRetrans) / float64(totPackets)
+
+	sink := newRecordingSink()
+	cfg, err := Config{Sink: sink, WindowMillis: 1000}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTracker(cfg)
+
+	path := phi.PathKey("100.77.0.0/24")
+	var wantSRTTMs []float64
+	for i, series := range dump.Flows {
+		key := ipfix.FlowKey{
+			Src:     netip.AddrFrom4([4]byte{10, 0, 0, byte(1 + i)}),
+			Dst:     netip.AddrFrom4([4]byte{100, 77, 0, byte(10 + i)}),
+			SrcPort: 443, DstPort: uint16(50000 + i),
+		}
+		// The exporter's view of this flow: one sampled packet per probe
+		// interval, acked one (instantaneous) SRTT later, with the sim's
+		// own loss fraction planted as retransmissions.
+		recs := synth.RecordsFromFlowSamples(key, series.Samples, simLoss, 1460, int64(i+1))
+		for j := range recs {
+			tr.observe(&recs[j])
+		}
+		var sum float64
+		n := 0
+		for _, s := range series.Samples {
+			if s.SRTT > 0 {
+				sum += s.SRTT.Milliseconds()
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("flow %d: no SRTT samples in probe", i)
+		}
+		wantSRTTMs = append(wantSRTTMs, sum/float64(n))
+	}
+	tr.flush()
+
+	// Every flow must be tracked on the shared path, and the per-path
+	// SRTT must sit within 20% of the simulated mean (quantization to
+	// whole milliseconds plus EWMA smoothing account for the slack).
+	sums := tr.pathSummaries()
+	if len(sums) != 1 || sums[0].Path != string(path) {
+		t.Fatalf("paths = %+v, want exactly %s", sums, path)
+	}
+	var wantMean float64
+	for _, w := range wantSRTTMs {
+		wantMean += w
+	}
+	wantMean /= float64(len(wantSRTTMs))
+	got := sums[0].SRTTMs
+	if got < wantMean*0.8 || got > wantMean*1.2 {
+		t.Errorf("reconstructed SRTT %.2fms, simulated mean %.2fms (flows %v)",
+			got, wantMean, wantSRTTMs)
+	}
+
+	// Loss: the tracker's retransmit fraction must track the planted
+	// (simulated) fraction. The plant is Bernoulli per sample, so allow
+	// generous slack on small counts.
+	snap := tr.stats
+	if totRetrans > 0 {
+		if snap.Retransmits == 0 {
+			t.Errorf("sim retransmitted %d packets but tracker inferred none", totRetrans)
+		}
+		inferred := float64(snap.Retransmits) / float64(snap.RTTSamples+snap.Retransmits)
+		if inferred > simLoss*3+0.02 {
+			t.Errorf("inferred loss %.4f far above simulated %.4f", inferred, simLoss)
+		}
+	}
+
+	// And the reports reached the sink with usable values.
+	rep, ok := sink.lastProgress(path)
+	if !ok {
+		t.Fatal("no report emitted")
+	}
+	if rep.AvgRTT <= 0 || rep.Source != phi.SourcePassive {
+		t.Errorf("report %+v lacks passive RTT evidence", rep)
+	}
+	if rep.AvgRTT < sim.Milliseconds(wantMean*0.5) || rep.AvgRTT > sim.Milliseconds(wantMean*2) {
+		t.Errorf("reported AvgRTT %v implausible vs simulated %vms", rep.AvgRTT, wantMean)
+	}
+}

@@ -1,0 +1,296 @@
+package ingest
+
+import (
+	"sort"
+
+	"repro/internal/ipfix"
+	"repro/internal/phi"
+	"repro/internal/sim"
+)
+
+// maxPendingSeqs bounds the per-flow list of in-flight sequence numbers
+// awaiting their ack; beyond it the oldest is forgotten (its RTT sample
+// is lost, nothing else).
+const maxPendingSeqs = 64
+
+// seqEntry is one sampled data packet awaiting its cumulative ack:
+// expAck is the ack value that acknowledges it (seq + payload), atMs
+// when it was observed.
+type seqEntry struct {
+	expAck uint32
+	atMs   uint64
+}
+
+// flowState is the reconstructed state of one observed TCP flow (keyed
+// by its data direction).
+type flowState struct {
+	path     string
+	lastSeen uint64
+	highNext uint32 // highest seq+payload observed
+	seenData bool
+	seqs     []seqEntry
+	srttMs   float64
+	minRTTMs float64
+	rttCount uint64 // lifetime RTT samples
+	// Window accumulators, reset by flush.
+	winOctets   uint64
+	winPackets  uint64
+	winRetrans  uint64
+	winRTTSumMs float64
+	winRTTCount uint64
+}
+
+// TrackerStats are the tracker's lifetime counters.
+type TrackerStats struct {
+	// Flows is the live flow-table size; FlowsDropped counts flows
+	// refused at the MaxFlows cap; FlowsEvicted counts idle evictions.
+	Flows        int    `json:"flows"`
+	FlowsDropped uint64 `json:"flows_dropped"`
+	FlowsEvicted uint64 `json:"flows_evicted"`
+	// RTTSamples counts sequence/ack matches; AcksUnmatched counts acks
+	// whose data direction was never seen; Retransmits counts observed
+	// non-advancing sequence numbers.
+	RTTSamples    uint64 `json:"rtt_samples"`
+	AcksUnmatched uint64 `json:"acks_unmatched"`
+	Retransmits   uint64 `json:"retransmits"`
+	// Reports counts passive reports emitted; Windows counts flushes.
+	Reports uint64 `json:"reports"`
+	Windows uint64 `json:"windows"`
+	// WatermarkMillis is the stream's own clock: the highest observation
+	// timestamp seen.
+	WatermarkMillis uint64 `json:"watermark_millis"`
+}
+
+// tracker reconstructs per-flow TCP state from sampled flow records and
+// aggregates it per path. It is not safe for concurrent use — the
+// pipeline gives it a single goroutine.
+type tracker struct {
+	cfg       Config
+	flows     map[ipfix.FlowKey]*flowState
+	watermark uint64
+	lastFlush uint64
+	stats     TrackerStats
+}
+
+func newTracker(cfg Config) *tracker {
+	return &tracker{cfg: cfg, flows: make(map[ipfix.FlowKey]*flowState)}
+}
+
+func reverse(k ipfix.FlowKey) ipfix.FlowKey {
+	return ipfix.FlowKey{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort}
+}
+
+// seqLE reports a <= b in 32-bit sequence space.
+func seqLE(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// observe folds one record in. Data records (payload present) advance
+// the flow's sequence state; pure acks close the loop into RTT samples.
+func (t *tracker) observe(r *ipfix.FlowRecord) {
+	if r.ObsMillis > t.watermark {
+		t.watermark = r.ObsMillis
+		if t.stats.WatermarkMillis < t.watermark {
+			t.stats.WatermarkMillis = t.watermark
+		}
+	}
+	if r.HasTCP && r.Octets == 0 && r.Flags&ipfix.FlagACK != 0 {
+		t.observeAck(r)
+		return
+	}
+	t.observeData(r)
+}
+
+func (t *tracker) observeData(r *ipfix.FlowRecord) {
+	f, ok := t.flows[r.Key]
+	if !ok {
+		if len(t.flows) >= t.cfg.MaxFlows {
+			t.stats.FlowsDropped++
+			return
+		}
+		f = &flowState{path: t.cfg.PathKey(r)}
+		t.flows[r.Key] = f
+		t.cfg.Sink.ReportStart(phi.PathKey(f.path))
+	}
+	f.lastSeen = t.watermark
+	f.winOctets += r.Octets
+	f.winPackets += r.Packets
+	if !r.HasTCP {
+		// Aggregate-template record: throughput evidence only.
+		return
+	}
+	expAck := r.Seq + uint32(r.Octets)
+	if f.seenData && seqLE(expAck, f.highNext) {
+		// The sequence number did not advance: a retransmission (or a
+		// reordered duplicate — indistinguishable here, and rare at
+		// 1-in-N sampling). Karn's rule: forget the pending entry so the
+		// ambiguous ack cannot produce a bogus RTT sample.
+		f.winRetrans++
+		t.stats.Retransmits++
+		for i, e := range f.seqs {
+			if e.expAck == expAck {
+				f.seqs = append(f.seqs[:i], f.seqs[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	f.seenData = true
+	f.highNext = expAck
+	if len(f.seqs) >= maxPendingSeqs {
+		f.seqs = f.seqs[1:]
+	}
+	f.seqs = append(f.seqs, seqEntry{expAck: expAck, atMs: r.ObsMillis})
+}
+
+func (t *tracker) observeAck(r *ipfix.FlowRecord) {
+	f, ok := t.flows[reverse(r.Key)]
+	if !ok {
+		t.stats.AcksUnmatched++
+		return
+	}
+	f.lastSeen = t.watermark
+	matched := false
+	var sentAt uint64
+	keep := f.seqs[:0]
+	for _, e := range f.seqs {
+		if e.expAck == r.Ack {
+			matched, sentAt = true, e.atMs
+		}
+		if seqLE(e.expAck, r.Ack) {
+			continue // cumulatively acknowledged: retire
+		}
+		keep = append(keep, e)
+	}
+	f.seqs = keep
+	if !matched || r.ObsMillis < sentAt {
+		return
+	}
+	rttMs := float64(r.ObsMillis - sentAt)
+	if f.minRTTMs == 0 || rttMs < f.minRTTMs {
+		f.minRTTMs = rttMs
+	}
+	if f.rttCount == 0 {
+		f.srttMs = rttMs
+	} else {
+		f.srttMs += (rttMs - f.srttMs) / 8 // RFC 6298 alpha = 1/8
+	}
+	f.rttCount++
+	f.winRTTSumMs += rttMs
+	f.winRTTCount++
+	t.stats.RTTSamples++
+}
+
+// due reports whether a window has elapsed on the stream clock.
+func (t *tracker) due() bool {
+	return t.watermark >= t.lastFlush+t.cfg.WindowMillis
+}
+
+// pathAgg accumulates one path's window across its flows.
+type pathAgg struct {
+	bytes    uint64
+	packets  uint64
+	retrans  uint64
+	rttSumMs float64
+	rttCount uint64
+	minRTTMs float64
+}
+
+// flush aggregates the elapsed window per path, reports it, and evicts
+// idle flows. It returns the number of reports emitted.
+func (t *tracker) flush() int {
+	t.lastFlush = t.watermark
+	t.stats.Windows++
+	paths := make(map[string]*pathAgg)
+	for key, f := range t.flows {
+		if f.winPackets > 0 || f.winRTTCount > 0 {
+			a, ok := paths[f.path]
+			if !ok {
+				a = &pathAgg{}
+				paths[f.path] = a
+			}
+			a.bytes += f.winOctets * uint64(t.cfg.SampleN)
+			a.packets += f.winPackets
+			a.retrans += f.winRetrans
+			a.rttSumMs += f.winRTTSumMs
+			a.rttCount += f.winRTTCount
+			if f.minRTTMs > 0 && (a.minRTTMs == 0 || f.minRTTMs < a.minRTTMs) {
+				a.minRTTMs = f.minRTTMs
+			}
+			f.winOctets, f.winPackets, f.winRetrans = 0, 0, 0
+			f.winRTTSumMs, f.winRTTCount = 0, 0
+		}
+		if f.lastSeen+t.cfg.IdleTimeoutMillis <= t.watermark {
+			delete(t.flows, key)
+			t.stats.FlowsEvicted++
+			// Retire the start registration; the window's byte evidence
+			// was already folded in above, so the final report is empty.
+			t.cfg.Sink.ReportEnd(phi.PathKey(f.path), phi.Report{Source: phi.SourcePassive})
+			t.stats.Reports++
+		}
+	}
+	emitted := 0
+	for path, a := range paths {
+		r := phi.Report{
+			Bytes:    int64(a.bytes),
+			Duration: sim.Milliseconds(float64(t.cfg.WindowMillis)),
+			Source:   phi.SourcePassive,
+		}
+		if a.rttCount > 0 {
+			r.AvgRTT = sim.Milliseconds(a.rttSumMs / float64(a.rttCount))
+		}
+		if a.minRTTMs > 0 {
+			r.MinRTT = sim.Milliseconds(a.minRTTMs)
+		}
+		if a.packets > 0 {
+			r.LossRate = float64(a.retrans) / float64(a.packets)
+		}
+		t.cfg.Sink.ReportProgress(phi.PathKey(path), r)
+		t.stats.Reports++
+		emitted++
+	}
+	t.stats.Flows = len(t.flows)
+	return emitted
+}
+
+// PathSummary is one path's reconstructed state, for /debug/ingest.
+type PathSummary struct {
+	Path     string  `json:"path"`
+	Flows    int     `json:"flows"`
+	SRTTMs   float64 `json:"srtt_ms"`
+	MinRTTMs float64 `json:"min_rtt_ms"`
+	// RTTSamples is the lifetime sample count across the path's flows.
+	RTTSamples uint64 `json:"rtt_samples"`
+}
+
+// pathSummaries snapshots the live flow table grouped by path (SRTT is
+// the mean over flows that produced samples), sorted by path for stable
+// output.
+func (t *tracker) pathSummaries() []PathSummary {
+	agg := make(map[string]*PathSummary)
+	srttSum := make(map[string]float64)
+	srttFlows := make(map[string]int)
+	for _, f := range t.flows {
+		s, ok := agg[f.path]
+		if !ok {
+			s = &PathSummary{Path: f.path}
+			agg[f.path] = s
+		}
+		s.Flows++
+		if f.rttCount > 0 {
+			srttSum[f.path] += f.srttMs
+			srttFlows[f.path]++
+			s.RTTSamples += f.rttCount
+			if f.minRTTMs > 0 && (s.MinRTTMs == 0 || f.minRTTMs < s.MinRTTMs) {
+				s.MinRTTMs = f.minRTTMs
+			}
+		}
+	}
+	out := make([]PathSummary, 0, len(agg))
+	for path, s := range agg {
+		if n := srttFlows[path]; n > 0 {
+			s.SRTTMs = srttSum[path] / float64(n)
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}

@@ -1,0 +1,257 @@
+package ingest
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+
+	"repro/internal/ipfix"
+	"repro/internal/phi"
+	"repro/internal/sim"
+)
+
+// recordingSink captures every report for precise assertions.
+type recordingSink struct {
+	mu       sync.Mutex
+	starts   map[phi.PathKey]int
+	ends     map[phi.PathKey]int
+	progress map[phi.PathKey][]phi.Report
+}
+
+func newRecordingSink() *recordingSink {
+	return &recordingSink{
+		starts:   make(map[phi.PathKey]int),
+		ends:     make(map[phi.PathKey]int),
+		progress: make(map[phi.PathKey][]phi.Report),
+	}
+}
+
+func (s *recordingSink) ReportStart(path phi.PathKey) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.starts[path]++
+	return nil
+}
+
+func (s *recordingSink) ReportEnd(path phi.PathKey, r phi.Report) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ends[path]++
+	return nil
+}
+
+func (s *recordingSink) ReportProgress(path phi.PathKey, r phi.Report) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.progress[path] = append(s.progress[path], r)
+	return nil
+}
+
+func (s *recordingSink) lastProgress(path phi.PathKey) (phi.Report, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.progress[path]
+	if len(rs) == 0 {
+		return phi.Report{}, false
+	}
+	return rs[len(rs)-1], true
+}
+
+func testKey() ipfix.FlowKey {
+	return ipfix.FlowKey{
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("100.1.2.3"),
+		SrcPort: 443, DstPort: 50000,
+	}
+}
+
+func dataRec(key ipfix.FlowKey, seq uint32, atMs uint64) ipfix.FlowRecord {
+	return ipfix.FlowRecord{
+		Key: key, Octets: 1460, Packets: 1,
+		Seq: seq, Flags: ipfix.FlagACK | ipfix.FlagPSH,
+		ObsMillis: atMs, HasTCP: true,
+	}
+}
+
+func ackRec(key ipfix.FlowKey, ack uint32, atMs uint64) ipfix.FlowRecord {
+	return ipfix.FlowRecord{
+		Key:     ipfix.FlowKey{Src: key.Dst, Dst: key.Src, SrcPort: key.DstPort, DstPort: key.SrcPort},
+		Packets: 1, Ack: ack, Flags: ipfix.FlagACK,
+		ObsMillis: atMs, HasTCP: true,
+	}
+}
+
+func newTestTracker(t *testing.T, sink ReportSink) *tracker {
+	cfg, err := Config{Sink: sink, WindowMillis: 1000, IdleTimeoutMillis: 5000}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newTracker(cfg)
+}
+
+func TestTrackerRTTFromSeqAckMatch(t *testing.T) {
+	sink := newRecordingSink()
+	tr := newTestTracker(t, sink)
+	key := testKey()
+	path := phi.PathKey("100.1.2.0/24")
+
+	// Two segments, acked 30 ms and 34 ms later.
+	r1 := dataRec(key, 1000, 100)
+	tr.observe(&r1)
+	r2 := dataRec(key, 1000+1460, 110)
+	tr.observe(&r2)
+	a1 := ackRec(key, 1000+1460, 130)
+	tr.observe(&a1)
+	a2 := ackRec(key, 1000+2*1460, 144)
+	tr.observe(&a2)
+
+	if sink.starts[path] != 1 {
+		t.Fatalf("starts = %v, want 1 on %s", sink.starts, path)
+	}
+	if tr.stats.RTTSamples != 2 {
+		t.Fatalf("RTTSamples = %d, want 2", tr.stats.RTTSamples)
+	}
+	tr.flush()
+	rep, ok := sink.lastProgress(path)
+	if !ok {
+		t.Fatal("no progress report emitted")
+	}
+	if rep.Source != phi.SourcePassive {
+		t.Errorf("report source = %v, want passive", rep.Source)
+	}
+	wantAvg := sim.Milliseconds(32) // (30 + 34) / 2
+	if rep.AvgRTT != wantAvg {
+		t.Errorf("AvgRTT = %v, want %v", rep.AvgRTT, wantAvg)
+	}
+	if rep.MinRTT != sim.Milliseconds(30) {
+		t.Errorf("MinRTT = %v, want 30ms", rep.MinRTT)
+	}
+	if rep.Bytes != 2*1460 {
+		t.Errorf("Bytes = %d, want %d", rep.Bytes, 2*1460)
+	}
+	if rep.LossRate != 0 {
+		t.Errorf("LossRate = %v, want 0", rep.LossRate)
+	}
+}
+
+func TestTrackerRetransmitsAndKarn(t *testing.T) {
+	sink := newRecordingSink()
+	tr := newTestTracker(t, sink)
+	key := testKey()
+
+	r1 := dataRec(key, 1000, 100)
+	tr.observe(&r1)
+	dup := dataRec(key, 1000, 150) // same seq again: retransmission
+	tr.observe(&dup)
+	// The (ambiguous) ack for the retransmitted segment must not become
+	// an RTT sample (Karn's rule).
+	a := ackRec(key, 1000+1460, 180)
+	tr.observe(&a)
+
+	if tr.stats.Retransmits != 1 {
+		t.Fatalf("Retransmits = %d, want 1", tr.stats.Retransmits)
+	}
+	if tr.stats.RTTSamples != 0 {
+		t.Fatalf("RTTSamples = %d, want 0 (Karn)", tr.stats.RTTSamples)
+	}
+	tr.watermark = 1200
+	tr.flush()
+	rep, _ := sink.lastProgress(phi.PathKey("100.1.2.0/24"))
+	if rep.LossRate != 0.5 { // 1 retransmit / 2 data packets
+		t.Errorf("LossRate = %v, want 0.5", rep.LossRate)
+	}
+}
+
+func TestTrackerSampleScaling(t *testing.T) {
+	sink := newRecordingSink()
+	cfg, err := Config{Sink: sink, SampleN: 4096, WindowMillis: 1000}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTracker(cfg)
+	r := dataRec(testKey(), 1000, 100)
+	tr.observe(&r)
+	tr.flush()
+	rep, _ := sink.lastProgress(phi.PathKey("100.1.2.0/24"))
+	if rep.Bytes != 1460*4096 {
+		t.Errorf("Bytes = %d, want sampled bytes scaled by 4096", rep.Bytes)
+	}
+}
+
+func TestTrackerIdleEviction(t *testing.T) {
+	sink := newRecordingSink()
+	tr := newTestTracker(t, sink)
+	key := testKey()
+	path := phi.PathKey("100.1.2.0/24")
+
+	r := dataRec(key, 1000, 100)
+	tr.observe(&r)
+	// Another flow keeps the clock moving past the idle timeout.
+	other := testKey()
+	other.SrcPort = 999
+	for ms := uint64(1000); ms <= 6000; ms += 1000 {
+		o := dataRec(other, uint32(ms), ms)
+		tr.observe(&o)
+	}
+	tr.flush()
+	if sink.ends[path] != 1 {
+		t.Fatalf("ends = %v, want idle flow retired on %s", sink.ends, path)
+	}
+	if tr.stats.FlowsEvicted != 1 {
+		t.Errorf("FlowsEvicted = %d, want 1", tr.stats.FlowsEvicted)
+	}
+	if len(tr.flows) != 1 {
+		t.Errorf("flow table = %d, want 1 (the live flow)", len(tr.flows))
+	}
+}
+
+func TestTrackerMaxFlowsDrops(t *testing.T) {
+	sink := newRecordingSink()
+	cfg, err := Config{Sink: sink, MaxFlows: 2, WindowMillis: 1000}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTracker(cfg)
+	for port := uint16(1); port <= 5; port++ {
+		key := testKey()
+		key.SrcPort = port
+		r := dataRec(key, 1000, 100)
+		tr.observe(&r)
+	}
+	if len(tr.flows) != 2 {
+		t.Errorf("flow table = %d, want capped at 2", len(tr.flows))
+	}
+	if tr.stats.FlowsDropped != 3 {
+		t.Errorf("FlowsDropped = %d, want 3", tr.stats.FlowsDropped)
+	}
+}
+
+func TestTrackerThroughputOnlyRecords(t *testing.T) {
+	// Aggregate-template records (no TCP fields) still contribute byte
+	// evidence — the pipeline degrades gracefully to throughput-only.
+	sink := newRecordingSink()
+	tr := newTestTracker(t, sink)
+	r := ipfix.FlowRecord{Key: testKey(), Octets: 50_000, Packets: 40, ObsMillis: 100}
+	tr.observe(&r)
+	tr.flush()
+	rep, ok := sink.lastProgress(phi.PathKey("100.1.2.0/24"))
+	if !ok || rep.Bytes != 50_000 {
+		t.Fatalf("throughput-only report = %+v (ok=%v), want 50000 bytes", rep, ok)
+	}
+	if rep.AvgRTT != 0 {
+		t.Errorf("AvgRTT = %v, want 0 without TCP fields", rep.AvgRTT)
+	}
+}
+
+func TestTrackerPendingSeqBound(t *testing.T) {
+	sink := newRecordingSink()
+	tr := newTestTracker(t, sink)
+	key := testKey()
+	for i := 0; i < maxPendingSeqs*3; i++ {
+		r := dataRec(key, uint32(1000+i*1460), uint64(100+i))
+		tr.observe(&r)
+	}
+	f := tr.flows[key]
+	if len(f.seqs) > maxPendingSeqs {
+		t.Errorf("pending seqs = %d, bound %d", len(f.seqs), maxPendingSeqs)
+	}
+}

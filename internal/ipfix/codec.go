@@ -13,27 +13,44 @@ const (
 	Version = 10
 	// TemplateSetID identifies a template set.
 	TemplateSetID = 2
-	// flowTemplateID is the template this package exports (must be >= 256).
+	// flowTemplateID is the aggregate-flow template this package exports
+	// (must be >= 256); tcpTemplateID is the per-sampled-packet template
+	// carrying the TCP fields passive state reconstruction needs.
 	flowTemplateID = 256
+	tcpTemplateID  = 257
 	// messageHeaderLen and setHeaderLen are fixed RFC 7011 sizes.
 	messageHeaderLen = 16
 	setHeaderLen     = 4
 )
 
-// IANA information element IDs used by the flow template.
+// IANA information element IDs used by the flow templates.
 const (
-	ieOctetDeltaCount    = 1 // 8 bytes
-	iePacketDeltaCount   = 2 // 8 bytes
-	ieSourceIPv4         = 8 // 4 bytes
-	ieSourcePort         = 7 // 2 bytes
-	ieDestinationPort    = 11
-	ieDestinationIPv4    = 12
+	ieOctetDeltaCount    = 1   // 8 bytes
+	iePacketDeltaCount   = 2   // 8 bytes
+	ieTCPControlBits     = 6   // 2 bytes (RFC 7125 widened it to 16 bits)
+	ieSourceIPv4         = 8   // 4 bytes
+	ieSourcePort         = 7   // 2 bytes
+	ieDestinationPort    = 11  // 2 bytes
+	ieDestinationIPv4    = 12  // 4 bytes
 	ieFlowStartSeconds   = 150 // 4 bytes
 	ieFlowEndSeconds     = 151 // 4 bytes
+	ieTCPSequenceNumber  = 184 // 4 bytes
+	ieTCPAckNumber       = 185 // 4 bytes
+	ieObsTimeMillis      = 323 // 8 bytes, dateTimeMilliseconds
 	flowRecordWireLength = 8 + 8 + 4 + 2 + 2 + 4 + 4 + 4
+	tcpRecordWireLength  = flowRecordWireLength + 4 + 4 + 2 + 8
 )
 
-// templateFields is the exported template, in wire order.
+// Decoder resource bounds: templates per session and pending
+// template-less data sets buffered while waiting for the template.
+const (
+	maxTemplates    = 64
+	maxOrphanSets   = 64
+	maxOrphanBytes  = 256 << 10
+	orphanRecordCap = 1 << 16 // records recovered from one drained set list
+)
+
+// templateFields is the exported aggregate-flow template, in wire order.
 var templateFields = []struct {
 	id  uint16
 	len uint16
@@ -48,20 +65,41 @@ var templateFields = []struct {
 	{ieFlowEndSeconds, 4},
 }
 
+// tcpTemplateFields extends the flow template with the sampled packet's
+// TCP header fields and a millisecond observation timestamp — what the
+// passive seq/ack tracker (internal/ingest) matches on.
+var tcpTemplateFields = append(append([]struct {
+	id  uint16
+	len uint16
+}(nil), templateFields...), []struct {
+	id  uint16
+	len uint16
+}{
+	{ieTCPSequenceNumber, 4},
+	{ieTCPAckNumber, 4},
+	{ieTCPControlBits, 2},
+	{ieObsTimeMillis, 8},
+}...)
+
 // Codec errors.
 var (
-	ErrShortMessage    = errors.New("ipfix: truncated message")
-	ErrBadVersion      = errors.New("ipfix: unsupported version")
+	ErrShortMessage = errors.New("ipfix: truncated message")
+	ErrBadVersion   = errors.New("ipfix: unsupported version")
+	// ErrUnknownTemplate is retained for API compatibility. Since the
+	// collector-hardening change, a data set referencing an unknown
+	// template is buffered (bounded) until the template arrives instead
+	// of failing the whole datagram; Decode no longer returns this error.
 	ErrUnknownTemplate = errors.New("ipfix: data set references unknown template")
 )
 
 // Encoder builds IPFIX messages from flow records. The first message (and
-// every message after Reset) carries the template set, as exporters do on
-// template refresh.
+// every message after Reset) for each template carries that template set,
+// as exporters do on template refresh.
 type Encoder struct {
-	domainID     uint32
-	seq          uint32
-	sentTemplate bool
+	domainID uint32
+	seq      uint32
+	sentFlow bool
+	sentTCP  bool
 }
 
 // NewEncoder creates an encoder for the given observation domain.
@@ -69,29 +107,48 @@ func NewEncoder(domainID uint32) *Encoder {
 	return &Encoder{domainID: domainID}
 }
 
-// Reset forces the next message to carry the template again.
-func (e *Encoder) Reset() { e.sentTemplate = false }
+// Reset forces the next message to carry its template again.
+func (e *Encoder) Reset() { e.sentFlow, e.sentTCP = false, false }
 
 // Encode renders records into one IPFIX message with the given export
-// time. Only IPv4 flows are supported by this template.
+// time, using the aggregate-flow template. Only IPv4 flows are supported.
 func (e *Encoder) Encode(exportTime uint32, records []FlowRecord) ([]byte, error) {
+	return e.encode(exportTime, records, false)
+}
+
+// EncodeTCP renders per-sampled-packet records (Seq/Ack/Flags/ObsMillis
+// populated) into one IPFIX message using the TCP template. Only IPv4
+// flows are supported.
+func (e *Encoder) EncodeTCP(exportTime uint32, records []FlowRecord) ([]byte, error) {
+	return e.encode(exportTime, records, true)
+}
+
+func (e *Encoder) encode(exportTime uint32, records []FlowRecord, tcp bool) ([]byte, error) {
 	for i := range records {
 		if !records[i].Key.Src.Is4() || !records[i].Key.Dst.Is4() {
 			return nil, fmt.Errorf("ipfix: record %d is not IPv4", i)
 		}
 	}
-	msg := make([]byte, messageHeaderLen, messageHeaderLen+64+len(records)*flowRecordWireLength)
+	recLen, setID := flowRecordWireLength, uint16(flowTemplateID)
+	if tcp {
+		recLen, setID = tcpRecordWireLength, tcpTemplateID
+	}
+	msg := make([]byte, messageHeaderLen, messageHeaderLen+64+len(records)*recLen)
 
-	if !e.sentTemplate {
-		msg = e.appendTemplateSet(msg)
-		e.sentTemplate = true
+	sent := &e.sentFlow
+	if tcp {
+		sent = &e.sentTCP
+	}
+	if !*sent {
+		msg = appendTemplateSet(msg, setID)
+		*sent = true
 	}
 	if len(records) > 0 {
 		setStart := len(msg)
-		msg = binary.BigEndian.AppendUint16(msg, flowTemplateID)
+		msg = binary.BigEndian.AppendUint16(msg, setID)
 		msg = binary.BigEndian.AppendUint16(msg, 0) // set length, patched below
 		for i := range records {
-			msg = appendRecord(msg, &records[i])
+			msg = appendRecord(msg, &records[i], tcp)
 		}
 		binary.BigEndian.PutUint16(msg[setStart+2:], uint16(len(msg)-setStart))
 	}
@@ -105,13 +162,17 @@ func (e *Encoder) Encode(exportTime uint32, records []FlowRecord) ([]byte, error
 	return msg, nil
 }
 
-func (e *Encoder) appendTemplateSet(msg []byte) []byte {
+func appendTemplateSet(msg []byte, templateID uint16) []byte {
+	fields := templateFields
+	if templateID == tcpTemplateID {
+		fields = tcpTemplateFields
+	}
 	start := len(msg)
 	msg = binary.BigEndian.AppendUint16(msg, TemplateSetID)
 	msg = binary.BigEndian.AppendUint16(msg, 0) // patched below
-	msg = binary.BigEndian.AppendUint16(msg, flowTemplateID)
-	msg = binary.BigEndian.AppendUint16(msg, uint16(len(templateFields)))
-	for _, f := range templateFields {
+	msg = binary.BigEndian.AppendUint16(msg, templateID)
+	msg = binary.BigEndian.AppendUint16(msg, uint16(len(fields)))
+	for _, f := range fields {
 		msg = binary.BigEndian.AppendUint16(msg, f.id)
 		msg = binary.BigEndian.AppendUint16(msg, f.len)
 	}
@@ -119,7 +180,7 @@ func (e *Encoder) appendTemplateSet(msg []byte) []byte {
 	return msg
 }
 
-func appendRecord(msg []byte, r *FlowRecord) []byte {
+func appendRecord(msg []byte, r *FlowRecord, tcp bool) []byte {
 	src := r.Key.Src.As4()
 	dst := r.Key.Dst.As4()
 	msg = append(msg, src[:]...)
@@ -130,18 +191,61 @@ func appendRecord(msg []byte, r *FlowRecord) []byte {
 	msg = binary.BigEndian.AppendUint64(msg, r.Packets)
 	msg = binary.BigEndian.AppendUint32(msg, r.Start)
 	msg = binary.BigEndian.AppendUint32(msg, r.End)
+	if tcp {
+		msg = binary.BigEndian.AppendUint32(msg, r.Seq)
+		msg = binary.BigEndian.AppendUint32(msg, r.Ack)
+		msg = binary.BigEndian.AppendUint16(msg, r.Flags)
+		msg = binary.BigEndian.AppendUint64(msg, r.ObsMillis)
+	}
 	return msg
 }
 
 // Decoder parses IPFIX messages, learning templates as they arrive (as a
-// collector does). Only the flow template above is decoded into records;
-// other data sets are skipped.
+// collector does). Only the two flow templates above are decoded into
+// records; other data sets are skipped.
+//
+// The decoder survives the two realities of UDP export:
+//
+//   - Template-after-data arrival: UDP reorders, so a data set can land
+//     before the template that describes it. Such sets are buffered
+//     (bounded by maxOrphanSets/maxOrphanBytes, oldest dropped first)
+//     and decoded the moment the template arrives — the records come
+//     back from that Decode call. OrphanBuffered/OrphanRecovered/
+//     OrphanDropped count the traffic through this path.
+//   - Malformed templates: a template set whose entries are truncated is
+//     counted in Malformed and skipped; the rest of the message still
+//     decodes. Only structural damage to the message envelope or a set
+//     header (lengths that lie) fails the datagram.
 type Decoder struct {
-	// templates maps template ID to field layout (id, len pairs).
-	templates map[uint16][]uint16 // flattened [id, len, id, len...]
+	// templates maps template ID to field layout (id, len pairs),
+	// flattened [id, len, id, len...]. Insertion order is kept in
+	// tmplOrder so the cache can evict FIFO at maxTemplates — a hostile
+	// or churning exporter cannot grow the cache without bound.
+	templates map[uint16][]uint16
+	tmplOrder []uint16
+
+	// orphans holds data sets waiting for their template, FIFO.
+	orphans     []orphanSet
+	orphanBytes int
+
 	// Decoded counts records decoded; SkippedSets counts unknown sets.
 	Decoded     uint64
 	SkippedSets uint64
+	// Malformed counts template sets skipped for structural damage.
+	Malformed uint64
+	// OrphanBuffered counts data sets buffered to wait for a template;
+	// OrphanRecovered counts records decoded from such sets once the
+	// template arrived; OrphanDropped counts sets evicted at the bound.
+	OrphanBuffered  uint64
+	OrphanRecovered uint64
+	OrphanDropped   uint64
+	// EvictedTemplates counts templates dropped at the cache cap.
+	EvictedTemplates uint64
+}
+
+type orphanSet struct {
+	templateID uint16
+	data       []byte // copied: the datagram buffer is reused by callers
 }
 
 // NewDecoder creates an empty-template-cache decoder.
@@ -149,7 +253,8 @@ func NewDecoder() *Decoder {
 	return &Decoder{templates: make(map[uint16][]uint16)}
 }
 
-// Decode parses one message and returns its flow records.
+// Decode parses one message and returns its flow records, including any
+// previously buffered records whose template arrived in this message.
 func (d *Decoder) Decode(msg []byte) ([]FlowRecord, error) {
 	if len(msg) < messageHeaderLen {
 		return nil, ErrShortMessage
@@ -165,25 +270,24 @@ func (d *Decoder) Decode(msg []byte) ([]FlowRecord, error) {
 	body := msg[messageHeaderLen:total]
 	for len(body) > 0 {
 		if len(body) < setHeaderLen {
-			return nil, ErrShortMessage
+			return out, ErrShortMessage
 		}
 		setID := binary.BigEndian.Uint16(body[0:])
 		setLen := int(binary.BigEndian.Uint16(body[2:]))
 		if setLen < setHeaderLen || setLen > len(body) {
-			return nil, ErrShortMessage
+			return out, ErrShortMessage
 		}
 		content := body[setHeaderLen:setLen]
 		switch {
 		case setID == TemplateSetID:
-			if err := d.parseTemplates(content); err != nil {
-				return nil, err
-			}
+			out = d.parseTemplates(content, out)
 		case setID >= 256:
-			recs, err := d.parseData(setID, content)
-			if err != nil {
-				return nil, err
+			layout, ok := d.templates[setID]
+			if !ok {
+				d.bufferOrphan(setID, content)
+				break
 			}
-			out = append(out, recs...)
+			out = d.parseData(layout, content, out)
 		default:
 			d.SkippedSets++
 		}
@@ -192,38 +296,97 @@ func (d *Decoder) Decode(msg []byte) ([]FlowRecord, error) {
 	return out, nil
 }
 
-func (d *Decoder) parseTemplates(b []byte) error {
+// parseTemplates learns every well-formed template in the set, skipping
+// the rest of the set on the first truncated entry (counted, not fatal).
+// Newly learned templates immediately drain any matching orphaned data
+// sets into out.
+func (d *Decoder) parseTemplates(b []byte, out []FlowRecord) []FlowRecord {
 	for len(b) >= 4 {
 		id := binary.BigEndian.Uint16(b[0:])
 		count := int(binary.BigEndian.Uint16(b[2:]))
 		b = b[4:]
 		if len(b) < count*4 {
-			return ErrShortMessage
+			d.Malformed++
+			return out
 		}
 		layout := make([]uint16, 0, count*2)
 		for i := 0; i < count; i++ {
 			layout = append(layout,
 				binary.BigEndian.Uint16(b[i*4:]), binary.BigEndian.Uint16(b[i*4+2:]))
 		}
-		d.templates[id] = layout
+		d.storeTemplate(id, layout)
+		out = d.drainOrphans(id, layout, out)
 		b = b[count*4:]
 	}
-	return nil
+	return out
 }
 
-func (d *Decoder) parseData(templateID uint16, b []byte) ([]FlowRecord, error) {
-	layout, ok := d.templates[templateID]
-	if !ok {
-		return nil, ErrUnknownTemplate
+// storeTemplate caches the layout, evicting the oldest template when the
+// cache is full (and any orphans still waiting on the evicted id).
+func (d *Decoder) storeTemplate(id uint16, layout []uint16) {
+	if _, exists := d.templates[id]; !exists {
+		for len(d.tmplOrder) >= maxTemplates {
+			old := d.tmplOrder[0]
+			d.tmplOrder = d.tmplOrder[1:]
+			delete(d.templates, old)
+			d.EvictedTemplates++
+		}
+		d.tmplOrder = append(d.tmplOrder, id)
 	}
+	d.templates[id] = layout
+}
+
+// bufferOrphan copies a template-less data set into the bounded wait
+// queue, evicting the oldest buffered set when full.
+func (d *Decoder) bufferOrphan(templateID uint16, content []byte) {
+	if len(content) == 0 {
+		return
+	}
+	for len(d.orphans) >= maxOrphanSets || d.orphanBytes+len(content) > maxOrphanBytes {
+		if len(d.orphans) == 0 {
+			// A single set larger than the byte budget: drop it outright.
+			d.OrphanDropped++
+			return
+		}
+		d.orphanBytes -= len(d.orphans[0].data)
+		d.orphans = d.orphans[1:]
+		d.OrphanDropped++
+	}
+	d.orphans = append(d.orphans, orphanSet{templateID: templateID, data: append([]byte(nil), content...)})
+	d.orphanBytes += len(content)
+	d.OrphanBuffered++
+}
+
+// drainOrphans decodes every buffered set that was waiting for this
+// template, in arrival order.
+func (d *Decoder) drainOrphans(id uint16, layout []uint16, out []FlowRecord) []FlowRecord {
+	if len(d.orphans) == 0 {
+		return out
+	}
+	kept := d.orphans[:0]
+	for _, o := range d.orphans {
+		if o.templateID != id || len(out) > orphanRecordCap {
+			kept = append(kept, o)
+			continue
+		}
+		before := len(out)
+		out = d.parseData(layout, o.data, out)
+		d.OrphanRecovered += uint64(len(out) - before)
+		d.orphanBytes -= len(o.data)
+	}
+	d.orphans = kept
+	return out
+}
+
+func (d *Decoder) parseData(layout []uint16, b []byte, out []FlowRecord) []FlowRecord {
 	recLen := 0
 	for i := 1; i < len(layout); i += 2 {
 		recLen += int(layout[i])
 	}
 	if recLen == 0 {
-		return nil, ErrShortMessage
+		d.SkippedSets++
+		return out
 	}
-	var out []FlowRecord
 	for len(b) >= recLen {
 		rec := b[:recLen]
 		b = b[recLen:]
@@ -259,6 +422,21 @@ func (d *Decoder) parseData(templateID uint16, b []byte) ([]FlowRecord, error) {
 			case id == ieFlowEndSeconds && flen == 4:
 				r.End = binary.BigEndian.Uint32(field)
 				known++
+			case id == ieTCPSequenceNumber && flen == 4:
+				r.Seq = binary.BigEndian.Uint32(field)
+				r.HasTCP = true
+				known++
+			case id == ieTCPAckNumber && flen == 4:
+				r.Ack = binary.BigEndian.Uint32(field)
+				r.HasTCP = true
+				known++
+			case id == ieTCPControlBits && flen == 2:
+				r.Flags = binary.BigEndian.Uint16(field)
+				r.HasTCP = true
+				known++
+			case id == ieObsTimeMillis && flen == 8:
+				r.ObsMillis = binary.BigEndian.Uint64(field)
+				known++
 			}
 		}
 		if known == len(layout)/2 {
@@ -268,5 +446,5 @@ func (d *Decoder) parseData(templateID uint16, b []byte) ([]FlowRecord, error) {
 			d.SkippedSets++
 		}
 	}
-	return out, nil
+	return out
 }

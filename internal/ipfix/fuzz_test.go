@@ -1,0 +1,84 @@
+package ipfix
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzDecodeIPFIX throws arbitrary datagrams at a long-lived decoder (as
+// a collector holds one per transport session). Whatever arrives, the
+// decoder must not panic, must keep its orphan buffer inside its bounds,
+// and must still decode a well-formed message afterward — hostile input
+// can poison at most its own datagram, never the session.
+func FuzzDecodeIPFIX(f *testing.F) {
+	flow := []FlowRecord{{
+		Key: FlowKey{
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("100.1.2.3"),
+			SrcPort: 443, DstPort: 50000,
+		},
+		Octets: 14600, Packets: 10, Start: 60, End: 70,
+	}}
+	tcp := []FlowRecord{{
+		Key: FlowKey{
+			Src: netip.MustParseAddr("100.1.2.3"), Dst: netip.MustParseAddr("10.0.0.1"),
+			SrcPort: 50000, DstPort: 443,
+		},
+		Octets: 0, Packets: 1, Start: 60, End: 60,
+		Seq: 0, Ack: 15600, Flags: FlagACK, ObsMillis: 60_040, HasTCP: true,
+	}}
+
+	// Seed the corpus with every interesting message shape: template+data
+	// for both templates, data-only (the orphan path), template-only, a
+	// malformed template set, and raw garbage.
+	enc := NewEncoder(7)
+	withFlowTmpl, _ := enc.Encode(0, flow)
+	flowDataOnly, _ := enc.Encode(1, flow)
+	withTCPTmpl, _ := enc.EncodeTCP(0, tcp)
+	tcpDataOnly, _ := enc.EncodeTCP(1, tcp)
+	f.Add(withFlowTmpl)
+	f.Add(flowDataOnly)
+	f.Add(withTCPTmpl)
+	f.Add(tcpDataOnly)
+	f.Add(withFlowTmpl[:messageHeaderLen]) // bare envelope
+	f.Add([]byte{0, 10, 0, 24, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+		0, 2, 0, 8, 1, 5, 0, 9}) // template claiming 9 fields with none
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	dec := NewDecoder()
+	probeEnc := NewEncoder(9)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = dec.Decode(data)
+
+		if len(dec.orphans) > maxOrphanSets || dec.orphanBytes > maxOrphanBytes {
+			t.Fatalf("orphan buffer out of bounds: %d sets, %d bytes",
+				len(dec.orphans), dec.orphanBytes)
+		}
+		if len(dec.templates) > maxTemplates {
+			t.Fatalf("template cache grew to %d", len(dec.templates))
+		}
+
+		// The session must still work: a fresh template+data message
+		// decodes (possibly alongside drained orphans — the probe record
+		// must be among the results).
+		probeEnc.Reset()
+		probe, err := probeEnc.Encode(2, flow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(probe)
+		if err != nil {
+			t.Fatalf("decoder poisoned by %x: %v", data, err)
+		}
+		found := false
+		for _, r := range got {
+			if r == flow[0] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("well-formed probe lost after %x: got %d records", data, len(got))
+		}
+	})
+}

@@ -26,8 +26,24 @@ func (k FlowKey) String() string {
 	return fmt.Sprintf("%s:%d->%s:%d", k.Src, k.SrcPort, k.Dst, k.DstPort)
 }
 
+// TCP control bits (RFC 9293 flags) as carried by ieTCPControlBits.
+const (
+	FlagFIN uint16 = 1 << 0
+	FlagSYN uint16 = 1 << 1
+	FlagRST uint16 = 1 << 2
+	FlagPSH uint16 = 1 << 3
+	FlagACK uint16 = 1 << 4
+)
+
 // FlowRecord is one exported flow record (the subset of IANA information
 // elements this package encodes).
+//
+// Two template shapes share this struct. The aggregate template
+// (Encoder.Encode) carries only the 4-tuple, delta counts, and
+// start/end seconds. The TCP template (Encoder.EncodeTCP) additionally
+// carries one sampled packet's sequence/ack numbers, control bits, and
+// a millisecond observation timestamp — the raw material for passive
+// RTT/loss reconstruction. HasTCP distinguishes the two after decode.
 type FlowRecord struct {
 	Key FlowKey
 	// Octets and Packets are the sampled delta counts.
@@ -36,6 +52,16 @@ type FlowRecord struct {
 	// Start and End are flow start/end in Unix seconds.
 	Start uint32
 	End   uint32
+
+	// Seq and Ack are the sampled packet's TCP sequence and
+	// acknowledgment numbers; Flags its control bits; ObsMillis the
+	// observation timestamp in milliseconds. Only meaningful when
+	// HasTCP is set (records decoded from the TCP template).
+	Seq       uint32
+	Ack       uint32
+	Flags     uint16
+	ObsMillis uint64
+	HasTCP    bool
 }
 
 // DstSubnet24 returns the record's destination /24 prefix, the spatial

@@ -54,11 +54,25 @@ func TestEncoderSendsTemplateOnceUntilReset(t *testing.T) {
 	if len(m1) <= len(m2) {
 		t.Error("first message should carry the template and be longer")
 	}
-	// A fresh decoder cannot parse a data-only message.
-	if _, err := NewDecoder().Decode(m2); err != ErrUnknownTemplate {
-		t.Errorf("data-only decode err = %v, want ErrUnknownTemplate", err)
+	// A fresh decoder buffers a data-only message (no error, no records
+	// yet) and recovers it when the template arrives.
+	fresh := NewDecoder()
+	got, err := fresh.Decode(m2)
+	if err != nil || len(got) != 0 {
+		t.Errorf("data-only decode = %d records, %v; want buffered (0, nil)", len(got), err)
 	}
-	// But a decoder that saw the template can.
+	if fresh.OrphanBuffered != 1 {
+		t.Errorf("OrphanBuffered = %d, want 1", fresh.OrphanBuffered)
+	}
+	got, err = fresh.Decode(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || fresh.OrphanRecovered != 1 {
+		t.Errorf("template arrival recovered %d records (OrphanRecovered=%d), want 2 (1)",
+			len(got), fresh.OrphanRecovered)
+	}
+	// A decoder that saw the template decodes directly.
 	dec := NewDecoder()
 	if _, err := dec.Decode(m1); err != nil {
 		t.Fatal(err)
@@ -114,6 +128,153 @@ func TestDecodeMalformed(t *testing.T) {
 	msg := []byte{0, 10, 0, 18, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0}
 	if _, err := dec.Decode(msg); err == nil {
 		t.Error("truncated set accepted")
+	}
+}
+
+func tcpRec(src, dst string, sport, dport uint16, seq, ack uint32, flags uint16, at uint64) FlowRecord {
+	r := rec(src, dst, sport, dport, uint32(at/1000))
+	r.Seq, r.Ack, r.Flags, r.ObsMillis, r.HasTCP = seq, ack, flags, at, true
+	return r
+}
+
+func TestEncodeDecodeTCPRoundTrip(t *testing.T) {
+	records := []FlowRecord{
+		tcpRec("10.0.0.1", "100.1.2.3", 443, 50000, 1000, 0, FlagACK|FlagPSH, 61_500),
+		tcpRec("100.1.2.3", "10.0.0.1", 50000, 443, 0, 2460, FlagACK, 61_540),
+	}
+	enc := NewEncoder(7)
+	msg, err := enc.EncodeTCP(61, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder().Decode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if got[i] != records[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], records[i])
+		}
+		if !got[i].HasTCP {
+			t.Errorf("record %d lost HasTCP", i)
+		}
+	}
+}
+
+func TestEncoderTemplatesIndependent(t *testing.T) {
+	// Flow and TCP templates are announced independently, and a single
+	// decoder handles an interleaved stream of both.
+	enc := NewEncoder(1)
+	flow := []FlowRecord{rec("10.0.0.1", "100.1.2.3", 443, 50000, 60)}
+	tcp := []FlowRecord{tcpRec("10.0.0.1", "100.1.2.3", 443, 50000, 9, 0, FlagACK, 60_000)}
+	m1, _ := enc.Encode(0, flow)
+	m2, _ := enc.EncodeTCP(0, tcp)
+	m3, _ := enc.EncodeTCP(1, tcp)
+	if len(m2) <= len(m3) {
+		t.Error("first TCP message should carry its template")
+	}
+	dec := NewDecoder()
+	var all []FlowRecord
+	for _, m := range [][]byte{m1, m2, m3} {
+		got, err := dec.Decode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, got...)
+	}
+	if len(all) != 3 || all[0].HasTCP || !all[1].HasTCP || !all[2].HasTCP {
+		t.Errorf("interleaved decode = %+v", all)
+	}
+}
+
+func TestDecoderOrphanBounds(t *testing.T) {
+	// Flood a fresh decoder with more template-less data sets than the
+	// buffer holds: oldest are dropped, counted, and memory stays bounded.
+	enc := NewEncoder(1)
+	records := []FlowRecord{rec("10.0.0.1", "100.1.2.3", 443, 50000, 60)}
+	enc.Encode(0, records) // swallow the template message
+	dataOnly, _ := enc.Encode(1, records)
+	dec := NewDecoder()
+	for i := 0; i < maxOrphanSets+10; i++ {
+		if _, err := dec.Decode(dataOnly); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dec.OrphanDropped != 10 {
+		t.Errorf("OrphanDropped = %d, want 10", dec.OrphanDropped)
+	}
+	if dec.orphanBytes > maxOrphanBytes {
+		t.Errorf("orphanBytes = %d exceeds bound %d", dec.orphanBytes, maxOrphanBytes)
+	}
+	// Template arrival drains what is still buffered.
+	enc2 := NewEncoder(1)
+	withTmpl, _ := enc2.Encode(2, records)
+	got, err := dec.Decode(withTmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := maxOrphanSets + 1 // buffered sets + the record in withTmpl itself
+	if len(got) != want {
+		t.Errorf("drained %d records, want %d", len(got), want)
+	}
+}
+
+func TestDecoderTemplateEviction(t *testing.T) {
+	dec := NewDecoder()
+	// Announce more templates than the cache holds (each a minimal
+	// 1-field template): the oldest must be evicted.
+	for i := 0; i < maxTemplates+5; i++ {
+		id := uint16(300 + i)
+		msg := []byte{
+			0, 10, 0, 28, // version, length
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, // export time, seq, domain
+			0, 2, 0, 12, // template set header
+			byte(id >> 8), byte(id), 0, 1, // template id, field count
+			0, 1, 0, 8, // one IE: octetDeltaCount(1), 8 bytes
+		}
+		if _, err := dec.Decode(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(dec.templates) > maxTemplates {
+		t.Errorf("template cache grew to %d, cap %d", len(dec.templates), maxTemplates)
+	}
+	if dec.EvictedTemplates != 5 {
+		t.Errorf("EvictedTemplates = %d, want 5", dec.EvictedTemplates)
+	}
+}
+
+func TestDecoderMalformedTemplateSkipped(t *testing.T) {
+	// A truncated template entry is counted and skipped; a following
+	// well-formed data set (for a known template) still decodes.
+	enc := NewEncoder(1)
+	records := []FlowRecord{rec("10.0.0.1", "100.1.2.3", 443, 50000, 60)}
+	withTmpl, _ := enc.Encode(0, records)
+	dataOnly, _ := enc.Encode(1, records)
+	dec := NewDecoder()
+	if _, err := dec.Decode(withTmpl); err != nil {
+		t.Fatal(err)
+	}
+	// Craft a message with a malformed template set then the data set.
+	badTmpl := []byte{0, 2, 0, 8, 1, 5, 0, 9} // claims 9 fields, has none
+	body := append(badTmpl, dataOnly[messageHeaderLen:]...)
+	msg := make([]byte, messageHeaderLen+len(body))
+	msg[0], msg[1] = 0, 10
+	msg[2] = byte((messageHeaderLen + len(body)) >> 8)
+	msg[3] = byte(messageHeaderLen + len(body))
+	copy(msg[messageHeaderLen:], body)
+	got, err := dec.Decode(msg)
+	if err != nil {
+		t.Fatalf("malformed template failed the datagram: %v", err)
+	}
+	if dec.Malformed != 1 {
+		t.Errorf("Malformed = %d, want 1", dec.Malformed)
+	}
+	if len(got) != 1 || got[0] != records[0] {
+		t.Errorf("data after malformed template = %+v", got)
 	}
 }
 

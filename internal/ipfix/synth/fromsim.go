@@ -1,0 +1,71 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/ipfix"
+	"repro/internal/sim"
+)
+
+// RecordsFromFlowSamples turns one simulated flow's probe samples into
+// the IPFIX TCP records an egress exporter would have produced while
+// watching it: a sampled data packet per probe interval and the
+// matching ack one (instantaneous) SRTT later, with retransmissions
+// planted at lossRate. This is the bridge between the simulator's
+// ground truth and the passive-ingest tracker — a tracker fed these
+// records should reconstruct each interval's SRTT and the planted loss
+// rate without ever seeing the simulator.
+//
+// Records are returned sorted by ObsMillis. packetBytes spaces the
+// sequence numbers (1460 if zero).
+func RecordsFromFlowSamples(key ipfix.FlowKey, samples []sim.FlowSample, lossRate float64, packetBytes int, seed int64) []ipfix.FlowRecord {
+	if packetBytes <= 0 {
+		packetBytes = 1460
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rev := ipfix.FlowKey{
+		Src: key.Dst, Dst: key.Src, SrcPort: key.DstPort, DstPort: key.SrcPort,
+	}
+	var out []ipfix.FlowRecord
+	seq := uint32(1000)
+	emit := func(atMs uint64, s uint32, srtt sim.Time) {
+		data := ipfix.FlowRecord{
+			Key: key, Octets: uint64(packetBytes), Packets: 1,
+			Start: uint32(atMs / 1000), End: uint32(atMs / 1000),
+			Seq: s, Flags: ipfix.FlagACK | ipfix.FlagPSH,
+			ObsMillis: atMs, HasTCP: true,
+		}
+		ackAt := atMs + uint64(srtt.Milliseconds())
+		ack := ipfix.FlowRecord{
+			Key: rev, Octets: 0, Packets: 1,
+			Start: uint32(ackAt / 1000), End: uint32(ackAt / 1000),
+			Ack: s + uint32(packetBytes), Flags: ipfix.FlagACK,
+			ObsMillis: ackAt, HasTCP: true,
+		}
+		out = append(out, data, ack)
+	}
+	for _, s := range samples {
+		if s.SRTT <= 0 {
+			continue
+		}
+		atMs := uint64(s.At / sim.Millisecond)
+		if lossRate > 0 && rng.Float64() < lossRate {
+			// Send the segment, then its retransmit 2 ms later (the same
+			// sequence number, which is what the tracker keys loss on);
+			// only the retransmit is acked.
+			out = append(out, ipfix.FlowRecord{
+				Key: key, Octets: uint64(packetBytes), Packets: 1,
+				Start: uint32(atMs / 1000), End: uint32(atMs / 1000),
+				Seq: seq, Flags: ipfix.FlagACK | ipfix.FlagPSH,
+				ObsMillis: atMs, HasTCP: true,
+			})
+			emit(atMs+2, seq, s.SRTT)
+		} else {
+			emit(atMs, seq, s.SRTT)
+		}
+		seq += uint32(packetBytes)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].ObsMillis < out[b].ObsMillis })
+	return out
+}

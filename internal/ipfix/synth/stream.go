@@ -1,0 +1,256 @@
+// Package synth generates IPFIX record streams that look like sampled
+// TCP traffic: data records carrying sequence numbers and matching ack
+// records one RTT later, with controllable loss. It is the load side of
+// the passive-ingest pipeline — phi-load's -mode ipfix floods a
+// collector with these streams, and the ingest tests check that the
+// tracker recovers the RTT and loss rate that were planted here.
+//
+// Everything is deterministic: the same config and seed produce the
+// same byte stream, so benchmarks and tests are reproducible.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"repro/internal/ipfix"
+)
+
+// StreamConfig shapes one synthetic export stream.
+type StreamConfig struct {
+	// Flows is the number of concurrent TCP flows.
+	Flows int
+	// Paths is the number of distinct destination /24s the flows spread
+	// over (each flow is pinned to one path, round-robin).
+	Paths int
+	// RTTMillisBase is the path RTT for path 0; each subsequent path
+	// adds RTTMillisStep, so per-path ground truth is distinguishable.
+	RTTMillisBase float64
+	RTTMillisStep float64
+	// LossRate is the probability that a data packet needs a retransmit
+	// (emitted as a duplicate sequence number).
+	LossRate float64
+	// PacketBytes is the payload carried per sampled data packet
+	// (default 1460).
+	PacketBytes int
+	// SampleN is the 1-in-N packet sampling the exporter applies; the
+	// generator emits only the sampled packets but advances sequence
+	// numbers as if the unsampled ones existed (default 1: unsampled).
+	SampleN int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.Flows == 0 {
+		c.Flows = 64
+	}
+	if c.Paths == 0 {
+		c.Paths = 4
+	}
+	if c.RTTMillisBase == 0 {
+		c.RTTMillisBase = 20
+	}
+	if c.PacketBytes == 0 {
+		c.PacketBytes = 1460
+	}
+	if c.SampleN <= 0 {
+		c.SampleN = 1
+	}
+	return c
+}
+
+// PathTruth is the ground truth planted for one path.
+type PathTruth struct {
+	// Subnet is the destination /24 (the ingest default path key).
+	Subnet netip.Prefix
+	// RTTMillis is the path RTT every ack is delayed by.
+	RTTMillis float64
+	// LossRate is the configured retransmit probability.
+	LossRate float64
+}
+
+// flowState is one synthetic TCP flow.
+type flowState struct {
+	key     ipfix.FlowKey
+	path    int
+	seq     uint32 // next sequence number to send
+	sampled int    // deterministic 1-in-N counter
+}
+
+// pendingAck is a data packet in flight, acked one RTT later.
+type pendingAck struct {
+	due     uint64 // virtual millis the ack is observed
+	ack     uint32 // cumulative ack value it will carry
+	sampled bool   // whether the data packet was sampled (ack mirrors it)
+}
+
+// Stream deterministically generates TCP-template flow records. Call
+// Next for batches; records within a batch are ordered by ObsMillis.
+type Stream struct {
+	cfg    StreamConfig
+	rng    *rand.Rand
+	flows  []*flowState
+	acks   [][]pendingAck // per flow FIFO
+	nowMs  uint64
+	truths []PathTruth
+
+	// Emitted counts records produced; Retransmits counts planted
+	// retransmissions (sampled duplicates).
+	Emitted     uint64
+	Retransmits uint64
+}
+
+// NewStream builds a stream at virtual time zero.
+func NewStream(cfg StreamConfig) *Stream {
+	cfg = cfg.withDefaults()
+	s := &Stream{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nowMs: 60_000, // start at t=60s so Start/Minute fields look sane
+	}
+	for i := 0; i < cfg.Flows; i++ {
+		path := i % cfg.Paths
+		f := &flowState{
+			// Servers in 10/8 (one per flow), clients spread over
+			// cfg.Paths distinct 100.66.x/24 destinations.
+			key: ipfix.FlowKey{
+				Src:     netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1}),
+				Dst:     netip.AddrFrom4([4]byte{100, 66, byte(path), byte(2 + i>>8)}),
+				SrcPort: 443,
+				DstPort: uint16(40000 + i),
+			},
+			path: path,
+			seq:  uint32(1000 * (i + 1)),
+		}
+		s.flows = append(s.flows, f)
+		s.acks = append(s.acks, nil)
+	}
+	for p := 0; p < cfg.Paths; p++ {
+		s.truths = append(s.truths, PathTruth{
+			Subnet:    netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 66, byte(p), 0}), 24),
+			RTTMillis: cfg.RTTMillisBase + float64(p)*cfg.RTTMillisStep,
+			LossRate:  cfg.LossRate,
+		})
+	}
+	return s
+}
+
+// Truth returns the per-path ground truth, indexed by path.
+func (s *Stream) Truth() []PathTruth { return s.truths }
+
+// PathKeys returns the ingest-default path key (destination /24 string)
+// for each path, aligned with Truth.
+func (s *Stream) PathKeys() []string {
+	keys := make([]string, len(s.truths))
+	for i, t := range s.truths {
+		keys[i] = t.Subnet.String()
+	}
+	return keys
+}
+
+// Next advances virtual time by stepMillis and returns the records
+// observed in that step: one sampled data packet per flow per step,
+// plus any acks that came due. Records are sorted by ObsMillis.
+func (s *Stream) Next(stepMillis int) []ipfix.FlowRecord {
+	var out []ipfix.FlowRecord
+	for step := 0; step < stepMillis; step++ {
+		s.nowMs++
+		for i, f := range s.flows {
+			// Emit acks that have come due.
+			for len(s.acks[i]) > 0 && s.acks[i][0].due <= s.nowMs {
+				p := s.acks[i][0]
+				s.acks[i] = s.acks[i][1:]
+				if p.sampled {
+					out = append(out, s.ackRecord(f, p.ack))
+				}
+			}
+			// One data packet per flow per millisecond.
+			out = append(out, s.dataPackets(i, f)...)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].ObsMillis < out[b].ObsMillis })
+	s.Emitted += uint64(len(out))
+	return out
+}
+
+// dataPackets emits this flow's packet for the current millisecond: a
+// fresh segment, or a retransmit (duplicate seq) with probability
+// LossRate. The exporter's 1-in-N sampling decides whether the packet
+// (and its eventual ack) appear in the export at all.
+func (s *Stream) dataPackets(i int, f *flowState) []ipfix.FlowRecord {
+	lost := s.cfg.LossRate > 0 && s.rng.Float64() < s.cfg.LossRate
+	seq := f.seq
+	if !lost {
+		f.seq += uint32(s.cfg.PacketBytes)
+	}
+	f.sampled++
+	sampled := f.sampled%s.cfg.SampleN == 0
+	rtt := s.truths[f.path].RTTMillis
+	if !lost {
+		// Cumulative ack for this segment arrives one RTT later; the ack
+		// is observable only if its data packet was sampled (the sampler
+		// keys on the flow, so both directions thin together).
+		s.acks[i] = append(s.acks[i], pendingAck{
+			due: s.nowMs + uint64(rtt), ack: seq + uint32(s.cfg.PacketBytes), sampled: sampled,
+		})
+	}
+	if !sampled {
+		return nil
+	}
+	if lost {
+		s.Retransmits++
+	}
+	r := ipfix.FlowRecord{
+		Key:       f.key,
+		Octets:    uint64(s.cfg.PacketBytes),
+		Packets:   1,
+		Start:     uint32(s.nowMs / 1000),
+		End:       uint32(s.nowMs / 1000),
+		Seq:       seq,
+		Flags:     ipfix.FlagACK | ipfix.FlagPSH,
+		ObsMillis: s.nowMs,
+		HasTCP:    true,
+	}
+	return []ipfix.FlowRecord{r}
+}
+
+// ackRecord builds the reverse-direction pure ack.
+func (s *Stream) ackRecord(f *flowState, ack uint32) ipfix.FlowRecord {
+	return ipfix.FlowRecord{
+		Key: ipfix.FlowKey{
+			Src: f.key.Dst, Dst: f.key.Src,
+			SrcPort: f.key.DstPort, DstPort: f.key.SrcPort,
+		},
+		Octets:    0,
+		Packets:   1,
+		Start:     uint32(s.nowMs / 1000),
+		End:       uint32(s.nowMs / 1000),
+		Ack:       ack,
+		Flags:     ipfix.FlagACK,
+		ObsMillis: s.nowMs,
+		HasTCP:    true,
+	}
+}
+
+// Messages encodes count milliseconds of stream into IPFIX messages of
+// at most perMsg records each, ready to blast at a collector.
+func (s *Stream) Messages(enc *ipfix.Encoder, stepMillis, perMsg int) ([][]byte, error) {
+	records := s.Next(stepMillis)
+	var msgs [][]byte
+	for len(records) > 0 {
+		n := len(records)
+		if n > perMsg {
+			n = perMsg
+		}
+		msg, err := enc.EncodeTCP(uint32(s.nowMs/1000), records[:n])
+		if err != nil {
+			return nil, fmt.Errorf("synth: encode: %w", err)
+		}
+		msgs = append(msgs, msg)
+		records = records[n:]
+	}
+	return msgs, nil
+}

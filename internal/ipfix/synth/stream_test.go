@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/ipfix"
+	"repro/internal/sim"
+)
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestStreamDeterministic(t *testing.T) {
+	cfg := StreamConfig{Flows: 8, Paths: 2, LossRate: 0.05, Seed: 3}
+	a := NewStream(cfg).Next(50)
+	b := NewStream(cfg).Next(50)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("stream not deterministic")
+		}
+	}
+}
+
+func TestStreamOrderedAndAcked(t *testing.T) {
+	s := NewStream(StreamConfig{Flows: 4, Paths: 2, RTTMillisBase: 10, RTTMillisStep: 5, Seed: 1})
+	recs := s.Next(100)
+	var last uint64
+	data, acks := 0, 0
+	for _, r := range recs {
+		if r.ObsMillis < last {
+			t.Fatal("records not ordered by ObsMillis")
+		}
+		last = r.ObsMillis
+		if !r.HasTCP {
+			t.Fatal("stream emitted a non-TCP record")
+		}
+		if r.Octets > 0 {
+			data++
+		} else if r.Flags&ipfix.FlagACK != 0 {
+			acks++
+		}
+	}
+	// 4 flows x 100 ms = 400 data packets; acks lag one RTT (10-15 ms) so
+	// most of them have come due within the horizon.
+	if data != 400 {
+		t.Errorf("data packets = %d, want 400", data)
+	}
+	if acks < 300 {
+		t.Errorf("acks = %d, want most of %d", acks, data)
+	}
+}
+
+func TestStreamSamplingThins(t *testing.T) {
+	full := NewStream(StreamConfig{Flows: 8, Seed: 1})
+	thin := NewStream(StreamConfig{Flows: 8, SampleN: 8, Seed: 1})
+	nFull := len(full.Next(200))
+	nThin := len(thin.Next(200))
+	if nThin*4 > nFull {
+		t.Errorf("1-in-8 sampling barely thinned: %d vs %d", nThin, nFull)
+	}
+}
+
+func TestStreamTruthCoversPaths(t *testing.T) {
+	s := NewStream(StreamConfig{Flows: 6, Paths: 3, RTTMillisBase: 20, RTTMillisStep: 10, LossRate: 0.01})
+	truths := s.Truth()
+	keys := s.PathKeys()
+	if len(truths) != 3 || len(keys) != 3 {
+		t.Fatalf("want 3 paths, got %d truths, %d keys", len(truths), len(keys))
+	}
+	if truths[2].RTTMillis != 40 {
+		t.Errorf("path 2 RTT = %v, want 40", truths[2].RTTMillis)
+	}
+	recs := s.Next(10)
+	seen := make(map[string]bool)
+	for i := range recs {
+		if recs[i].Octets > 0 {
+			seen[recs[i].DstSubnet24().String()] = true
+		}
+	}
+	for _, k := range keys {
+		if !seen[k] {
+			t.Errorf("no data record for path %s", k)
+		}
+	}
+}
+
+func TestMessagesRoundTrip(t *testing.T) {
+	s := NewStream(StreamConfig{Flows: 4, Seed: 2})
+	enc := ipfix.NewEncoder(1)
+	msgs, err := s.Messages(enc, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := ipfix.NewDecoder()
+	total := 0
+	for _, m := range msgs {
+		recs, err := dec.Decode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if !r.HasTCP {
+				t.Fatal("TCP fields lost across the wire")
+			}
+		}
+		total += len(recs)
+	}
+	if uint64(total) != s.Emitted {
+		t.Errorf("decoded %d records, stream emitted %d", total, s.Emitted)
+	}
+}
+
+func TestRecordsFromFlowSamples(t *testing.T) {
+	key := ipfix.FlowKey{
+		Src: mustAddr("10.0.0.1"), Dst: mustAddr("100.1.2.3"), SrcPort: 443, DstPort: 50000,
+	}
+	samples := []sim.FlowSample{
+		{At: 1 * sim.Second, SRTT: 30 * sim.Millisecond},
+		{At: 2 * sim.Second, SRTT: 40 * sim.Millisecond},
+		{At: 3 * sim.Second, SRTT: 0}, // skipped: no SRTT yet
+	}
+	recs := RecordsFromFlowSamples(key, samples, 0, 1460, 1)
+	if len(recs) != 4 { // 2 usable samples x (data + ack)
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	// First pair: data at 1000 ms, ack 30 ms later acknowledging it.
+	if recs[0].ObsMillis != 1000 || recs[1].ObsMillis != 1030 {
+		t.Errorf("timing: %d, %d", recs[0].ObsMillis, recs[1].ObsMillis)
+	}
+	if recs[1].Ack != recs[0].Seq+1460 {
+		t.Errorf("ack %d does not acknowledge seq %d", recs[1].Ack, recs[0].Seq)
+	}
+	if recs[1].Key != (ipfix.FlowKey{Src: key.Dst, Dst: key.Src, SrcPort: key.DstPort, DstPort: key.SrcPort}) {
+		t.Errorf("ack key not reversed: %+v", recs[1].Key)
+	}
+	// With loss planted, some sequence numbers repeat.
+	lossy := RecordsFromFlowSamples(key, manySamples(500), 0.2, 1460, 1)
+	seqs := make(map[uint32]int)
+	dups := 0
+	for _, r := range lossy {
+		if r.Octets > 0 {
+			seqs[r.Seq]++
+			if seqs[r.Seq] == 2 {
+				dups++
+			}
+		}
+	}
+	if dups < 50 {
+		t.Errorf("planted 20%% loss over 500 samples but saw %d duplicate seqs", dups)
+	}
+}
+
+func manySamples(n int) []sim.FlowSample {
+	out := make([]sim.FlowSample, n)
+	for i := range out {
+		out[i] = sim.FlowSample{At: sim.Time(i+1) * sim.Second, SRTT: 25 * sim.Millisecond}
+	}
+	return out
+}

@@ -53,31 +53,108 @@ func (e *Exporter) Export(exportTime uint32, records []FlowRecord) error {
 	return nil
 }
 
+// WriteMessage sends one pre-encoded IPFIX message as a datagram —
+// the path for load generators that encode batches up front.
+func (e *Exporter) WriteMessage(msg []byte) error {
+	if _, err := e.conn.Write(msg); err != nil {
+		return err
+	}
+	e.Sent++
+	return nil
+}
+
 // Close releases the socket.
 func (e *Exporter) Close() error { return e.conn.Close() }
+
+// maxSessions caps the number of concurrent transport sessions (remote
+// exporter addresses) a collector keeps decoder state for. Beyond it the
+// stalest session is evicted — a spoofed-source flood cannot grow the
+// session map without bound.
+const maxSessions = 256
+
+// CollectorStats aggregates a collector's counters across all transport
+// sessions, including the per-decoder hardening counters.
+type CollectorStats struct {
+	// Datagrams counts datagrams received; Records counts flow records
+	// decoded (including recovered orphans); Errors counts datagrams
+	// whose envelope was undecodable.
+	Datagrams uint64 `json:"datagrams"`
+	Records   uint64 `json:"records"`
+	Errors    uint64 `json:"errors"`
+	// Orphan* and Malformed sum the decoder hardening counters: data
+	// sets buffered while awaiting their template, records recovered
+	// when it arrived, sets dropped at the buffer bound, and template
+	// sets skipped as structurally damaged.
+	OrphanBuffered  uint64 `json:"orphan_buffered"`
+	OrphanRecovered uint64 `json:"orphan_recovered"`
+	OrphanDropped   uint64 `json:"orphan_dropped"`
+	Malformed       uint64 `json:"malformed"`
+	// Sessions is the live transport-session count; EvictedSessions
+	// counts sessions dropped at the maxSessions cap.
+	Sessions        int    `json:"sessions"`
+	EvictedSessions uint64 `json:"evicted_sessions"`
+}
 
 // Collector receives IPFIX datagrams and accumulates decoded flow
 // records. Because UDP may reorder, each remote exporter gets its own
 // decoder (templates are per transport session, RFC 7011 §8).
+//
+// In raw mode (NewRawCollector) the collector does not decode: each
+// datagram is copied and handed to the raw handler, so a pipeline can
+// move parsing off the socket goroutine.
 type Collector struct {
-	pc net.PacketConn
+	pc  net.PacketConn
+	raw func(session string, datagram []byte)
 
-	mu       sync.Mutex
-	decoders map[string]*Decoder
-	records  []FlowRecord
-	errs     uint64
-	closed   bool
-	done     chan struct{}
+	mu        sync.Mutex
+	decoders  map[string]*session
+	records   []FlowRecord
+	datagrams uint64
+	decoded   uint64
+	errs      uint64
+	evicted   uint64
+	closed    bool
+	done      chan struct{}
+}
+
+// session pairs a per-exporter decoder with a logical last-seen stamp
+// (the datagram counter) used for staleness eviction.
+type session struct {
+	dec      *Decoder
+	lastSeen uint64
 }
 
 // NewCollector listens for datagrams on addr ("127.0.0.1:0" for an
 // ephemeral port) and starts receiving in the background.
 func NewCollector(addr string) (*Collector, error) {
+	return newCollector(addr, nil)
+}
+
+// NewRawCollector listens like NewCollector but skips decoding: every
+// datagram is copied and passed to h with its transport-session key.
+// The handler runs on the receive goroutine and must not block long, or
+// the kernel socket buffer will overflow and drop (which is the
+// intended overload behavior — drops happen at the edge, counted by the
+// kernel, instead of unbounded queueing here).
+func NewRawCollector(addr string, h func(session string, datagram []byte)) (*Collector, error) {
+	if h == nil {
+		return nil, errors.New("ipfix: raw collector needs a handler")
+	}
+	return newCollector(addr, h)
+}
+
+func newCollector(addr string, raw func(string, []byte)) (*Collector, error) {
 	pc, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Collector{pc: pc, decoders: make(map[string]*Decoder), done: make(chan struct{})}
+	// Exporters send in bursts (a whole batch of messages back to back);
+	// the default socket buffer sheds most of such a burst. Ask for a
+	// few MB — best effort, the kernel clamps to rmem_max.
+	if uc, ok := pc.(*net.UDPConn); ok {
+		_ = uc.SetReadBuffer(4 << 20)
+	}
+	c := &Collector{pc: pc, raw: raw, decoders: make(map[string]*session), done: make(chan struct{})}
 	go c.loop()
 	return c, nil
 }
@@ -93,6 +170,13 @@ func (c *Collector) loop() {
 		if err != nil {
 			return // socket closed
 		}
+		if c.raw != nil {
+			c.mu.Lock()
+			c.datagrams++
+			c.mu.Unlock()
+			c.raw(from.String(), append([]byte(nil), buf[:n]...))
+			continue
+		}
 		c.ingest(from.String(), buf[:n])
 	}
 }
@@ -100,17 +184,39 @@ func (c *Collector) loop() {
 func (c *Collector) ingest(from string, msg []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	dec, ok := c.decoders[from]
+	c.datagrams++
+	s, ok := c.decoders[from]
 	if !ok {
-		dec = NewDecoder()
-		c.decoders[from] = dec
+		c.evictStalest()
+		s = &session{dec: NewDecoder()}
+		c.decoders[from] = s
 	}
-	recs, err := dec.Decode(msg)
+	s.lastSeen = c.datagrams
+	recs, err := s.dec.Decode(msg)
+	// Partial decodes still yield records: keep what survived, then count
+	// the envelope error.
+	c.decoded += uint64(len(recs))
+	c.records = append(c.records, recs...)
 	if err != nil {
 		c.errs++
-		return
 	}
-	c.records = append(c.records, recs...)
+}
+
+// evictStalest makes room for a new session by dropping the one whose
+// last datagram is oldest. Caller holds c.mu.
+func (c *Collector) evictStalest() {
+	for len(c.decoders) >= maxSessions {
+		var stalest string
+		var oldest uint64 = ^uint64(0)
+		for k, s := range c.decoders {
+			if s.lastSeen < oldest {
+				oldest = s.lastSeen
+				stalest = k
+			}
+		}
+		delete(c.decoders, stalest)
+		c.evicted++
+	}
 }
 
 // Records returns a copy of everything collected so far.
@@ -132,6 +238,26 @@ func (c *Collector) Errors() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.errs
+}
+
+// Stats aggregates counters across all transport sessions.
+func (c *Collector) Stats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CollectorStats{
+		Datagrams:       c.datagrams,
+		Records:         c.decoded,
+		Errors:          c.errs,
+		Sessions:        len(c.decoders),
+		EvictedSessions: c.evicted,
+	}
+	for _, s := range c.decoders {
+		st.OrphanBuffered += s.dec.OrphanBuffered
+		st.OrphanRecovered += s.dec.OrphanRecovered
+		st.OrphanDropped += s.dec.OrphanDropped
+		st.Malformed += s.dec.Malformed
+	}
+	return st
 }
 
 // Close stops receiving and waits for the loop to exit.

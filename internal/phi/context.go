@@ -41,6 +41,34 @@ func (c Context) String() string {
 	return fmt.Sprintf("u=%.2f q=%v n=%d", c.U, c.Q, c.N)
 }
 
+// ReportSource says who produced a report: a cooperating sender speaking
+// the connection-boundary protocol, or passive inference over traffic
+// observed at the egress (internal/ingest). The paper's production story
+// (Section 2.1) is the passive kind — per-path context recovered from
+// sampled flow records, with no sender cooperation anywhere — so the
+// server tags the two and can weigh them differently (ServerConfig.
+// PassiveWeight). The zero value is cooperative, which keeps every
+// existing caller and the wire protocol unchanged.
+type ReportSource uint8
+
+const (
+	// SourceCooperative marks sender-initiated reports (the default).
+	SourceCooperative ReportSource = iota
+	// SourcePassive marks reports inferred from observed traffic.
+	SourcePassive
+)
+
+func (s ReportSource) String() string {
+	switch s {
+	case SourceCooperative:
+		return "cooperative"
+	case SourcePassive:
+		return "passive"
+	default:
+		return "unknown"
+	}
+}
+
 // Report is what a sender tells the context server when a connection ends:
 // enough to refresh the shared estimates of u, q, and n.
 type Report struct {
@@ -52,6 +80,10 @@ type Report struct {
 	MinRTT sim.Time
 	// LossRate is the sender-observed loss rate.
 	LossRate float64
+	// Source tags who produced the report. The zero value (cooperative)
+	// is what the wire protocol carries; passive reports are injected
+	// in-process by the ingest pipeline.
+	Source ReportSource
 }
 
 // ContextSource answers lookups at connection start.

@@ -8,9 +8,11 @@ import "repro/internal/telemetry"
 // the uninstrumented hot path pays one branch.
 type ServerMetrics struct {
 	// Lookups and Reports count operations (reports include start, end,
-	// and progress).
-	Lookups *telemetry.Counter
-	Reports *telemetry.Counter
+	// and progress). PassiveReports counts the subset of end/progress
+	// reports tagged phi.SourcePassive (fed by the ingest pipeline).
+	Lookups        *telemetry.Counter
+	Reports        *telemetry.Counter
+	PassiveReports *telemetry.Counter
 	// LookupSeconds and ReportSeconds time the in-server critical
 	// section of each operation.
 	LookupSeconds *telemetry.Histogram
@@ -27,11 +29,12 @@ func NewServerMetrics(reg *telemetry.Registry, labels telemetry.Labels) *ServerM
 		return nil
 	}
 	return &ServerMetrics{
-		Lookups:       reg.Counter("phi_server_lookups_total", "context lookups served", labels),
-		Reports:       reg.Counter("phi_server_reports_total", "reports folded in (start+end+progress)", labels),
-		LookupSeconds: reg.Histogram("phi_server_lookup_seconds", "in-server lookup latency", labels),
-		ReportSeconds: reg.Histogram("phi_server_report_seconds", "in-server report latency", labels),
-		Paths:         reg.Gauge("phi_server_paths", "paths with live state", labels),
+		Lookups:        reg.Counter("phi_server_lookups_total", "context lookups served", labels),
+		Reports:        reg.Counter("phi_server_reports_total", "reports folded in (start+end+progress)", labels),
+		PassiveReports: reg.Counter("phi_server_passive_reports_total", "reports inferred passively from observed traffic", labels),
+		LookupSeconds:  reg.Histogram("phi_server_lookup_seconds", "in-server lookup latency", labels),
+		ReportSeconds:  reg.Histogram("phi_server_report_seconds", "in-server report latency", labels),
+		Paths:          reg.Gauge("phi_server_paths", "paths with live state", labels),
 	}
 }
 

@@ -22,6 +22,15 @@ type ServerConfig struct {
 	// crashed client must not inflate the n estimate forever). Default
 	// 60 s; zero keeps the default, negative disables expiry.
 	ActiveTTL sim.Time
+	// PassiveWeight scales the influence of passively inferred reports
+	// (Report.Source == SourcePassive) relative to cooperative ones: the
+	// report's bytes and its queue-estimate contribution are both
+	// multiplied by it. 1 treats both sources equally, values below 1
+	// discount inference noise, above 1 trust the egress view more than
+	// sender self-reports. Default 1; zero keeps the default, negative
+	// ignores passive reports entirely (their byte/RTT evidence is
+	// dropped; start/end registration still maintains n).
+	PassiveWeight float64
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -33,6 +42,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.ActiveTTL == 0 {
 		c.ActiveTTL = 60 * sim.Second
+	}
+	if c.PassiveWeight == 0 {
+		c.PassiveWeight = 1
 	}
 	return c
 }
@@ -52,8 +64,10 @@ type Server struct {
 
 	// lookups and reports count operations; they are atomics so Stats can
 	// be read while the server is serving without taking s.mu.
-	lookups atomic.Uint64
-	reports atomic.Uint64
+	// passiveReports counts the subset of reports tagged SourcePassive.
+	lookups        atomic.Uint64
+	reports        atomic.Uint64
+	passiveReports atomic.Uint64
 
 	// metrics is the optional telemetry surface (nil = uninstrumented;
 	// the hot path then pays exactly one branch). Set before serving.
@@ -205,6 +219,15 @@ func (s *Server) report(path PathKey, r Report, end bool) error {
 	if m != nil {
 		start = time.Now()
 	}
+	// Passive reports are weighed by policy: their byte evidence and
+	// queue contribution are scaled by PassiveWeight (negative drops the
+	// evidence but still maintains the start/end registration, so n
+	// stays honest).
+	weight := 1.0
+	if r.Source == SourcePassive {
+		s.passiveReports.Add(1)
+		weight = s.cfg.PassiveWeight
+	}
 	s.mu.Lock()
 	s.reports.Add(1)
 	st := s.state(path)
@@ -212,28 +235,42 @@ func (s *Server) report(path PathKey, r Report, end bool) error {
 		st.starts = st.starts[1:]
 	}
 	now := s.clock()
-	st.reports = append(st.reports, timedReport{at: now, bytes: r.Bytes})
+	if weight > 0 {
+		bytes := r.Bytes
+		if weight != 1 {
+			bytes = int64(float64(bytes) * weight)
+		}
+		st.reports = append(st.reports, timedReport{at: now, bytes: bytes})
+	}
 	s.prune(st, now)
 
-	if r.MinRTT > 0 && (st.minRTT == 0 || r.MinRTT < st.minRTT) {
-		st.minRTT = r.MinRTT
-	}
-	if r.AvgRTT > 0 && st.minRTT > 0 {
-		q := r.AvgRTT - st.minRTT
-		if q < 0 {
-			q = 0
+	if weight > 0 {
+		if r.MinRTT > 0 && (st.minRTT == 0 || r.MinRTT < st.minRTT) {
+			st.minRTT = r.MinRTT
 		}
-		if !st.qInit {
-			st.qEWMA = q
-			st.qInit = true
-		} else {
-			a := s.cfg.QueueAlpha
-			st.qEWMA = sim.Time(a*float64(q) + (1-a)*float64(st.qEWMA))
+		if r.AvgRTT > 0 && st.minRTT > 0 {
+			q := r.AvgRTT - st.minRTT
+			if q < 0 {
+				q = 0
+			}
+			if !st.qInit {
+				st.qEWMA = q
+				st.qInit = true
+			} else {
+				a := s.cfg.QueueAlpha * weight
+				if a > 1 {
+					a = 1
+				}
+				st.qEWMA = sim.Time(a*float64(q) + (1-a)*float64(st.qEWMA))
+			}
 		}
 	}
 	s.mu.Unlock()
 	if m != nil {
 		m.Reports.Inc()
+		if r.Source == SourcePassive {
+			m.PassiveReports.Inc()
+		}
 		m.ReportSeconds.Observe(time.Since(start))
 	}
 	if h := s.health; h != nil {
@@ -283,6 +320,10 @@ func (s *Server) ActiveSenders(path PathKey) int {
 func (s *Server) Stats() (lookups, reports uint64) {
 	return s.lookups.Load(), s.reports.Load()
 }
+
+// PassiveReports returns how many reports were tagged SourcePassive
+// (a subset of the Stats report count). Safe to call while serving.
+func (s *Server) PassiveReports() uint64 { return s.passiveReports.Load() }
 
 // PathCount returns the number of paths with state.
 func (s *Server) PathCount() int {
