@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race cover test test-short bench bench-smoke bench-sim bench-ingest fuzz-smoke load ingest-demo trace-demo health-demo experiments experiments-full experiments-compare golden-manifest examples clean
+.PHONY: all build vet race cover test test-short bench bench-smoke bench-sim bench-ingest fuzz-smoke load ingest-demo trace-demo health-demo chaos-demo experiments experiments-full experiments-compare golden-manifest examples clean
 
 all: build vet race
 
@@ -135,6 +135,29 @@ health-demo:
 	curl -s 'http://127.0.0.1:7732/debug/health?format=text'; \
 	echo "--- phi-load fault injection and detection summary ---"; \
 	sed -n '/"fault":/,$$p' /tmp/phi-health-demo.json
+
+# Fleet chaos demo (DESIGN.md §13): a replicated 4-shard fleet with the
+# remediation controller on, open-loop load, and a kill schedule driven
+# over the wire — phi-load kills a primary through /debug/fleet every
+# few seconds, waits for the controller alone to repair it, and exits
+# non-zero unless every kill auto-remediated inside -chaos-bound with
+# zero lost lifecycles. The /debug/fleet dump afterwards shows the
+# promotions and the controller's audit trail.
+chaos-demo:
+	$(GO) build -o /tmp/phi-chaos-cluster ./cmd/phi-cluster
+	$(GO) build -o /tmp/phi-chaos-load ./cmd/phi-load
+	/tmp/phi-chaos-cluster -listen 127.0.0.1:7731 -shards 4 -fleet \
+		-fleet-poll 100ms -fleet-sync 2s -metrics-addr 127.0.0.1:7732 & \
+	CLUSTER=$$!; trap 'kill $$CLUSTER' EXIT; sleep 1; \
+	/tmp/phi-chaos-load -addr 127.0.0.1:7731 -mode open -rate 1000 \
+		-duration 20s -warmup 1s -paths 64 -skew zipf -seed 42 \
+		-chaos -chaos-url http://127.0.0.1:7732/debug/fleet \
+		-chaos-first 3s -chaos-every 3s -chaos-kills 3 -chaos-bound 5s \
+		-out /tmp/phi-chaos-demo.json; \
+	echo "--- /debug/fleet after the run ---"; \
+	curl -s 'http://127.0.0.1:7732/debug/fleet?format=text'; \
+	echo "--- chaos schedule summary ---"; \
+	sed -n '/"chaos":/,$$p' /tmp/phi-chaos-demo.json
 
 # Simulator throughput benchmark: the fixed reference scenario with the
 # time-series probe detached vs attached, written to BENCH_sim.json

@@ -24,6 +24,21 @@
 //	                          probed again (default 5s)
 //	-replicate                mirror reports to each path's fallback shard so
 //	                          failover lands on warm state (default true)
+//	-fleet                    run in fleet mode: every shard becomes a
+//	                          primary/backup pair kept in sync by report
+//	                          mirroring and periodic snapshot transfer, and
+//	                          an autonomous remediation controller promotes
+//	                          backups over dead primaries, reseeds stale
+//	                          backups, and restarts dead members — no
+//	                          operator in the loop. Fleet state and chaos
+//	                          ops at /debug/fleet (on -metrics-addr and
+//	                          -fleet-addr)
+//	-fleet-addr addr          also serve /debug/fleet on a dedicated
+//	                          address (implies -fleet)
+//	-fleet-poll d             remediation controller poll interval
+//	                          (default 1s)
+//	-fleet-sync d             periodic backup full-sync interval
+//	                          (default 30s)
 //	-snapshot-dir dir         snapshot directory; empty disables snapshots
 //	-snapshot-interval d      time between snapshots (default 30s)
 //	-path name=bitsPerSecond  register a path capacity (repeatable)
@@ -74,6 +89,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fleet"
 	"repro/internal/health"
 	"repro/internal/ingest"
 	"repro/internal/ipfix"
@@ -95,6 +111,10 @@ func main() {
 		downAfter   = flag.Int("down-after", 3, "consecutive failures before a shard is routed around")
 		cooldown    = flag.Duration("cooldown", 5*time.Second, "down-shard reprobe cooldown")
 		replicate   = flag.Bool("replicate", true, "mirror reports to the fallback shard")
+		fleetOn     = flag.Bool("fleet", false, "run replicated shards with the autonomous remediation controller")
+		fleetAddr   = flag.String("fleet-addr", "", "serve /debug/fleet on a dedicated address (implies -fleet)")
+		fleetPoll   = flag.Duration("fleet-poll", time.Second, "fleet: remediation controller poll interval")
+		fleetSync   = flag.Duration("fleet-sync", 30*time.Second, "fleet: periodic backup full-sync interval")
 		snapDir     = flag.String("snapshot-dir", "", "snapshot directory (empty = snapshots off)")
 		snapEvery   = flag.Duration("snapshot-interval", 30*time.Second, "time between snapshots")
 		policyPath  = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
@@ -128,37 +148,84 @@ func main() {
 	if *shards < 1 {
 		logger.Fatal("-shards must be >= 1", "got", *shards)
 	}
+	if *fleetAddr != "" {
+		*fleetOn = true
+	}
 
-	cl := cluster.New(cluster.Config{
-		Shards: *shards,
-		VNodes: *vnodes,
-		Clock:  func() sim.Time { return sim.Time(time.Now().UnixNano()) },
-		Server: phi.ServerConfig{Window: sim.Time(window.Nanoseconds()), PassiveWeight: *passiveWt},
-		Frontend: cluster.FrontendConfig{
-			Timeout:          *timeout,
-			DownAfter:        *downAfter,
-			Cooldown:         *cooldown,
-			ReplicateReports: *replicate,
-		},
-	})
+	clock := func() sim.Time { return sim.Time(time.Now().UnixNano()) }
+	serverCfg := phi.ServerConfig{Window: sim.Time(window.Nanoseconds()), PassiveWeight: *passiveWt}
+	frontendCfg := cluster.FrontendConfig{
+		Timeout:          *timeout,
+		DownAfter:        *downAfter,
+		Cooldown:         *cooldown,
+		ReplicateReports: *replicate,
+	}
+
+	// Fleet mode wraps every shard in a primary/backup pair with the
+	// remediation controller on top; plain mode is the bare cluster. Both
+	// expose the same frontend, so everything downstream (wire server,
+	// ingest, telemetry) is mode-agnostic.
+	var (
+		cl *cluster.Cluster
+		fl *fleet.Fleet
+		fe *cluster.Frontend
+	)
+	if *fleetOn {
+		fl = fleet.New(fleet.Config{
+			Shards:   *shards,
+			VNodes:   *vnodes,
+			Clock:    clock,
+			Server:   serverCfg,
+			Frontend: frontendCfg,
+			Controller: fleet.ControllerConfig{
+				Poll:        *fleetPoll,
+				SyncEvery:   *fleetSync,
+				SnapshotDir: *snapDir,
+			},
+		})
+		fe = fl.Frontend
+	} else {
+		cl = cluster.New(cluster.Config{
+			Shards:   *shards,
+			VNodes:   *vnodes,
+			Clock:    clock,
+			Server:   serverCfg,
+			Frontend: frontendCfg,
+		})
+		fe = cl.Frontend
+	}
 
 	var reg *telemetry.Registry // nil keeps every hot path uninstrumented
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
-		cl.Instrument(reg)
+		if fl != nil {
+			fl.Instrument(reg)
+		} else {
+			cl.Instrument(reg)
+		}
 	}
 	var tracer *trace.Tracer // nil likewise keeps tracing a no-op
 	if *traceOn {
 		tracer = trace.NewTracer(trace.Config{})
-		cl.Trace(tracer)
+		if fl != nil {
+			fl.Trace(tracer)
+		} else {
+			cl.Trace(tracer)
+		}
 	}
 	var monitor *health.Monitor // nil likewise keeps health hooks no-ops
-	if *healthOn || *healthAddr != "" {
+	if *healthOn || *healthAddr != "" || fl != nil {
 		monitor = health.NewMonitor(health.Config{BucketDur: *healthWin, Shards: *shards})
 		monitor.SetLogger(logger.Component("health"))
 		monitor.SetTracer(tracer)
 		monitor.SetMetrics(health.NewMetrics(reg))
-		cl.Health(monitor) // frontend feeds ops, shard calls, routing, breakers
+		// Frontend feeds ops, shard calls, routing, breakers; in fleet
+		// mode the controller also reads the monitor's global status.
+		if fl != nil {
+			fl.Health(monitor)
+		} else {
+			cl.Health(monitor)
+		}
 		stop := monitor.Start()
 		defer stop()
 	}
@@ -168,19 +235,35 @@ func main() {
 		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
 			logger.Fatal("snapshot dir", "err", err)
 		}
-		restored, err := cl.LoadSnapshots(*snapDir)
+		var restored int
+		if fl != nil {
+			restored, err = fl.LoadSnapshots(*snapDir)
+		} else {
+			restored, err = cl.LoadSnapshots(*snapDir)
+		}
 		if err != nil {
 			logger.Fatal("restore snapshots", "err", err)
 		}
 		if restored > 0 {
 			logger.Info("rehydrated shards from snapshots", "restored", restored, "shards", *shards, "dir", *snapDir)
 		}
-		stopSnapshots = cl.StartSnapshotters(*snapDir, *snapEvery, logger.Component("snapshot").Printf)
+		if fl != nil {
+			stopSnapshots = fl.StartSnapshotters(*snapDir, *snapEvery, logger.Component("snapshot").Printf)
+		} else {
+			stopSnapshots = cl.StartSnapshotters(*snapDir, *snapEvery, logger.Component("snapshot").Printf)
+		}
 		logger.Info("snapshotting", "interval", *snapEvery, "dir", *snapDir)
 	}
 
+	if fl != nil {
+		fl.SetLogger(logger)
+		stopFleet := fl.Start()
+		defer stopFleet()
+		logger.Info("fleet controller up", "poll", *fleetPoll, "sync", *fleetSync, "members", *shards)
+	}
+
 	for _, p := range paths {
-		cl.Frontend.RegisterPath(phi.PathKey(p.name), p.capacity)
+		fe.RegisterPath(phi.PathKey(p.name), p.capacity)
 		logger.Info("registered path", "path", p.name, "capacity_bps", p.capacity)
 	}
 
@@ -193,7 +276,7 @@ func main() {
 	)
 	if *ipfixAddr != "" {
 		p, err := ingest.New(ingest.Config{
-			Sink:         cl.Frontend,
+			Sink:         fe,
 			SampleN:      *ipfixSample,
 			WindowMillis: uint64(ipfixWindow.Milliseconds()),
 			Metrics:      ingest.NewMetrics(reg, nil),
@@ -216,15 +299,19 @@ func main() {
 			"sample", *ipfixSample, "window", ipfixWindow.String())
 	}
 
-	srv := phiwire.NewServer(cl.Frontend, logger.Component("phiwire").Printf)
+	srv := phiwire.NewServer(fe, logger.Component("phiwire").Printf)
 	srv.SetMetrics(phiwire.NewServerMetrics(reg))
 	srv.SetTracer(tracer)
 	srv.SetHealth(monitor)
 	if *metricsAddr != "" {
 		endpoints := []telemetry.Endpoint{
 			{Path: "/debug/traces", Handler: tracer.Collector().Handler()},
-			{Path: "/debug/shard", Handler: shardDebugHandler(cl, logger)},
+			{Path: "/debug/shard", Handler: shardDebugHandler(cl, fl, logger)},
 			{Path: "/debug/health", Handler: monitor.Handler()},
+		}
+		if fl != nil {
+			endpoints = append(endpoints,
+				telemetry.Endpoint{Path: "/debug/fleet", Handler: fl.Handler()})
 		}
 		if ingestPipe != nil {
 			endpoints = append(endpoints,
@@ -245,6 +332,15 @@ func main() {
 		}
 		defer hs.Close()
 		logger.Info("health server up", "addr", hs.Addr().String())
+	}
+	if *fleetAddr != "" {
+		fs, err := telemetry.Serve(*fleetAddr, nil,
+			telemetry.Endpoint{Path: "/debug/fleet", Handler: fl.Handler()})
+		if err != nil {
+			logger.Fatal("fleet server", "err", err)
+		}
+		defer fs.Close()
+		logger.Info("fleet server up", "addr", fs.Addr().String())
 	}
 	policy := phi.DefaultPolicy()
 	if *policyPath != "" {
@@ -283,7 +379,7 @@ func main() {
 	}
 	stopSnapshots() // takes a final snapshot per shard
 	handled, rejected := srv.Stats()
-	fs := cl.Frontend.Stats()
+	fs := fe.Stats()
 	logger.Info("served", "requests", handled, "rejected", rejected,
 		"lookups", fs.Lookups, "reports", fs.Reports, "failovers", fs.Failovers, "degraded", fs.Degraded)
 }
@@ -291,28 +387,53 @@ func main() {
 // shardDebugHandler serves /debug/shard?id=N&op=crash|restart|status —
 // runtime fault injection for failover drills: crash a shard mid-load,
 // watch traces at /debug/traces pick up retry/failover notes, restart
-// it, watch the breaker close.
-func shardDebugHandler(cl *cluster.Cluster, logger *tlog.Logger) http.Handler {
+// it, watch the breaker close. In fleet mode the ops target the member's
+// current primary (crash = KillPrimary, restart = RestartPrimary), so
+// the same drill exercises the remediation controller instead of the
+// bare breaker; richer fleet ops live at /debug/fleet.
+func shardDebugHandler(cl *cluster.Cluster, fl *fleet.Fleet, logger *tlog.Logger) http.Handler {
+	n := func() int {
+		if fl != nil {
+			return len(fl.Members)
+		}
+		return len(cl.Shards)
+	}()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.Atoi(r.URL.Query().Get("id"))
-		if err != nil || id < 0 || id >= len(cl.Shards) {
-			http.Error(w, fmt.Sprintf("bad shard id (want 0..%d)", len(cl.Shards)-1), http.StatusBadRequest)
+		if err != nil || id < 0 || id >= n {
+			http.Error(w, fmt.Sprintf("bad shard id (want 0..%d)", n-1), http.StatusBadRequest)
 			return
 		}
 		switch op := r.URL.Query().Get("op"); op {
 		case "crash":
-			cl.Shards[id].Crash()
+			if fl != nil {
+				fl.Members[id].KillPrimary()
+			} else {
+				cl.Shards[id].Crash()
+			}
 			logger.Warn("shard crashed by debug request", "shard", id)
 		case "restart":
-			cl.Shards[id].Restart()
+			if fl != nil {
+				if _, err := fl.Members[id].RestartPrimary(""); err != nil {
+					logger.Warn("debug restart", "shard", id, "err", err)
+				}
+			} else {
+				cl.Shards[id].Restart()
+			}
 			logger.Info("shard restarted by debug request", "shard", id)
 		case "", "status":
 		default:
 			http.Error(w, "op must be crash, restart, or status", http.StatusBadRequest)
 			return
 		}
+		down := false
+		if fl != nil {
+			down = fl.Members[id].Primary().Down()
+		} else {
+			down = cl.Shards[id].Down()
+		}
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"shard\":%d,\"down\":%v}\n", id, cl.Shards[id].Down())
+		fmt.Fprintf(w, "{\"shard\":%d,\"down\":%v}\n", id, down)
 	})
 }
 

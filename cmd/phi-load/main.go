@@ -81,6 +81,12 @@ func main() {
 		faultAfter  = flag.Duration("fault-after", 10*time.Second, "fault start, measured from run start (warmup included)")
 		faultFor    = flag.Duration("fault-for", 15*time.Second, "fault duration (0 = until the run ends)")
 		healthURL   = flag.String("health-url", "", "poll this /debug/health URL during the run and summarize detections (and time-to-detect) in the result")
+		chaosOn     = flag.Bool("chaos", false, "chaos mode: kill fleet primaries through /debug/fleet mid-run and assert zero lost lifecycles and bounded auto-remediation (exit 1 on violation)")
+		chaosURL    = flag.String("chaos-url", "http://127.0.0.1:7732/debug/fleet", "chaos: the target's /debug/fleet URL")
+		chaosFirst  = flag.Duration("chaos-first", 3*time.Second, "chaos: first kill, measured from run start (warmup included)")
+		chaosEvery  = flag.Duration("chaos-every", 5*time.Second, "chaos: gap between kills")
+		chaosKills  = flag.Int("chaos-kills", 3, "chaos: number of primaries to kill")
+		chaosBound  = flag.Duration("chaos-bound", 10*time.Second, "chaos: max allowed time from kill to the member reporting healthy")
 		skew        = flag.String("skew", "uniform", "path key distribution: uniform or zipf")
 		zipfS       = flag.Float64("zipf-s", 1.2, "zipf skew exponent (>1)")
 		meanBytes   = flag.Float64("mean-bytes", 1<<20, "mean synthetic transfer size reported at connection end")
@@ -149,6 +155,13 @@ func main() {
 		FaultForS:   faultFor.Seconds(),
 		HealthURL:   *healthURL,
 	}
+	if *chaosOn {
+		cfg.ChaosURL = *chaosURL
+		cfg.ChaosFirstS = chaosFirst.Seconds()
+		cfg.ChaosEveryS = chaosEvery.Seconds()
+		cfg.ChaosKills = *chaosKills
+		cfg.ChaosBoundS = chaosBound.Seconds()
+	}
 	if errs := cfg.validate(); len(errs) > 0 {
 		for _, e := range errs {
 			fmt.Fprintln(os.Stderr, "phi-load:", e)
@@ -202,14 +215,39 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			logger.Fatal("write result", "err", err)
+		}
+		logger.Info("run complete", "out", *out,
+			"lifecycles_per_sec", fmt.Sprintf("%.0f", res.LifecyclesPerSec),
+			"lookup_p99_us", fmt.Sprintf("%.0f", res.Ops["lookup"].P99Us))
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		logger.Fatal("write result", "err", err)
+
+	// Chaos verdict: the whole point of -chaos is an executable
+	// assertion, so violations are an exit code, not just JSON.
+	if res.Chaos != nil {
+		lost := res.ErrorsTotal + res.DegradedTotal
+		switch {
+		case lost != 0:
+			logger.Error("chaos FAILED: lifecycles lost during remediation",
+				"errors", res.ErrorsTotal, "degraded", res.DegradedTotal)
+			os.Exit(1)
+		case !res.Chaos.Passed:
+			logger.Error("chaos FAILED", "completed", res.Chaos.Completed,
+				"planned", res.Chaos.Planned, "err", res.Chaos.Error)
+			os.Exit(1)
+		default:
+			worst := 0.0
+			for _, k := range res.Chaos.Kills {
+				if k.RemediateS > worst {
+					worst = k.RemediateS
+				}
+			}
+			logger.Info("chaos passed: zero lost lifecycles, remediation bounded",
+				"kills", res.Chaos.Completed, "worst_remediate_s", fmt.Sprintf("%.2f", worst))
+		}
 	}
-	logger.Info("run complete", "out", *out,
-		"lifecycles_per_sec", fmt.Sprintf("%.0f", res.LifecyclesPerSec),
-		"lookup_p99_us", fmt.Sprintf("%.0f", res.Ops["lookup"].P99Us))
 }
 
 // dumpTraces writes every retained trace (errors first, then slowest,
@@ -248,6 +286,11 @@ type runConfig struct {
 	FaultAfterS float64 `json:"fault_after_s,omitempty"`
 	FaultForS   float64 `json:"fault_for_s,omitempty"`
 	HealthURL   string  `json:"health_url,omitempty"`
+	ChaosURL    string  `json:"chaos_url,omitempty"`
+	ChaosFirstS float64 `json:"chaos_first_s,omitempty"`
+	ChaosEveryS float64 `json:"chaos_every_s,omitempty"`
+	ChaosKills  int     `json:"chaos_kills,omitempty"`
+	ChaosBoundS float64 `json:"chaos_bound_s,omitempty"`
 }
 
 // parseGrid parses a SxIxM grid spec ("1x4x4") into its three
@@ -335,6 +378,23 @@ func (c runConfig) validate() []error {
 		}
 		if c.FaultAfterS >= c.WarmupS+c.DurationS {
 			fail("-fault-after %vs is past the end of the run (%vs)", c.FaultAfterS, c.WarmupS+c.DurationS)
+		}
+	}
+	if c.ChaosURL != "" {
+		if c.ChaosKills < 1 {
+			fail("-chaos-kills must be >= 1 (got %d)", c.ChaosKills)
+		}
+		if c.ChaosFirstS < 0 {
+			fail("-chaos-first must be >= 0 (got %vs)", c.ChaosFirstS)
+		}
+		if c.ChaosEveryS < 0 {
+			fail("-chaos-every must be >= 0 (got %vs)", c.ChaosEveryS)
+		}
+		if c.ChaosBoundS <= 0 {
+			fail("-chaos-bound must be > 0 (got %vs)", c.ChaosBoundS)
+		}
+		if c.ChaosFirstS >= c.WarmupS+c.DurationS {
+			fail("-chaos-first %vs is past the end of the run (%vs)", c.ChaosFirstS, c.WarmupS+c.DurationS)
 		}
 	}
 	return errs
@@ -425,6 +485,7 @@ type result struct {
 	Ops              map[string]opResult `json:"ops"`
 	Fault            *faultResult        `json:"fault,omitempty"`
 	Health           *healthResult       `json:"health,omitempty"`
+	Chaos            *chaosResult        `json:"chaos,omitempty"`
 }
 
 // makeKeys builds the path key universe. With -grid SxIxM, keys are
@@ -708,6 +769,11 @@ func run(cfg runConfig, prefix string, tracer *trace.Tracer) *result {
 		watcher = newHealthWatcher(cfg.HealthURL, fault)
 		watcher.start(stop, &wg)
 	}
+	var chaos *chaosCtl
+	if cfg.ChaosURL != "" {
+		chaos = newChaosCtl(cfg)
+		chaos.start(stop, &wg)
+	}
 
 	switch cfg.Mode {
 	case "closed":
@@ -863,6 +929,9 @@ func run(cfg runConfig, prefix string, tracer *trace.Tracer) *result {
 	}
 	if watcher != nil {
 		res.Health = watcher.summary()
+	}
+	if chaos != nil {
+		res.Chaos = chaos.summary()
 	}
 	return res
 }

@@ -139,6 +139,24 @@ func (c *Cluster) StartSnapshotters(dir string, interval time.Duration, logf fun
 	}
 }
 
+// SnapshotAges returns, per shard, the seconds since the last successful
+// SaveSnapshot, or -1 for shards that have never snapshotted. The health
+// monitor surfaces these at /debug/health so snapshot staleness is
+// visible before a crash proves it.
+func (c *Cluster) SnapshotAges() []float64 {
+	ages := make([]float64, len(c.Shards))
+	now := time.Now()
+	for i, s := range c.Shards {
+		at, ok := s.LastSnapshotAt()
+		if !ok {
+			ages[i] = -1
+			continue
+		}
+		ages[i] = now.Sub(at).Seconds()
+	}
+	return ages
+}
+
 // Stats sums shard-level operation counters (lookups, reports) across
 // live shards.
 func (c *Cluster) Stats() (lookups, reports uint64) {

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,9 +35,33 @@ var (
 
 	noteRetry       = trace.Name("retry")
 	noteFailover    = trace.Name("failover")
-	noteDegraded    = trace.Name("degraded")
 	noteBreakerOpen = trace.Name("breaker-open")
 )
+
+// degradedNotes caches the per-(owner,fallback) degraded notes so the
+// (rare) degraded path interns each distinct pair once. The note names
+// the shard indices that were tried and failed, letting fleet audit
+// logs correlate client-visible degradation with controller actions.
+var degradedNotes sync.Map // uint64(owner)<<32|uint32(fallback) -> trace.Ref
+
+// degradedTriedNote returns the interned note "degraded tried=[o f]"
+// (or "degraded tried=[o]" with no fallback). The intern table bounds
+// total entries, so even a pathological shard count degrades to the
+// overflow ref rather than growing without bound.
+func degradedTriedNote(owner, fallback int) trace.Ref {
+	key := uint64(owner)<<32 | uint64(uint32(fallback))
+	if r, ok := degradedNotes.Load(key); ok {
+		return r.(trace.Ref)
+	}
+	var r trace.Ref
+	if fallback < 0 {
+		r = trace.Name(fmt.Sprintf("degraded tried=[%d]", owner))
+	} else {
+		r = trace.Name(fmt.Sprintf("degraded tried=[%d %d]", owner, fallback))
+	}
+	degradedNotes.Store(key, r)
+	return r
+}
 
 // Errors surfaced by the frontend. A caller that sees ErrAllReplicasDown
 // should degrade to its policy defaults — exactly the ContextSource
@@ -233,6 +258,37 @@ func (f *Frontend) skippable(i int) bool {
 // ShardDown reports whether the frontend currently routes around shard i.
 func (f *Frontend) ShardDown(i int) bool { return f.skippable(i) }
 
+// Quarantine routes around shard i for d, regardless of its breaker
+// history — the drain half of a remediation: while a controller is
+// repairing a shard, traffic goes straight to fallbacks instead of
+// paying a failed owner call first. A successful probe after the window
+// (or ResetShard) returns the shard to service.
+func (f *Frontend) Quarantine(i int, d time.Duration) {
+	h := &f.health[i]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecFails = f.cfg.DownAfter
+	h.downUntil = f.now().Add(d)
+	if m := f.metrics; m != nil {
+		m.Down[i].Set(1)
+	}
+}
+
+// ResetShard clears shard i's breaker so the next operation calls it
+// immediately — promotion awareness: after a fleet controller promotes
+// a backup or restarts a shard, the replica behind index i is healthy
+// and traffic should return now, not after the cooldown expires.
+func (f *Frontend) ResetShard(i int) {
+	h := &f.health[i]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecFails = 0
+	h.downUntil = time.Time{}
+	if m := f.metrics; m != nil {
+		m.Down[i].Set(0)
+	}
+}
+
 // call runs op against shard i under the configured timeout, updating
 // the shard's breaker and recording a shard.call span under parent. A
 // shard in cooldown is skipped outright (noted as breaker-open on the
@@ -373,7 +429,7 @@ func (f *Frontend) LookupSpan(parent trace.SpanContext, path phi.PathKey) (phi.C
 		m.Degraded.Inc()
 	}
 	f.hmon.RecordRouting(healthmon.RouteDegraded)
-	sp.Note(noteDegraded)
+	sp.Note(degradedTriedNote(owner, fb))
 	sp.End(ErrAllReplicasDown)
 	return phi.Context{}, ErrAllReplicasDown
 }
@@ -466,7 +522,7 @@ func (f *Frontend) deliverReport(parent trace.SpanContext, name trace.Ref, path 
 			m.Degraded.Inc()
 		}
 		f.hmon.RecordRouting(healthmon.RouteDegraded)
-		sp.Note(noteDegraded)
+		sp.Note(degradedTriedNote(owner, fb))
 		sp.End(ErrAllReplicasDown)
 		return ErrAllReplicasDown
 	default:

@@ -3,6 +3,8 @@ package cluster
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/phi"
 	"repro/internal/sim"
@@ -46,6 +48,11 @@ type Shard struct {
 	snapMetrics *SnapshotMetrics
 	// tracer is likewise re-applied across crash/restore replacements.
 	tracer *trace.Tracer
+
+	// lastSnap is the wall-clock time (unix nanos) of the last successful
+	// SaveSnapshot, 0 if none yet. An atomic so health endpoints can read
+	// staleness without contending with the snapshotter or the data path.
+	lastSnap atomic.Int64
 }
 
 // NewShard creates shard id with its own backing phi.Server.
@@ -204,6 +211,17 @@ func (s *Shard) Export() []phi.PathSnapshot {
 		return nil
 	}
 	return srv.ExportState()
+}
+
+// LastSnapshotAt returns the wall-clock time of the last successful
+// SaveSnapshot; ok is false if no snapshot has succeeded yet. Exposed so
+// /debug/health can surface snapshot staleness before a crash proves it.
+func (s *Shard) LastSnapshotAt() (t time.Time, ok bool) {
+	ns := s.lastSnap.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
 }
 
 // Stats returns the backing server's lookup/report counters (zero while

@@ -57,6 +57,7 @@ func (s *Shard) RestoreSnapshot(snap *Snapshot) error {
 	defer s.mu.Unlock()
 	s.srv = phi.NewServer(s.clock, s.cfg)
 	s.srv.SetMetrics(s.srvMetrics)
+	s.srv.SetTracer(s.tracer)
 	s.srv.ImportState(snap.Paths)
 	s.down = false
 	return nil
@@ -121,6 +122,9 @@ func (s *Shard) SaveSnapshot(dir string) error {
 		start = time.Now()
 	}
 	err := WriteSnapshotFile(SnapshotPath(dir, s.ID), s.TakeSnapshot())
+	if err == nil {
+		s.lastSnap.Store(time.Now().UnixNano())
+	}
 	if m != nil {
 		m.Seconds.Observe(time.Since(start))
 		if err != nil {

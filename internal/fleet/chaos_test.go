@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/phi"
+	"repro/internal/sim"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) time.Duration {
+	t.Helper()
+	start := time.Now()
+	deadline := start.Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return time.Since(start)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+	return 0
+}
+
+// memberHealthy is the chaos harness's convergence predicate: both
+// replicas up, backup caught up, controller class healthy, breaker
+// closed.
+func memberHealthy(f *Fleet, i int) bool {
+	st := f.Members[i].Status()
+	return st.PrimaryUp && st.BackupUp && st.BackupLive &&
+		f.Controller.Class(i) == ClassHealthy && !f.Frontend.ShardDown(i)
+}
+
+// TestChaosRemediation is the package-level chaos drill the phi-load
+// -chaos harness reproduces over the wire: concurrent lifecycles flow
+// through the frontend while primaries are killed on a schedule, the
+// controller alone repairs each failure, and afterwards we assert the
+// acceptance criteria — zero lost lifecycles, every remediation inside
+// the bound, and promoted replicas state-equivalent to their backups.
+func TestChaosRemediation(t *testing.T) {
+	const (
+		shards       = 4
+		workers      = 8
+		kills        = 3
+		killEvery    = 150 * time.Millisecond
+		remediateMax = 5 * time.Second
+	)
+	f := New(Config{
+		Shards: shards,
+		Controller: ControllerConfig{
+			Poll:                5 * time.Millisecond,
+			DegradedPolls:       2,
+			HealthyPolls:        2,
+			MinActionGap:        20 * time.Millisecond,
+			MaxActionsPerMinute: 1000,
+			SyncEvery:           200 * time.Millisecond,
+		},
+	})
+	stop := f.Start()
+	var stopOnce sync.Once
+	stopCtl := func() { stopOnce.Do(stop) }
+	defer stopCtl()
+
+	// Concurrent lifecycles: each worker owns one path and loops
+	// lookup -> report_start -> report_end. Any error is a lost
+	// lifecycle.
+	var (
+		errs   atomic.Uint64
+		ops    atomic.Uint64
+		stopLd = make(chan struct{})
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		path := phi.PathKey(fmt.Sprintf("chaos-path-%d", w))
+		f.Frontend.RegisterPath(path, 10_000_000)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopLd:
+					return
+				default:
+				}
+				if _, err := f.Frontend.Lookup(path); err != nil {
+					errs.Add(1)
+				}
+				if err := f.Frontend.ReportStart(path); err != nil {
+					errs.Add(1)
+				}
+				if err := f.Frontend.ReportEnd(path, phi.Report{
+					Bytes: 50_000, AvgRTT: 120 * sim.Millisecond, MinRTT: 100 * sim.Millisecond,
+				}); err != nil {
+					errs.Add(1)
+				}
+				ops.Add(3)
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	// Kill schedule: round-robin primaries, one fault at a time, only
+	// against converged members (single-fault tolerance is the contract;
+	// overlapping faults degrade gracefully but are the frontend's
+	// fallback layer's job, exercised elsewhere).
+	for k := 0; k < kills; k++ {
+		victim := k % shards
+		waitFor(t, remediateMax, fmt.Sprintf("member %d converged pre-kill", victim),
+			func() bool { return memberHealthy(f, victim) })
+		f.Members[victim].KillPrimary()
+		took := waitFor(t, remediateMax, fmt.Sprintf("member %d remediated", victim),
+			func() bool { return memberHealthy(f, victim) })
+		t.Logf("kill %d: member %d auto-remediated in %v", k, victim, took)
+		time.Sleep(killEvery)
+	}
+
+	close(stopLd)
+	wg.Wait()
+
+	if got := errs.Load(); got != 0 {
+		t.Fatalf("%d lost lifecycles out of %d ops (want 0)", got, ops.Load())
+	}
+	if st := f.Frontend.Stats(); st.Degraded != 0 {
+		t.Fatalf("frontend degraded %d operations to policy defaults", st.Degraded)
+	}
+
+	// State equivalence after catch-up: with load stopped, every member's
+	// promoted/reseeded backup must hold the same learned context as its
+	// primary (relaxed comparison: mirrored report timestamps differ by
+	// the wall-clock mirror latency).
+	for i := range f.Members {
+		waitFor(t, remediateMax, fmt.Sprintf("member %d final convergence", i),
+			func() bool { return memberHealthy(f, i) })
+	}
+	stopCtl() // freeze the controller so syncs stop racing the comparison
+	for i, m := range f.Members {
+		if !m.Status().BackupLive {
+			continue // backup mid-reseed when the controller froze
+		}
+		if err := EquivalentStates(m.Primary().Export(), m.Backup().Export(), false); err != nil {
+			t.Errorf("member %d replicas diverged after chaos: %v", i, err)
+		}
+	}
+
+	// Every kill shows up in the audit trail with a successful action.
+	promotes := 0
+	for _, e := range f.Controller.Status(0).Audit {
+		if e.Action == "promote" && e.Outcome == "ok" {
+			promotes++
+		}
+	}
+	if promotes < kills {
+		t.Errorf("audit shows %d promotions, want >= %d", promotes, kills)
+	}
+}

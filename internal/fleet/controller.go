@@ -1,0 +1,543 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	healthmon "repro/internal/health"
+	tlog "repro/internal/trace/log"
+)
+
+// Class is a member's health classification, in increasing severity.
+type Class int
+
+const (
+	// ClassHealthy: primary up, backup live, frontend breaker closed.
+	ClassHealthy Class = iota
+	// ClassDegraded: serving but one fault away from an outage — primary
+	// down with the backup answering, a backup that is down or behind, or
+	// a frontend breaker held open against a healthy member.
+	ClassDegraded
+	// ClassDead: primary and backup both unable to serve.
+	ClassDead
+)
+
+// String renders the class for audit entries and /debug/fleet.
+func (c Class) String() string {
+	switch c {
+	case ClassHealthy:
+		return "healthy"
+	case ClassDegraded:
+		return "degraded"
+	default:
+		return "dead"
+	}
+}
+
+// ControllerConfig tunes the remediation control loop.
+type ControllerConfig struct {
+	// Poll is the loop interval for Start (default 1s). pollOnce can also
+	// be driven directly (tests, or an external scheduler).
+	Poll time.Duration
+	// DegradedPolls is how many consecutive polls a member must look
+	// unhealthy before the controller acts (default 2) — hysteresis, so a
+	// single slow poll never triggers a promotion.
+	DegradedPolls int
+	// HealthyPolls is how many consecutive healthy polls close out an
+	// outage (default 2) — the other half of the hysteresis, so the
+	// remediation timer doesn't stop on one lucky poll.
+	HealthyPolls int
+	// MinActionGap is the per-member cool-down between remediation
+	// actions (default 5s). Actions wanted sooner are deferred (audited,
+	// counted, retried next poll).
+	MinActionGap time.Duration
+	// MaxActionsPerMinute bounds fleet-wide remediation rate (default 30)
+	// so a correlated failure cannot turn the controller into a restart
+	// storm.
+	MaxActionsPerMinute int
+	// SyncEvery is the periodic anti-drift full-sync interval per member
+	// (default 30s; 0 disables periodic sync, syncs still happen as part
+	// of remediation).
+	SyncEvery time.Duration
+	// SnapshotDir, when set, lets a restart rehydrate a member from its
+	// newest on-disk snapshot instead of starting empty.
+	SnapshotDir string
+	// AuditCap bounds the in-memory audit ring (default 256).
+	AuditCap int
+	// Clock is the controller's time source (default time.Now); tests
+	// inject a frozen clock to step hysteresis deterministically.
+	Clock func() time.Time
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.Poll <= 0 {
+		c.Poll = time.Second
+	}
+	if c.DegradedPolls <= 0 {
+		c.DegradedPolls = 2
+	}
+	if c.HealthyPolls <= 0 {
+		c.HealthyPolls = 2
+	}
+	if c.MinActionGap <= 0 {
+		c.MinActionGap = 5 * time.Second
+	}
+	if c.MaxActionsPerMinute <= 0 {
+		c.MaxActionsPerMinute = 30
+	}
+	if c.SyncEvery < 0 {
+		c.SyncEvery = 0
+	} else if c.SyncEvery == 0 {
+		c.SyncEvery = 30 * time.Second
+	}
+	if c.AuditCap <= 0 {
+		c.AuditCap = 256
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// AuditEntry is one controller decision, kept in the audit ring and
+// served at /debug/fleet.
+type AuditEntry struct {
+	Seq     uint64    `json:"seq"`
+	Time    time.Time `json:"time"`
+	Shard   int       `json:"shard"`
+	Class   string    `json:"class"`
+	Action  string    `json:"action"`
+	Reason  string    `json:"reason"`
+	Outcome string    `json:"outcome"` // ok | error: ... | deferred: ...
+	DurMs   float64   `json:"dur_ms,omitempty"`
+}
+
+// memberState is the controller's per-member bookkeeping.
+type memberState struct {
+	class Class
+	// consecutive polls observing the (raw) classification, for hysteresis.
+	unhealthyPolls int
+	healthyPolls   int
+	lastAction     time.Time
+	lastSync       time.Time
+	// outageStart is when the member was first classified (debounced)
+	// non-healthy; zero while healthy. Feeds the remediation timer.
+	outageStart time.Time
+}
+
+// Controller is the autonomous remediation loop: it polls member and
+// frontend state, classifies every member, and repairs what it can —
+// promote a live backup over a dead primary, reseed stale backups,
+// restart members with no replica left, and release frontend breakers
+// that outlived the fault. All actions are rate-limited and audited.
+type Controller struct {
+	cfg      ControllerConfig
+	members  []*Member
+	frontend *cluster.Frontend
+	monitor  *healthmon.Monitor // optional; adds global context to status
+	metrics  *Metrics
+	logger   *tlog.Logger
+
+	mu       sync.Mutex
+	states   []memberState
+	audit    []AuditEntry
+	auditSeq uint64
+	// actionTimes holds the timestamps of recent actions for the global
+	// rate limit (pruned to the trailing minute).
+	actionTimes []time.Time
+
+	polls       uint64
+	actionsOK   uint64
+	actionsErr  uint64
+	actionsDefr uint64
+}
+
+// NewController builds a controller over a fleet's members and frontend.
+// monitor may be nil.
+func NewController(members []*Member, fe *cluster.Frontend, monitor *healthmon.Monitor, cfg ControllerConfig) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{
+		cfg:      cfg,
+		members:  members,
+		frontend: fe,
+		monitor:  monitor,
+		states:   make([]memberState, len(members)),
+	}
+}
+
+// SetMetrics attaches the fleet metric set. Call before Start.
+func (c *Controller) SetMetrics(m *Metrics) { c.metrics = m }
+
+// SetLogger attaches a structured logger (component "fleet").
+func (c *Controller) SetLogger(l *tlog.Logger) {
+	if l != nil {
+		l = l.Component("fleet")
+	}
+	c.logger = l
+}
+
+// Start runs the poll loop in a goroutine until the returned stop
+// function is called.
+func (c *Controller) Start() (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(c.cfg.Poll)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.pollOnce()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// classify computes a member's raw classification from its own status
+// and the frontend's breaker view. Caller holds no locks.
+func (c *Controller) classify(i int, st MemberStatus) (Class, string) {
+	switch {
+	case !st.PrimaryUp && !(st.BackupUp && st.BackupLive):
+		return ClassDead, "primary and backup both unavailable"
+	case !st.PrimaryUp:
+		return ClassDegraded, "primary down, backup serving"
+	case !st.BackupUp:
+		return ClassDegraded, "backup down"
+	case !st.BackupLive:
+		return ClassDegraded, "backup behind (catch-up pending)"
+	case c.frontend != nil && c.frontend.ShardDown(i):
+		return ClassDegraded, "frontend breaker open on healthy member"
+	default:
+		return ClassHealthy, ""
+	}
+}
+
+// pollOnce runs one full observe-classify-remediate cycle synchronously.
+// Exposed (package-internal) as the unit the tests drive; Start just
+// calls it on a ticker.
+func (c *Controller) pollOnce() {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	c.polls++
+	c.mu.Unlock()
+	if m := c.metrics; m != nil {
+		m.Polls.Inc()
+	}
+
+	for i, mem := range c.members {
+		st := mem.Status()
+		raw, reason := c.classify(i, st)
+
+		c.mu.Lock()
+		ms := &c.states[i]
+		// Debounce: the effective class only changes after the raw
+		// observation repeats for the configured number of polls.
+		if raw == ClassHealthy {
+			ms.healthyPolls++
+			ms.unhealthyPolls = 0
+		} else {
+			ms.unhealthyPolls++
+			ms.healthyPolls = 0
+		}
+		prev := ms.class
+		switch {
+		case raw != ClassHealthy && ms.unhealthyPolls >= c.cfg.DegradedPolls:
+			ms.class = raw
+		case raw == ClassHealthy && ms.healthyPolls >= c.cfg.HealthyPolls:
+			ms.class = ClassHealthy
+		case raw == ClassDead:
+			// A dead member is never debounced upward: both replicas
+			// down means every request is failing right now.
+			ms.class = ClassDead
+		}
+		class := ms.class
+
+		if prev == ClassHealthy && class != ClassHealthy {
+			ms.outageStart = now
+		}
+		if prev != ClassHealthy && class == ClassHealthy && !ms.outageStart.IsZero() {
+			d := now.Sub(ms.outageStart)
+			ms.outageStart = time.Time{}
+			if m := c.metrics; m != nil {
+				m.RemediateSeconds.Observe(d)
+			}
+			if l := c.logger; l != nil {
+				l.Info("member remediated", "shard", i, "outage_s", d.Seconds())
+			}
+		}
+		if m := c.metrics; m != nil && i < len(m.ClassGauge) {
+			m.ClassGauge[i].Set(float64(class))
+		}
+		c.mu.Unlock()
+
+		if class == ClassHealthy {
+			c.maybePeriodicSync(i, mem, now)
+			continue
+		}
+		c.remediate(i, mem, st, class, reason, now)
+	}
+}
+
+// maybePeriodicSync runs the anti-drift full sync when a healthy member's
+// last sync is older than SyncEvery.
+func (c *Controller) maybePeriodicSync(i int, mem *Member, now time.Time) {
+	if c.cfg.SyncEvery <= 0 {
+		return
+	}
+	c.mu.Lock()
+	due := now.Sub(c.states[i].lastSync) >= c.cfg.SyncEvery
+	c.mu.Unlock()
+	if !due {
+		return
+	}
+	// Periodic syncs bypass MinActionGap (they are maintenance, not
+	// remediation) but still count against the global rate limit — at
+	// maintenance priority, so an aggressive sync cadence can never
+	// starve fault remediation of action budget.
+	if !c.admitGlobal(now, true) {
+		return
+	}
+	start := time.Now()
+	err := mem.SyncBackup()
+	c.mu.Lock()
+	c.states[i].lastSync = now
+	c.mu.Unlock()
+	c.record(i, ClassHealthy, "resync", "periodic anti-drift sync", err, start, now)
+}
+
+// remediate picks and executes the repair for a non-healthy member.
+func (c *Controller) remediate(i int, mem *Member, st MemberStatus, class Class, reason string, now time.Time) {
+	var action string
+	switch {
+	case class == ClassDead:
+		action = "restart"
+	case !st.PrimaryUp:
+		action = "promote"
+	case !st.BackupUp || !st.BackupLive:
+		action = "resync"
+	default:
+		action = "reset_breaker"
+	}
+
+	// Hysteresis reached; now the rate limits decide whether to act.
+	c.mu.Lock()
+	ms := &c.states[i]
+	if gap := now.Sub(ms.lastAction); gap < c.cfg.MinActionGap {
+		c.actionsDefr++
+		c.mu.Unlock()
+		if m := c.metrics; m != nil {
+			m.Deferred.Inc()
+		}
+		c.auditDeferred(i, class, action, reason, "per-member action gap", now)
+		return
+	}
+	c.mu.Unlock()
+	if !c.admitGlobal(now, false) {
+		c.mu.Lock()
+		c.actionsDefr++
+		c.mu.Unlock()
+		if m := c.metrics; m != nil {
+			m.Deferred.Inc()
+		}
+		c.auditDeferred(i, class, action, reason, "global rate limit", now)
+		return
+	}
+
+	c.mu.Lock()
+	ms.lastAction = now
+	c.mu.Unlock()
+
+	start := time.Now()
+	var err error
+	switch action {
+	case "restart":
+		// Drain first: hold the frontend breaker open while the member
+		// restarts so requests fail fast to ring-level degradation
+		// instead of timing out against a rebuilding shard.
+		if c.frontend != nil {
+			c.frontend.Quarantine(i, c.cfg.Poll*time.Duration(c.cfg.DegradedPolls+1))
+		}
+		_, err = mem.RestartPrimary(c.cfg.SnapshotDir)
+		if err == nil {
+			err = mem.SyncBackup()
+		}
+		if err == nil && c.frontend != nil {
+			c.frontend.ResetShard(i)
+		}
+	case "promote":
+		err = mem.Promote()
+		if err == nil {
+			// Reseed the new backup (the dead ex-primary) behind the
+			// promoted replica; RestoreSnapshot revives a down shard, so
+			// the sync is the whole repair.
+			err = mem.SyncBackup()
+		}
+		if err == nil && c.frontend != nil {
+			// The breaker tripped against the dead primary; the promoted
+			// backup serves the same slot, so reopen the fast path.
+			c.frontend.ResetShard(i)
+		}
+	case "resync":
+		err = mem.SyncBackup()
+	case "reset_breaker":
+		if c.frontend != nil {
+			c.frontend.ResetShard(i)
+		}
+	}
+
+	c.mu.Lock()
+	c.states[i].lastSync = now // every action above ends in a fresh sync
+	c.mu.Unlock()
+	c.record(i, class, action, reason, err, start, now)
+}
+
+// admitGlobal enforces MaxActionsPerMinute; true means the caller may
+// act (the slot is consumed). Maintenance work (periodic anti-drift
+// syncs) is only admitted while under half the budget, so fault
+// remediation — which may use the full budget — always has headroom
+// even when the sync cadence alone would exceed the cap.
+func (c *Controller) admitGlobal(now time.Time, maintenance bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cutoff := now.Add(-time.Minute)
+	keep := c.actionTimes[:0]
+	for _, t := range c.actionTimes {
+		if t.After(cutoff) {
+			keep = append(keep, t)
+		}
+	}
+	c.actionTimes = keep
+	limit := c.cfg.MaxActionsPerMinute
+	if maintenance {
+		limit = (limit + 1) / 2
+	}
+	if len(c.actionTimes) >= limit {
+		return false
+	}
+	c.actionTimes = append(c.actionTimes, now)
+	return true
+}
+
+// record audits one executed action and updates counters/metrics/logs.
+func (c *Controller) record(i int, class Class, action, reason string, err error, start time.Time, now time.Time) {
+	outcome := "ok"
+	if err != nil {
+		outcome = "error: " + err.Error()
+	}
+	dur := time.Since(start)
+
+	c.mu.Lock()
+	if err != nil {
+		c.actionsErr++
+	} else {
+		c.actionsOK++
+	}
+	c.auditSeq++
+	c.appendAudit(AuditEntry{
+		Seq: c.auditSeq, Time: now, Shard: i, Class: class.String(),
+		Action: action, Reason: reason, Outcome: outcome,
+		DurMs: float64(dur) / float64(time.Millisecond),
+	})
+	c.mu.Unlock()
+
+	if m := c.metrics; m != nil {
+		m.action(action)
+		if err != nil {
+			m.ActionErrors.Inc()
+		}
+	}
+	if l := c.logger; l != nil {
+		if err != nil {
+			l.Error("remediation failed", "shard", i, "class", class.String(),
+				"action", action, "reason", reason, "err", err)
+		} else {
+			l.Info("remediation", "shard", i, "class", class.String(),
+				"action", action, "reason", reason, "dur_ms", dur.Milliseconds())
+		}
+	}
+}
+
+// auditDeferred audits a rate-limited (not executed) action.
+func (c *Controller) auditDeferred(i int, class Class, action, reason, why string, now time.Time) {
+	c.mu.Lock()
+	c.auditSeq++
+	c.appendAudit(AuditEntry{
+		Seq: c.auditSeq, Time: now, Shard: i, Class: class.String(),
+		Action: action, Reason: reason, Outcome: "deferred: " + why,
+	})
+	c.mu.Unlock()
+	if l := c.logger; l != nil {
+		l.Warn("remediation deferred", "shard", i, "action", action, "why", why)
+	}
+}
+
+// appendAudit adds to the bounded ring. Caller holds c.mu.
+func (c *Controller) appendAudit(e AuditEntry) {
+	if len(c.audit) >= c.cfg.AuditCap {
+		copy(c.audit, c.audit[1:])
+		c.audit = c.audit[:len(c.audit)-1]
+	}
+	c.audit = append(c.audit, e)
+}
+
+// ControllerStatus is the controller's view for /debug/fleet.
+type ControllerStatus struct {
+	Polls           uint64   `json:"polls"`
+	ActionsOK       uint64   `json:"actions_ok"`
+	ActionsFailed   uint64   `json:"actions_failed"`
+	ActionsDeferred uint64   `json:"actions_deferred"`
+	Classes         []string `json:"classes"`
+	// Health is the attached live monitor's overall status ("ok",
+	// "degraded", ...; empty when no monitor is attached) — the same
+	// signal /debug/health serves, echoed here so one endpoint answers
+	// "is the fleet converged AND is the workload healthy".
+	Health string       `json:"health,omitempty"`
+	Audit  []AuditEntry `json:"audit"`
+}
+
+// Status snapshots the controller: counters, debounced per-member
+// classes, and the audit tail (newest last, up to n entries; n <= 0
+// means the whole ring).
+func (c *Controller) Status(n int) ControllerStatus {
+	var health string
+	if c.monitor != nil {
+		health = c.monitor.Snapshot().Status
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ControllerStatus{
+		Health:          health,
+		Polls:           c.polls,
+		ActionsOK:       c.actionsOK,
+		ActionsFailed:   c.actionsErr,
+		ActionsDeferred: c.actionsDefr,
+	}
+	for i := range c.states {
+		st.Classes = append(st.Classes, c.states[i].class.String())
+	}
+	audit := c.audit
+	if n > 0 && len(audit) > n {
+		audit = audit[len(audit)-n:]
+	}
+	st.Audit = append([]AuditEntry(nil), audit...)
+	return st
+}
+
+// Class returns member i's current debounced classification.
+func (c *Controller) Class(i int) Class {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.states) {
+		return ClassDead
+	}
+	return c.states[i].class
+}

@@ -1,0 +1,335 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/phi"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// testFleet builds a small fleet with a frozen controller clock the test
+// advances by hand, driving pollOnce synchronously.
+func testFleet(t *testing.T, shards int, ctl ControllerConfig) (*Fleet, *time.Time, *sim.Time) {
+	t.Helper()
+	simNow := new(sim.Time)
+	wall := new(time.Time)
+	*wall = time.Unix(1_000_000, 0)
+	ctl.Clock = func() time.Time { return *wall }
+	f := New(Config{
+		Shards:     shards,
+		Clock:      func() sim.Time { return *simNow },
+		Controller: ctl,
+	})
+	return f, wall, simNow
+}
+
+// feedFleet pushes a workload through the frontend so every member holds
+// some state.
+func feedFleet(t *testing.T, f *Fleet, simNow *sim.Time, paths ...phi.PathKey) {
+	t.Helper()
+	for _, p := range paths {
+		f.Frontend.RegisterPath(p, 10_000_000)
+		for i := 0; i < 3; i++ {
+			*simNow += 100 * sim.Millisecond
+			if err := f.Frontend.ReportStart(p); err != nil {
+				t.Fatalf("ReportStart(%s): %v", p, err)
+			}
+			*simNow += 200 * sim.Millisecond
+			if err := f.Frontend.ReportEnd(p, phi.Report{
+				Bytes: 50_000, AvgRTT: 120 * sim.Millisecond, MinRTT: 100 * sim.Millisecond,
+			}); err != nil {
+				t.Fatalf("ReportEnd(%s): %v", p, err)
+			}
+		}
+	}
+}
+
+// auditActions collects the executed (non-deferred) actions for a shard.
+func auditActions(c *Controller, shard int) []string {
+	var out []string
+	for _, e := range c.Status(0).Audit {
+		if e.Shard == shard && e.Outcome == "ok" {
+			out = append(out, e.Action)
+		}
+	}
+	return out
+}
+
+// A dead primary is promoted over — but only after the hysteresis
+// threshold, so one bad poll never triggers a failover.
+func TestControllerPromotesAfterHysteresis(t *testing.T) {
+	f, wall, simNow := testFleet(t, 2, ControllerConfig{
+		DegradedPolls: 2, HealthyPolls: 2, SyncEvery: -1, MinActionGap: time.Millisecond,
+	})
+	feedFleet(t, f, simNow, "path-a", "path-b", "path-c", "path-d")
+
+	victim := 0
+	f.Members[victim].KillPrimary()
+	want := f.Members[victim].Backup().Export()
+
+	f.Controller.pollOnce() // first unhealthy observation: debounced, no action
+	if got := auditActions(f.Controller, victim); len(got) != 0 {
+		t.Fatalf("acted after one poll (hysteresis broken): %v", got)
+	}
+
+	*wall = wall.Add(time.Second)
+	f.Controller.pollOnce() // second observation crosses DegradedPolls
+	if got := auditActions(f.Controller, victim); len(got) != 1 || got[0] != "promote" {
+		t.Fatalf("actions after threshold = %v, want [promote]", got)
+	}
+
+	// The promoted primary carries the backup's state and the reseeded
+	// backup matches it exactly.
+	m := f.Members[victim]
+	if m.Primary().Down() {
+		t.Fatal("promoted primary should be up")
+	}
+	if err := EquivalentStates(m.Primary().Export(), want, true); err != nil {
+		t.Fatalf("promoted state: %v", err)
+	}
+	if err := EquivalentStates(m.Primary().Export(), m.Backup().Export(), true); err != nil {
+		t.Fatalf("reseeded backup: %v", err)
+	}
+
+	// Two healthy polls close the outage and the class returns to healthy.
+	for i := 0; i < 2; i++ {
+		*wall = wall.Add(time.Second)
+		f.Controller.pollOnce()
+	}
+	if c := f.Controller.Class(victim); c != ClassHealthy {
+		t.Fatalf("class after recovery = %v, want healthy", c)
+	}
+}
+
+// Both replicas down classifies dead immediately (no upward debounce —
+// every request is failing) and remediates with a drain + restart.
+func TestControllerRestartsDeadMember(t *testing.T) {
+	dir := t.TempDir()
+	f, wall, simNow := testFleet(t, 2, ControllerConfig{
+		DegradedPolls: 2, HealthyPolls: 1, SyncEvery: -1,
+		MinActionGap: time.Millisecond, SnapshotDir: dir,
+	})
+	feedFleet(t, f, simNow, "path-a", "path-b", "path-c", "path-d")
+
+	victim := 1
+	m := f.Members[victim]
+	before := m.Primary().Export()
+	if err := m.SaveSnapshot(dir); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	m.KillBackup()
+	m.KillPrimary()
+
+	f.Controller.pollOnce() // dead: no debounce, but MinActionGap=1ms admits at once
+	*wall = wall.Add(time.Second)
+	f.Controller.pollOnce()
+
+	got := auditActions(f.Controller, victim)
+	if len(got) == 0 || got[0] != "restart" {
+		t.Fatalf("actions = %v, want restart first", got)
+	}
+	if m.Primary().Down() || m.Backup().Down() {
+		t.Fatal("both replicas should be up after remediation")
+	}
+	// Restart rehydrated from the snapshot, not from zero.
+	if err := EquivalentStates(m.Primary().Export(), before, true); err != nil {
+		t.Fatalf("restarted primary state: %v", err)
+	}
+}
+
+// Per-member MinActionGap defers a second action inside the window; the
+// deferral is audited, not silently dropped.
+func TestControllerRateLimitsActions(t *testing.T) {
+	f, wall, simNow := testFleet(t, 1, ControllerConfig{
+		DegradedPolls: 1, HealthyPolls: 1, SyncEvery: -1, MinActionGap: time.Hour,
+	})
+	feedFleet(t, f, simNow, "path-a")
+
+	m := f.Members[0]
+	m.KillPrimary()
+	f.Controller.pollOnce() // promote (first action is admitted)
+
+	m.KillPrimary() // the new primary dies too
+	*wall = wall.Add(time.Second)
+	f.Controller.pollOnce() // inside MinActionGap: must defer
+
+	st := f.Controller.Status(0)
+	if st.ActionsOK != 1 {
+		t.Fatalf("ActionsOK = %d, want 1", st.ActionsOK)
+	}
+	if st.ActionsDeferred == 0 {
+		t.Fatal("second action inside MinActionGap should be deferred")
+	}
+	deferred := false
+	for _, e := range st.Audit {
+		if e.Outcome == "deferred: per-member action gap" {
+			deferred = true
+		}
+	}
+	if !deferred {
+		t.Fatalf("no deferred audit entry: %+v", st.Audit)
+	}
+}
+
+// The global budget bounds fleet-wide actions per minute, so a
+// correlated failure cannot become a restart storm.
+func TestControllerGlobalRateLimit(t *testing.T) {
+	f, _, simNow := testFleet(t, 4, ControllerConfig{
+		DegradedPolls: 1, HealthyPolls: 1, SyncEvery: -1,
+		MinActionGap: time.Millisecond, MaxActionsPerMinute: 2,
+	})
+	feedFleet(t, f, simNow, "path-a", "path-b", "path-c", "path-d", "path-e", "path-f")
+	for _, m := range f.Members {
+		m.KillPrimary()
+	}
+	f.Controller.pollOnce()
+	st := f.Controller.Status(0)
+	if st.ActionsOK > 2 {
+		t.Fatalf("ActionsOK = %d, want <= 2 (global budget)", st.ActionsOK)
+	}
+	if st.ActionsDeferred == 0 {
+		t.Fatal("over-budget actions should be deferred")
+	}
+}
+
+// Maintenance syncs are admitted at half the global budget, so an
+// aggressive SyncEvery cadence can never starve fault remediation of
+// action slots (the failure mode: sync demand above MaxActionsPerMinute
+// fills the trailing-minute window and every promote gets deferred).
+func TestMaintenanceSyncsDoNotStarveRemediation(t *testing.T) {
+	f, wall, simNow := testFleet(t, 2, ControllerConfig{
+		DegradedPolls: 1, HealthyPolls: 1,
+		SyncEvery: time.Second, MinActionGap: time.Millisecond,
+		MaxActionsPerMinute: 2,
+	})
+	feedFleet(t, f, simNow, "path-a", "path-b", "path-c", "path-d")
+
+	// Drive the sync cadence hard: every poll is past SyncEvery, so both
+	// members want a periodic sync each time. At maintenance priority
+	// (half of 2 = 1 slot) the trailing-minute window holds exactly one
+	// sync and stays saturated for maintenance.
+	for i := 0; i < 3; i++ {
+		*wall = wall.Add(2 * time.Second)
+		f.Controller.pollOnce()
+	}
+
+	// A fault arrives with the maintenance slot full: remediation must
+	// still be admitted from the reserved headroom.
+	f.Members[0].KillPrimary()
+	*wall = wall.Add(2 * time.Second)
+	f.Controller.pollOnce()
+
+	if got := auditActions(f.Controller, 0); len(got) == 0 || got[len(got)-1] != "promote" {
+		t.Fatalf("actions for shard 0 = %v, want promote admitted despite sync load", got)
+	}
+	for _, e := range f.Controller.Status(0).Audit {
+		if e.Action == "promote" && e.Outcome == "deferred: global rate limit" {
+			t.Fatalf("promote was starved by maintenance syncs: %+v", e)
+		}
+	}
+}
+
+// A frontend breaker held open against a healthy member is released.
+func TestControllerResetsLingeringBreaker(t *testing.T) {
+	f, wall, simNow := testFleet(t, 2, ControllerConfig{
+		DegradedPolls: 2, HealthyPolls: 1, SyncEvery: -1, MinActionGap: time.Millisecond,
+	})
+	feedFleet(t, f, simNow, "path-a", "path-b")
+
+	f.Frontend.Quarantine(0, time.Hour)
+	if !f.Frontend.ShardDown(0) {
+		t.Fatal("precondition: breaker should be open")
+	}
+	for i := 0; i < 2; i++ {
+		*wall = wall.Add(time.Second)
+		f.Controller.pollOnce()
+	}
+	if got := auditActions(f.Controller, 0); len(got) != 1 || got[0] != "reset_breaker" {
+		t.Fatalf("actions = %v, want [reset_breaker]", got)
+	}
+	if f.Frontend.ShardDown(0) {
+		t.Fatal("breaker should be closed after remediation")
+	}
+}
+
+// Healthy members get a periodic anti-drift full sync on the SyncEvery
+// cadence.
+func TestControllerPeriodicSync(t *testing.T) {
+	f, wall, simNow := testFleet(t, 1, ControllerConfig{
+		DegradedPolls: 1, HealthyPolls: 1, SyncEvery: 10 * time.Second, MinActionGap: time.Millisecond,
+	})
+	feedFleet(t, f, simNow, "path-a")
+
+	f.Controller.pollOnce() // lastSync is zero, so the first poll syncs
+	syncs0 := f.Members[0].Status().Syncs
+	if syncs0 == 0 {
+		t.Fatal("first poll should run the initial sync")
+	}
+	*wall = wall.Add(time.Second)
+	f.Controller.pollOnce() // inside the cadence: no new sync
+	if got := f.Members[0].Status().Syncs; got != syncs0 {
+		t.Fatalf("sync ran inside the cadence: %d -> %d", syncs0, got)
+	}
+	*wall = wall.Add(11 * time.Second)
+	f.Controller.pollOnce()
+	if got := f.Members[0].Status().Syncs; got != syncs0+1 {
+		t.Fatalf("syncs = %d, want %d after the cadence elapsed", got, syncs0+1)
+	}
+}
+
+// The metric surface wires up end to end: polls, actions, promotions,
+// remediation timer.
+func TestControllerMetrics(t *testing.T) {
+	f, wall, simNow := testFleet(t, 2, ControllerConfig{
+		DegradedPolls: 1, HealthyPolls: 1, SyncEvery: -1, MinActionGap: time.Millisecond,
+	})
+	reg := telemetry.NewRegistry()
+	f.Instrument(reg)
+	feedFleet(t, f, simNow, "path-a", "path-b", "path-c")
+
+	f.Members[0].KillPrimary()
+	f.Controller.pollOnce() // detect + promote
+	*wall = wall.Add(time.Second)
+	f.Controller.pollOnce() // healthy again: closes the remediation timer
+
+	fm := f.Controller.metrics
+	if fm.Polls.Value() != 2 {
+		t.Fatalf("polls = %d, want 2", fm.Polls.Value())
+	}
+	if fm.Actions["promote"].Value() != 1 {
+		t.Fatalf("promote actions = %d, want 1", fm.Actions["promote"].Value())
+	}
+	if fm.Promotions.Value() != 1 {
+		t.Fatalf("promotions = %d, want 1", fm.Promotions.Value())
+	}
+	if fm.Mirrored.Value() == 0 {
+		t.Fatal("mirrored reports should be counted")
+	}
+	if fm.RemediateSeconds.Count() != 1 {
+		t.Fatalf("remediate observations = %d, want 1", fm.RemediateSeconds.Count())
+	}
+}
+
+// Frontend integration: with a member's primary dead, requests routed by
+// the ring are answered by the backup and the frontend sees no failure —
+// the replication layer sits below ring-level failover.
+func TestFrontendSeesNoFailureWhilePrimaryDown(t *testing.T) {
+	f, _, simNow := testFleet(t, 2, ControllerConfig{SyncEvery: -1})
+	feedFleet(t, f, simNow, "path-a", "path-b", "path-c", "path-d")
+
+	for i := range f.Members {
+		f.Members[i].KillPrimary()
+	}
+	// Every member's primary is dead; every path must still resolve.
+	for _, p := range []phi.PathKey{"path-a", "path-b", "path-c", "path-d"} {
+		if _, err := f.Frontend.Lookup(p); err != nil {
+			t.Fatalf("Lookup(%s) with all primaries down: %v", p, err)
+		}
+	}
+	st := f.Frontend.Stats()
+	if st.Failovers != 0 || st.Degraded != 0 {
+		t.Fatalf("frontend saw failures: %+v", st)
+	}
+}

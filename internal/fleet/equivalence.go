@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/phi"
+)
+
+// EquivalentStates checks whether two exported server states agree — the
+// acceptance criterion for the promotion protocol: a backup that caught
+// up via snapshot + mirrored-report replay must hold the same learned
+// context as the primary it replaces.
+//
+// With exact set, every estimator field must match bit-for-bit; that is
+// the frozen-clock (simulated time) contract, where primary and backup
+// see identical report sequences at identical timestamps. With exact
+// unset, report timestamps are allowed to differ (under the wall clock a
+// mirrored report lands microseconds after the original, so timedReport
+// times — and thus sub-millisecond qEWMA noise — can't match exactly)
+// while the order-dependent structure still must: the same path set, the
+// same start and report counts, the same byte totals, the same
+// capacities, and minRTT/qEWMA within 5ms.
+//
+// Returns nil when equivalent, else an error naming the first
+// divergence.
+func EquivalentStates(a, b []phi.PathSnapshot, exact bool) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("path count: %d vs %d", len(a), len(b))
+	}
+	byPath := func(s []phi.PathSnapshot) []phi.PathSnapshot {
+		out := append([]phi.PathSnapshot(nil), s...)
+		sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+		return out
+	}
+	as, bs := byPath(a), byPath(b)
+	const tol = 5e6 // 5ms in sim.Time nanoseconds
+	for i := range as {
+		pa, pb := &as[i], &bs[i]
+		if pa.Path != pb.Path {
+			return fmt.Errorf("path set diverges at #%d: %v vs %v", i, pa.Path, pb.Path)
+		}
+		name := fmt.Sprintf("path %v", pa.Path)
+		if pa.CapacityBps != pb.CapacityBps {
+			return fmt.Errorf("%s: capacity %d vs %d", name, pa.CapacityBps, pb.CapacityBps)
+		}
+		if len(pa.Starts) != len(pb.Starts) {
+			return fmt.Errorf("%s: %d vs %d starts", name, len(pa.Starts), len(pb.Starts))
+		}
+		if len(pa.Reports) != len(pb.Reports) {
+			return fmt.Errorf("%s: %d vs %d reports", name, len(pa.Reports), len(pb.Reports))
+		}
+		var bytesA, bytesB int64
+		for j := range pa.Reports {
+			bytesA += pa.Reports[j].Bytes
+			bytesB += pb.Reports[j].Bytes
+		}
+		if bytesA != bytesB {
+			return fmt.Errorf("%s: report bytes %d vs %d", name, bytesA, bytesB)
+		}
+		if pa.QInit != pb.QInit {
+			return fmt.Errorf("%s: qInit %v vs %v", name, pa.QInit, pb.QInit)
+		}
+		if exact {
+			if pa.MinRTT != pb.MinRTT {
+				return fmt.Errorf("%s: minRTT %d vs %d", name, pa.MinRTT, pb.MinRTT)
+			}
+			if pa.QEWMA != pb.QEWMA {
+				return fmt.Errorf("%s: qEWMA %d vs %d", name, pa.QEWMA, pb.QEWMA)
+			}
+			if pa.MaxRateBps != pb.MaxRateBps {
+				return fmt.Errorf("%s: maxRate %f vs %f", name, pa.MaxRateBps, pb.MaxRateBps)
+			}
+			for j := range pa.Starts {
+				if pa.Starts[j] != pb.Starts[j] {
+					return fmt.Errorf("%s: start[%d] %d vs %d", name, j, pa.Starts[j], pb.Starts[j])
+				}
+			}
+			for j := range pa.Reports {
+				if pa.Reports[j] != pb.Reports[j] {
+					return fmt.Errorf("%s: report[%d] %+v vs %+v", name, j, pa.Reports[j], pb.Reports[j])
+				}
+			}
+			continue
+		}
+		if d := float64(pa.MinRTT - pb.MinRTT); math.Abs(d) > tol {
+			return fmt.Errorf("%s: minRTT differs by %.1fms", name, math.Abs(d)/1e6)
+		}
+		if d := float64(pa.QEWMA - pb.QEWMA); math.Abs(d) > tol {
+			return fmt.Errorf("%s: qEWMA differs by %.1fms", name, math.Abs(d)/1e6)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// FleetStatus is the whole-fleet view served at /debug/fleet.
+type FleetStatus struct {
+	Now        time.Time        `json:"now"`
+	Members    []MemberView     `json:"members"`
+	Controller ControllerStatus `json:"controller"`
+}
+
+// MemberView pairs a member's replication status with the controller's
+// debounced classification and the frontend breaker state.
+type MemberView struct {
+	MemberStatus
+	Class       string `json:"class"`
+	BreakerOpen bool   `json:"breaker_open"`
+}
+
+// Status snapshots the fleet (members + controller, audit tail bounded
+// to auditN entries; <= 0 means all).
+func (f *Fleet) Status(auditN int) FleetStatus {
+	st := FleetStatus{
+		Now:        time.Now(),
+		Controller: f.Controller.Status(auditN),
+	}
+	for i, m := range f.Members {
+		mv := MemberView{
+			MemberStatus: m.Status(),
+			Class:        f.Controller.Class(i).String(),
+		}
+		if f.Frontend != nil {
+			mv.BreakerOpen = f.Frontend.ShardDown(i)
+		}
+		st.Members = append(st.Members, mv)
+	}
+	return st
+}
+
+// Handler serves the fleet state at /debug/fleet as JSON (default) or a
+// terminal-friendly text summary (?format=text), and accepts chaos /
+// operator actions via ?op=...&shard=N:
+//
+//	kill         crash the member's current primary
+//	kill-backup  crash the member's current backup
+//	promote      promote the live backup to primary
+//	sync         force a full-state backup sync
+//	restart      restart a dead primary (from SnapshotDir if configured)
+//
+// Ops exist for fault drills and the phi-load chaos harness; routine
+// repair is the controller's job.
+func (f *Fleet) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if op := r.URL.Query().Get("op"); op != "" {
+			f.serveOp(w, r, op)
+			return
+		}
+		st := f.Status(32)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeFleetText(w, &st)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+}
+
+func (f *Fleet) serveOp(w http.ResponseWriter, r *http.Request, op string) {
+	id, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil || id < 0 || id >= len(f.Members) {
+		http.Error(w, fmt.Sprintf("bad shard (want 0..%d)", len(f.Members)-1), http.StatusBadRequest)
+		return
+	}
+	m := f.Members[id]
+	var opErr error
+	switch op {
+	case "kill":
+		m.KillPrimary()
+	case "kill-backup":
+		m.KillBackup()
+	case "promote":
+		opErr = m.Promote()
+	case "sync":
+		opErr = m.SyncBackup()
+	case "restart":
+		_, opErr = m.RestartPrimary(f.Controller.cfg.SnapshotDir)
+	default:
+		http.Error(w, "op must be kill, kill-backup, promote, sync, or restart", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	resp := struct {
+		Shard  int          `json:"shard"`
+		Op     string       `json:"op"`
+		Error  string       `json:"error,omitempty"`
+		Member MemberStatus `json:"member"`
+	}{Shard: id, Op: op, Member: m.Status()}
+	if opErr != nil {
+		resp.Error = opErr.Error()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+func writeFleetText(w interface{ Write([]byte) (int, error) }, st *FleetStatus) {
+	c := &st.Controller
+	fmt.Fprintf(w, "fleet: %d members  controller: %d polls, %d actions ok, %d failed, %d deferred\n",
+		len(st.Members), c.Polls, c.ActionsOK, c.ActionsFailed, c.ActionsDeferred)
+	for _, m := range st.Members {
+		primary, backup := "up", "up"
+		if !m.PrimaryUp {
+			primary = "DOWN"
+		}
+		if !m.BackupUp {
+			backup = "DOWN"
+		} else if !m.BackupLive {
+			backup = "behind"
+		}
+		breaker := ""
+		if m.BreakerOpen {
+			breaker = "  breaker OPEN"
+		}
+		sync := "never"
+		if m.LastSyncAgeS >= 0 {
+			sync = fmt.Sprintf("%.0fs ago", m.LastSyncAgeS)
+		}
+		fmt.Fprintf(w, "member %d [%s]: primary %s (%d paths), backup %s (%d paths), synced %s%s\n",
+			m.Index, m.Class, primary, m.PrimaryPaths, backup, m.BackupPaths, sync, breaker)
+		fmt.Fprintf(w, "  mirrored %d (errs %d), replayed %d (pending %d, dropped %d), promotions %d, backup served %d, syncs %d\n",
+			m.Mirrored, m.MirrorErrors, m.Replayed, m.PendingReplay, m.ReplayDropped,
+			m.Promotions, m.BackupServed, m.Syncs)
+	}
+	if len(c.Audit) > 0 {
+		fmt.Fprintf(w, "audit (last %d):\n", len(c.Audit))
+		for _, e := range c.Audit {
+			fmt.Fprintf(w, "  #%d %s shard %d [%s] %s (%s) -> %s\n",
+				e.Seq, e.Time.Format(time.RFC3339), e.Shard, e.Class, e.Action, e.Reason, e.Outcome)
+		}
+	}
+}

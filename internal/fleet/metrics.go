@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Metrics is the fleet's telemetry set, shared by every member and the
+// controller. All counters are process-cumulative; the per-member class
+// gauges carry a shard label.
+type Metrics struct {
+	// Controller loop.
+	Polls        *telemetry.Counter
+	Actions      map[string]*telemetry.Counter // keyed by action name
+	ActionErrors *telemetry.Counter
+	Deferred     *telemetry.Counter // actions suppressed by rate limiting
+
+	// Replication data path.
+	Promotions    *telemetry.Counter
+	BackupServed  *telemetry.Counter
+	Mirrored      *telemetry.Counter
+	MirrorErrors  *telemetry.Counter
+	Replayed      *telemetry.Counter
+	ReplayDropped *telemetry.Counter
+	Syncs         *telemetry.Counter
+
+	// Latency distributions.
+	SyncSeconds      *telemetry.Histogram // full-state backup sync duration
+	RemediateSeconds *telemetry.Histogram // outage detected -> member healthy again
+
+	// ClassGauge[i] is member i's current classification as a number
+	// (0 healthy, 1 degraded, 2 dead), so a dashboard can plot the fleet
+	// state as a heat strip.
+	ClassGauge []*telemetry.Gauge
+}
+
+// actionNames are the controller's remediation verbs, fixed so the
+// phi_fleet_actions_total label set is stable.
+var actionNames = []string{"promote", "resync", "restart", "reset_breaker"}
+
+// NewMetrics registers the phi_fleet_* metric set for a fleet of n
+// members on reg.
+func NewMetrics(reg *telemetry.Registry, n int) *Metrics {
+	m := &Metrics{
+		Polls: reg.Counter("phi_fleet_polls_total",
+			"Remediation controller poll cycles.", nil),
+		Actions: make(map[string]*telemetry.Counter, len(actionNames)),
+		ActionErrors: reg.Counter("phi_fleet_action_errors_total",
+			"Remediation actions that failed.", nil),
+		Deferred: reg.Counter("phi_fleet_actions_deferred_total",
+			"Remediation actions suppressed by rate limiting.", nil),
+		Promotions: reg.Counter("phi_fleet_promotions_total",
+			"Backup shards promoted to primary.", nil),
+		BackupServed: reg.Counter("phi_fleet_backup_served_total",
+			"Operations answered by a backup while its primary was down.", nil),
+		Mirrored: reg.Counter("phi_fleet_mirrored_reports_total",
+			"Reports synchronously mirrored to live backups.", nil),
+		MirrorErrors: reg.Counter("phi_fleet_mirror_errors_total",
+			"Mirror attempts that failed (backup demoted to catch-up).", nil),
+		Replayed: reg.Counter("phi_fleet_replayed_reports_total",
+			"Buffered reports replayed into backups during catch-up.", nil),
+		ReplayDropped: reg.Counter("phi_fleet_replay_dropped_total",
+			"Buffered reports dropped to the replay-buffer cap.", nil),
+		Syncs: reg.Counter("phi_fleet_syncs_total",
+			"Completed full-state backup syncs.", nil),
+		SyncSeconds: reg.Histogram("phi_fleet_sync_seconds",
+			"Duration of full-state backup syncs.", nil),
+		RemediateSeconds: reg.Histogram("phi_fleet_remediate_seconds",
+			"Time from outage detection to the member classified healthy again.", nil),
+	}
+	for _, a := range actionNames {
+		m.Actions[a] = reg.Counter("phi_fleet_actions_total",
+			"Remediation actions taken, by action.", telemetry.Labels{"action": a})
+	}
+	m.ClassGauge = make([]*telemetry.Gauge, n)
+	for i := range m.ClassGauge {
+		m.ClassGauge[i] = reg.Gauge("phi_fleet_member_class",
+			"Member classification: 0 healthy, 1 degraded, 2 dead.",
+			telemetry.Labels{"shard": strconv.Itoa(i)})
+	}
+	return m
+}
+
+// action increments the counter for a named action; unknown names (never
+// expected) fall through silently rather than panicking the controller.
+func (m *Metrics) action(name string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.Actions[name]; ok {
+		c.Inc()
+	}
+}

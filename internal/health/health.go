@@ -309,6 +309,11 @@ type Monitor struct {
 	// the cluster frontend.
 	shardStatus atomic.Pointer[func() []bool]
 
+	// snapshotAges reports per-shard seconds since the last successful
+	// snapshot (-1 = never), set by the cluster's snapshot machinery so
+	// staleness is visible at /debug/health before a crash proves it.
+	snapshotAges atomic.Pointer[func() []float64]
+
 	startedAt time.Time
 
 	// Hot-path ingestion state.
@@ -383,6 +388,17 @@ func (m *Monitor) SetShardStatus(fn func() []bool) {
 		return
 	}
 	m.shardStatus.Store(&fn)
+}
+
+// SetSnapshotAges installs the per-shard snapshot-age source: seconds
+// since each shard's last successful snapshot, -1 for never. Safe on a
+// nil monitor. Typically wired to cluster.Cluster.SnapshotAges (or the
+// fleet equivalent) when periodic snapshotting is on.
+func (m *Monitor) SetSnapshotAges(fn func() []float64) {
+	if m == nil || fn == nil {
+		return
+	}
+	m.snapshotAges.Store(&fn)
 }
 
 // Start launches the rotation goroutine and returns an idempotent stop

@@ -70,6 +70,11 @@ type ShardStatus struct {
 	Calls         uint64  `json:"calls_total"`
 	Errors        uint64  `json:"errors_total"`
 	BreakerOpen   bool    `json:"breaker_open"`
+	// SnapshotAgeS is seconds since the shard's last successful state
+	// snapshot; nil when snapshotting is off or no snapshot has
+	// succeeded yet. Staleness here bounds how much learned context a
+	// crash would lose.
+	SnapshotAgeS *float64 `json:"snapshot_age_s,omitempty"`
 }
 
 // SliceStatus is one workload slice's live view.
@@ -96,6 +101,10 @@ func (m *Monitor) Snapshot() Snapshot {
 	var down []bool
 	if fn := m.shardStatus.Load(); fn != nil {
 		down = (*fn)()
+	}
+	var snapAges []float64
+	if fn := m.snapshotAges.Load(); fn != nil {
+		snapAges = (*fn)()
 	}
 
 	m.mu.Lock()
@@ -138,6 +147,10 @@ func (m *Monitor) Snapshot() Snapshot {
 		if i < len(down) && down[i] {
 			st.BreakerOpen = true
 			breakerOpen = true
+		}
+		if i < len(snapAges) && snapAges[i] >= 0 {
+			age := snapAges[i]
+			st.SnapshotAgeS = &age
 		}
 		snap.Shards = append(snap.Shards, st)
 	}
@@ -221,8 +234,12 @@ func writeText(w interface{ Write([]byte) (int, error) }, s *Snapshot) {
 		if sh.BreakerOpen {
 			state = "OPEN"
 		}
-		fmt.Fprintf(w, "shard %d: %.1f calls/s, %.1f errs/s, breaker %s (%d calls, %d errors)\n",
-			sh.ID, sh.RatePerSec, sh.ErrRatePerSec, state, sh.Calls, sh.Errors)
+		snapAge := ""
+		if sh.SnapshotAgeS != nil {
+			snapAge = fmt.Sprintf(", snapshot %.0fs old", *sh.SnapshotAgeS)
+		}
+		fmt.Fprintf(w, "shard %d: %.1f calls/s, %.1f errs/s, breaker %s (%d calls, %d errors)%s\n",
+			sh.ID, sh.RatePerSec, sh.ErrRatePerSec, state, sh.Calls, sh.Errors, snapAge)
 	}
 	if len(s.TopSlices) > 0 {
 		fmt.Fprintf(w, "top slices (%d tracked):\n", s.Window.SlicesTracked)
