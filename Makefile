@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race cover test test-short bench bench-smoke bench-sim bench-ingest fuzz-smoke load ingest-demo trace-demo health-demo chaos-demo experiments experiments-full experiments-compare golden-manifest examples clean
+.PHONY: all build vet race cover test test-short bench bench-smoke bench-sim bench-ingest fuzz-smoke load saturate saturate-smoke bench-diff ingest-demo trace-demo health-demo chaos-demo experiments experiments-full experiments-compare golden-manifest examples clean
 
 all: build vet race
 
@@ -48,6 +48,51 @@ load:
 	/tmp/phi-load-bench-load -addr 127.0.0.1:7731 -mode open -rate 2000 \
 		-duration 30s -warmup 2s -paths 64 -skew zipf -seed 42 \
 		-out BENCH_loadgen.json
+
+# Find the ceiling (DESIGN.md §14): ramp the offered rate against a
+# local 4-shard cluster until the online knee detector confirms the p99
+# knee, then capture CPU/heap profiles at the knee and the server's
+# per-stage latency decomposition. Writes BENCH_saturation.json plus
+# BENCH_saturation_{cpu,heap}.pprof. Fixed seed so reruns are
+# comparable. Add -trace to the phi-load line for the client-side stage
+# decomposition too (it costs roughly half the measured ceiling on one
+# core, so the committed baseline runs without it).
+saturate:
+	$(GO) build -o /tmp/phi-sat-cluster ./cmd/phi-cluster
+	$(GO) build -o /tmp/phi-sat-load ./cmd/phi-load
+	/tmp/phi-sat-cluster -listen 127.0.0.1:7731 -shards 4 \
+		-metrics-addr 127.0.0.1:7732 -stages & \
+	CLUSTER=$$!; trap 'kill $$CLUSTER' EXIT; sleep 1; \
+	/tmp/phi-sat-load -addr 127.0.0.1:7731 -mode saturate \
+		-sat-start 2000 -sat-factor 1.5 -sat-step 5s -sat-settle 1s \
+		-paths 64 -skew zipf -seed 42 \
+		-pprof-url http://127.0.0.1:7732 -profile-dur 5s \
+		-stages-url http://127.0.0.1:7732/debug/stages \
+		-out BENCH_saturation.json
+
+# CI-scale saturation smoke (~20s): a short coarse ramp that must still
+# find a knee; the result lands in /tmp for bench-diff to gate.
+saturate-smoke:
+	$(GO) build -o /tmp/phi-sat-cluster ./cmd/phi-cluster
+	$(GO) build -o /tmp/phi-sat-load ./cmd/phi-load
+	/tmp/phi-sat-cluster -listen 127.0.0.1:7731 -shards 4 \
+		-metrics-addr 127.0.0.1:7732 -stages & \
+	CLUSTER=$$!; trap 'kill $$CLUSTER' EXIT; sleep 1; \
+	/tmp/phi-sat-load -addr 127.0.0.1:7731 -mode saturate \
+		-sat-start 2000 -sat-factor 2.0 -sat-step 2s -sat-settle 500ms \
+		-paths 64 -skew zipf -seed 42 \
+		-stages-url http://127.0.0.1:7732/debug/stages \
+		-out /tmp/phi_saturation_smoke.json
+
+# Gate a candidate result against the committed baseline. Smoke runs on
+# shared CI machines wobble, so the default tolerances are generous; the
+# floor that really matters is -min-rate: the knee must stay above the
+# old fixed-rate pin of 2000 lifecycles/s, and a knee must exist at all.
+#   make bench-diff NEW=/tmp/phi_saturation_smoke.json
+NEW ?= /tmp/phi_saturation_smoke.json
+bench-diff:
+	$(GO) run ./cmd/phi-bench-diff -old BENCH_saturation.json -new $(NEW) \
+		-tol-rate 0.6 -tol-latency 4.0 -require-knee -min-rate 2000
 
 # One benchmark iteration per function: catches benchmarks that no
 # longer compile or crash, without paying for real measurement (CI runs

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"fmt"
+	"io"
+)
+
+// direction says which way a metric is allowed to move.
+type direction int
+
+const (
+	higherBetter direction = iota // throughput: regression = drop
+	lowerBetter                   // latency/errors: regression = rise
+)
+
+// options are the gate's tolerances and extra requirements.
+type options struct {
+	TolRate     float64 // allowed fractional drop for higherBetter metrics
+	TolLatency  float64 // allowed fractional rise for lowerBetter metrics
+	RequireKnee bool
+	MinRate     float64
+}
+
+// row is one compared metric.
+type row struct {
+	Name      string
+	Old, New  float64
+	Better    direction
+	Tol       float64
+	Regressed bool
+}
+
+// delta is the signed fractional change, new relative to old.
+func (r row) delta() float64 {
+	if r.Old == 0 {
+		if r.New == 0 {
+			return 0
+		}
+		return 1 // any growth from zero reads as +100%
+	}
+	return (r.New - r.Old) / r.Old
+}
+
+// report is the full comparison outcome.
+type report struct {
+	Kind       string // "loadgen", "saturation", or "ingest"
+	Rows       []row
+	Violations []string // -require-knee / -min-rate failures
+}
+
+func (r *report) failed() bool {
+	if len(r.Violations) > 0 {
+		return true
+	}
+	for _, m := range r.Rows {
+		if m.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *report) write(w io.Writer, oldPath, newPath string) {
+	fmt.Fprintf(w, "phi-bench-diff: %s result, %s -> %s\n\n", r.Kind, oldPath, newPath)
+	fmt.Fprintf(w, "%-36s %14s %14s %8s  %s\n", "metric", "old", "new", "delta", "verdict")
+	for _, m := range r.Rows {
+		verdict := "ok"
+		switch {
+		case m.Regressed:
+			verdict = fmt.Sprintf("REGRESSED (tol %+.0f%%)", tolSign(m)*m.Tol*100)
+		case m.Better == higherBetter && m.delta() > 0,
+			m.Better == lowerBetter && m.delta() < 0:
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "%-36s %14.1f %14.1f %+7.1f%%  %s\n", m.Name, m.Old, m.New, m.delta()*100, verdict)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "\nVIOLATION: %s\n", v)
+	}
+	if r.failed() {
+		fmt.Fprintln(w, "\nverdict: FAIL")
+	} else {
+		fmt.Fprintln(w, "\nverdict: pass")
+	}
+}
+
+func tolSign(m row) float64 {
+	if m.Better == higherBetter {
+		return -1
+	}
+	return 1
+}
+
+// compare classifies both documents, extracts the comparable metric set,
+// and applies the tolerances. The two files must be the same kind of
+// result — diffing a saturation curve against a fixed-rate run is a
+// category error, not a regression.
+func compare(oldDoc, newDoc map[string]any, opts options) (*report, error) {
+	oldKind := classify(oldDoc)
+	newKind := classify(newDoc)
+	if oldKind == "" || newKind == "" {
+		return nil, fmt.Errorf("unrecognized benchmark document (want phi-load loadgen, saturation, or ingest JSON)")
+	}
+	if oldKind != newKind {
+		return nil, fmt.Errorf("cannot diff a %s result against a %s result", newKind, oldKind)
+	}
+	rep := &report{Kind: oldKind}
+	for _, spec := range metricSpecs(oldKind) {
+		ov, okOld := num(oldDoc, spec.path...)
+		nv, okNew := num(newDoc, spec.path...)
+		if !okOld || !okNew {
+			continue // metric absent on one side: nothing to gate
+		}
+		tol := opts.TolLatency
+		if spec.better == higherBetter {
+			tol = opts.TolRate
+		}
+		rep.Rows = append(rep.Rows, row{
+			Name:      spec.name,
+			Old:       ov,
+			New:       nv,
+			Better:    spec.better,
+			Tol:       tol,
+			Regressed: regressed(ov, nv, spec.better, tol),
+		})
+	}
+	if len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("no comparable metrics found in the two %s results", oldKind)
+	}
+	if opts.RequireKnee {
+		if oldKind != "saturation" {
+			return nil, fmt.Errorf("-require-knee only applies to saturation results (got %s)", oldKind)
+		}
+		if found, ok := boolAt(newDoc, "knee", "found"); !ok || !found {
+			rep.Violations = append(rep.Violations, "candidate found no saturation knee (-require-knee)")
+		}
+	}
+	if opts.MinRate > 0 {
+		name, path := headlineRate(oldKind)
+		if nv, ok := num(newDoc, path...); ok && nv < opts.MinRate {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("candidate %s %.1f is below the -min-rate floor %.1f", name, nv, opts.MinRate))
+		}
+	}
+	return rep, nil
+}
+
+// regressed applies the tolerance in the metric's bad direction.
+func regressed(old, new float64, better direction, tol float64) bool {
+	if better == higherBetter {
+		return new < old*(1-tol)
+	}
+	return new > old*(1+tol)
+}
+
+// classify names the document kind by its distinguishing fields.
+func classify(doc map[string]any) string {
+	if _, ok := doc["knee"]; ok {
+		return "saturation"
+	}
+	if _, ok := doc["lifecycles_per_sec"]; ok {
+		return "loadgen"
+	}
+	if _, ok := doc["sync"]; ok {
+		if b, _ := doc["benchmark"].(string); b == "ingest" {
+			return "ingest"
+		}
+	}
+	return ""
+}
+
+// metricSpec is one gated metric: a JSON path plus its good direction.
+type metricSpec struct {
+	name   string
+	path   []string
+	better direction
+}
+
+// metricSpecs lists what gets gated per document kind. Paths that are
+// absent on either side are skipped, so older baselines keep working as
+// results grow fields.
+func metricSpecs(kind string) []metricSpec {
+	switch kind {
+	case "saturation":
+		return []metricSpec{
+			{"max_sustainable_rate", []string{"max_sustainable_rate"}, higherBetter},
+			{"knee.p99_us", []string{"knee", "p99_us"}, lowerBetter},
+			{"knee.baseline_p99_us", []string{"knee", "baseline_p99_us"}, lowerBetter},
+		}
+	case "loadgen":
+		return []metricSpec{
+			{"lifecycles_per_sec", []string{"lifecycles_per_sec"}, higherBetter},
+			{"errors_total", []string{"errors_total"}, lowerBetter},
+			{"ops.lookup.p99_us", []string{"ops", "lookup", "p99_us"}, lowerBetter},
+			{"ops.report_start.p99_us", []string{"ops", "report_start", "p99_us"}, lowerBetter},
+			{"ops.report_end.p99_us", []string{"ops", "report_end", "p99_us"}, lowerBetter},
+			{"ops.lifecycle.p99_us", []string{"ops", "lifecycle", "p99_us"}, lowerBetter},
+		}
+	case "ingest":
+		return []metricSpec{
+			{"sync.records_per_sec", []string{"sync", "records_per_sec"}, higherBetter},
+			{"sync.ns_per_record", []string{"sync", "ns_per_record"}, lowerBetter},
+			{"sync.allocs_per_record", []string{"sync", "allocs_per_record"}, lowerBetter},
+		}
+	}
+	return nil
+}
+
+// headlineRate names the kind's single most important throughput metric
+// (the -min-rate target).
+func headlineRate(kind string) (string, []string) {
+	switch kind {
+	case "saturation":
+		return "max_sustainable_rate", []string{"max_sustainable_rate"}
+	case "loadgen":
+		return "lifecycles_per_sec", []string{"lifecycles_per_sec"}
+	default:
+		return "sync.records_per_sec", []string{"sync", "records_per_sec"}
+	}
+}
+
+// num walks a path of object keys and returns the float at the end.
+func num(doc map[string]any, path ...string) (float64, bool) {
+	cur := any(doc)
+	for _, key := range path {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return 0, false
+		}
+		cur, ok = m[key]
+		if !ok {
+			return 0, false
+		}
+	}
+	f, ok := cur.(float64)
+	return f, ok
+}
+
+// boolAt walks a path of object keys and returns the bool at the end.
+func boolAt(doc map[string]any, path ...string) (bool, bool) {
+	cur := any(doc)
+	for _, key := range path {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return false, false
+		}
+		cur, ok = m[key]
+		if !ok {
+			return false, false
+		}
+	}
+	b, ok := cur.(bool)
+	return b, ok
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// doc parses a JSON literal into the generic document form main uses,
+// so tests exercise exactly the float64/bool types real files decode to.
+func doc(t *testing.T, s string) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(s), &m); err != nil {
+		t.Fatalf("bad test doc: %v", err)
+	}
+	return m
+}
+
+const satFixture = `{
+	"tool": "phi-load",
+	"max_sustainable_rate": 20000,
+	"knee": {"found": true, "rate": 20000, "p99_us": 1500, "baseline_p99_us": 900}
+}`
+
+const loadFixture = `{
+	"tool": "phi-load",
+	"lifecycles_per_sec": 2002,
+	"errors_total": 0,
+	"ops": {
+		"lookup": {"p99_us": 1900},
+		"report_start": {"p99_us": 1800},
+		"report_end": {"p99_us": 1850},
+		"lifecycle": {"p99_us": 5200}
+	}
+}`
+
+func defaults() options { return options{TolRate: 0.10, TolLatency: 0.25} }
+
+func TestIdenticalDocsPass(t *testing.T) {
+	for _, s := range []string{satFixture, loadFixture} {
+		rep, err := compare(doc(t, s), doc(t, s), defaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.failed() {
+			t.Fatalf("identical documents reported as regression: %+v", rep.Rows)
+		}
+	}
+}
+
+func TestRateRegressionFails(t *testing.T) {
+	cand := doc(t, satFixture)
+	cand["max_sustainable_rate"] = 15000.0 // -25% against a 10% tolerance
+	rep, err := compare(doc(t, satFixture), cand, defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.failed() {
+		t.Fatal("25% throughput drop passed a 10% gate")
+	}
+}
+
+func TestRateDropWithinTolerancePasses(t *testing.T) {
+	cand := doc(t, satFixture)
+	cand["max_sustainable_rate"] = 18500.0 // -7.5%
+	rep, err := compare(doc(t, satFixture), cand, defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed() {
+		t.Fatal("7.5% drop failed a 10% gate")
+	}
+}
+
+func TestLatencyRegressionFails(t *testing.T) {
+	cand := doc(t, loadFixture)
+	cand["ops"].(map[string]any)["lookup"].(map[string]any)["p99_us"] = 3000.0 // +58%
+	rep, err := compare(doc(t, loadFixture), cand, defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.failed() {
+		t.Fatal("58% p99 rise passed a 25% gate")
+	}
+}
+
+func TestImprovementNeverFails(t *testing.T) {
+	cand := doc(t, loadFixture)
+	cand["lifecycles_per_sec"] = 50000.0
+	cand["ops"].(map[string]any)["lookup"].(map[string]any)["p99_us"] = 100.0
+	rep, err := compare(doc(t, loadFixture), cand, defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed() {
+		t.Fatal("improvement reported as regression")
+	}
+}
+
+func TestErrorGrowthFromZeroFails(t *testing.T) {
+	cand := doc(t, loadFixture)
+	cand["errors_total"] = 7.0
+	rep, err := compare(doc(t, loadFixture), cand, defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.failed() {
+		t.Fatal("errors appearing from zero passed the gate")
+	}
+}
+
+func TestRequireKnee(t *testing.T) {
+	opts := defaults()
+	opts.RequireKnee = true
+	cand := doc(t, satFixture)
+	cand["knee"].(map[string]any)["found"] = false
+	rep, err := compare(doc(t, satFixture), cand, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.failed() || len(rep.Violations) == 0 {
+		t.Fatal("-require-knee did not fail a knee-less candidate")
+	}
+	// And on a loadgen doc it is a usage error, not a silent pass.
+	if _, err := compare(doc(t, loadFixture), doc(t, loadFixture), opts); err == nil {
+		t.Fatal("-require-knee accepted a non-saturation document")
+	}
+}
+
+func TestMinRateFloor(t *testing.T) {
+	opts := defaults()
+	opts.MinRate = 25000
+	rep, err := compare(doc(t, satFixture), doc(t, satFixture), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.failed() {
+		t.Fatal("candidate below the -min-rate floor passed")
+	}
+}
+
+func TestKindMismatchIsAnError(t *testing.T) {
+	if _, err := compare(doc(t, satFixture), doc(t, loadFixture), defaults()); err == nil {
+		t.Fatal("diffing saturation against loadgen did not error")
+	}
+	if _, err := compare(doc(t, `{"what": 1}`), doc(t, satFixture), defaults()); err == nil {
+		t.Fatal("unrecognized document did not error")
+	}
+}
+
+func TestMissingMetricOnOneSideIsSkipped(t *testing.T) {
+	// Baselines grown before ops.lifecycle existed must keep gating the
+	// metrics they do have.
+	old := doc(t, loadFixture)
+	delete(old["ops"].(map[string]any), "lifecycle")
+	rep, err := compare(old, doc(t, loadFixture), defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.Name == "ops.lifecycle.p99_us" {
+			t.Fatalf("gated a metric absent from the baseline: %s", r.Name)
+		}
+	}
+	if rep.failed() {
+		t.Fatal("skipped metric caused a failure")
+	}
+}
+
+func TestReportWriteSmoke(t *testing.T) {
+	cand := doc(t, satFixture)
+	cand["max_sustainable_rate"] = 10000.0
+	rep, err := compare(doc(t, satFixture), cand, defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	rep.write(&b, "old.json", "new.json")
+	out := b.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "verdict: FAIL") {
+		t.Fatalf("report text missing regression verdict:\n%s", out)
+	}
+}

@@ -1,0 +1,84 @@
+// Command phi-bench-diff compares two BENCH_*.json files produced by
+// phi-load (loadgen, saturation, or ingest results) metric by metric
+// and exits non-zero when the new file regresses past per-metric
+// tolerances — the executable contract that turns committed benchmark
+// baselines into a CI gate instead of documentation.
+//
+// Throughput metrics (rates) regress when the new value falls more than
+// -tol-rate below the old; latency metrics regress when the new value
+// climbs more than -tol-latency above the old. Error counts regress on
+// any increase beyond the latency tolerance. Improvements are reported
+// but never fail the run.
+//
+// Usage:
+//
+//	phi-bench-diff -old BENCH_saturation.json -new /tmp/sat.json \
+//	    -tol-rate 0.25 -tol-latency 1.0 -require-knee -min-rate 2000
+//
+// Exit status: 0 all metrics within tolerance, 1 regression (or a
+// -require-knee / -min-rate violation), 2 usage or file errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		oldPath     = flag.String("old", "", "baseline BENCH_*.json")
+		newPath     = flag.String("new", "", "candidate BENCH_*.json")
+		tolRate     = flag.Float64("tol-rate", 0.10, "allowed fractional drop in throughput metrics (0.10 = -10%)")
+		tolLatency  = flag.Float64("tol-latency", 0.25, "allowed fractional rise in latency metrics (0.25 = +25%)")
+		requireKnee = flag.Bool("require-knee", false, "fail unless the candidate saturation result found a knee")
+		minRate     = flag.Float64("min-rate", 0, "fail if the candidate's headline rate is below this floor (0 = off)")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "phi-bench-diff: -old and -new are both required")
+		os.Exit(2)
+	}
+	if *tolRate < 0 || *tolLatency < 0 {
+		fmt.Fprintln(os.Stderr, "phi-bench-diff: tolerances must be >= 0")
+		os.Exit(2)
+	}
+	oldDoc, err := loadDoc(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phi-bench-diff:", err)
+		os.Exit(2)
+	}
+	newDoc, err := loadDoc(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phi-bench-diff:", err)
+		os.Exit(2)
+	}
+
+	rep, err := compare(oldDoc, newDoc, options{
+		TolRate:     *tolRate,
+		TolLatency:  *tolLatency,
+		RequireKnee: *requireKnee,
+		MinRate:     *minRate,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phi-bench-diff:", err)
+		os.Exit(2)
+	}
+	rep.write(os.Stdout, *oldPath, *newPath)
+	if rep.failed() {
+		os.Exit(1)
+	}
+}
+
+func loadDoc(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
+}

@@ -56,6 +56,13 @@
 //	                          trace headers are joined; routing, retry,
 //	                          failover, and degrade decisions land on
 //	                          spans at /debug/traces)
+//	-stages                   aggregate every span into per-stage latency
+//	                          histograms (server decode/handle, frontend
+//	                          routing, shard handle, response write) at
+//	                          /debug/stages — "where did the microseconds
+//	                          go", live, at any load level. Implies -trace
+//	                          A /debug/ index on -metrics-addr lists every
+//	                          mounted debug endpoint.
 //	-health                   run the live health monitor: streaming
 //	                          volume-dip detection and localization over
 //	                          the serving path, surfaced at /debug/health
@@ -120,6 +127,7 @@ func main() {
 		policyPath  = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = telemetry off)")
 		traceOn     = flag.Bool("trace", false, "record request traces (view at /debug/traces on -metrics-addr)")
+		stagesOn    = flag.Bool("stages", false, "aggregate per-stage latency histograms from the span stream (view at /debug/stages on -metrics-addr; implies -trace)")
 		healthOn    = flag.Bool("health", false, "run the live health monitor (view at /debug/health on -metrics-addr or -health-addr)")
 		healthAddr  = flag.String("health-addr", "", "serve /debug/health on a dedicated address (implies -health)")
 		healthWin   = flag.Duration("health-bucket", time.Second, "health monitor rollup bucket width")
@@ -204,6 +212,9 @@ func main() {
 			cl.Instrument(reg)
 		}
 	}
+	if *stagesOn {
+		*traceOn = true // stages aggregate the span stream
+	}
 	var tracer *trace.Tracer // nil likewise keeps tracing a no-op
 	if *traceOn {
 		tracer = trace.NewTracer(trace.Config{})
@@ -211,6 +222,9 @@ func main() {
 			fl.Trace(tracer)
 		} else {
 			cl.Trace(tracer)
+		}
+		if *stagesOn {
+			tracer.Collector().AttachStages(trace.NewStageAggregator())
 		}
 	}
 	var monitor *health.Monitor // nil likewise keeps health hooks no-ops
@@ -305,17 +319,24 @@ func main() {
 	srv.SetHealth(monitor)
 	if *metricsAddr != "" {
 		endpoints := []telemetry.Endpoint{
-			{Path: "/debug/traces", Handler: tracer.Collector().Handler()},
-			{Path: "/debug/shard", Handler: shardDebugHandler(cl, fl, logger)},
-			{Path: "/debug/health", Handler: monitor.Handler()},
+			{Path: "/debug/traces", Handler: tracer.Collector().Handler(),
+				Desc: "retained request traces: slowest, errors, sampled (-trace)"},
+			{Path: "/debug/stages", Handler: tracer.Stages().Handler(),
+				Desc: "per-stage latency decomposition of the serving path (-stages)"},
+			{Path: "/debug/shard", Handler: shardDebugHandler(cl, fl, logger),
+				Desc: "shard fault injection: ?id=N&op=crash|restart|status"},
+			{Path: "/debug/health", Handler: monitor.Handler(),
+				Desc: "live health monitor: status, anomalies, localization (-health)"},
 		}
 		if fl != nil {
 			endpoints = append(endpoints,
-				telemetry.Endpoint{Path: "/debug/fleet", Handler: fl.Handler()})
+				telemetry.Endpoint{Path: "/debug/fleet", Handler: fl.Handler(),
+					Desc: "fleet members, remediation audit, chaos ops (-fleet)"})
 		}
 		if ingestPipe != nil {
 			endpoints = append(endpoints,
-				telemetry.Endpoint{Path: "/debug/ingest", Handler: ingest.Handler(ingestPipe, ingestCol)})
+				telemetry.Endpoint{Path: "/debug/ingest", Handler: ingest.Handler(ingestPipe, ingestCol),
+					Desc: "passive IPFIX ingest: per-path reconstructed state (-ipfix-addr)"})
 		}
 		ms, err := telemetry.Serve(*metricsAddr, reg, endpoints...)
 		if err != nil {

@@ -1,0 +1,164 @@
+package main
+
+import "testing"
+
+// feedCurve runs a whole synthetic rate→latency curve through a fresh
+// detector and returns the verdict.
+func feedCurve(cfg kneeConfig, points []kneePoint) kneeVerdict {
+	det := newKneeDetector(cfg)
+	for _, p := range points {
+		if det.feed(p) {
+			break
+		}
+	}
+	return det.result()
+}
+
+func TestKneeCleanHockeyStick(t *testing.T) {
+	// Flat 800us tails up to 16k/s, then the classic blowup.
+	curve := []kneePoint{
+		{Offered: 2000, Achieved: 2000, P99Us: 900},
+		{Offered: 4000, Achieved: 4000, P99Us: 850},
+		{Offered: 8000, Achieved: 7990, P99Us: 880},
+		{Offered: 16000, Achieved: 15900, P99Us: 920},
+		{Offered: 32000, Achieved: 30100, P99Us: 4500},  // 5x baseline
+		{Offered: 64000, Achieved: 31000, P99Us: 90000}, // collapse
+	}
+	v := feedCurve(kneeConfig{}, curve)
+	if !v.Found {
+		t.Fatalf("no knee found on a clean hockey stick: %+v", v)
+	}
+	if v.KneeStep != 3 {
+		t.Fatalf("knee at step %d, want 3 (the 16k/s step)", v.KneeStep)
+	}
+	if v.Rate != 15900 {
+		t.Fatalf("knee rate %v, want the achieved rate at the knee step (15900)", v.Rate)
+	}
+	if v.DetectedStep != 5 {
+		t.Fatalf("detected at step %d, want 5 (second offending step)", v.DetectedStep)
+	}
+	if v.Reason != "p99-ratio" {
+		t.Fatalf("reason %q, want p99-ratio", v.Reason)
+	}
+	if v.BaselineP99Us != 850 {
+		t.Fatalf("baseline %v, want the min good-step p99 (850)", v.BaselineP99Us)
+	}
+}
+
+func TestKneeAchievedShortfall(t *testing.T) {
+	// Latency stays polite (big timeouts would do this) but the server
+	// simply stops completing the offered rate.
+	curve := []kneePoint{
+		{Offered: 1000, Achieved: 1000, P99Us: 500},
+		{Offered: 2000, Achieved: 1990, P99Us: 520},
+		{Offered: 4000, Achieved: 2100, P99Us: 800}, // 52% of offered
+		{Offered: 8000, Achieved: 2100, P99Us: 900},
+	}
+	v := feedCurve(kneeConfig{}, curve)
+	if !v.Found || v.Reason != "achieved-shortfall" {
+		t.Fatalf("want achieved-shortfall knee, got %+v", v)
+	}
+	if v.KneeStep != 1 || v.Rate != 1990 {
+		t.Fatalf("knee step %d rate %v, want step 1 at 1990/s", v.KneeStep, v.Rate)
+	}
+}
+
+func TestKneeNoisyPlateauDoesNotFire(t *testing.T) {
+	// One 4x latency spike (GC pause) in an otherwise flat plateau must
+	// not be declared a knee: hysteresis requires Confirm consecutive
+	// offending steps.
+	curve := []kneePoint{
+		{Offered: 1000, Achieved: 1000, P99Us: 700},
+		{Offered: 2000, Achieved: 2000, P99Us: 650},
+		{Offered: 3000, Achieved: 2990, P99Us: 2800}, // spike: offending
+		{Offered: 4000, Achieved: 3980, P99Us: 720},  // back to flat
+		{Offered: 5000, Achieved: 4990, P99Us: 700},
+	}
+	v := feedCurve(kneeConfig{}, curve)
+	if v.Found {
+		t.Fatalf("noisy plateau declared a knee: %+v", v)
+	}
+	if v.KneeStep != 4 {
+		t.Fatalf("best sustained step %d, want the last clean one (4)", v.KneeStep)
+	}
+	if v.Rate != 4990 {
+		t.Fatalf("best sustained rate %v, want 4990", v.Rate)
+	}
+}
+
+func TestKneeMonotoneGentleRampNeverFires(t *testing.T) {
+	// p99 creeps up 8% per step — 1.08^11 ≈ 2.3x over the whole ramp,
+	// never past Ratio x the min baseline, always keeping up with
+	// offered load. No knee exists; none may be found.
+	curve := make([]kneePoint, 0, 12)
+	p99, rate := 500.0, 1000.0
+	for i := 0; i < 12; i++ {
+		curve = append(curve, kneePoint{Offered: rate, Achieved: rate, P99Us: p99})
+		p99 *= 1.08
+		rate *= 1.3
+	}
+	v := feedCurve(kneeConfig{}, curve)
+	if v.Found {
+		t.Fatalf("monotone gentle ramp declared a knee: %+v", v)
+	}
+	if v.KneeStep != 11 {
+		t.Fatalf("best sustained step %d, want the final step", v.KneeStep)
+	}
+}
+
+// The baseline creep subtlety the gentle-ramp test depends on: the
+// baseline is the MIN over good steps, so a slowly rising curve is
+// judged against its flattest point, and a knee whose absolute latency
+// would look "fine" is still caught relative to that.
+func TestKneeBaselineIsMinOverGoodSteps(t *testing.T) {
+	curve := []kneePoint{
+		{Offered: 1000, Achieved: 1000, P99Us: 2000}, // cold caches
+		{Offered: 2000, Achieved: 2000, P99Us: 400},  // warmed up: new baseline
+		{Offered: 4000, Achieved: 4000, P99Us: 1500}, // 3.75x the min baseline
+		{Offered: 8000, Achieved: 8000, P99Us: 1600},
+	}
+	v := feedCurve(kneeConfig{}, curve)
+	if !v.Found {
+		t.Fatal("knee relative to warmed-up baseline not found")
+	}
+	if v.BaselineP99Us != 400 {
+		t.Fatalf("baseline %v, want the post-warmup min (400)", v.BaselineP99Us)
+	}
+	if v.KneeStep != 1 {
+		t.Fatalf("knee step %d, want 1", v.KneeStep)
+	}
+}
+
+func TestKneeNeverFiresWithoutAGoodStep(t *testing.T) {
+	// Every step offending from the start (e.g. -sat-start already past
+	// saturation): there is no sustainable point to report, so the
+	// detector must not invent one.
+	curve := []kneePoint{
+		{Offered: 50000, Achieved: 9000, P99Us: 50000},
+		{Offered: 75000, Achieved: 9100, P99Us: 60000},
+		{Offered: 112500, Achieved: 9000, P99Us: 70000},
+	}
+	v := feedCurve(kneeConfig{}, curve)
+	if v.Found {
+		t.Fatalf("knee declared with no sustainable step: %+v", v)
+	}
+	if v.KneeStep != -1 {
+		t.Fatalf("knee step %d, want -1 (no good step)", v.KneeStep)
+	}
+}
+
+func TestKneeConfirmCountHonored(t *testing.T) {
+	base := []kneePoint{
+		{Offered: 1000, Achieved: 1000, P99Us: 500},
+		{Offered: 2000, Achieved: 2000, P99Us: 500},
+		{Offered: 4000, Achieved: 3990, P99Us: 5000},
+		{Offered: 8000, Achieved: 7800, P99Us: 9000},
+		{Offered: 16000, Achieved: 9000, P99Us: 20000},
+	}
+	if v := feedCurve(kneeConfig{Confirm: 1}, base); !v.Found || v.DetectedStep != 2 {
+		t.Fatalf("Confirm=1: want detection at first offending step, got %+v", v)
+	}
+	if v := feedCurve(kneeConfig{Confirm: 3}, base); !v.Found || v.DetectedStep != 4 {
+		t.Fatalf("Confirm=3: want detection at third consecutive offender, got %+v", v)
+	}
+}

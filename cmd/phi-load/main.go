@@ -16,7 +16,14 @@
 //     over a fixed connection pool. This measures tail latency at a
 //     fixed offered load, the number that decides whether a shared
 //     control plane is affordable (arrivals do not slow down when the
-//     server does).
+//     server does). Lifecycle latency is coordinated-omission
+//     corrected: measured from the scheduled arrival, not the send.
+//   - saturate: the open loop with a closed control loop on top
+//     (saturate.go). The offered rate ramps geometrically until the
+//     online knee detector (knee.go) confirms the p99 knee; the result
+//     (BENCH_saturation.json) carries the full rate→latency curve, the
+//     max sustainable rate, per-stage decompositions, and — with
+//     -pprof-url — CPU/heap profiles captured at the knee.
 //
 // Two further modes exercise the passive-ingest path instead of the
 // wire protocol (see ipfix.go): -mode ipfix floods a server's
@@ -98,6 +105,17 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/traces and pprof on this address while running")
 		logLevel    = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
+		satStart    = flag.Float64("sat-start", 2000, "saturate mode: first ramp step's offered rate, lifecycles/s")
+		satMax      = flag.Float64("sat-max", 1e6, "saturate mode: safety cap on offered rate (the ramp stops there even without a knee)")
+		satFactor   = flag.Float64("sat-factor", 1.5, "saturate mode: geometric offered-rate multiplier per step")
+		satStep     = flag.Duration("sat-step", 5*time.Second, "saturate mode: measured window per ramp step")
+		satSettle   = flag.Duration("sat-settle", 1*time.Second, "saturate mode: settling time after each rate change, excluded from the step's measurement")
+		satRatio    = flag.Float64("sat-ratio", 3, "saturate mode: p99 blowup over the flat-region baseline that marks a step offending")
+		satConfirm  = flag.Int("sat-confirm", 2, "saturate mode: consecutive offending steps that confirm the knee")
+		satMinAch   = flag.Float64("sat-min-achieved", 0.9, "saturate mode: achieved/offered floor below which a step is offending")
+		pprofURL    = flag.String("pprof-url", "", "saturate mode: server debug base URL (e.g. http://127.0.0.1:7732); CPU and heap profiles are captured there at the knee")
+		profileDur  = flag.Duration("profile-dur", 5*time.Second, "saturate mode: CPU profile length, captured while holding knee-rate load")
+		stagesURL   = flag.String("stages-url", "", "saturate mode: fetch this /debug/stages JSON after the ramp and embed it as the server-side decomposition")
 		ipfixAddr   = flag.String("ipfix-addr", "127.0.0.1:4739", "ipfix mode: collector UDP address to flood")
 		ipfixFlows  = flag.Int("ipfix-flows", 256, "ipfix modes: concurrent synthetic TCP flows")
 		ipfixPaths  = flag.Int("ipfix-paths", 16, "ipfix modes: distinct destination /24 paths")
@@ -162,7 +180,27 @@ func main() {
 		cfg.ChaosKills = *chaosKills
 		cfg.ChaosBoundS = chaosBound.Seconds()
 	}
-	if errs := cfg.validate(); len(errs) > 0 {
+	var sp satParams
+	if cfg.Mode == "saturate" {
+		sp = satParams{
+			StartRate:       *satStart,
+			MaxRate:         *satMax,
+			StepFactor:      *satFactor,
+			StepS:           satStep.Seconds(),
+			SettleS:         satSettle.Seconds(),
+			KneeRatio:       *satRatio,
+			KneeConfirm:     *satConfirm,
+			KneeMinAchieved: *satMinAch,
+			PprofURL:        *pprofURL,
+			ProfileS:        profileDur.Seconds(),
+			StagesURL:       *stagesURL,
+		}
+	}
+	errs := cfg.validate()
+	if cfg.Mode == "saturate" {
+		errs = append(errs, sp.validate()...)
+	}
+	if len(errs) > 0 {
 		for _, e := range errs {
 			fmt.Fprintln(os.Stderr, "phi-load:", e)
 		}
@@ -197,6 +235,29 @@ func main() {
 		}
 	}
 	probe.Close()
+
+	if cfg.Mode == "saturate" {
+		sres := runSaturate(cfg, sp, *pathPrefix, *out, tracer, logger)
+		if *traceDump != "" {
+			if err := dumpTraces(*traceDump, tracer.Collector()); err != nil {
+				logger.Error("trace dump", "err", err)
+			}
+		}
+		enc, err := json.MarshalIndent(sres, "", "  ")
+		if err != nil {
+			logger.Fatal("encode result", "err", err)
+		}
+		enc = append(enc, '\n')
+		if *out == "" {
+			os.Stdout.Write(enc)
+		} else {
+			if err := os.WriteFile(*out, enc, 0o644); err != nil {
+				logger.Fatal("write result", "err", err)
+			}
+			logger.Info("saturation run complete", "out", *out, "verdict", sres.Knee.String())
+		}
+		return
+	}
 
 	res := run(cfg, *pathPrefix, tracer)
 
@@ -334,8 +395,17 @@ func (c runConfig) validate() []error {
 		if c.MaxInflight < 1 {
 			fail("-max-inflight must be >= 1 (got %d)", c.MaxInflight)
 		}
+	case "saturate":
+		// The ramp schedule itself lives in satParams (validated there);
+		// the shared open-loop plumbing knobs are checked here.
+		if c.Conns < 1 {
+			fail("-conns must be >= 1 (got %d)", c.Conns)
+		}
+		if c.MaxInflight < 1 {
+			fail("-max-inflight must be >= 1 (got %d)", c.MaxInflight)
+		}
 	default:
-		fail("-mode must be closed, open, ipfix, or ipfixbench (got %q)", c.Mode)
+		fail("-mode must be closed, open, saturate, ipfix, or ipfixbench (got %q)", c.Mode)
 	}
 	if c.DurationS <= 0 {
 		fail("-duration must be > 0 (got %vs)", c.DurationS)
@@ -428,8 +498,14 @@ func (o *opStats) record(start time.Time, err error) {
 type runStats struct {
 	lookup, start, end *opStats
 	queueWait          *telemetry.Histogram // open loop: arrival -> issue
-	lifecycles         atomic.Uint64
-	dropped            atomic.Uint64 // open loop: arrivals past max-inflight
+	// life is the whole-lifecycle latency measured from the *intended*
+	// (scheduled) arrival time, not the moment the request finally got a
+	// worker — the coordinated-omission correction. When the server
+	// stalls, arrivals that waited in the queue carry their wait; the
+	// stall cannot hide itself by delaying its own measurement.
+	life       *telemetry.Histogram
+	lifecycles atomic.Uint64
+	dropped    atomic.Uint64 // open loop: arrivals past max-inflight
 }
 
 func newRunStats() *runStats {
@@ -438,8 +514,28 @@ func newRunStats() *runStats {
 		start:     newOpStats(),
 		end:       newOpStats(),
 		queueWait: telemetry.NewHistogram(),
+		life:      telemetry.NewHistogram(),
 	}
 }
+
+// histResult reduces a bare histogram snapshot to the opResult JSON
+// shape (no error counters).
+func histResult(s *telemetry.HistSnapshot) opResult {
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	return opResult{
+		Count:  s.Count,
+		MeanUs: s.Mean() / 1e3,
+		P50Us:  us(s.Quantile(0.5)),
+		P90Us:  us(s.Quantile(0.9)),
+		P99Us:  us(s.Quantile(0.99)),
+		P999Us: us(s.Quantile(0.999)),
+		MaxUs:  us(s.Max()),
+	}
+}
+
+// coAccountingNote documents the coordinated-omission correction in
+// every JSON result that carries schedule-anchored latencies.
+const coAccountingNote = "lifecycle latencies are measured from the intended (scheduled) arrival time, not the actual send — queue wait under overload is included (coordinated-omission corrected); per-op latencies remain service time only"
 
 // opResult is the JSON form of one op's latency distribution.
 type opResult struct {
@@ -472,20 +568,23 @@ func (o *opStats) result() opResult {
 
 // result is the machine-readable run summary (BENCH_loadgen.json).
 type result struct {
-	Tool             string              `json:"tool"`
-	Config           runConfig           `json:"config"`
-	StartedAt        string              `json:"started_at"`
-	MeasuredS        float64             `json:"measured_s"`
-	Lifecycles       uint64              `json:"lifecycles"`
-	LifecyclesPerSec float64             `json:"lifecycles_per_sec"`
-	OpsPerSec        float64             `json:"ops_per_sec"`
-	ErrorsTotal      uint64              `json:"errors_total"`
-	DegradedTotal    uint64              `json:"degraded_total"`
-	Dropped          uint64              `json:"dropped_arrivals"`
-	Ops              map[string]opResult `json:"ops"`
-	Fault            *faultResult        `json:"fault,omitempty"`
-	Health           *healthResult       `json:"health,omitempty"`
-	Chaos            *chaosResult        `json:"chaos,omitempty"`
+	Tool             string    `json:"tool"`
+	Config           runConfig `json:"config"`
+	StartedAt        string    `json:"started_at"`
+	MeasuredS        float64   `json:"measured_s"`
+	Lifecycles       uint64    `json:"lifecycles"`
+	LifecyclesPerSec float64   `json:"lifecycles_per_sec"`
+	OpsPerSec        float64   `json:"ops_per_sec"`
+	ErrorsTotal      uint64    `json:"errors_total"`
+	DegradedTotal    uint64    `json:"degraded_total"`
+	Dropped          uint64    `json:"dropped_arrivals"`
+	// LatencyAccounting documents how the "lifecycle" entry in Ops is
+	// measured (open loop only): see coAccountingNote.
+	LatencyAccounting string              `json:"latency_accounting,omitempty"`
+	Ops               map[string]opResult `json:"ops"`
+	Fault             *faultResult        `json:"fault,omitempty"`
+	Health            *healthResult       `json:"health,omitempty"`
+	Chaos             *chaosResult        `json:"chaos,omitempty"`
 }
 
 // makeKeys builds the path key universe. With -grid SxIxM, keys are
@@ -834,6 +933,10 @@ func run(cfg runConfig, prefix string, tracer *trace.Tracer) *result {
 					}
 					cl := pool[next.Add(1)%uint64(len(pool))]
 					lifecycle(tracer, cl, path, st, rng, cfg.MeanBytes)
+					// Coordinated-omission correction: the lifecycle is
+					// charged from its *scheduled* arrival, so time spent
+					// waiting for a worker counts against the server.
+					st.life.Observe(time.Since(a.at))
 				}
 			}(w)
 		}
@@ -889,16 +992,8 @@ func run(cfg runConfig, prefix string, tracer *trace.Tracer) *result {
 		"report_end":   st.end.result(),
 	}
 	if cfg.Mode == "open" {
-		qw := st.queueWait.Snapshot()
-		ops["queue_wait"] = opResult{
-			Count:  qw.Count,
-			MeanUs: qw.Mean() / 1e3,
-			P50Us:  float64(qw.Quantile(0.5)) / 1e3,
-			P90Us:  float64(qw.Quantile(0.9)) / 1e3,
-			P99Us:  float64(qw.Quantile(0.99)) / 1e3,
-			P999Us: float64(qw.Quantile(0.999)) / 1e3,
-			MaxUs:  float64(qw.Max()) / 1e3,
-		}
+		ops["queue_wait"] = histResult(st.queueWait.Snapshot())
+		ops["lifecycle"] = histResult(st.life.Snapshot())
 	}
 	totalOps := st.lookup.lat.Count() + st.start.lat.Count() + st.end.lat.Count()
 	var errs, degrades uint64
@@ -918,6 +1013,9 @@ func run(cfg runConfig, prefix string, tracer *trace.Tracer) *result {
 		DegradedTotal:    degrades,
 		Dropped:          st.dropped.Load(),
 		Ops:              ops,
+	}
+	if cfg.Mode == "open" {
+		res.LatencyAccounting = coAccountingNote
 	}
 	if fault != nil {
 		res.Fault = &faultResult{

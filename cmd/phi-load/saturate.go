@@ -1,0 +1,397 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/phiwire"
+	"repro/internal/trace"
+	tlog "repro/internal/trace/log"
+)
+
+// Saturate mode answers the question the single-rate open loop cannot:
+// where is the ceiling? It ramps the offered Poisson rate geometrically,
+// one settled multi-second step at a time, feeds each step's
+// coordinated-omission-corrected lifecycle p99 to the online knee
+// detector (knee.go), and stops once the knee is confirmed — then holds
+// the load at the knee rate while capturing CPU and heap profiles from
+// the server, so the evidence of *why* the ceiling is where it is lands
+// next to the measurement of where it is.
+//
+// The load plumbing is the open loop's (fixed connection pool, bounded
+// in-flight workers, counted drops) with two differences: the target
+// rate is a shared atomic the driver retunes between steps, and the
+// arrival pacer batches — it only parks on a timer when the schedule is
+// more than pacerSlack ahead, because at the rates the ramp reaches a
+// timer per arrival would melt before the server does.
+
+// pacerSlack is how far ahead of schedule the arrival generator must be
+// before it parks on a timer; closer than this it just spins the loop,
+// amortizing timer cost over many arrivals.
+const pacerSlack = 500 * time.Microsecond
+
+// satParams is the ramp schedule and knee policy, echoed into the
+// result for reproducibility.
+type satParams struct {
+	StartRate       float64 `json:"start_rate"`
+	MaxRate         float64 `json:"max_rate"`
+	StepFactor      float64 `json:"step_factor"`
+	StepS           float64 `json:"step_s"`
+	SettleS         float64 `json:"settle_s"`
+	KneeRatio       float64 `json:"knee_ratio"`
+	KneeConfirm     int     `json:"knee_confirm"`
+	KneeMinAchieved float64 `json:"knee_min_achieved"`
+	PprofURL        string  `json:"pprof_url,omitempty"`
+	ProfileS        float64 `json:"profile_s,omitempty"`
+	StagesURL       string  `json:"stages_url,omitempty"`
+}
+
+func (p satParams) validate() []error {
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+	if p.StartRate <= 0 {
+		fail("-sat-start must be > 0 (got %v)", p.StartRate)
+	}
+	if p.MaxRate < p.StartRate {
+		fail("-sat-max must be >= -sat-start (got %v < %v)", p.MaxRate, p.StartRate)
+	}
+	if p.StepFactor <= 1 {
+		fail("-sat-factor must be > 1 (got %v)", p.StepFactor)
+	}
+	if p.StepS <= 0 {
+		fail("-sat-step must be > 0 (got %vs)", p.StepS)
+	}
+	if p.SettleS < 0 {
+		fail("-sat-settle must be >= 0 (got %vs)", p.SettleS)
+	}
+	if p.KneeRatio <= 1 {
+		fail("-sat-ratio must be > 1 (got %v)", p.KneeRatio)
+	}
+	if p.KneeConfirm < 1 {
+		fail("-sat-confirm must be >= 1 (got %d)", p.KneeConfirm)
+	}
+	if p.KneeMinAchieved <= 0 || p.KneeMinAchieved > 1 {
+		fail("-sat-min-achieved must be in (0, 1] (got %v)", p.KneeMinAchieved)
+	}
+	if p.PprofURL != "" && p.ProfileS <= 0 {
+		fail("-profile-dur must be > 0 with -pprof-url (got %vs)", p.ProfileS)
+	}
+	return errs
+}
+
+// satStepResult is one settled ramp step in the rate→latency curve.
+type satStepResult struct {
+	Step            int     `json:"step"`
+	OfferedRate     float64 `json:"offered_rate"`
+	AchievedRate    float64 `json:"achieved_rate"`
+	MeasuredS       float64 `json:"measured_s"`
+	Lifecycles      uint64  `json:"lifecycles"`
+	Dropped         uint64  `json:"dropped_arrivals"`
+	TransportErrors uint64  `json:"transport_errors"`
+	ServerErrors    uint64  `json:"server_errors"`
+	// Lifecycle is the coordinated-omission-corrected whole-lifecycle
+	// distribution: measured from scheduled arrival, the knee detector's
+	// input.
+	Lifecycle opResult `json:"lifecycle"`
+	// QueueWaitP99Us and LookupP99Us separate the two halves: time spent
+	// waiting for a worker slot vs. pure service time on the wire.
+	QueueWaitP99Us float64 `json:"queue_wait_p99_us"`
+	LookupP99Us    float64 `json:"lookup_p99_us"`
+	// Offending names the knee test this step failed against the
+	// baseline in force when it completed ("" = clean).
+	Offending string `json:"offending,omitempty"`
+}
+
+// profileCapture records where the knee-time profiles landed.
+type profileCapture struct {
+	CPUPath  string `json:"cpu_path,omitempty"`
+	HeapPath string `json:"heap_path,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// satResult is the machine-readable saturation report
+// (BENCH_saturation.json): the full curve, the verdict, and the
+// decomposition/profile evidence gathered at the knee.
+type satResult struct {
+	Tool              string          `json:"tool"`
+	Config            runConfig       `json:"config"`
+	Saturate          satParams       `json:"saturate"`
+	StartedAt         string          `json:"started_at"`
+	LatencyAccounting string          `json:"latency_accounting"`
+	Steps             []satStepResult `json:"steps"`
+	Knee              kneeVerdict     `json:"knee"`
+	// MaxSustainableRate is the headline number: the achieved rate at
+	// the last step the server handled with flat tails.
+	MaxSustainableRate float64              `json:"max_sustainable_rate"`
+	StagesClient       []trace.StageSummary `json:"stages_client,omitempty"`
+	// StagesServer embeds the server's /debug/stages JSON verbatim
+	// (cumulative over the whole ramp).
+	StagesServer json.RawMessage `json:"stages_server,omitempty"`
+	Profiles     *profileCapture `json:"profiles,omitempty"`
+}
+
+// runSaturate drives the ramp. out is the result path (used to derive
+// the profile file names); tracer may be nil (no client-side stage
+// decomposition, load still flows).
+func runSaturate(cfg runConfig, sp satParams, prefix, out string, tracer *trace.Tracer, logger *tlog.Logger) *satResult {
+	var clientStages *trace.StageAggregator
+	if tracer != nil {
+		clientStages = trace.NewStageAggregator()
+		tracer.Collector().AttachStages(clientStages)
+	}
+
+	// Shared offered-rate knob, retuned by the driver between steps.
+	var rateBits atomic.Uint64
+	rateBits.Store(math.Float64bits(sp.StartRate))
+
+	var active atomic.Pointer[runStats]
+	active.Store(newRunStats())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	startedAt := time.Now()
+
+	pool := make([]*phiwire.Client, cfg.Conns)
+	for i := range pool {
+		pool[i] = phiwire.Dial(cfg.Addr, time.Duration(cfg.TimeoutS*float64(time.Second)))
+		pool[i].SetTracer(tracer)
+	}
+	defer func() {
+		for _, cl := range pool {
+			cl.Close()
+		}
+	}()
+
+	var next atomic.Uint64
+	type arrival struct{ at time.Time }
+	queue := make(chan arrival, cfg.MaxInflight)
+	for w := 0; w < cfg.MaxInflight; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pick := pathPicker(cfg, prefix, cfg.Seed+int64(w))
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(w)<<20))
+			for a := range queue {
+				st := active.Load()
+				st.queueWait.Observe(time.Since(a.at))
+				cl := pool[next.Add(1)%uint64(len(pool))]
+				lifecycle(tracer, cl, pick(), st, rng, cfg.MeanBytes)
+				st.life.Observe(time.Since(a.at))
+			}
+		}(w)
+	}
+
+	// Arrival generator: Poisson at the current target rate, batched
+	// pacing, never blocks on a full queue (drops are counted — queuing
+	// would close the loop and hide the overload).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(queue)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		nextAt := time.Now()
+		for {
+			r := math.Float64frombits(rateBits.Load())
+			gap := time.Duration(rng.ExpFloat64() / r * float64(time.Second))
+			nextAt = nextAt.Add(gap)
+			if d := time.Until(nextAt); d > pacerSlack {
+				select {
+				case <-stop:
+					return
+				case <-time.After(d):
+				}
+			} else {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+			select {
+			case queue <- arrival{at: nextAt}:
+			default:
+				active.Load().dropped.Add(1)
+			}
+		}
+	}()
+
+	// The ramp: settle, measure, judge; stop on a confirmed knee or at
+	// the safety cap.
+	det := newKneeDetector(kneeConfig{Ratio: sp.KneeRatio, Confirm: sp.KneeConfirm, MinAchieved: sp.KneeMinAchieved})
+	var steps []satStepResult
+	rate := sp.StartRate
+	for step := 0; ; step++ {
+		rateBits.Store(math.Float64bits(rate))
+		active.Store(newRunStats()) // settle scratch, discarded
+		time.Sleep(time.Duration(sp.SettleS * float64(time.Second)))
+		st := newRunStats()
+		active.Store(st)
+		t0 := time.Now()
+		time.Sleep(time.Duration(sp.StepS * float64(time.Second)))
+		measured := time.Since(t0).Seconds()
+
+		life := histResult(st.life.Snapshot())
+		achieved := float64(st.lifecycles.Load()) / measured
+		var terrs, serrs uint64
+		for _, o := range []*opStats{st.lookup, st.start, st.end} {
+			terrs += o.transport.Load()
+			serrs += o.server.Load()
+		}
+		p := kneePoint{Offered: rate, Achieved: achieved, P99Us: life.P99Us}
+		offending := det.offends(p)
+		found := det.feed(p)
+		steps = append(steps, satStepResult{
+			Step:            step,
+			OfferedRate:     rate,
+			AchievedRate:    achieved,
+			MeasuredS:       measured,
+			Lifecycles:      st.lifecycles.Load(),
+			Dropped:         st.dropped.Load(),
+			TransportErrors: terrs,
+			ServerErrors:    serrs,
+			Lifecycle:       life,
+			QueueWaitP99Us:  float64(st.queueWait.Snapshot().Quantile(0.99)) / 1e3,
+			LookupP99Us:     float64(st.lookup.lat.Snapshot().Quantile(0.99)) / 1e3,
+			Offending:       offending,
+		})
+		logger.Info("ramp step", "step", step,
+			"offered", fmt.Sprintf("%.0f", rate),
+			"achieved", fmt.Sprintf("%.0f", achieved),
+			"life_p99_us", fmt.Sprintf("%.0f", life.P99Us),
+			"dropped", st.dropped.Load(), "offending", offending)
+		if found {
+			break
+		}
+		rate *= sp.StepFactor
+		if rate > sp.MaxRate {
+			logger.Warn("ramp hit -sat-max without a confirmed knee", "max", sp.MaxRate)
+			break
+		}
+	}
+	knee := det.result()
+
+	// Profile at the operating point that matters: hold the knee rate
+	// (the load is still flowing) while the server profiles itself.
+	var profiles *profileCapture
+	if knee.Found && sp.PprofURL != "" {
+		rateBits.Store(math.Float64bits(knee.OfferedRate))
+		profiles = captureProfiles(sp, out, logger)
+	}
+
+	close(stop)
+	wg.Wait()
+
+	res := &satResult{
+		Tool:               "phi-load",
+		Config:             cfg,
+		Saturate:           sp,
+		StartedAt:          startedAt.UTC().Format(time.RFC3339),
+		LatencyAccounting:  coAccountingNote,
+		Steps:              steps,
+		Knee:               knee,
+		MaxSustainableRate: knee.Rate,
+		Profiles:           profiles,
+	}
+	if clientStages != nil {
+		res.StagesClient = clientStages.Summaries()
+	}
+	if sp.StagesURL != "" {
+		raw, err := fetchJSON(sp.StagesURL)
+		if err != nil {
+			logger.Error("fetch server stages", "url", sp.StagesURL, "err", err)
+		} else {
+			res.StagesServer = raw
+		}
+	}
+	logger.Info("saturation ramp done", "steps", len(steps), "verdict", knee.String())
+	return res
+}
+
+// captureProfiles pulls a CPU profile (ProfileS seconds, while load
+// holds at the knee rate) and a heap snapshot from the server's debug
+// port, writing them next to the result JSON.
+func captureProfiles(sp satParams, out string, logger *tlog.Logger) *profileCapture {
+	base := strings.TrimSuffix(out, ".json")
+	if base == "" {
+		base = "BENCH_saturation"
+	}
+	pc := &profileCapture{}
+	secs := int(sp.ProfileS)
+	if secs < 1 {
+		secs = 1
+	}
+	cpuURL := fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", strings.TrimSuffix(sp.PprofURL, "/"), secs)
+	cpuPath := base + "_cpu.pprof"
+	logger.Info("capturing CPU profile at the knee", "url", cpuURL, "out", cpuPath)
+	if err := fetchToFile(cpuURL, cpuPath, time.Duration(secs+10)*time.Second); err != nil {
+		pc.Error = fmt.Sprintf("cpu profile: %v", err)
+		logger.Error("cpu profile", "err", err)
+	} else {
+		pc.CPUPath = cpuPath
+	}
+	heapURL := strings.TrimSuffix(sp.PprofURL, "/") + "/debug/pprof/heap"
+	heapPath := base + "_heap.pprof"
+	if err := fetchToFile(heapURL, heapPath, 10*time.Second); err != nil {
+		if pc.Error != "" {
+			pc.Error += "; "
+		}
+		pc.Error += fmt.Sprintf("heap profile: %v", err)
+		logger.Error("heap profile", "err", err)
+	} else {
+		pc.HeapPath = heapPath
+	}
+	return pc
+}
+
+// fetchToFile GETs url into path.
+func fetchToFile(url, path string, timeout time.Duration) error {
+	cl := http.Client{Timeout: timeout}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: %s (%s)", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fetchJSON GETs url and returns the body if it parses as JSON.
+func fetchJSON(url string) (json.RawMessage, error) {
+	cl := http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if !json.Valid(body) {
+		return nil, fmt.Errorf("%s: response is not JSON", url)
+	}
+	return json.RawMessage(body), nil
+}

@@ -11,8 +11,10 @@
 // With -metrics-addr set, the server exposes Prometheus-text-format
 // telemetry (lookup/report counts and latency histograms, wire-level
 // request counters, open connections) at /metrics on that address,
-// plus /debug/traces (with -trace), /debug/exemplars, and the standard
-// pprof profiles under /debug/pprof/.
+// plus /debug/traces (with -trace), /debug/stages (with -stages, the
+// per-stage latency decomposition), /debug/exemplars, the standard
+// pprof profiles under /debug/pprof/, and a /debug/ index listing every
+// mounted endpoint.
 //
 // With -ipfix-addr set, the server also runs the passive-ingest
 // pipeline: IPFIX exports received on that UDP address are decoded,
@@ -50,6 +52,7 @@ func main() {
 		policyPath  = flag.String("policy", "", "publish this JSON policy file to clients (default: the built-in policy)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = telemetry off)")
 		traceOn     = flag.Bool("trace", false, "record request traces (view at /debug/traces on -metrics-addr)")
+		stagesOn    = flag.Bool("stages", false, "aggregate per-stage latency histograms from the span stream (view at /debug/stages on -metrics-addr; implies -trace)")
 		healthOn    = flag.Bool("health", false, "run the live health monitor (view at /debug/health on -metrics-addr or -health-addr)")
 		healthAddr  = flag.String("health-addr", "", "serve /debug/health on a dedicated address (implies -health)")
 		healthWin   = flag.Duration("health-bucket", time.Second, "health monitor rollup bucket width")
@@ -79,9 +82,15 @@ func main() {
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 	}
+	if *stagesOn {
+		*traceOn = true // stages aggregate the span stream
+	}
 	var tracer *trace.Tracer // nil likewise keeps tracing a no-op
 	if *traceOn {
 		tracer = trace.NewTracer(trace.Config{})
+		if *stagesOn {
+			tracer.Collector().AttachStages(trace.NewStageAggregator())
+		}
 	}
 	var monitor *health.Monitor // nil likewise keeps health hooks no-ops
 	if *healthOn || *healthAddr != "" {
@@ -142,12 +151,17 @@ func main() {
 	srv.SetHealth(monitor)
 	if *metricsAddr != "" {
 		endpoints := []telemetry.Endpoint{
-			{Path: "/debug/traces", Handler: tracer.Collector().Handler()},
-			{Path: "/debug/health", Handler: monitor.Handler()},
+			{Path: "/debug/traces", Handler: tracer.Collector().Handler(),
+				Desc: "retained request traces: slowest, errors, sampled (-trace)"},
+			{Path: "/debug/stages", Handler: tracer.Stages().Handler(),
+				Desc: "per-stage latency decomposition of the serving path (-stages)"},
+			{Path: "/debug/health", Handler: monitor.Handler(),
+				Desc: "live health monitor: status, anomalies, localization (-health)"},
 		}
 		if ingestPipe != nil {
 			endpoints = append(endpoints,
-				telemetry.Endpoint{Path: "/debug/ingest", Handler: ingest.Handler(ingestPipe, ingestCol)})
+				telemetry.Endpoint{Path: "/debug/ingest", Handler: ingest.Handler(ingestPipe, ingestCol),
+					Desc: "passive IPFIX ingest: per-path reconstructed state (-ipfix-addr)"})
 		}
 		ms, err := telemetry.Serve(*metricsAddr, reg, endpoints...)
 		if err != nil {

@@ -20,6 +20,16 @@ var (
 	opClientProgress = trace.Name("client.report_progress")
 )
 
+// Client-side sub-span stage names: finer-grained than spans (no ring
+// writes, no IDs), they exist purely for the /debug/stages latency
+// decomposition. Only measured when a StageAggregator is attached to
+// the client tracer's collector.
+var (
+	stClientEncode = trace.Name("client.encode") // request serialization
+	stClientWrite  = trace.Name("client.write")  // frame write syscall
+	stClientAwait  = trace.Name("client.await")  // write done -> response read (network + server)
+)
+
 // ServerError is an application-level error returned by the server (the
 // request was delivered and refused — e.g. a degraded cluster), as
 // opposed to a transport failure. Callers distinguish the two with
@@ -157,6 +167,11 @@ func (c *Client) lockedRoundTrip(sc trace.SpanContext, req []byte) ([]byte, erro
 		c.drop()
 		return nil, err
 	}
+	st := c.tracer.Stages()
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
 	var werr error
 	if c.connTraced && sc.Valid() && len(req) > 0 && req[0]&0x80 == 0 {
 		werr = writeTracedFrame(c.conn, req, sc)
@@ -167,10 +182,18 @@ func (c *Client) lockedRoundTrip(sc trace.SpanContext, req []byte) ([]byte, erro
 		c.drop()
 		return nil, werr
 	}
+	if st != nil {
+		now := time.Now()
+		st.Observe(stClientWrite, now.Sub(t0))
+		t0 = now
+	}
 	resp, err := readFrame(c.conn)
 	if err != nil {
 		c.drop()
 		return nil, err
+	}
+	if st != nil {
+		st.Observe(stClientAwait, time.Since(t0))
 	}
 	return resp, nil
 }
@@ -242,7 +265,15 @@ func (c *Client) Lookup(path phi.PathKey) (phi.Context, error) {
 // tracer attached, the parent context itself is forwarded, so an
 // untraced relay still preserves the caller's trace across processes.
 func (c *Client) LookupSpan(parent trace.SpanContext, path phi.PathKey) (phi.Context, error) {
+	st := c.tracer.Stages()
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
 	req, err := encodeLookup(path)
+	if st != nil {
+		st.Observe(stClientEncode, time.Since(t0))
+	}
 	if err != nil {
 		return phi.Context{}, err
 	}
@@ -270,7 +301,15 @@ func (c *Client) ReportStart(path phi.PathKey) error {
 
 // ReportStartSpan is ReportStart joined to a caller's trace.
 func (c *Client) ReportStartSpan(parent trace.SpanContext, path phi.PathKey) error {
+	st := c.tracer.Stages()
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
 	req, err := encodeReportStart(path)
+	if st != nil {
+		st.Observe(stClientEncode, time.Since(t0))
+	}
 	if err != nil {
 		return err
 	}
@@ -284,7 +323,15 @@ func (c *Client) ReportEnd(path phi.PathKey, r phi.Report) error {
 
 // ReportEndSpan is ReportEnd joined to a caller's trace.
 func (c *Client) ReportEndSpan(parent trace.SpanContext, path phi.PathKey, r phi.Report) error {
+	st := c.tracer.Stages()
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
 	req, err := encodeReport(MsgReportEnd, path, r)
+	if st != nil {
+		st.Observe(stClientEncode, time.Since(t0))
+	}
 	if err != nil {
 		return err
 	}
@@ -299,7 +346,15 @@ func (c *Client) ReportProgress(path phi.PathKey, r phi.Report) error {
 
 // ReportProgressSpan is ReportProgress joined to a caller's trace.
 func (c *Client) ReportProgressSpan(parent trace.SpanContext, path phi.PathKey, r phi.Report) error {
+	st := c.tracer.Stages()
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
 	req, err := encodeReport(MsgProgress, path, r)
+	if st != nil {
+		st.Observe(stClientEncode, time.Since(t0))
+	}
 	if err != nil {
 		return err
 	}

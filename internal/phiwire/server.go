@@ -45,6 +45,16 @@ var (
 	opServerPolicy   = trace.Name("server.get_policy")
 )
 
+// Server-side sub-span stage names for the /debug/stages decomposition
+// (measured only when a StageAggregator is attached; see
+// trace.StageAggregator). The read syscall is deliberately absent: on a
+// blocking request/response connection, time in readFrame is
+// indistinguishable from client idle time between requests.
+var (
+	stServerDecode = trace.Name("server.decode") // trace-header peel + request parse
+	stServerWrite  = trace.Name("server.write")  // response frame write syscall
+)
+
 // Server serves the Phi wire protocol over TCP, backed by any Backend
 // (which must be safe for concurrent use). One goroutine per connection.
 // If a policy is set, clients may also fetch it at startup, so the
@@ -223,9 +233,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		if m != nil {
 			m.HandleSeconds.ObserveExemplar(time.Since(start), uint64(tid))
 		}
+		st := s.tracer.Stages()
+		var w0 time.Time
+		if st != nil {
+			w0 = time.Now()
+		}
 		if err := writeFrame(conn, resp); err != nil {
 			s.logf("phiwire: write to %v: %v", conn.RemoteAddr(), err)
 			return
+		}
+		if st != nil {
+			st.Observe(stServerWrite, time.Since(w0))
 		}
 	}
 }
@@ -234,6 +252,11 @@ func (s *Server) serveConn(conn net.Conn) {
 // plus the trace ID of the span recorded for it (zero when untraced).
 func (s *Server) handle(payload []byte) ([]byte, trace.TraceID) {
 	m := s.metrics
+	st := s.tracer.Stages()
+	var d0 time.Time
+	if st != nil {
+		d0 = time.Now()
+	}
 	if len(payload) == 0 {
 		s.bumpRejected()
 		return encodeError("empty frame"), 0
@@ -270,6 +293,9 @@ func (s *Server) handle(payload []byte) ([]byte, trace.TraceID) {
 			s.bumpRejected()
 			return encodeError("path key too long"), 0
 		}
+		if st != nil {
+			st.Observe(stServerDecode, time.Since(d0))
+		}
 		sp := s.startSpan(sc, opServerLookup)
 		ctx, err := s.backendLookup(sp.Context(), phi.PathKey(path))
 		sp.End(err)
@@ -293,6 +319,9 @@ func (s *Server) handle(payload []byte) ([]byte, trace.TraceID) {
 		if len(path) > MaxPathLen {
 			s.bumpRejected()
 			return encodeError("path key too long"), 0
+		}
+		if st != nil {
+			st.Observe(stServerDecode, time.Since(d0))
 		}
 		sp := s.startSpan(sc, opServerStart)
 		err = s.backendReportStart(sp.Context(), phi.PathKey(path))
@@ -330,6 +359,9 @@ func (s *Server) handle(payload []byte) ([]byte, trace.TraceID) {
 		if len(path) > MaxPathLen {
 			s.bumpRejected()
 			return encodeError("path key too long"), 0
+		}
+		if st != nil {
+			st.Observe(stServerDecode, time.Since(d0))
 		}
 		name := opServerEnd
 		if typ == MsgProgress {

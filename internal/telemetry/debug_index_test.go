@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDebugIndex exercises the /debug/ directory page: every mounted
+// endpoint (built-in and extra) listed with its description, text form
+// on request, and a helpful 404 for typos.
+func TestDebugIndex(t *testing.T) {
+	extra := Endpoint{
+		Path:    "/debug/custom",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		Desc:    "a custom endpoint for the test",
+	}
+	ms, err := Serve("127.0.0.1:0", NewRegistry(), extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	base := "http://" + ms.Addr().String()
+
+	resp, err := http.Get(base + "/debug/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Endpoints []struct {
+			Path string `json:"path"`
+			Desc string `json:"desc"`
+		} `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("index is not JSON: %v", err)
+	}
+	got := map[string]string{}
+	for _, e := range doc.Endpoints {
+		got[e.Path] = e.Desc
+	}
+	for _, want := range []string{"/metrics", "/debug/exemplars", "/debug/pprof/", "/debug/custom"} {
+		if _, ok := got[want]; !ok {
+			t.Fatalf("index missing %s: %v", want, got)
+		}
+	}
+	if got["/debug/custom"] != extra.Desc {
+		t.Fatalf("extra endpoint desc not carried: %q", got["/debug/custom"])
+	}
+	for i := 1; i < len(doc.Endpoints); i++ {
+		if doc.Endpoints[i-1].Path > doc.Endpoints[i].Path {
+			t.Fatalf("index not sorted: %v before %v", doc.Endpoints[i-1].Path, doc.Endpoints[i].Path)
+		}
+	}
+
+	// Text form.
+	text := httpGet(t, base+"/debug/?format=text", http.StatusOK)
+	if !strings.Contains(text, "/debug/custom") || !strings.Contains(text, extra.Desc) {
+		t.Fatalf("text index missing the extra endpoint:\n%s", text)
+	}
+
+	// A typo under /debug/ answers 404 with the directory, not an empty
+	// page.
+	typo := httpGet(t, base+"/debug/tracez", http.StatusNotFound)
+	if !strings.Contains(typo, "/debug/exemplars") {
+		t.Fatalf("404 page does not show the directory:\n%s", typo)
+	}
+
+	// Specific routes still win over the index catch-all.
+	httpGet(t, base+"/debug/custom", http.StatusOK)
+}
+
+// httpGet fetches url, asserts the status, and returns the body.
+func httpGet(t *testing.T, url string, wantStatus int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s: got status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	return string(body)
+}

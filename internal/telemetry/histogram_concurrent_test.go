@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSnapshotMergeSubUnderConcurrentRecord hammers one histogram from
+// many writers while the reader repeatedly snapshots, subtracts the
+// previous snapshot, and merges the deltas back together — the exact
+// access pattern of the saturation ramp (per-step windows cut out of a
+// continuously recording histogram). Run under -race, it is also the
+// regression test that Record/Snapshot need no locks.
+func TestSnapshotMergeSubUnderConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const writers = 8
+	const perWriter = 20000
+
+	var wrote atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Record(int64(w*1000 + i%997))
+				wrote.Add(1)
+			}
+		}(w)
+	}
+
+	// Reader: cut [prev, cur) windows while writers run, accumulate them
+	// by Merge, and check every invariant that must hold even mid-race.
+	merged := &HistSnapshot{}
+	prev := &HistSnapshot{}
+	for wrote.Load() < writers*perWriter {
+		cur := h.Snapshot()
+		if cur.Count < prev.Count {
+			t.Fatalf("snapshot count went backwards: %d -> %d", prev.Count, cur.Count)
+		}
+		delta := *cur // value copy: Sub mutates the delta, cur stays intact
+		delta.Sub(prev)
+		var bucketSum uint64
+		for _, b := range delta.Buckets {
+			bucketSum += b
+		}
+		if bucketSum != delta.Count {
+			t.Fatalf("delta buckets sum %d != delta count %d", bucketSum, delta.Count)
+		}
+		merged.Merge(&delta)
+		prev = cur
+	}
+	wg.Wait()
+
+	// One final window catches anything recorded after the last cut.
+	merged.Merge(h.Snapshot().Sub(prev))
+
+	if got, want := merged.Count, uint64(writers*perWriter); got != want {
+		t.Fatalf("merged windows lost samples: got %d, want %d", got, want)
+	}
+	direct := h.Snapshot()
+	if merged.Sum != direct.Sum {
+		t.Fatalf("merged sum %d != direct sum %d", merged.Sum, direct.Sum)
+	}
+	if merged.Buckets != direct.Buckets {
+		t.Fatalf("merged buckets differ from direct snapshot")
+	}
+	if q50, q99 := merged.Quantile(0.5), merged.Quantile(0.99); q50 > q99 {
+		t.Fatalf("quantiles not monotone after merge: p50 %d > p99 %d", q50, q99)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"time"
 )
@@ -147,6 +148,8 @@ type MetricsServer struct {
 type Endpoint struct {
 	Path    string
 	Handler http.Handler
+	// Desc is the one-line purpose shown on the /debug/ index page.
+	Desc string
 }
 
 // Serve starts an HTTP server on addr exposing reg at /metrics (and at
@@ -168,8 +171,25 @@ func Serve(addr string, reg *Registry, extra ...Endpoint) (*MetricsServer, error
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	entries := []debugEntry{
+		{Path: "/metrics", Desc: "Prometheus text exposition of every registered metric"},
+		{Path: "/debug/exemplars", Desc: "histogram bucket → newest trace ID links"},
+		{Path: "/debug/pprof/", Desc: "CPU, heap, goroutine, and runtime profiles"},
+	}
+	indexFree := true
 	for _, e := range extra {
 		mux.Handle(e.Path, e.Handler)
+		entries = append(entries, debugEntry{Path: e.Path, Desc: e.Desc})
+		if e.Path == "/debug/" {
+			indexFree = false
+		}
+	}
+	// The /debug/ index lists everything mounted here, so an operator
+	// needs to remember one URL, not eight. Registered last and only if
+	// no extra endpoint claimed the path; specific /debug/* routes above
+	// still win in the mux.
+	if indexFree {
+		mux.Handle("/debug/", debugIndexHandler(entries))
 	}
 	mux.Handle("/", reg.Handler())
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
@@ -182,3 +202,50 @@ func (m *MetricsServer) Addr() net.Addr { return m.ln.Addr() }
 
 // Close stops the endpoint.
 func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// debugEntry is one row of the /debug/ index.
+type debugEntry struct {
+	Path string `json:"path"`
+	Desc string `json:"desc,omitempty"`
+}
+
+// debugIndexHandler serves the endpoint directory:
+//
+//	GET /debug/              JSON {endpoints: [{path, desc}, ...]}
+//	GET /debug/?format=text  one aligned "path  desc" line each
+//
+// It also catches unknown /debug/* paths, answering 404 with the index
+// in text form — a typo lands on the map instead of an empty page.
+func debugIndexHandler(entries []debugEntry) http.Handler {
+	sorted := append([]debugEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	width := 0
+	for _, e := range sorted {
+		if len(e.Path) > width {
+			width = len(e.Path)
+		}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/debug/" && req.URL.Path != "/debug" {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintf(w, "no handler for %s; registered debug endpoints:\n\n", req.URL.Path)
+			writeDebugIndexText(w, sorted, width)
+			return
+		}
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeDebugIndexText(w, sorted, width)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"endpoints": sorted})
+	})
+}
+
+func writeDebugIndexText(w io.Writer, entries []debugEntry, width int) {
+	for _, e := range entries {
+		fmt.Fprintf(w, "%-*s  %s\n", width, e.Path, e.Desc)
+	}
+}

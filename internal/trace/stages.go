@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// StageAggregator folds every finished span (and a handful of direct
+// sub-span measurements on the wire hot path) into one mergeable
+// telemetry histogram per stage, keyed by the span's interned name Ref.
+// It answers "where did the microseconds go" live, at any load level:
+// the per-stage latency decomposition of the serving path — client
+// queue-wait, encode, syscall write, server decode, frontend routing,
+// shard handle — without retaining or assembling a single trace.
+//
+// The cost discipline matches the rest of the package:
+//
+//   - Detached (the default), the only cost is one atomic pointer load
+//     per span end — the same "~zero when off" budget as an
+//     unregistered metric.
+//   - Attached, each observation is one array index plus a histogram
+//     Record (~19ns, lock-free); histograms are allocated lazily per
+//     stage on first touch, so the table of 1024 possible Refs costs
+//     pointers, not buckets.
+//
+// Aggregation is by name Ref, so the table is fixed-size (Refs are
+// bounded by maxInterned) and the hot path never hashes a string.
+type StageAggregator struct {
+	hists [maxInterned]atomic.Pointer[telemetry.Histogram]
+}
+
+// NewStageAggregator returns an empty aggregator, ready to attach with
+// Collector.AttachStages.
+func NewStageAggregator() *StageAggregator { return &StageAggregator{} }
+
+// Observe records one duration under the stage named by ref. Nil-safe
+// and safe for unlimited concurrency.
+func (a *StageAggregator) Observe(ref Ref, d time.Duration) {
+	if a == nil || ref == 0 || int(ref) >= maxInterned {
+		return
+	}
+	a.observe(ref, int64(d))
+}
+
+func (a *StageAggregator) observe(ref Ref, ns int64) {
+	h := a.hists[ref].Load()
+	if h == nil {
+		h = telemetry.NewHistogram()
+		if !a.hists[ref].CompareAndSwap(nil, h) {
+			h = a.hists[ref].Load()
+		}
+	}
+	h.Record(ns)
+}
+
+// Snapshot captures every stage's histogram, keyed by stage name. The
+// snapshots are the standard mergeable/subtractable telemetry kind, so
+// per-step deltas (saturation ramps) and cross-process merges both work.
+func (a *StageAggregator) Snapshot() map[string]*telemetry.HistSnapshot {
+	if a == nil {
+		return nil
+	}
+	out := make(map[string]*telemetry.HistSnapshot)
+	for i := range a.hists {
+		h := a.hists[i].Load()
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		name := lookupRef(Ref(i))
+		if name == "" {
+			continue
+		}
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// StageSummary is the JSON form of one stage's latency distribution.
+type StageSummary struct {
+	Stage  string  `json:"stage"`
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P90Us  float64 `json:"p90_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// SummarizeStages reduces a stage snapshot map to sorted per-stage
+// quantile summaries (busiest stage first), the form both /debug/stages
+// and BENCH_saturation.json embed.
+func SummarizeStages(snaps map[string]*telemetry.HistSnapshot) []StageSummary {
+	out := make([]StageSummary, 0, len(snaps))
+	for name, s := range snaps {
+		us := func(ns int64) float64 { return float64(ns) / 1e3 }
+		out = append(out, StageSummary{
+			Stage:  name,
+			Count:  s.Count,
+			MeanUs: s.Mean() / 1e3,
+			P50Us:  us(s.Quantile(0.50)),
+			P90Us:  us(s.Quantile(0.90)),
+			P99Us:  us(s.Quantile(0.99)),
+			P999Us: us(s.Quantile(0.999)),
+			MaxUs:  us(s.Max()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// Summaries returns the aggregator's current per-stage summaries.
+func (a *StageAggregator) Summaries() []StageSummary {
+	return SummarizeStages(a.Snapshot())
+}
+
+// Handler serves the live decomposition:
+//
+//	GET /debug/stages              JSON {stages: [...], note}
+//	GET /debug/stages?format=text  aligned table, busiest stage first
+//
+// A nil aggregator serves an empty list, so the endpoint can be mounted
+// unconditionally.
+func (a *StageAggregator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		sums := a.Summaries()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteStagesText(w, sums)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"stages": sums,
+			"note":   "one histogram per span name plus direct wire sub-stages; durations nest (e.g. client.lookup contains client.write and the server round trip), so columns are a decomposition, not a sum",
+		})
+	})
+}
+
+// WriteStagesText renders summaries as an aligned table.
+func WriteStagesText(w interface{ Write([]byte) (int, error) }, sums []StageSummary) {
+	fmt.Fprintf(w, "%-28s %12s %10s %10s %10s %10s %10s %12s\n",
+		"stage", "count", "mean_us", "p50_us", "p90_us", "p99_us", "p999_us", "max_us")
+	for _, s := range sums {
+		fmt.Fprintf(w, "%-28s %12d %10.1f %10.1f %10.1f %10.1f %10.1f %12.1f\n",
+			s.Stage, s.Count, s.MeanUs, s.P50Us, s.P90Us, s.P99Us, s.P999Us, s.MaxUs)
+	}
+	if len(sums) == 0 {
+		fmt.Fprintln(w, "(no stages recorded — is tracing on and load flowing?)")
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageAggregatorNilSafety(t *testing.T) {
+	var a *StageAggregator
+	a.Observe(Name("whatever"), time.Millisecond) // must not panic
+	if s := a.Snapshot(); s != nil {
+		t.Fatalf("nil aggregator snapshot: got %v, want nil", s)
+	}
+	rec := httptest.NewRecorder()
+	a.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/stages", nil))
+	var doc struct {
+		Stages []StageSummary `json:"stages"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("nil aggregator handler did not serve JSON: %v", err)
+	}
+	if len(doc.Stages) != 0 {
+		t.Fatalf("nil aggregator served stages: %v", doc.Stages)
+	}
+}
+
+func TestStagesFedBySpanEnds(t *testing.T) {
+	tr := NewTracer(Config{})
+	agg := NewStageAggregator()
+	tr.Collector().AttachStages(agg)
+	if tr.Stages() != agg {
+		t.Fatal("Tracer.Stages did not return the attached aggregator")
+	}
+
+	stage := Name("test.stage")
+	root := tr.Start(SpanContext{}, stage)
+	time.Sleep(time.Millisecond)
+	root.End(nil)
+
+	snaps := agg.Snapshot()
+	s, ok := snaps["test.stage"]
+	if !ok {
+		t.Fatalf("span end did not feed the aggregator: %v", snaps)
+	}
+	if s.Count != 1 {
+		t.Fatalf("stage count %d, want 1", s.Count)
+	}
+	if s.Max() < int64(time.Millisecond)/2 {
+		t.Fatalf("stage duration %dns implausibly small for a 1ms span", s.Max())
+	}
+}
+
+func TestStagesDirectObserveAndSummaries(t *testing.T) {
+	agg := NewStageAggregator()
+	fast, slow := Name("stage.fast"), Name("stage.slow")
+	for i := 0; i < 100; i++ {
+		agg.Observe(fast, 10*time.Microsecond)
+	}
+	agg.Observe(slow, 5*time.Millisecond)
+	agg.Observe(0, time.Second)         // unnamed ref: ignored
+	agg.Observe(Ref(2000), time.Second) // past maxInterned: ignored
+	sums := agg.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("got %d stages, want 2: %v", len(sums), sums)
+	}
+	if sums[0].Stage != "stage.fast" || sums[0].Count != 100 {
+		t.Fatalf("busiest-first ordering broken: %v", sums)
+	}
+	if sums[1].P99Us < 4000 {
+		t.Fatalf("slow stage p99 %vus, want ~5000us", sums[1].P99Us)
+	}
+}
+
+func TestStagesConcurrentObserve(t *testing.T) {
+	agg := NewStageAggregator()
+	refs := []Ref{Name("c.a"), Name("c.b"), Name("c.c")}
+	const writers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				agg.Observe(refs[i%len(refs)], time.Duration(i)*time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, s := range agg.Snapshot() {
+		total += s.Count
+	}
+	if total != writers*per {
+		t.Fatalf("lost observations under concurrency: got %d, want %d", total, writers*per)
+	}
+}
+
+func TestStagesHandlerTextFormat(t *testing.T) {
+	agg := NewStageAggregator()
+	agg.Observe(Name("text.stage"), time.Millisecond)
+	rec := httptest.NewRecorder()
+	agg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/stages?format=text", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "text.stage") || !strings.Contains(body, "p99_us") {
+		t.Fatalf("text table missing stage or header:\n%s", body)
+	}
+}
+
+func BenchmarkStageAggregatorObserve(b *testing.B) {
+	agg := NewStageAggregator()
+	ref := Name("bench.stage")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		agg.Observe(ref, time.Microsecond)
+	}
+}

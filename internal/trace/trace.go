@@ -161,6 +161,18 @@ func (t *Tracer) Collector() *Collector {
 	return t.col
 }
 
+// Stages returns the stage aggregator attached to the tracer's
+// collector, or nil. Hot paths that time sub-span stages (wire encode,
+// syscall write, request decode) branch on this before taking
+// timestamps, so the two time.Now calls per stage are only paid when
+// someone is aggregating.
+func (t *Tracer) Stages() *StageAggregator {
+	if t == nil {
+		return nil
+	}
+	return t.col.Stages()
+}
+
 // splitmix64 is a fast, well-distributed 64-bit mixer; with a per-tracer
 // seed and an atomic counter it yields unique-enough IDs with no locks
 // and no global PRNG.
