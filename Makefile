@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race cover test test-short bench bench-smoke bench-sim bench-ingest fuzz-smoke load saturate saturate-smoke bench-diff ingest-demo trace-demo health-demo chaos-demo experiments experiments-full experiments-compare golden-manifest examples clean
+.PHONY: all build vet race cover test test-short bench bench-smoke bench-sim bench-ingest fuzz-smoke alloc-gate load saturate saturate-smoke bench-diff ingest-demo trace-demo health-demo chaos-demo experiments experiments-full experiments-compare golden-manifest examples clean
 
 all: build vet race
 
@@ -52,8 +52,9 @@ load:
 # Find the ceiling (DESIGN.md §14): ramp the offered rate against a
 # local 4-shard cluster until the online knee detector confirms the p99
 # knee, then capture CPU/heap profiles at the knee and the server's
-# per-stage latency decomposition. Writes BENCH_saturation.json plus
-# BENCH_saturation_{cpu,heap}.pprof. Fixed seed so reruns are
+# per-stage latency decomposition. Writes BENCH_saturation.json (with
+# per-step allocs/op and frames-per-syscall efficiency attribution) plus
+# results/BENCH_saturation_{cpu,heap}.pprof. Fixed seed so reruns are
 # comparable. Add -trace to the phi-load line for the client-side stage
 # decomposition too (it costs roughly half the measured ceiling on one
 # core, so the committed baseline runs without it).
@@ -67,7 +68,9 @@ saturate:
 		-sat-start 2000 -sat-factor 1.5 -sat-step 5s -sat-settle 1s \
 		-paths 64 -skew zipf -seed 42 \
 		-pprof-url http://127.0.0.1:7732 -profile-dur 5s \
+		-profile-prefix results/BENCH_saturation \
 		-stages-url http://127.0.0.1:7732/debug/stages \
+		-resources-url http://127.0.0.1:7732/debug/resources \
 		-out BENCH_saturation.json
 
 # CI-scale saturation smoke (~20s): a short coarse ramp that must still
@@ -82,6 +85,7 @@ saturate-smoke:
 		-sat-start 2000 -sat-factor 2.0 -sat-step 2s -sat-settle 500ms \
 		-paths 64 -skew zipf -seed 42 \
 		-stages-url http://127.0.0.1:7732/debug/stages \
+		-resources-url http://127.0.0.1:7732/debug/resources \
 		-out /tmp/phi_saturation_smoke.json
 
 # Gate a candidate result against the committed baseline. Smoke runs on
@@ -92,7 +96,14 @@ saturate-smoke:
 NEW ?= /tmp/phi_saturation_smoke.json
 bench-diff:
 	$(GO) run ./cmd/phi-bench-diff -old BENCH_saturation.json -new $(NEW) \
-		-tol-rate 0.6 -tol-latency 4.0 -require-knee -min-rate 2000
+		-tol-rate 0.6 -tol-latency 4.0 -tol-eff 0.5 -require-knee -min-rate 2000
+
+# Zero-alloc regression gate: the pinned allocs/op tests for the
+# phi.Server hot path and the phiwire codec (TestAllocs* in
+# internal/phi and internal/phiwire). Fails the moment a change makes
+# Lookup allocate or grows a codec's per-frame allocation count.
+alloc-gate:
+	$(GO) test -run 'TestAllocs' -count=1 ./internal/phi ./internal/phiwire
 
 # One benchmark iteration per function: catches benchmarks that no
 # longer compile or crash, without paying for real measurement (CI runs

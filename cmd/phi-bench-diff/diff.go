@@ -13,12 +13,37 @@ const (
 	lowerBetter                   // latency/errors: regression = rise
 )
 
+// toleranceClass buckets metrics by how noisy they are, so one flag per
+// bucket: throughput rates, latency quantiles, and per-op efficiency
+// (allocs/op, frames/syscall — near-deterministic, so their tolerance
+// can be much tighter than latency's).
+type toleranceClass int
+
+const (
+	rateClass toleranceClass = iota
+	latencyClass
+	effClass
+)
+
 // options are the gate's tolerances and extra requirements.
 type options struct {
-	TolRate     float64 // allowed fractional drop for higherBetter metrics
-	TolLatency  float64 // allowed fractional rise for lowerBetter metrics
+	TolRate     float64 // allowed fractional drop for rate-class metrics
+	TolLatency  float64 // allowed fractional rise for latency-class metrics
+	TolEff      float64 // allowed fractional worsening for efficiency-class metrics
 	RequireKnee bool
 	MinRate     float64
+}
+
+// tol picks the class's tolerance.
+func (o options) tol(c toleranceClass) float64 {
+	switch c {
+	case rateClass:
+		return o.TolRate
+	case effClass:
+		return o.TolEff
+	default:
+		return o.TolLatency
+	}
 }
 
 // row is one compared metric.
@@ -111,10 +136,7 @@ func compare(oldDoc, newDoc map[string]any, opts options) (*report, error) {
 		if !okOld || !okNew {
 			continue // metric absent on one side: nothing to gate
 		}
-		tol := opts.TolLatency
-		if spec.better == higherBetter {
-			tol = opts.TolRate
-		}
+		tol := opts.tol(spec.class)
 		rep.Rows = append(rep.Rows, row{
 			Name:      spec.name,
 			Old:       ov,
@@ -169,11 +191,13 @@ func classify(doc map[string]any) string {
 	return ""
 }
 
-// metricSpec is one gated metric: a JSON path plus its good direction.
+// metricSpec is one gated metric: a JSON path, its good direction, and
+// the tolerance class whose flag bounds its bad-direction movement.
 type metricSpec struct {
 	name   string
 	path   []string
 	better direction
+	class  toleranceClass
 }
 
 // metricSpecs lists what gets gated per document kind. Paths that are
@@ -183,24 +207,30 @@ func metricSpecs(kind string) []metricSpec {
 	switch kind {
 	case "saturation":
 		return []metricSpec{
-			{"max_sustainable_rate", []string{"max_sustainable_rate"}, higherBetter},
-			{"knee.p99_us", []string{"knee", "p99_us"}, lowerBetter},
-			{"knee.baseline_p99_us", []string{"knee", "baseline_p99_us"}, lowerBetter},
+			{"max_sustainable_rate", []string{"max_sustainable_rate"}, higherBetter, rateClass},
+			{"knee.p99_us", []string{"knee", "p99_us"}, lowerBetter, latencyClass},
+			{"knee.baseline_p99_us", []string{"knee", "baseline_p99_us"}, lowerBetter, latencyClass},
+			// Efficiency attribution at the knee: heap allocations per
+			// lifecycle may not rise, and the frames-per-write-syscall
+			// batching ratio may not fall, past -tol-eff. Both are
+			// near-deterministic per build, so the class default is tight.
+			{"knee.allocs_per_op", []string{"knee", "allocs_per_op"}, lowerBetter, effClass},
+			{"knee.frames_per_syscall", []string{"knee", "frames_per_syscall"}, higherBetter, effClass},
 		}
 	case "loadgen":
 		return []metricSpec{
-			{"lifecycles_per_sec", []string{"lifecycles_per_sec"}, higherBetter},
-			{"errors_total", []string{"errors_total"}, lowerBetter},
-			{"ops.lookup.p99_us", []string{"ops", "lookup", "p99_us"}, lowerBetter},
-			{"ops.report_start.p99_us", []string{"ops", "report_start", "p99_us"}, lowerBetter},
-			{"ops.report_end.p99_us", []string{"ops", "report_end", "p99_us"}, lowerBetter},
-			{"ops.lifecycle.p99_us", []string{"ops", "lifecycle", "p99_us"}, lowerBetter},
+			{"lifecycles_per_sec", []string{"lifecycles_per_sec"}, higherBetter, rateClass},
+			{"errors_total", []string{"errors_total"}, lowerBetter, latencyClass},
+			{"ops.lookup.p99_us", []string{"ops", "lookup", "p99_us"}, lowerBetter, latencyClass},
+			{"ops.report_start.p99_us", []string{"ops", "report_start", "p99_us"}, lowerBetter, latencyClass},
+			{"ops.report_end.p99_us", []string{"ops", "report_end", "p99_us"}, lowerBetter, latencyClass},
+			{"ops.lifecycle.p99_us", []string{"ops", "lifecycle", "p99_us"}, lowerBetter, latencyClass},
 		}
 	case "ingest":
 		return []metricSpec{
-			{"sync.records_per_sec", []string{"sync", "records_per_sec"}, higherBetter},
-			{"sync.ns_per_record", []string{"sync", "ns_per_record"}, lowerBetter},
-			{"sync.allocs_per_record", []string{"sync", "allocs_per_record"}, lowerBetter},
+			{"sync.records_per_sec", []string{"sync", "records_per_sec"}, higherBetter, rateClass},
+			{"sync.ns_per_record", []string{"sync", "ns_per_record"}, lowerBetter, latencyClass},
+			{"sync.allocs_per_record", []string{"sync", "allocs_per_record"}, lowerBetter, effClass},
 		}
 	}
 	return nil

@@ -20,7 +20,8 @@ func doc(t *testing.T, s string) map[string]any {
 const satFixture = `{
 	"tool": "phi-load",
 	"max_sustainable_rate": 20000,
-	"knee": {"found": true, "rate": 20000, "p99_us": 1500, "baseline_p99_us": 900}
+	"knee": {"found": true, "rate": 20000, "p99_us": 1500, "baseline_p99_us": 900,
+		"allocs_per_op": 40, "frames_per_syscall": 0.5}
 }`
 
 const loadFixture = `{
@@ -35,7 +36,7 @@ const loadFixture = `{
 	}
 }`
 
-func defaults() options { return options{TolRate: 0.10, TolLatency: 0.25} }
+func defaults() options { return options{TolRate: 0.10, TolLatency: 0.25, TolEff: 0.25} }
 
 func TestIdenticalDocsPass(t *testing.T) {
 	for _, s := range []string{satFixture, loadFixture} {
@@ -107,6 +108,65 @@ func TestErrorGrowthFromZeroFails(t *testing.T) {
 	}
 	if !rep.failed() {
 		t.Fatal("errors appearing from zero passed the gate")
+	}
+}
+
+func TestEfficiencyRegressionFails(t *testing.T) {
+	// Injected efficiency regressions: allocs/op blowing up and the
+	// frames-per-syscall batching ratio collapsing must each trip the
+	// -tol-eff gate even when rate and latency are untouched.
+	alloc := doc(t, satFixture)
+	alloc["knee"].(map[string]any)["allocs_per_op"] = 400.0 // 10x
+	rep, err := compare(doc(t, satFixture), alloc, defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.failed() {
+		t.Fatal("10x allocs/op passed a 25% efficiency gate")
+	}
+
+	batch := doc(t, satFixture)
+	batch["knee"].(map[string]any)["frames_per_syscall"] = 0.25 // halved
+	rep, err = compare(doc(t, satFixture), batch, defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.failed() {
+		t.Fatal("halved frames/syscall passed a 25% efficiency gate")
+	}
+}
+
+func TestEfficiencyWithinTolerancePasses(t *testing.T) {
+	cand := doc(t, satFixture)
+	cand["knee"].(map[string]any)["allocs_per_op"] = 44.0      // +10%
+	cand["knee"].(map[string]any)["frames_per_syscall"] = 0.45 // -10%
+	rep, err := compare(doc(t, satFixture), cand, defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed() {
+		t.Fatalf("10%% efficiency drift failed a 25%% gate: %+v", rep.Rows)
+	}
+}
+
+func TestEfficiencyUsesOwnTolerance(t *testing.T) {
+	// A tight -tol-eff must bite without the latency tolerance moving:
+	// the classes are independent knobs.
+	opts := defaults()
+	opts.TolEff = 0.01
+	cand := doc(t, satFixture)
+	cand["knee"].(map[string]any)["allocs_per_op"] = 44.0 // +10% vs 1% eff tol
+	rep, err := compare(doc(t, satFixture), cand, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.failed() {
+		t.Fatal("10% allocs/op rise passed a 1% -tol-eff gate")
+	}
+	for _, r := range rep.Rows {
+		if r.Name == "knee.p99_us" && r.Regressed {
+			t.Fatal("latency metric judged by the efficiency tolerance")
+		}
 	}
 }
 

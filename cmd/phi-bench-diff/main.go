@@ -6,9 +6,10 @@
 //
 // Throughput metrics (rates) regress when the new value falls more than
 // -tol-rate below the old; latency metrics regress when the new value
-// climbs more than -tol-latency above the old. Error counts regress on
-// any increase beyond the latency tolerance. Improvements are reported
-// but never fail the run.
+// climbs more than -tol-latency above the old; per-op efficiency
+// metrics (allocs/op, frames per write syscall) regress when they
+// worsen past -tol-eff. Error counts regress on any increase beyond the
+// latency tolerance. Improvements are reported but never fail the run.
 //
 // Usage:
 //
@@ -32,6 +33,7 @@ func main() {
 		newPath     = flag.String("new", "", "candidate BENCH_*.json")
 		tolRate     = flag.Float64("tol-rate", 0.10, "allowed fractional drop in throughput metrics (0.10 = -10%)")
 		tolLatency  = flag.Float64("tol-latency", 0.25, "allowed fractional rise in latency metrics (0.25 = +25%)")
+		tolEff      = flag.Float64("tol-eff", 0.25, "allowed fractional worsening in per-op efficiency metrics (allocs/op, frames/syscall)")
 		requireKnee = flag.Bool("require-knee", false, "fail unless the candidate saturation result found a knee")
 		minRate     = flag.Float64("min-rate", 0, "fail if the candidate's headline rate is below this floor (0 = off)")
 	)
@@ -40,7 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "phi-bench-diff: -old and -new are both required")
 		os.Exit(2)
 	}
-	if *tolRate < 0 || *tolLatency < 0 {
+	if *tolRate < 0 || *tolLatency < 0 || *tolEff < 0 {
 		fmt.Fprintln(os.Stderr, "phi-bench-diff: tolerances must be >= 0")
 		os.Exit(2)
 	}
@@ -58,6 +60,7 @@ func main() {
 	rep, err := compare(oldDoc, newDoc, options{
 		TolRate:     *tolRate,
 		TolLatency:  *tolLatency,
+		TolEff:      *tolEff,
 		RequireKnee: *requireKnee,
 		MinRate:     *minRate,
 	})

@@ -58,6 +58,12 @@ type kneePoint struct {
 	Offered  float64 // offered (scheduled) lifecycles/s
 	Achieved float64 // completed lifecycles/s
 	P99Us    float64 // coordinated-omission-corrected lifecycle p99
+
+	// Efficiency attribution measured over the step (not judged by the
+	// detector, but latched with the verdict so the knee's per-op cost
+	// model rides along in the result).
+	AllocsPerOp      float64 // client heap allocations per lifecycle
+	FramesPerSyscall float64 // client frames written per write syscall
 }
 
 // kneeVerdict is the detector's latched conclusion.
@@ -80,6 +86,11 @@ type kneeVerdict struct {
 	// Reason names the test the confirming step failed:
 	// "p99-ratio" or "achieved-shortfall".
 	Reason string `json:"reason,omitempty"`
+	// AllocsPerOp and FramesPerSyscall are the knee step's efficiency
+	// attribution: heap allocations per lifecycle and the frames-per-
+	// write-syscall batching ratio. phi-bench-diff gates both.
+	AllocsPerOp      float64 `json:"allocs_per_op,omitempty"`
+	FramesPerSyscall float64 `json:"frames_per_syscall,omitempty"`
 }
 
 // kneeDetector consumes ramp steps and latches once the knee is
@@ -127,14 +138,16 @@ func (k *kneeDetector) feed(p kneePoint) bool {
 		if k.offending >= k.cfg.Confirm && k.lastGood >= 0 {
 			good := k.points[k.lastGood]
 			k.verdict = &kneeVerdict{
-				Found:         true,
-				KneeStep:      k.lastGood,
-				DetectedStep:  idx,
-				Rate:          good.Achieved,
-				OfferedRate:   good.Offered,
-				P99Us:         good.P99Us,
-				BaselineP99Us: k.baseP99,
-				Reason:        k.reason,
+				Found:            true,
+				KneeStep:         k.lastGood,
+				DetectedStep:     idx,
+				Rate:             good.Achieved,
+				OfferedRate:      good.Offered,
+				P99Us:            good.P99Us,
+				BaselineP99Us:    k.baseP99,
+				Reason:           k.reason,
+				AllocsPerOp:      good.AllocsPerOp,
+				FramesPerSyscall: good.FramesPerSyscall,
 			}
 			return true
 		}
@@ -161,6 +174,8 @@ func (k *kneeDetector) result() kneeVerdict {
 		v.Rate = good.Achieved
 		v.OfferedRate = good.Offered
 		v.P99Us = good.P99Us
+		v.AllocsPerOp = good.AllocsPerOp
+		v.FramesPerSyscall = good.FramesPerSyscall
 	}
 	return v
 }

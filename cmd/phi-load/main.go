@@ -59,6 +59,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/phi"
 	"repro/internal/phiwire"
 	"repro/internal/sim"
@@ -73,55 +74,57 @@ var opLifecycle = trace.Name("loadgen.lifecycle")
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:7731", "context server address")
-		mode        = flag.String("mode", "closed", "load model: closed (worker pool) or open (Poisson arrivals)")
-		workers     = flag.Int("workers", 32, "closed-loop worker count (one connection each)")
-		rate        = flag.Float64("rate", 1000, "open-loop arrival rate, lifecycles/s")
-		conns       = flag.Int("conns", 64, "open-loop connection pool size")
-		maxInflight = flag.Int("max-inflight", 4096, "open-loop bound on concurrent lifecycles (excess arrivals are dropped and counted)")
-		duration    = flag.Duration("duration", 30*time.Second, "measured run length (after warmup)")
-		warmup      = flag.Duration("warmup", 2*time.Second, "warmup length excluded from results")
-		paths       = flag.Int("paths", 64, "distinct path keys")
-		pathPrefix  = flag.String("path-prefix", "path-", "path key prefix")
-		grid        = flag.String("grid", "", "structure path keys over a SxIxM service/ISP/metro grid (e.g. 1x4x4): keys become svc-i/isp-j/metro-k/p-n, the slices the server's health monitor localizes over")
-		faultMatch  = flag.String("fault-match", "", "mid-run fault injection: suppress lifecycles whose path contains this substring (e.g. isp-1/metro-1)")
-		faultAfter  = flag.Duration("fault-after", 10*time.Second, "fault start, measured from run start (warmup included)")
-		faultFor    = flag.Duration("fault-for", 15*time.Second, "fault duration (0 = until the run ends)")
-		healthURL   = flag.String("health-url", "", "poll this /debug/health URL during the run and summarize detections (and time-to-detect) in the result")
-		chaosOn     = flag.Bool("chaos", false, "chaos mode: kill fleet primaries through /debug/fleet mid-run and assert zero lost lifecycles and bounded auto-remediation (exit 1 on violation)")
-		chaosURL    = flag.String("chaos-url", "http://127.0.0.1:7732/debug/fleet", "chaos: the target's /debug/fleet URL")
-		chaosFirst  = flag.Duration("chaos-first", 3*time.Second, "chaos: first kill, measured from run start (warmup included)")
-		chaosEvery  = flag.Duration("chaos-every", 5*time.Second, "chaos: gap between kills")
-		chaosKills  = flag.Int("chaos-kills", 3, "chaos: number of primaries to kill")
-		chaosBound  = flag.Duration("chaos-bound", 10*time.Second, "chaos: max allowed time from kill to the member reporting healthy")
-		skew        = flag.String("skew", "uniform", "path key distribution: uniform or zipf")
-		zipfS       = flag.Float64("zipf-s", 1.2, "zipf skew exponent (>1)")
-		meanBytes   = flag.Float64("mean-bytes", 1<<20, "mean synthetic transfer size reported at connection end")
-		timeout     = flag.Duration("timeout", 2*time.Second, "per-request timeout")
-		seed        = flag.Int64("seed", 1, "PRNG seed")
-		out         = flag.String("out", "", "write the JSON result here (default stdout)")
-		traceOn     = flag.Bool("trace", false, "trace lifecycles end to end (propagated to the server over the wire)")
-		traceDump   = flag.String("trace-dump", "", "write retained traces in text form to this file at exit (requires -trace)")
-		debugAddr   = flag.String("debug-addr", "", "serve /debug/traces and pprof on this address while running")
-		logLevel    = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
-		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
-		satStart    = flag.Float64("sat-start", 2000, "saturate mode: first ramp step's offered rate, lifecycles/s")
-		satMax      = flag.Float64("sat-max", 1e6, "saturate mode: safety cap on offered rate (the ramp stops there even without a knee)")
-		satFactor   = flag.Float64("sat-factor", 1.5, "saturate mode: geometric offered-rate multiplier per step")
-		satStep     = flag.Duration("sat-step", 5*time.Second, "saturate mode: measured window per ramp step")
-		satSettle   = flag.Duration("sat-settle", 1*time.Second, "saturate mode: settling time after each rate change, excluded from the step's measurement")
-		satRatio    = flag.Float64("sat-ratio", 3, "saturate mode: p99 blowup over the flat-region baseline that marks a step offending")
-		satConfirm  = flag.Int("sat-confirm", 2, "saturate mode: consecutive offending steps that confirm the knee")
-		satMinAch   = flag.Float64("sat-min-achieved", 0.9, "saturate mode: achieved/offered floor below which a step is offending")
-		pprofURL    = flag.String("pprof-url", "", "saturate mode: server debug base URL (e.g. http://127.0.0.1:7732); CPU and heap profiles are captured there at the knee")
-		profileDur  = flag.Duration("profile-dur", 5*time.Second, "saturate mode: CPU profile length, captured while holding knee-rate load")
-		stagesURL   = flag.String("stages-url", "", "saturate mode: fetch this /debug/stages JSON after the ramp and embed it as the server-side decomposition")
-		ipfixAddr   = flag.String("ipfix-addr", "127.0.0.1:4739", "ipfix mode: collector UDP address to flood")
-		ipfixFlows  = flag.Int("ipfix-flows", 256, "ipfix modes: concurrent synthetic TCP flows")
-		ipfixPaths  = flag.Int("ipfix-paths", 16, "ipfix modes: distinct destination /24 paths")
-		ipfixLoss   = flag.Float64("ipfix-loss", 0.01, "ipfix modes: planted retransmit probability")
-		ipfixRate   = flag.Float64("ipfix-rate", 0, "ipfix mode: records/s pacing (0 = unpaced)")
-		benchReps   = flag.Int("bench-reps", 5, "ipfixbench mode: best-of repetitions")
+		addr         = flag.String("addr", "127.0.0.1:7731", "context server address")
+		mode         = flag.String("mode", "closed", "load model: closed (worker pool) or open (Poisson arrivals)")
+		workers      = flag.Int("workers", 32, "closed-loop worker count (one connection each)")
+		rate         = flag.Float64("rate", 1000, "open-loop arrival rate, lifecycles/s")
+		conns        = flag.Int("conns", 64, "open-loop connection pool size")
+		maxInflight  = flag.Int("max-inflight", 4096, "open-loop bound on concurrent lifecycles (excess arrivals are dropped and counted)")
+		duration     = flag.Duration("duration", 30*time.Second, "measured run length (after warmup)")
+		warmup       = flag.Duration("warmup", 2*time.Second, "warmup length excluded from results")
+		paths        = flag.Int("paths", 64, "distinct path keys")
+		pathPrefix   = flag.String("path-prefix", "path-", "path key prefix")
+		grid         = flag.String("grid", "", "structure path keys over a SxIxM service/ISP/metro grid (e.g. 1x4x4): keys become svc-i/isp-j/metro-k/p-n, the slices the server's health monitor localizes over")
+		faultMatch   = flag.String("fault-match", "", "mid-run fault injection: suppress lifecycles whose path contains this substring (e.g. isp-1/metro-1)")
+		faultAfter   = flag.Duration("fault-after", 10*time.Second, "fault start, measured from run start (warmup included)")
+		faultFor     = flag.Duration("fault-for", 15*time.Second, "fault duration (0 = until the run ends)")
+		healthURL    = flag.String("health-url", "", "poll this /debug/health URL during the run and summarize detections (and time-to-detect) in the result")
+		chaosOn      = flag.Bool("chaos", false, "chaos mode: kill fleet primaries through /debug/fleet mid-run and assert zero lost lifecycles and bounded auto-remediation (exit 1 on violation)")
+		chaosURL     = flag.String("chaos-url", "http://127.0.0.1:7732/debug/fleet", "chaos: the target's /debug/fleet URL")
+		chaosFirst   = flag.Duration("chaos-first", 3*time.Second, "chaos: first kill, measured from run start (warmup included)")
+		chaosEvery   = flag.Duration("chaos-every", 5*time.Second, "chaos: gap between kills")
+		chaosKills   = flag.Int("chaos-kills", 3, "chaos: number of primaries to kill")
+		chaosBound   = flag.Duration("chaos-bound", 10*time.Second, "chaos: max allowed time from kill to the member reporting healthy")
+		skew         = flag.String("skew", "uniform", "path key distribution: uniform or zipf")
+		zipfS        = flag.Float64("zipf-s", 1.2, "zipf skew exponent (>1)")
+		meanBytes    = flag.Float64("mean-bytes", 1<<20, "mean synthetic transfer size reported at connection end")
+		timeout      = flag.Duration("timeout", 2*time.Second, "per-request timeout")
+		seed         = flag.Int64("seed", 1, "PRNG seed")
+		out          = flag.String("out", "", "write the JSON result here (default stdout)")
+		traceOn      = flag.Bool("trace", false, "trace lifecycles end to end (propagated to the server over the wire)")
+		traceDump    = flag.String("trace-dump", "", "write retained traces in text form to this file at exit (requires -trace)")
+		debugAddr    = flag.String("debug-addr", "", "serve /debug/traces and pprof on this address while running")
+		logLevel     = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
+		satStart     = flag.Float64("sat-start", 2000, "saturate mode: first ramp step's offered rate, lifecycles/s")
+		satMax       = flag.Float64("sat-max", 1e6, "saturate mode: safety cap on offered rate (the ramp stops there even without a knee)")
+		satFactor    = flag.Float64("sat-factor", 1.5, "saturate mode: geometric offered-rate multiplier per step")
+		satStep      = flag.Duration("sat-step", 5*time.Second, "saturate mode: measured window per ramp step")
+		satSettle    = flag.Duration("sat-settle", 1*time.Second, "saturate mode: settling time after each rate change, excluded from the step's measurement")
+		satRatio     = flag.Float64("sat-ratio", 3, "saturate mode: p99 blowup over the flat-region baseline that marks a step offending")
+		satConfirm   = flag.Int("sat-confirm", 2, "saturate mode: consecutive offending steps that confirm the knee")
+		satMinAch    = flag.Float64("sat-min-achieved", 0.9, "saturate mode: achieved/offered floor below which a step is offending")
+		pprofURL     = flag.String("pprof-url", "", "saturate mode: server debug base URL (e.g. http://127.0.0.1:7732); CPU and heap profiles are captured there at the knee")
+		profileDur   = flag.Duration("profile-dur", 5*time.Second, "saturate mode: CPU profile length, captured while holding knee-rate load")
+		stagesURL    = flag.String("stages-url", "", "saturate mode: fetch this /debug/stages JSON after the ramp and embed it as the server-side decomposition")
+		resourcesURL = flag.String("resources-url", "", "saturate mode: fetch this /debug/resources JSON after the ramp and embed it as the server-side runtime/wire attribution")
+		profPrefix   = flag.String("profile-prefix", "", "saturate mode: path prefix for the knee profile files (default: the -out path minus .json)")
+		ipfixAddr    = flag.String("ipfix-addr", "127.0.0.1:4739", "ipfix mode: collector UDP address to flood")
+		ipfixFlows   = flag.Int("ipfix-flows", 256, "ipfix modes: concurrent synthetic TCP flows")
+		ipfixPaths   = flag.Int("ipfix-paths", 16, "ipfix modes: distinct destination /24 paths")
+		ipfixLoss    = flag.Float64("ipfix-loss", 0.01, "ipfix modes: planted retransmit probability")
+		ipfixRate    = flag.Float64("ipfix-rate", 0, "ipfix mode: records/s pacing (0 = unpaced)")
+		benchReps    = flag.Int("bench-reps", 5, "ipfixbench mode: best-of repetitions")
 	)
 	flag.Parse()
 
@@ -194,6 +197,8 @@ func main() {
 			PprofURL:        *pprofURL,
 			ProfileS:        profileDur.Seconds(),
 			StagesURL:       *stagesURL,
+			ResourcesURL:    *resourcesURL,
+			ProfilePrefix:   *profPrefix,
 		}
 	}
 	errs := cfg.validate()
@@ -217,8 +222,13 @@ func main() {
 		logger.Info("tracing enabled", "mode", cfg.Mode)
 	}
 	if *debugAddr != "" {
+		// The loadgen watches its own resource footprint too: a saturation
+		// verdict is only as honest as the client's headroom.
+		sampler := obs.NewSampler(obs.SamplerConfig{})
+		defer sampler.Start()()
 		ds, err := telemetry.Serve(*debugAddr, nil,
-			telemetry.Endpoint{Path: "/debug/traces", Handler: tracer.Collector().Handler()})
+			telemetry.Endpoint{Path: "/debug/traces", Handler: tracer.Collector().Handler(), Desc: "retained lifecycle traces"},
+			telemetry.Endpoint{Path: "/debug/resources", Handler: sampler.Handler(), Desc: "loadgen runtime resource snapshot"})
 		if err != nil {
 			logger.Fatal("debug server", "err", err)
 		}

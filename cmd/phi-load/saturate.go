@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/phiwire"
 	"repro/internal/trace"
 	tlog "repro/internal/trace/log"
@@ -53,6 +54,14 @@ type satParams struct {
 	PprofURL        string  `json:"pprof_url,omitempty"`
 	ProfileS        float64 `json:"profile_s,omitempty"`
 	StagesURL       string  `json:"stages_url,omitempty"`
+	// ResourcesURL, when set, is the server's /debug/resources endpoint;
+	// its snapshot is embedded in the result (server-side runtime + wire
+	// attribution next to the client-side measurement).
+	ResourcesURL string `json:"resources_url,omitempty"`
+	// ProfilePrefix overrides where knee profiles land (default: derived
+	// from the -out path) — how the Makefile keeps BENCH_saturation.json
+	// at the repo root while the binary pprofs go under results/.
+	ProfilePrefix string `json:"profile_prefix,omitempty"`
 }
 
 func (p satParams) validate() []error {
@@ -109,6 +118,15 @@ type satStepResult struct {
 	// Offending names the knee test this step failed against the
 	// baseline in force when it completed ("" = clean).
 	Offending string `json:"offending,omitempty"`
+
+	// Efficiency attribution over the measured window, client side:
+	// process-wide heap allocations per completed lifecycle (3 wire
+	// requests each) and the wire batching ratios from the shared
+	// obs.WireCounters deltas.
+	AllocsPerOp          float64 `json:"allocs_per_op"`
+	AllocBytesPerOp      float64 `json:"alloc_bytes_per_op"`
+	FramesPerSyscall     float64 `json:"frames_per_syscall"`
+	BytesPerWriteSyscall float64 `json:"bytes_per_write_syscall"`
 }
 
 // profileCapture records where the knee-time profiles landed.
@@ -116,6 +134,9 @@ type profileCapture struct {
 	CPUPath  string `json:"cpu_path,omitempty"`
 	HeapPath string `json:"heap_path,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Ring echoes the server's /debug/prof/ring capture record for the
+	// knee-triggered ring entry (best effort).
+	Ring json.RawMessage `json:"ring,omitempty"`
 }
 
 // satResult is the machine-readable saturation report
@@ -136,7 +157,12 @@ type satResult struct {
 	// StagesServer embeds the server's /debug/stages JSON verbatim
 	// (cumulative over the whole ramp).
 	StagesServer json.RawMessage `json:"stages_server,omitempty"`
-	Profiles     *profileCapture `json:"profiles,omitempty"`
+	// WireClient is the client-side wire attribution over the whole run.
+	WireClient obs.WireSnapshot `json:"wire_client"`
+	// ResourcesServer embeds the server's /debug/resources snapshot
+	// (runtime sampler + server-side wire counters) verbatim.
+	ResourcesServer json.RawMessage `json:"resources_server,omitempty"`
+	Profiles        *profileCapture `json:"profiles,omitempty"`
 }
 
 // runSaturate drives the ramp. out is the result path (used to derive
@@ -160,10 +186,15 @@ func runSaturate(cfg runConfig, sp satParams, prefix, out string, tracer *trace.
 	var wg sync.WaitGroup
 	startedAt := time.Now()
 
+	// One WireCounters shared by the whole pool: frames and syscalls are
+	// attributed to the run, not to a connection, which is what the per-
+	// step batching-ratio deltas need.
+	wire := obs.NewWireCounters()
 	pool := make([]*phiwire.Client, cfg.Conns)
 	for i := range pool {
 		pool[i] = phiwire.Dial(cfg.Addr, time.Duration(cfg.TimeoutS*float64(time.Second)))
 		pool[i].SetTracer(tracer)
+		pool[i].SetWire(wire)
 	}
 	defer func() {
 		for _, cl := range pool {
@@ -236,32 +267,53 @@ func runSaturate(cfg runConfig, sp satParams, prefix, out string, tracer *trace.
 		st := newRunStats()
 		active.Store(st)
 		t0 := time.Now()
+		allocObj0, allocBytes0 := obs.AllocCounts()
+		w0 := wire.Snapshot()
 		time.Sleep(time.Duration(sp.StepS * float64(time.Second)))
 		measured := time.Since(t0).Seconds()
+		allocObj1, allocBytes1 := obs.AllocCounts()
+		wd := wire.Snapshot().Sub(w0)
 
 		life := histResult(st.life.Snapshot())
-		achieved := float64(st.lifecycles.Load()) / measured
+		lifecycles := st.lifecycles.Load()
+		achieved := float64(lifecycles) / measured
 		var terrs, serrs uint64
 		for _, o := range []*opStats{st.lookup, st.start, st.end} {
 			terrs += o.transport.Load()
 			serrs += o.server.Load()
 		}
-		p := kneePoint{Offered: rate, Achieved: achieved, P99Us: life.P99Us}
+		// Per-op attribution: process-wide heap alloc deltas over the window
+		// divided by completed lifecycles (each lifecycle = 3 wire requests),
+		// plus the batching ratios over the same window's wire deltas.
+		var allocsPerOp, allocBytesPerOp float64
+		if lifecycles > 0 {
+			allocsPerOp = float64(allocObj1-allocObj0) / float64(lifecycles)
+			allocBytesPerOp = float64(allocBytes1-allocBytes0) / float64(lifecycles)
+		}
+		p := kneePoint{
+			Offered: rate, Achieved: achieved, P99Us: life.P99Us,
+			AllocsPerOp:      allocsPerOp,
+			FramesPerSyscall: wd.FramesPerWriteSyscall,
+		}
 		offending := det.offends(p)
 		found := det.feed(p)
 		steps = append(steps, satStepResult{
-			Step:            step,
-			OfferedRate:     rate,
-			AchievedRate:    achieved,
-			MeasuredS:       measured,
-			Lifecycles:      st.lifecycles.Load(),
-			Dropped:         st.dropped.Load(),
-			TransportErrors: terrs,
-			ServerErrors:    serrs,
-			Lifecycle:       life,
-			QueueWaitP99Us:  float64(st.queueWait.Snapshot().Quantile(0.99)) / 1e3,
-			LookupP99Us:     float64(st.lookup.lat.Snapshot().Quantile(0.99)) / 1e3,
-			Offending:       offending,
+			Step:                 step,
+			OfferedRate:          rate,
+			AchievedRate:         achieved,
+			MeasuredS:            measured,
+			Lifecycles:           lifecycles,
+			Dropped:              st.dropped.Load(),
+			TransportErrors:      terrs,
+			ServerErrors:         serrs,
+			Lifecycle:            life,
+			QueueWaitP99Us:       float64(st.queueWait.Snapshot().Quantile(0.99)) / 1e3,
+			LookupP99Us:          float64(st.lookup.lat.Snapshot().Quantile(0.99)) / 1e3,
+			Offending:            offending,
+			AllocsPerOp:          allocsPerOp,
+			AllocBytesPerOp:      allocBytesPerOp,
+			FramesPerSyscall:     wd.FramesPerWriteSyscall,
+			BytesPerWriteSyscall: wd.BytesPerWriteSyscall,
 		})
 		logger.Info("ramp step", "step", step,
 			"offered", fmt.Sprintf("%.0f", rate),
@@ -299,6 +351,7 @@ func runSaturate(cfg runConfig, sp satParams, prefix, out string, tracer *trace.
 		Steps:              steps,
 		Knee:               knee,
 		MaxSustainableRate: knee.Rate,
+		WireClient:         wire.Snapshot(),
 		Profiles:           profiles,
 	}
 	if clientStages != nil {
@@ -312,6 +365,14 @@ func runSaturate(cfg runConfig, sp satParams, prefix, out string, tracer *trace.
 			res.StagesServer = raw
 		}
 	}
+	if sp.ResourcesURL != "" {
+		raw, err := fetchJSON(sp.ResourcesURL)
+		if err != nil {
+			logger.Error("fetch server resources", "url", sp.ResourcesURL, "err", err)
+		} else {
+			res.ResourcesServer = raw
+		}
+	}
 	logger.Info("saturation ramp done", "steps", len(steps), "verdict", knee.String())
 	return res
 }
@@ -320,7 +381,10 @@ func runSaturate(cfg runConfig, sp satParams, prefix, out string, tracer *trace.
 // holds at the knee rate) and a heap snapshot from the server's debug
 // port, writing them next to the result JSON.
 func captureProfiles(sp satParams, out string, logger *tlog.Logger) *profileCapture {
-	base := strings.TrimSuffix(out, ".json")
+	base := sp.ProfilePrefix
+	if base == "" {
+		base = strings.TrimSuffix(out, ".json")
+	}
 	if base == "" {
 		base = "BENCH_saturation"
 	}
@@ -348,6 +412,16 @@ func captureProfiles(sp satParams, out string, logger *tlog.Logger) *profileCapt
 		logger.Error("heap profile", "err", err)
 	} else {
 		pc.HeapPath = heapPath
+	}
+	// Best-effort: ask the server to also drop a knee-tagged entry into
+	// its on-disk profile ring, so the evidence survives on the server
+	// side too. AFTER the pprof fetches — the ring's own StartCPUProfile
+	// would conflict with an in-flight /debug/pprof/profile.
+	ringURL := strings.TrimSuffix(sp.PprofURL, "/") + "/debug/prof/ring?op=capture&reason=knee"
+	if raw, err := fetchJSON(ringURL); err != nil {
+		logger.Warn("ring knee capture", "err", err)
+	} else {
+		pc.Ring = raw
 	}
 	return pc
 }

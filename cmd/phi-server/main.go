@@ -13,7 +13,10 @@
 // request counters, open connections) at /metrics on that address,
 // plus /debug/traces (with -trace), /debug/stages (with -stages, the
 // per-stage latency decomposition), /debug/exemplars, the standard
-// pprof profiles under /debug/pprof/, and a /debug/ index listing every
+// pprof profiles under /debug/pprof/, /debug/resources (runtime sampler
+// + wire-level syscall/byte attribution), /debug/prof/ring (a rolling
+// on-disk CPU/heap profile ring; ?op=capture to trigger, and health
+// anomalies capture automatically), and a /debug/ index listing every
 // mounted endpoint.
 //
 // With -ipfix-addr set, the server also runs the passive-ingest
@@ -30,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -37,6 +41,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/ingest"
 	"repro/internal/ipfix"
+	"repro/internal/obs"
 	"repro/internal/phi"
 	"repro/internal/phiwire"
 	"repro/internal/sim"
@@ -56,6 +61,7 @@ func main() {
 		healthOn    = flag.Bool("health", false, "run the live health monitor (view at /debug/health on -metrics-addr or -health-addr)")
 		healthAddr  = flag.String("health-addr", "", "serve /debug/health on a dedicated address (implies -health)")
 		healthWin   = flag.Duration("health-bucket", time.Second, "health monitor rollup bucket width")
+		profRing    = flag.String("prof-ring-dir", "", "rolling CPU/heap profile ring directory (default: <tmp>/phi-server-profring; requires -metrics-addr)")
 		ipfixAddr   = flag.String("ipfix-addr", "", "receive IPFIX exports on this UDP address and ingest passive context (empty = off)")
 		ipfixSample = flag.Int("ipfix-sample", 1, "ipfix: exporter packet sampling rate (1-in-N)")
 		ipfixWindow = flag.Duration("ipfix-window", 5*time.Second, "ipfix: per-path aggregation window (stream time)")
@@ -150,7 +156,30 @@ func main() {
 	srv.SetTracer(tracer)
 	srv.SetHealth(monitor)
 	if *metricsAddr != "" {
+		// Resource observatory: wire-level syscall/byte attribution on the
+		// serving path, a runtime sampler snapshotting it at
+		// /debug/resources, and a rolling profile ring that health
+		// anomalies trigger into.
+		wire := obs.NewWireCounters()
+		srv.SetWire(wire)
+		sampler := obs.NewSampler(obs.SamplerConfig{Registry: reg})
+		sampler.SetWire("server", wire)
+		sampler.AddCollect(wire.Publish(reg, "phiwire_server_wire"))
+		defer sampler.Start()()
+		ringDir := *profRing
+		if ringDir == "" {
+			ringDir = filepath.Join(os.TempDir(), "phi-server-profring")
+		}
+		ring, err := obs.NewProfileRing(obs.RingConfig{Dir: ringDir, Logf: logger.Component("profring").Printf})
+		if err != nil {
+			logger.Fatal("profile ring", "dir", ringDir, "err", err)
+		}
+		monitor.SetProfileTrigger(ring.TriggerAsync)
 		endpoints := []telemetry.Endpoint{
+			{Path: "/debug/resources", Handler: sampler.Handler(),
+				Desc: "runtime + wire resource attribution snapshot"},
+			{Path: "/debug/prof/ring", Handler: ring.Handler(),
+				Desc: "rolling CPU/heap profile ring (?op=capture to trigger)"},
 			{Path: "/debug/traces", Handler: tracer.Collector().Handler(),
 				Desc: "retained request traces: slowest, errors, sampled (-trace)"},
 			{Path: "/debug/stages", Handler: tracer.Stages().Handler(),

@@ -122,6 +122,11 @@ func (m *Monitor) openAnomalyLocked(d *detector, scope string, sser *sliceSeries
 	m.metrics.Active.Set(float64(len(m.active)))
 	m.markEvidence(sser, now)
 	m.localizeLocked(a)
+	// Fire the profile-capture hook off-lock: a ring capture blocks for
+	// its CPU-profile window, which must never stall rotation.
+	if fn := m.profileTrigger.Load(); fn != nil {
+		go (*fn)("anomaly " + a.Scope)
+	}
 	m.log.Warn("anomaly detected",
 		"id", a.ID,
 		"scope", a.Scope,

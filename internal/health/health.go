@@ -314,6 +314,12 @@ type Monitor struct {
 	// staleness is visible at /debug/health before a crash proves it.
 	snapshotAges atomic.Pointer[func() []float64]
 
+	// profileTrigger, when set, is invoked (on its own goroutine, with
+	// the anomaly scope as the reason) each time an anomaly is promoted
+	// — the hook the obs.ProfileRing hangs off so a dip's CPU/heap
+	// profile is captured while the dip is still happening.
+	profileTrigger atomic.Pointer[func(reason string)]
+
 	startedAt time.Time
 
 	// Hot-path ingestion state.
@@ -399,6 +405,17 @@ func (m *Monitor) SetSnapshotAges(fn func() []float64) {
 		return
 	}
 	m.snapshotAges.Store(&fn)
+}
+
+// SetProfileTrigger installs a callback fired on anomaly promotion
+// (asynchronously; the detector never blocks on a capture). Wire it to
+// obs.ProfileRing.Trigger or equivalent. Safe on a nil monitor; safe to
+// call at any time, including after Start.
+func (m *Monitor) SetProfileTrigger(fn func(reason string)) {
+	if m == nil || fn == nil {
+		return
+	}
+	m.profileTrigger.Store(&fn)
 }
 
 // Start launches the rotation goroutine and returns an idempotent stop

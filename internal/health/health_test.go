@@ -87,6 +87,8 @@ func TestDetectLocalizeRecover(t *testing.T) {
 	hm := NewMetrics(reg)
 	m.SetMetrics(hm)
 	m.SetShardStatus(func() []bool { return []bool{false, true} })
+	profileReasons := make(chan string, 4)
+	m.SetProfileTrigger(func(reason string) { profileReasons <- reason })
 
 	step := func(perBucket int, suppress map[string]bool) {
 		gridBucket(m, perBucket, suppress)
@@ -145,6 +147,16 @@ func TestDetectLocalizeRecover(t *testing.T) {
 	if !strings.Contains(logged, "anomaly detected") ||
 		!strings.Contains(logged, "scope=svc-0/isp-1/metro-1") {
 		t.Fatalf("alert log record missing:\n%s", logged)
+	}
+	// Promotion must have fired the profile-capture hook (async) with
+	// the anomaly scope as the reason.
+	select {
+	case reason := <-profileReasons:
+		if !strings.Contains(reason, "svc-0/isp-1/metro-1") {
+			t.Fatalf("profile trigger reason = %q, want anomaly scope", reason)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("profile trigger never fired on anomaly promotion")
 	}
 
 	// Keep the fault going through a diagnosis sweep: the offline

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestObservatoryEndpointsOnTelemetryMux mounts the real sampler and
+// ring handlers the way the daemons do and asserts the /debug/ index
+// advertises them and both serve real content — the integration half of
+// telemetry's index-completeness invariant.
+func TestObservatoryEndpointsOnTelemetryMux(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := NewSampler(SamplerConfig{Interval: time.Hour, Registry: reg})
+	ring, err := NewProfileRing(RingConfig{Dir: t.TempDir(), CPUSeconds: 0.05, MinGap: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := telemetry.Serve("127.0.0.1:0", reg,
+		telemetry.Endpoint{Path: "/debug/resources", Handler: s.Handler(), Desc: "runtime + wire resource snapshot"},
+		telemetry.Endpoint{Path: "/debug/prof/ring", Handler: ring.Handler(), Desc: "rolling CPU/heap profile ring"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	base := "http://" + ms.Addr().String()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	idx := get("/debug/?format=text")
+	for _, want := range []string{"/debug/resources", "/debug/prof/ring"} {
+		if !strings.Contains(idx, want) {
+			t.Errorf("/debug/ index missing %s:\n%s", want, idx)
+		}
+	}
+	if body := get("/debug/resources"); !strings.Contains(body, "goroutines") {
+		t.Errorf("/debug/resources body:\n%s", body)
+	}
+	if body := get("/debug/prof/ring"); !strings.Contains(body, "captures") {
+		t.Errorf("/debug/prof/ring body:\n%s", body)
+	}
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestWireCountersNilSafe(t *testing.T) {
+	var w *WireCounters
+	w.FrameRead()
+	w.FrameWritten()
+	if s := w.Snapshot(); s != (WireSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+	if got := CountConn(nil, nil); got != nil {
+		t.Fatalf("CountConn(nil, nil) = %v, want nil", got)
+	}
+	w.Publish(nil, "x")() // no-op collect
+}
+
+func TestCountingConn(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	w := NewWireCounters()
+	wrapped := CountConn(c1, w)
+	defer wrapped.Close()
+
+	go func() {
+		buf := make([]byte, 16)
+		c2.Read(buf)
+		c2.Write([]byte("pong"))
+	}()
+
+	if _, err := wrapped.Write([]byte("ping!")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := wrapped.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	w.FrameWritten()
+	w.FrameRead()
+
+	s := w.Snapshot()
+	if s.WriteSyscalls != 1 || s.BytesWritten != 5 {
+		t.Errorf("writes: got %d calls / %d bytes, want 1/5", s.WriteSyscalls, s.BytesWritten)
+	}
+	if s.ReadSyscalls != 1 || s.BytesRead != 4 {
+		t.Errorf("reads: got %d calls / %d bytes, want 1/4", s.ReadSyscalls, s.BytesRead)
+	}
+	if s.FramesPerWriteSyscall != 1.0 {
+		t.Errorf("frames/write-syscall = %v, want 1.0", s.FramesPerWriteSyscall)
+	}
+	if s.BytesPerWriteSyscall != 5.0 {
+		t.Errorf("bytes/write-syscall = %v, want 5.0", s.BytesPerWriteSyscall)
+	}
+}
+
+func TestWireSnapshotSub(t *testing.T) {
+	w := NewWireCounters()
+	w.WriteCalls.Add(10)
+	w.FramesWritten.Add(5)
+	before := w.Snapshot()
+	w.WriteCalls.Add(4)
+	w.FramesWritten.Add(8)
+	d := w.Snapshot().Sub(before)
+	if d.WriteSyscalls != 4 || d.FramesWritten != 8 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.FramesPerWriteSyscall != 2.0 {
+		t.Fatalf("delta ratio = %v, want 2.0 (recomputed over the delta)", d.FramesPerWriteSyscall)
+	}
+}
+
+func TestWirePublish(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	w := NewWireCounters()
+	collect := w.Publish(reg, "test_wire")
+
+	w.FramesWritten.Add(3)
+	w.WriteCalls.Add(6)
+	w.BytesWritten.Add(60)
+	collect()
+	w.FramesWritten.Add(1)
+	w.WriteCalls.Add(2)
+	collect() // deltas must accumulate, not double-count
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"test_wire_frames_written_total 4",
+		"test_wire_write_syscalls_total 8",
+		"test_wire_written_bytes_total 60",
+		"test_wire_frames_per_write_syscall 0.5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestSamplerSnapshot(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := NewSampler(SamplerConfig{Interval: 10 * time.Millisecond, Registry: reg})
+	w := NewWireCounters()
+	w.FramesWritten.Add(7)
+	s.SetWire("server", w)
+	collected := make(chan struct{}, 8)
+	s.AddCollect(func() {
+		select {
+		case collected <- struct{}{}:
+		default:
+		}
+	})
+	stop := s.Start()
+	defer stop()
+
+	// Allocate a little so rates have something to see.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+
+	select {
+	case <-collected:
+	case <-time.After(2 * time.Second):
+		t.Fatal("collect hook never ran")
+	}
+	time.Sleep(25 * time.Millisecond)
+
+	snap := s.Snapshot()
+	if snap.Goroutines <= 0 {
+		t.Errorf("goroutines = %d, want > 0", snap.Goroutines)
+	}
+	if snap.HeapLiveBytes == 0 || snap.TotalAllocObjs == 0 {
+		t.Errorf("heap accounting empty: %+v", snap)
+	}
+	if snap.Wire["server"].FramesWritten != 7 {
+		t.Errorf("wire snapshot = %+v, want frames_written 7", snap.Wire["server"])
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "phi_runtime_goroutines") {
+		t.Error("phi_runtime_goroutines missing from exposition")
+	}
+}
+
+func TestSamplerNilSafe(t *testing.T) {
+	var s *Sampler
+	s.SetWire("x", NewWireCounters())
+	s.AddCollect(func() {})
+	s.Start()()
+	if snap := s.Snapshot(); snap.Goroutines != 0 {
+		t.Fatalf("nil sampler snapshot = %+v", snap)
+	}
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/resources", nil))
+	if !strings.Contains(rr.Body.String(), "off") {
+		t.Fatalf("nil handler body = %q", rr.Body.String())
+	}
+}
+
+func TestResourcesHandler(t *testing.T) {
+	s := NewSampler(SamplerConfig{Interval: time.Hour}) // on-demand sampling only
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/resources", nil))
+	var snap ResourceSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON decode: %v\n%s", err, rr.Body.String())
+	}
+	if snap.GoVersion == "" || snap.NumCPU == 0 {
+		t.Errorf("snapshot missing runtime identity: %+v", snap)
+	}
+	rr = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/resources?format=text", nil))
+	if !strings.Contains(rr.Body.String(), "goroutines") {
+		t.Errorf("text form missing goroutines line:\n%s", rr.Body.String())
+	}
+}
+
+func TestAllocCounts(t *testing.T) {
+	obj1, b1 := AllocCounts()
+	sink := make([][]byte, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		sink = append(sink, make([]byte, 128))
+	}
+	_ = sink
+	obj2, b2 := AllocCounts()
+	if obj2 <= obj1 || b2 <= b1 {
+		t.Fatalf("alloc counters did not advance: objs %d->%d bytes %d->%d", obj1, obj2, b1, b2)
+	}
+}
+
+func TestHistQuantilesEmpty(t *testing.T) {
+	if q := histQuantiles(nil, nil); q.Count != 0 {
+		t.Fatalf("nil hist quantiles = %+v", q)
+	}
+}

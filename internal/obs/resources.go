@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Handler serves the sampler's latest snapshot at /debug/resources:
+//
+//	GET /debug/resources              JSON ResourceSnapshot
+//	GET /debug/resources?format=text  aligned human-readable summary
+//
+// Nil-safe: a nil sampler answers with a "sampler off" placeholder so
+// the endpoint can be mounted unconditionally.
+func (s *Sampler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if s == nil {
+			if req.URL.Query().Get("format") == "text" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				fmt.Fprintln(w, "resource sampler off")
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"sampler":"off"}`)
+			return
+		}
+		snap := s.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeResourcesText(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+}
+
+func writeResourcesText(w http.ResponseWriter, s ResourceSnapshot) {
+	fmt.Fprintf(w, "resources @ %s  (up %.1fs, %s, %d cpu, sampling every %.0fs)\n",
+		s.At, s.UptimeS, s.GoVersion, s.NumCPU, s.IntervalS)
+	fmt.Fprintf(w, "  goroutines     %d\n", s.Goroutines)
+	fmt.Fprintf(w, "  heap live      %d bytes in %d objects\n", s.HeapLiveBytes, s.HeapObjects)
+	fmt.Fprintf(w, "  alloc rate     %.0f objs/s, %.0f bytes/s (last interval)\n", s.AllocsPerSec, s.AllocBytesPerSec)
+	fmt.Fprintf(w, "  gc             %d cycles; pause p50 %.3gs p99 %.3gs max %.3gs (%d pauses)\n",
+		s.GCCycles, s.GCPause.P50, s.GCPause.P99, s.GCPause.Max, s.GCPause.Count)
+	fmt.Fprintf(w, "  sched latency  p50 %.3gs p99 %.3gs max %.3gs (%d samples)\n",
+		s.SchedLatency.P50, s.SchedLatency.P99, s.SchedLatency.Max, s.SchedLatency.Count)
+	fmt.Fprintf(w, "  mutex wait     %.3fs total\n", s.MutexWaitSeconds)
+	if len(s.Wire) > 0 {
+		names := make([]string, 0, len(s.Wire))
+		for n := range s.Wire {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			ws := s.Wire[n]
+			fmt.Fprintf(w, "  wire[%s]  frames r/w %d/%d  syscalls r/w %d/%d  bytes r/w %d/%d  frames/wr-syscall %.3f  bytes/wr-syscall %.1f\n",
+				n, ws.FramesRead, ws.FramesWritten, ws.ReadSyscalls, ws.WriteSyscalls,
+				ws.BytesRead, ws.BytesWritten, ws.FramesPerWriteSyscall, ws.BytesPerWriteSyscall)
+		}
+	}
+}

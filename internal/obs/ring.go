@@ -1,0 +1,396 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RingConfig configures a ProfileRing. Zero values get defaults.
+type RingConfig struct {
+	// Dir holds the capture files; created if missing. Required.
+	Dir string
+	// Max is the number of captures retained (a capture is a CPU+heap
+	// pair); oldest are evicted. Default 16.
+	Max int
+	// CPUSeconds is the CPU profile duration per capture. Default 1s.
+	CPUSeconds float64
+	// MinGap rate-limits triggers: a Trigger inside the gap since the
+	// previous capture is refused. Default 30s.
+	MinGap time.Duration
+	// Every, when > 0, enables periodic background captures at that
+	// cadence (reason "periodic") once Start is called.
+	Every time.Duration
+	// Logf receives one line per capture/eviction; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Capture describes one retained profile pair.
+type Capture struct {
+	Seq      int    `json:"seq"`
+	Reason   string `json:"reason"`
+	At       string `json:"at"`
+	CPUFile  string `json:"cpu_file,omitempty"`
+	HeapFile string `json:"heap_file,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// ProfileRing is a bounded on-disk ring of short CPU+heap profile
+// captures — the "flight recorder" half of the resource observatory.
+// Captures are triggered periodically (RingConfig.Every), on demand
+// (Trigger, or /debug/prof/ring?op=capture), or by hooks: health wires
+// anomaly promotion to TriggerAsync, and the saturation ramp fires one
+// at the knee. Retention is bounded by Max captures and triggers are
+// rate-limited by MinGap, so an anomaly storm cannot fill the disk or
+// turn the profiler into its own overload. All methods are nil-safe.
+type ProfileRing struct {
+	cfg RingConfig
+
+	mu     sync.Mutex
+	seq    int
+	caps   []*Capture
+	lastAt time.Time
+	busy   bool
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+}
+
+// NewProfileRing creates the ring, making Dir and adopting any captures
+// a previous process left there (so retention spans restarts).
+func NewProfileRing(cfg RingConfig) (*ProfileRing, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("obs: profile ring needs a directory")
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 16
+	}
+	if cfg.CPUSeconds <= 0 {
+		cfg.CPUSeconds = 1
+	}
+	if cfg.MinGap <= 0 {
+		cfg.MinGap = 30 * time.Second
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	r := &ProfileRing{cfg: cfg, stopCh: make(chan struct{})}
+	r.adoptExisting()
+	return r, nil
+}
+
+// adoptExisting scans Dir for ring-*.pprof files from an earlier run and
+// rebuilds the index, so eviction keeps working across restarts.
+func (r *ProfileRing) adoptExisting() {
+	matches, _ := filepath.Glob(filepath.Join(r.cfg.Dir, "ring-*.pprof"))
+	bySeq := make(map[int]*Capture)
+	for _, path := range matches {
+		base := filepath.Base(path)
+		// ring-<seq>-<reason>.<kind>.pprof
+		parts := strings.SplitN(strings.TrimSuffix(base, ".pprof"), "-", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		seq, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		rest := parts[2]
+		kind := ""
+		if i := strings.LastIndex(rest, "."); i >= 0 {
+			kind = rest[i+1:]
+			rest = rest[:i]
+		}
+		c := bySeq[seq]
+		if c == nil {
+			info, _ := os.Stat(path)
+			at := ""
+			if info != nil {
+				at = info.ModTime().UTC().Format(time.RFC3339)
+			}
+			c = &Capture{Seq: seq, Reason: rest, At: at}
+			bySeq[seq] = c
+		}
+		switch kind {
+		case "cpu":
+			c.CPUFile = base
+		case "heap":
+			c.HeapFile = base
+		}
+		if seq >= r.seq {
+			r.seq = seq + 1
+		}
+	}
+	for _, c := range bySeq {
+		r.caps = append(r.caps, c)
+	}
+	sort.Slice(r.caps, func(i, j int) bool { return r.caps[i].Seq < r.caps[j].Seq })
+	r.evictLocked()
+}
+
+// Start launches the periodic capture loop (if Every > 0) and returns a
+// stop function. Nil-safe.
+func (r *ProfileRing) Start() func() {
+	if r == nil {
+		return func() {}
+	}
+	if r.cfg.Every > 0 {
+		go func() {
+			t := time.NewTicker(r.cfg.Every)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if _, err := r.Trigger("periodic"); err != nil {
+						r.logf("profile ring: periodic capture skipped: %v", err)
+					}
+				case <-r.stopCh:
+					return
+				}
+			}
+		}()
+	}
+	return func() { r.stopOnce.Do(func() { close(r.stopCh) }) }
+}
+
+// Trigger synchronously captures one CPU+heap pair (blocking for
+// CPUSeconds) under the given reason. It refuses when rate-limited,
+// when a capture is already in flight, or on a nil ring.
+func (r *ProfileRing) Trigger(reason string) (*Capture, error) {
+	if r == nil {
+		return nil, fmt.Errorf("obs: profile ring off")
+	}
+	reason = sanitizeReason(reason)
+	r.mu.Lock()
+	if r.busy {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("obs: capture already in progress")
+	}
+	if !r.lastAt.IsZero() && time.Since(r.lastAt) < r.cfg.MinGap {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("obs: rate-limited (min gap %s)", r.cfg.MinGap)
+	}
+	r.busy = true
+	seq := r.seq
+	r.seq++
+	r.mu.Unlock()
+
+	c := &Capture{Seq: seq, Reason: reason, At: time.Now().UTC().Format(time.RFC3339)}
+	var errs []string
+
+	cpuBase := fmt.Sprintf("ring-%06d-%s.cpu.pprof", seq, reason)
+	if f, err := os.Create(filepath.Join(r.cfg.Dir, cpuBase)); err != nil {
+		errs = append(errs, err.Error())
+	} else {
+		// StartCPUProfile fails if any CPU profile (ours or a
+		// /debug/pprof/profile fetch) is already running; the heap half
+		// still proceeds.
+		if err := pprof.StartCPUProfile(f); err != nil {
+			errs = append(errs, err.Error())
+			f.Close()
+			os.Remove(f.Name())
+		} else {
+			time.Sleep(time.Duration(r.cfg.CPUSeconds * float64(time.Second)))
+			pprof.StopCPUProfile()
+			f.Close()
+			c.CPUFile = cpuBase
+		}
+	}
+
+	heapBase := fmt.Sprintf("ring-%06d-%s.heap.pprof", seq, reason)
+	if f, err := os.Create(filepath.Join(r.cfg.Dir, heapBase)); err != nil {
+		errs = append(errs, err.Error())
+	} else {
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			errs = append(errs, err.Error())
+			f.Close()
+			os.Remove(f.Name())
+		} else {
+			f.Close()
+			c.HeapFile = heapBase
+		}
+	}
+	c.Err = strings.Join(errs, "; ")
+
+	r.mu.Lock()
+	r.caps = append(r.caps, c)
+	r.lastAt = time.Now()
+	r.busy = false
+	r.evictLocked()
+	r.mu.Unlock()
+
+	r.logf("profile ring: captured #%d reason=%s cpu=%q heap=%q err=%q", seq, reason, c.CPUFile, c.HeapFile, c.Err)
+	if c.CPUFile == "" && c.HeapFile == "" {
+		return c, fmt.Errorf("obs: capture #%d produced no profiles: %s", seq, c.Err)
+	}
+	return c, nil
+}
+
+// TriggerAsync fires Trigger on its own goroutine, logging (not
+// returning) refusals — the shape the health anomaly hook wants, since
+// anomaly promotion must never block on a 1s CPU capture.
+func (r *ProfileRing) TriggerAsync(reason string) {
+	if r == nil {
+		return
+	}
+	go func() {
+		if _, err := r.Trigger(reason); err != nil {
+			r.logf("profile ring: %s capture skipped: %v", reason, err)
+		}
+	}()
+}
+
+// evictLocked drops oldest captures beyond Max, deleting their files.
+func (r *ProfileRing) evictLocked() {
+	for len(r.caps) > r.cfg.Max {
+		old := r.caps[0]
+		r.caps = r.caps[1:]
+		for _, base := range []string{old.CPUFile, old.HeapFile} {
+			if base != "" {
+				os.Remove(filepath.Join(r.cfg.Dir, base))
+			}
+		}
+		r.logf("profile ring: evicted #%d (%s)", old.Seq, old.Reason)
+	}
+}
+
+// Captures returns the retained captures, oldest first. Nil-safe.
+func (r *ProfileRing) Captures() []Capture {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Capture, len(r.caps))
+	for i, c := range r.caps {
+		out[i] = *c
+	}
+	return out
+}
+
+// Dir returns the ring directory ("" on nil).
+func (r *ProfileRing) Dir() string {
+	if r == nil {
+		return ""
+	}
+	return r.cfg.Dir
+}
+
+// Handler serves the ring at /debug/prof/ring:
+//
+//	GET ?                        JSON {dir, max, captures: [...]}
+//	GET ?format=text             aligned table
+//	GET ?op=capture&reason=R     trigger a capture now (blocks ~CPUSeconds)
+//	GET ?get=<file>              download a retained profile
+//
+// Nil-safe: a nil ring answers "profile ring off".
+func (r *ProfileRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "profile ring off", http.StatusNotFound)
+			return
+		}
+		q := req.URL.Query()
+		if name := q.Get("get"); name != "" {
+			r.serveFile(w, req, name)
+			return
+		}
+		if q.Get("op") == "capture" {
+			reason := q.Get("reason")
+			if reason == "" {
+				reason = "manual"
+			}
+			c, err := r.Trigger(reason)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(c)
+			return
+		}
+		caps := r.Captures()
+		if q.Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "profile ring: %d/%d captures in %s\n", len(caps), r.cfg.Max, r.cfg.Dir)
+			for _, c := range caps {
+				fmt.Fprintf(w, "  #%06d  %-20s  %s  cpu=%s heap=%s", c.Seq, c.Reason, c.At, orDash(c.CPUFile), orDash(c.HeapFile))
+				if c.Err != "" {
+					fmt.Fprintf(w, "  err=%s", c.Err)
+				}
+				fmt.Fprintln(w)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"dir": r.cfg.Dir, "max": r.cfg.Max, "captures": caps})
+	})
+}
+
+// serveFile downloads a retained capture file. Only basenames that
+// appear in the index are served — no path traversal surface.
+func (r *ProfileRing) serveFile(w http.ResponseWriter, req *http.Request, name string) {
+	r.mu.Lock()
+	known := false
+	for _, c := range r.caps {
+		if name == c.CPUFile || name == c.HeapFile {
+			known = true
+			break
+		}
+	}
+	r.mu.Unlock()
+	if !known {
+		http.Error(w, "unknown capture file", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, req, filepath.Join(r.cfg.Dir, name))
+}
+
+func (r *ProfileRing) logf(format string, args ...any) {
+	if r != nil && r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// sanitizeReason maps a free-form reason into the filename-safe charset
+// [a-z0-9-], truncated to 40 bytes.
+func sanitizeReason(s string) string {
+	if s == "" {
+		return "manual"
+	}
+	var b strings.Builder
+	for _, c := range strings.ToLower(s) {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('-')
+		}
+		if b.Len() >= 40 {
+			break
+		}
+	}
+	out := strings.Trim(b.String(), "-")
+	if out == "" {
+		return "manual"
+	}
+	return out
+}

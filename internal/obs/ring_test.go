@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestRing(t *testing.T, max int) *ProfileRing {
+	t.Helper()
+	r, err := NewProfileRing(RingConfig{
+		Dir:        t.TempDir(),
+		Max:        max,
+		CPUSeconds: 0.05,
+		MinGap:     time.Nanosecond,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRingTriggerAndEvict(t *testing.T) {
+	r := newTestRing(t, 2)
+	for i, reason := range []string{"first", "second", "third"} {
+		c, err := r.Trigger(reason)
+		if err != nil {
+			t.Fatalf("trigger %d: %v", i, err)
+		}
+		if c.HeapFile == "" {
+			t.Fatalf("trigger %d: no heap profile: %+v", i, c)
+		}
+	}
+	caps := r.Captures()
+	if len(caps) != 2 {
+		t.Fatalf("retained %d captures, want 2 (evicted oldest)", len(caps))
+	}
+	if caps[0].Reason != "second" || caps[1].Reason != "third" {
+		t.Fatalf("retained wrong captures: %+v", caps)
+	}
+	// The evicted capture's files must be gone from disk.
+	left, _ := filepath.Glob(filepath.Join(r.Dir(), "ring-000000-*"))
+	if len(left) != 0 {
+		t.Fatalf("evicted files still on disk: %v", left)
+	}
+}
+
+func TestRingRateLimit(t *testing.T) {
+	r, err := NewProfileRing(RingConfig{Dir: t.TempDir(), CPUSeconds: 0.05, MinGap: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Trigger("one"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Trigger("two"); err == nil || !strings.Contains(err.Error(), "rate-limited") {
+		t.Fatalf("second trigger err = %v, want rate-limited", err)
+	}
+}
+
+func TestRingAdoptsExisting(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"ring-000004-old.cpu.pprof", "ring-000004-old.heap.pprof"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewProfileRing(RingConfig{Dir: dir, CPUSeconds: 0.05, MinGap: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := r.Captures()
+	if len(caps) != 1 || caps[0].Seq != 4 || caps[0].Reason != "old" {
+		t.Fatalf("adopted = %+v, want one capture seq=4 reason=old", caps)
+	}
+	c, err := r.Trigger("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seq != 5 {
+		t.Fatalf("next seq = %d, want 5 (continues after adopted)", c.Seq)
+	}
+}
+
+func TestRingHandler(t *testing.T) {
+	r := newTestRing(t, 4)
+
+	// op=capture triggers synchronously and returns the capture.
+	rr := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/prof/ring?op=capture&reason=Knee+Hold", nil))
+	if rr.Code != 200 {
+		t.Fatalf("capture status = %d: %s", rr.Code, rr.Body.String())
+	}
+	var c Capture
+	if err := json.Unmarshal(rr.Body.Bytes(), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reason != "knee-hold" {
+		t.Fatalf("reason = %q, want sanitized knee-hold", c.Reason)
+	}
+
+	// Index lists it.
+	rr = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/prof/ring", nil))
+	if !strings.Contains(rr.Body.String(), "knee-hold") {
+		t.Fatalf("index missing capture:\n%s", rr.Body.String())
+	}
+	rr = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/prof/ring?format=text", nil))
+	if !strings.Contains(rr.Body.String(), "profile ring:") {
+		t.Fatalf("text index:\n%s", rr.Body.String())
+	}
+
+	// Download a retained file; refuse unknown names.
+	rr = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/prof/ring?get="+c.HeapFile, nil))
+	if rr.Code != 200 || rr.Body.Len() == 0 {
+		t.Fatalf("download status = %d, len %d", rr.Code, rr.Body.Len())
+	}
+	rr = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/prof/ring?get=../../etc/passwd", nil))
+	if rr.Code != 404 {
+		t.Fatalf("traversal status = %d, want 404", rr.Code)
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *ProfileRing
+	r.TriggerAsync("x")
+	r.Start()()
+	if caps := r.Captures(); caps != nil {
+		t.Fatalf("nil captures = %v", caps)
+	}
+	if _, err := r.Trigger("x"); err == nil {
+		t.Fatal("nil Trigger should error")
+	}
+	rr := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/prof/ring", nil))
+	if rr.Code != 404 {
+		t.Fatalf("nil handler status = %d", rr.Code)
+	}
+}
+
+func TestSanitizeReason(t *testing.T) {
+	cases := map[string]string{
+		"":                       "manual",
+		"Knee Hold":              "knee-hold",
+		"anomaly svc/isp":        "anomaly-svc-isp",
+		"---":                    "manual",
+		strings.Repeat("a", 100): strings.Repeat("a", 40),
+	}
+	for in, want := range cases {
+		if got := sanitizeReason(in); got != want {
+			t.Errorf("sanitizeReason(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The runtime/metrics series the sampler reads each tick. One
+// metrics.Read over this set costs on the order of a microsecond, so at
+// the default 1 Hz cadence the sampler's duty cycle is ~1e-6 — the
+// overhead budget DESIGN.md §15 commits to.
+const (
+	mAllocBytes   = "/gc/heap/allocs:bytes"
+	mAllocObjects = "/gc/heap/allocs:objects"
+	mHeapLive     = "/memory/classes/heap/objects:bytes"
+	mHeapObjects  = "/gc/heap/objects:objects"
+	mGoroutines   = "/sched/goroutines:goroutines"
+	mGCCycles     = "/gc/cycles/total:gc-cycles"
+	mMutexWait    = "/sync/mutex/wait/total:seconds"
+	mGCPauses     = "/gc/pauses:seconds"
+	mSchedLat     = "/sched/latencies:seconds"
+)
+
+// SamplerConfig configures a Sampler. The zero value is usable: 1s
+// interval, no registry (snapshot-only).
+type SamplerConfig struct {
+	// Interval between samples; default 1s.
+	Interval time.Duration
+	// Registry, when non-nil, receives the phi_runtime_* gauge family.
+	Registry *telemetry.Registry
+}
+
+// Quantiles summarizes one runtime histogram over the last sampling
+// interval (delta, not process-lifetime cumulative — the operator wants
+// "is GC hurting *now*").
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_s"`
+	P90   float64 `json:"p90_s"`
+	P99   float64 `json:"p99_s"`
+	Max   float64 `json:"max_s"`
+}
+
+// ResourceSnapshot is what /debug/resources serves: the most recent
+// sample of runtime health plus any attached wire counter sets.
+type ResourceSnapshot struct {
+	At        string  `json:"at"`
+	UptimeS   float64 `json:"uptime_s"`
+	IntervalS float64 `json:"interval_s"`
+	GoVersion string  `json:"go_version"`
+	NumCPU    int     `json:"num_cpu"`
+
+	Goroutines       int64   `json:"goroutines"`
+	HeapLiveBytes    uint64  `json:"heap_live_bytes"`
+	HeapObjects      uint64  `json:"heap_objects"`
+	TotalAllocBytes  uint64  `json:"total_alloc_bytes"`
+	TotalAllocObjs   uint64  `json:"total_alloc_objects"`
+	GCCycles         uint64  `json:"gc_cycles"`
+	MutexWaitSeconds float64 `json:"mutex_wait_seconds"`
+
+	// Rates over the last interval.
+	AllocsPerSec     float64 `json:"allocs_per_sec"`
+	AllocBytesPerSec float64 `json:"alloc_bytes_per_sec"`
+
+	GCPause      Quantiles `json:"gc_pause"`
+	SchedLatency Quantiles `json:"sched_latency"`
+
+	// Wire holds named WireCounters snapshots (e.g. "server").
+	Wire map[string]WireSnapshot `json:"wire,omitempty"`
+}
+
+// Sampler periodically reads runtime/metrics, publishes phi_runtime_*
+// gauges, retains the latest ResourceSnapshot for /debug/resources, and
+// runs registered collect hooks (e.g. WireCounters.Publish refreshers)
+// at the same cadence. All methods are nil-safe.
+type Sampler struct {
+	cfg       SamplerConfig
+	startedAt time.Time
+
+	mu       sync.Mutex
+	wires    []namedWire
+	collects []func()
+	prev     rawSample
+	havePrev bool
+	stopCh   chan struct{}
+	stopOnce sync.Once
+
+	snap atomic.Pointer[ResourceSnapshot]
+
+	g struct {
+		goroutines, heapLive, heapObjects     *telemetry.Gauge
+		allocsPerSec, allocBytesPerSec        *telemetry.Gauge
+		gcCycles, mutexWait                   *telemetry.Gauge
+		gcPauseP50, gcPauseP99, gcPauseMax    *telemetry.Gauge
+		schedLatP50, schedLatP99, schedLatMax *telemetry.Gauge
+	}
+}
+
+type namedWire struct {
+	name string
+	w    *WireCounters
+}
+
+type rawSample struct {
+	at          time.Time
+	allocBytes  uint64
+	allocObjs   uint64
+	heapLive    uint64
+	heapObjects uint64
+	goroutines  int64
+	gcCycles    uint64
+	mutexWait   float64
+	gcPauses    *metrics.Float64Histogram
+	schedLat    *metrics.Float64Histogram
+}
+
+// NewSampler builds a sampler (not yet running; Start it, or rely on
+// Snapshot's on-demand sampling).
+func NewSampler(cfg SamplerConfig) *Sampler {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	s := &Sampler{cfg: cfg, startedAt: time.Now(), stopCh: make(chan struct{})}
+	if reg := cfg.Registry; reg != nil {
+		s.g.goroutines = reg.Gauge("phi_runtime_goroutines", "live goroutines", nil)
+		s.g.heapLive = reg.Gauge("phi_runtime_heap_live_bytes", "bytes of live heap objects", nil)
+		s.g.heapObjects = reg.Gauge("phi_runtime_heap_objects", "live heap objects", nil)
+		s.g.allocsPerSec = reg.Gauge("phi_runtime_allocs_per_sec", "heap objects allocated per second (last interval)", nil)
+		s.g.allocBytesPerSec = reg.Gauge("phi_runtime_alloc_bytes_per_sec", "heap bytes allocated per second (last interval)", nil)
+		s.g.gcCycles = reg.Gauge("phi_runtime_gc_cycles_total", "completed GC cycles", nil)
+		s.g.mutexWait = reg.Gauge("phi_runtime_mutex_wait_seconds_total", "cumulative time goroutines have blocked on mutexes", nil)
+		s.g.gcPauseP50 = reg.Gauge("phi_runtime_gc_pause_p50_seconds", "median GC stop-the-world pause (last interval)", nil)
+		s.g.gcPauseP99 = reg.Gauge("phi_runtime_gc_pause_p99_seconds", "p99 GC stop-the-world pause (last interval)", nil)
+		s.g.gcPauseMax = reg.Gauge("phi_runtime_gc_pause_max_seconds", "max GC stop-the-world pause (last interval)", nil)
+		s.g.schedLatP50 = reg.Gauge("phi_runtime_sched_latency_p50_seconds", "median goroutine scheduling latency (last interval)", nil)
+		s.g.schedLatP99 = reg.Gauge("phi_runtime_sched_latency_p99_seconds", "p99 goroutine scheduling latency (last interval)", nil)
+		s.g.schedLatMax = reg.Gauge("phi_runtime_sched_latency_max_seconds", "max goroutine scheduling latency (last interval)", nil)
+	}
+	return s
+}
+
+// SetWire attaches a named wire counter set; its snapshot is embedded in
+// every ResourceSnapshot under that name.
+func (s *Sampler) SetWire(name string, w *WireCounters) {
+	if s == nil || w == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.wires {
+		if s.wires[i].name == name {
+			s.wires[i].w = w
+			return
+		}
+	}
+	s.wires = append(s.wires, namedWire{name, w})
+}
+
+// AddCollect registers fn to run after each sample — the hook
+// WireCounters.Publish refreshers (and any other cheap periodic
+// exposition work) hang off.
+func (s *Sampler) AddCollect(fn func()) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.collects = append(s.collects, fn)
+	s.mu.Unlock()
+}
+
+// Start launches the sampling loop and returns a stop function
+// (idempotent). On a nil sampler it returns a no-op.
+func (s *Sampler) Start() func() {
+	if s == nil {
+		return func() {}
+	}
+	s.sample() // prime so the first tick has a delta base
+	go func() {
+		t := time.NewTicker(s.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.sample()
+			case <-s.stopCh:
+				return
+			}
+		}
+	}()
+	return func() { s.stopOnce.Do(func() { close(s.stopCh) }) }
+}
+
+// Snapshot returns the latest sample, taking one on demand if the loop
+// has not produced one yet. Nil-safe (returns a zero snapshot).
+func (s *Sampler) Snapshot() ResourceSnapshot {
+	if s == nil {
+		return ResourceSnapshot{}
+	}
+	if p := s.snap.Load(); p != nil {
+		return *p
+	}
+	s.sample()
+	if p := s.snap.Load(); p != nil {
+		return *p
+	}
+	return ResourceSnapshot{}
+}
+
+// sample reads the runtime, computes interval deltas, publishes gauges,
+// stores the snapshot, and runs collect hooks.
+func (s *Sampler) sample() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	cur := readRaw()
+	snap := ResourceSnapshot{
+		At:               cur.at.UTC().Format(time.RFC3339Nano),
+		UptimeS:          cur.at.Sub(s.startedAt).Seconds(),
+		IntervalS:        s.cfg.Interval.Seconds(),
+		GoVersion:        runtime.Version(),
+		NumCPU:           runtime.NumCPU(),
+		Goroutines:       cur.goroutines,
+		HeapLiveBytes:    cur.heapLive,
+		HeapObjects:      cur.heapObjects,
+		TotalAllocBytes:  cur.allocBytes,
+		TotalAllocObjs:   cur.allocObjs,
+		GCCycles:         cur.gcCycles,
+		MutexWaitSeconds: cur.mutexWait,
+	}
+	if s.havePrev {
+		dt := cur.at.Sub(s.prev.at).Seconds()
+		if dt > 0 {
+			snap.AllocsPerSec = float64(cur.allocObjs-s.prev.allocObjs) / dt
+			snap.AllocBytesPerSec = float64(cur.allocBytes-s.prev.allocBytes) / dt
+		}
+		snap.GCPause = histQuantiles(cur.gcPauses, s.prev.gcPauses)
+		snap.SchedLatency = histQuantiles(cur.schedLat, s.prev.schedLat)
+	}
+	if len(s.wires) > 0 {
+		snap.Wire = make(map[string]WireSnapshot, len(s.wires))
+		for _, nw := range s.wires {
+			snap.Wire[nw.name] = nw.w.Snapshot()
+		}
+	}
+	s.prev, s.havePrev = cur, true
+	s.snap.Store(&snap)
+
+	s.g.goroutines.Set(float64(snap.Goroutines))
+	s.g.heapLive.Set(float64(snap.HeapLiveBytes))
+	s.g.heapObjects.Set(float64(snap.HeapObjects))
+	s.g.allocsPerSec.Set(snap.AllocsPerSec)
+	s.g.allocBytesPerSec.Set(snap.AllocBytesPerSec)
+	s.g.gcCycles.Set(float64(snap.GCCycles))
+	s.g.mutexWait.Set(snap.MutexWaitSeconds)
+	s.g.gcPauseP50.Set(snap.GCPause.P50)
+	s.g.gcPauseP99.Set(snap.GCPause.P99)
+	s.g.gcPauseMax.Set(snap.GCPause.Max)
+	s.g.schedLatP50.Set(snap.SchedLatency.P50)
+	s.g.schedLatP99.Set(snap.SchedLatency.P99)
+	s.g.schedLatMax.Set(snap.SchedLatency.Max)
+
+	for _, fn := range s.collects {
+		fn()
+	}
+}
+
+// readRaw performs one batched runtime/metrics read.
+func readRaw() rawSample {
+	samples := []metrics.Sample{
+		{Name: mAllocBytes},
+		{Name: mAllocObjects},
+		{Name: mHeapLive},
+		{Name: mHeapObjects},
+		{Name: mGoroutines},
+		{Name: mGCCycles},
+		{Name: mMutexWait},
+		{Name: mGCPauses},
+		{Name: mSchedLat},
+	}
+	metrics.Read(samples)
+	r := rawSample{at: time.Now()}
+	for _, sm := range samples {
+		switch sm.Name {
+		case mAllocBytes:
+			r.allocBytes = u64(sm.Value)
+		case mAllocObjects:
+			r.allocObjs = u64(sm.Value)
+		case mHeapLive:
+			r.heapLive = u64(sm.Value)
+		case mHeapObjects:
+			r.heapObjects = u64(sm.Value)
+		case mGoroutines:
+			r.goroutines = int64(u64(sm.Value))
+		case mGCCycles:
+			r.gcCycles = u64(sm.Value)
+		case mMutexWait:
+			r.mutexWait = f64(sm.Value)
+		case mGCPauses:
+			r.gcPauses = cloneHist(sm.Value)
+		case mSchedLat:
+			r.schedLat = cloneHist(sm.Value)
+		}
+	}
+	return r
+}
+
+func u64(v metrics.Value) uint64 {
+	if v.Kind() == metrics.KindUint64 {
+		return v.Uint64()
+	}
+	return 0
+}
+
+func f64(v metrics.Value) float64 {
+	switch v.Kind() {
+	case metrics.KindFloat64:
+		return v.Float64()
+	case metrics.KindUint64:
+		return float64(v.Uint64())
+	}
+	return 0
+}
+
+// cloneHist copies a runtime histogram (the runtime reuses the buffers
+// between Read calls, so a retained previous sample must own its data).
+func cloneHist(v metrics.Value) *metrics.Float64Histogram {
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	h := v.Float64Histogram()
+	if h == nil {
+		return nil
+	}
+	return &metrics.Float64Histogram{
+		Counts:  append([]uint64(nil), h.Counts...),
+		Buckets: append([]float64(nil), h.Buckets...),
+	}
+}
+
+// histQuantiles summarizes cur-prev (prev may be nil: cumulative).
+// Quantile positions resolve to their bucket's upper bound (lower bound
+// for the +Inf bucket), matching the histogram's resolution.
+func histQuantiles(cur, prev *metrics.Float64Histogram) Quantiles {
+	var q Quantiles
+	if cur == nil {
+		return q
+	}
+	n := len(cur.Counts)
+	delta := make([]uint64, n)
+	copy(delta, cur.Counts)
+	if prev != nil && len(prev.Counts) == n {
+		for i := range delta {
+			delta[i] -= prev.Counts[i]
+		}
+	}
+	var total uint64
+	for _, c := range delta {
+		total += c
+	}
+	q.Count = total
+	if total == 0 {
+		return q
+	}
+	edge := func(i int) float64 {
+		// Buckets has len(Counts)+1 boundaries; bucket i spans
+		// [Buckets[i], Buckets[i+1]).
+		up := cur.Buckets[i+1]
+		if up > 1e300 || up != up { // +Inf or NaN upper edge
+			return cur.Buckets[i]
+		}
+		return up
+	}
+	at := func(p float64) float64 {
+		target := uint64(p * float64(total))
+		if target == 0 {
+			target = 1
+		}
+		var cum uint64
+		for i, c := range delta {
+			cum += c
+			if cum >= target {
+				return edge(i)
+			}
+		}
+		return edge(n - 1)
+	}
+	q.P50 = at(0.50)
+	q.P90 = at(0.90)
+	q.P99 = at(0.99)
+	for i := n - 1; i >= 0; i-- {
+		if delta[i] > 0 {
+			q.Max = edge(i)
+			break
+		}
+	}
+	return q
+}
+
+// AllocCounts reads the process-lifetime heap allocation counters in one
+// batched runtime/metrics read — the primitive a measurement window uses
+// to compute allocs/op as a delta around its run.
+func AllocCounts() (objects, bytes uint64) {
+	samples := []metrics.Sample{{Name: mAllocObjects}, {Name: mAllocBytes}}
+	metrics.Read(samples)
+	return u64(samples[0].Value), u64(samples[1].Value)
+}

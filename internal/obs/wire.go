@@ -1,0 +1,194 @@
+// Package obs is the resource-attribution layer: it makes *efficiency*
+// a first-class observable next to latency. Three instruments share the
+// package:
+//
+//   - WireCounters: all-atomic per-wire accounting (frames, conn-level
+//     read/write calls, bytes) whose frames-per-write-call "batching
+//     ratio" directly quantifies the syscall-amortization opportunity
+//     on the serving path.
+//   - Sampler: a periodic reader of runtime/metrics (GC pauses,
+//     scheduler latency, allocation rates, goroutines, mutex wait)
+//     exported as phi_runtime_* gauges and snapshotted at
+//     /debug/resources.
+//   - ProfileRing: a bounded on-disk ring of short CPU/heap captures,
+//     triggered periodically, on demand, or by health anomalies and
+//     knee detection, browsable at /debug/prof/ring.
+//
+// The paper's production stance is that measurement is on all the
+// time, not attached for a profiling session; the cost discipline here
+// matches the telemetry package's — atomics and nil-safe handles on
+// every hot path, so the instruments measuring overhead cost (almost)
+// nothing themselves.
+package obs
+
+import (
+	"net"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// WireCounters attributes work on one wire endpoint (a phiwire client's
+// connection pool, or a phiwire server across all its connections):
+// protocol frames read and written, conn-level Read/Write calls (on an
+// unbuffered TCP connection each is one read(2)/write(2) syscall), and
+// bytes moved. All fields are atomics; every method is nil-safe, so an
+// uninstrumented endpoint pays one nil check per touch.
+type WireCounters struct {
+	FramesRead    atomic.Uint64
+	FramesWritten atomic.Uint64
+	ReadCalls     atomic.Uint64
+	WriteCalls    atomic.Uint64
+	BytesRead     atomic.Uint64
+	BytesWritten  atomic.Uint64
+}
+
+// NewWireCounters returns a zeroed counter set.
+func NewWireCounters() *WireCounters { return &WireCounters{} }
+
+// FrameRead bumps the frames-read counter (nil-safe).
+func (w *WireCounters) FrameRead() {
+	if w == nil {
+		return
+	}
+	w.FramesRead.Add(1)
+}
+
+// FrameWritten bumps the frames-written counter (nil-safe).
+func (w *WireCounters) FrameWritten() {
+	if w == nil {
+		return
+	}
+	w.FramesWritten.Add(1)
+}
+
+// WireSnapshot is a consistent-enough point-in-time read of the
+// counters plus the derived per-syscall ratios. FramesPerWriteSyscall
+// is the batching ratio: 0.5 means two write syscalls per frame (header
+// + payload written separately), 1.0 means one write per frame, N > 1
+// means N frames amortized per syscall — the pipelining headroom.
+type WireSnapshot struct {
+	FramesRead    uint64 `json:"frames_read"`
+	FramesWritten uint64 `json:"frames_written"`
+	ReadSyscalls  uint64 `json:"read_syscalls"`
+	WriteSyscalls uint64 `json:"write_syscalls"`
+	BytesRead     uint64 `json:"bytes_read"`
+	BytesWritten  uint64 `json:"bytes_written"`
+
+	FramesPerWriteSyscall float64 `json:"frames_per_write_syscall"`
+	BytesPerWriteSyscall  float64 `json:"bytes_per_write_syscall"`
+	BytesPerReadSyscall   float64 `json:"bytes_per_read_syscall"`
+}
+
+// Snapshot reads the counters and computes the ratios. Nil-safe (a nil
+// receiver yields a zero snapshot).
+func (w *WireCounters) Snapshot() WireSnapshot {
+	if w == nil {
+		return WireSnapshot{}
+	}
+	s := WireSnapshot{
+		FramesRead:    w.FramesRead.Load(),
+		FramesWritten: w.FramesWritten.Load(),
+		ReadSyscalls:  w.ReadCalls.Load(),
+		WriteSyscalls: w.WriteCalls.Load(),
+		BytesRead:     w.BytesRead.Load(),
+		BytesWritten:  w.BytesWritten.Load(),
+	}
+	s.derive()
+	return s
+}
+
+// Sub returns the delta snapshot s - prev with ratios recomputed over
+// the delta — the form a measurement window (a saturation ramp step)
+// wants.
+func (s WireSnapshot) Sub(prev WireSnapshot) WireSnapshot {
+	d := WireSnapshot{
+		FramesRead:    s.FramesRead - prev.FramesRead,
+		FramesWritten: s.FramesWritten - prev.FramesWritten,
+		ReadSyscalls:  s.ReadSyscalls - prev.ReadSyscalls,
+		WriteSyscalls: s.WriteSyscalls - prev.WriteSyscalls,
+		BytesRead:     s.BytesRead - prev.BytesRead,
+		BytesWritten:  s.BytesWritten - prev.BytesWritten,
+	}
+	d.derive()
+	return d
+}
+
+func (s *WireSnapshot) derive() {
+	if s.WriteSyscalls > 0 {
+		s.FramesPerWriteSyscall = float64(s.FramesWritten) / float64(s.WriteSyscalls)
+		s.BytesPerWriteSyscall = float64(s.BytesWritten) / float64(s.WriteSyscalls)
+	}
+	if s.ReadSyscalls > 0 {
+		s.BytesPerReadSyscall = float64(s.BytesRead) / float64(s.ReadSyscalls)
+	}
+}
+
+// countingConn wraps a net.Conn, attributing every Read/Write call and
+// its bytes to a WireCounters. On an unbuffered TCP conn each call maps
+// to one syscall, so the call counters are the syscall attribution the
+// batching ratio divides by.
+type countingConn struct {
+	net.Conn
+	w *WireCounters
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.w.ReadCalls.Add(1)
+	c.w.BytesRead.Add(uint64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.w.WriteCalls.Add(1)
+	c.w.BytesWritten.Add(uint64(n))
+	return n, err
+}
+
+// CountConn wraps conn so its Read/Write calls are attributed to w.
+// With a nil w (or conn) the conn is returned unwrapped, so callers can
+// wire unconditionally.
+func CountConn(conn net.Conn, w *WireCounters) net.Conn {
+	if w == nil || conn == nil {
+		return conn
+	}
+	return countingConn{Conn: conn, w: w}
+}
+
+// Publish registers the counter set on reg under prefix (e.g.
+// "phiwire_server_wire" yields phiwire_server_wire_frames_read_total
+// ... plus the two ratio gauges) and returns a collect function that
+// refreshes the registered series from the live atomics — hand it to
+// Sampler.AddCollect so exposition tracks the wire at the sampling
+// cadence. A nil registry returns a no-op collect.
+func (w *WireCounters) Publish(reg *telemetry.Registry, prefix string) func() {
+	if reg == nil || w == nil {
+		return func() {}
+	}
+	var (
+		framesRead    = reg.Counter(prefix+"_frames_read_total", "protocol frames read", nil)
+		framesWritten = reg.Counter(prefix+"_frames_written_total", "protocol frames written", nil)
+		readCalls     = reg.Counter(prefix+"_read_syscalls_total", "conn-level read calls (≈ read(2) syscalls)", nil)
+		writeCalls    = reg.Counter(prefix+"_write_syscalls_total", "conn-level write calls (≈ write(2) syscalls)", nil)
+		bytesRead     = reg.Counter(prefix+"_read_bytes_total", "bytes read off the wire", nil)
+		bytesWritten  = reg.Counter(prefix+"_written_bytes_total", "bytes written to the wire", nil)
+		framesPer     = reg.Gauge(prefix+"_frames_per_write_syscall", "batching ratio: frames written per write syscall (1/N syscalls per frame)", nil)
+		bytesPer      = reg.Gauge(prefix+"_bytes_per_write_syscall", "mean payload per write syscall", nil)
+	)
+	var last WireSnapshot
+	return func() {
+		cur := w.Snapshot()
+		d := cur.Sub(last)
+		last = cur
+		framesRead.Add(d.FramesRead)
+		framesWritten.Add(d.FramesWritten)
+		readCalls.Add(d.ReadSyscalls)
+		writeCalls.Add(d.WriteSyscalls)
+		bytesRead.Add(d.BytesRead)
+		bytesWritten.Add(d.BytesWritten)
+		framesPer.Set(cur.FramesPerWriteSyscall)
+		bytesPer.Set(cur.BytesPerWriteSyscall)
+	}
+}

@@ -1,0 +1,57 @@
+package phi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Allocation regression gates for the state-plane hot path — the
+// measured starting line for the ROADMAP's zero-alloc drive. Lookup is
+// already allocation-free at steady state; a start/end lifecycle pair
+// costs one amortized allocation (slice growth in the per-path report
+// window). Ceilings, enforced by the CI alloc-gate step: tighten them
+// as the paths improve, never loosen without a recorded reason.
+func TestAllocsServerHotPath(t *testing.T) {
+	srv := NewServer(func() sim.Time { return sim.Time(time.Now().UnixNano()) }, ServerConfig{})
+	srv.RegisterPath("p", 1_000_000)
+	report := Report{
+		Bytes:    1 << 20,
+		Duration: 1200 * sim.Millisecond,
+		AvgRTT:   40 * sim.Millisecond,
+		MinRTT:   31 * sim.Millisecond,
+		LossRate: 0.002,
+	}
+	// Warm to steady state: path registered, report window populated,
+	// slices at their working capacity.
+	for i := 0; i < 200; i++ {
+		if err := srv.ReportStart("p"); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.ReportEnd("p", report); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := testing.AllocsPerRun(1000, func() {
+		if _, err := srv.Lookup("p"); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("Lookup = %.1f allocs/op, pinned max 0 — efficiency regression", got)
+	}
+
+	if got := testing.AllocsPerRun(1000, func() {
+		if err := srv.ReportStart("p"); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.ReportEnd("p", report); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 1 {
+		t.Errorf("ReportStart+ReportEnd pair = %.1f allocs/op, pinned max 1 — efficiency regression", got)
+	} else {
+		t.Logf("start+end pair: %.1f allocs/op (pin 1)", got)
+	}
+}

@@ -1,0 +1,53 @@
+package phiwire
+
+import (
+	"testing"
+
+	"repro/internal/phi"
+	"repro/internal/sim"
+)
+
+// Allocation regression gates for the wire codec: the measured starting
+// line for the zero-alloc drive the ROADMAP names. Each pin is a
+// ceiling — beating it is progress (tighten the pin when you do),
+// exceeding it fails CI via the alloc-gate step.
+//
+// Starting line (go1.24, this container):
+//
+//	encodeLookup       3 allocs/op
+//	encodeReportStart  3
+//	encodeReport       5
+//	encodeContext      2
+//	decodeReportEnd    1 (the path-string copy)
+//	decodeContext      0
+func TestAllocsCodec(t *testing.T) {
+	report := benchReport
+	ctx := phi.Context{U: 0.73, Q: 9 * sim.Millisecond, N: 17}
+	reportPayload, err := encodeReport(MsgReportEnd, "us-east/eu-west", report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxPayload := encodeContext(ctx)
+
+	cases := []struct {
+		name string
+		max  float64
+		fn   func()
+	}{
+		{"encodeLookup", 3, func() { encodeLookup("us-east/eu-west") }},
+		{"encodeReportStart", 3, func() { encodeReportStart("us-east/eu-west") }},
+		{"encodeReport", 5, func() { encodeReport(MsgReportEnd, "us-east/eu-west", report) }},
+		{"encodeContext", 2, func() { encodeContext(ctx) }},
+		{"decodeReportEnd", 1, func() { decodeReportEnd(reportPayload[1:]) }},
+		{"decodeContext", 0, func() { decodeContext(ctxPayload[1:]) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := testing.AllocsPerRun(500, tc.fn)
+			if got > tc.max {
+				t.Errorf("%s = %.1f allocs/op, pinned max %.0f — efficiency regression", tc.name, got, tc.max)
+			}
+			t.Logf("%s: %.1f allocs/op (pin %.0f)", tc.name, got, tc.max)
+		})
+	}
+}

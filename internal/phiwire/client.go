@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/phi"
 	"repro/internal/trace"
 )
@@ -66,6 +67,11 @@ type Client struct {
 	// capability at dial time (see connTraced).
 	tracer *trace.Tracer
 
+	// wire is the optional resource-attribution surface: frames, conn
+	// Read/Write calls (≈ syscalls), and bytes (nil = unaccounted). Set
+	// before first use; connections dialed afterwards are counted.
+	wire *obs.WireCounters
+
 	mu     sync.Mutex
 	conn   net.Conn
 	closed bool
@@ -102,6 +108,11 @@ func (c *Client) SetMetrics(m *ClientMetrics) { c.metrics = m }
 // SetTracer attaches (or detaches, with nil) the span tracer. Call
 // before the client is shared across goroutines.
 func (c *Client) SetTracer(t *trace.Tracer) { c.tracer = t }
+
+// SetWire attaches (or detaches, with nil) the wire accounting counters.
+// Call before the client is shared across goroutines. One counter set
+// may be shared by many clients to account a whole pool.
+func (c *Client) SetWire(w *obs.WireCounters) { c.wire = w }
 
 // Close tears down the connection and marks the client closed; any
 // later request fails with net.ErrClosed instead of reconnecting.
@@ -151,7 +162,7 @@ func (c *Client) lockedRoundTrip(sc trace.SpanContext, req []byte) ([]byte, erro
 			dsp.End(err)
 			return nil, err
 		}
-		c.conn = conn
+		c.conn = obs.CountConn(conn, c.wire)
 		c.metrics.DialsInc()
 		if c.tracer != nil {
 			if err := c.negotiate(); err != nil {
@@ -182,6 +193,7 @@ func (c *Client) lockedRoundTrip(sc trace.SpanContext, req []byte) ([]byte, erro
 		c.drop()
 		return nil, werr
 	}
+	c.wire.FrameWritten()
 	if st != nil {
 		now := time.Now()
 		st.Observe(stClientWrite, now.Sub(t0))
@@ -192,6 +204,7 @@ func (c *Client) lockedRoundTrip(sc trace.SpanContext, req []byte) ([]byte, erro
 		c.drop()
 		return nil, err
 	}
+	c.wire.FrameRead()
 	if st != nil {
 		st.Observe(stClientAwait, time.Since(t0))
 	}
@@ -210,10 +223,12 @@ func (c *Client) negotiate() error {
 	if err := writeFrame(c.conn, encodeHello(MsgHello, ProtocolVersion, CapTrace)); err != nil {
 		return err
 	}
+	c.wire.FrameWritten()
 	resp, err := readFrame(c.conn)
 	if err != nil {
 		return err
 	}
+	c.wire.FrameRead()
 	if len(resp) > 0 && resp[0] == MsgHelloAck {
 		if _, caps, derr := decodeHello(resp[1:]); derr == nil && caps&CapTrace != 0 {
 			c.connTraced = true

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	healthmon "repro/internal/health"
+	"repro/internal/obs"
 	"repro/internal/phi"
 	"repro/internal/trace"
 )
@@ -93,6 +94,11 @@ type Server struct {
 	// live health monitor (nil = unmonitored; Record methods are
 	// nil-safe). Set before Serve.
 	health *healthmon.Monitor
+
+	// wire aggregates resource attribution across all connections:
+	// frames, conn Read/Write calls (≈ syscalls), and bytes (nil =
+	// unaccounted). Set before Serve.
+	wire *obs.WireCounters
 }
 
 // SetMetrics attaches (or detaches, with nil) the telemetry surface.
@@ -108,6 +114,13 @@ func (s *Server) SetTracer(t *trace.Tracer) { s.tracer = t }
 // SetHealth attaches (or detaches, with nil) the live health monitor.
 // Call before Serve.
 func (s *Server) SetHealth(m *healthmon.Monitor) { s.health = m }
+
+// SetWire attaches (or detaches, with nil) the wire accounting counters,
+// aggregated over every connection. Call before Serve.
+func (s *Server) SetWire(w *obs.WireCounters) { s.wire = w }
+
+// Wire returns the attached wire counters (nil if unaccounted).
+func (s *Server) Wire() *obs.WireCounters { return s.wire }
 
 // NewServer wraps backend for network service. logf, if non-nil, receives
 // connection-level errors; nil discards them.
@@ -217,14 +230,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.health.RecordConn(-1)
 		s.wg.Done()
 	}()
+	// rw is the accounted view of the connection (conn itself when no
+	// wire counters are attached); close/bookkeeping stays on conn.
+	rw := obs.CountConn(conn, s.wire)
 	for {
-		payload, err := readFrame(conn)
+		payload, err := readFrame(rw)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("phiwire: read from %v: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
+		s.wire.FrameRead()
 		var start time.Time
 		if m != nil {
 			start = time.Now()
@@ -238,10 +255,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		if st != nil {
 			w0 = time.Now()
 		}
-		if err := writeFrame(conn, resp); err != nil {
+		if err := writeFrame(rw, resp); err != nil {
 			s.logf("phiwire: write to %v: %v", conn.RemoteAddr(), err)
 			return
 		}
+		s.wire.FrameWritten()
 		if st != nil {
 			st.Observe(stServerWrite, time.Since(w0))
 		}

@@ -1,0 +1,103 @@
+package phiwire
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/phi"
+	"repro/internal/sim"
+)
+
+// TestWireAccounting pins the wire-resource model end to end: with
+// counters attached on both halves, N lifecycles account exactly 3N
+// frames each way, and today's writeFrame (header write + payload
+// write) yields a batching ratio of exactly 0.5 frames per write
+// syscall on both sides — the number the syscall-amortization work is
+// chartered to raise.
+func TestWireAccounting(t *testing.T) {
+	srv, backend, addr := startServer(t)
+	backend.RegisterPath("p", 1_000_000)
+	sw := obs.NewWireCounters()
+	srv.SetWire(sw)
+	if srv.Wire() != sw {
+		t.Fatal("Wire() should return the attached counters")
+	}
+
+	cw := obs.NewWireCounters()
+	c := Dial(addr, time.Second)
+	c.SetWire(cw)
+	defer c.Close()
+
+	const lifecycles = 5
+	for i := 0; i < lifecycles; i++ {
+		if err := c.ReportStart("p"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ReportEnd("p", phi.Report{Bytes: 1 << 16, Duration: sim.Second, AvgRTT: 40 * sim.Millisecond, MinRTT: 30 * sim.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Lookup("p"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cs := cw.Snapshot()
+	wantFrames := uint64(3 * lifecycles)
+	if cs.FramesWritten != wantFrames || cs.FramesRead != wantFrames {
+		t.Errorf("client frames w/r = %d/%d, want %d/%d", cs.FramesWritten, cs.FramesRead, wantFrames, wantFrames)
+	}
+	if cs.WriteSyscalls != 2*wantFrames {
+		t.Errorf("client write syscalls = %d, want %d (2 per frame today)", cs.WriteSyscalls, 2*wantFrames)
+	}
+	if cs.FramesPerWriteSyscall != 0.5 {
+		t.Errorf("client batching ratio = %v, want 0.5", cs.FramesPerWriteSyscall)
+	}
+	if cs.BytesWritten == 0 || cs.BytesRead == 0 {
+		t.Errorf("client bytes w/r = %d/%d, want > 0", cs.BytesWritten, cs.BytesRead)
+	}
+
+	// The server handler runs async of the client's last read; the
+	// response write completes before the client sees the frame, so by
+	// the time Lookup returned everything is accounted — but give the
+	// final FrameWritten bump (after writeFrame returns) a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	var ss obs.WireSnapshot
+	for time.Now().Before(deadline) {
+		ss = sw.Snapshot()
+		if ss.FramesWritten == wantFrames {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ss.FramesRead != wantFrames || ss.FramesWritten != wantFrames {
+		t.Errorf("server frames r/w = %d/%d, want %d/%d", ss.FramesRead, ss.FramesWritten, wantFrames, wantFrames)
+	}
+	if ss.WriteSyscalls != 2*wantFrames {
+		t.Errorf("server write syscalls = %d, want %d (2 per frame today)", ss.WriteSyscalls, 2*wantFrames)
+	}
+	if ss.FramesPerWriteSyscall != 0.5 {
+		t.Errorf("server batching ratio = %v, want 0.5", ss.FramesPerWriteSyscall)
+	}
+	// Conservation: what the client put on the wire is what the server
+	// took off it, byte for byte.
+	if ss.BytesRead != cs.BytesWritten || cs.BytesRead != ss.BytesWritten {
+		t.Errorf("byte conservation: server read %d vs client wrote %d; client read %d vs server wrote %d",
+			ss.BytesRead, cs.BytesWritten, cs.BytesRead, ss.BytesWritten)
+	}
+}
+
+// TestWireAccountingOffByDefault: with no counters attached nothing is
+// accounted and nothing breaks — the nil path is the production default.
+func TestWireAccountingOffByDefault(t *testing.T) {
+	srv, backend, addr := startServer(t)
+	backend.RegisterPath("p", 1_000_000)
+	c := Dial(addr, time.Second)
+	defer c.Close()
+	if _, err := c.Lookup("p"); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Wire() != nil {
+		t.Fatal("wire counters attached by default")
+	}
+}

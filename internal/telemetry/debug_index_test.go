@@ -73,6 +73,73 @@ func TestDebugIndex(t *testing.T) {
 	httpGet(t, base+"/debug/custom", http.StatusOK)
 }
 
+// TestDebugIndexComplete pins the no-unlisted-routes invariant: the
+// /debug/ index must list EXACTLY the set of routes mounted on the mux
+// (Serve's single route table feeds both, so a new endpoint cannot
+// silently go unlisted), and every listed route must actually answer.
+// The extras mirror the daemons' observatory endpoints.
+func TestDebugIndexComplete(t *testing.T) {
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok")) })
+	ms, err := Serve("127.0.0.1:0", NewRegistry(),
+		Endpoint{Path: "/debug/resources", Handler: ok, Desc: "runtime + wire resource snapshot"},
+		Endpoint{Path: "/debug/prof/ring", Handler: ok, Desc: "rolling CPU/heap profile ring"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	base := "http://" + ms.Addr().String()
+
+	resp, err := http.Get(base + "/debug/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Endpoints []struct {
+			Path string `json:"path"`
+		} `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	listed := map[string]bool{}
+	for _, e := range doc.Endpoints {
+		listed[e.Path] = true
+	}
+	mounted := ms.Routes()
+	if len(listed) != len(mounted) {
+		t.Fatalf("index lists %d routes, mux mounts %d: %v vs %v", len(listed), len(mounted), listed, mounted)
+	}
+	for _, route := range mounted {
+		if !listed[route] {
+			t.Errorf("mounted route %s missing from /debug/ index", route)
+		}
+	}
+	for _, want := range []string{"/debug/resources", "/debug/prof/ring"} {
+		if !listed[want] {
+			t.Errorf("observatory endpoint %s not listed", want)
+		}
+	}
+	// Every listed route answers something other than the index's 404.
+	// (/debug/pprof/profile and /trace block for a sampling window, so
+	// probe everything else.)
+	for _, route := range mounted {
+		if route == "/debug/pprof/profile" || route == "/debug/pprof/trace" {
+			continue
+		}
+		r2, err := http.Get(base + route)
+		if err != nil {
+			t.Fatalf("GET %s: %v", route, err)
+		}
+		io.Copy(io.Discard, r2.Body)
+		r2.Body.Close()
+		if r2.StatusCode == http.StatusNotFound {
+			t.Errorf("listed route %s answers 404", route)
+		}
+	}
+}
+
 // httpGet fetches url, asserts the status, and returns the body.
 func httpGet(t *testing.T, url string, wantStatus int) string {
 	t.Helper()

@@ -138,8 +138,9 @@ func (r *Registry) ExemplarsHandler() http.Handler {
 
 // MetricsServer is a running exposition endpoint.
 type MetricsServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln     net.Listener
+	srv    *http.Server
+	routes []string
 }
 
 // Endpoint mounts an extra handler on the metrics server — how the
@@ -163,23 +164,28 @@ func Serve(addr string, reg *Registry, extra ...Endpoint) (*MetricsServer, error
 	if err != nil {
 		return nil, err
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	mux.Handle("/debug/exemplars", reg.ExemplarsHandler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	entries := []debugEntry{
-		{Path: "/metrics", Desc: "Prometheus text exposition of every registered metric"},
-		{Path: "/debug/exemplars", Desc: "histogram bucket → newest trace ID links"},
-		{Path: "/debug/pprof/", Desc: "CPU, heap, goroutine, and runtime profiles"},
+	// One table drives BOTH mux registration and the /debug/ index, so a
+	// route cannot be mounted without being listed (and the index-
+	// completeness test holds by construction for built-ins and extras
+	// alike).
+	routes := []Endpoint{
+		{Path: "/metrics", Handler: reg.Handler(), Desc: "Prometheus text exposition of every registered metric"},
+		{Path: "/debug/exemplars", Handler: reg.ExemplarsHandler(), Desc: "histogram bucket → newest trace ID links"},
+		{Path: "/debug/pprof/", Handler: http.HandlerFunc(pprof.Index), Desc: "CPU, heap, goroutine, and runtime profiles"},
+		{Path: "/debug/pprof/cmdline", Handler: http.HandlerFunc(pprof.Cmdline), Desc: "process command line"},
+		{Path: "/debug/pprof/profile", Handler: http.HandlerFunc(pprof.Profile), Desc: "CPU profile (?seconds=N)"},
+		{Path: "/debug/pprof/symbol", Handler: http.HandlerFunc(pprof.Symbol), Desc: "symbol lookup for profile addresses"},
+		{Path: "/debug/pprof/trace", Handler: http.HandlerFunc(pprof.Trace), Desc: "runtime execution trace (?seconds=N)"},
 	}
+	routes = append(routes, extra...)
+	mux := http.NewServeMux()
+	entries := make([]debugEntry, 0, len(routes))
+	paths := make([]string, 0, len(routes))
 	indexFree := true
-	for _, e := range extra {
+	for _, e := range routes {
 		mux.Handle(e.Path, e.Handler)
 		entries = append(entries, debugEntry{Path: e.Path, Desc: e.Desc})
+		paths = append(paths, e.Path)
 		if e.Path == "/debug/" {
 			indexFree = false
 		}
@@ -194,11 +200,18 @@ func Serve(addr string, reg *Registry, extra ...Endpoint) (*MetricsServer, error
 	mux.Handle("/", reg.Handler())
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
-	return &MetricsServer{ln: ln, srv: srv}, nil
+	return &MetricsServer{ln: ln, srv: srv, routes: paths}, nil
 }
 
 // Addr returns the bound address.
 func (m *MetricsServer) Addr() net.Addr { return m.ln.Addr() }
+
+// Routes returns every path explicitly mounted on the metrics mux — by
+// construction, exactly the set the /debug/ index lists (the "/" and
+// "/debug/" catch-alls are implementation detail, not routes).
+func (m *MetricsServer) Routes() []string {
+	return append([]string(nil), m.routes...)
+}
 
 // Close stops the endpoint.
 func (m *MetricsServer) Close() error { return m.srv.Close() }
