@@ -71,6 +71,7 @@ saturate:
 		-profile-prefix results/BENCH_saturation \
 		-stages-url http://127.0.0.1:7732/debug/stages \
 		-resources-url http://127.0.0.1:7732/debug/resources \
+		-context-url http://127.0.0.1:7732/debug/context \
 		-out BENCH_saturation.json
 
 # CI-scale saturation smoke (~20s): a short coarse ramp that must still
@@ -86,6 +87,7 @@ saturate-smoke:
 		-paths 64 -skew zipf -seed 42 \
 		-stages-url http://127.0.0.1:7732/debug/stages \
 		-resources-url http://127.0.0.1:7732/debug/resources \
+		-context-url http://127.0.0.1:7732/debug/context \
 		-out /tmp/phi_saturation_smoke.json
 
 # Gate a candidate result against the committed baseline. Smoke runs on
@@ -96,7 +98,8 @@ saturate-smoke:
 NEW ?= /tmp/phi_saturation_smoke.json
 bench-diff:
 	$(GO) run ./cmd/phi-bench-diff -old BENCH_saturation.json -new $(NEW) \
-		-tol-rate 0.6 -tol-latency 4.0 -tol-eff 0.5 -require-knee -min-rate 2000
+		-tol-rate 0.6 -tol-latency 4.0 -tol-eff 0.5 -tol-quality 0.5 \
+		-require-knee -min-rate 2000
 
 # Zero-alloc regression gate: the pinned allocs/op tests for the
 # phi.Server hot path and the phiwire codec (TestAllocs* in

@@ -14,15 +14,17 @@ const (
 )
 
 // toleranceClass buckets metrics by how noisy they are, so one flag per
-// bucket: throughput rates, latency quantiles, and per-op efficiency
+// bucket: throughput rates, latency quantiles, per-op efficiency
 // (allocs/op, frames/syscall — near-deterministic, so their tolerance
-// can be much tighter than latency's).
+// can be much tighter than latency's), and context quality (coverage
+// fraction and prediction error at the knee).
 type toleranceClass int
 
 const (
 	rateClass toleranceClass = iota
 	latencyClass
 	effClass
+	qualityClass
 )
 
 // options are the gate's tolerances and extra requirements.
@@ -30,6 +32,7 @@ type options struct {
 	TolRate     float64 // allowed fractional drop for rate-class metrics
 	TolLatency  float64 // allowed fractional rise for latency-class metrics
 	TolEff      float64 // allowed fractional worsening for efficiency-class metrics
+	TolQuality  float64 // allowed fractional worsening for context-quality metrics
 	RequireKnee bool
 	MinRate     float64
 }
@@ -41,6 +44,8 @@ func (o options) tol(c toleranceClass) float64 {
 		return o.TolRate
 	case effClass:
 		return o.TolEff
+	case qualityClass:
+		return o.TolQuality
 	default:
 		return o.TolLatency
 	}
@@ -216,6 +221,14 @@ func metricSpecs(kind string) []metricSpec {
 			// near-deterministic per build, so the class default is tight.
 			{"knee.allocs_per_op", []string{"knee", "allocs_per_op"}, lowerBetter, effClass},
 			{"knee.frames_per_syscall", []string{"knee", "frames_per_syscall"}, higherBetter, effClass},
+			// Context quality at the knee (present when the ramp ran with
+			// -context-url): the fraction of knee-step lookups served from
+			// fresh evidence may not fall, and the paired-RTT p90 absolute
+			// error may not rise, past -tol-quality. Absent on either side
+			// (pre-quality baselines, ramps run without the endpoint) they
+			// are skipped like any other missing metric.
+			{"knee.coverage_fresh_frac", []string{"knee", "coverage_fresh_frac"}, higherBetter, qualityClass},
+			{"knee.rtt_abs_err_p90", []string{"knee", "rtt_abs_err_p90"}, lowerBetter, qualityClass},
 		}
 	case "loadgen":
 		return []metricSpec{

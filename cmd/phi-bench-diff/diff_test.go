@@ -21,7 +21,8 @@ const satFixture = `{
 	"tool": "phi-load",
 	"max_sustainable_rate": 20000,
 	"knee": {"found": true, "rate": 20000, "p99_us": 1500, "baseline_p99_us": 900,
-		"allocs_per_op": 40, "frames_per_syscall": 0.5}
+		"allocs_per_op": 40, "frames_per_syscall": 0.5,
+		"coverage_fresh_frac": 0.95, "rtt_abs_err_p90": 2500}
 }`
 
 const loadFixture = `{
@@ -36,7 +37,9 @@ const loadFixture = `{
 	}
 }`
 
-func defaults() options { return options{TolRate: 0.10, TolLatency: 0.25, TolEff: 0.25} }
+func defaults() options {
+	return options{TolRate: 0.10, TolLatency: 0.25, TolEff: 0.25, TolQuality: 0.5}
+}
 
 func TestIdenticalDocsPass(t *testing.T) {
 	for _, s := range []string{satFixture, loadFixture} {
@@ -167,6 +170,71 @@ func TestEfficiencyUsesOwnTolerance(t *testing.T) {
 		if r.Name == "knee.p99_us" && r.Regressed {
 			t.Fatal("latency metric judged by the efficiency tolerance")
 		}
+	}
+}
+
+func TestQualityRegressionFails(t *testing.T) {
+	// Injected context-quality regressions: coverage collapsing to zero
+	// (the classic wiring break — quality hooks disconnected) and the
+	// paired-RTT error blowing up must each trip the -tol-quality gate
+	// even with rate, latency, and efficiency untouched.
+	cov := doc(t, satFixture)
+	cov["knee"].(map[string]any)["coverage_fresh_frac"] = 0.0
+	rep, err := compare(doc(t, satFixture), cov, defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.failed() {
+		t.Fatal("zeroed coverage fresh fraction passed a 50% quality gate")
+	}
+
+	acc := doc(t, satFixture)
+	acc["knee"].(map[string]any)["rtt_abs_err_p90"] = 25000.0 // 10x
+	rep, err = compare(doc(t, satFixture), acc, defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.failed() {
+		t.Fatal("10x RTT p90 error passed a 50% quality gate")
+	}
+}
+
+func TestQualityUsesOwnToleranceAndSkipsWhenAbsent(t *testing.T) {
+	// The class is an independent knob: a tight -tol-quality must bite
+	// without the efficiency tolerance moving.
+	opts := defaults()
+	opts.TolQuality = 0.01
+	cand := doc(t, satFixture)
+	cand["knee"].(map[string]any)["coverage_fresh_frac"] = 0.85 // -10.5% vs 1% tol
+	rep, err := compare(doc(t, satFixture), cand, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.failed() {
+		t.Fatal("10% coverage drop passed a 1% -tol-quality gate")
+	}
+	for _, r := range rep.Rows {
+		if r.Name == "knee.allocs_per_op" && r.Regressed {
+			t.Fatal("efficiency metric judged by the quality tolerance")
+		}
+	}
+
+	// Pre-quality baselines (no coverage fields) keep gating everything
+	// else: the quality rows are skipped, not failed.
+	old := doc(t, satFixture)
+	delete(old["knee"].(map[string]any), "coverage_fresh_frac")
+	delete(old["knee"].(map[string]any), "rtt_abs_err_p90")
+	rep, err = compare(old, doc(t, satFixture), defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.Name == "knee.coverage_fresh_frac" || r.Name == "knee.rtt_abs_err_p90" {
+			t.Fatalf("gated a quality metric absent from the baseline: %s", r.Name)
+		}
+	}
+	if rep.failed() {
+		t.Fatal("absent quality metrics caused a failure")
 	}
 }
 

@@ -8,7 +8,9 @@
 // -tol-rate below the old; latency metrics regress when the new value
 // climbs more than -tol-latency above the old; per-op efficiency
 // metrics (allocs/op, frames per write syscall) regress when they
-// worsen past -tol-eff. Error counts regress on any increase beyond the
+// worsen past -tol-eff; context-quality metrics (knee coverage fresh
+// fraction, paired-RTT p90 error) regress when they worsen past
+// -tol-quality. Error counts regress on any increase beyond the
 // latency tolerance. Improvements are reported but never fail the run.
 //
 // Usage:
@@ -34,6 +36,7 @@ func main() {
 		tolRate     = flag.Float64("tol-rate", 0.10, "allowed fractional drop in throughput metrics (0.10 = -10%)")
 		tolLatency  = flag.Float64("tol-latency", 0.25, "allowed fractional rise in latency metrics (0.25 = +25%)")
 		tolEff      = flag.Float64("tol-eff", 0.25, "allowed fractional worsening in per-op efficiency metrics (allocs/op, frames/syscall)")
+		tolQuality  = flag.Float64("tol-quality", 0.5, "allowed fractional worsening in context-quality metrics (coverage fresh fraction, RTT p90 error)")
 		requireKnee = flag.Bool("require-knee", false, "fail unless the candidate saturation result found a knee")
 		minRate     = flag.Float64("min-rate", 0, "fail if the candidate's headline rate is below this floor (0 = off)")
 	)
@@ -42,7 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "phi-bench-diff: -old and -new are both required")
 		os.Exit(2)
 	}
-	if *tolRate < 0 || *tolLatency < 0 || *tolEff < 0 {
+	if *tolRate < 0 || *tolLatency < 0 || *tolEff < 0 || *tolQuality < 0 {
 		fmt.Fprintln(os.Stderr, "phi-bench-diff: tolerances must be >= 0")
 		os.Exit(2)
 	}
@@ -61,6 +64,7 @@ func main() {
 		TolRate:     *tolRate,
 		TolLatency:  *tolLatency,
 		TolEff:      *tolEff,
+		TolQuality:  *tolQuality,
 		RequireKnee: *requireKnee,
 		MinRate:     *minRate,
 	})

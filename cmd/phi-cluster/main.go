@@ -89,6 +89,18 @@
 //	                          (default 5s)
 //	-passive-weight w         weight of passive reports relative to
 //	                          cooperative ones (0 = server default of 1)
+//	-max-paths n              bound each shard's per-path state table;
+//	                          idle paths are evicted when it fills
+//	                          (0 = unbounded)
+//	-fresh-ttl d              evidence age beyond which a served lookup
+//	                          counts as stale in /debug/context coverage
+//	                          (default: the estimation window). The
+//	                          context-quality layer — per-source freshness
+//	                          histograms, fresh/stale/fallback coverage,
+//	                          paired RTT/loss prediction accuracy, and
+//	                          passive-vs-active drift — runs whenever
+//	                          -metrics-addr is set and serves
+//	                          /debug/context there
 //	-log-level level          minimum log level: debug|info|warn|error
 //	-log-json                 emit logs as JSON lines (default logfmt)
 package main
@@ -112,6 +124,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/phi"
 	"repro/internal/phiwire"
+	"repro/internal/quality"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -146,6 +159,8 @@ func main() {
 		ipfixSample = flag.Int("ipfix-sample", 1, "ipfix: exporter packet sampling rate (1-in-N)")
 		ipfixWindow = flag.Duration("ipfix-window", 5*time.Second, "ipfix: per-path aggregation window (stream time)")
 		passiveWt   = flag.Float64("passive-weight", 0, "weight of passive (IPFIX-inferred) reports relative to cooperative ones (0 = server default of 1)")
+		maxPaths    = flag.Int("max-paths", 0, "bound each shard's per-path state table, evicting idle paths (0 = unbounded)")
+		freshTTL    = flag.Duration("fresh-ttl", 0, "age beyond which context evidence counts as stale at lookup (0 = the estimation window)")
 		logLevel    = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
 		paths       pathFlags
@@ -172,7 +187,12 @@ func main() {
 	}
 
 	clock := func() sim.Time { return sim.Time(time.Now().UnixNano()) }
-	serverCfg := phi.ServerConfig{Window: sim.Time(window.Nanoseconds()), PassiveWeight: *passiveWt}
+	serverCfg := phi.ServerConfig{
+		Window:        sim.Time(window.Nanoseconds()),
+		PassiveWeight: *passiveWt,
+		MaxPaths:      *maxPaths,
+		FreshTTL:      sim.Time(freshTTL.Nanoseconds()),
+	}
 	frontendCfg := cluster.FrontendConfig{
 		Timeout:          *timeout,
 		DownAfter:        *downAfter,
@@ -238,6 +258,20 @@ func main() {
 			tracer.Collector().AttachStages(trace.NewStageAggregator())
 		}
 	}
+	// Context-quality layer: one process-wide tracker woven through every
+	// shard's lookup/report path (and the frontend's degraded fallbacks),
+	// so coverage and accuracy aggregate cluster-wide and survive crash,
+	// restore, and promotion. Served at /debug/context; instrumented runs
+	// only, like tracing and health.
+	var qtrack *quality.Tracker
+	if reg != nil {
+		qtrack = quality.New(quality.Config{Registry: reg})
+		if fl != nil {
+			fl.Quality(qtrack)
+		} else {
+			cl.Quality(qtrack)
+		}
+	}
 	var monitor *health.Monitor // nil likewise keeps health hooks no-ops
 	if *healthOn || *healthAddr != "" || fl != nil {
 		monitor = health.NewMonitor(health.Config{BucketDur: *healthWin, Shards: *shards})
@@ -250,6 +284,11 @@ func main() {
 			fl.Health(monitor)
 		} else {
 			cl.Health(monitor)
+		}
+		if qtrack != nil {
+			// Coverage collapse / accuracy blowout becomes a first-class
+			// anomaly with full evidence retention.
+			monitor.SetQualitySource(qtrack.HealthCheck)
 		}
 		stop := monitor.Start()
 		defer stop()
@@ -361,6 +400,8 @@ func main() {
 				Desc: "shard fault injection: ?id=N&op=crash|restart|status"},
 			{Path: "/debug/health", Handler: monitor.Handler(),
 				Desc: "live health monitor: status, anomalies, localization (-health)"},
+			{Path: "/debug/context", Handler: qtrack.Handler(),
+				Desc: "context quality: freshness, coverage, predictive accuracy"},
 		}
 		if fl != nil {
 			endpoints = append(endpoints,

@@ -64,6 +64,13 @@ type kneePoint struct {
 	// model rides along in the result).
 	AllocsPerOp      float64 // client heap allocations per lifecycle
 	FramesPerSyscall float64 // client frames written per write syscall
+
+	// Context-quality attribution over the step (from the server's
+	// /debug/context, when -context-url is set): the fraction of this
+	// step's lookups served fresh, and the cumulative paired-RTT p90
+	// absolute error (µs) at step end.
+	CoverageFreshFrac float64
+	RTTAbsErrP90      float64
 }
 
 // kneeVerdict is the detector's latched conclusion.
@@ -91,6 +98,13 @@ type kneeVerdict struct {
 	// write-syscall batching ratio. phi-bench-diff gates both.
 	AllocsPerOp      float64 `json:"allocs_per_op,omitempty"`
 	FramesPerSyscall float64 `json:"frames_per_syscall,omitempty"`
+	// CoverageFreshFrac and RTTAbsErrP90 are the knee step's context-
+	// quality attribution (present only when the ramp ran with
+	// -context-url): the fraction of that step's lookups served from
+	// fresh evidence, and the cumulative paired-RTT p90 absolute error
+	// in µs. phi-bench-diff gates both.
+	CoverageFreshFrac float64 `json:"coverage_fresh_frac,omitempty"`
+	RTTAbsErrP90      float64 `json:"rtt_abs_err_p90,omitempty"`
 }
 
 // kneeDetector consumes ramp steps and latches once the knee is
@@ -138,16 +152,18 @@ func (k *kneeDetector) feed(p kneePoint) bool {
 		if k.offending >= k.cfg.Confirm && k.lastGood >= 0 {
 			good := k.points[k.lastGood]
 			k.verdict = &kneeVerdict{
-				Found:            true,
-				KneeStep:         k.lastGood,
-				DetectedStep:     idx,
-				Rate:             good.Achieved,
-				OfferedRate:      good.Offered,
-				P99Us:            good.P99Us,
-				BaselineP99Us:    k.baseP99,
-				Reason:           k.reason,
-				AllocsPerOp:      good.AllocsPerOp,
-				FramesPerSyscall: good.FramesPerSyscall,
+				Found:             true,
+				KneeStep:          k.lastGood,
+				DetectedStep:      idx,
+				Rate:              good.Achieved,
+				OfferedRate:       good.Offered,
+				P99Us:             good.P99Us,
+				BaselineP99Us:     k.baseP99,
+				Reason:            k.reason,
+				AllocsPerOp:       good.AllocsPerOp,
+				FramesPerSyscall:  good.FramesPerSyscall,
+				CoverageFreshFrac: good.CoverageFreshFrac,
+				RTTAbsErrP90:      good.RTTAbsErrP90,
 			}
 			return true
 		}
@@ -176,6 +192,8 @@ func (k *kneeDetector) result() kneeVerdict {
 		v.P99Us = good.P99Us
 		v.AllocsPerOp = good.AllocsPerOp
 		v.FramesPerSyscall = good.FramesPerSyscall
+		v.CoverageFreshFrac = good.CoverageFreshFrac
+		v.RTTAbsErrP90 = good.RTTAbsErrP90
 	}
 	return v
 }

@@ -147,6 +147,33 @@ func TestKneeNeverFiresWithoutAGoodStep(t *testing.T) {
 	}
 }
 
+func TestKneeLatchesContextAttribution(t *testing.T) {
+	// The verdict carries the knee STEP's context-quality attribution —
+	// the last good step's coverage and accuracy, not the collapsing
+	// values measured while the server was past the knee.
+	curve := []kneePoint{
+		{Offered: 1000, Achieved: 1000, P99Us: 500, CoverageFreshFrac: 0.99, RTTAbsErrP90: 2000},
+		{Offered: 2000, Achieved: 2000, P99Us: 520, CoverageFreshFrac: 0.97, RTTAbsErrP90: 2100},
+		{Offered: 4000, Achieved: 3900, P99Us: 9000, CoverageFreshFrac: 0.40, RTTAbsErrP90: 50000},
+		{Offered: 8000, Achieved: 4000, P99Us: 30000, CoverageFreshFrac: 0.10, RTTAbsErrP90: 90000},
+	}
+	v := feedCurve(kneeConfig{}, curve)
+	if !v.Found {
+		t.Fatalf("no knee: %+v", v)
+	}
+	if v.CoverageFreshFrac != 0.97 || v.RTTAbsErrP90 != 2100 {
+		t.Fatalf("verdict context = (%v, %v), want the knee step's (0.97, 2100)",
+			v.CoverageFreshFrac, v.RTTAbsErrP90)
+	}
+
+	// The knee-less path latches from the last good step too.
+	v = feedCurve(kneeConfig{}, curve[:2])
+	if v.Found || v.CoverageFreshFrac != 0.97 || v.RTTAbsErrP90 != 2100 {
+		t.Fatalf("no-knee verdict context = (%v, %v), want (0.97, 2100)",
+			v.CoverageFreshFrac, v.RTTAbsErrP90)
+	}
+}
+
 func TestKneeConfirmCountHonored(t *testing.T) {
 	base := []kneePoint{
 		{Offered: 1000, Achieved: 1000, P99Us: 500},

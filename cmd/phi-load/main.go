@@ -118,6 +118,7 @@ func main() {
 		profileDur   = flag.Duration("profile-dur", 5*time.Second, "saturate mode: CPU profile length, captured while holding knee-rate load")
 		stagesURL    = flag.String("stages-url", "", "saturate mode: fetch this /debug/stages JSON after the ramp and embed it as the server-side decomposition")
 		resourcesURL = flag.String("resources-url", "", "saturate mode: fetch this /debug/resources JSON after the ramp and embed it as the server-side runtime/wire attribution")
+		contextURL   = flag.String("context-url", "", "saturate mode: poll this /debug/context JSON per ramp step for coverage/accuracy attribution, and embed the final snapshot in the result")
 		profPrefix   = flag.String("profile-prefix", "", "saturate mode: path prefix for the knee profile files (default: the -out path minus .json)")
 		ipfixAddr    = flag.String("ipfix-addr", "127.0.0.1:4739", "ipfix mode: collector UDP address to flood")
 		ipfixFlows   = flag.Int("ipfix-flows", 256, "ipfix modes: concurrent synthetic TCP flows")
@@ -198,6 +199,7 @@ func main() {
 			ProfileS:        profileDur.Seconds(),
 			StagesURL:       *stagesURL,
 			ResourcesURL:    *resourcesURL,
+			ContextURL:      *contextURL,
 			ProfilePrefix:   *profPrefix,
 		}
 	}

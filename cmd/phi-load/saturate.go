@@ -58,6 +58,13 @@ type satParams struct {
 	// its snapshot is embedded in the result (server-side runtime + wire
 	// attribution next to the client-side measurement).
 	ResourcesURL string `json:"resources_url,omitempty"`
+	// ContextURL, when set, is the server's /debug/context endpoint. It
+	// is polled at each ramp step's measurement boundaries so the step
+	// (and the knee verdict latched from it) carries context-quality
+	// attribution: coverage fresh fraction over the step's lookups and
+	// the cumulative paired-RTT p90 absolute error. The final snapshot is
+	// embedded in the result verbatim.
+	ContextURL string `json:"context_url,omitempty"`
 	// ProfilePrefix overrides where knee profiles land (default: derived
 	// from the -out path) — how the Makefile keeps BENCH_saturation.json
 	// at the repo root while the binary pprofs go under results/.
@@ -127,6 +134,13 @@ type satStepResult struct {
 	AllocBytesPerOp      float64 `json:"alloc_bytes_per_op"`
 	FramesPerSyscall     float64 `json:"frames_per_syscall"`
 	BytesPerWriteSyscall float64 `json:"bytes_per_write_syscall"`
+
+	// Context-quality attribution over the step (server side, from
+	// -context-url): fraction of the step's lookups served from fresh
+	// evidence (delta between boundary probes) and the server's
+	// cumulative paired-RTT p90 absolute error at step end.
+	CoverageFreshFrac float64 `json:"coverage_fresh_frac,omitempty"`
+	RTTAbsErrP90Us    float64 `json:"rtt_abs_err_p90_us,omitempty"`
 }
 
 // profileCapture records where the knee-time profiles landed.
@@ -162,7 +176,40 @@ type satResult struct {
 	// ResourcesServer embeds the server's /debug/resources snapshot
 	// (runtime sampler + server-side wire counters) verbatim.
 	ResourcesServer json.RawMessage `json:"resources_server,omitempty"`
-	Profiles        *profileCapture `json:"profiles,omitempty"`
+	// Context embeds the server's /debug/context snapshot (freshness,
+	// coverage, predictive accuracy) verbatim, fetched after the ramp.
+	Context  json.RawMessage `json:"context,omitempty"`
+	Profiles *profileCapture `json:"profiles,omitempty"`
+}
+
+// contextProbe is the slice of the server's /debug/context JSON the ramp
+// consumes: cumulative coverage counters (differenced across a step to
+// attribute the step's lookups) and the overall paired-RTT p90 error.
+type contextProbe struct {
+	Coverage struct {
+		Fresh    uint64 `json:"fresh"`
+		Stale    uint64 `json:"stale"`
+		Fallback uint64 `json:"fallback"`
+	} `json:"coverage"`
+	Accuracy map[string]struct {
+		RTTAbsErrP90Us float64 `json:"rtt_abs_err_p90_us"`
+	} `json:"accuracy"`
+}
+
+// probeContext fetches and parses url; best effort — a nil return means
+// the step simply carries no context attribution.
+func probeContext(url string, logger *tlog.Logger) *contextProbe {
+	raw, err := fetchJSON(url)
+	if err != nil {
+		logger.Warn("context probe", "url", url, "err", err)
+		return nil
+	}
+	var p contextProbe
+	if err := json.Unmarshal(raw, &p); err != nil {
+		logger.Warn("context probe decode", "url", url, "err", err)
+		return nil
+	}
+	return &p
 }
 
 // runSaturate drives the ramp. out is the result path (used to derive
@@ -269,10 +316,30 @@ func runSaturate(cfg runConfig, sp satParams, prefix, out string, tracer *trace.
 		t0 := time.Now()
 		allocObj0, allocBytes0 := obs.AllocCounts()
 		w0 := wire.Snapshot()
+		var ctx0 *contextProbe
+		if sp.ContextURL != "" {
+			ctx0 = probeContext(sp.ContextURL, logger)
+		}
 		time.Sleep(time.Duration(sp.StepS * float64(time.Second)))
 		measured := time.Since(t0).Seconds()
 		allocObj1, allocBytes1 := obs.AllocCounts()
 		wd := wire.Snapshot().Sub(w0)
+		// Context attribution: the coverage counters are cumulative, so
+		// the step's own lookup mix is the delta between the boundary
+		// probes; the accuracy quantile is cumulative by design (paired
+		// predictions accrue over the whole run).
+		var covFreshFrac, rttAbsErrP90 float64
+		if ctx0 != nil {
+			if ctx1 := probeContext(sp.ContextURL, logger); ctx1 != nil {
+				dFresh := ctx1.Coverage.Fresh - ctx0.Coverage.Fresh
+				dTotal := dFresh + (ctx1.Coverage.Stale - ctx0.Coverage.Stale) +
+					(ctx1.Coverage.Fallback - ctx0.Coverage.Fallback)
+				if dTotal > 0 {
+					covFreshFrac = float64(dFresh) / float64(dTotal)
+				}
+				rttAbsErrP90 = ctx1.Accuracy["overall"].RTTAbsErrP90Us
+			}
+		}
 
 		life := histResult(st.life.Snapshot())
 		lifecycles := st.lifecycles.Load()
@@ -292,8 +359,10 @@ func runSaturate(cfg runConfig, sp satParams, prefix, out string, tracer *trace.
 		}
 		p := kneePoint{
 			Offered: rate, Achieved: achieved, P99Us: life.P99Us,
-			AllocsPerOp:      allocsPerOp,
-			FramesPerSyscall: wd.FramesPerWriteSyscall,
+			AllocsPerOp:       allocsPerOp,
+			FramesPerSyscall:  wd.FramesPerWriteSyscall,
+			CoverageFreshFrac: covFreshFrac,
+			RTTAbsErrP90:      rttAbsErrP90,
 		}
 		offending := det.offends(p)
 		found := det.feed(p)
@@ -314,6 +383,8 @@ func runSaturate(cfg runConfig, sp satParams, prefix, out string, tracer *trace.
 			AllocBytesPerOp:      allocBytesPerOp,
 			FramesPerSyscall:     wd.FramesPerWriteSyscall,
 			BytesPerWriteSyscall: wd.BytesPerWriteSyscall,
+			CoverageFreshFrac:    covFreshFrac,
+			RTTAbsErrP90Us:       rttAbsErrP90,
 		})
 		logger.Info("ramp step", "step", step,
 			"offered", fmt.Sprintf("%.0f", rate),
@@ -371,6 +442,14 @@ func runSaturate(cfg runConfig, sp satParams, prefix, out string, tracer *trace.
 			logger.Error("fetch server resources", "url", sp.ResourcesURL, "err", err)
 		} else {
 			res.ResourcesServer = raw
+		}
+	}
+	if sp.ContextURL != "" {
+		raw, err := fetchJSON(sp.ContextURL)
+		if err != nil {
+			logger.Error("fetch server context", "url", sp.ContextURL, "err", err)
+		} else {
+			res.Context = raw
 		}
 	}
 	logger.Info("saturation ramp done", "steps", len(steps), "verdict", knee.String())

@@ -16,8 +16,10 @@
 // pprof profiles under /debug/pprof/, /debug/resources (runtime sampler
 // + wire-level syscall/byte attribution), /debug/prof/ring (a rolling
 // on-disk CPU/heap profile ring; ?op=capture to trigger, and health
-// anomalies capture automatically), and a /debug/ index listing every
-// mounted endpoint.
+// anomalies capture automatically), /debug/context (context quality:
+// per-source freshness, fresh/stale/fallback coverage, paired RTT/loss
+// prediction accuracy, passive-vs-active drift), and a /debug/ index
+// listing every mounted endpoint.
 //
 // With -ipfix-addr set, the server also runs the passive-ingest
 // pipeline: IPFIX exports received on that UDP address are decoded,
@@ -44,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/phi"
 	"repro/internal/phiwire"
+	"repro/internal/quality"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -66,6 +69,8 @@ func main() {
 		ipfixSample = flag.Int("ipfix-sample", 1, "ipfix: exporter packet sampling rate (1-in-N)")
 		ipfixWindow = flag.Duration("ipfix-window", 5*time.Second, "ipfix: per-path aggregation window (stream time)")
 		passiveWt   = flag.Float64("passive-weight", 0, "weight of passive (IPFIX-inferred) reports relative to cooperative ones (0 = server default of 1)")
+		maxPaths    = flag.Int("max-paths", 0, "bound the per-path state table, evicting idle paths (0 = unbounded)")
+		freshTTL    = flag.Duration("fresh-ttl", 0, "age beyond which context evidence counts as stale at lookup (0 = the estimation window)")
 		logLevel    = flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON lines (default logfmt)")
 		paths       pathFlags
@@ -110,11 +115,26 @@ func main() {
 
 	backend := phi.NewServer(
 		func() sim.Time { return sim.Time(time.Now().UnixNano()) },
-		phi.ServerConfig{Window: sim.Time(window.Nanoseconds()), PassiveWeight: *passiveWt},
+		phi.ServerConfig{
+			Window:        sim.Time(window.Nanoseconds()),
+			PassiveWeight: *passiveWt,
+			MaxPaths:      *maxPaths,
+			FreshTTL:      sim.Time(freshTTL.Nanoseconds()),
+		},
 	)
 	backend.SetMetrics(phi.NewServerMetrics(reg, nil))
 	backend.SetTracer(tracer)
 	backend.SetHealth(monitor)
+	// Context-quality layer: freshness, coverage, and predictive-accuracy
+	// accounting on the lookup/report path, served at /debug/context.
+	// Like the other observability layers it only runs instrumented.
+	var qtrack *quality.Tracker
+	if reg != nil {
+		qtrack = quality.New(quality.Config{Registry: reg})
+		backend.SetQuality(qtrack)
+		qtrack.AddPathSource(backend.Freshness)
+		monitor.SetQualitySource(qtrack.HealthCheck)
+	}
 	for _, p := range paths {
 		backend.RegisterPath(phi.PathKey(p.name), p.capacity)
 		logger.Info("registered path", "path", p.name, "capacity_bps", p.capacity)
@@ -186,6 +206,8 @@ func main() {
 				Desc: "per-stage latency decomposition of the serving path (-stages)"},
 			{Path: "/debug/health", Handler: monitor.Handler(),
 				Desc: "live health monitor: status, anomalies, localization (-health)"},
+			{Path: "/debug/context", Handler: qtrack.Handler(),
+				Desc: "context quality: freshness, coverage, predictive accuracy"},
 		}
 		if ingestPipe != nil {
 			endpoints = append(endpoints,

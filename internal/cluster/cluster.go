@@ -25,6 +25,7 @@ import (
 
 	healthmon "repro/internal/health"
 	"repro/internal/phi"
+	"repro/internal/quality"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -97,6 +98,20 @@ func (c *Cluster) Trace(t *trace.Tracer) {
 // count. Call before the cluster starts serving.
 func (c *Cluster) Health(m *healthmon.Monitor) {
 	c.Frontend.SetHealth(m)
+}
+
+// Quality attaches one context-quality tracker to the frontend (which
+// records degraded lookups as fallback coverage) and to every shard
+// (which classify served lookups and pair predictions against reports),
+// and registers each shard's path table as a freshness source for the
+// stalest-paths list. Coverage therefore aggregates across the whole
+// cluster. Call before the cluster starts serving.
+func (c *Cluster) Quality(q *quality.Tracker) {
+	c.Frontend.SetQuality(q)
+	for _, s := range c.Shards {
+		s.SetQuality(q)
+		q.AddPathSource(s.Freshness)
+	}
 }
 
 // SaveSnapshots writes every shard's snapshot under dir; the first error

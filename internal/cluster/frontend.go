@@ -9,6 +9,7 @@ import (
 
 	healthmon "repro/internal/health"
 	"repro/internal/phi"
+	"repro/internal/quality"
 	"repro/internal/trace"
 )
 
@@ -161,6 +162,11 @@ type Frontend struct {
 	// hmon feeds the live health monitor (nil = unmonitored; Record
 	// methods are nil-safe). Set before serving.
 	hmon *healthmon.Monitor
+
+	// quality records degraded lookups as fallback coverage — the one
+	// outcome no shard-level hook can see, because no shard was reached
+	// (nil = unmeasured). Set before serving.
+	quality *quality.Tracker
 }
 
 // SetMetrics attaches (or detaches, with nil) the telemetry surface.
@@ -188,6 +194,13 @@ func (f *Frontend) SetHealth(m *healthmon.Monitor) {
 		return down
 	})
 }
+
+// SetQuality attaches (or detaches, with nil) the context-quality
+// tracker. Only lookups that degrade (owner and fallback both
+// unavailable) are recorded here — every served lookup is classified by
+// the shard's own phi.Server, so the frontend adds exactly the outcomes
+// the shards cannot observe. Call before the frontend starts serving.
+func (f *Frontend) SetQuality(q *quality.Tracker) { f.quality = q }
 
 // NewFrontend builds a frontend over the given shard connections; the
 // ring must have exactly len(shards) shards.
@@ -429,6 +442,7 @@ func (f *Frontend) LookupSpan(parent trace.SpanContext, path phi.PathKey) (phi.C
 		m.Degraded.Inc()
 	}
 	f.hmon.RecordRouting(healthmon.RouteDegraded)
+	f.quality.ObserveFallback(string(path))
 	sp.Note(degradedTriedNote(owner, fb))
 	sp.End(ErrAllReplicasDown)
 	return phi.Context{}, ErrAllReplicasDown

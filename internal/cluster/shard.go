@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/phi"
+	"repro/internal/quality"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -48,6 +49,10 @@ type Shard struct {
 	snapMetrics *SnapshotMetrics
 	// tracer is likewise re-applied across crash/restore replacements.
 	tracer *trace.Tracer
+	// quality is likewise re-applied, so context-quality measurement
+	// survives crash/restore cycles (the tracker is process-wide and
+	// outlives any single server instance).
+	quality *quality.Tracker
 
 	// lastSnap is the wall-clock time (unix nanos) of the last successful
 	// SaveSnapshot, 0 if none yet. An atomic so health endpoints can read
@@ -141,6 +146,26 @@ func (s *Shard) SetTracer(t *trace.Tracer) {
 	s.srv.SetTracer(t)
 }
 
+// SetQuality attaches (or detaches, with nil) the context-quality
+// tracker to the backing server, now and across every future
+// crash/restore replacement. Call before the shard starts serving.
+func (s *Shard) SetQuality(q *quality.Tracker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quality = q
+	s.srv.SetQuality(q)
+}
+
+// Freshness enumerates the shard's per-path evidence ages for the
+// quality tracker's stalest-paths list (nil while down).
+func (s *Shard) Freshness() []quality.PathFreshness {
+	srv := s.server()
+	if srv == nil {
+		return nil
+	}
+	return srv.Freshness()
+}
+
 // LookupSpan implements TracedConn.
 func (s *Shard) LookupSpan(sc trace.SpanContext, path phi.PathKey) (phi.Context, error) {
 	srv := s.server()
@@ -187,6 +212,7 @@ func (s *Shard) Crash() {
 	s.srv = phi.NewServer(s.clock, s.cfg)
 	s.srv.SetMetrics(s.srvMetrics)
 	s.srv.SetTracer(s.tracer)
+	s.srv.SetQuality(s.quality)
 }
 
 // Down reports whether the shard is crashed.

@@ -62,6 +62,14 @@ func TestSnapshotUnderConcurrentReports(t *testing.T) {
 		}()
 	}
 
+	// Wait for the writers to actually start before cycling: on a loaded
+	// machine the 25 snapshot cycles below can complete before the
+	// scheduler ever runs a writer goroutine, and then the no-progress
+	// assertion at the bottom fails without any race having occurred.
+	for reports.Load() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
 	// Snapshot cycle racing the writers: save to disk, reload, restore
 	// in-memory — every combination the snapshotter and the fleet's
 	// backup sync perform in production.

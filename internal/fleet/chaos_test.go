@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/phi"
+	"repro/internal/quality"
 	"repro/internal/sim"
 )
 
@@ -155,5 +156,180 @@ func TestChaosRemediation(t *testing.T) {
 	}
 	if promotes < kills {
 		t.Errorf("audit shows %d promotions, want >= %d", promotes, kills)
+	}
+}
+
+// freshnessFor pulls one path's per-source freshness out of the quality
+// tracker's aggregated view (the same poll /debug/context serves). A
+// replicated path appears once per member holding it — the fallback
+// replica legitimately reports "never updated" — so entries are merged
+// field-wise, keeping the freshest evidence per source.
+func freshnessFor(q *quality.Tracker, path string) (quality.PathFreshness, bool) {
+	merged := quality.PathFreshness{Path: path, AgeActiveNs: -1, AgePassiveNs: -1}
+	found := false
+	for _, pf := range q.Snapshot().StalestPaths {
+		if pf.Path != path {
+			continue
+		}
+		found = true
+		if a := int64(pf.AgeActiveS * 1e9); a >= 0 && (merged.AgeActiveNs < 0 || a < merged.AgeActiveNs) {
+			merged.AgeActiveNs = a
+		}
+		if p := int64(pf.AgePassiveS * 1e9); p >= 0 && (merged.AgePassiveNs < 0 || p < merged.AgePassiveNs) {
+			merged.AgePassiveNs = p
+		}
+	}
+	return merged, found
+}
+
+// seedQualityPath drives lifecycles carrying both evidence sources
+// through the frontend and returns the member that owns the path.
+func seedQualityPath(t *testing.T, f *Fleet, path phi.PathKey) *Member {
+	t.Helper()
+	f.Frontend.RegisterPath(path, 10_000_000)
+	for i := 0; i < 6; i++ {
+		if _, err := f.Frontend.Lookup(path); err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+		if err := f.Frontend.ReportStart(path); err != nil {
+			t.Fatalf("report start %d: %v", i, err)
+		}
+		rep := phi.Report{
+			Bytes:  50_000,
+			AvgRTT: 120 * sim.Millisecond,
+			MinRTT: 100 * sim.Millisecond,
+		}
+		if i%2 == 1 {
+			rep.Source = phi.SourcePassive
+		}
+		if err := f.Frontend.ReportEnd(path, rep); err != nil {
+			t.Fatalf("report end %d: %v", i, err)
+		}
+	}
+	// The owner actually received the reports; the fallback replica also
+	// registered the path but has never-updated freshness.
+	for _, m := range f.Members {
+		for _, pf := range m.Primary().Freshness() {
+			if pf.Path == string(path) && pf.AgeActiveNs >= 0 {
+				return m
+			}
+		}
+	}
+	t.Fatalf("no member owns %q", path)
+	return nil
+}
+
+// TestQualityMetadataSurvivesPromotion kills a primary and promotes its
+// backup, then asserts the quality layer's view is unbroken: the
+// promoted replica still carries per-source freshness for the path
+// (mirrored via snapshot+replay), the tracker's aggregated freshness
+// poll agrees with what it reported before the failover, and coverage
+// hooks keep firing on the new primary.
+func TestQualityMetadataSurvivesPromotion(t *testing.T) {
+	f := New(Config{Shards: 2})
+	q := quality.New(quality.Config{})
+	f.Quality(q)
+
+	path := phi.PathKey("quality-chaos-path")
+	m := seedQualityPath(t, f, path)
+	if err := m.SyncBackup(); err != nil {
+		t.Fatalf("SyncBackup: %v", err)
+	}
+
+	before, ok := freshnessFor(q, string(path))
+	if !ok {
+		t.Fatalf("tracker has no freshness for %q before failover", path)
+	}
+	if before.AgeActiveNs < 0 || before.AgePassiveNs < 0 {
+		t.Fatalf("expected both sources seen before failover, got %+v", before)
+	}
+
+	m.KillPrimary()
+	if err := m.Promote(); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+
+	after, ok := freshnessFor(q, string(path))
+	if !ok {
+		t.Fatalf("tracker lost freshness for %q after promotion", path)
+	}
+	// Ages are wall-clock relative; allow generous slack for test runtime
+	// but both sources must still be known and recent on the promoted
+	// replica — a dropped lastActive/lastPassive would read as "never".
+	const slack = int64(5 * time.Second)
+	if after.AgeActiveNs < 0 || after.AgeActiveNs > before.AgeActiveNs+slack {
+		t.Errorf("active freshness diverged across promotion: before %d ns, after %d ns",
+			before.AgeActiveNs, after.AgeActiveNs)
+	}
+	if after.AgePassiveNs < 0 || after.AgePassiveNs > before.AgePassiveNs+slack {
+		t.Errorf("passive freshness diverged across promotion: before %d ns, after %d ns",
+			before.AgePassiveNs, after.AgePassiveNs)
+	}
+
+	// The promoted primary must classify lookups (quality hooks follow
+	// the serving role — a promoted replica that stopped reporting
+	// coverage would silently blind the observability layer).
+	f0, s0, fb0 := q.CoverageCounts()
+	if _, err := m.Lookup(path); err != nil {
+		t.Fatalf("lookup after promotion: %v", err)
+	}
+	f1, s1, fb1 := q.CoverageCounts()
+	if f1+s1+fb1 != f0+s0+fb0+1 {
+		t.Errorf("promoted primary did not classify the lookup: before %d/%d/%d after %d/%d/%d",
+			f0, s0, fb0, f1, s1, fb1)
+	}
+}
+
+// TestQualityMetadataSurvivesCrashRestore snapshots a primary to disk,
+// crashes it, and restores from the snapshot — the crash/restore leg of
+// the same guarantee: per-path freshness and source metadata round-trip
+// through the on-disk format, and the tracker's poll sees the restored
+// state.
+func TestQualityMetadataSurvivesCrashRestore(t *testing.T) {
+	f := New(Config{Shards: 2})
+	q := quality.New(quality.Config{})
+	f.Quality(q)
+
+	path := phi.PathKey("quality-restore-path")
+	m := seedQualityPath(t, f, path)
+
+	dir := t.TempDir()
+	if err := m.SaveSnapshot(dir); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	before, ok := freshnessFor(q, string(path))
+	if !ok || before.AgeActiveNs < 0 || before.AgePassiveNs < 0 {
+		t.Fatalf("incomplete freshness before crash: %+v (ok=%v)", before, ok)
+	}
+
+	m.KillPrimary()
+	restored, err := m.RestartPrimary(dir)
+	if err != nil || !restored {
+		t.Fatalf("RestartPrimary: restored=%v err=%v", restored, err)
+	}
+
+	after, ok := freshnessFor(q, string(path))
+	if !ok {
+		t.Fatalf("tracker lost freshness for %q after restore", path)
+	}
+	const slack = int64(5 * time.Second)
+	if after.AgeActiveNs < 0 || after.AgeActiveNs > before.AgeActiveNs+slack {
+		t.Errorf("active freshness diverged across restore: before %d ns, after %d ns",
+			before.AgeActiveNs, after.AgeActiveNs)
+	}
+	if after.AgePassiveNs < 0 || after.AgePassiveNs > before.AgePassiveNs+slack {
+		t.Errorf("passive freshness diverged across restore: before %d ns, after %d ns",
+			before.AgePassiveNs, after.AgePassiveNs)
+	}
+
+	// Restored primary still classifies lookups.
+	f0, s0, fb0 := q.CoverageCounts()
+	if _, err := m.Lookup(path); err != nil {
+		t.Fatalf("lookup after restore: %v", err)
+	}
+	f1, s1, fb1 := q.CoverageCounts()
+	if f1+s1+fb1 != f0+s0+fb0+1 {
+		t.Errorf("restored primary did not classify the lookup: before %d/%d/%d after %d/%d/%d",
+			f0, s0, fb0, f1, s1, fb1)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cluster"
 	healthmon "repro/internal/health"
 	"repro/internal/phi"
+	"repro/internal/quality"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -135,6 +136,22 @@ func (f *Fleet) Trace(t *trace.Tracer) {
 	for _, m := range f.Members {
 		m.Primary().SetTracer(t)
 		m.Backup().SetTracer(t)
+	}
+}
+
+// Quality attaches one context-quality tracker across the fleet: the
+// frontend records degraded lookups, each member's serving replica
+// classifies lookups and pairs predictions, and each member's current
+// primary is a freshness source for the stalest-paths list. Member
+// wiring follows the role, not the object — a promotion moves the
+// hooks to the new primary — so quality measurement survives failover.
+// Call before the fleet starts serving.
+func (f *Fleet) Quality(q *quality.Tracker) {
+	f.Frontend.SetQuality(q)
+	for _, m := range f.Members {
+		m.SetQuality(q)
+		m := m
+		q.AddPathSource(func() []quality.PathFreshness { return m.Primary().Freshness() })
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/phi"
+	"repro/internal/quality"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -99,6 +100,13 @@ type Member struct {
 	lastSync      atomic.Int64 // unix nanos of the last successful full sync
 
 	metrics *Metrics // shared fleet metric set (nil = uninstrumented)
+
+	// quality is the context-quality tracker attached to whichever
+	// replica is serving as primary (nil = unmeasured). Only the primary
+	// carries the hooks: mirrored reports reaching the backup are copies
+	// of evidence the primary already scored, and double-observing them
+	// would skew pairing and drift counts.
+	quality *quality.Tracker
 }
 
 // NewMember builds slot index with a primary and an (empty) backup. The
@@ -139,6 +147,18 @@ func (m *Member) Backup() *cluster.Shard {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.backup
+}
+
+// SetQuality attaches (or detaches, with nil) the context-quality
+// tracker to the member's current primary. Promotions re-apply it to
+// the new primary and detach it from the demoted replica, so the
+// measurement follows the serving role across failovers.
+func (m *Member) SetQuality(q *quality.Tracker) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.quality = q
+	m.primary.SetQuality(q)
+	m.backup.SetQuality(nil)
 }
 
 // Lookup implements cluster.Conn: the primary answers; if it is down and
@@ -334,6 +354,9 @@ func (m *Member) Promote() error {
 	// were destined for the promoted replica, which already has them.
 	m.backupLive = false
 	m.pending = m.pending[:0]
+	// Quality hooks follow the serving role.
+	m.primary.SetQuality(m.quality)
+	m.backup.SetQuality(nil)
 	m.promotions.Add(1)
 	if mt := m.metrics; mt != nil {
 		mt.Promotions.Inc()

@@ -38,11 +38,80 @@ func (m *Monitor) rotate() {
 		sh.errRate = float64(sh.errs.Swap(0)) / sec
 	}
 
+	m.checkQualityLocked(now)
+
 	m.rotations++
 	if m.rotations%uint64(m.cfg.DiagnoseEvery) == 0 {
 		m.sweepLocked()
 	}
 	m.tick++
+}
+
+// checkQualityLocked polls the installed context-quality source and
+// maintains the dedicated context-quality anomaly. Unlike the volume
+// detectors, the open/close decision belongs to the source (the quality
+// tracker already windows its own counters); the monitor's job is alert
+// fan-out — metrics, evidence retention, profile capture, logging. For
+// this anomaly BaselineRate/ObservedRate carry the source's values
+// verbatim (e.g. required vs observed fresh-coverage fraction), not
+// events/sec.
+func (m *Monitor) checkQualityLocked(now time.Time) {
+	fn := m.qualitySource.Load()
+	if fn == nil {
+		return
+	}
+	degraded, reason, baseline, observed := (*fn)()
+
+	if a := m.qualityDet.active; a != nil {
+		a.ObservedRate = observed
+		if baseline > 0 {
+			a.Depth = clamp01(1 - observed/baseline)
+		}
+		if !degraded {
+			m.closeAnomalyLocked(&m.qualityDet, now)
+		}
+		return
+	}
+	if !degraded {
+		return
+	}
+
+	m.nextID++
+	scope := "context-quality"
+	if reason != "" {
+		scope += "/" + reason
+	}
+	a := &Anomaly{
+		ID:           m.nextID,
+		Scope:        scope,
+		StartedAt:    now,
+		Active:       true,
+		BaselineRate: baseline,
+		ObservedRate: observed,
+		startTick:    m.tick,
+	}
+	if baseline > 0 {
+		a.Depth = clamp01(1 - observed/baseline)
+	}
+	m.qualityDet.active = a
+	m.active = append(m.active, a)
+
+	m.metrics.Anomalies.Inc()
+	m.metrics.Active.Set(float64(len(m.active)))
+	// Degraded context quality is a serving-path-wide condition — there
+	// is no single affected slice — so every slice's traces become
+	// evidence for the retention window.
+	m.markEvidence(nil, now)
+	if fn := m.profileTrigger.Load(); fn != nil {
+		go (*fn)("anomaly " + a.Scope)
+	}
+	m.log.Warn("context quality degraded",
+		"id", a.ID,
+		"scope", a.Scope,
+		"baseline", baseline,
+		"observed", observed,
+		"depth", a.Depth,
+	)
 }
 
 // observe steps one scope's detector with the bucket's event count.

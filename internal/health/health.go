@@ -314,6 +314,12 @@ type Monitor struct {
 	// staleness is visible at /debug/health before a crash proves it.
 	snapshotAges atomic.Pointer[func() []float64]
 
+	// qualitySource reports the context-quality layer's verdict: whether
+	// served context has degraded (coverage collapse, accuracy blowout),
+	// a short reason, and the baseline/observed values behind the call.
+	// Polled once per rotation; wired to quality.Tracker.HealthCheck.
+	qualitySource atomic.Pointer[func() (degraded bool, reason string, baseline, observed float64)]
+
 	// profileTrigger, when set, is invoked (on its own goroutine, with
 	// the anomaly scope as the reason) each time an anomaly is promoted
 	// — the hook the obs.ProfileRing hangs off so a dip's CPU/heap
@@ -343,8 +349,13 @@ type Monitor struct {
 	nextID    uint64
 	active    []*Anomaly
 	recent    []*Anomaly
-	diagRuns  uint64
-	diagLast  []diagnosis.Event // last confirmation sweep over Total()
+	// qualityDet only carries the active context-quality anomaly (the
+	// open/close decision comes from the installed quality source, not
+	// the EWMA machinery), so close handling is shared with the volume
+	// detectors.
+	qualityDet detector
+	diagRuns   uint64
+	diagLast   []diagnosis.Event // last confirmation sweep over Total()
 }
 
 // NewMonitor builds a monitor with the given configuration. Call Start
@@ -405,6 +416,19 @@ func (m *Monitor) SetSnapshotAges(fn func() []float64) {
 		return
 	}
 	m.snapshotAges.Store(&fn)
+}
+
+// SetQualitySource installs the context-quality verdict source, polled
+// once per rotation. A degraded verdict (coverage drop, accuracy
+// collapse) opens a "context-quality/<reason>" anomaly with full
+// evidence retention; the anomaly closes when the source reports
+// healthy again. Wire to quality.Tracker.HealthCheck. Safe on a nil
+// monitor; safe to call at any time, including after Start.
+func (m *Monitor) SetQualitySource(fn func() (degraded bool, reason string, baseline, observed float64)) {
+	if m == nil || fn == nil {
+		return
+	}
+	m.qualitySource.Store(&fn)
 }
 
 // SetProfileTrigger installs a callback fired on anomaly promotion

@@ -249,6 +249,111 @@ func TestEvidenceMarking(t *testing.T) {
 	t.Fatalf("evidence trace not retained by collector")
 }
 
+// TestQualityAnomalyLifecycle drives the context-quality hook: a
+// degraded verdict from the installed source opens a context-quality
+// anomaly (counted, evidence-retained, profile-captured, logged), the
+// verdict's values ride in the anomaly verbatim, and a healthy verdict
+// closes it into the recent ring.
+func TestQualityAnomalyLifecycle(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time { return now }
+	m := NewMonitor(testConfig(clock))
+
+	var logBuf bytes.Buffer
+	m.SetLogger(tlog.New(&logBuf, tlog.LevelInfo, tlog.WithClock(clock)).Component("health"))
+	reg := telemetry.NewRegistry()
+	hm := NewMetrics(reg)
+	m.SetMetrics(hm)
+	tracer := trace.NewTracer(trace.Config{SampleEvery: 1 << 20})
+	m.SetTracer(tracer)
+	profileReasons := make(chan string, 4)
+	m.SetProfileTrigger(func(reason string) { profileReasons <- reason })
+
+	degraded := false
+	m.SetQualitySource(func() (bool, string, float64, float64) {
+		if degraded {
+			return true, "coverage-drop", 0.5, 0.1
+		}
+		return false, "", 0.5, 0.9
+	})
+
+	step := func() {
+		gridBucket(m, 20, nil)
+		now = now.Add(time.Second)
+		m.rotate()
+	}
+	for i := 0; i < 8; i++ {
+		step() // healthy verdicts must not open anything
+	}
+	if snap := m.Snapshot(); len(snap.Active) != 0 {
+		t.Fatalf("healthy quality verdicts opened anomalies: %+v", snap.Active)
+	}
+
+	degraded = true
+	step()
+	snap := m.Snapshot()
+	if snap.Status != StatusAnomalous || len(snap.Active) != 1 {
+		t.Fatalf("status=%q active=%d after degraded verdict, want anomalous/1",
+			snap.Status, len(snap.Active))
+	}
+	a := snap.Active[0]
+	if a.Scope != "context-quality/coverage-drop" {
+		t.Fatalf("anomaly scope = %q", a.Scope)
+	}
+	if a.BaselineRate != 0.5 || a.ObservedRate != 0.1 {
+		t.Fatalf("anomaly carries %v/%v, want the verdict's 0.5/0.1",
+			a.BaselineRate, a.ObservedRate)
+	}
+	if a.Depth < 0.7 {
+		t.Fatalf("anomaly depth = %v, want ~0.8", a.Depth)
+	}
+	if hm.Anomalies.Value() != 1 || hm.Active.Value() != 1 {
+		t.Fatalf("counters: anomalies=%d active=%v, want 1/1",
+			hm.Anomalies.Value(), hm.Active.Value())
+	}
+	if !strings.Contains(logBuf.String(), "context quality degraded") {
+		t.Fatalf("alert log record missing:\n%s", logBuf.String())
+	}
+	select {
+	case reason := <-profileReasons:
+		if !strings.Contains(reason, "context-quality") {
+			t.Fatalf("profile trigger reason = %q", reason)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("profile trigger never fired on quality anomaly")
+	}
+	// Evidence retention is fleet-wide for a quality anomaly: every
+	// tracked slice must be marking its traces for the evidence window.
+	m.mu.Lock()
+	for _, s := range m.all {
+		if s.markUntil.Load() == 0 {
+			m.mu.Unlock()
+			t.Fatalf("slice %q not marked for evidence retention", s.key)
+		}
+	}
+	m.mu.Unlock()
+
+	// A still-degraded source keeps the same anomaly open (no duplicate).
+	step()
+	if snap := m.Snapshot(); len(snap.Active) != 1 || hm.Anomalies.Value() != 1 {
+		t.Fatalf("degraded steady state re-opened anomalies: active=%d counted=%d",
+			len(snap.Active), hm.Anomalies.Value())
+	}
+
+	degraded = false
+	step()
+	snap = m.Snapshot()
+	if len(snap.Active) != 0 {
+		t.Fatalf("quality anomaly still active after recovery: %+v", snap.Active)
+	}
+	if len(snap.Recent) != 1 || snap.Recent[0].Active || snap.Recent[0].EndedAt.IsZero() {
+		t.Fatalf("recent anomalies = %+v, want one resolved", snap.Recent)
+	}
+	if !strings.Contains(logBuf.String(), "anomaly resolved") {
+		t.Fatalf("resolution log record missing:\n%s", logBuf.String())
+	}
+}
+
 func TestHandlerFormats(t *testing.T) {
 	now := time.Unix(1700000000, 0)
 	m := NewMonitor(testConfig(func() time.Time { return now }))

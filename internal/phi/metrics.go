@@ -19,6 +19,8 @@ type ServerMetrics struct {
 	ReportSeconds *telemetry.Histogram
 	// Paths tracks the number of paths with state.
 	Paths *telemetry.Gauge
+	// EvictedPaths counts idle paths removed by the MaxPaths bound.
+	EvictedPaths *telemetry.Counter
 }
 
 // NewServerMetrics registers the context-server metric set on reg with
@@ -35,6 +37,7 @@ func NewServerMetrics(reg *telemetry.Registry, labels telemetry.Labels) *ServerM
 		LookupSeconds:  reg.Histogram("phi_server_lookup_seconds", "in-server lookup latency", labels),
 		ReportSeconds:  reg.Histogram("phi_server_report_seconds", "in-server report latency", labels),
 		Paths:          reg.Gauge("phi_server_paths", "paths with live state", labels),
+		EvictedPaths:   reg.Counter("phi_server_evicted_paths_total", "idle paths evicted by the MaxPaths bound", labels),
 	}
 }
 

@@ -1,11 +1,13 @@
 package phi
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/health"
+	"repro/internal/quality"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -31,6 +33,18 @@ type ServerConfig struct {
 	// ignores passive reports entirely (their byte/RTT evidence is
 	// dropped; start/end registration still maintains n).
 	PassiveWeight float64
+	// FreshTTL is the evidence age below which a lookup counts as a
+	// fresh hit for the quality layer (older evidence is a stale hit).
+	// Default: Window — context computed from evidence still inside the
+	// estimation window is fresh by construction. Zero keeps the
+	// default; negative treats any evidence as fresh.
+	FreshTTL sim.Time
+	// MaxPaths bounds the per-path state map. When a new path would
+	// push the map past the bound, idle paths (no active senders) are
+	// evicted oldest-touched first, in a batch, down to ~90% of the
+	// bound. Zero or negative leaves the map unbounded (the historical
+	// behavior).
+	MaxPaths int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -45,6 +59,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.PassiveWeight == 0 {
 		c.PassiveWeight = 1
+	}
+	if c.FreshTTL == 0 {
+		c.FreshTTL = c.Window
 	}
 	return c
 }
@@ -81,11 +98,26 @@ type Server struct {
 	// Record methods are nil-safe, so the hot path pays one branch).
 	// Set before serving.
 	health *health.Monitor
+
+	// quality feeds the context-quality observatory (nil = unmeasured;
+	// same one-branch discipline — the tracker's methods are nil-safe
+	// too, so this hook costs nothing when quality is off). Set before
+	// serving.
+	quality *quality.Tracker
+
+	// evicted counts idle paths removed by the MaxPaths bound. Atomic so
+	// tests and Stats readers never take s.mu.
+	evicted atomic.Uint64
 }
 
 // SetHealth attaches (or detaches, with nil) the live health monitor.
 // Call before serving.
 func (s *Server) SetHealth(m *health.Monitor) { s.health = m }
+
+// SetQuality attaches (or detaches, with nil) the context-quality
+// tracker. Call before serving. The tracker is typically shared by
+// every server in the process, so quality aggregates across shards.
+func (s *Server) SetQuality(q *quality.Tracker) { s.quality = q }
 
 type timedReport struct {
 	at    sim.Time
@@ -103,6 +135,19 @@ type pathState struct {
 	qEWMA      sim.Time
 	qInit      bool
 	maxRateBps float64
+	// lossEWMA smooths reported loss rates with the same alpha as the
+	// queue estimate; it exists for the quality layer's loss-accuracy
+	// pairing (the served context itself carries u/q/n only).
+	lossEWMA float64
+	lossInit bool
+	// lastActive / lastPassive are when each source last contributed
+	// evidence (weight > 0) — the freshness metadata the quality layer
+	// samples at lookup time. Zero means never.
+	lastActive  sim.Time
+	lastPassive sim.Time
+	// touched is the last access of any kind; the MaxPaths eviction
+	// removes idle paths oldest-touched first.
+	touched sim.Time
 }
 
 // NewServer creates a context server reading time from clock.
@@ -116,20 +161,70 @@ func NewServer(clock func() sim.Time, cfg ServerConfig) *Server {
 func (s *Server) RegisterPath(path PathKey, capacityBps int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.state(path).capacityBps = capacityBps
+	s.state(path, s.clock()).capacityBps = capacityBps
 }
 
-func (s *Server) state(path PathKey) *pathState {
+func (s *Server) state(path PathKey, now sim.Time) *pathState {
 	st, ok := s.paths[path]
 	if !ok {
+		if s.cfg.MaxPaths > 0 && len(s.paths) >= s.cfg.MaxPaths {
+			s.evictIdleLocked()
+		}
 		st = &pathState{}
 		s.paths[path] = st
 		if m := s.metrics; m != nil {
 			m.Paths.Set(float64(len(s.paths)))
 		}
 	}
+	st.touched = now
 	return st
 }
+
+// evictIdleLocked removes idle paths (no registered active senders),
+// oldest-touched first, until the map is at ~90% of MaxPaths — batched
+// so the scan cost amortizes over many inserts instead of paying O(n)
+// per new path at the bound. Paths with active senders are never
+// evicted: their n estimate is live state a sender paid a report for.
+// Caller holds s.mu.
+func (s *Server) evictIdleLocked() {
+	target := s.cfg.MaxPaths * 9 / 10
+	if target < 1 {
+		target = 1
+	}
+	excess := len(s.paths) - target + 1 // +1: make room for the insert
+	if excess <= 0 {
+		return
+	}
+	type cand struct {
+		key     PathKey
+		touched sim.Time
+	}
+	cands := make([]cand, 0, len(s.paths))
+	for k, st := range s.paths {
+		if len(st.starts) > 0 {
+			continue
+		}
+		cands = append(cands, cand{k, st.touched})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].touched < cands[j].touched })
+	if excess > len(cands) {
+		excess = len(cands)
+	}
+	q := s.quality
+	for _, c := range cands[:excess] {
+		delete(s.paths, c.key)
+		q.ForgetPath(string(c.key))
+	}
+	s.evicted.Add(uint64(excess))
+	if m := s.metrics; m != nil {
+		m.EvictedPaths.Add(uint64(excess))
+		m.Paths.Set(float64(len(s.paths)))
+	}
+}
+
+// EvictedPaths returns how many idle paths the MaxPaths bound has
+// removed. Safe to call while serving.
+func (s *Server) EvictedPaths() uint64 { return s.evicted.Load() }
 
 // Lookup implements ContextSource. It never fails in-process.
 func (s *Server) Lookup(path PathKey) (Context, error) {
@@ -138,10 +233,11 @@ func (s *Server) Lookup(path PathKey) (Context, error) {
 	if m != nil {
 		start = time.Now()
 	}
+	q := s.quality
 	s.mu.Lock()
 	s.lookups.Add(1)
-	st := s.state(path)
 	now := s.clock()
+	st := s.state(path, now)
 	s.prune(st, now)
 	s.expireActives(st, now)
 
@@ -166,6 +262,42 @@ func (s *Server) Lookup(path PathKey) (Context, error) {
 		}
 	}
 	ctx := Context{U: u, Q: st.qEWMA, N: len(st.starts)}
+	// Quality sampling: outcome, per-source evidence ages, and the
+	// RTT/loss estimate this lookup effectively served (minRTT + q is
+	// the expected RTT a new connection on the path will see). Gathered
+	// under the lock, recorded after it.
+	var (
+		outcome              quality.Outcome
+		ageActive, agePassiv int64 = -1, -1
+		predRTT              int64
+		predLoss             float64
+		predValid            bool
+	)
+	if q != nil {
+		freshest := st.lastActive
+		if st.lastPassive > freshest {
+			freshest = st.lastPassive
+		}
+		switch {
+		case freshest == 0:
+			outcome = quality.OutcomeFallback
+		case s.cfg.FreshTTL < 0 || now-freshest <= s.cfg.FreshTTL:
+			outcome = quality.OutcomeFresh
+		default:
+			outcome = quality.OutcomeStale
+		}
+		if st.lastActive > 0 {
+			ageActive = int64(now - st.lastActive)
+		}
+		if st.lastPassive > 0 {
+			agePassiv = int64(now - st.lastPassive)
+		}
+		if st.minRTT > 0 {
+			predRTT = int64(st.minRTT + st.qEWMA)
+			predLoss = st.lossEWMA
+			predValid = true
+		}
+	}
 	s.mu.Unlock()
 	if m != nil {
 		m.Lookups.Inc()
@@ -173,6 +305,9 @@ func (s *Server) Lookup(path PathKey) (Context, error) {
 	}
 	if h := s.health; h != nil {
 		h.RecordLookup(string(path))
+	}
+	if q != nil {
+		q.ObserveLookup(string(path), outcome, ageActive, agePassiv, predRTT, predLoss, predValid)
 	}
 	return ctx, nil
 }
@@ -186,8 +321,9 @@ func (s *Server) ReportStart(path PathKey) error {
 	}
 	s.mu.Lock()
 	s.reports.Add(1)
-	st := s.state(path)
-	st.starts = append(st.starts, s.clock())
+	now := s.clock()
+	st := s.state(path, now)
+	st.starts = append(st.starts, now)
 	s.mu.Unlock()
 	if m != nil {
 		m.Reports.Inc()
@@ -228,19 +364,26 @@ func (s *Server) report(path PathKey, r Report, end bool) error {
 		s.passiveReports.Add(1)
 		weight = s.cfg.PassiveWeight
 	}
+	qt := s.quality
 	s.mu.Lock()
 	s.reports.Add(1)
-	st := s.state(path)
+	now := s.clock()
+	st := s.state(path, now)
 	if end && len(st.starts) > 0 {
 		st.starts = st.starts[1:]
 	}
-	now := s.clock()
 	if weight > 0 {
 		bytes := r.Bytes
 		if weight != 1 {
 			bytes = int64(float64(bytes) * weight)
 		}
 		st.reports = append(st.reports, timedReport{at: now, bytes: bytes})
+		// Freshness metadata: this source just contributed evidence.
+		if r.Source == SourcePassive {
+			st.lastPassive = now
+		} else {
+			st.lastActive = now
+		}
 	}
 	s.prune(st, now)
 
@@ -264,6 +407,18 @@ func (s *Server) report(path PathKey, r Report, end bool) error {
 				st.qEWMA = sim.Time(a*float64(q) + (1-a)*float64(st.qEWMA))
 			}
 		}
+		// Loss EWMA, smoothed like the queue estimate; kept so the
+		// quality layer can score the loss side of the served context.
+		a := s.cfg.QueueAlpha * weight
+		if a > 1 {
+			a = 1
+		}
+		if !st.lossInit {
+			st.lossEWMA = r.LossRate
+			st.lossInit = true
+		} else {
+			st.lossEWMA = a*r.LossRate + (1-a)*st.lossEWMA
+		}
 	}
 	s.mu.Unlock()
 	if m != nil {
@@ -275,6 +430,13 @@ func (s *Server) report(path PathKey, r Report, end bool) error {
 	}
 	if h := s.health; h != nil {
 		h.RecordReport(string(path))
+	}
+	if qt != nil && weight > 0 && r.AvgRTT > 0 {
+		src := quality.SourceActive
+		if r.Source == SourcePassive {
+			src = quality.SourcePassive
+		}
+		qt.ObserveReport(string(path), src, int64(r.AvgRTT), r.LossRate)
 	}
 	return nil
 }
@@ -310,8 +472,9 @@ func (s *Server) prune(st *pathState, now sim.Time) {
 func (s *Server) ActiveSenders(path PathKey) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := s.state(path)
-	s.expireActives(st, s.clock())
+	now := s.clock()
+	st := s.state(path, now)
+	s.expireActives(st, now)
 	return len(st.starts)
 }
 
@@ -330,6 +493,27 @@ func (s *Server) PathCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.paths)
+}
+
+// Freshness enumerates every path's per-source evidence age — the
+// quality tracker's path source (quality.Tracker.AddPathSource), polled
+// only when a /debug/context snapshot is taken, never on the hot path.
+func (s *Server) Freshness() []quality.PathFreshness {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	out := make([]quality.PathFreshness, 0, len(s.paths))
+	for k, st := range s.paths {
+		pf := quality.PathFreshness{Path: string(k), AgeActiveNs: -1, AgePassiveNs: -1}
+		if st.lastActive > 0 {
+			pf.AgeActiveNs = int64(now - st.lastActive)
+		}
+		if st.lastPassive > 0 {
+			pf.AgePassiveNs = int64(now - st.lastPassive)
+		}
+		out = append(out, pf)
+	}
+	return out
 }
 
 // Oracle is a ContextSource with perfect, instantaneous knowledge — the

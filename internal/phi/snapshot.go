@@ -27,6 +27,13 @@ type PathSnapshot struct {
 	QEWMA       sim.Time       `json:"q_ewma,omitempty"`
 	QInit       bool           `json:"q_init,omitempty"`
 	MaxRateBps  float64        `json:"max_rate_bps,omitempty"`
+	LossEWMA    float64        `json:"loss_ewma,omitempty"`
+	LossInit    bool           `json:"loss_init,omitempty"`
+	// LastActive / LastPassive carry the per-source freshness metadata
+	// across restore, so a restarted or promoted replica still knows how
+	// old each path's evidence is (the quality layer depends on it).
+	LastActive  sim.Time `json:"last_active,omitempty"`
+	LastPassive sim.Time `json:"last_passive,omitempty"`
 }
 
 // ExportState snapshots every path's state. The result is detached from
@@ -43,6 +50,10 @@ func (s *Server) ExportState() []PathSnapshot {
 			QEWMA:       st.qEWMA,
 			QInit:       st.qInit,
 			MaxRateBps:  st.maxRateBps,
+			LossEWMA:    st.lossEWMA,
+			LossInit:    st.lossInit,
+			LastActive:  st.lastActive,
+			LastPassive: st.lastPassive,
 		}
 		ps.Starts = append(ps.Starts, st.starts...)
 		for _, r := range st.reports {
@@ -59,6 +70,7 @@ func (s *Server) ExportState() []PathSnapshot {
 func (s *Server) ImportState(paths []PathSnapshot) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := s.clock()
 	s.paths = make(map[PathKey]*pathState, len(paths))
 	for _, ps := range paths {
 		st := &pathState{
@@ -67,6 +79,13 @@ func (s *Server) ImportState(paths []PathSnapshot) {
 			qEWMA:       ps.QEWMA,
 			qInit:       ps.QInit,
 			maxRateBps:  ps.MaxRateBps,
+			lossEWMA:    ps.LossEWMA,
+			lossInit:    ps.LossInit,
+			lastActive:  ps.LastActive,
+			lastPassive: ps.LastPassive,
+			// Freshly restored paths start their idle clock now; the
+			// eviction policy judges them by activity from here on.
+			touched: now,
 		}
 		st.starts = append(st.starts, ps.Starts...)
 		for _, r := range ps.Reports {

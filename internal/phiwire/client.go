@@ -76,6 +76,11 @@ type Client struct {
 	conn   net.Conn
 	closed bool
 
+	// wbuf is the frame-serialization scratch buffer, reused across
+	// requests so each frame goes out in one Write without a per-request
+	// allocation. Guarded by mu.
+	wbuf []byte
+
 	// connTraced records whether the current connection's peer
 	// acknowledged CapTrace in the Hello exchange; only then do request
 	// frames carry trace headers. Reset on every reconnect, so the
@@ -185,9 +190,9 @@ func (c *Client) lockedRoundTrip(sc trace.SpanContext, req []byte) ([]byte, erro
 	}
 	var werr error
 	if c.connTraced && sc.Valid() && len(req) > 0 && req[0]&0x80 == 0 {
-		werr = writeTracedFrame(c.conn, req, sc)
+		werr = writeTracedFrameBuf(c.conn, req, sc, &c.wbuf)
 	} else {
-		werr = writeFrame(c.conn, req)
+		werr = writeFrameBuf(c.conn, req, &c.wbuf)
 	}
 	if werr != nil {
 		c.drop()
@@ -220,7 +225,7 @@ func (c *Client) negotiate() error {
 	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
 		return err
 	}
-	if err := writeFrame(c.conn, encodeHello(MsgHello, ProtocolVersion, CapTrace)); err != nil {
+	if err := writeFrameBuf(c.conn, encodeHello(MsgHello, ProtocolVersion, CapTrace), &c.wbuf); err != nil {
 		return err
 	}
 	c.wire.FrameWritten()

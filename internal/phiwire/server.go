@@ -97,7 +97,9 @@ type Server struct {
 
 	// wire aggregates resource attribution across all connections:
 	// frames, conn Read/Write calls (≈ syscalls), and bytes (nil =
-	// unaccounted). Set before Serve.
+	// unaccounted). Guarded by mu — each connection captures it once at
+	// accept, so attaching counters on a serving server is safe and
+	// takes effect for connections accepted after the call.
 	wire *obs.WireCounters
 }
 
@@ -116,11 +118,19 @@ func (s *Server) SetTracer(t *trace.Tracer) { s.tracer = t }
 func (s *Server) SetHealth(m *healthmon.Monitor) { s.health = m }
 
 // SetWire attaches (or detaches, with nil) the wire accounting counters,
-// aggregated over every connection. Call before Serve.
-func (s *Server) SetWire(w *obs.WireCounters) { s.wire = w }
+// aggregated over every connection accepted after the call.
+func (s *Server) SetWire(w *obs.WireCounters) {
+	s.mu.Lock()
+	s.wire = w
+	s.mu.Unlock()
+}
 
 // Wire returns the attached wire counters (nil if unaccounted).
-func (s *Server) Wire() *obs.WireCounters { return s.wire }
+func (s *Server) Wire() *obs.WireCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wire
+}
 
 // NewServer wraps backend for network service. logf, if non-nil, receives
 // connection-level errors; nil discards them.
@@ -231,8 +241,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 	// rw is the accounted view of the connection (conn itself when no
-	// wire counters are attached); close/bookkeeping stays on conn.
-	rw := obs.CountConn(conn, s.wire)
+	// wire counters are attached); close/bookkeeping stays on conn. The
+	// counters are captured once per connection, so the per-frame bumps
+	// below never touch the mu-guarded field.
+	s.mu.Lock()
+	wire := s.wire
+	s.mu.Unlock()
+	rw := obs.CountConn(conn, wire)
+	// Per-connection frame-serialization scratch, reused across responses
+	// so each frame is one Write and steady state allocates nothing.
+	var wbuf []byte
 	for {
 		payload, err := readFrame(rw)
 		if err != nil {
@@ -241,7 +259,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		s.wire.FrameRead()
+		wire.FrameRead()
 		var start time.Time
 		if m != nil {
 			start = time.Now()
@@ -255,11 +273,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		if st != nil {
 			w0 = time.Now()
 		}
-		if err := writeFrame(rw, resp); err != nil {
+		if err := writeFrameBuf(rw, resp, &wbuf); err != nil {
 			s.logf("phiwire: write to %v: %v", conn.RemoteAddr(), err)
 			return
 		}
-		s.wire.FrameWritten()
+		wire.FrameWritten()
 		if st != nil {
 			st.Observe(stServerWrite, time.Since(w0))
 		}

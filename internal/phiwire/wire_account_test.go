@@ -11,10 +11,10 @@ import (
 
 // TestWireAccounting pins the wire-resource model end to end: with
 // counters attached on both halves, N lifecycles account exactly 3N
-// frames each way, and today's writeFrame (header write + payload
-// write) yields a batching ratio of exactly 0.5 frames per write
-// syscall on both sides — the number the syscall-amortization work is
-// chartered to raise.
+// frames each way, and the coalesced writeFrameBuf (header + payload
+// serialized into one buffer, one Write) yields a batching ratio of
+// exactly 1.0 frames per write syscall on both sides — up from the 0.5
+// the original two-write frame encoder measured.
 func TestWireAccounting(t *testing.T) {
 	srv, backend, addr := startServer(t)
 	backend.RegisterPath("p", 1_000_000)
@@ -47,11 +47,11 @@ func TestWireAccounting(t *testing.T) {
 	if cs.FramesWritten != wantFrames || cs.FramesRead != wantFrames {
 		t.Errorf("client frames w/r = %d/%d, want %d/%d", cs.FramesWritten, cs.FramesRead, wantFrames, wantFrames)
 	}
-	if cs.WriteSyscalls != 2*wantFrames {
-		t.Errorf("client write syscalls = %d, want %d (2 per frame today)", cs.WriteSyscalls, 2*wantFrames)
+	if cs.WriteSyscalls != wantFrames {
+		t.Errorf("client write syscalls = %d, want %d (1 per frame, coalesced)", cs.WriteSyscalls, wantFrames)
 	}
-	if cs.FramesPerWriteSyscall != 0.5 {
-		t.Errorf("client batching ratio = %v, want 0.5", cs.FramesPerWriteSyscall)
+	if cs.FramesPerWriteSyscall != 1.0 {
+		t.Errorf("client batching ratio = %v, want 1.0", cs.FramesPerWriteSyscall)
 	}
 	if cs.BytesWritten == 0 || cs.BytesRead == 0 {
 		t.Errorf("client bytes w/r = %d/%d, want > 0", cs.BytesWritten, cs.BytesRead)
@@ -73,11 +73,11 @@ func TestWireAccounting(t *testing.T) {
 	if ss.FramesRead != wantFrames || ss.FramesWritten != wantFrames {
 		t.Errorf("server frames r/w = %d/%d, want %d/%d", ss.FramesRead, ss.FramesWritten, wantFrames, wantFrames)
 	}
-	if ss.WriteSyscalls != 2*wantFrames {
-		t.Errorf("server write syscalls = %d, want %d (2 per frame today)", ss.WriteSyscalls, 2*wantFrames)
+	if ss.WriteSyscalls != wantFrames {
+		t.Errorf("server write syscalls = %d, want %d (1 per frame, coalesced)", ss.WriteSyscalls, wantFrames)
 	}
-	if ss.FramesPerWriteSyscall != 0.5 {
-		t.Errorf("server batching ratio = %v, want 0.5", ss.FramesPerWriteSyscall)
+	if ss.FramesPerWriteSyscall != 1.0 {
+		t.Errorf("server batching ratio = %v, want 1.0", ss.FramesPerWriteSyscall)
 	}
 	// Conservation: what the client put on the wire is what the server
 	// took off it, byte for byte.

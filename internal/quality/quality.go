@@ -1,0 +1,415 @@
+// Package quality is the context-quality observatory: it measures
+// whether the shared per-path context the serving machinery works so
+// hard to deliver is actually fresh, covering, and accurate.
+//
+// Three measurements, all sampled on the live lookup/report path:
+//
+//   - Freshness: how old the newest evidence behind each served context
+//     is, per source (active sender reports vs passive IPFIX inference),
+//     as staleness-age histograms plus a top-K stalest-paths list.
+//   - Coverage: every lookup classified as fresh-hit, stale-hit, or
+//     default-fallback (no usable state, or no shard reachable), so the
+//     fraction of senders actually benefiting from shared state is a
+//     number, not a hope.
+//   - Predictive accuracy: the RTT/loss estimate served at lookup time
+//     is remembered and paired against the next report observed for the
+//     same path; signed-residual and absolute-error quantiles per source
+//     say how wrong the context was, and the passive-vs-active drift
+//     histogram validates the ingest pipeline against sender ground
+//     truth.
+//
+// The package follows the telemetry discipline: every hook is nil-safe
+// (a nil *Tracker no-ops, so uninstrumented deployments pay one branch),
+// the record path is lock-free outside a tiny per-path pairing entry,
+// and nothing here imports phi, cluster, or health — the server layers
+// call in, never the reverse.
+package quality
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Source distinguishes the two ways context evidence arrives.
+type Source uint8
+
+const (
+	// SourceActive is evidence from cooperating senders (the wire
+	// protocol's connection-boundary reports).
+	SourceActive Source = iota
+	// SourcePassive is evidence inferred from observed traffic (the
+	// IPFIX ingest pipeline).
+	SourcePassive
+
+	numSources = 2
+)
+
+func (s Source) String() string {
+	if s == SourcePassive {
+		return "passive"
+	}
+	return "active"
+}
+
+// Outcome classifies one lookup by the quality of what it was served.
+type Outcome uint8
+
+const (
+	// OutcomeFresh means the path had evidence newer than the freshness
+	// TTL: the sender got live shared state.
+	OutcomeFresh Outcome = iota
+	// OutcomeStale means the path had evidence, but older than the TTL:
+	// the sender got a context that may no longer describe the path.
+	OutcomeStale
+	// OutcomeFallback means no usable state existed (a never-reported
+	// path, or no shard reachable): the sender fell back to policy
+	// defaults, exactly as if there were no context server at all.
+	OutcomeFallback
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeFresh:
+		return "fresh"
+	case OutcomeStale:
+		return "stale"
+	default:
+		return "fallback"
+	}
+}
+
+// PathFreshness is one path's last-update metadata, as reported by a
+// registered path source (ages, not timestamps, so the tracker needs no
+// clock). A negative age means that source has never updated the path.
+type PathFreshness struct {
+	Path         string `json:"path"`
+	AgeActiveNs  int64  `json:"age_active_ns"`
+	AgePassiveNs int64  `json:"age_passive_ns"`
+}
+
+// Config tunes a Tracker. The zero value is usable.
+type Config struct {
+	// Registry, when set, registers every instrument as phi_context_*
+	// metrics; nil keeps the tracker self-contained (snapshots and the
+	// debug handler still work).
+	Registry *telemetry.Registry
+	// MaxPending bounds the prediction-pairing table (default 65536).
+	// At the cap, new paths' predictions are dropped and counted rather
+	// than growing without bound.
+	MaxPending int
+	// TopK is how many stalest paths a snapshot lists (default 10).
+	TopK int
+	// MinSamples is the minimum lookups per health-evaluation window
+	// before coverage can be judged degraded (default 50).
+	MinSamples uint64
+	// MinFreshFrac is the fresh-hit fraction below which a window is
+	// judged degraded (default 0.5).
+	MinFreshFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPending <= 0 {
+		c.MaxPending = 65536
+	}
+	if c.TopK <= 0 {
+		c.TopK = 10
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 50
+	}
+	if c.MinFreshFrac == 0 {
+		c.MinFreshFrac = 0.5
+	}
+	return c
+}
+
+// pathEntry is the per-path pairing state: the prediction served by the
+// most recent lookup (consumed by the next report) and the last RTT
+// seen per source (for active-vs-passive drift). Guarded by its own
+// mutex — contention is per path, never global.
+type pathEntry struct {
+	mu        sync.Mutex
+	predRTTNs int64
+	predLoss  float64
+	predValid bool
+	lastRTTNs [numSources]int64
+	rttValid  [numSources]bool
+}
+
+// Tracker is the process-wide quality observatory. One instance is
+// shared by every shard and replica in the process, so coverage and
+// accuracy aggregate across the cluster and survive shard crashes,
+// restores, and fleet promotions — the tracker outlives the servers it
+// observes. All methods are safe on a nil receiver.
+type Tracker struct {
+	cfg Config
+
+	// Coverage: lookup-outcome counters.
+	fresh    *telemetry.Counter
+	stale    *telemetry.Counter
+	fallback *telemetry.Counter
+
+	// Freshness: staleness ages sampled at lookup time, per source.
+	staleness [numSources]*telemetry.Histogram
+
+	// Accuracy: per-source paired-error instruments. Residuals are
+	// observed − predicted, split into positive (under-prediction) and
+	// negative (over-prediction, stored as magnitude) histograms so the
+	// lock-free non-negative histogram can carry a signed distribution.
+	pairs       [numSources]*telemetry.Counter
+	rttAbsErr   [numSources]*telemetry.Histogram
+	rttResidPos [numSources]*telemetry.Histogram
+	rttResidNeg [numSources]*telemetry.Histogram
+	lossAbsErr  [numSources]*telemetry.Histogram
+
+	// Drift: |passive − active| RTT on paths both sources report, the
+	// ingest-validation measurement; signed via the same pos/neg split
+	// (pos = passive saw a larger RTT than active).
+	driftPairs *telemetry.Counter
+	driftPos   *telemetry.Histogram
+	driftNeg   *telemetry.Histogram
+
+	// Prediction-pairing table.
+	pending      sync.Map // path string -> *pathEntry
+	pendingCount atomic.Int64
+	pendingGauge *telemetry.Gauge
+	dropped      *telemetry.Counter
+
+	// Path-freshness sources, polled only at snapshot time.
+	srcMu   sync.Mutex
+	sources []func() []PathFreshness
+
+	// Health-evaluation window state (previous poll's cumulative
+	// coverage counts), guarded by evalMu.
+	evalMu       sync.Mutex
+	evalFresh    uint64
+	evalStale    uint64
+	evalFallback uint64
+}
+
+// New builds a tracker. With a registry, every instrument doubles as a
+// registered phi_context_* metric; without one the instruments are
+// standalone (still snapshot-able).
+func New(cfg Config) *Tracker {
+	cfg = cfg.withDefaults()
+	t := &Tracker{cfg: cfg}
+	reg := cfg.Registry
+	counter := func(name, help string, labels telemetry.Labels) *telemetry.Counter {
+		if reg != nil {
+			return reg.Counter(name, help, labels)
+		}
+		return telemetry.NewCounter()
+	}
+	hist := func(name, help string, labels telemetry.Labels) *telemetry.Histogram {
+		if reg != nil {
+			return reg.Histogram(name, help, labels)
+		}
+		return telemetry.NewHistogram()
+	}
+	gauge := func(name, help string, labels telemetry.Labels) *telemetry.Gauge {
+		if reg != nil {
+			return reg.Gauge(name, help, labels)
+		}
+		return telemetry.NewGauge()
+	}
+	t.fresh = counter("phi_context_lookup_fresh_total", "lookups served context with evidence newer than the freshness TTL", nil)
+	t.stale = counter("phi_context_lookup_stale_total", "lookups served context whose newest evidence was older than the freshness TTL", nil)
+	t.fallback = counter("phi_context_lookup_fallback_total", "lookups that fell back to policy defaults (no state, or no shard reachable)", nil)
+	for src := Source(0); src < numSources; src++ {
+		l := telemetry.Labels{"source": src.String()}
+		t.staleness[src] = hist("phi_context_staleness_seconds", "age of the source's newest evidence, sampled at lookup time", l)
+		t.pairs[src] = counter("phi_context_pairs_total", "lookup predictions paired against a subsequent report", l)
+		t.rttAbsErr[src] = hist("phi_context_rtt_abs_error_seconds", "absolute error of the RTT estimate served at lookup vs the next report", l)
+		t.rttResidPos[src] = hist("phi_context_rtt_residual_seconds", "signed RTT residual (observed - predicted), split by sign", telemetry.Labels{"source": src.String(), "sign": "pos"})
+		t.rttResidNeg[src] = hist("phi_context_rtt_residual_seconds", "signed RTT residual (observed - predicted), split by sign", telemetry.Labels{"source": src.String(), "sign": "neg"})
+		t.lossAbsErr[src] = hist("phi_context_loss_abs_error_millionths", "absolute error of the loss estimate (unitless, scaled by 1e6)", l)
+	}
+	t.driftPairs = counter("phi_context_drift_pairs_total", "paths where active and passive RTT evidence could be compared", nil)
+	t.driftPos = hist("phi_context_drift_rtt_seconds", "passive-vs-active RTT disagreement, split by sign (pos = passive larger)", telemetry.Labels{"sign": "pos"})
+	t.driftNeg = hist("phi_context_drift_rtt_seconds", "passive-vs-active RTT disagreement, split by sign (pos = passive larger)", telemetry.Labels{"sign": "neg"})
+	t.pendingGauge = gauge("phi_context_pending_predictions", "predictions awaiting their pairing report", nil)
+	t.dropped = counter("phi_context_dropped_predictions_total", "predictions dropped because the pairing table was full", nil)
+	return t
+}
+
+// AddPathSource registers a per-path freshness enumerator (a shard's
+// live path table). Sources are polled only when a snapshot is taken,
+// never on the hot path. Nil trackers and nil funcs are ignored.
+func (t *Tracker) AddPathSource(fn func() []PathFreshness) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.srcMu.Lock()
+	t.sources = append(t.sources, fn)
+	t.srcMu.Unlock()
+}
+
+// entry returns the pairing entry for path, creating it if the table
+// has room. A full table returns nil (the caller drops the pairing work
+// but never the coverage counts).
+func (t *Tracker) entry(path string) *pathEntry {
+	if e, ok := t.pending.Load(path); ok {
+		return e.(*pathEntry)
+	}
+	if t.pendingCount.Load() >= int64(t.cfg.MaxPending) {
+		return nil
+	}
+	e := &pathEntry{}
+	if actual, loaded := t.pending.LoadOrStore(path, e); loaded {
+		return actual.(*pathEntry)
+	}
+	t.pendingGauge.Set(float64(t.pendingCount.Add(1)))
+	return e
+}
+
+// ObserveLookup records one lookup's outcome, the staleness ages behind
+// it, and (when the served context carried a usable estimate) the
+// prediction to pair against the path's next report. Ages are
+// nanoseconds since each source's last evidence; negative means never.
+func (t *Tracker) ObserveLookup(path string, o Outcome, ageActiveNs, agePassiveNs, predRTTNs int64, predLoss float64, predValid bool) {
+	if t == nil {
+		return
+	}
+	switch o {
+	case OutcomeFresh:
+		t.fresh.Inc()
+	case OutcomeStale:
+		t.stale.Inc()
+	default:
+		t.fallback.Inc()
+	}
+	if ageActiveNs >= 0 {
+		t.staleness[SourceActive].Record(ageActiveNs)
+	}
+	if agePassiveNs >= 0 {
+		t.staleness[SourcePassive].Record(agePassiveNs)
+	}
+	if !predValid {
+		return
+	}
+	e := t.entry(path)
+	if e == nil {
+		t.dropped.Inc()
+		return
+	}
+	e.mu.Lock()
+	e.predRTTNs = predRTTNs
+	e.predLoss = predLoss
+	e.predValid = true
+	e.mu.Unlock()
+}
+
+// ObserveReport pairs one report's observations against the prediction
+// the path's most recent lookup served (consuming it — each prediction
+// scores against the next report only), and feeds the active-vs-passive
+// drift comparison. rttNs is the report's average RTT; loss its loss
+// rate.
+func (t *Tracker) ObserveReport(path string, src Source, rttNs int64, loss float64) {
+	if t == nil || src >= numSources || rttNs <= 0 {
+		return
+	}
+	e := t.entry(path)
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	predValid := e.predValid
+	predRTT := e.predRTTNs
+	predLoss := e.predLoss
+	e.predValid = false
+	other := 1 - src
+	otherValid := e.rttValid[other]
+	otherRTT := e.lastRTTNs[other]
+	e.lastRTTNs[src] = rttNs
+	e.rttValid[src] = true
+	e.mu.Unlock()
+
+	if predValid {
+		t.pairs[src].Inc()
+		resid := rttNs - predRTT
+		if resid >= 0 {
+			t.rttAbsErr[src].Record(resid)
+			t.rttResidPos[src].Record(resid)
+		} else {
+			t.rttAbsErr[src].Record(-resid)
+			t.rttResidNeg[src].Record(-resid)
+		}
+		lerr := loss - predLoss
+		if lerr < 0 {
+			lerr = -lerr
+		}
+		t.lossAbsErr[src].Record(int64(lerr * 1e6))
+	}
+	if otherValid {
+		t.driftPairs.Inc()
+		// Signed as passive − active regardless of which side reported.
+		d := rttNs - otherRTT
+		if src == SourceActive {
+			d = -d
+		}
+		if d >= 0 {
+			t.driftPos.Record(d)
+		} else {
+			t.driftNeg.Record(-d)
+		}
+	}
+}
+
+// ObserveFallback records a lookup that never reached any shard (the
+// frontend's all-replicas-down degradation) — a fallback outcome with
+// no path state to sample.
+func (t *Tracker) ObserveFallback(path string) {
+	if t == nil {
+		return
+	}
+	t.fallback.Inc()
+}
+
+// ForgetPath drops the path's pairing entry — the eviction tie-in: when
+// the server evicts an idle path, its pending prediction goes with it.
+func (t *Tracker) ForgetPath(path string) {
+	if t == nil {
+		return
+	}
+	if _, ok := t.pending.LoadAndDelete(path); ok {
+		t.pendingGauge.Set(float64(t.pendingCount.Add(-1)))
+	}
+}
+
+// CoverageCounts returns the cumulative lookup-outcome counters.
+func (t *Tracker) CoverageCounts() (fresh, stale, fallback uint64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.fresh.Value(), t.stale.Value(), t.fallback.Value()
+}
+
+// HealthCheck judges the coverage observed since the previous call: one
+// evaluation window per call, sized by whoever polls (the health
+// monitor's rotation). Degraded means enough lookups happened to judge
+// (>= MinSamples) and the fresh fraction fell below MinFreshFrac.
+// Baseline and observed are the threshold and measured fractions, for
+// the anomaly record.
+func (t *Tracker) HealthCheck() (degraded bool, reason string, baseline, observed float64) {
+	if t == nil {
+		return false, "", 0, 0
+	}
+	fresh, stale, fallback := t.CoverageCounts()
+	t.evalMu.Lock()
+	dFresh := fresh - t.evalFresh
+	dStale := stale - t.evalStale
+	dFallback := fallback - t.evalFallback
+	t.evalFresh, t.evalStale, t.evalFallback = fresh, stale, fallback
+	t.evalMu.Unlock()
+	total := dFresh + dStale + dFallback
+	if total < t.cfg.MinSamples {
+		return false, "", t.cfg.MinFreshFrac, 0
+	}
+	frac := float64(dFresh) / float64(total)
+	if frac < t.cfg.MinFreshFrac {
+		return true, "coverage-drop", t.cfg.MinFreshFrac, frac
+	}
+	return false, "", t.cfg.MinFreshFrac, frac
+}
